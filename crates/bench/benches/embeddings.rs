@@ -1,0 +1,47 @@
+//! Embedding training and lookup throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kcb_embed::{embed_or_random, word2vec, EmbeddingModel, RandomEmbedding};
+use kcb_util::Rng;
+use std::hint::black_box;
+
+fn topic_corpus(n_sent: usize) -> Vec<Vec<String>> {
+    let mut rng = Rng::seed(1);
+    let vocab: Vec<String> = (0..400).map(|i| format!("tok{i}")).collect();
+    (0..n_sent)
+        .map(|_| (0..12).map(|_| vocab[rng.below(vocab.len())].clone()).collect())
+        .collect()
+}
+
+fn bench_word2vec_train(c: &mut Criterion) {
+    let corpus = topic_corpus(400);
+    let cfg = word2vec::Word2VecConfig {
+        dim: 32,
+        epochs: 1,
+        min_count: 1,
+        ..word2vec::Word2VecConfig::default()
+    };
+    let mut g = c.benchmark_group("embeddings");
+    g.sample_size(10);
+    g.bench_function("word2vec_train/400_sentences", |b| {
+        b.iter(|| word2vec::train("bench", &corpus, &cfg).vocab_size())
+    });
+    g.finish();
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let model = RandomEmbedding::with_dim(48);
+    let tokens: Vec<String> = (0..2_000).map(|i| format!("token-{i}")).collect();
+    let mut out = vec![0.0f32; model.dim()];
+    c.bench_function("embeddings/oov_lookup_2k", |b| {
+        b.iter(|| {
+            for t in &tokens {
+                embed_or_random(&model, black_box(t), &mut out);
+            }
+            out[0]
+        })
+    });
+}
+
+criterion_group!(benches, bench_word2vec_train, bench_lookup);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Random-forest training and inference (the Table 3 learner).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kcb_ml::linalg::Matrix;
+use kcb_ml::{RandomForest, RandomForestConfig};
+use kcb_util::Rng;
+use std::hint::black_box;
+
+fn synthetic_data(n: usize, d: usize) -> (Matrix, Vec<bool>) {
+    let mut rng = Rng::seed(2);
+    let mut rows = Vec::with_capacity(n);
+    let mut y = Vec::with_capacity(n);
+    for _ in 0..n {
+        let row: Vec<f32> = (0..d).map(|_| rng.f32()).collect();
+        y.push(row[0] + row[1] > 1.0);
+        rows.push(row);
+    }
+    (Matrix::from_rows(rows), y)
+}
+
+fn bench_forest(c: &mut Criterion) {
+    let (x, y) = synthetic_data(4_000, 60);
+    let cfg = RandomForestConfig { n_trees: 16, n_threads: 4, ..RandomForestConfig::default() };
+    let mut g = c.benchmark_group("forest");
+    g.sample_size(10);
+    g.bench_function("fit/4k_rows_60_dims_16_trees", |b| {
+        b.iter(|| RandomForest::fit(&x, &y, &cfg).n_trees())
+    });
+    let forest = RandomForest::fit(&x, &y, &cfg);
+    g.bench_function("predict/4k_rows", |b| {
+        b.iter(|| forest.predict_batch(black_box(&x)).len())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_forest);
+criterion_main!(benches);

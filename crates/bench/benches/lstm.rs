@@ -1,0 +1,42 @@
+//! LSTM training and inference (the Table A6 learner).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kcb_ml::linalg::Matrix;
+use kcb_ml::{Lstm, LstmConfig};
+use kcb_util::Rng;
+use std::hint::black_box;
+
+fn sequences(n: usize, d: usize) -> (Vec<Matrix>, Vec<bool>) {
+    let mut rng = Rng::seed(3);
+    let mut seqs = Vec::with_capacity(n);
+    let mut y = Vec::with_capacity(n);
+    for _ in 0..n {
+        let len = rng.range(6, 16);
+        let rows: Vec<Vec<f32>> =
+            (0..len).map(|_| (0..d).map(|_| rng.f32_range(-1.0, 1.0)).collect()).collect();
+        y.push(rows.iter().map(|r| r[0]).sum::<f32>() > 0.0);
+        seqs.push(Matrix::from_rows(rows));
+    }
+    (seqs, y)
+}
+
+fn bench_lstm(c: &mut Criterion) {
+    let (seqs, y) = sequences(200, 24);
+    let cfg = LstmConfig { hidden: 24, epochs: 1, ..LstmConfig::default() };
+    let mut g = c.benchmark_group("lstm");
+    g.sample_size(10);
+    g.bench_function("fit/200_seqs_1_epoch", |b| {
+        b.iter(|| {
+            let m = Lstm::fit(&seqs, &y, &cfg);
+            m.predict_proba(&seqs[0])
+        })
+    });
+    let model = Lstm::fit(&seqs, &y, &cfg);
+    g.bench_function("predict/200_seqs", |b| {
+        b.iter(|| seqs.iter().map(|s| model.predict(black_box(s))).filter(|&p| p).count())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_lstm);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Ontology substrate: synthetic generation and hierarchy queries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kcb_bench::bench_ontology;
+use kcb_ontology::{EntityId, SyntheticConfig, SyntheticGenerator};
+use std::hint::black_box;
+
+fn bench_generate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ontology/generate");
+    g.sample_size(10);
+    for scale in [0.005, 0.02] {
+        g.bench_with_input(BenchmarkId::from_parameter(scale), &scale, |b, &s| {
+            b.iter(|| {
+                SyntheticGenerator::new(SyntheticConfig { scale: s, seed: 42 })
+                    .unwrap()
+                    .generate()
+                    .n_triples()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let o = bench_ontology(0.02);
+    let n = o.n_entities() as u32;
+    c.bench_function("ontology/siblings_1k", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for i in (0..n).step_by((n as usize / 1_000).max(1)) {
+                total += o.siblings(black_box(EntityId(i))).len();
+            }
+            total
+        })
+    });
+    c.bench_function("ontology/contains_10k", |b| {
+        let triples: Vec<_> = o.triples().iter().take(10_000).copied().collect();
+        b.iter(|| triples.iter().filter(|&&t| o.contains(black_box(t))).count())
+    });
+}
+
+criterion_group!(benches, bench_generate, bench_queries);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Negative-sampling throughput for the three curation tasks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kcb_bench::bench_ontology;
+use kcb_core::task::{TaskDataset, TaskKind};
+
+fn bench_task_generation(c: &mut Criterion) {
+    let o = bench_ontology(0.01);
+    let mut g = c.benchmark_group("tasks/generate");
+    g.sample_size(10);
+    for task in TaskKind::ALL {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("task{}", task.number())),
+            &task,
+            |b, &t| b.iter(|| TaskDataset::generate(&o, t, 42).len()),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_task_generation);
+criterion_main!(benches);

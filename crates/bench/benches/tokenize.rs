@@ -1,0 +1,48 @@
+//! Tokenizer throughput: chemical-name scanning and WordPiece encoding.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use kcb_bench::bench_ontology;
+use kcb_text::{ChemTokenizer, WordPieceTrainer};
+use std::collections::HashMap;
+use std::hint::black_box;
+
+fn bench_tokenizers(c: &mut Criterion) {
+    let o = bench_ontology(0.01);
+    let names: Vec<&str> = o.entities().iter().map(|e| e.name.as_str()).take(4_000).collect();
+    let bytes: usize = names.iter().map(|n| n.len()).sum();
+    let tk = ChemTokenizer::new();
+
+    let mut g = c.benchmark_group("tokenize");
+    g.throughput(Throughput::Bytes(bytes as u64));
+    g.bench_function("chem_tokenizer/4k_names", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for n in &names {
+                total += tk.tokenize(black_box(n)).len();
+            }
+            total
+        })
+    });
+
+    let mut counts: HashMap<String, u64> = HashMap::new();
+    for n in &names {
+        for t in tk.tokenize(n) {
+            *counts.entry(t).or_insert(0) += 1;
+        }
+    }
+    let wp = WordPieceTrainer { target_vocab: 800, min_pair_count: 2 }.train(&counts);
+    let words: Vec<Vec<String>> = names.iter().take(1_000).map(|n| tk.tokenize(n)).collect();
+    g.bench_function("wordpiece_encode/1k_names", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for w in &words {
+                total += wp.encode_words(w.iter().map(String::as_str)).len();
+            }
+            total
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tokenizers);
+criterion_main!(benches);

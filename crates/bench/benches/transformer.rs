@@ -1,0 +1,53 @@
+//! Mini-transformer forward/backward and generation throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kcb_lm::{MiniBert, MiniBertConfig, MiniGpt, MiniGptConfig, TrainConfig, TransformerConfig};
+use kcb_util::Rng;
+use std::hint::black_box;
+
+fn arch() -> TransformerConfig {
+    TransformerConfig {
+        vocab_size: 512,
+        d_model: 48,
+        n_heads: 4,
+        n_layers: 2,
+        d_ff: 96,
+        max_len: 48,
+        seed: 4,
+    }
+}
+
+fn random_seqs(n: usize, len: usize) -> Vec<Vec<u32>> {
+    let mut rng = Rng::seed(5);
+    (0..n).map(|_| (0..len).map(|_| 5 + rng.below(500) as u32).collect()).collect()
+}
+
+fn bench_bert(c: &mut Criterion) {
+    let bert = MiniBert::new(MiniBertConfig { arch: arch(), mask_prob: 0.15 });
+    let seqs = random_seqs(64, 32);
+    let tc = TrainConfig { epochs: 1, lr: 1e-3, batch_size: 16, seed: 6 };
+    let mut g = c.benchmark_group("transformer");
+    g.sample_size(10);
+    g.bench_function("bert_mlm_step/64_seqs", |b| {
+        b.iter(|| bert.pretrain_mlm(&seqs, &tc).len())
+    });
+    g.bench_function("bert_encode/1_seq", |b| {
+        b.iter(|| bert.encode(black_box(&seqs[0])).len())
+    });
+    g.finish();
+}
+
+fn bench_gpt(c: &mut Criterion) {
+    let gpt = MiniGpt::new(MiniGptConfig { arch: arch() });
+    let mut g = c.benchmark_group("transformer");
+    g.sample_size(10);
+    g.bench_function("gpt_generate/8_tokens", |b| {
+        let prompt: Vec<u32> = (5..25).collect();
+        let mut rng = Rng::seed(7);
+        b.iter(|| gpt.generate(black_box(&prompt), 8, 0.8, &mut rng).len())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_bert, bench_gpt);
+criterion_main!(benches);

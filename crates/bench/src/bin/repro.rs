@@ -1,0 +1,196 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! repro all                       # every artifact at the default scale
+//! repro table3a fig3              # specific artifacts
+//! repro --list                    # show artifact ids
+//! repro all --scale 0.05 --seed 7 --out results/
+//! repro all --fast                # tiny smoke-test configuration
+//! ```
+//!
+//! Numbers are not expected to match the paper's absolute values (the
+//! substrate is a mini-scale simulator — see DESIGN.md); the comparisons
+//! that must hold are recorded in EXPERIMENTS.md.
+
+use kcb_core::experiment::{self, ALL_IDS};
+use kcb_core::lab::{Lab, LabConfig};
+use std::process::ExitCode;
+use std::time::Instant;
+
+struct Args {
+    ids: Vec<String>,
+    scale: Option<f64>,
+    seed: Option<u64>,
+    threads: Option<usize>,
+    out: Option<std::path::PathBuf>,
+    md: Option<std::path::PathBuf>,
+    fast: bool,
+    list: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        ids: Vec::new(),
+        scale: None,
+        seed: None,
+        threads: None,
+        out: None,
+        md: None,
+        fast: false,
+        list: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--list" => args.list = true,
+            "--fast" => args.fast = true,
+            "--scale" => {
+                let v = it.next().ok_or("--scale needs a value")?;
+                args.scale = Some(v.parse().map_err(|_| format!("bad scale {v}"))?);
+            }
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                args.seed = Some(v.parse().map_err(|_| format!("bad seed {v}"))?);
+            }
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a value")?;
+                args.threads = Some(v.parse().map_err(|_| format!("bad thread count {v}"))?);
+            }
+            "--out" => {
+                let v = it.next().ok_or("--out needs a directory")?;
+                args.out = Some(v.into());
+            }
+            "--md" => {
+                let v = it.next().ok_or("--md needs a file path")?;
+                args.md = Some(v.into());
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
+            other => args.ids.push(other.to_string()),
+        }
+    }
+    Ok(args)
+}
+
+const USAGE: &str = "\
+repro — regenerate the paper's tables and figures
+
+USAGE: repro [ARTIFACT...] [OPTIONS]
+
+ARTIFACTS:
+  all            every artifact in paper order
+  table2 table3a table3b table4 table5 table6
+  tableA1..tableA7 fig2 fig3 figA1 figA2
+  ablations      ablation-corpus ablation-dim ablation-forest ablation-adapt
+  summary        machine-checked scorecard of the paper's key findings
+  ext-llama2     extension: the paper's future work (open-weight oracle)
+
+OPTIONS:
+  --scale S      ontology scale relative to real ChEBI (default 0.03)
+  --seed N       master seed (default 42)
+  --threads N    worker threads for forest training (default: CPU count)
+  --out DIR      also write one JSON file per artifact into DIR
+  --md FILE      also write a combined Markdown report
+  --fast         tiny smoke-test configuration (seconds, not minutes)
+  --list         list artifact ids and exit";
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.list {
+        for id in ALL_IDS
+            .iter()
+            .chain(kcb_core::experiment::ABLATION_IDS)
+            .chain(kcb_core::experiment::EXTENSION_IDS)
+            .chain(std::iter::once(&kcb_core::experiment::SUMMARY_ID))
+        {
+            println!("{id}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    let mut ids: Vec<String> = args.ids;
+    if ids.is_empty() {
+        eprintln!("no artifacts requested\n\n{USAGE}");
+        return ExitCode::FAILURE;
+    }
+    if let Some(pos) = ids.iter().position(|i| i == "all") {
+        ids.splice(pos..=pos, ALL_IDS.iter().map(|s| s.to_string()));
+        ids.dedup();
+    }
+    if let Some(pos) = ids.iter().position(|i| i == "ablations") {
+        ids.remove(pos);
+        ids.extend(kcb_core::experiment::ABLATION_IDS.iter().map(|s| s.to_string()));
+    }
+
+    let mut cfg = if args.fast { LabConfig::tiny() } else { LabConfig::default() };
+    if let Some(s) = args.scale {
+        if !(s > 0.0 && s <= 4.0) {
+            eprintln!("error: --scale must be in (0, 4], got {s}");
+            return ExitCode::FAILURE;
+        }
+        cfg.scale = s;
+    }
+    if let Some(s) = args.seed {
+        cfg.reseed(s);
+    }
+    if let Some(t) = args.threads {
+        cfg.rf.n_threads = t.max(1);
+    }
+    eprintln!(
+        "# kcb repro — scale {} seed {}{}",
+        cfg.scale,
+        cfg.seed,
+        if args.fast { " (fast mode)" } else { "" }
+    );
+
+    let lab = Lab::new(cfg);
+    let total = Instant::now();
+    let mut failed = false;
+    let mut markdown = String::from("# kcb reproduction report\n\n");
+    for id in &ids {
+        let t0 = Instant::now();
+        match experiment::run(&lab, id) {
+            Some(artifact) => {
+                println!("{}", artifact.render());
+                markdown.push_str(&artifact.render_markdown());
+                eprintln!("# {id} done in {:.1}s", t0.elapsed().as_secs_f64());
+                if let Some(dir) = &args.out {
+                    match artifact.write_json(dir) {
+                        Ok(path) => eprintln!("# wrote {}", path.display()),
+                        Err(e) => {
+                            eprintln!("error writing {id}: {e}");
+                            failed = true;
+                        }
+                    }
+                }
+            }
+            None => {
+                eprintln!("error: unknown artifact '{id}' (see --list)");
+                failed = true;
+            }
+        }
+    }
+    if let Some(path) = &args.md {
+        match std::fs::write(path, &markdown) {
+            Ok(()) => eprintln!("# wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("error writing markdown report: {e}");
+                failed = true;
+            }
+        }
+    }
+    eprintln!("# total {:.1}s", total.elapsed().as_secs_f64());
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

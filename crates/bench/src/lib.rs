@@ -1,0 +1,34 @@
+//! Benchmark support for the `kcb` workspace.
+//!
+//! This crate hosts the [`repro`](../repro/index.html) experiment binary
+//! (one subcommand per paper table/figure) and the Criterion micro/meso
+//! benchmarks under `benches/`. The library part provides shared fixtures
+//! so benches don't duplicate setup code.
+
+use kcb_core::task::{TaskDataset, TaskKind};
+use kcb_ontology::{Ontology, SyntheticConfig, SyntheticGenerator};
+
+/// A small fixed-seed ontology used by the micro-benchmarks.
+pub fn bench_ontology(scale: f64) -> Ontology {
+    SyntheticGenerator::new(SyntheticConfig { scale, seed: 42 })
+        .expect("valid scale")
+        .generate()
+}
+
+/// A task dataset over [`bench_ontology`].
+pub fn bench_dataset(o: &Ontology, task: TaskKind) -> TaskDataset {
+    TaskDataset::generate(o, task, 42)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_build() {
+        let o = bench_ontology(0.004);
+        assert!(o.n_triples() > 100);
+        let d = bench_dataset(&o, TaskKind::RandomNegatives);
+        assert!(d.len() > 200);
+    }
+}

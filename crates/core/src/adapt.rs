@@ -1,0 +1,354 @@
+//! Hypothesis-driven embedding adaptation (§2.7).
+//!
+//! The paper's counter-intuitive finding — random embeddings beating
+//! semantic ones — was traced to high-frequency, semantically-similar
+//! short tokens (locants, stereo-descriptors) pulling entity
+//! representations together. Two mitigations are implemented:
+//!
+//! * [`Adaptation::Naive`] — drop tokens shorter than three characters
+//!   (falling back to all tokens when nothing survives);
+//! * [`Adaptation::TaskOriented`] — Algorithm 2: cluster the top-quantile
+//!   frequent tokens by embedding proximity (DBSCAN), then flag every
+//!   cluster whose removal significantly shifts the dispersion of entity
+//!   representations (Welch t-test over repeated subsamples).
+
+use kcb_embed::{embed_or_random, EmbeddingModel};
+use kcb_ml::cluster::{clusters_from_labels, dbscan, Metric};
+use kcb_ml::linalg::Matrix;
+use kcb_ml::stats::welch_t_test;
+use kcb_ontology::{EntityId, Ontology, Triple};
+use kcb_text::freq::TokenFrequency;
+use kcb_text::ChemTokenizer;
+use kcb_util::Rng;
+use std::collections::{HashMap, HashSet};
+
+/// A token-selection policy applied after tokenization in Algorithm 1.
+#[derive(Debug, Clone)]
+pub enum Adaptation {
+    /// Keep every token.
+    None,
+    /// Keep tokens of three or more characters; keep everything when no
+    /// token qualifies (§2.7).
+    Naive,
+    /// Drop the stop words identified by Algorithm 2.
+    TaskOriented(HashSet<String>),
+}
+
+impl Adaptation {
+    /// Display name used in report tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Adaptation::None => "no adaptation",
+            Adaptation::Naive => "naive adaptation",
+            Adaptation::TaskOriented(_) => "task-oriented adaptation",
+        }
+    }
+
+    /// Whether a single token survives the filter.
+    pub fn keeps(&self, token: &str) -> bool {
+        match self {
+            Adaptation::None => true,
+            Adaptation::Naive => token.chars().count() >= 3,
+            Adaptation::TaskOriented(stop) => !stop.contains(token),
+        }
+    }
+
+    /// Filters a token list, falling back to the full list when the filter
+    /// would remove everything.
+    pub fn apply<'a>(&self, tokens: &'a [String]) -> Vec<&'a str> {
+        let kept: Vec<&str> =
+            tokens.iter().map(String::as_str).filter(|t| self.keeps(t)).collect();
+        if kept.is_empty() {
+            tokens.iter().map(String::as_str).collect()
+        } else {
+            kept
+        }
+    }
+}
+
+/// Parameters of Algorithm 2.
+#[derive(Debug, Clone, Copy)]
+pub struct TaskOrientedConfig {
+    /// Frequency quantile of tokens considered ("top 25 %").
+    pub quantile: f64,
+    /// DBSCAN cosine-distance radius.
+    pub eps: f32,
+    /// DBSCAN density threshold.
+    pub min_pts: usize,
+    /// Entities sampled per iteration (paper: 5000).
+    pub n_entities: usize,
+    /// Iterations (paper: 10).
+    pub iterations: usize,
+    /// Pairwise distances sampled per dispersion estimate.
+    pub n_pairs: usize,
+    /// Significance threshold for the t-test.
+    pub p_threshold: f64,
+    /// Sampling seed.
+    pub seed: u64,
+}
+
+impl Default for TaskOrientedConfig {
+    fn default() -> Self {
+        Self {
+            quantile: 0.25,
+            eps: 0.25,
+            min_pts: 3,
+            n_entities: 5_000,
+            iterations: 10,
+            n_pairs: 1_500,
+            p_threshold: 0.05,
+            seed: 42,
+        }
+    }
+}
+
+/// Algorithm 2: embedding-specific identification of less semantically
+/// meaningful tokens. Returns the stop-word set for
+/// [`Adaptation::TaskOriented`].
+pub fn task_oriented_stopwords(
+    o: &Ontology,
+    positives: &[Triple],
+    model: &dyn EmbeddingModel,
+    cfg: &TaskOrientedConfig,
+) -> HashSet<String> {
+    let tk = ChemTokenizer::new();
+    let tf = TokenFrequency::compute(o, positives, &tk);
+    let frequent: Vec<String> = tf.top_quantile(cfg.quantile);
+    if frequent.len() < cfg.min_pts {
+        return HashSet::new();
+    }
+
+    // Embed the frequent tokens and cluster them.
+    let dim = model.dim();
+    let mut buf = vec![0.0f32; dim];
+    let rows: Vec<Vec<f32>> = frequent
+        .iter()
+        .map(|t| {
+            embed_or_random(model, t, &mut buf);
+            buf.clone()
+        })
+        .collect();
+    let points = Matrix::from_rows(rows);
+    let labels = dbscan(&points, cfg.eps, cfg.min_pts, Metric::Cosine);
+    let clusters = clusters_from_labels(&labels);
+    if clusters.is_empty() {
+        return HashSet::new();
+    }
+
+    // Unique head/tail entities of the positive triples, with tokenised
+    // names and cached token vectors.
+    let mut entity_set: HashSet<EntityId> = HashSet::new();
+    for t in positives {
+        entity_set.insert(t.subject);
+        entity_set.insert(t.object);
+    }
+    let entities: Vec<EntityId> = {
+        let mut v: Vec<EntityId> = entity_set.into_iter().collect();
+        v.sort_unstable();
+        v
+    };
+    let mut token_vec: HashMap<String, Vec<f32>> = HashMap::new();
+    let entity_tokens: Vec<Vec<String>> = entities
+        .iter()
+        .map(|&e| {
+            let toks = tk.tokenize(o.name(e));
+            for t in &toks {
+                token_vec.entry(t.clone()).or_insert_with(|| {
+                    embed_or_random(model, t, &mut buf);
+                    buf.clone()
+                });
+            }
+            toks
+        })
+        .collect();
+
+    let cluster_tokens: Vec<HashSet<&str>> = clusters
+        .iter()
+        .map(|c| c.iter().map(|&i| frequent[i].as_str()).collect())
+        .collect();
+
+    // Dispersion samples per cluster, with and without its tokens.
+    let mut rng = Rng::seed_stream(cfg.seed, 0xa160);
+    let mut d_with: Vec<Vec<f64>> = vec![Vec::with_capacity(cfg.iterations); clusters.len()];
+    let mut d_without: Vec<Vec<f64>> = vec![Vec::with_capacity(cfg.iterations); clusters.len()];
+
+    for _iter in 0..cfg.iterations {
+        let n = cfg.n_entities.min(entities.len());
+        let sample = rng.sample_indices(entities.len(), n);
+        // Centroids with all tokens (shared across clusters).
+        let m1: Vec<Vec<f32>> = sample
+            .iter()
+            .map(|&ei| centroid(&entity_tokens[ei], &token_vec, None, dim))
+            .collect();
+        let base_var = distance_variance(&m1, cfg.n_pairs, &mut rng);
+        for (ci, ctoks) in cluster_tokens.iter().enumerate() {
+            let m2: Vec<Vec<f32>> = sample
+                .iter()
+                .map(|&ei| centroid(&entity_tokens[ei], &token_vec, Some(ctoks), dim))
+                .collect();
+            d_with[ci].push(base_var);
+            d_without[ci].push(distance_variance(&m2, cfg.n_pairs, &mut rng));
+        }
+    }
+
+    let mut stop = HashSet::new();
+    for (ci, ctoks) in cluster_tokens.iter().enumerate() {
+        if let Some(t) = welch_t_test(&d_with[ci], &d_without[ci]) {
+            if t.p_value <= cfg.p_threshold {
+                stop.extend(ctoks.iter().map(|s| s.to_string()));
+            }
+        }
+    }
+    stop
+}
+
+/// Mean of an entity's token vectors, optionally excluding a token set;
+/// falls back to the unfiltered centroid when exclusion empties the name.
+fn centroid(
+    tokens: &[String],
+    token_vec: &HashMap<String, Vec<f32>>,
+    exclude: Option<&HashSet<&str>>,
+    dim: usize,
+) -> Vec<f32> {
+    let mut acc = vec![0.0f32; dim];
+    let mut n = 0usize;
+    for t in tokens {
+        if let Some(ex) = exclude {
+            if ex.contains(t.as_str()) {
+                continue;
+            }
+        }
+        if let Some(v) = token_vec.get(t) {
+            kcb_ml::linalg::axpy(1.0, v, &mut acc);
+            n += 1;
+        }
+    }
+    if n == 0 {
+        return centroid(tokens, token_vec, None, dim);
+    }
+    let inv = 1.0 / n as f32;
+    for a in &mut acc {
+        *a *= inv;
+    }
+    acc
+}
+
+/// Variance of sampled pairwise euclidean distances among representations.
+fn distance_variance(points: &[Vec<f32>], n_pairs: usize, rng: &mut Rng) -> f64 {
+    if points.len() < 2 {
+        return 0.0;
+    }
+    let mut dists = Vec::with_capacity(n_pairs);
+    for _ in 0..n_pairs {
+        let i = rng.below(points.len());
+        let mut j = rng.below(points.len());
+        if i == j {
+            j = (j + 1) % points.len();
+        }
+        dists.push(f64::from(kcb_ml::linalg::euclidean(&points[i], &points[j])));
+    }
+    kcb_ml::stats::variance(&dists)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kcb_embed::Lookup;
+
+    #[test]
+    fn naive_filters_short_tokens_with_fallback() {
+        let a = Adaptation::Naive;
+        assert!(a.keeps("methyl"));
+        assert!(!a.keeps("2s"));
+        assert!(!a.keeps("yl"));
+        let toks: Vec<String> = ["2", "6r", "methyl"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(a.apply(&toks), vec!["methyl"]);
+        let all_short: Vec<String> = ["2", "6r"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(a.apply(&all_short), vec!["2", "6r"], "fallback keeps everything");
+    }
+
+    #[test]
+    fn none_keeps_everything() {
+        let toks: Vec<String> = ["1", "a"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(Adaptation::None.apply(&toks).len(), 2);
+    }
+
+    #[test]
+    fn task_oriented_uses_stop_list() {
+        let stop: HashSet<String> = ["1".to_string(), "2s".to_string()].into_iter().collect();
+        let a = Adaptation::TaskOriented(stop);
+        assert!(!a.keeps("1"));
+        assert!(a.keeps("methyl"));
+        assert_eq!(a.name(), "task-oriented adaptation");
+    }
+
+    /// An embedding model where all digit-ish tokens share one vector
+    /// direction (the pathological similarity the hypothesis targets) and
+    /// content tokens are deterministic random.
+    struct DigitsCollapse;
+    impl EmbeddingModel for DigitsCollapse {
+        fn name(&self) -> &str {
+            "digits-collapse"
+        }
+        fn dim(&self) -> usize {
+            16
+        }
+        fn vocab_size(&self) -> usize {
+            usize::MAX
+        }
+        fn embed_into(&self, token: &str, out: &mut [f32]) -> Lookup {
+            if token.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+                // Near-identical vectors for all locant-like tokens.
+                out.fill(0.0);
+                out[0] = 1.0;
+                out[1] = (token.len() as f32) * 1e-3;
+            } else {
+                kcb_embed::model::random_vector_for(token, out);
+            }
+            Lookup::InVocab
+        }
+    }
+
+    #[test]
+    fn algorithm_2_flags_collapsed_frequent_tokens() {
+        use kcb_ontology::{SyntheticConfig, SyntheticGenerator};
+        let o = SyntheticGenerator::new(SyntheticConfig { scale: 0.01, seed: 44 })
+            .unwrap()
+            .generate();
+        let positives: Vec<Triple> = o.triples().to_vec();
+        let cfg = TaskOrientedConfig {
+            n_entities: 400,
+            iterations: 6,
+            n_pairs: 400,
+            ..TaskOrientedConfig::default()
+        };
+        let stop = task_oriented_stopwords(&o, &positives, &DigitsCollapse, &cfg);
+        assert!(!stop.is_empty(), "should flag at least one cluster");
+        let digit_like = stop
+            .iter()
+            .filter(|t| t.chars().next().is_some_and(|c| c.is_ascii_digit()))
+            .count();
+        assert!(
+            digit_like * 2 > stop.len(),
+            "flagged tokens should be dominated by locants: {stop:?}"
+        );
+    }
+
+    #[test]
+    fn algorithm_2_is_deterministic() {
+        use kcb_ontology::{SyntheticConfig, SyntheticGenerator};
+        let o = SyntheticGenerator::new(SyntheticConfig { scale: 0.005, seed: 44 })
+            .unwrap()
+            .generate();
+        let positives: Vec<Triple> = o.triples().to_vec();
+        let cfg = TaskOrientedConfig {
+            n_entities: 200,
+            iterations: 4,
+            n_pairs: 200,
+            ..TaskOrientedConfig::default()
+        };
+        let a = task_oriented_stopwords(&o, &positives, &DigitsCollapse, &cfg);
+        let b = task_oriented_stopwords(&o, &positives, &DigitsCollapse, &cfg);
+        assert_eq!(a, b);
+    }
+}

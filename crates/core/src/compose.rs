@@ -1,0 +1,334 @@
+//! Triple vectorisation (Algorithm 1, §2.6).
+//!
+//! Triples become feature vectors in two shapes:
+//!
+//! * **averaged-concat** (non-sequential learners like random forest):
+//!   each component (subject / relation / object) is tokenized, filtered by
+//!   the active [`Adaptation`], its token vectors averaged, and the three
+//!   component vectors concatenated;
+//! * **sequence** (RNN learners): token vectors in order with a separator
+//!   vector between components.
+//!
+//! Component encoders are pluggable: token-averaging over any
+//! [`EmbeddingModel`], or contextual `[CLS]` encoding through the mini-BERT
+//! (the paper's PubmedBERT-embeddings variant).
+
+use crate::adapt::Adaptation;
+use crate::task::LabeledTriple;
+use kcb_embed::{embed_or_random, EmbeddingModel};
+use kcb_lm::MiniBert;
+use kcb_ml::linalg::Matrix;
+use kcb_ontology::{Ontology, Triple};
+use kcb_text::{ChemTokenizer, WordPiece};
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// Encodes one triple component (an entity name or relation phrase) into a
+/// fixed-width vector.
+pub trait ComponentEncoder {
+    /// Vector width per component.
+    fn dim(&self) -> usize;
+    /// Encoder display name.
+    fn name(&self) -> String;
+    /// Writes the component representation into `out`.
+    fn encode_component(&self, text: &str, out: &mut [f32]);
+}
+
+/// Token-averaging encoder over a word-embedding model, with the active
+/// adaptation applied after tokenization (Algorithm 1 + §2.7).
+pub struct TokenAvgEncoder<'a> {
+    model: &'a dyn EmbeddingModel,
+    adaptation: Adaptation,
+    tk: ChemTokenizer,
+    cache: RefCell<HashMap<String, Vec<f32>>>,
+}
+
+impl<'a> TokenAvgEncoder<'a> {
+    /// Creates an encoder.
+    pub fn new(model: &'a dyn EmbeddingModel, adaptation: Adaptation) -> Self {
+        Self { model, adaptation, tk: ChemTokenizer::new(), cache: RefCell::new(HashMap::new()) }
+    }
+
+    /// The adaptation in force.
+    pub fn adaptation(&self) -> &Adaptation {
+        &self.adaptation
+    }
+
+    fn token_vector(&self, token: &str, out: &mut [f32]) {
+        let mut cache = self.cache.borrow_mut();
+        if let Some(v) = cache.get(token) {
+            out.copy_from_slice(v);
+            return;
+        }
+        embed_or_random(self.model, token, out);
+        cache.insert(token.to_string(), out.to_vec());
+    }
+}
+
+impl ComponentEncoder for TokenAvgEncoder<'_> {
+    fn dim(&self) -> usize {
+        self.model.dim()
+    }
+
+    fn name(&self) -> String {
+        format!("{} ({})", self.model.name(), self.adaptation.name())
+    }
+
+    fn encode_component(&self, text: &str, out: &mut [f32]) {
+        let tokens = self.tk.tokenize(text);
+        let kept = self.adaptation.apply(&tokens);
+        out.fill(0.0);
+        if kept.is_empty() {
+            return;
+        }
+        let mut buf = vec![0.0f32; out.len()];
+        for t in &kept {
+            self.token_vector(t, &mut buf);
+            kcb_ml::linalg::axpy(1.0, &buf, out);
+        }
+        let inv = 1.0 / kept.len() as f32;
+        for v in out.iter_mut() {
+            *v *= inv;
+        }
+    }
+}
+
+/// Contextual `[CLS]` encoder through the mini-BERT (§2.3: "summed up the
+/// last 4 hidden layers of the special token [CLS] for each component").
+pub struct BertClsEncoder<'a> {
+    bert: &'a MiniBert,
+    wordpiece: &'a WordPiece,
+    tk: ChemTokenizer,
+    cache: RefCell<HashMap<String, Vec<f32>>>,
+}
+
+impl<'a> BertClsEncoder<'a> {
+    /// Creates an encoder.
+    pub fn new(bert: &'a MiniBert, wordpiece: &'a WordPiece) -> Self {
+        Self { bert, wordpiece, tk: ChemTokenizer::new(), cache: RefCell::new(HashMap::new()) }
+    }
+}
+
+impl ComponentEncoder for BertClsEncoder<'_> {
+    fn dim(&self) -> usize {
+        self.bert.config().arch.d_model
+    }
+
+    fn name(&self) -> String {
+        "pubmedbert-mini embeddings".to_string()
+    }
+
+    fn encode_component(&self, text: &str, out: &mut [f32]) {
+        if let Some(v) = self.cache.borrow().get(text) {
+            out.copy_from_slice(v);
+            return;
+        }
+        let words = self.tk.tokenize(text);
+        let mut ids = vec![kcb_text::wordpiece::special::CLS];
+        ids.extend(self.wordpiece.encode_words(words.iter().map(String::as_str)));
+        let v = self.bert.encode(&ids);
+        out.copy_from_slice(&v);
+        self.cache.borrow_mut().insert(text.to_string(), v);
+    }
+}
+
+/// Averaged-concat feature vector of a triple: `[subject | relation |
+/// object]`, 3 × `enc.dim()` wide.
+pub fn triple_vector(o: &Ontology, t: Triple, enc: &dyn ComponentEncoder) -> Vec<f32> {
+    let d = enc.dim();
+    let mut out = vec![0.0f32; 3 * d];
+    enc.encode_component(o.name(t.subject), &mut out[..d]);
+    enc.encode_component(t.relation.phrase(), &mut out[d..2 * d]);
+    enc.encode_component(o.name(t.object), &mut out[2 * d..]);
+    out
+}
+
+/// Feature matrix + label vector for a labelled dataset.
+pub fn dataset_matrix(
+    o: &Ontology,
+    examples: &[LabeledTriple],
+    enc: &dyn ComponentEncoder,
+) -> (Matrix, Vec<bool>) {
+    let d = enc.dim() * 3;
+    let mut data = Vec::with_capacity(examples.len() * d);
+    let mut labels = Vec::with_capacity(examples.len());
+    for e in examples {
+        data.extend_from_slice(&triple_vector(o, e.triple, enc));
+        labels.push(e.label);
+    }
+    (Matrix::from_vec(data, examples.len(), d), labels)
+}
+
+/// Sequence form for RNN learners: token vectors with a separator row
+/// between subject / relation / object (Algorithm 1's RNN branch).
+pub fn triple_sequence(
+    o: &Ontology,
+    t: Triple,
+    model: &dyn EmbeddingModel,
+    adaptation: &Adaptation,
+) -> Matrix {
+    let tk = ChemTokenizer::new();
+    let d = model.dim();
+    let mut sep = vec![0.0f32; d];
+    kcb_embed::model::random_vector_for("<sep>", &mut sep);
+    let mut rows: Vec<Vec<f32>> = Vec::new();
+    let mut buf = vec![0.0f32; d];
+    for (i, text) in
+        [o.name(t.subject), t.relation.phrase(), o.name(t.object)].into_iter().enumerate()
+    {
+        if i > 0 {
+            rows.push(sep.clone());
+        }
+        let tokens = tk.tokenize(text);
+        for tok in adaptation.apply(&tokens) {
+            embed_or_random(model, tok, &mut buf);
+            rows.push(buf.clone());
+        }
+    }
+    if rows.is_empty() {
+        rows.push(sep);
+    }
+    Matrix::from_rows(rows)
+}
+
+/// Sequences + labels for a labelled dataset.
+pub fn dataset_sequences(
+    o: &Ontology,
+    examples: &[LabeledTriple],
+    model: &dyn EmbeddingModel,
+    adaptation: &Adaptation,
+) -> (Vec<Matrix>, Vec<bool>) {
+    let seqs = examples
+        .iter()
+        .map(|e| triple_sequence(o, e.triple, model, adaptation))
+        .collect();
+    let labels = examples.iter().map(|e| e.label).collect();
+    (seqs, labels)
+}
+
+/// WordPiece id sequence for fine-tuning: `[CLS] subject [SEP] relation
+/// [SEP] object [SEP]` (§2.5).
+pub fn triple_token_ids(o: &Ontology, t: Triple, wp: &WordPiece) -> Vec<u32> {
+    use kcb_text::wordpiece::special;
+    let tk = ChemTokenizer::new();
+    let mut ids = vec![special::CLS];
+    for text in [o.name(t.subject), t.relation.phrase(), o.name(t.object)] {
+        let words = tk.tokenize(text);
+        ids.extend(wp.encode_words(words.iter().map(String::as_str)));
+        ids.push(special::SEP);
+    }
+    ids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::TaskKind;
+    use kcb_embed::RandomEmbedding;
+    use kcb_ontology::{SyntheticConfig, SyntheticGenerator};
+
+    fn ontology() -> Ontology {
+        SyntheticGenerator::new(SyntheticConfig { scale: 0.005, seed: 55 })
+            .unwrap()
+            .generate()
+    }
+
+    #[test]
+    fn triple_vector_concatenates_components() {
+        let o = ontology();
+        let model = RandomEmbedding::with_dim(8);
+        let enc = TokenAvgEncoder::new(&model, Adaptation::None);
+        let t = o.triples()[0];
+        let v = triple_vector(&o, t, &enc);
+        assert_eq!(v.len(), 24);
+        // Each third equals the direct component encoding.
+        let mut comp = vec![0.0f32; 8];
+        enc.encode_component(o.name(t.subject), &mut comp);
+        assert_eq!(&v[..8], comp.as_slice());
+        enc.encode_component(o.name(t.object), &mut comp);
+        assert_eq!(&v[16..], comp.as_slice());
+    }
+
+    #[test]
+    fn adaptation_changes_features() {
+        let o = ontology();
+        let model = RandomEmbedding::with_dim(8);
+        // Find a triple whose subject has short tokens.
+        let tk = ChemTokenizer::new();
+        let t = o
+            .triples()
+            .iter()
+            .copied()
+            .find(|t| {
+                let toks = tk.tokenize(o.name(t.subject));
+                toks.iter().any(|x| x.len() < 3) && toks.iter().any(|x| x.len() >= 3)
+            })
+            .expect("synthetic names contain short tokens");
+        let plain = triple_vector(&o, t, &TokenAvgEncoder::new(&model, Adaptation::None));
+        let naive = triple_vector(&o, t, &TokenAvgEncoder::new(&model, Adaptation::Naive));
+        assert_ne!(plain, naive);
+    }
+
+    #[test]
+    fn dataset_matrix_shapes_and_labels() {
+        let o = ontology();
+        let d = crate::task::TaskDataset::generate(&o, TaskKind::RandomNegatives, 1);
+        let model = RandomEmbedding::with_dim(6);
+        let enc = TokenAvgEncoder::new(&model, Adaptation::Naive);
+        let (x, y) = dataset_matrix(&o, &d.examples[..50], &enc);
+        assert_eq!(x.rows(), 50);
+        assert_eq!(x.cols(), 18);
+        assert_eq!(y.len(), 50);
+        assert!(y.iter().any(|&l| l) && y.iter().any(|&l| !l));
+    }
+
+    #[test]
+    fn sequences_have_separators() {
+        let o = ontology();
+        let model = RandomEmbedding::with_dim(5);
+        let t = o.triples()[0];
+        let seq = triple_sequence(&o, t, &model, &Adaptation::None);
+        let tk = ChemTokenizer::new();
+        let expected = tk.count(o.name(t.subject))
+            + tk.count(t.relation.phrase())
+            + tk.count(o.name(t.object))
+            + 2;
+        assert_eq!(seq.rows(), expected);
+        assert_eq!(seq.cols(), 5);
+        // Separator rows are identical.
+        let mut sep = vec![0.0f32; 5];
+        kcb_embed::model::random_vector_for("<sep>", &mut sep);
+        let n_sep = (0..seq.rows()).filter(|&r| seq.row(r) == sep.as_slice()).count();
+        assert_eq!(n_sep, 2);
+    }
+
+    #[test]
+    fn token_ids_follow_cls_sep_layout() {
+        use kcb_text::wordpiece::special;
+        let o = ontology();
+        let wp = kcb_text::WordPieceTrainer { target_vocab: 300, min_pair_count: 1 }.train(
+            &o.entities()
+                .iter()
+                .take(200)
+                .flat_map(|e| ChemTokenizer::new().tokenize(&e.name))
+                .map(|t| (t, 1u64))
+                .collect(),
+        );
+        let t = o.triples()[0];
+        let ids = triple_token_ids(&o, t, &wp);
+        assert_eq!(ids[0], special::CLS);
+        assert_eq!(ids.iter().filter(|&&i| i == special::SEP).count(), 3);
+        assert_eq!(*ids.last().unwrap(), special::SEP);
+    }
+
+    #[test]
+    fn encoder_cache_is_consistent() {
+        let o = ontology();
+        let model = RandomEmbedding::with_dim(8);
+        let enc = TokenAvgEncoder::new(&model, Adaptation::None);
+        let t = o.triples()[0];
+        let a = triple_vector(&o, t, &enc);
+        let b = triple_vector(&o, t, &enc); // second call hits the cache
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,247 @@
+//! Splits and data-availability scenarios (§3.2 and §2.8).
+
+use crate::task::{LabeledTriple, TaskDataset, TaskKind};
+use kcb_util::Rng;
+use serde::Serialize;
+
+/// A train/test (or train/val/test) partition of a task dataset.
+#[derive(Debug, Clone)]
+pub struct Split {
+    /// Training examples.
+    pub train: Vec<LabeledTriple>,
+    /// Validation examples (empty for two-way splits).
+    pub validation: Vec<LabeledTriple>,
+    /// Test examples.
+    pub test: Vec<LabeledTriple>,
+    /// The task.
+    pub task: TaskKind,
+}
+
+impl Split {
+    /// Stratified 9:1 train/test split (the supervised-learning setup).
+    pub fn nine_to_one(d: &TaskDataset, seed: u64) -> Self {
+        Self::stratified(d, &[9.0, 0.0, 1.0], seed)
+    }
+
+    /// Stratified 8:1:1 train/validation/test split (the fine-tuning
+    /// setup).
+    pub fn eight_one_one(d: &TaskDataset, seed: u64) -> Self {
+        Self::stratified(d, &[8.0, 1.0, 1.0], seed)
+    }
+
+    /// Stratified split with arbitrary `[train, validation, test]`
+    /// proportions.
+    pub fn stratified(d: &TaskDataset, weights: &[f64; 3], seed: u64) -> Self {
+        let mut rng = Rng::seed_stream(seed, 0x5971);
+        let mut pos: Vec<LabeledTriple> =
+            d.examples.iter().copied().filter(|e| e.label).collect();
+        let mut neg: Vec<LabeledTriple> =
+            d.examples.iter().copied().filter(|e| !e.label).collect();
+        rng.shuffle(&mut pos);
+        rng.shuffle(&mut neg);
+        let total: f64 = weights.iter().sum();
+        let cut = |n: usize, w: f64| -> usize { ((n as f64) * w / total).round() as usize };
+
+        let mut out = [Vec::new(), Vec::new(), Vec::new()];
+        for class in [pos, neg] {
+            let n = class.len();
+            let n_train = cut(n, weights[0]);
+            let n_val = cut(n, weights[1]);
+            for (i, e) in class.into_iter().enumerate() {
+                if i < n_train {
+                    out[0].push(e);
+                } else if i < n_train + n_val {
+                    out[1].push(e);
+                } else {
+                    out[2].push(e);
+                }
+            }
+        }
+        let [mut train, mut validation, mut test] = out;
+        // Interleave classes.
+        rng.shuffle(&mut train);
+        rng.shuffle(&mut validation);
+        rng.shuffle(&mut test);
+        Self { train, validation, test, task: d.task }
+    }
+}
+
+/// One of the §2.8 data-availability scenarios: a train:test split ratio
+/// combined with a positive:negative imbalance imposed on the training
+/// data.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct Scenario {
+    /// Train size as a multiple of the (constant) test size.
+    pub split: f64,
+    /// Positive-to-negative ratio in the training data (1.0 = balanced,
+    /// 0.125 = 1:8).
+    pub pos_ratio: f64,
+}
+
+impl Scenario {
+    /// Display label like `"Split 9:1, P:N 1:1"`.
+    pub fn label(&self) -> String {
+        let split = if self.split == self.split.trunc() {
+            format!("{}:1", self.split as usize)
+        } else {
+            format!("{}:1", self.split)
+        };
+        let pn = if self.pos_ratio >= 1.0 {
+            "1:1".to_string()
+        } else {
+            format!("1:{}", (1.0 / self.pos_ratio).round() as usize)
+        };
+        format!("Split {split}, P:N {pn}")
+    }
+}
+
+/// The five scenarios of Figure 3: from abundant/balanced to scarce and
+/// heavily imbalanced.
+pub const SCENARIOS: [Scenario; 5] = [
+    Scenario { split: 9.0, pos_ratio: 1.0 },
+    Scenario { split: 7.0, pos_ratio: 0.75 },
+    Scenario { split: 4.0, pos_ratio: 0.5 },
+    Scenario { split: 1.0, pos_ratio: 0.25 },
+    Scenario { split: 0.5, pos_ratio: 0.125 },
+];
+
+/// Builds the §2.8 experiment data: a reduced pool (`fraction` of the full
+/// dataset), a constant test set (one "unit" of the pool), and a training
+/// set sized and imbalanced per the scenario.
+pub fn scenario_split(d: &TaskDataset, fraction: f64, sc: Scenario, seed: u64) -> Split {
+    assert!(fraction > 0.0 && fraction <= 1.0, "fraction in (0,1]");
+    let mut rng = Rng::seed_stream(seed, 0x5ce0);
+    // Reduced pool, stratified.
+    let mut pos: Vec<LabeledTriple> = d.examples.iter().copied().filter(|e| e.label).collect();
+    let mut neg: Vec<LabeledTriple> = d.examples.iter().copied().filter(|e| !e.label).collect();
+    rng.shuffle(&mut pos);
+    rng.shuffle(&mut neg);
+    pos.truncate(((pos.len() as f64) * fraction).round() as usize);
+    neg.truncate(((neg.len() as f64) * fraction).round() as usize);
+
+    // Constant balanced test set = pool / 10. Degenerate pools (a class
+    // with < 2 examples after reduction) cannot support a scenario sweep.
+    let test_per_class =
+        (((pos.len().min(neg.len()) as f64) / 10.0).round() as usize).max(1);
+    assert!(
+        pos.len() > test_per_class && neg.len() > test_per_class,
+        "scenario_split: reduced pool too small ({} pos / {} neg for a test draw of {});          raise `fraction` or the dataset size",
+        pos.len(),
+        neg.len(),
+        test_per_class
+    );
+    let test: Vec<LabeledTriple> = pos
+        .drain(..test_per_class)
+        .chain(neg.drain(..test_per_class))
+        .collect();
+
+    // Training budget: split × test size, imbalanced pos_ratio : 1.
+    let budget = ((sc.split * (2 * test_per_class) as f64).round() as usize)
+        .min(pos.len() + neg.len());
+    let n_pos = (((budget as f64) * sc.pos_ratio / (1.0 + sc.pos_ratio)).round() as usize)
+        .min(pos.len())
+        .max(1);
+    let n_neg = budget.saturating_sub(n_pos).min(neg.len()).max(1);
+    let mut train: Vec<LabeledTriple> =
+        pos[..n_pos].iter().copied().chain(neg[..n_neg].iter().copied()).collect();
+    rng.shuffle(&mut train);
+    let mut test = test;
+    rng.shuffle(&mut test);
+    Split { train, validation: Vec::new(), test, task: d.task }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kcb_ontology::{SyntheticConfig, SyntheticGenerator};
+
+    fn dataset() -> TaskDataset {
+        let o = SyntheticGenerator::new(SyntheticConfig { scale: 0.01, seed: 33 })
+            .unwrap()
+            .generate();
+        TaskDataset::generate(&o, TaskKind::RandomNegatives, 1)
+    }
+
+    #[test]
+    fn nine_to_one_partitions_and_stratifies() {
+        let d = dataset();
+        let s = Split::nine_to_one(&d, 5);
+        assert!(s.validation.is_empty());
+        assert_eq!(s.train.len() + s.test.len(), d.len());
+        let ratio = s.train.len() as f64 / s.test.len() as f64;
+        assert!((ratio - 9.0).abs() < 0.3, "ratio {ratio}");
+        let pos_rate =
+            s.test.iter().filter(|e| e.label).count() as f64 / s.test.len() as f64;
+        assert!((pos_rate - 0.5).abs() < 0.03, "test positive rate {pos_rate}");
+    }
+
+    #[test]
+    fn eight_one_one_has_three_parts() {
+        let d = dataset();
+        let s = Split::eight_one_one(&d, 6);
+        assert!(!s.validation.is_empty());
+        assert_eq!(s.train.len() + s.validation.len() + s.test.len(), d.len());
+        let r = s.train.len() as f64 / s.validation.len() as f64;
+        assert!((r - 8.0).abs() < 0.5, "train/val ratio {r}");
+    }
+
+    #[test]
+    fn splits_are_disjoint() {
+        let d = dataset();
+        let s = Split::eight_one_one(&d, 7);
+        let key = |e: &LabeledTriple| (e.triple.key(), e.label);
+        let train: std::collections::HashSet<_> = s.train.iter().map(key).collect();
+        for e in s.validation.iter().chain(&s.test) {
+            assert!(!train.contains(&key(e)));
+        }
+    }
+
+    #[test]
+    fn scenarios_shrink_and_imbalance_training() {
+        let d = dataset();
+        let mut last_size = usize::MAX;
+        for sc in SCENARIOS {
+            let s = scenario_split(&d, 0.5, sc, 8);
+            assert!(s.train.len() < last_size, "training must shrink across scenarios");
+            last_size = s.train.len();
+            let pos = s.train.iter().filter(|e| e.label).count() as f64;
+            let neg = s.train.len() as f64 - pos;
+            let ratio = pos / neg;
+            assert!(
+                (ratio - sc.pos_ratio).abs() < sc.pos_ratio * 0.35 + 0.05,
+                "{}: measured P:N {ratio} wanted {}",
+                sc.label(),
+                sc.pos_ratio
+            );
+        }
+    }
+
+    #[test]
+    fn scenario_test_sets_are_constant_and_balanced() {
+        let d = dataset();
+        let sizes: Vec<usize> = SCENARIOS
+            .iter()
+            .map(|&sc| scenario_split(&d, 0.5, sc, 8).test.len())
+            .collect();
+        assert!(sizes.windows(2).all(|w| w[0] == w[1]), "test sizes vary: {sizes:?}");
+        let s = scenario_split(&d, 0.5, SCENARIOS[4], 8);
+        let pos = s.test.iter().filter(|e| e.label).count();
+        assert_eq!(pos * 2, s.test.len());
+    }
+
+    #[test]
+    fn scenario_labels_render() {
+        assert_eq!(SCENARIOS[0].label(), "Split 9:1, P:N 1:1");
+        assert_eq!(SCENARIOS[4].label(), "Split 0.5:1, P:N 1:8");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let d = dataset();
+        let a = Split::nine_to_one(&d, 11);
+        let b = Split::nine_to_one(&d, 11);
+        assert_eq!(a.train, b.train);
+        let c = Split::nine_to_one(&d, 12);
+        assert_ne!(a.train, c.train);
+    }
+}

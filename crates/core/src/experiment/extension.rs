@@ -1,0 +1,92 @@
+//! Extension experiments beyond the paper's artifacts.
+//!
+//! The paper's future-work section names one concrete follow-up:
+//! "Future work should evaluate the use of open source GPT models like
+//! Meta's Llama2." [`ext_llama2`] runs the full Table-5 protocol over the
+//! Llama-2-class oracle profile alongside the two calibrated GPT profiles,
+//! answering where an open-weight mid-tier model would land.
+
+use crate::lab::Lab;
+use crate::paradigm::icl::{split_prompt_setup, QueryPolicy};
+use crate::report::Artifact;
+use crate::task::TaskKind;
+use kcb_icl::{run_protocol, LlmOracle, OracleProfile, PromptVariant};
+use kcb_util::fmt::{mean_sd, metric, percent, Table};
+
+/// Extension: the paper's Table 5 protocol with a Llama-2-class
+/// open-weight oracle in the line-up.
+pub fn ext_llama2(lab: &Lab) -> Artifact {
+    let mut a = Artifact::new(
+        "Extension: Llama2-sim",
+        "The paper's future work — an open-weight mid-tier model under the Table 5 protocol",
+    );
+    let oracles = [
+        LlmOracle::new(OracleProfile::gpt35_sim()),
+        LlmOracle::new(OracleProfile::llama2_sim()),
+        LlmOracle::new(OracleProfile::gpt4_sim()),
+    ];
+    let mut json = Vec::new();
+    for task in TaskKind::ALL {
+        let mut t = Table::new(
+            format!("Task {} — {}", task.number(), task.describe()),
+            &["Model", "Prompt", "Accuracy (SD)", "Unclassified (%)", "F1 (SD)", "Kappa"],
+        )
+        .numeric_after(2);
+        let (builder, items) = split_prompt_setup(
+            lab.ontology(),
+            lab.split(task),
+            QueryPolicy { n_per_class: lab.config().icl_queries, ..QueryPolicy::default() },
+            lab.config().seed,
+        );
+        for oracle in &oracles {
+            for variant in PromptVariant::ALL {
+                let r = run_protocol(
+                    oracle,
+                    &builder,
+                    &items,
+                    variant,
+                    lab.config().icl_repeats,
+                    lab.config().seed,
+                );
+                t.row(vec![
+                    r.model.clone(),
+                    r.variant.clone(),
+                    mean_sd(r.accuracy_mean, r.accuracy_sd),
+                    format!("{} ({})", r.n_unclassified, percent(r.pct_unclassified)),
+                    mean_sd(r.f1_mean, r.f1_sd),
+                    metric(r.kappa),
+                ]);
+                json.push(serde_json::to_value(&r).expect("serializable"));
+            }
+        }
+        a.push_table(t);
+    }
+    a.set_json(serde_json::Value::Array(json));
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lab::LabConfig;
+
+    #[test]
+    fn llama2_lands_between_gpt35_and_gpt4_below() {
+        let lab = Lab::new(LabConfig::tiny());
+        let a = ext_llama2(&lab);
+        let rows = a.json.as_array().unwrap();
+        assert_eq!(rows.len(), 27);
+        // Averaged over tasks at variant #1: gpt4 > gpt35 > llama2.
+        let mean_acc = |model: &str| -> f64 {
+            let accs: Vec<f64> = rows
+                .iter()
+                .filter(|r| r["model"] == model && r["variant"] == "#1")
+                .map(|r| r["accuracy_mean"].as_f64().unwrap())
+                .collect();
+            accs.iter().sum::<f64>() / accs.len() as f64
+        };
+        let (g4, g35, ll) = (mean_acc("gpt-4-sim"), mean_acc("gpt-3.5-sim"), mean_acc("llama2-sim"));
+        assert!(g4 > g35 && g35 > ll, "ordering: {g4:.3} / {g35:.3} / {ll:.3}");
+        assert!(ll > 0.5, "llama2 is better than chance: {ll:.3}");
+    }
+}

@@ -1,0 +1,88 @@
+//! Fine-tuning artifacts: Table 4.
+
+use crate::dataset::Split;
+use crate::lab::Lab;
+use crate::paradigm::ft::run_fine_tune;
+use crate::report::Artifact;
+use crate::task::TaskKind;
+use kcb_util::fmt::{count, metric, Table};
+
+/// Table 4: fine-tuning datasets (8:1:1) and the fine-tuned mini-BERT's
+/// test performance on each task.
+pub fn table4(lab: &Lab) -> Artifact {
+    let mut a = Artifact::new(
+        "Table 4",
+        "Fine-tuning datasets and performances of fine-tuned PubmedBERT-mini on three tasks",
+    );
+    let mut t = Table::new(
+        "8:1:1 stratified splits",
+        &["Task", "Training", "Validation", "Test", "Accuracy", "Precision", "Recall", "F1"],
+    )
+    .numeric_after(1);
+    let mut json = Vec::new();
+    let (bert, snapshot) = lab.bert();
+    for task in TaskKind::ALL {
+        let full = Split::eight_one_one(lab.task(task), lab.config().seed);
+        // Cap set sizes for tractability; ratios preserved.
+        let cap = lab.config().ft_train_cap;
+        let split = Split {
+            train: full.train[..full.train.len().min(cap)].to_vec(),
+            validation: full.validation[..full.validation.len().min(cap / 8)].to_vec(),
+            test: full.test[..full.test.len().min(cap / 4)].to_vec(),
+            task,
+        };
+        bert.restore(snapshot);
+        let run = run_fine_tune(lab.ontology(), &split, bert, lab.wordpiece(), &lab.config().ft_schedule);
+        bert.restore(snapshot);
+        t.row(vec![
+            format!("Task {}", task.number()),
+            count(run.sizes.0),
+            count(run.sizes.1),
+            count(run.sizes.2),
+            metric(run.metrics.accuracy),
+            metric(run.metrics.precision),
+            metric(run.metrics.recall),
+            metric(run.metrics.f1),
+        ]);
+        json.push(serde_json::json!({
+            "task": task.number(),
+            "train": run.sizes.0,
+            "validation": run.sizes.1,
+            "test": run.sizes.2,
+            "accuracy": run.metrics.accuracy,
+            "precision": run.metrics.precision,
+            "recall": run.metrics.recall,
+            "f1": run.metrics.f1,
+        }));
+    }
+    a.push_table(t);
+    a.set_json(serde_json::Value::Array(json));
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lab::LabConfig;
+
+    #[test]
+    fn table4_runs_all_tasks_and_restores_bert() {
+        let lab = Lab::new(LabConfig::tiny());
+        let before = {
+            let (bert, snapshot) = lab.bert();
+            bert.restore(snapshot);
+            bert.predict_proba(&[2, 7, 8])
+        };
+        let a = table4(&lab);
+        let rows = a.json.as_array().unwrap();
+        assert_eq!(rows.len(), 3);
+        for r in rows {
+            let acc = r["accuracy"].as_f64().unwrap();
+            assert!((0.0..=1.0).contains(&acc));
+            assert!(r["train"].as_u64().unwrap() > 0);
+        }
+        // Lab BERT is back at its pre-trained checkpoint afterwards.
+        let (bert, _) = lab.bert();
+        assert_eq!(bert.predict_proba(&[2, 7, 8]), before);
+    }
+}

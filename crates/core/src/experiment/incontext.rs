@@ -1,0 +1,122 @@
+//! In-context-learning artifacts: Table 5.
+
+use crate::lab::Lab;
+use crate::paradigm::icl::{split_prompt_setup, QueryPolicy};
+use crate::report::Artifact;
+use crate::task::TaskKind;
+use kcb_icl::{run_protocol, IclResult, LlmOracle, OracleProfile, PromptVariant, PromptedModel};
+use kcb_util::fmt::{mean_sd, metric, percent, Table};
+
+/// Table 5: ICL effectiveness and consistency for the three models under
+/// the three prompt formulations, on all tasks.
+pub fn table5(lab: &Lab) -> Artifact {
+    let mut a = Artifact::new(
+        "Table 5",
+        "In-context learning: GPT-3.5-sim, BioGPT-mini and GPT-4-sim under three prompt variants",
+    );
+    let gpt35 = LlmOracle::new(OracleProfile::gpt35_sim());
+    let gpt4 = LlmOracle::new(OracleProfile::gpt4_sim());
+    let biogpt = lab.biogpt();
+    let models: [&dyn PromptedModel; 3] = [&gpt35, biogpt, &gpt4];
+
+    let mut json = Vec::new();
+    for task in TaskKind::ALL {
+        let mut t = Table::new(
+            format!(
+                "Task {} — {} (relationship type: is_a)",
+                task.number(),
+                task.describe()
+            ),
+            &[
+                "Model",
+                "Prompt",
+                "Accuracy (SD)",
+                "Unclassified (%)",
+                "Precision (SD)",
+                "Recall (SD)",
+                "F1 (SD)",
+                "Kappa",
+            ],
+        )
+        .numeric_after(2);
+        let (builder, items) = split_prompt_setup(
+            lab.ontology(),
+            lab.split(task),
+            QueryPolicy { n_per_class: lab.config().icl_queries, ..QueryPolicy::default() },
+            lab.config().seed,
+        );
+        for model in models {
+            for variant in PromptVariant::ALL {
+                let r: IclResult = run_protocol(
+                    model,
+                    &builder,
+                    &items,
+                    variant,
+                    lab.config().icl_repeats,
+                    lab.config().seed,
+                );
+                t.row(vec![
+                    r.model.clone(),
+                    r.variant.clone(),
+                    mean_sd(r.accuracy_mean, r.accuracy_sd),
+                    format!("{} ({})", r.n_unclassified, percent(r.pct_unclassified)),
+                    mean_sd(r.precision_mean, r.precision_sd),
+                    mean_sd(r.recall_mean, r.recall_sd),
+                    mean_sd(r.f1_mean, r.f1_sd),
+                    metric(r.kappa),
+                ]);
+                json.push(serde_json::to_value(&r).expect("serializable"));
+            }
+        }
+        a.push_table(t);
+    }
+    a.set_json(serde_json::Value::Array(json));
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lab::LabConfig;
+
+    #[test]
+    fn table5_reproduces_the_icl_ordering() {
+        let lab = Lab::new(LabConfig::tiny());
+        let a = table5(&lab);
+        let rows = a.json.as_array().unwrap();
+        // 3 tasks × 3 models × 3 variants.
+        assert_eq!(rows.len(), 27);
+        let acc = |model: &str, task: u64, variant: &str| -> f64 {
+            rows.iter()
+                .find(|r| r["model"] == model && r["task"] == task && r["variant"] == variant)
+                .map(|r| r["accuracy_mean"].as_f64().unwrap())
+                .unwrap()
+        };
+        for task in 1..=3u64 {
+            // GPT-4-sim > GPT-3.5-sim > BioGPT-mini on every task (#1).
+            assert!(
+                acc("gpt-4-sim", task, "#1") > acc("gpt-3.5-sim", task, "#1"),
+                "task {task}"
+            );
+            assert!(
+                acc("gpt-3.5-sim", task, "#1") > acc("biogpt-mini", task, "#1") - 0.05,
+                "task {task}: biogpt {} suspiciously strong",
+                acc("biogpt-mini", task, "#1")
+            );
+        }
+        // BioGPT behaves near chance with low kappa.
+        let biogpt_kappa = rows
+            .iter()
+            .filter(|r| r["model"] == "biogpt-mini")
+            .map(|r| r["kappa"].as_f64().unwrap())
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(biogpt_kappa < 0.6, "biogpt kappa {biogpt_kappa}");
+        // Variant #2 produces abstentions for the oracles.
+        let idk: u64 = rows
+            .iter()
+            .filter(|r| r["variant"] == "#2" && r["model"] != "biogpt-mini")
+            .map(|r| r["n_unclassified"].as_u64().unwrap())
+            .sum();
+        assert!(idk > 0);
+    }
+}

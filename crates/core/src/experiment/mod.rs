@@ -1,0 +1,64 @@
+//! Experiment runners — one per paper table/figure (see DESIGN.md §3 for
+//! the full index). Each runner consumes a [`crate::Lab`] and returns a
+//! [`crate::report::Artifact`].
+
+pub mod ablation;
+pub mod extension;
+pub mod finetune;
+pub mod head_to_head;
+pub mod incontext;
+pub mod scenarios;
+pub mod summary;
+pub mod supervised;
+pub mod tables;
+
+use crate::lab::Lab;
+use crate::report::Artifact;
+
+/// All artifact ids, in paper order.
+pub const ALL_IDS: &[&str] = &[
+    "table2", "table3a", "table3b", "table4", "table5", "table6", "tableA1", "tableA2", "tableA3",
+    "tableA4", "tableA5", "tableA6", "tableA7", "fig2", "fig3", "figA1", "figA2",
+];
+
+/// Ablation ids (run on demand; not part of `all`).
+pub const ABLATION_IDS: &[&str] =
+    &["ablation-corpus", "ablation-dim", "ablation-forest", "ablation-adapt"];
+
+/// The scorecard id (run on demand).
+pub const SUMMARY_ID: &str = "summary";
+
+/// Extension-experiment ids (beyond the paper; run on demand).
+pub const EXTENSION_IDS: &[&str] = &["ext-llama2"];
+
+/// Runs one artifact by id (case-insensitive). Returns `None` for unknown
+/// ids.
+pub fn run(lab: &Lab, id: &str) -> Option<Artifact> {
+    let artifact = match id.to_ascii_lowercase().as_str() {
+        "table2" => tables::table2(lab),
+        "table3a" => supervised::table3a(lab),
+        "table3b" => supervised::table3b(lab),
+        "table4" => finetune::table4(lab),
+        "table5" => incontext::table5(lab),
+        "table6" => head_to_head::table6(lab),
+        "tablea1" => tables::table_a1(lab),
+        "tablea2" => tables::table_a2(lab),
+        "tablea3" => tables::table_a3(lab),
+        "tablea4" => tables::table_a4(lab),
+        "tablea5" => tables::table_a5(lab),
+        "tablea6" => supervised::table_a6(lab),
+        "tablea7" => supervised::table_a7(lab),
+        "fig2" => supervised::fig2(lab),
+        "fig3" => scenarios::fig3(lab),
+        "figa1" => supervised::fig_a1(lab),
+        "figa2" => scenarios::fig_a2(lab),
+        "ablation-corpus" => ablation::ablation_corpus(lab),
+        "ablation-dim" => ablation::ablation_dim(lab),
+        "ablation-forest" => ablation::ablation_forest(lab),
+        "ablation-adapt" => ablation::ablation_adaptation(lab),
+        "summary" => summary::summary(lab),
+        "ext-llama2" => extension::ext_llama2(lab),
+        _ => return None,
+    };
+    Some(artifact)
+}

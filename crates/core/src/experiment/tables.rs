@@ -1,0 +1,260 @@
+//! Dataset- and ontology-statistics artifacts: Table 2 and Tables A1–A5.
+
+use crate::lab::Lab;
+use crate::report::Artifact;
+use crate::task::TaskKind;
+use kcb_embed::{oov_rate, EmbeddingModel};
+use kcb_ontology::{OntologyStats, Relation, SubOntology};
+use kcb_text::ChemTokenizer;
+use kcb_util::fmt::{count, percent, Table};
+use std::collections::HashSet;
+
+/// Table 2: statistics of the generated task datasets and their 9:1
+/// supervised-learning splits.
+pub fn table2(lab: &Lab) -> Artifact {
+    let mut a = Artifact::new("Table 2", "Statistics of generated datasets for three tasks");
+    let mut t = Table::new(
+        "Triples / training / test (9:1 stratified split)",
+        &[
+            "Task",
+            "#positive",
+            "#negative",
+            "train #pos",
+            "train #neg",
+            "test #pos",
+            "test #neg",
+            "Total",
+        ],
+    )
+    .numeric_after(1);
+    let mut json = Vec::new();
+    for task in TaskKind::ALL {
+        let d = lab.task(task);
+        let s = lab.split(task);
+        let tp = s.train.iter().filter(|e| e.label).count();
+        let xp = s.test.iter().filter(|e| e.label).count();
+        t.row(vec![
+            format!("Task {}", task.number()),
+            count(d.n_positive()),
+            count(d.n_negative()),
+            count(tp),
+            count(s.train.len() - tp),
+            count(xp),
+            count(s.test.len() - xp),
+            count(d.len()),
+        ]);
+        json.push(serde_json::json!({
+            "task": task.number(),
+            "positive": d.n_positive(),
+            "negative": d.n_negative(),
+            "train": s.train.len(),
+            "test": s.test.len(),
+            "total": d.len(),
+        }));
+    }
+    a.push_table(t);
+    a.set_json(serde_json::Value::Array(json));
+    a
+}
+
+/// Table A1: the ChEBI sub-ontologies with generated entity counts.
+pub fn table_a1(lab: &Lab) -> Artifact {
+    let mut a = Artifact::new("Table A1", "Included ChEBI sub-ontologies");
+    let mut t = Table::new(
+        "Sub-ontologies",
+        &["Sub-ontology", "Definition", "Examples", "Entities (generated)"],
+    )
+    .numeric_after(3);
+    let o = lab.ontology();
+    let mut json = Vec::new();
+    for so in SubOntology::ALL {
+        let n = o.entities_of(so).count();
+        t.row(vec![
+            so.name().to_string(),
+            so.definition().to_string(),
+            so.examples().to_string(),
+            count(n),
+        ]);
+        json.push(serde_json::json!({"name": so.name(), "entities": n}));
+    }
+    a.push_table(t);
+    a.set_json(serde_json::Value::Array(json));
+    a
+}
+
+/// Table A2: the relationship-type catalogue.
+pub fn table_a2(_lab: &Lab) -> Artifact {
+    let mut a = Artifact::new("Table A2", "Included ChEBI relationship types");
+    let mut t = Table::new("Relationships", &["Relationship", "Description", "Example"]);
+    for r in Relation::ALL {
+        t.row(vec![
+            r.phrase().to_string(),
+            r.description().to_string(),
+            r.example().to_string(),
+        ]);
+    }
+    a.push_table(t);
+    a.set_json(serde_json::json!(Relation::ALL
+        .iter()
+        .map(|r| r.ident())
+        .collect::<Vec<_>>()));
+    a
+}
+
+/// Table A3: triples per relationship type (generated vs paper).
+pub fn table_a3(lab: &Lab) -> Artifact {
+    let mut a = Artifact::new("Table A3", "Numbers of triples per relationship type");
+    let stats = OntologyStats::compute(lab.ontology());
+    let scale = lab.config().scale;
+    let mut t = Table::new(
+        format!("Relationship mix at scale {scale} (paper column scaled for comparison)"),
+        &["Relationship type", "Generated", "Paper × scale"],
+    )
+    .numeric_after(1);
+    let mut json = Vec::new();
+    for (name, n) in &stats.triples_by_relation {
+        let ident: String = name.clone();
+        let paper = Relation::ALL
+            .iter()
+            .find(|r| r.ident() == ident)
+            .map(|r| ((r.chebi_count() as f64) * scale).round() as usize)
+            .unwrap_or(0);
+        t.row(vec![name.replace('_', " "), count(*n), count(paper)]);
+        json.push(serde_json::json!({"relation": name, "generated": n, "paper_scaled": paper}));
+    }
+    t.row(vec![
+        "Total #triples".into(),
+        count(stats.n_triples),
+        count((318_438.0 * scale).round() as usize),
+    ]);
+    a.push_table(t);
+    a.set_json(serde_json::Value::Array(json));
+    a
+}
+
+/// Table A4: embedding vocabulary sizes, dimensions and OOV statistics
+/// against the unique tokens of the ontology.
+pub fn table_a4(lab: &Lab) -> Artifact {
+    let mut a = Artifact::new("Table A4", "Embedding model size and out-of-vocabulary statistics");
+    // Unique tokens across all entity names (the paper's 47,701 analogue).
+    let tk = ChemTokenizer::new();
+    let mut unique: HashSet<String> = HashSet::new();
+    for e in lab.ontology().entities() {
+        unique.extend(tk.tokenize(&e.name));
+    }
+    let tokens: Vec<&str> = {
+        let mut v: Vec<&str> = unique.iter().map(String::as_str).collect();
+        v.sort_unstable();
+        v
+    };
+    let mut t = Table::new(
+        format!("{} unique ontology tokens", count(tokens.len())),
+        &["Embedding model", "Vocabulary size", "Dimensions", "OOV", "OOV %"],
+    )
+    .numeric_after(1);
+    let mut json = Vec::new();
+    for name in crate::lab::EMBEDDING_NAMES {
+        let model: &dyn EmbeddingModel = lab.embedding(name);
+        let (oov, total) = oov_rate(model, tokens.iter().copied());
+        let vocab = if model.vocab_size() == usize::MAX {
+            "unbounded".to_string()
+        } else {
+            count(model.vocab_size())
+        };
+        t.row(vec![
+            name.to_string(),
+            vocab,
+            model.dim().to_string(),
+            count(oov),
+            percent(oov as f64 / total as f64),
+        ]);
+        json.push(serde_json::json!({
+            "model": name,
+            "dim": model.dim(),
+            "oov": oov,
+            "total": total,
+        }));
+    }
+    // The WordPiece (PubmedBERT-mini) row: subword tokenizers have no OOV.
+    t.row(vec![
+        "pubmedbert-mini".into(),
+        count(lab.wordpiece().vocab_size()),
+        lab.config().bert_arch.d_model.to_string(),
+        "-".into(),
+        "-".into(),
+    ]);
+    a.push_table(t);
+    a.set_json(serde_json::Value::Array(json));
+    a
+}
+
+/// Table A5: the top-50 most frequent tokens in head and tail entities.
+pub fn table_a5(lab: &Lab) -> Artifact {
+    let mut a = Artifact::new("Table A5", "Most frequent tokens in head and tail entities");
+    let positives = crate::task::positive_triples(lab.ontology(), TaskKind::RandomNegatives);
+    a.push_table(kcb_text::freq::table_a5(lab.ontology(), &positives, 50));
+    let tf = kcb_text::freq::TokenFrequency::compute(
+        lab.ontology(),
+        &positives,
+        &ChemTokenizer::new(),
+    );
+    a.set_json(serde_json::json!({
+        "head": tf.top_head(50),
+        "tail": tf.top_tail(50),
+    }));
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lab::LabConfig;
+
+    #[test]
+    fn statistics_artifacts_render_at_tiny_scale() {
+        let lab = Lab::new(LabConfig::tiny());
+        for (id, artifact) in [
+            ("Table 2", table2(&lab)),
+            ("Table A1", table_a1(&lab)),
+            ("Table A2", table_a2(&lab)),
+            ("Table A3", table_a3(&lab)),
+            ("Table A5", table_a5(&lab)),
+        ] {
+            let text = artifact.render();
+            assert!(text.contains(id), "{id} header missing");
+            assert!(text.len() > 100, "{id} suspiciously empty");
+            assert!(!artifact.json.is_null(), "{id} lacks JSON payload");
+        }
+    }
+
+    #[test]
+    fn table2_totals_are_consistent() {
+        let lab = Lab::new(LabConfig::tiny());
+        let a = table2(&lab);
+        let rows = a.json.as_array().unwrap();
+        for row in rows {
+            let pos = row["positive"].as_u64().unwrap();
+            let neg = row["negative"].as_u64().unwrap();
+            assert_eq!(pos + neg, row["total"].as_u64().unwrap());
+            assert_eq!(
+                row["train"].as_u64().unwrap() + row["test"].as_u64().unwrap(),
+                row["total"].as_u64().unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn table_a4_generic_glove_has_higher_oov_than_domain_models() {
+        let lab = Lab::new(LabConfig::tiny());
+        let a = table_a4(&lab);
+        let rows = a.json.as_array().unwrap();
+        let oov_pct = |name: &str| -> f64 {
+            let r = rows.iter().find(|r| r["model"] == name).unwrap();
+            r["oov"].as_f64().unwrap() / r["total"].as_f64().unwrap()
+        };
+        // Paper Table A4 ordering: GloVe (87.8%) > W2V-Chem (71.2%) >
+        // GloVe-Chem (64.2%) > BioWordVec (47.8%); random has none.
+        assert!(oov_pct("glove") > oov_pct("glove-chem"), "generic worse than adapted");
+        assert_eq!(oov_pct("random"), 0.0);
+    }
+}

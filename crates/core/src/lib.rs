@@ -1,0 +1,24 @@
+//! The knowledge-curation benchmark (the paper's contribution).
+//!
+//! Everything above the substrates lives here: the three curation tasks
+//! and their negative samplers ([`task`], §2.2), dataset splits and the
+//! five data-availability scenarios ([`dataset`], §2.8 and §3.2), the
+//! Algorithm 1 triple-vectorisation ([`compose`]) and the two
+//! hypothesis-driven adaptations including Algorithm 2 ([`adapt`], §2.7),
+//! the three NLP-paradigm pipelines ([`paradigm`]), the shared experiment
+//! environment that builds and caches ontology / corpora / embeddings /
+//! language models at a chosen scale ([`lab`]), and the per-table /
+//! per-figure experiment runners with their report writers ([`experiment`],
+//! [`report`]).
+
+pub mod adapt;
+pub mod compose;
+pub mod dataset;
+pub mod experiment;
+pub mod lab;
+pub mod paradigm;
+pub mod report;
+pub mod task;
+
+pub use dataset::{Scenario, Split, SCENARIOS};
+pub use task::{LabeledTriple, TaskDataset, TaskKind};

@@ -1,0 +1,192 @@
+//! NLP paradigm: in-context learning (§2.4, §3.2's ICL data rules).
+//!
+//! This module adapts task datasets into the `kcb-icl` protocol: few-shot
+//! examples are drawn from *training* data, queries from held-out data;
+//! for the Table 5 experiments queries are restricted to short `is_a`
+//! triples exactly as the paper prescribes ("all triples chosen are of the
+//! relationship type is_a ... less than 60 tokens").
+
+use crate::dataset::Split;
+use crate::task::{LabeledTriple, TaskKind};
+use kcb_icl::{FewShotExample, PromptBuilder, PromptItem};
+use kcb_ontology::{Ontology, Relation};
+use kcb_text::ChemTokenizer;
+use kcb_util::Rng;
+
+/// Builds the few-shot example pool (three positive + three negative
+/// training triples, §2.4).
+pub fn build_examples(o: &Ontology, train: &[LabeledTriple], seed: u64) -> PromptBuilder {
+    let mut rng = Rng::seed_stream(seed, 0xe9a);
+    let mut pos: Vec<&LabeledTriple> = train.iter().filter(|e| e.label).collect();
+    let mut neg: Vec<&LabeledTriple> = train.iter().filter(|e| !e.label).collect();
+    assert!(pos.len() >= 3 && neg.len() >= 3, "need ≥3 examples per class");
+    rng.shuffle(&mut pos);
+    rng.shuffle(&mut neg);
+    let take = |v: &[&LabeledTriple], label: bool| -> Vec<FewShotExample> {
+        v.iter()
+            .take(3)
+            .map(|e| FewShotExample { text: o.render(e.triple), label })
+            .collect()
+    };
+    PromptBuilder::new(take(&pos, true), take(&neg, false))
+}
+
+/// Query-selection policy.
+#[derive(Debug, Clone, Copy)]
+pub struct QueryPolicy {
+    /// Queries per class.
+    pub n_per_class: usize,
+    /// Restrict to `is_a` triples (the Table 5 setup). The Table 6
+    /// head-to-head lifts this restriction (§3.2).
+    pub is_a_only: bool,
+    /// Maximum rendered-token length ("less than 60 tokens").
+    pub max_tokens: usize,
+}
+
+impl Default for QueryPolicy {
+    fn default() -> Self {
+        Self { n_per_class: 50, is_a_only: true, max_tokens: 60 }
+    }
+}
+
+/// Draws query items from a pool per the policy.
+pub fn build_queries(
+    o: &Ontology,
+    pool: &[LabeledTriple],
+    task: TaskKind,
+    policy: QueryPolicy,
+    seed: u64,
+) -> Vec<PromptItem> {
+    let tk = ChemTokenizer::new();
+    let mut rng = Rng::seed_stream(seed, 0x9e3);
+    let mut out = Vec::with_capacity(policy.n_per_class * 2);
+    for want_label in [true, false] {
+        let mut candidates: Vec<&LabeledTriple> = pool
+            .iter()
+            .filter(|e| e.label == want_label)
+            .filter(|e| !policy.is_a_only || e.triple.relation == Relation::IsA)
+            .collect();
+        rng.shuffle(&mut candidates);
+        let mut taken = 0;
+        for e in candidates {
+            if taken >= policy.n_per_class {
+                break;
+            }
+            let text = o.render(e.triple);
+            if tk.count(&text) >= policy.max_tokens {
+                continue;
+            }
+            out.push(PromptItem {
+                text,
+                label: e.label,
+                task: task.number(),
+                key: triple_key(e),
+            });
+            taken += 1;
+        }
+        assert!(
+            taken > 0,
+            "no usable {} queries (pool too small or policy too strict)",
+            if want_label { "positive" } else { "negative" }
+        );
+    }
+    rng.shuffle(&mut out);
+    out
+}
+
+/// Convenience: examples from the training side, queries from the test
+/// side of a split.
+pub fn split_prompt_setup(
+    o: &Ontology,
+    split: &Split,
+    policy: QueryPolicy,
+    seed: u64,
+) -> (PromptBuilder, Vec<PromptItem>) {
+    let builder = build_examples(o, &split.train, seed);
+    let items = build_queries(o, &split.test, split.task, policy, seed);
+    (builder, items)
+}
+
+fn triple_key(e: &LabeledTriple) -> u64 {
+    let (s, r, ob) = e.triple.key();
+    kcb_util::fnv1a_u64s(&[u64::from(s), u64::from(r), u64::from(ob), u64::from(e.label)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Split;
+    use crate::task::TaskDataset;
+    use kcb_ontology::{SyntheticConfig, SyntheticGenerator};
+
+    fn setup() -> (Ontology, Split) {
+        let o = SyntheticGenerator::new(SyntheticConfig { scale: 0.01, seed: 88 })
+            .unwrap()
+            .generate();
+        let d = TaskDataset::generate(&o, TaskKind::RandomNegatives, 1);
+        let split = Split::nine_to_one(&d, 2);
+        (o, split)
+    }
+
+    #[test]
+    fn examples_come_from_training_data() {
+        let (o, split) = setup();
+        let b = build_examples(&o, &split.train, 3);
+        assert_eq!(b.n_examples(), 6);
+    }
+
+    #[test]
+    fn queries_respect_policy() {
+        let (o, split) = setup();
+        let policy = QueryPolicy { n_per_class: 20, is_a_only: true, max_tokens: 60 };
+        let items = build_queries(&o, &split.test, TaskKind::RandomNegatives, policy, 4);
+        assert_eq!(items.len(), 40);
+        assert_eq!(items.iter().filter(|i| i.label).count(), 20);
+        let tk = ChemTokenizer::new();
+        for i in &items {
+            assert!(i.text.contains(" is a "), "is_a only: {}", i.text);
+            assert!(tk.count(&i.text) < 60);
+            assert_eq!(i.task, 1);
+        }
+        // Keys unique.
+        let keys: std::collections::HashSet<u64> = items.iter().map(|i| i.key).collect();
+        assert_eq!(keys.len(), items.len());
+    }
+
+    #[test]
+    fn head_to_head_policy_allows_all_relations() {
+        let (o, split) = setup();
+        let policy = QueryPolicy { n_per_class: 40, is_a_only: false, max_tokens: 200 };
+        let items = build_queries(&o, &split.test, TaskKind::RandomNegatives, policy, 5);
+        let non_isa = items.iter().filter(|i| !i.text.contains(" is a ")).count();
+        assert!(non_isa > 0, "expected some non-is_a queries");
+    }
+
+    #[test]
+    fn full_icl_round_trip_with_oracle() {
+        use kcb_icl::{run_protocol, LlmOracle, OracleProfile, PromptVariant};
+        let (o, split) = setup();
+        let (builder, items) = split_prompt_setup(
+            &o,
+            &split,
+            QueryPolicy { n_per_class: 25, ..QueryPolicy::default() },
+            6,
+        );
+        let oracle = LlmOracle::new(OracleProfile::gpt4_sim());
+        let r = run_protocol(&oracle, &builder, &items, PromptVariant::Base, 5, 7);
+        assert!(r.accuracy_mean > 0.8, "gpt-4-sim task-1 accuracy {}", r.accuracy_mean);
+        assert!(r.kappa > 0.85);
+    }
+
+    #[test]
+    fn deterministic() {
+        let (o, split) = setup();
+        let a = build_queries(&o, &split.test, TaskKind::RandomNegatives, QueryPolicy::default(), 9);
+        let b = build_queries(&o, &split.test, TaskKind::RandomNegatives, QueryPolicy::default(), 9);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.text, y.text);
+            assert_eq!(x.key, y.key);
+        }
+    }
+}

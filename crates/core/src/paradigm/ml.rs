@@ -1,0 +1,205 @@
+//! NLP paradigm: supervised learning over triple embeddings (Algorithm 1).
+
+use crate::compose::{dataset_matrix, dataset_sequences, ComponentEncoder};
+use crate::dataset::Split;
+use crate::task::LabeledTriple;
+use kcb_embed::EmbeddingModel;
+use kcb_ml::metrics::{roc_auc, BinaryMetrics};
+use kcb_ml::{Lstm, LstmConfig, RandomForest, RandomForestConfig};
+use kcb_ontology::{Ontology, Relation};
+use serde::Serialize;
+
+/// Result of one random-forest run: metrics plus everything the
+/// per-relation and feature-importance analyses need.
+pub struct ForestRun {
+    /// Encoder display name.
+    pub encoder_name: String,
+    /// Macro-averaged metrics on the test set.
+    pub metrics: BinaryMetrics,
+    /// The fitted forest.
+    pub forest: RandomForest,
+    /// Test-set positive-class probabilities.
+    pub test_probs: Vec<f32>,
+    /// Test-set labels.
+    pub test_labels: Vec<bool>,
+    /// Test-set relation of each example (for Figure 2).
+    pub test_relations: Vec<Relation>,
+    /// Normalised feature importances (3 × encoder dim wide).
+    pub importances: Vec<f64>,
+}
+
+/// Trains a random forest per Algorithm 1 and evaluates it.
+pub fn run_forest(
+    o: &Ontology,
+    train: &[LabeledTriple],
+    test: &[LabeledTriple],
+    enc: &dyn ComponentEncoder,
+    cfg: &RandomForestConfig,
+) -> ForestRun {
+    let (x_train, y_train) = dataset_matrix(o, train, enc);
+    let (x_test, y_test) = dataset_matrix(o, test, enc);
+    let forest = RandomForest::fit(&x_train, &y_train, cfg);
+    let probs = forest.predict_proba_batch(&x_test);
+    let preds: Vec<bool> = probs.iter().map(|&p| p >= 0.5).collect();
+    let metrics = BinaryMetrics::from_predictions(&preds, &y_test);
+    let importances = forest.feature_importances();
+    ForestRun {
+        encoder_name: enc.name(),
+        metrics,
+        forest,
+        test_probs: probs,
+        test_labels: y_test,
+        test_relations: test.iter().map(|e| e.triple.relation).collect(),
+        importances,
+    }
+}
+
+/// Convenience wrapper over a [`Split`].
+pub fn run_forest_split(
+    o: &Ontology,
+    split: &Split,
+    enc: &dyn ComponentEncoder,
+    cfg: &RandomForestConfig,
+) -> ForestRun {
+    run_forest(o, &split.train, &split.test, enc, cfg)
+}
+
+impl ForestRun {
+    /// ROC-AUC per relation type over the test set (Figure 2). Relations
+    /// with fewer than `min_n` test examples are skipped.
+    pub fn auc_by_relation(&self, min_n: usize) -> Vec<(Relation, f64, usize)> {
+        let mut out = Vec::new();
+        for r in Relation::TASK_SET {
+            let idx: Vec<usize> = (0..self.test_relations.len())
+                .filter(|&i| self.test_relations[i] == r)
+                .collect();
+            if idx.len() < min_n {
+                continue;
+            }
+            let scores: Vec<f32> = idx.iter().map(|&i| self.test_probs[i]).collect();
+            let labels: Vec<bool> = idx.iter().map(|&i| self.test_labels[i]).collect();
+            out.push((r, roc_auc(&scores, &labels), idx.len()));
+        }
+        out
+    }
+
+    /// Importance mass per triple component `[head, relation, tail]`
+    /// (Figure A1's pattern).
+    pub fn importance_by_component(&self) -> [f64; 3] {
+        let d = self.importances.len() / 3;
+        let mut out = [0.0f64; 3];
+        for (i, v) in self.importances.iter().enumerate() {
+            out[(i / d).min(2)] += v;
+        }
+        out
+    }
+}
+
+/// Result of one LSTM run (Table A6).
+#[derive(Debug, Clone, Serialize)]
+pub struct LstmRun {
+    /// Model display name.
+    pub model_name: String,
+    /// Macro-averaged test metrics.
+    pub metrics: BinaryMetrics,
+}
+
+/// Trains the LSTM branch of Algorithm 1 and evaluates it.
+pub fn run_lstm(
+    o: &Ontology,
+    train: &[LabeledTriple],
+    test: &[LabeledTriple],
+    model: &dyn EmbeddingModel,
+    adaptation: &crate::adapt::Adaptation,
+    cfg: &LstmConfig,
+) -> LstmRun {
+    let (seq_train, y_train) = dataset_sequences(o, train, model, adaptation);
+    let (seq_test, y_test) = dataset_sequences(o, test, model, adaptation);
+    let lstm = Lstm::fit(&seq_train, &y_train, cfg);
+    let preds: Vec<bool> = seq_test.iter().map(|s| lstm.predict(s)).collect();
+    LstmRun {
+        model_name: format!("{} ({})", model.name(), adaptation.name()),
+        metrics: BinaryMetrics::from_predictions(&preds, &y_test),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adapt::Adaptation;
+    use crate::compose::TokenAvgEncoder;
+    use crate::dataset::Split;
+    use crate::task::{TaskDataset, TaskKind};
+    use kcb_embed::RandomEmbedding;
+    use kcb_ontology::{SyntheticConfig, SyntheticGenerator};
+
+    fn small_setup() -> (Ontology, Split) {
+        let o = SyntheticGenerator::new(SyntheticConfig { scale: 0.01, seed: 66 })
+            .unwrap()
+            .generate();
+        let d = TaskDataset::generate(&o, TaskKind::RandomNegatives, 1);
+        // Subsample for speed.
+        let d = TaskDataset { task: d.task, examples: d.examples[..1200.min(d.len())].to_vec() };
+        let split = Split::nine_to_one(&d, 2);
+        (o, split)
+    }
+
+    #[test]
+    fn forest_on_random_embeddings_beats_chance_strongly() {
+        let (o, split) = small_setup();
+        let model = RandomEmbedding::with_dim(24);
+        let enc = TokenAvgEncoder::new(&model, Adaptation::None);
+        let cfg = RandomForestConfig { n_trees: 24, n_threads: 2, ..RandomForestConfig::default() };
+        let run = run_forest_split(&o, &split, &enc, &cfg);
+        assert!(
+            run.metrics.f1 > 0.8,
+            "task-1 on random embeddings should be strong (paper: 0.956), got {}",
+            run.metrics.f1
+        );
+    }
+
+    #[test]
+    fn auc_by_relation_covers_major_relations() {
+        let (o, split) = small_setup();
+        let model = RandomEmbedding::with_dim(16);
+        let enc = TokenAvgEncoder::new(&model, Adaptation::Naive);
+        let cfg = RandomForestConfig { n_trees: 16, n_threads: 2, ..RandomForestConfig::default() };
+        let run = run_forest_split(&o, &split, &enc, &cfg);
+        let aucs = run.auc_by_relation(4);
+        assert!(!aucs.is_empty());
+        let isa = aucs.iter().find(|(r, _, _)| *r == Relation::IsA).expect("is_a present");
+        assert!(isa.1 > 0.8, "is_a AUC {}", isa.1);
+        for (_, auc, _) in &aucs {
+            assert!((0.0..=1.0).contains(auc));
+        }
+    }
+
+    #[test]
+    fn importances_split_into_three_components() {
+        let (o, split) = small_setup();
+        let model = RandomEmbedding::with_dim(12);
+        let enc = TokenAvgEncoder::new(&model, Adaptation::None);
+        let cfg = RandomForestConfig { n_trees: 12, n_threads: 2, ..RandomForestConfig::default() };
+        let run = run_forest_split(&o, &split, &enc, &cfg);
+        let mass = run.importance_by_component();
+        let total: f64 = mass.iter().sum();
+        assert!((total - 1.0).abs() < 1e-6, "mass sums to 1, got {total}");
+        assert!(mass.iter().all(|&m| m > 0.0), "every component used: {mass:?}");
+    }
+
+    #[test]
+    fn lstm_runs_and_beats_chance() {
+        let (o, split) = small_setup();
+        let model = RandomEmbedding::with_dim(12);
+        let cfg = LstmConfig { hidden: 12, epochs: 4, ..LstmConfig::default() };
+        let run = run_lstm(
+            &o,
+            &split.train[..400],
+            &split.test,
+            &model,
+            &Adaptation::Naive,
+            &cfg,
+        );
+        assert!(run.metrics.accuracy > 0.6, "LSTM accuracy {}", run.metrics.accuracy);
+    }
+}

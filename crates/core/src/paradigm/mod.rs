@@ -1,0 +1,7 @@
+//! The three NLP-paradigm pipelines (§2.4–§2.6): supervised learning over
+//! embeddings ([`ml`]), fine-tuning the mini-BERT ([`ft`]) and in-context
+//! learning ([`icl`]).
+
+pub mod ft;
+pub mod icl;
+pub mod ml;

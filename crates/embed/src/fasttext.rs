@@ -1,0 +1,378 @@
+//! fastText-style subword embeddings — the BioWordVec stand-in (§2.3).
+//!
+//! Each word's vector is the average of its word vector and the vectors of
+//! its character n-grams (hashed into a fixed bucket table). The model is
+//! trained with skip-gram negative sampling, distributing each gradient
+//! across the word's constituent vectors. Out-of-vocabulary words still get
+//! a composed subword vector — the property that gives BioWordVec its low
+//! effective OOV rate on chemical morphology (paper Table A4).
+
+use crate::model::{EmbeddingModel, Lookup};
+use kcb_util::fnv1a;
+use kcb_text::Vocab;
+use kcb_util::Rng;
+
+/// fastText hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct FastTextConfig {
+    /// Embedding width.
+    pub dim: usize,
+    /// Maximum context window.
+    pub window: usize,
+    /// Negative samples per pair.
+    pub negative: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Initial learning rate.
+    pub lr: f32,
+    /// Minimum word frequency for the word table.
+    pub min_count: u64,
+    /// Number of n-gram hash buckets.
+    pub buckets: usize,
+    /// Minimum n-gram length.
+    pub min_n: usize,
+    /// Maximum n-gram length.
+    pub max_n: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for FastTextConfig {
+    fn default() -> Self {
+        Self {
+            dim: 100,
+            window: 5,
+            negative: 5,
+            epochs: 5,
+            lr: 0.05,
+            min_count: 2,
+            buckets: 20_000,
+            min_n: 3,
+            max_n: 5,
+            seed: 42,
+        }
+    }
+}
+
+/// A trained fastText model.
+#[derive(Debug, Clone)]
+pub struct FastText {
+    name: String,
+    vocab: Vocab,
+    /// Word vectors `(n_words, dim)` flat.
+    word_vecs: Vec<f32>,
+    /// N-gram bucket vectors `(buckets, dim)` flat.
+    ngram_vecs: Vec<f32>,
+    dim: usize,
+    buckets: usize,
+    min_n: usize,
+    max_n: usize,
+}
+
+impl FastText {
+    /// Trains on tokenized sentences.
+    pub fn train(name: &str, sentences: &[Vec<String>], cfg: &FastTextConfig) -> Self {
+        let vocab = Vocab::from_streams(
+            sentences.iter().map(|s| s.iter().map(String::as_str)),
+            cfg.min_count,
+        );
+        assert!(!vocab.is_empty(), "fasttext: empty vocabulary");
+        let n = vocab.len();
+        let dim = cfg.dim;
+        let mut rng = Rng::seed_stream(cfg.seed, 0xfa57);
+
+        let mut word_vecs = vec![0.0f32; n * dim];
+        let mut ngram_vecs = vec![0.0f32; cfg.buckets * dim];
+        let init = 0.5 / dim as f32;
+        for v in word_vecs.iter_mut().chain(ngram_vecs.iter_mut()) {
+            *v = rng.f32_range(-init, init);
+        }
+        let mut syn1 = vec![0.0f32; n * dim]; // output vectors
+
+        // Precompute each vocabulary word's n-gram bucket list.
+        let word_ngrams: Vec<Vec<u32>> = (0..n as u32)
+            .map(|i| ngram_buckets(vocab.token(i), cfg.min_n, cfg.max_n, cfg.buckets))
+            .collect();
+
+        // Negative-sampling cumulative table (unigram^0.75).
+        let neg_cum: Vec<f64> = {
+            let mut acc = 0.0;
+            (0..n as u32)
+                .map(|i| {
+                    acc += (vocab.count(i) as f64).powf(0.75);
+                    acc
+                })
+                .collect()
+        };
+        let neg_total = *neg_cum.last().expect("non-empty");
+
+        let id_sentences: Vec<Vec<u32>> = sentences
+            .iter()
+            .map(|s| s.iter().filter_map(|t| vocab.id(t)).collect())
+            .collect();
+        let total_tokens: usize = id_sentences.iter().map(Vec::len).sum();
+        let total_work = (total_tokens * cfg.epochs).max(1);
+
+        let mut processed = 0usize;
+        let mut hidden = vec![0.0f32; dim];
+        let mut grad = vec![0.0f32; dim];
+        for _epoch in 0..cfg.epochs {
+            for sent in &id_sentences {
+                if sent.len() < 2 {
+                    processed += sent.len();
+                    continue;
+                }
+                for (pos, &center) in sent.iter().enumerate() {
+                    processed += 1;
+                    let lr_now = {
+                        let frac = processed as f32 / total_work as f32;
+                        (cfg.lr * (1.0 - frac)).max(cfg.lr * 1e-4)
+                    };
+                    let b = 1 + rng.below(cfg.window);
+                    let lo = pos.saturating_sub(b);
+                    let hi = (pos + b + 1).min(sent.len());
+                    let grams = &word_ngrams[center as usize];
+                    let parts = (grams.len() + 1) as f32;
+                    for ctx_pos in lo..hi {
+                        if ctx_pos == pos {
+                            continue;
+                        }
+                        let context = sent[ctx_pos];
+                        // hidden = mean(word vec, ngram vecs)
+                        hidden.copy_from_slice(&word_vecs[center as usize * dim..(center as usize + 1) * dim]);
+                        for &g in grams {
+                            let r = g as usize * dim;
+                            for j in 0..dim {
+                                hidden[j] += ngram_vecs[r + j];
+                            }
+                        }
+                        for h in hidden.iter_mut() {
+                            *h /= parts;
+                        }
+                        grad.fill(0.0);
+                        for k in 0..=cfg.negative {
+                            let (target, label) = if k == 0 {
+                                (context, 1.0f32)
+                            } else {
+                                let t = rng.f64() * neg_total;
+                                let negw = neg_cum.partition_point(|&c| c <= t).min(n - 1) as u32;
+                                if negw == context {
+                                    continue;
+                                }
+                                (negw, 0.0)
+                            };
+                            let u = target as usize * dim;
+                            let score = kcb_ml::linalg::dot(&hidden, &syn1[u..u + dim]);
+                            let g = (label - kcb_ml::linalg::sigmoid(score)) * lr_now;
+                            for j in 0..dim {
+                                grad[j] += g * syn1[u + j];
+                                syn1[u + j] += g * hidden[j];
+                            }
+                        }
+                        // Distribute the hidden-layer gradient across parts.
+                        let scale = 1.0 / parts;
+                        let wrow = center as usize * dim;
+                        for j in 0..dim {
+                            word_vecs[wrow + j] += grad[j] * scale;
+                        }
+                        for &gb in grams {
+                            let r = gb as usize * dim;
+                            for j in 0..dim {
+                                ngram_vecs[r + j] += grad[j] * scale;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        Self {
+            name: name.to_string(),
+            vocab,
+            word_vecs,
+            ngram_vecs,
+            dim,
+            buckets: cfg.buckets,
+            min_n: cfg.min_n,
+            max_n: cfg.max_n,
+        }
+    }
+
+    /// The word vocabulary.
+    pub fn vocab(&self) -> &Vocab {
+        &self.vocab
+    }
+
+    fn compose(&self, word_row: Option<usize>, grams: &[u32], out: &mut [f32]) {
+        out.fill(0.0);
+        let mut parts = 0.0f32;
+        if let Some(r) = word_row {
+            let r = r * self.dim;
+            for j in 0..self.dim {
+                out[j] += self.word_vecs[r + j];
+            }
+            parts += 1.0;
+        }
+        for &g in grams {
+            let r = g as usize * self.dim;
+            for j in 0..self.dim {
+                out[j] += self.ngram_vecs[r + j];
+            }
+            parts += 1.0;
+        }
+        if parts > 0.0 {
+            for v in out.iter_mut() {
+                *v /= parts;
+            }
+        }
+    }
+}
+
+impl EmbeddingModel for FastText {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn vocab_size(&self) -> usize {
+        self.vocab.len()
+    }
+
+    fn embed_into(&self, token: &str, out: &mut [f32]) -> Lookup {
+        let grams = ngram_buckets(token, self.min_n, self.max_n, self.buckets);
+        match self.vocab.id(token) {
+            Some(id) => {
+                self.compose(Some(id as usize), &grams, out);
+                Lookup::InVocab
+            }
+            None if !grams.is_empty() => {
+                self.compose(None, &grams, out);
+                Lookup::Subword
+            }
+            None => Lookup::Oov,
+        }
+    }
+}
+
+/// Character n-gram bucket ids for a word, using fastText's `<word>`
+/// padding convention.
+fn ngram_buckets(word: &str, min_n: usize, max_n: usize, buckets: usize) -> Vec<u32> {
+    let padded: Vec<char> = std::iter::once('<')
+        .chain(word.chars())
+        .chain(std::iter::once('>'))
+        .collect();
+    let mut out = Vec::new();
+    let mut buf = String::new();
+    for n in min_n..=max_n {
+        if padded.len() < n {
+            break;
+        }
+        for start in 0..=padded.len() - n {
+            buf.clear();
+            buf.extend(&padded[start..start + n]);
+            // Skip the full padded word itself (it equals the word vector).
+            if n == padded.len() {
+                continue;
+            }
+            out.push((fnv1a(buf.as_bytes()) % buckets as u64) as u32);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kcb_ml::linalg::cosine;
+
+    fn topic_corpus(n_sent: usize, seed: u64) -> Vec<Vec<String>> {
+        let mut rng = Rng::seed(seed);
+        let topic_a = ["methanoic", "ethanoic", "propanoic", "butanoic"];
+        let topic_b = ["androstane", "estrane", "pregnane", "cholane"];
+        (0..n_sent)
+            .map(|_| {
+                let topic: &[&str] = if rng.chance(0.5) { &topic_a } else { &topic_b };
+                (0..6).map(|_| topic[rng.below(topic.len())].to_string()).collect()
+            })
+            .collect()
+    }
+
+    fn small_cfg() -> FastTextConfig {
+        FastTextConfig {
+            dim: 24,
+            epochs: 10,
+            min_count: 1,
+            buckets: 1_000,
+            ..FastTextConfig::default()
+        }
+    }
+
+    #[test]
+    fn ngrams_use_padding_and_hash_in_range() {
+        let g = ngram_buckets("abc", 3, 4, 100);
+        // "<abc>" has 3-grams: <ab, abc, bc> and 4-grams: <abc, abc> minus
+        // the full word... lengths: 3-grams: 3, 4-grams: 2 → 5 total.
+        assert_eq!(g.len(), 5);
+        assert!(g.iter().all(|&b| b < 100));
+        // Deterministic.
+        assert_eq!(g, ngram_buckets("abc", 3, 4, 100));
+    }
+
+    #[test]
+    fn short_words_produce_some_ngrams() {
+        // "a" padded is "<a>" (len 3) → one 3-gram... but that equals the
+        // whole padded word, which we skip.
+        let g = ngram_buckets("a", 3, 5, 100);
+        assert!(g.is_empty());
+        let g2 = ngram_buckets("ab", 3, 5, 100);
+        assert_eq!(g2.len(), 2); // "<ab", "ab>"
+    }
+
+    #[test]
+    fn oov_words_get_subword_vectors() {
+        let corpus = topic_corpus(200, 1);
+        let ft = FastText::train("ft", &corpus, &small_cfg());
+        let mut out = vec![0.0; 24];
+        // Morphologically similar OOV word.
+        assert_eq!(ft.embed_into("pentanoic", &mut out), Lookup::Subword);
+        assert!(out.iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn subword_vector_close_to_morphological_family() {
+        let corpus = topic_corpus(400, 2);
+        let ft = FastText::train("ft", &corpus, &small_cfg());
+        let mut oov = vec![0.0; 24];
+        ft.embed_into("pentanoic", &mut oov); // OOV, shares "anoic" grams
+        let mut acid_family = vec![0.0; 24];
+        ft.embed_into("ethanoic", &mut acid_family);
+        let mut steroid_family = vec![0.0; 24];
+        ft.embed_into("androstane", &mut steroid_family);
+        let near = cosine(&oov, &acid_family);
+        let far = cosine(&oov, &steroid_family);
+        assert!(near > far, "subword OOV should align with its family: {near} vs {far}");
+    }
+
+    #[test]
+    fn cooccurrence_signal_learned() {
+        let corpus = topic_corpus(400, 3);
+        let ft = FastText::train("ft", &corpus, &small_cfg());
+        let (mut a, mut b, mut c) = (vec![0.0; 24], vec![0.0; 24], vec![0.0; 24]);
+        ft.embed_into("methanoic", &mut a);
+        ft.embed_into("ethanoic", &mut b);
+        ft.embed_into("pregnane", &mut c);
+        assert!(cosine(&a, &b) > cosine(&a, &c));
+    }
+
+    #[test]
+    fn deterministic() {
+        let corpus = topic_corpus(50, 4);
+        let a = FastText::train("a", &corpus, &small_cfg());
+        let b = FastText::train("b", &corpus, &small_cfg());
+        assert_eq!(a.word_vecs, b.word_vecs);
+        assert_eq!(a.ngram_vecs, b.ngram_vecs);
+    }
+}

@@ -1,0 +1,278 @@
+//! GloVe embeddings (global co-occurrence matrix + AdaGrad), with
+//! warm-start support for domain adaptation — the paper's GloVe and
+//! GloVe-Chem models (§2.3): GloVe-Chem joins the base GloVe vocabulary
+//! with the chemistry corpus vocabulary and initialises the input layer
+//! from the GloVe vectors before further training.
+
+use crate::model::{EmbeddingModel, EmbeddingTable};
+use kcb_ml::linalg::Matrix;
+use kcb_text::Vocab;
+use kcb_util::Rng;
+use std::collections::HashMap;
+
+/// GloVe hyperparameters (defaults follow Pennington et al. 2014).
+#[derive(Debug, Clone, Copy)]
+pub struct GloveConfig {
+    /// Embedding width.
+    pub dim: usize,
+    /// Symmetric context window.
+    pub window: usize,
+    /// Weighting-function cap `x_max`.
+    pub x_max: f64,
+    /// Weighting-function exponent `alpha`.
+    pub alpha: f64,
+    /// AdaGrad epochs.
+    pub epochs: usize,
+    /// Initial learning rate.
+    pub lr: f32,
+    /// Minimum token frequency for vocabulary entry.
+    pub min_count: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GloveConfig {
+    fn default() -> Self {
+        Self {
+            dim: 100,
+            window: 5,
+            x_max: 100.0,
+            alpha: 0.75,
+            epochs: 15,
+            lr: 0.05,
+            min_count: 2,
+            seed: 42,
+        }
+    }
+}
+
+/// Trains GloVe from scratch on tokenized sentences.
+pub fn train(name: &str, sentences: &[Vec<String>], cfg: &GloveConfig) -> EmbeddingTable {
+    let vocab = Vocab::from_streams(
+        sentences.iter().map(|s| s.iter().map(String::as_str)),
+        cfg.min_count,
+    );
+    train_with_vocab(name, sentences, cfg, vocab, None)
+}
+
+/// Further-trains a base embedding table on a new corpus (GloVe-Chem). The
+/// vocabulary is the union of the base vocabulary and the corpus
+/// vocabulary; vectors of base tokens are initialised from the base table,
+/// new tokens randomly. Base tokens that never occur in the corpus keep
+/// their base vectors.
+pub fn train_warm(
+    name: &str,
+    sentences: &[Vec<String>],
+    cfg: &GloveConfig,
+    base: &EmbeddingTable,
+) -> EmbeddingTable {
+    assert_eq!(base.dim(), cfg.dim, "warm start requires matching dims");
+    let mut counts: HashMap<String, u64> = HashMap::new();
+    for s in sentences {
+        for t in s {
+            *counts.entry(t.clone()).or_insert(0) += 1;
+        }
+    }
+    counts.retain(|_, c| *c >= cfg.min_count);
+    // Union in the base vocabulary (count 1 keeps them past any filter but
+    // low in the frequency ordering).
+    for (tok, _) in base.vocab().iter() {
+        counts.entry(tok.to_string()).or_insert(1);
+    }
+    let vocab = Vocab::from_counts(counts, 1);
+    train_with_vocab(name, sentences, cfg, vocab, Some(base))
+}
+
+fn train_with_vocab(
+    name: &str,
+    sentences: &[Vec<String>],
+    cfg: &GloveConfig,
+    vocab: Vocab,
+    warm: Option<&EmbeddingTable>,
+) -> EmbeddingTable {
+    assert!(!vocab.is_empty(), "glove: empty vocabulary");
+    let n = vocab.len();
+    let dim = cfg.dim;
+    let mut rng = Rng::seed_stream(cfg.seed, 0x910e);
+
+    // --- Co-occurrence accumulation (symmetric, 1/distance weighting) ----
+    let mut cooc: HashMap<(u32, u32), f64> = HashMap::new();
+    for sent in sentences {
+        let ids: Vec<u32> = sent.iter().filter_map(|t| vocab.id(t)).collect();
+        for (i, &wi) in ids.iter().enumerate() {
+            let hi = (i + cfg.window + 1).min(ids.len());
+            for (d, &wj) in ids[i + 1..hi].iter().enumerate() {
+                let weight = 1.0 / (d + 1) as f64;
+                // Canonical ordering halves the map; symmetric updates are
+                // applied to both directions during optimisation.
+                let key = if wi <= wj { (wi, wj) } else { (wj, wi) };
+                *cooc.entry(key).or_insert(0.0) += weight;
+            }
+        }
+    }
+    // Deterministic iteration order for optimisation.
+    let mut pairs: Vec<((u32, u32), f64)> = cooc.into_iter().collect();
+    pairs.sort_by_key(|&(key, _)| key);
+
+    // --- Parameter init ---------------------------------------------------
+    let mut w = vec![0.0f32; n * dim]; // main vectors
+    let mut wt = vec![0.0f32; n * dim]; // context vectors
+    let mut b = vec![0.0f32; n];
+    let mut bt = vec![0.0f32; n];
+    let init = 0.5 / dim as f32;
+    for v in w.iter_mut().chain(wt.iter_mut()) {
+        *v = rng.f32_range(-init, init);
+    }
+    if let Some(base) = warm {
+        let mut buf = vec![0.0f32; dim];
+        for i in 0..n as u32 {
+            if base.embed_into(vocab.token(i), &mut buf).in_vocab() {
+                let row = i as usize * dim;
+                for j in 0..dim {
+                    // Split the base vector across w and w̃ so that the
+                    // exported vector (w + w̃) starts exactly at the base.
+                    w[row + j] = buf[j] * 0.5;
+                    wt[row + j] = buf[j] * 0.5;
+                }
+            }
+        }
+    }
+
+    // --- AdaGrad -----------------------------------------------------------
+    let mut gw = vec![1.0f32; n * dim];
+    let mut gwt = vec![1.0f32; n * dim];
+    let mut gb = vec![1.0f32; n];
+    let mut gbt = vec![1.0f32; n];
+    let mut order: Vec<usize> = (0..pairs.len()).collect();
+
+    for _epoch in 0..cfg.epochs {
+        rng.shuffle(&mut order);
+        for &pi in &order {
+            let ((i, j), x) = pairs[pi];
+            // Train both directions of the symmetric pair.
+            for (a, c) in [(i as usize, j as usize), (j as usize, i as usize)] {
+                if a == c {
+                    continue;
+                }
+                let (ra, rc) = (a * dim, c * dim);
+                let fx = if x < cfg.x_max { (x / cfg.x_max).powf(cfg.alpha) } else { 1.0 } as f32;
+                let pred: f32 =
+                    kcb_ml::linalg::dot(&w[ra..ra + dim], &wt[rc..rc + dim]) + b[a] + bt[c];
+                let diff = pred - (x.ln() as f32);
+                let fdiff = fx * diff;
+                // AdaGrad updates.
+                for k in 0..dim {
+                    let gwk = fdiff * wt[rc + k];
+                    let gwtk = fdiff * w[ra + k];
+                    w[ra + k] -= cfg.lr * gwk / gw[ra + k].sqrt();
+                    wt[rc + k] -= cfg.lr * gwtk / gwt[rc + k].sqrt();
+                    gw[ra + k] += gwk * gwk;
+                    gwt[rc + k] += gwtk * gwtk;
+                }
+                b[a] -= cfg.lr * fdiff / gb[a].sqrt();
+                bt[c] -= cfg.lr * fdiff / gbt[c].sqrt();
+                gb[a] += fdiff * fdiff;
+                gbt[c] += fdiff * fdiff;
+            }
+        }
+    }
+
+    // Exported vector = w + w̃ (the GloVe convention).
+    let mut out = vec![0.0f32; n * dim];
+    for k in 0..n * dim {
+        out[k] = w[k] + wt[k];
+    }
+    EmbeddingTable::new(name, vocab, Matrix::from_vec(out, n, dim))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Lookup;
+    use kcb_ml::linalg::cosine;
+
+    fn topic_corpus(n_sent: usize, seed: u64) -> Vec<Vec<String>> {
+        let mut rng = Rng::seed(seed);
+        let topic_a = ["acid", "proton", "donor", "carboxyl"];
+        let topic_b = ["steroid", "ring", "androstane", "hormone"];
+        (0..n_sent)
+            .map(|_| {
+                let topic: &[&str] = if rng.chance(0.5) { &topic_a } else { &topic_b };
+                (0..6).map(|_| topic[rng.below(topic.len())].to_string()).collect()
+            })
+            .collect()
+    }
+
+    fn small_cfg() -> GloveConfig {
+        GloveConfig { dim: 24, epochs: 30, min_count: 1, ..GloveConfig::default() }
+    }
+
+    #[test]
+    fn cooccurring_tokens_are_closer() {
+        let corpus = topic_corpus(400, 1);
+        let t = train("glove-test", &corpus, &small_cfg());
+        let (mut a, mut p, mut s) = (vec![0.0; 24], vec![0.0; 24], vec![0.0; 24]);
+        assert_eq!(t.embed_into("acid", &mut a), Lookup::InVocab);
+        assert_eq!(t.embed_into("proton", &mut p), Lookup::InVocab);
+        assert_eq!(t.embed_into("steroid", &mut s), Lookup::InVocab);
+        let same = cosine(&a, &p);
+        let cross = cosine(&a, &s);
+        assert!(same > cross + 0.2, "within {same} vs cross {cross}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let corpus = topic_corpus(60, 2);
+        let a = train("a", &corpus, &small_cfg());
+        let b = train("b", &corpus, &small_cfg());
+        assert_eq!(a.vectors().as_slice(), b.vectors().as_slice());
+    }
+
+    #[test]
+    fn warm_start_unions_vocab_and_preserves_unseen() {
+        // Base model knows "legacy" (never in the new corpus).
+        let base_corpus = vec![vec![
+            "legacy".to_string(),
+            "word".to_string(),
+            "legacy".to_string(),
+            "word".to_string(),
+        ]];
+        let base = train("base", &base_corpus, &small_cfg());
+        let mut legacy_before = vec![0.0; 24];
+        assert_eq!(base.embed_into("legacy", &mut legacy_before), Lookup::InVocab);
+
+        let corpus = topic_corpus(100, 3);
+        let adapted = train_warm("glove-chem", &corpus, &small_cfg(), &base);
+        // Union vocabulary.
+        let mut out = vec![0.0; 24];
+        assert_eq!(adapted.embed_into("legacy", &mut out), Lookup::InVocab);
+        assert_eq!(adapted.embed_into("acid", &mut out), Lookup::InVocab);
+        // "legacy" has no co-occurrence in the new corpus → vector preserved.
+        let mut legacy_after = vec![0.0; 24];
+        adapted.embed_into("legacy", &mut legacy_after);
+        for (x, y) in legacy_before.iter().zip(&legacy_after) {
+            assert!((x - y).abs() < 1e-5, "unseen base vector drifted");
+        }
+    }
+
+    #[test]
+    fn warm_start_learns_new_tokens() {
+        let base_corpus = vec![vec!["word".to_string(), "thing".to_string()]];
+        let base = train("base", &base_corpus, &small_cfg());
+        let corpus = topic_corpus(400, 4);
+        let adapted = train_warm("adapted", &corpus, &small_cfg(), &base);
+        let (mut a, mut p, mut s) = (vec![0.0; 24], vec![0.0; 24], vec![0.0; 24]);
+        adapted.embed_into("acid", &mut a);
+        adapted.embed_into("proton", &mut p);
+        adapted.embed_into("steroid", &mut s);
+        assert!(cosine(&a, &p) > cosine(&a, &s));
+    }
+
+    #[test]
+    #[should_panic(expected = "matching dims")]
+    fn warm_start_checks_dims() {
+        let base_corpus = vec![vec!["w".to_string(), "x".to_string()]];
+        let base = train("base", &base_corpus, &GloveConfig { dim: 8, min_count: 1, ..GloveConfig::default() });
+        let _ = train_warm("bad", &base_corpus, &small_cfg(), &base);
+    }
+}

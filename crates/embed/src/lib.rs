@@ -1,0 +1,23 @@
+//! Embedding models for the supervised-learning paradigm.
+//!
+//! Implements the six embedding families the paper compares (§2.3):
+//! deterministic random vectors ([`random`]), word2vec skip-gram with
+//! negative sampling ([`word2vec`] — W2V-Chem), GloVe with AdaGrad and
+//! warm-start support ([`glove`] — GloVe and GloVe-Chem), and a
+//! fastText-style subword model ([`fasttext`] — the BioWordVec stand-in).
+//! Contextual PubmedBERT embeddings come from `kcb-lm` and implement the
+//! same [`EmbeddingModel`] trait there. [`store`] saves/loads trained
+//! tables in a compact binary format.
+
+pub mod fasttext;
+pub mod glove;
+pub mod model;
+pub mod random;
+pub mod store;
+pub mod word2vec;
+
+pub use fasttext::{FastText, FastTextConfig};
+pub use glove::GloveConfig;
+pub use model::{embed_or_random, oov_rate, EmbeddingModel, EmbeddingTable, Lookup};
+pub use random::RandomEmbedding;
+pub use word2vec::Word2VecConfig;

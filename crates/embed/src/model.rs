@@ -1,0 +1,232 @@
+//! The [`EmbeddingModel`] trait, the shared [`EmbeddingTable`] storage, and
+//! the out-of-vocabulary policy.
+
+use kcb_ml::linalg::Matrix;
+use kcb_text::Vocab;
+use kcb_util::Rng;
+
+/// Outcome of an embedding lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lookup {
+    /// The token is in the model's vocabulary; `out` holds its vector.
+    InVocab,
+    /// The token is out of vocabulary but the model composed a vector from
+    /// subword information (fastText-style); `out` holds that vector.
+    Subword,
+    /// The token is out of vocabulary and `out` was not written; callers
+    /// apply the OOV policy ([`embed_or_random`]).
+    Oov,
+}
+
+impl Lookup {
+    /// Whether the token counted as in-vocabulary (the Table A4 OOV
+    /// statistic counts `Subword` and `Oov` both as misses, matching how
+    /// the paper audited `.vec`-style word lists).
+    pub fn in_vocab(self) -> bool {
+        matches!(self, Lookup::InVocab)
+    }
+
+    /// Whether `out` now holds a usable vector.
+    pub fn has_vector(self) -> bool {
+        !matches!(self, Lookup::Oov)
+    }
+}
+
+/// A token-embedding model: maps tokens to fixed-width vectors, reporting
+/// out-of-vocabulary tokens via [`Lookup`].
+pub trait EmbeddingModel: Send + Sync {
+    /// Model display name (used in report tables).
+    fn name(&self) -> &str;
+    /// Vector width.
+    fn dim(&self) -> usize;
+    /// Number of in-vocabulary tokens.
+    fn vocab_size(&self) -> usize;
+    /// Lookup. Writes the vector into `out` (sized to
+    /// [`EmbeddingModel::dim`]) unless the result is [`Lookup::Oov`].
+    fn embed_into(&self, token: &str, out: &mut [f32]) -> Lookup;
+}
+
+/// Looks a token up, falling back to a *deterministic* pseudo-random vector
+/// for out-of-vocabulary tokens — the paper's OOV policy ("random vectors
+/// were used for out of vocabulary situations", §2.6). Determinism (the
+/// vector is a pure function of the token string and the model dim) keeps
+/// repeated occurrences of the same unknown token consistent, which is what
+/// makes the *random embedding model* itself learnable.
+///
+/// Returns the underlying model's [`Lookup`] outcome.
+pub fn embed_or_random(model: &dyn EmbeddingModel, token: &str, out: &mut [f32]) -> Lookup {
+    debug_assert_eq!(out.len(), model.dim());
+    let lookup = model.embed_into(token, out);
+    if !lookup.has_vector() {
+        random_vector_for(token, out);
+    }
+    lookup
+}
+
+/// Fills `out` with the deterministic uniform(-1, 1) vector for a token
+/// (FNV-1a hash of the token seeds a PCG stream).
+pub fn random_vector_for(token: &str, out: &mut [f32]) {
+    let mut rng = Rng::seed_stream(kcb_util::fnv1a(token.as_bytes()), 0x00f);
+    for v in out.iter_mut() {
+        *v = rng.f32_range(-1.0, 1.0);
+    }
+}
+
+/// Fraction of `tokens` that are out of vocabulary for `model`
+/// (paper Table A4's OOV column).
+pub fn oov_rate<'a, I: IntoIterator<Item = &'a str>>(model: &dyn EmbeddingModel, tokens: I) -> (usize, usize) {
+    let mut scratch = vec![0.0; model.dim()];
+    let mut oov = 0;
+    let mut total = 0;
+    for t in tokens {
+        total += 1;
+        if !model.embed_into(t, &mut scratch).in_vocab() {
+            oov += 1;
+        }
+    }
+    (oov, total)
+}
+
+/// Dense trained embeddings: a vocabulary plus one vector per token. The
+/// output type of the word2vec and GloVe trainers.
+#[derive(Debug, Clone)]
+pub struct EmbeddingTable {
+    name: String,
+    vocab: Vocab,
+    vectors: Matrix,
+}
+
+impl EmbeddingTable {
+    /// Builds a table. Panics when vector rows and vocabulary size differ.
+    pub fn new(name: impl Into<String>, vocab: Vocab, vectors: Matrix) -> Self {
+        assert_eq!(vocab.len(), vectors.rows(), "vocab/vector count mismatch");
+        Self { name: name.into(), vocab, vectors }
+    }
+
+    /// The vocabulary.
+    pub fn vocab(&self) -> &Vocab {
+        &self.vocab
+    }
+
+    /// Raw vector matrix (row `i` = vector of `vocab.token(i)`).
+    pub fn vectors(&self) -> &Matrix {
+        &self.vectors
+    }
+
+    /// Vector by vocabulary id.
+    pub fn vector(&self, id: u32) -> &[f32] {
+        self.vectors.row(id as usize)
+    }
+
+    /// Renames the table (e.g. `"glove"` → `"glove-chem"` after further
+    /// training).
+    pub fn renamed(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Cosine-similarity nearest neighbours of a token (excluding itself):
+    /// `(token, similarity)` pairs, best first.
+    pub fn nearest(&self, token: &str, k: usize) -> Vec<(String, f32)> {
+        let Some(id) = self.vocab.id(token) else { return Vec::new() };
+        let q = self.vector(id);
+        let mut sims: Vec<(u32, f32)> = (0..self.vocab.len() as u32)
+            .filter(|&i| i != id)
+            .map(|i| (i, kcb_ml::linalg::cosine(q, self.vector(i))))
+            .collect();
+        sims.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("NaN similarity"));
+        sims.truncate(k);
+        sims.into_iter().map(|(i, s)| (self.vocab.token(i).to_string(), s)).collect()
+    }
+}
+
+impl EmbeddingModel for EmbeddingTable {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn dim(&self) -> usize {
+        self.vectors.cols()
+    }
+
+    fn vocab_size(&self) -> usize {
+        self.vocab.len()
+    }
+
+    fn embed_into(&self, token: &str, out: &mut [f32]) -> Lookup {
+        match self.vocab.id(token) {
+            Some(id) => {
+                out.copy_from_slice(self.vector(id));
+                Lookup::InVocab
+            }
+            None => Lookup::Oov,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn table() -> EmbeddingTable {
+        let mut counts = HashMap::new();
+        counts.insert("acid".to_string(), 5u64);
+        counts.insert("oxan".to_string(), 3u64);
+        let vocab = Vocab::from_counts(counts, 1);
+        let vectors = Matrix::from_rows(vec![vec![1.0, 0.0], vec![0.0, 1.0]]);
+        EmbeddingTable::new("test", vocab, vectors)
+    }
+
+    #[test]
+    fn lookup_in_and_out_of_vocab() {
+        let t = table();
+        let mut out = vec![0.0; 2];
+        assert_eq!(t.embed_into("acid", &mut out), Lookup::InVocab);
+        assert_eq!(out, vec![1.0, 0.0]);
+        assert_eq!(t.embed_into("missing", &mut out), Lookup::Oov);
+    }
+
+    #[test]
+    fn oov_fallback_is_deterministic_and_token_specific() {
+        let t = table();
+        let mut a = vec![0.0; 2];
+        let mut b = vec![0.0; 2];
+        assert_eq!(embed_or_random(&t, "zzz", &mut a), Lookup::Oov);
+        embed_or_random(&t, "zzz", &mut b);
+        assert_eq!(a, b, "same token, same vector");
+        embed_or_random(&t, "yyy", &mut b);
+        assert_ne!(a, b, "different tokens, different vectors");
+        assert!(a.iter().all(|v| (-1.0..1.0).contains(v)));
+    }
+
+    #[test]
+    fn oov_rate_counts() {
+        let t = table();
+        let (oov, total) = oov_rate(&t, ["acid", "oxan", "zzz", "www"]);
+        assert_eq!((oov, total), (2, 4));
+    }
+
+    #[test]
+    fn nearest_excludes_self_and_orders() {
+        let vocab = Vocab::from_counts(
+            [("a".to_string(), 3u64), ("b".to_string(), 2), ("c".to_string(), 1)].into_iter().collect(),
+            1,
+        );
+        let vectors =
+            Matrix::from_rows(vec![vec![1.0, 0.0], vec![0.9, 0.1], vec![0.0, 1.0]]);
+        let t = EmbeddingTable::new("t", vocab, vectors);
+        let nn = t.nearest("a", 2);
+        assert_eq!(nn.len(), 2);
+        assert_eq!(nn[0].0, "b");
+        assert!(nn[0].1 > nn[1].1);
+        assert!(t.nearest("missing", 3).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "vocab/vector count mismatch")]
+    fn new_validates_shape() {
+        let vocab = Vocab::from_counts([("a".to_string(), 1u64)].into_iter().collect(), 1);
+        let _ = EmbeddingTable::new("bad", vocab, Matrix::zeros(2, 3));
+    }
+}

@@ -1,0 +1,99 @@
+//! The random embedding model (§2.3): every token gets a fixed vector
+//! drawn uniformly from `[-1, 1)`, carrying no semantics at all — the
+//! paper's surprising strong baseline.
+
+use crate::model::{random_vector_for, EmbeddingModel, Lookup};
+
+/// Random embeddings. The vector for a token is a deterministic function
+/// of the token string, so the model needs no stored vocabulary: every
+/// token is "in vocabulary" by construction (matching the paper, where
+/// random vectors were assigned on first sight).
+#[derive(Debug, Clone)]
+pub struct RandomEmbedding {
+    dim: usize,
+    name: String,
+}
+
+impl RandomEmbedding {
+    /// Creates a model with the paper's 300 dimensions.
+    pub fn new() -> Self {
+        Self::with_dim(300)
+    }
+
+    /// Creates a model with a custom width.
+    pub fn with_dim(dim: usize) -> Self {
+        assert!(dim > 0, "dim must be positive");
+        Self { dim, name: "random".to_string() }
+    }
+}
+
+impl Default for RandomEmbedding {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EmbeddingModel for RandomEmbedding {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn vocab_size(&self) -> usize {
+        // Unbounded implicit vocabulary.
+        usize::MAX
+    }
+
+    fn embed_into(&self, token: &str, out: &mut [f32]) -> Lookup {
+        random_vector_for(token, out);
+        Lookup::InVocab
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_token_in_vocab() {
+        let m = RandomEmbedding::with_dim(8);
+        let mut out = vec![0.0; 8];
+        assert_eq!(m.embed_into("anything-at-all", &mut out), Lookup::InVocab);
+        assert!(out.iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn deterministic_and_distinct() {
+        let m = RandomEmbedding::with_dim(16);
+        let mut a = vec![0.0; 16];
+        let mut b = vec![0.0; 16];
+        m.embed_into("acid", &mut a);
+        m.embed_into("acid", &mut b);
+        assert_eq!(a, b);
+        m.embed_into("base", &mut b);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn vectors_in_unit_box_and_roughly_centered() {
+        let m = RandomEmbedding::with_dim(64);
+        let mut acc = 0.0f64;
+        let mut out = vec![0.0; 64];
+        for i in 0..100 {
+            m.embed_into(&format!("tok{i}"), &mut out);
+            assert!(out.iter().all(|v| (-1.0..1.0).contains(v)));
+            acc += out.iter().map(|&v| v as f64).sum::<f64>();
+        }
+        let mean = acc / (100.0 * 64.0);
+        assert!(mean.abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "dim must be positive")]
+    fn rejects_zero_dim() {
+        let _ = RandomEmbedding::with_dim(0);
+    }
+}

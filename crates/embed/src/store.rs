@@ -1,0 +1,164 @@
+//! Compact binary serialization for trained [`EmbeddingTable`]s, so that
+//! expensive embedding pre-training can be cached between experiment runs.
+//!
+//! Format (little-endian): magic `KCBE`, version u32, dim u32, n u32, name
+//! (u32 length + UTF-8), then per token: u32 name length, UTF-8 bytes,
+//! u64 count, `dim` f32 values.
+
+use crate::model::{EmbeddingModel, EmbeddingTable};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use kcb_ml::linalg::Matrix;
+use kcb_text::Vocab;
+use kcb_util::{Error, Result};
+use std::collections::HashMap;
+
+const MAGIC: &[u8; 4] = b"KCBE";
+const VERSION: u32 = 1;
+
+/// Serializes a table to bytes.
+pub fn to_bytes(table: &EmbeddingTable) -> Bytes {
+    let vocab = table.vocab();
+    let dim = table.vectors().cols();
+    let mut buf = BytesMut::with_capacity(16 + vocab.len() * (16 + dim * 4));
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u32_le(dim as u32);
+    buf.put_u32_le(vocab.len() as u32);
+    put_str(&mut buf, table.name());
+    for id in 0..vocab.len() as u32 {
+        put_str(&mut buf, vocab.token(id));
+        buf.put_u64_le(vocab.count(id));
+        for &v in table.vector(id) {
+            buf.put_f32_le(v);
+        }
+    }
+    buf.freeze()
+}
+
+/// Deserializes a table from bytes.
+pub fn from_bytes(mut buf: &[u8]) -> Result<EmbeddingTable> {
+    let err = |m: &str| Error::parse("embedding store", m);
+    if buf.remaining() < 16 || &buf[..4] != MAGIC {
+        return Err(err("bad magic"));
+    }
+    buf.advance(4);
+    let version = buf.get_u32_le();
+    if version != VERSION {
+        return Err(err(&format!("unsupported version {version}")));
+    }
+    let dim = buf.get_u32_le() as usize;
+    let n = buf.get_u32_le() as usize;
+    let name = get_str(&mut buf)?;
+    let mut counts: Vec<(String, u64)> = Vec::with_capacity(n);
+    let mut data = Vec::with_capacity(n * dim);
+    for _ in 0..n {
+        let tok = get_str(&mut buf)?;
+        if buf.remaining() < 8 + dim * 4 {
+            return Err(err("truncated record"));
+        }
+        let count = buf.get_u64_le();
+        counts.push((tok, count));
+        for _ in 0..dim {
+            data.push(buf.get_f32_le());
+        }
+    }
+    // Rebuild the vocabulary preserving the stored (frequency) order: the
+    // stored order is exactly Vocab's canonical order, so reconstructing
+    // from counts reproduces the same ids.
+    let map: HashMap<String, u64> = counts.iter().cloned().collect();
+    let vocab = Vocab::from_counts(map, 0);
+    // Sanity: ids must line up with stored row order.
+    for (i, (tok, _)) in counts.iter().enumerate() {
+        if vocab.id(tok) != Some(i as u32) {
+            return Err(err("vocabulary order mismatch (corrupt or duplicate tokens)"));
+        }
+    }
+    Ok(EmbeddingTable::new(name, vocab, Matrix::from_vec(data, n, dim)))
+}
+
+/// Saves a table to a file.
+pub fn save(table: &EmbeddingTable, path: &std::path::Path) -> Result<()> {
+    std::fs::write(path, to_bytes(table))?;
+    Ok(())
+}
+
+/// Loads a table from a file.
+pub fn load(path: &std::path::Path) -> Result<EmbeddingTable> {
+    let data = std::fs::read(path)?;
+    from_bytes(&data)
+}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_str(buf: &mut &[u8]) -> Result<String> {
+    let err = |m: &str| Error::parse("embedding store", m);
+    if buf.remaining() < 4 {
+        return Err(err("truncated string length"));
+    }
+    let len = buf.get_u32_le() as usize;
+    if buf.remaining() < len {
+        return Err(err("truncated string"));
+    }
+    let s = std::str::from_utf8(&buf[..len]).map_err(|_| err("invalid utf-8"))?.to_string();
+    buf.advance(len);
+    Ok(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> EmbeddingTable {
+        let counts: HashMap<String, u64> =
+            [("acid".to_string(), 9u64), ("oxan".to_string(), 4), ("yl".to_string(), 2)]
+                .into_iter()
+                .collect();
+        let vocab = Vocab::from_counts(counts, 0);
+        let vectors = Matrix::from_rows(vec![
+            vec![0.1, -0.5, 2.0],
+            vec![1.0, 0.0, -1.0],
+            vec![0.25, 0.75, 0.5],
+        ]);
+        EmbeddingTable::new("w2v-chem", vocab, vectors)
+    }
+
+    #[test]
+    fn round_trip_exact() {
+        let t = table();
+        let bytes = to_bytes(&t);
+        let u = from_bytes(&bytes).unwrap();
+        assert_eq!(u.name(), "w2v-chem");
+        assert_eq!(u.vocab_size(), 3);
+        assert_eq!(u.dim(), 3);
+        for id in 0..3u32 {
+            assert_eq!(t.vocab().token(id), u.vocab().token(id));
+            assert_eq!(t.vocab().count(id), u.vocab().count(id));
+            assert_eq!(t.vector(id), u.vector(id));
+        }
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("kcb-embed-store-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("table.kcbe");
+        let t = table();
+        save(&t, &path).unwrap();
+        let u = load(&path).unwrap();
+        assert_eq!(u.name(), t.name());
+        assert_eq!(u.vectors().as_slice(), t.vectors().as_slice());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_corrupt_input() {
+        assert!(from_bytes(b"nope").is_err());
+        assert!(from_bytes(b"KCBE\x01\x00\x00\x00").is_err());
+        let mut good = to_bytes(&table()).to_vec();
+        good.truncate(good.len() - 5);
+        assert!(from_bytes(&good).is_err());
+    }
+}

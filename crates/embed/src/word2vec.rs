@@ -1,0 +1,248 @@
+//! word2vec skip-gram with negative sampling (SGNS), trained from scratch —
+//! the paper's W2V-Chem model (§2.3): "a word2vec model was trained from
+//! scratch on ... papers from the chemical domain ... embeddings were
+//! initialized from random vectors".
+
+use crate::model::EmbeddingTable;
+use kcb_ml::linalg::Matrix;
+use kcb_text::Vocab;
+use kcb_util::Rng;
+
+/// SGNS hyperparameters (defaults follow the original word2vec tool).
+#[derive(Debug, Clone, Copy)]
+pub struct Word2VecConfig {
+    /// Embedding width.
+    pub dim: usize,
+    /// Maximum context window (actual window is sampled 1..=window).
+    pub window: usize,
+    /// Negative samples per positive pair.
+    pub negative: usize,
+    /// Passes over the corpus.
+    pub epochs: usize,
+    /// Initial learning rate (linearly decayed).
+    pub lr: f32,
+    /// Minimum token frequency to enter the vocabulary.
+    pub min_count: u64,
+    /// Frequent-word subsampling threshold (0 disables).
+    pub subsample: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Word2VecConfig {
+    fn default() -> Self {
+        Self {
+            dim: 100,
+            window: 5,
+            negative: 5,
+            epochs: 5,
+            lr: 0.025,
+            min_count: 2,
+            subsample: 1e-3,
+            seed: 42,
+        }
+    }
+}
+
+/// Trains SGNS embeddings on tokenized sentences and returns the input
+/// vectors as an [`EmbeddingTable`] named `name`.
+///
+/// ```
+/// use kcb_embed::{word2vec, EmbeddingModel};
+/// let corpus: Vec<Vec<String>> = (0..50)
+///     .map(|_| ["acid", "proton", "donor"].iter().map(|s| s.to_string()).collect())
+///     .collect();
+/// let cfg = word2vec::Word2VecConfig { dim: 8, epochs: 1, min_count: 1, ..Default::default() };
+/// let table = word2vec::train("demo", &corpus, &cfg);
+/// assert_eq!(table.vocab_size(), 3);
+/// assert_eq!(table.dim(), 8);
+/// ```
+pub fn train(name: &str, sentences: &[Vec<String>], cfg: &Word2VecConfig) -> EmbeddingTable {
+    let vocab = Vocab::from_streams(
+        sentences.iter().map(|s| s.iter().map(String::as_str)),
+        cfg.min_count,
+    );
+    assert!(!vocab.is_empty(), "word2vec: empty vocabulary");
+    let n = vocab.len();
+    let dim = cfg.dim;
+    let mut rng = Rng::seed_stream(cfg.seed, 0x2ec);
+
+    // syn0 = input vectors (the product), syn1 = output vectors.
+    let mut syn0 = vec![0.0f32; n * dim];
+    for v in &mut syn0 {
+        *v = (rng.f32() - 0.5) / dim as f32;
+    }
+    let mut syn1 = vec![0.0f32; n * dim];
+
+    // Unigram^0.75 negative-sampling distribution as a cumulative table.
+    let neg_cum: Vec<f64> = {
+        let mut acc = 0.0;
+        (0..n as u32)
+            .map(|i| {
+                acc += (vocab.count(i) as f64).powf(0.75);
+                acc
+            })
+            .collect()
+    };
+    let neg_total = *neg_cum.last().expect("non-empty vocab");
+    let draw_negative = move |rng: &mut Rng| -> u32 {
+        let t = rng.f64() * neg_total;
+        neg_cum.partition_point(|&c| c <= t).min(n - 1) as u32
+    };
+
+    // Pre-map sentences to ids (OOV dropped).
+    let id_sentences: Vec<Vec<u32>> = sentences
+        .iter()
+        .map(|s| s.iter().filter_map(|t| vocab.id(t)).collect())
+        .collect();
+    let total_tokens: usize = id_sentences.iter().map(Vec::len).sum();
+    let total_work = (total_tokens * cfg.epochs).max(1);
+    let corpus_size = vocab.total_count() as f64;
+
+    let mut processed = 0usize;
+    let mut grad_buf = vec![0.0f32; dim];
+    for _epoch in 0..cfg.epochs {
+        for sent in &id_sentences {
+            // Frequent-word subsampling (word2vec's keep probability).
+            let kept: Vec<u32> = sent
+                .iter()
+                .copied()
+                .filter(|&w| {
+                    processed += 1;
+                    if cfg.subsample <= 0.0 {
+                        return true;
+                    }
+                    let f = vocab.count(w) as f64 / corpus_size;
+                    let keep = (cfg.subsample / f).sqrt() + cfg.subsample / f;
+                    keep >= 1.0 || rng.f64() < keep
+                })
+                .collect();
+            if kept.len() < 2 {
+                continue;
+            }
+            let lr_now = {
+                let frac = processed as f32 / total_work as f32;
+                (cfg.lr * (1.0 - frac)).max(cfg.lr * 1e-4)
+            };
+            for (pos, &center) in kept.iter().enumerate() {
+                let b = 1 + rng.below(cfg.window);
+                let lo = pos.saturating_sub(b);
+                let hi = (pos + b + 1).min(kept.len());
+                for ctx_pos in lo..hi {
+                    if ctx_pos == pos {
+                        continue;
+                    }
+                    let context = kept[ctx_pos];
+                    // One positive + k negative updates on (center, *).
+                    grad_buf.fill(0.0);
+                    let v = center as usize * dim;
+                    for k in 0..=cfg.negative {
+                        let (target, label) = if k == 0 {
+                            (context, 1.0f32)
+                        } else {
+                            let neg = draw_negative(&mut rng);
+                            if neg == context {
+                                continue;
+                            }
+                            (neg, 0.0)
+                        };
+                        let u = target as usize * dim;
+                        let score: f32 = kcb_ml::linalg::dot(&syn0[v..v + dim], &syn1[u..u + dim]);
+                        let g = (label - kcb_ml::linalg::sigmoid(score)) * lr_now;
+                        for j in 0..dim {
+                            grad_buf[j] += g * syn1[u + j];
+                            syn1[u + j] += g * syn0[v + j];
+                        }
+                    }
+                    for j in 0..dim {
+                        syn0[v + j] += grad_buf[j];
+                    }
+                }
+            }
+        }
+    }
+
+    EmbeddingTable::new(name, vocab, Matrix::from_vec(syn0, n, dim))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{EmbeddingModel, Lookup};
+    use kcb_ml::linalg::cosine;
+
+    /// Two disjoint topic clusters; co-occurrence only within a cluster.
+    fn topic_corpus(n_sent: usize, seed: u64) -> Vec<Vec<String>> {
+        let mut rng = Rng::seed(seed);
+        let topic_a = ["acid", "proton", "donor", "carboxyl"];
+        let topic_b = ["steroid", "ring", "androstane", "hormone"];
+        (0..n_sent)
+            .map(|_| {
+                let topic: &[&str] = if rng.chance(0.5) { &topic_a } else { &topic_b };
+                (0..6).map(|_| topic[rng.below(topic.len())].to_string()).collect()
+            })
+            .collect()
+    }
+
+    fn small_cfg() -> Word2VecConfig {
+        Word2VecConfig { dim: 24, epochs: 12, min_count: 1, subsample: 0.0, ..Word2VecConfig::default() }
+    }
+
+    #[test]
+    fn cooccurring_tokens_are_closer() {
+        let corpus = topic_corpus(400, 1);
+        let t = train("w2v-test", &corpus, &small_cfg());
+        let mut acid = vec![0.0; 24];
+        let mut proton = vec![0.0; 24];
+        let mut steroid = vec![0.0; 24];
+        assert_eq!(t.embed_into("acid", &mut acid), Lookup::InVocab);
+        assert_eq!(t.embed_into("proton", &mut proton), Lookup::InVocab);
+        assert_eq!(t.embed_into("steroid", &mut steroid), Lookup::InVocab);
+        let same = cosine(&acid, &proton);
+        let cross = cosine(&acid, &steroid);
+        assert!(
+            same > cross + 0.2,
+            "within-topic sim {same} should beat cross-topic {cross}"
+        );
+    }
+
+    #[test]
+    fn nearest_neighbour_is_topical() {
+        let corpus = topic_corpus(400, 2);
+        let t = train("w2v-test", &corpus, &small_cfg());
+        let nn = t.nearest("steroid", 2);
+        let topical = ["ring", "androstane", "hormone"];
+        assert!(
+            topical.contains(&nn[0].0.as_str()),
+            "nearest of 'steroid' was {:?}",
+            nn
+        );
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let corpus = topic_corpus(50, 3);
+        let a = train("a", &corpus, &small_cfg());
+        let b = train("b", &corpus, &small_cfg());
+        assert_eq!(a.vectors().as_slice(), b.vectors().as_slice());
+    }
+
+    #[test]
+    fn min_count_prunes_rare_tokens() {
+        let corpus = vec![
+            vec!["common".to_string(), "common".to_string(), "rare".to_string()],
+            vec!["common".to_string(), "common".to_string()],
+        ];
+        let cfg = Word2VecConfig { min_count: 2, dim: 8, ..small_cfg() };
+        let t = train("t", &corpus, &cfg);
+        assert_eq!(t.vocab_size(), 1);
+        let mut out = vec![0.0; 8];
+        assert_eq!(t.embed_into("rare", &mut out), Lookup::Oov);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty vocabulary")]
+    fn rejects_empty_corpus() {
+        let _ = train("t", &[], &small_cfg());
+    }
+}

@@ -1,0 +1,22 @@
+//! In-context-learning harness (NLP paradigm 1, §2.4).
+//!
+//! Implements the paper's ICL experiments end to end: the three prompt
+//! formulations of Table 1 ([`prompt`]), response parsing including
+//! "I don't know" and unparseable output ([`parse`]), the 100-prompt ×
+//! 5-repeat protocol with Fleiss' kappa and unclassified-aware metrics
+//! ([`protocol`]), behavioural simulators for the API-gated GPT-3.5/GPT-4
+//! models ([`oracle`] — see DESIGN.md for the substitution rationale), and
+//! a real generative adapter that prompts the `kcb-lm` mini-GPT the way the
+//! paper prompts BioGPT ([`biogpt`]).
+
+pub mod biogpt;
+pub mod oracle;
+pub mod parse;
+pub mod prompt;
+pub mod protocol;
+
+pub use oracle::{LlmOracle, OracleProfile};
+pub use parse::{parse_response, Answer};
+pub use prompt::{FewShotExample, PromptBuilder, PromptVariant};
+pub use biogpt::BioGptMini;
+pub use protocol::{run_protocol, run_protocol_with_transcripts, IclResult, PromptContext, PromptItem, PromptedModel, Transcript};

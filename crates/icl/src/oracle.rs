@@ -1,0 +1,347 @@
+//! Behavioural LLM simulators for the API-gated GPT-3.5 / GPT-4 models.
+//!
+//! The real models cannot be called here (see the substitution table in
+//! DESIGN.md), so the ICL paradigm is exercised against *behavioural
+//! oracles*: each oracle holds a per-task competence profile (probability
+//! of judging a true/false triple correctly), an abstention policy tied to
+//! prompt variant #2, a garble rate for variant #3, and per-repeat response
+//! jitter. The oracle's "belief" about a given triple is a stable function
+//! of `(oracle name, triple key)`, so the five protocol repeats agree
+//! unless jitter flips one — Fleiss' kappa *emerges* from the protocol.
+//!
+//! The calibration constants below were set once against the paper's
+//! Table 5 (means of the per-variant rows) and are not fitted to our
+//! synthetic data. Everything downstream — prompt rendering, response
+//! text, parsing, unclassified accounting, kappa — is the real pipeline.
+
+use crate::prompt::PromptVariant;
+use crate::protocol::{PromptContext, PromptedModel};
+use kcb_util::Rng;
+
+/// Per-task judgment competence.
+#[derive(Debug, Clone, Copy)]
+pub struct TaskCompetence {
+    /// P(answer "True" | triple is true).
+    pub recall_true: f64,
+    /// P(answer "False" | triple is false).
+    pub recall_false: f64,
+}
+
+/// A behavioural profile for one simulated LLM.
+#[derive(Debug, Clone)]
+pub struct OracleProfile {
+    /// Display name (e.g. `"gpt-4-sim"`).
+    pub name: String,
+    /// Competence for tasks 1–3.
+    pub tasks: [TaskCompetence; 3],
+    /// P(abstain with "I don't know" | variant #2, belief is wrong) —
+    /// abstention correlates with uncertainty, which is why the paper sees
+    /// classified-only F1 rise under variant #2.
+    pub idk_when_wrong: f64,
+    /// P(abstain | variant #2, belief is right).
+    pub idk_when_right: f64,
+    /// P(produce an unparseable, hedging response | variant #3).
+    pub garble_v3: f64,
+    /// Accuracy shift under variant #3 (example-order randomisation).
+    pub v3_accuracy_delta: f64,
+    /// Per-repeat probability of flipping the stable belief (drives the
+    /// small SDs and the &lt;1.0 kappas in Table 5).
+    pub repeat_flip: f64,
+}
+
+impl OracleProfile {
+    /// The GPT-4 stand-in, calibrated against Table 5's GPT-4 rows.
+    pub fn gpt4_sim() -> Self {
+        Self {
+            name: "gpt-4-sim".to_string(),
+            tasks: [
+                TaskCompetence { recall_true: 0.825, recall_false: 0.995 },
+                TaskCompetence { recall_true: 0.768, recall_false: 0.765 },
+                TaskCompetence { recall_true: 0.805, recall_false: 0.935 },
+            ],
+            idk_when_wrong: 0.35,
+            idk_when_right: 0.02,
+            garble_v3: 0.08,
+            v3_accuracy_delta: 0.05,
+            repeat_flip: 0.010,
+        }
+    }
+
+    /// A Llama-2-class open-weight stand-in — the paper's stated future
+    /// work ("future work should evaluate the use of open source GPT
+    /// models like Meta's Llama2"). Not calibrated against published
+    /// numbers; positioned between GPT-3.5 and BioGPT: weaker knowledge
+    /// coverage, noisier formatting, lower consistency.
+    pub fn llama2_sim() -> Self {
+        Self {
+            name: "llama2-sim".to_string(),
+            tasks: [
+                TaskCompetence { recall_true: 0.60, recall_false: 0.85 },
+                TaskCompetence { recall_true: 0.55, recall_false: 0.60 },
+                TaskCompetence { recall_true: 0.52, recall_false: 0.75 },
+            ],
+            idk_when_wrong: 0.30,
+            idk_when_right: 0.12,
+            garble_v3: 0.25,
+            v3_accuracy_delta: 0.01,
+            repeat_flip: 0.05,
+        }
+    }
+
+    /// The GPT-3.5-Turbo stand-in, calibrated against Table 5's GPT-3.5
+    /// rows.
+    pub fn gpt35_sim() -> Self {
+        Self {
+            name: "gpt-3.5-sim".to_string(),
+            tasks: [
+                TaskCompetence { recall_true: 0.652, recall_false: 0.960 },
+                TaskCompetence { recall_true: 0.646, recall_false: 0.702 },
+                TaskCompetence { recall_true: 0.577, recall_false: 0.860 },
+            ],
+            idk_when_wrong: 0.50,
+            idk_when_right: 0.10,
+            garble_v3: 0.17,
+            v3_accuracy_delta: 0.02,
+            repeat_flip: 0.012,
+        }
+    }
+}
+
+/// A prompted model backed by an [`OracleProfile`].
+#[derive(Debug, Clone)]
+pub struct LlmOracle {
+    profile: OracleProfile,
+    name_hash: u64,
+}
+
+impl LlmOracle {
+    /// Wraps a profile.
+    pub fn new(profile: OracleProfile) -> Self {
+        let name_hash = kcb_util::fnv1a(profile.name.as_bytes());
+        Self { profile, name_hash }
+    }
+
+    /// The profile in use.
+    pub fn profile(&self) -> &OracleProfile {
+        &self.profile
+    }
+
+    /// The oracle's stable belief about a triple under a variant:
+    /// `Some(answer)` or `None` (will abstain/garble).
+    fn belief(&self, ctx: &PromptContext<'_>) -> Option<bool> {
+        let p = &self.profile;
+        // Stable per (oracle, triple, variant-family) stream.
+        let mut brng = Rng::seed_stream(self.name_hash ^ ctx.key, 0xbe11ef);
+        let t = (ctx.task - 1).min(2);
+        let mut p_correct =
+            if ctx.truth { p.tasks[t].recall_true } else { p.tasks[t].recall_false };
+        if ctx.variant == PromptVariant::Shuffled {
+            p_correct = (p_correct + p.v3_accuracy_delta).clamp(0.0, 1.0);
+        }
+        let correct = brng.chance(p_correct);
+        let answer = if correct { ctx.truth } else { !ctx.truth };
+
+        // Stable abstention decisions (drawn from the same stream so they
+        // are consistent across repeats).
+        match ctx.variant {
+            PromptVariant::AllowIdk => {
+                let p_idk = if correct { p.idk_when_right } else { p.idk_when_wrong };
+                if brng.chance(p_idk) {
+                    return None;
+                }
+            }
+            PromptVariant::Shuffled => {
+                if brng.chance(p.garble_v3) {
+                    return None;
+                }
+            }
+            PromptVariant::Base => {}
+        }
+        Some(answer)
+    }
+}
+
+const TRUE_PHRASES: &[&str] = &["True", "True.", "<classification>: True", "The triple is true."];
+const FALSE_PHRASES: &[&str] =
+    &["False", "False.", "<classification>: False", "The triple is false."];
+const GARBLE_PHRASES: &[&str] = &[
+    "The classification depends on the specific biological context of the assay.",
+    "This relationship requires additional structural information to assess.",
+    "As a language model, classifying this requires domain curation expertise.",
+];
+
+impl PromptedModel for LlmOracle {
+    fn name(&self) -> &str {
+        &self.profile.name
+    }
+
+    fn respond(&self, ctx: &PromptContext<'_>, rng: &mut Rng) -> String {
+        match self.belief(ctx) {
+            None => {
+                if ctx.variant == PromptVariant::AllowIdk {
+                    "I don't know".to_string()
+                } else {
+                    GARBLE_PHRASES[rng.below(GARBLE_PHRASES.len())].to_string()
+                }
+            }
+            Some(mut answer) => {
+                // Per-repeat jitter.
+                if rng.chance(self.profile.repeat_flip) {
+                    answer = !answer;
+                }
+                let pool = if answer { TRUE_PHRASES } else { FALSE_PHRASES };
+                pool[rng.below(pool.len())].to_string()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prompt::{FewShotExample, PromptBuilder};
+    use crate::protocol::{run_protocol, PromptItem};
+
+    fn fixtures(task: usize, n: usize) -> (PromptBuilder, Vec<PromptItem>) {
+        let pos = (0..3).map(|i| FewShotExample { text: format!("p{i}"), label: true }).collect();
+        let neg = (0..3).map(|i| FewShotExample { text: format!("n{i}"), label: false }).collect();
+        let items = (0..n)
+            .map(|i| PromptItem {
+                text: format!("t{i}"),
+                label: i % 2 == 0,
+                task,
+                key: (task * 10_000 + i) as u64,
+            })
+            .collect();
+        (PromptBuilder::new(pos, neg), items)
+    }
+
+    #[test]
+    fn gpt4_beats_gpt35_on_every_task() {
+        for task in 1..=3 {
+            let (b, items) = fixtures(task, 100);
+            let g4 = run_protocol(
+                &LlmOracle::new(OracleProfile::gpt4_sim()),
+                &b,
+                &items,
+                PromptVariant::Base,
+                5,
+                1,
+            );
+            let g35 = run_protocol(
+                &LlmOracle::new(OracleProfile::gpt35_sim()),
+                &b,
+                &items,
+                PromptVariant::Base,
+                5,
+                1,
+            );
+            assert!(
+                g4.accuracy_mean > g35.accuracy_mean,
+                "task {task}: gpt4 {} <= gpt35 {}",
+                g4.accuracy_mean,
+                g35.accuracy_mean
+            );
+        }
+    }
+
+    #[test]
+    fn task2_is_hardest_for_gpt4() {
+        let acc: Vec<f64> = (1..=3)
+            .map(|task| {
+                let (b, items) = fixtures(task, 100);
+                run_protocol(
+                    &LlmOracle::new(OracleProfile::gpt4_sim()),
+                    &b,
+                    &items,
+                    PromptVariant::Base,
+                    5,
+                    2,
+                )
+                .accuracy_mean
+            })
+            .collect();
+        assert!(acc[1] < acc[0] && acc[1] < acc[2], "task accs {acc:?}");
+    }
+
+    #[test]
+    fn variant2_trades_accuracy_for_abstention() {
+        let (b, items) = fixtures(1, 100);
+        let oracle = LlmOracle::new(OracleProfile::gpt4_sim());
+        let v1 = run_protocol(&oracle, &b, &items, PromptVariant::Base, 5, 3);
+        let v2 = run_protocol(&oracle, &b, &items, PromptVariant::AllowIdk, 5, 3);
+        assert_eq!(v1.n_unclassified, 0, "base variant never abstains");
+        assert!(v2.n_unclassified > 0);
+        assert!(v2.accuracy_mean < v1.accuracy_mean);
+        // Abstentions correlate with error → classified precision rises.
+        assert!(v2.precision_mean >= v1.precision_mean - 0.02);
+    }
+
+    #[test]
+    fn kappa_is_high_but_below_perfect() {
+        let (b, items) = fixtures(1, 100);
+        let r = run_protocol(
+            &LlmOracle::new(OracleProfile::gpt4_sim()),
+            &b,
+            &items,
+            PromptVariant::Base,
+            5,
+            4,
+        );
+        assert!(r.kappa > 0.9, "kappa {}", r.kappa);
+        assert!(r.kappa <= 1.0);
+    }
+
+    #[test]
+    fn accuracy_tracks_calibration_targets() {
+        // Task-1 base accuracy should land near the paper's 0.916 ±
+        // sampling noise on 100 items.
+        let (b, items) = fixtures(1, 100);
+        let r = run_protocol(
+            &LlmOracle::new(OracleProfile::gpt4_sim()),
+            &b,
+            &items,
+            PromptVariant::Base,
+            5,
+            5,
+        );
+        assert!((r.accuracy_mean - 0.91).abs() < 0.07, "acc {}", r.accuracy_mean);
+        // Near-perfect precision on task 1 (random negatives are easy).
+        assert!(r.precision_mean > 0.95, "precision {}", r.precision_mean);
+    }
+
+    #[test]
+    fn llama2_sits_between_gpt35_and_chance() {
+        let (b, items) = fixtures(1, 100);
+        let llama = run_protocol(
+            &LlmOracle::new(OracleProfile::llama2_sim()),
+            &b,
+            &items,
+            PromptVariant::Base,
+            5,
+            6,
+        );
+        let gpt35 = run_protocol(
+            &LlmOracle::new(OracleProfile::gpt35_sim()),
+            &b,
+            &items,
+            PromptVariant::Base,
+            5,
+            6,
+        );
+        assert!(llama.accuracy_mean < gpt35.accuracy_mean, "{} vs {}", llama.accuracy_mean, gpt35.accuracy_mean);
+        assert!(llama.accuracy_mean > 0.55, "better than coin flip: {}", llama.accuracy_mean);
+        assert!(llama.kappa < gpt35.kappa, "noisier than gpt-3.5");
+    }
+
+    #[test]
+    fn beliefs_are_stable_across_repeats_and_seeds() {
+        let (b, items) = fixtures(3, 60);
+        let oracle = LlmOracle::new(OracleProfile::gpt4_sim());
+        let r1 = run_protocol(&oracle, &b, &items, PromptVariant::Base, 5, 10);
+        let r2 = run_protocol(&oracle, &b, &items, PromptVariant::Base, 5, 99);
+        // Different protocol seeds change jitter but not the stable beliefs:
+        // accuracies stay within jitter distance.
+        assert!((r1.accuracy_mean - r2.accuracy_mean).abs() < 0.05);
+    }
+}

@@ -1,0 +1,141 @@
+//! LLM response parsing.
+//!
+//! The paper counts a response as unclassified when the model "did not give
+//! a valid result (True or False) or explicitly said 'I don't know'"
+//! (§3.5). The parser is deliberately lenient about surface form (case,
+//! punctuation, chatty framing) and strict about ambiguity.
+
+/// Parsed classification answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Answer {
+    /// The model answered True.
+    True,
+    /// The model answered False.
+    False,
+    /// The model explicitly declined ("I don't know").
+    Idk,
+    /// No usable answer could be extracted.
+    Unparseable,
+}
+
+impl Answer {
+    /// The boolean classification, when one was given.
+    pub fn as_bool(self) -> Option<bool> {
+        match self {
+            Answer::True => Some(true),
+            Answer::False => Some(false),
+            _ => None,
+        }
+    }
+
+    /// Category index for Fleiss-kappa tables (True / False / neither).
+    pub fn category(self) -> usize {
+        match self {
+            Answer::True => 0,
+            Answer::False => 1,
+            Answer::Idk | Answer::Unparseable => 2,
+        }
+    }
+}
+
+/// Parses a raw model response.
+///
+/// Rules, in order:
+/// 1. an explicit don't-know phrase anywhere → [`Answer::Idk`];
+/// 2. exactly one of the words `true` / `false` present (word-boundary,
+///    case-insensitive) → that answer; the first occurrence wins if the
+///    same word repeats;
+/// 3. both words present → the one appearing first wins *only* when it is
+///    within the first 3 words (a leading verdict followed by discussion);
+///    otherwise ambiguous → [`Answer::Unparseable`];
+/// 4. anything else → [`Answer::Unparseable`].
+pub fn parse_response(text: &str) -> Answer {
+    let lower = text.to_lowercase();
+    if lower.contains("i don't know")
+        || lower.contains("i do not know")
+        || lower.contains("i dont know")
+    {
+        return Answer::Idk;
+    }
+    let words: Vec<&str> = lower
+        .split(|c: char| !c.is_ascii_alphanumeric() && c != '\'')
+        .filter(|w| !w.is_empty())
+        .collect();
+    let first_true = words.iter().position(|&w| w == "true");
+    let first_false = words.iter().position(|&w| w == "false");
+    match (first_true, first_false) {
+        (Some(_), None) => Answer::True,
+        (None, Some(_)) => Answer::False,
+        (Some(t), Some(f)) => {
+            let (first, pos) = if t < f { (Answer::True, t) } else { (Answer::False, f) };
+            if pos < 3 {
+                first
+            } else {
+                Answer::Unparseable
+            }
+        }
+        (None, None) => Answer::Unparseable,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_answers() {
+        assert_eq!(parse_response("True"), Answer::True);
+        assert_eq!(parse_response("false"), Answer::False);
+        assert_eq!(parse_response(" True.\n"), Answer::True);
+        assert_eq!(parse_response("FALSE!"), Answer::False);
+    }
+
+    #[test]
+    fn chatty_answers() {
+        assert_eq!(parse_response("The triple is True."), Answer::True);
+        assert_eq!(
+            parse_response("False. The object does not match the subject class."),
+            Answer::False
+        );
+        assert_eq!(parse_response("<classification>: True"), Answer::True);
+    }
+
+    #[test]
+    fn idk_phrases() {
+        assert_eq!(parse_response("I don't know"), Answer::Idk);
+        assert_eq!(parse_response("Sorry, I do not know the answer."), Answer::Idk);
+        assert_eq!(parse_response("i dont know."), Answer::Idk);
+    }
+
+    #[test]
+    fn leading_verdict_with_discussion() {
+        assert_eq!(
+            parse_response("True, although one could argue it is false in some contexts."),
+            Answer::True
+        );
+        assert_eq!(parse_response("Answer: False — not true at all."), Answer::False);
+    }
+
+    #[test]
+    fn ambiguous_and_garbage() {
+        assert_eq!(
+            parse_response("It could be true or it could be false."),
+            Answer::Unparseable
+        );
+        assert_eq!(parse_response(""), Answer::Unparseable);
+        assert_eq!(parse_response("The compound reacts with water."), Answer::Unparseable);
+        // Substrings must not match ("untrue" is not "true").
+        assert_eq!(parse_response("untrue statement"), Answer::Unparseable);
+        assert_eq!(parse_response("truthiness"), Answer::Unparseable);
+    }
+
+    #[test]
+    fn category_mapping() {
+        assert_eq!(Answer::True.category(), 0);
+        assert_eq!(Answer::False.category(), 1);
+        assert_eq!(Answer::Idk.category(), 2);
+        assert_eq!(Answer::Unparseable.category(), 2);
+        assert_eq!(Answer::True.as_bool(), Some(true));
+        assert_eq!(Answer::Idk.as_bool(), None);
+    }
+}

@@ -1,0 +1,178 @@
+//! Few-shot prompt construction (paper Table 1 and §2.4).
+//!
+//! Three formulations were tested:
+//! * **Variant #1 (base)** — three positive examples, then three negative
+//!   examples, then the query (Table 1).
+//! * **Variant #2 (allow IDK)** — variant #1 plus "If you do not know the
+//!   answer, state 'I don't know'".
+//! * **Variant #3 (shuffled)** — positive and negative examples presented
+//!   in random order (the BioGPT order-bias mitigation).
+
+use kcb_util::Rng;
+
+/// The three prompt formulations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PromptVariant {
+    /// Variant #1: the base template.
+    Base,
+    /// Variant #2: base plus the "I don't know" escape hatch.
+    AllowIdk,
+    /// Variant #3: examples in random order.
+    Shuffled,
+}
+
+impl PromptVariant {
+    /// All variants in paper order.
+    pub const ALL: [PromptVariant; 3] =
+        [PromptVariant::Base, PromptVariant::AllowIdk, PromptVariant::Shuffled];
+
+    /// Paper label ("#1", "#2", "#3").
+    pub fn label(self) -> &'static str {
+        match self {
+            PromptVariant::Base => "#1",
+            PromptVariant::AllowIdk => "#2",
+            PromptVariant::Shuffled => "#3",
+        }
+    }
+}
+
+/// One in-context example: rendered triple text plus its truth label.
+#[derive(Debug, Clone)]
+pub struct FewShotExample {
+    /// Verbalised triple, e.g. `"ammonium chloride has role ferroptosis
+    /// inhibitor"`.
+    pub text: String,
+    /// Whether it is presented as True.
+    pub label: bool,
+}
+
+/// Builds prompt texts from examples + a query triple.
+#[derive(Debug, Clone)]
+pub struct PromptBuilder {
+    positives: Vec<FewShotExample>,
+    negatives: Vec<FewShotExample>,
+}
+
+impl PromptBuilder {
+    /// Creates a builder from positive and negative example pools. The
+    /// paper uses exactly three of each (§2.4).
+    pub fn new(positives: Vec<FewShotExample>, negatives: Vec<FewShotExample>) -> Self {
+        assert!(!positives.is_empty() && !negatives.is_empty(), "need both example polarities");
+        assert!(
+            positives.iter().all(|e| e.label) && negatives.iter().all(|e| !e.label),
+            "example labels disagree with their pool"
+        );
+        Self { positives, negatives }
+    }
+
+    /// Renders the prompt for a query under the given variant. `rng` drives
+    /// variant #3's example shuffling (pass a per-prompt fork for
+    /// reproducibility).
+    pub fn render(&self, query_text: &str, variant: PromptVariant, rng: &mut Rng) -> String {
+        let mut examples: Vec<&FewShotExample> = match variant {
+            PromptVariant::Base | PromptVariant::AllowIdk => {
+                self.positives.iter().chain(self.negatives.iter()).collect()
+            }
+            PromptVariant::Shuffled => {
+                let mut all: Vec<&FewShotExample> =
+                    self.positives.iter().chain(self.negatives.iter()).collect();
+                rng.shuffle(&mut all);
+                all
+            }
+        };
+        let mut out = String::with_capacity(256 + examples.len() * 96);
+        out.push_str("Your task is to classify triples as True or False.");
+        if variant == PromptVariant::AllowIdk {
+            out.push_str(" If you do not know the answer, state 'I don't know'.");
+        }
+        out.push('\n');
+        for e in examples.drain(..) {
+            out.push_str("<triple>: ");
+            out.push_str(&e.text);
+            out.push_str("\n<classification>: ");
+            out.push_str(if e.label { "True" } else { "False" });
+            out.push('\n');
+        }
+        out.push_str("<triple>: ");
+        out.push_str(query_text);
+        out.push_str("\n<classification>:");
+        out
+    }
+
+    /// Number of in-context examples.
+    pub fn n_examples(&self) -> usize {
+        self.positives.len() + self.negatives.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn builder() -> PromptBuilder {
+        let pos = (0..3)
+            .map(|i| FewShotExample { text: format!("pos-{i} is a thing"), label: true })
+            .collect();
+        let neg = (0..3)
+            .map(|i| FewShotExample { text: format!("neg-{i} is a thing"), label: false })
+            .collect();
+        PromptBuilder::new(pos, neg)
+    }
+
+    #[test]
+    fn base_prompt_matches_table_1_shape() {
+        let b = builder();
+        let mut rng = Rng::seed(1);
+        let p = b.render("query-triple has role x", PromptVariant::Base, &mut rng);
+        assert!(p.starts_with("Your task is to classify triples as True or False."));
+        assert_eq!(p.matches("<triple>:").count(), 7, "6 examples + query");
+        assert_eq!(p.matches("<classification>:").count(), 7);
+        assert_eq!(p.matches("True").count(), 4, "3 labels + instruction mention");
+        assert!(p.ends_with("<classification>:"));
+        // Base order: positives strictly before negatives.
+        assert!(p.find("pos-2").unwrap() < p.find("neg-0").unwrap());
+        assert!(!p.contains("I don't know"));
+    }
+
+    #[test]
+    fn idk_variant_adds_escape_sentence() {
+        let b = builder();
+        let mut rng = Rng::seed(1);
+        let p = b.render("q", PromptVariant::AllowIdk, &mut rng);
+        assert!(p.contains("state 'I don't know'"));
+    }
+
+    #[test]
+    fn shuffled_variant_randomises_order() {
+        let b = builder();
+        // Across seeds, the first example should vary.
+        let firsts: std::collections::HashSet<String> = (0..12)
+            .map(|s| {
+                let mut rng = Rng::seed(s);
+                let p = b.render("q", PromptVariant::Shuffled, &mut rng);
+                let start = p.find("<triple>: ").unwrap() + 10;
+                p[start..start + 5].to_string()
+            })
+            .collect();
+        assert!(firsts.len() > 1, "shuffling never changed example order");
+    }
+
+    #[test]
+    fn shuffled_keeps_all_examples() {
+        let b = builder();
+        let mut rng = Rng::seed(3);
+        let p = b.render("q", PromptVariant::Shuffled, &mut rng);
+        for i in 0..3 {
+            assert!(p.contains(&format!("pos-{i}")));
+            assert!(p.contains(&format!("neg-{i}")));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "example labels disagree")]
+    fn rejects_mislabelled_pools() {
+        let pos = vec![FewShotExample { text: "x".into(), label: false }];
+        let neg = vec![FewShotExample { text: "y".into(), label: false }];
+        let _ = PromptBuilder::new(pos, neg);
+    }
+}

@@ -1,0 +1,339 @@
+//! The §2.4 evaluation protocol: N prompts, each sent R times; accuracy
+//! over everything, precision/recall/F1 over classified answers only, and
+//! Fleiss' kappa over the repeats (Table 5's columns).
+
+use crate::parse::{parse_response, Answer};
+use crate::prompt::{PromptBuilder, PromptVariant};
+use kcb_ml::kappa::{fleiss_kappa, ratings_from_answers};
+use kcb_ml::metrics::eval_with_abstentions;
+use kcb_util::Rng;
+use serde::Serialize;
+
+/// One query to classify.
+#[derive(Debug, Clone)]
+pub struct PromptItem {
+    /// Verbalised triple text.
+    pub text: String,
+    /// Ground-truth label.
+    pub label: bool,
+    /// Which curation task (1–3) the triple belongs to.
+    pub task: usize,
+    /// Stable identifier of the underlying triple — behavioural simulators
+    /// key their per-triple "belief" on this so that repeats agree.
+    pub key: u64,
+}
+
+/// Everything a model sees (plus ground truth, readable only by
+/// simulators) for one request.
+#[derive(Debug)]
+pub struct PromptContext<'a> {
+    /// Fully rendered prompt.
+    pub prompt_text: &'a str,
+    /// The query triple's text.
+    pub query_text: &'a str,
+    /// Ground truth (simulators only; the generative adapter ignores it).
+    pub truth: bool,
+    /// Task number (1–3).
+    pub task: usize,
+    /// Prompt formulation in use.
+    pub variant: PromptVariant,
+    /// Stable query identifier.
+    pub key: u64,
+    /// Repeat index (0-based).
+    pub repeat: usize,
+}
+
+/// A model that can be prompted (a behavioural oracle or a real generative
+/// model).
+pub trait PromptedModel {
+    /// Display name.
+    fn name(&self) -> &str;
+    /// Produces the raw text response for one request. `rng` is a
+    /// per-request stream (deterministic in `(seed, item, repeat)`).
+    fn respond(&self, ctx: &PromptContext<'_>, rng: &mut Rng) -> String;
+}
+
+/// Aggregated result of one (model, variant, task) run — one row of
+/// Table 5.
+#[derive(Debug, Clone, Serialize)]
+pub struct IclResult {
+    /// Model name.
+    pub model: String,
+    /// Prompt variant label (`#1`/`#2`/`#3`).
+    pub variant: String,
+    /// Task number.
+    pub task: usize,
+    /// Mean overall accuracy across repeats (abstentions count as wrong).
+    pub accuracy_mean: f64,
+    /// SD of accuracy across repeats.
+    pub accuracy_sd: f64,
+    /// Total unclassified responses across all repeats.
+    pub n_unclassified: usize,
+    /// Unclassified as a share of all responses.
+    pub pct_unclassified: f64,
+    /// Mean positive-class precision over classified answers.
+    pub precision_mean: f64,
+    /// SD of precision.
+    pub precision_sd: f64,
+    /// Mean recall.
+    pub recall_mean: f64,
+    /// SD of recall.
+    pub recall_sd: f64,
+    /// Mean F1.
+    pub f1_mean: f64,
+    /// SD of F1.
+    pub f1_sd: f64,
+    /// Fleiss' kappa over the repeats (True / False / unclassified).
+    pub kappa: f64,
+}
+
+/// One recorded exchange: what was asked, what came back, how it parsed.
+///
+/// The paper's §4 limitations flag that API-hosted models drift between
+/// runs ("our initial GPT-3.5 experiments ... yielded significantly poorer
+/// results than the latest run on the same model"); persisting transcripts
+/// makes every ICL run auditable and diffable.
+#[derive(Debug, Clone, Serialize)]
+pub struct Transcript {
+    /// The query triple's text.
+    pub query: String,
+    /// Ground-truth label.
+    pub label: bool,
+    /// Repeat index (0-based).
+    pub repeat: usize,
+    /// Raw model response.
+    pub response: String,
+    /// The parser's verdict (`"True"`, `"False"`, `"Idk"`, `"Unparseable"`).
+    pub parsed: String,
+}
+
+/// Runs the protocol: every item is prompted `n_repeats` times under the
+/// given variant; metrics follow §3.5's unclassified-aware accounting.
+///
+/// ```
+/// use kcb_icl::{run_protocol, FewShotExample, PromptBuilder, PromptItem, PromptVariant};
+/// use kcb_icl::{PromptContext, PromptedModel};
+///
+/// struct AlwaysTrue;
+/// impl PromptedModel for AlwaysTrue {
+///     fn name(&self) -> &str { "always-true" }
+///     fn respond(&self, _ctx: &PromptContext<'_>, _rng: &mut kcb_util::Rng) -> String {
+///         "True".into()
+///     }
+/// }
+///
+/// let builder = PromptBuilder::new(
+///     vec![FewShotExample { text: "p".into(), label: true }],
+///     vec![FewShotExample { text: "n".into(), label: false }],
+/// );
+/// let items: Vec<PromptItem> = (0..10)
+///     .map(|i| PromptItem { text: format!("t{i}"), label: i % 2 == 0, task: 1, key: i })
+///     .collect();
+/// let r = run_protocol(&AlwaysTrue, &builder, &items, PromptVariant::Base, 2, 7);
+/// assert!((r.accuracy_mean - 0.5).abs() < 1e-9); // half the labels are true
+/// assert_eq!(r.kappa, 1.0);                      // perfectly consistent
+/// ```
+pub fn run_protocol(
+    model: &dyn PromptedModel,
+    builder: &PromptBuilder,
+    items: &[PromptItem],
+    variant: PromptVariant,
+    n_repeats: usize,
+    seed: u64,
+) -> IclResult {
+    run_protocol_with_transcripts(model, builder, items, variant, n_repeats, seed).0
+}
+
+/// Like [`run_protocol`] but also returns the full exchange log, one
+/// [`Transcript`] per (item, repeat) in repeat-major order.
+pub fn run_protocol_with_transcripts(
+    model: &dyn PromptedModel,
+    builder: &PromptBuilder,
+    items: &[PromptItem],
+    variant: PromptVariant,
+    n_repeats: usize,
+    seed: u64,
+) -> (IclResult, Vec<Transcript>) {
+    assert!(!items.is_empty(), "no prompt items");
+    assert!(n_repeats >= 2, "kappa needs at least 2 repeats");
+    let task = items[0].task;
+    let labels: Vec<bool> = items.iter().map(|i| i.label).collect();
+
+    // answers[item][repeat]
+    let mut answers: Vec<Vec<Answer>> = vec![Vec::with_capacity(n_repeats); items.len()];
+    let mut transcripts: Vec<Transcript> = Vec::with_capacity(items.len() * n_repeats);
+    for repeat in 0..n_repeats {
+        for (i, item) in items.iter().enumerate() {
+            let mut rng = Rng::seed_stream(seed, kcb_util::fnv1a_u64s(&[repeat as u64, i as u64, 0x9c01]));
+            let prompt_text = builder.render(&item.text, variant, &mut rng);
+            let ctx = PromptContext {
+                prompt_text: &prompt_text,
+                query_text: &item.text,
+                truth: item.label,
+                task: item.task,
+                variant,
+                key: item.key,
+                repeat,
+            };
+            let response = model.respond(&ctx, &mut rng);
+            let parsed = parse_response(&response);
+            transcripts.push(Transcript {
+                query: item.text.clone(),
+                label: item.label,
+                repeat,
+                response,
+                parsed: format!("{parsed:?}"),
+            });
+            answers[i].push(parsed);
+        }
+    }
+
+    // Per-repeat metrics.
+    let mut accs = Vec::with_capacity(n_repeats);
+    let mut precs = Vec::with_capacity(n_repeats);
+    let mut recs = Vec::with_capacity(n_repeats);
+    let mut f1s = Vec::with_capacity(n_repeats);
+    let mut n_unclassified = 0usize;
+    for r in 0..n_repeats {
+        let preds: Vec<Option<bool>> = answers.iter().map(|a| a[r].as_bool()).collect();
+        let m = eval_with_abstentions(&preds, &labels);
+        n_unclassified += m.n_unclassified;
+        accs.push(m.overall_accuracy);
+        precs.push(m.classified.precision);
+        recs.push(m.classified.recall);
+        f1s.push(m.classified.f1);
+    }
+
+    // Fleiss' kappa over (True / False / neither).
+    let cat_answers: Vec<Vec<usize>> = answers
+        .iter()
+        .map(|reps| reps.iter().map(|a| a.category()).collect())
+        .collect();
+    let kappa = fleiss_kappa(&ratings_from_answers(&cat_answers, 3));
+
+    let total = items.len() * n_repeats;
+    let result = IclResult {
+        model: model.name().to_string(),
+        variant: variant.label().to_string(),
+        task,
+        accuracy_mean: kcb_ml::stats::mean(&accs),
+        accuracy_sd: kcb_ml::stats::std_dev(&accs),
+        n_unclassified,
+        pct_unclassified: n_unclassified as f64 / total as f64,
+        precision_mean: kcb_ml::stats::mean(&precs),
+        precision_sd: kcb_ml::stats::std_dev(&precs),
+        recall_mean: kcb_ml::stats::mean(&recs),
+        recall_sd: kcb_ml::stats::std_dev(&recs),
+        f1_mean: kcb_ml::stats::mean(&f1s),
+        f1_sd: kcb_ml::stats::std_dev(&f1s),
+        kappa,
+    };
+    (result, transcripts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prompt::FewShotExample;
+
+    /// A model that always answers the truth.
+    struct Perfect;
+    impl PromptedModel for Perfect {
+        fn name(&self) -> &str {
+            "perfect"
+        }
+        fn respond(&self, ctx: &PromptContext<'_>, _rng: &mut Rng) -> String {
+            if ctx.truth { "True" } else { "False" }.to_string()
+        }
+    }
+
+    /// A model that answers uniformly at random each time.
+    struct Coin;
+    impl PromptedModel for Coin {
+        fn name(&self) -> &str {
+            "coin"
+        }
+        fn respond(&self, _ctx: &PromptContext<'_>, rng: &mut Rng) -> String {
+            if rng.chance(0.5) { "True" } else { "False" }.to_string()
+        }
+    }
+
+    /// A model that always refuses.
+    struct Refuser;
+    impl PromptedModel for Refuser {
+        fn name(&self) -> &str {
+            "refuser"
+        }
+        fn respond(&self, _ctx: &PromptContext<'_>, _rng: &mut Rng) -> String {
+            "I don't know".to_string()
+        }
+    }
+
+    fn fixtures() -> (PromptBuilder, Vec<PromptItem>) {
+        let pos = (0..3).map(|i| FewShotExample { text: format!("p{i}"), label: true }).collect();
+        let neg = (0..3).map(|i| FewShotExample { text: format!("n{i}"), label: false }).collect();
+        let builder = PromptBuilder::new(pos, neg);
+        let items: Vec<PromptItem> = (0..40)
+            .map(|i| PromptItem {
+                text: format!("triple-{i}"),
+                label: i % 2 == 0,
+                task: 1,
+                key: i as u64,
+            })
+            .collect();
+        (builder, items)
+    }
+
+    #[test]
+    fn perfect_model_scores_perfectly() {
+        let (b, items) = fixtures();
+        let r = run_protocol(&Perfect, &b, &items, PromptVariant::Base, 5, 1);
+        assert_eq!(r.accuracy_mean, 1.0);
+        assert_eq!(r.f1_mean, 1.0);
+        assert_eq!(r.n_unclassified, 0);
+        assert_eq!(r.kappa, 1.0);
+        assert_eq!(r.accuracy_sd, 0.0);
+    }
+
+    #[test]
+    fn coin_model_has_chance_accuracy_and_low_kappa() {
+        let (b, items) = fixtures();
+        let r = run_protocol(&Coin, &b, &items, PromptVariant::Base, 5, 2);
+        assert!((r.accuracy_mean - 0.5).abs() < 0.15, "acc {}", r.accuracy_mean);
+        assert!(r.kappa < 0.25, "kappa {}", r.kappa);
+    }
+
+    #[test]
+    fn refuser_hits_accuracy_but_not_classified_metrics() {
+        let (b, items) = fixtures();
+        let r = run_protocol(&Refuser, &b, &items, PromptVariant::AllowIdk, 5, 3);
+        assert_eq!(r.accuracy_mean, 0.0);
+        assert_eq!(r.n_unclassified, 200);
+        assert!((r.pct_unclassified - 1.0).abs() < 1e-12);
+        assert_eq!(r.f1_mean, 0.0);
+        assert_eq!(r.kappa, 1.0, "consistent refusal is perfect agreement");
+    }
+
+    #[test]
+    fn transcripts_record_every_exchange() {
+        let (b, items) = fixtures();
+        let (r, ts) = run_protocol_with_transcripts(&Perfect, &b, &items, PromptVariant::Base, 3, 1);
+        assert_eq!(ts.len(), items.len() * 3);
+        assert_eq!(r.accuracy_mean, 1.0);
+        for t in &ts {
+            assert_eq!(t.parsed, if t.label { "True" } else { "False" });
+            assert!(t.repeat < 3);
+        }
+        // Repeat-major order: first block is repeat 0.
+        assert!(ts[..items.len()].iter().all(|t| t.repeat == 0));
+    }
+
+    #[test]
+    fn protocol_is_deterministic() {
+        let (b, items) = fixtures();
+        let r1 = run_protocol(&Coin, &b, &items, PromptVariant::Shuffled, 5, 7);
+        let r2 = run_protocol(&Coin, &b, &items, PromptVariant::Shuffled, 5, 7);
+        assert_eq!(r1.accuracy_mean, r2.accuracy_mean);
+        assert_eq!(r1.kappa, r2.kappa);
+    }
+}

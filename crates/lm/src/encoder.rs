@@ -1,0 +1,362 @@
+//! Mini-BERT: a bidirectional encoder with masked-LM pre-training, a
+//! binary classification head for fine-tuning (NLP paradigm 2, §2.5) and
+//! contextual `[CLS]` embeddings (the PubmedBERT-embeddings variant used by
+//! the supervised paradigm, §2.3: "summed up the last 4 hidden layers of
+//! the special token [CLS]").
+
+use crate::optim::Adam;
+use crate::tensor::{Tensor, IGNORE_TARGET};
+use crate::transformer::{xavier, Backbone, TrainConfig, TransformerConfig};
+use kcb_ml::linalg::Matrix;
+use kcb_text::wordpiece::special;
+use kcb_util::Rng;
+
+/// Mini-BERT hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct MiniBertConfig {
+    /// Backbone architecture.
+    pub arch: TransformerConfig,
+    /// Fraction of maskable positions selected for MLM.
+    pub mask_prob: f64,
+}
+
+impl Default for MiniBertConfig {
+    fn default() -> Self {
+        Self { arch: TransformerConfig::default(), mask_prob: 0.15 }
+    }
+}
+
+/// A mini BERT-style encoder.
+pub struct MiniBert {
+    backbone: Backbone,
+    mlm_w: Tensor,
+    mlm_b: Tensor,
+    cls_w: Tensor,
+    cls_b: Tensor,
+    cfg: MiniBertConfig,
+}
+
+impl MiniBert {
+    /// Initialises an untrained model.
+    pub fn new(cfg: MiniBertConfig) -> Self {
+        let mut rng = Rng::seed_stream(cfg.arch.seed, 0xbe47);
+        let backbone = Backbone::new(cfg.arch, &mut rng);
+        let d = cfg.arch.d_model;
+        Self {
+            mlm_w: Tensor::leaf(xavier(d, cfg.arch.vocab_size, &mut rng)),
+            mlm_b: Tensor::leaf(Matrix::zeros(1, cfg.arch.vocab_size)),
+            cls_w: Tensor::leaf(xavier(d, 2, &mut rng)),
+            cls_b: Tensor::leaf(Matrix::zeros(1, 2)),
+            backbone,
+            cfg,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &MiniBertConfig {
+        &self.cfg
+    }
+
+    /// Truncates a sequence to the positional budget.
+    pub fn clamp(&self, ids: &mut Vec<u32>) {
+        ids.truncate(self.cfg.arch.max_len);
+    }
+
+    /// Masked-LM pre-training. Returns the mean loss per epoch.
+    ///
+    /// BERT's 80/10/10 corruption: of the selected positions, 80 % become
+    /// `[MASK]`, 10 % a random piece, 10 % stay unchanged; special tokens
+    /// are never selected.
+    pub fn pretrain_mlm(&self, sequences: &[Vec<u32>], tc: &TrainConfig) -> Vec<f32> {
+        assert!(!sequences.is_empty(), "empty pre-training corpus");
+        let mut rng = Rng::seed_stream(tc.seed, 0x313a);
+        let mut opt = Adam::new(self.all_params(), tc.lr);
+        let v = self.cfg.arch.vocab_size as u32;
+        let mut order: Vec<usize> = (0..sequences.len()).collect();
+        let mut epoch_losses = Vec::with_capacity(tc.epochs);
+
+        for _epoch in 0..tc.epochs {
+            rng.shuffle(&mut order);
+            let mut total = 0.0f64;
+            let mut n_batches = 0usize;
+            for batch in order.chunks(tc.batch_size) {
+                opt.zero_grad();
+                let mut batch_loss = 0.0f64;
+                let mut used = 0usize;
+                for &i in batch {
+                    let mut ids: Vec<u32> = sequences[i].clone();
+                    self.clamp(&mut ids);
+                    if ids.len() < 2 {
+                        continue;
+                    }
+                    // Build corrupted input + targets.
+                    let mut targets = vec![IGNORE_TARGET; ids.len()];
+                    let mut masked_any = false;
+                    for (pos, id) in ids.iter_mut().enumerate() {
+                        if *id < special::COUNT as u32 {
+                            continue;
+                        }
+                        if !rng.chance(self.cfg.mask_prob) {
+                            continue;
+                        }
+                        targets[pos] = *id;
+                        masked_any = true;
+                        let roll = rng.f64();
+                        if roll < 0.8 {
+                            *id = special::MASK;
+                        } else if roll < 0.9 {
+                            *id = special::COUNT as u32 + rng.below((v as usize) - special::COUNT) as u32;
+                        } // else keep
+                    }
+                    if !masked_any {
+                        // Force one mask so every sequence contributes —
+                        // but only over maskable (non-special) positions.
+                        let maskable: Vec<usize> = (0..ids.len())
+                            .filter(|&p| ids[p] >= special::COUNT as u32)
+                            .collect();
+                        if maskable.is_empty() {
+                            continue;
+                        }
+                        let pos = maskable[rng.below(maskable.len())];
+                        targets[pos] = ids[pos];
+                        ids[pos] = special::MASK;
+                    }
+                    // Head only at supervised positions (hot-path saver).
+                    let positions: Vec<usize> = targets
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, &t)| t != IGNORE_TARGET)
+                        .map(|(p, _)| p)
+                        .collect();
+                    let masked_targets: Vec<u32> =
+                        positions.iter().map(|&p| targets[p]).collect();
+                    let hidden = self.backbone.forward(&ids, false);
+                    let picked = hidden.select_rows(&positions);
+                    let logits = picked.matmul(&self.mlm_w).add_row(&self.mlm_b);
+                    let loss = logits.cross_entropy(&masked_targets).scale(1.0 / batch.len() as f32);
+                    batch_loss += f64::from(loss.data().get(0, 0)) * batch.len() as f64;
+                    loss.backward();
+                    used += 1;
+                }
+                if used > 0 {
+                    opt.step();
+                    total += batch_loss / used as f64;
+                    n_batches += 1;
+                }
+            }
+            epoch_losses.push((total / n_batches.max(1) as f64) as f32);
+        }
+        epoch_losses
+    }
+
+    /// Fine-tunes the classification head (and the whole backbone) on
+    /// labelled sequences. Returns mean loss per epoch.
+    pub fn fine_tune(&self, examples: &[(Vec<u32>, bool)], tc: &TrainConfig) -> Vec<f32> {
+        assert!(!examples.is_empty(), "empty fine-tuning set");
+        let mut rng = Rng::seed_stream(tc.seed, 0xf17e);
+        let mut opt = Adam::new(self.all_params(), tc.lr);
+        let mut order: Vec<usize> = (0..examples.len()).collect();
+        let mut epoch_losses = Vec::with_capacity(tc.epochs);
+        for _epoch in 0..tc.epochs {
+            rng.shuffle(&mut order);
+            let mut total = 0.0f64;
+            let mut n_batches = 0usize;
+            for batch in order.chunks(tc.batch_size) {
+                opt.zero_grad();
+                let mut batch_loss = 0.0;
+                for &i in batch {
+                    let (ids, label) = &examples[i];
+                    let logits = self.class_logits(ids);
+                    let target = [u32::from(*label)];
+                    let loss = logits.cross_entropy(&target).scale(1.0 / batch.len() as f32);
+                    batch_loss += f64::from(loss.data().get(0, 0)) * batch.len() as f64;
+                    loss.backward();
+                }
+                opt.step();
+                total += batch_loss / batch.len() as f64;
+                n_batches += 1;
+            }
+            epoch_losses.push((total / n_batches.max(1) as f64) as f32);
+        }
+        epoch_losses
+    }
+
+    fn class_logits(&self, ids: &[u32]) -> Tensor {
+        let mut ids = ids.to_vec();
+        self.clamp(&mut ids);
+        let hidden = self.backbone.forward(&ids, false);
+        let cls = hidden.select_rows(&[0]);
+        cls.matmul(&self.cls_w).add_row(&self.cls_b)
+    }
+
+    /// Positive-class probability for one sequence (first token should be
+    /// `[CLS]`).
+    pub fn predict_proba(&self, ids: &[u32]) -> f32 {
+        let logits = self.class_logits(ids);
+        let l = logits.data();
+        let (a, b) = (l.get(0, 0), l.get(0, 1));
+        let m = a.max(b);
+        let ea = (a - m).exp();
+        let eb = (b - m).exp();
+        eb / (ea + eb)
+    }
+
+    /// Hard prediction at 0.5.
+    pub fn predict(&self, ids: &[u32]) -> bool {
+        self.predict_proba(ids) >= 0.5
+    }
+
+    /// Contextual embedding of a sequence: the sum of the `[CLS]` position
+    /// over the last (up to) four hidden states (§2.3).
+    pub fn encode(&self, ids: &[u32]) -> Vec<f32> {
+        let mut ids = ids.to_vec();
+        self.clamp(&mut ids);
+        let states = self.backbone.forward_all(&ids, false);
+        let take = states.len().min(4);
+        let d = self.cfg.arch.d_model;
+        let mut out = vec![0.0f32; d];
+        for s in &states[states.len() - take..] {
+            let data = s.data();
+            for (o, &v) in out.iter_mut().zip(data.row(0)) {
+                *o += v;
+            }
+        }
+        out
+    }
+
+    /// Mean classification cross-entropy over a labelled set.
+    pub fn eval_loss(&self, examples: &[(Vec<u32>, bool)]) -> f32 {
+        let mut total = 0.0f64;
+        for (ids, label) in examples {
+            let p = self.predict_proba(ids).clamp(1e-6, 1.0 - 1e-6);
+            total -= if *label { f64::from(p.ln()) } else { f64::from((1.0 - p).ln()) };
+        }
+        (total / examples.len() as f64) as f32
+    }
+
+    fn all_params(&self) -> Vec<Tensor> {
+        let mut p = self.backbone.params();
+        p.extend([self.mlm_w.clone(), self.mlm_b.clone(), self.cls_w.clone(), self.cls_b.clone()]);
+        p
+    }
+
+    /// Copies all weights out (pair with [`MiniBert::restore`] to fine-tune
+    /// repeatedly from one pre-trained checkpoint).
+    pub fn snapshot(&self) -> Vec<Matrix> {
+        self.all_params().iter().map(|p| p.data().clone()).collect()
+    }
+
+    /// Restores weights captured by [`MiniBert::snapshot`].
+    pub fn restore(&self, weights: &[Matrix]) {
+        let params = self.all_params();
+        assert_eq!(params.len(), weights.len(), "snapshot arity mismatch");
+        for (p, w) in params.iter().zip(weights) {
+            p.set_data(w.clone());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> MiniBertConfig {
+        MiniBertConfig {
+            arch: TransformerConfig {
+                vocab_size: 32,
+                d_model: 16,
+                n_heads: 2,
+                n_layers: 2,
+                d_ff: 32,
+                max_len: 12,
+                seed: 7,
+            },
+            mask_prob: 0.2,
+        }
+    }
+
+    /// A trivial "language": token 2k is always followed by 2k+1.
+    fn paired_corpus(n: usize, seed: u64) -> Vec<Vec<u32>> {
+        let mut rng = Rng::seed(seed);
+        (0..n)
+            .map(|_| {
+                let mut seq = vec![special::CLS];
+                for _ in 0..4 {
+                    let k = 5 + 2 * rng.below(12) as u32;
+                    seq.push(k);
+                    seq.push(k + 1);
+                }
+                seq
+            })
+            .collect()
+    }
+
+    #[test]
+    fn mlm_loss_decreases() {
+        let bert = MiniBert::new(tiny());
+        let corpus = paired_corpus(120, 1);
+        let tc = TrainConfig { epochs: 12, lr: 5e-3, batch_size: 16, seed: 1 };
+        let losses = bert.pretrain_mlm(&corpus, &tc);
+        // The paired language is fully predictable from the neighbour
+        // token, so the loss must fall well below the near-uniform start.
+        assert!(
+            losses.last().unwrap() < &(losses[0] * 0.7),
+            "MLM loss should drop: {losses:?}"
+        );
+    }
+
+    #[test]
+    fn fine_tune_learns_token_presence() {
+        // Label = sequence contains token 9.
+        let mut rng = Rng::seed(2);
+        let make = |rng: &mut Rng, positive: bool| -> (Vec<u32>, bool) {
+            let mut ids = vec![special::CLS];
+            for _ in 0..6 {
+                let mut t = 10 + rng.below(20) as u32;
+                if t == 9 {
+                    t = 10;
+                }
+                ids.push(t);
+            }
+            if positive {
+                let pos = 1 + rng.below(6);
+                ids[pos] = 9;
+            }
+            (ids, positive)
+        };
+        let train: Vec<(Vec<u32>, bool)> = (0..160).map(|i| make(&mut rng, i % 2 == 0)).collect();
+        let test: Vec<(Vec<u32>, bool)> = (0..60).map(|i| make(&mut rng, i % 2 == 0)).collect();
+        let bert = MiniBert::new(tiny());
+        let tc = TrainConfig { epochs: 6, lr: 3e-3, batch_size: 16, seed: 3 };
+        bert.fine_tune(&train, &tc);
+        let acc = test.iter().filter(|(ids, y)| bert.predict(ids) == *y).count() as f64
+            / test.len() as f64;
+        assert!(acc > 0.85, "fine-tuned accuracy {acc}");
+    }
+
+    #[test]
+    fn encode_is_deterministic_and_context_sensitive() {
+        let bert = MiniBert::new(tiny());
+        let a = bert.encode(&[special::CLS, 10, 11]);
+        let b = bert.encode(&[special::CLS, 10, 11]);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 16);
+        let c = bert.encode(&[special::CLS, 10, 12]);
+        assert_ne!(a, c, "CLS embedding must reflect context");
+    }
+
+    #[test]
+    fn clamp_truncates() {
+        let bert = MiniBert::new(tiny());
+        let mut ids: Vec<u32> = (0..40).collect();
+        bert.clamp(&mut ids);
+        assert_eq!(ids.len(), 12);
+    }
+
+    #[test]
+    fn predict_proba_in_unit_interval() {
+        let bert = MiniBert::new(tiny());
+        let p = bert.predict_proba(&[special::CLS, 8, 9, 10]);
+        assert!((0.0..=1.0).contains(&p));
+    }
+}

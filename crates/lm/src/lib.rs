@@ -1,0 +1,22 @@
+//! Mini transformer language models.
+//!
+//! From-scratch BERT-style encoder and GPT-style decoder used as the
+//! PubmedBERT and BioGPT stand-ins (see DESIGN.md): real multi-head
+//! attention, pre-LayerNorm blocks, GELU feed-forward, learned positions,
+//! masked-LM / causal-LM pre-training, classification fine-tuning and
+//! contextual [CLS] embeddings — at laptop scale (a few layers, d ≈ 64).
+//!
+//! The numerical core is [`tensor`], a small reverse-mode autograd over the
+//! dense matrices from `kcb-ml`. Models are deterministic functions of
+//! their configs and seeds.
+
+pub mod decoder;
+pub mod encoder;
+pub mod optim;
+pub mod schedule;
+pub mod tensor;
+pub mod transformer;
+
+pub use decoder::{MiniGpt, MiniGptConfig};
+pub use encoder::{MiniBert, MiniBertConfig};
+pub use transformer::{TrainConfig, TransformerConfig};

@@ -1,0 +1,119 @@
+//! Adam optimiser over [`Tensor`] parameter lists.
+
+use crate::tensor::Tensor;
+use kcb_ml::linalg::Matrix;
+
+/// Adam with bias correction; state is kept per parameter tensor.
+pub struct Adam {
+    params: Vec<Tensor>,
+    m: Vec<Matrix>,
+    v: Vec<Matrix>,
+    t: i32,
+    /// Learning rate (mutable so schedules can adjust it between steps).
+    pub lr: f32,
+}
+
+impl Adam {
+    /// Creates an optimiser over the given parameters.
+    pub fn new(params: Vec<Tensor>, lr: f32) -> Self {
+        let m = params.iter().map(|p| { let (r, c) = p.shape(); Matrix::zeros(r, c) }).collect();
+        let v = params.iter().map(|p| { let (r, c) = p.shape(); Matrix::zeros(r, c) }).collect();
+        Self { params, m, v, t: 0, lr }
+    }
+
+    /// Zeroes every parameter gradient (call before each batch).
+    pub fn zero_grad(&self) {
+        for p in &self.params {
+            p.zero_grad();
+        }
+    }
+
+    /// Applies one Adam update from the accumulated gradients.
+    pub fn step(&mut self) {
+        const B1: f32 = 0.9;
+        const B2: f32 = 0.999;
+        const EPS: f32 = 1e-8;
+        self.t += 1;
+        let bc1 = 1.0 - B1.powi(self.t);
+        let bc2 = 1.0 - B2.powi(self.t);
+        let lr = self.lr;
+        for (i, p) in self.params.iter().enumerate() {
+            let g = p.grad().clone();
+            let m = &mut self.m[i];
+            let v = &mut self.v[i];
+            p.update_data(|data| {
+                for r in 0..data.rows() {
+                    let gr = g.row(r);
+                    {
+                        let mr = m.row_mut(r);
+                        for c in 0..gr.len() {
+                            mr[c] = B1 * mr[c] + (1.0 - B1) * gr[c];
+                        }
+                    }
+                    {
+                        let vr = v.row_mut(r);
+                        for c in 0..gr.len() {
+                            vr[c] = B2 * vr[c] + (1.0 - B2) * gr[c] * gr[c];
+                        }
+                    }
+                    let dr = data.row_mut(r);
+                    let mr = m.row(r);
+                    let vr = v.row(r);
+                    for c in 0..gr.len() {
+                        let mhat = mr[c] / bc1;
+                        let vhat = vr[c] / bc2;
+                        dr[c] -= lr * mhat / (vhat.sqrt() + EPS);
+                    }
+                }
+            });
+        }
+    }
+
+    /// Number of scalar parameters across all tensors.
+    pub fn n_scalar_params(&self) -> usize {
+        self.params.iter().map(|p| { let (r, c) = p.shape(); r * c }).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adam_minimises_quadratic() {
+        // Minimise ||x - target||²: d = x + (-target); loss = d dᵀ.
+        let x = Tensor::leaf(Matrix::from_vec(vec![5.0, -3.0], 1, 2));
+        let target = [1.0f32, 2.0];
+        let mut opt = Adam::new(vec![x.clone()], 0.1);
+        for _ in 0..300 {
+            opt.zero_grad();
+            let t = Tensor::leaf(Matrix::from_vec(vec![-target[0], -target[1]], 1, 2));
+            let d = x.add(&t);
+            let sq = d.matmul_t(&d);
+            sq.backward();
+            opt.step();
+        }
+        let final_x = x.data().clone();
+        assert!((final_x.get(0, 0) - 1.0).abs() < 0.05, "{final_x:?}");
+        assert!((final_x.get(0, 1) - 2.0).abs() < 0.05, "{final_x:?}");
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let x = Tensor::leaf(Matrix::from_vec(vec![1.0], 1, 1));
+        let opt = Adam::new(vec![x.clone()], 0.1);
+        let y = x.scale(3.0);
+        y.backward();
+        assert_eq!(x.grad().get(0, 0), 3.0);
+        opt.zero_grad();
+        assert_eq!(x.grad().get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn counts_params() {
+        let a = Tensor::leaf(Matrix::zeros(2, 3));
+        let b = Tensor::leaf(Matrix::zeros(1, 4));
+        let opt = Adam::new(vec![a, b], 0.1);
+        assert_eq!(opt.n_scalar_params(), 10);
+    }
+}

@@ -1,0 +1,78 @@
+//! Learning-rate schedules: linear warmup followed by linear decay — the
+//! standard transformer pre-training schedule, applied by setting
+//! [`crate::optim::Adam::lr`] before each step.
+
+/// Linear warmup to `peak_lr` over `warmup_steps`, then linear decay to
+/// `floor` at `total_steps`. Steps beyond `total_steps` stay at `floor`.
+#[derive(Debug, Clone, Copy)]
+pub struct WarmupLinear {
+    /// Peak learning rate reached at the end of warmup.
+    pub peak_lr: f32,
+    /// Steps spent warming up (0 = start at peak).
+    pub warmup_steps: usize,
+    /// Total schedule length.
+    pub total_steps: usize,
+    /// Terminal learning rate.
+    pub floor: f32,
+}
+
+impl WarmupLinear {
+    /// A schedule with 10 % warmup and a floor of 1 % of peak.
+    pub fn standard(peak_lr: f32, total_steps: usize) -> Self {
+        Self {
+            peak_lr,
+            warmup_steps: total_steps / 10,
+            total_steps: total_steps.max(1),
+            floor: peak_lr * 0.01,
+        }
+    }
+
+    /// Learning rate at a (0-based) step.
+    pub fn lr_at(&self, step: usize) -> f32 {
+        if self.warmup_steps > 0 && step < self.warmup_steps {
+            return self.peak_lr * (step + 1) as f32 / self.warmup_steps as f32;
+        }
+        if step >= self.total_steps {
+            return self.floor;
+        }
+        let decay_span = (self.total_steps - self.warmup_steps).max(1) as f32;
+        let progress = (step - self.warmup_steps) as f32 / decay_span;
+        (self.peak_lr + (self.floor - self.peak_lr) * progress).max(self.floor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warms_up_peaks_and_decays() {
+        let s = WarmupLinear { peak_lr: 1.0, warmup_steps: 10, total_steps: 110, floor: 0.01 };
+        assert!(s.lr_at(0) < s.lr_at(5));
+        assert!((s.lr_at(9) - 1.0).abs() < 1e-6, "end of warmup hits peak");
+        assert!(s.lr_at(10) > s.lr_at(60));
+        assert!(s.lr_at(60) > s.lr_at(109));
+        assert_eq!(s.lr_at(109).max(0.01), s.lr_at(109));
+        assert_eq!(s.lr_at(10_000), 0.01, "clamped at the floor");
+    }
+
+    #[test]
+    fn zero_warmup_starts_at_peak() {
+        let s = WarmupLinear { peak_lr: 0.5, warmup_steps: 0, total_steps: 100, floor: 0.0 };
+        assert!((s.lr_at(0) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn standard_constructor_proportions() {
+        let s = WarmupLinear::standard(2e-3, 1_000);
+        assert_eq!(s.warmup_steps, 100);
+        assert!((s.floor - 2e-5).abs() < 1e-9);
+        // Monotone nonincreasing after warmup.
+        let mut last = f32::MAX;
+        for step in (100..1_000).step_by(50) {
+            let lr = s.lr_at(step);
+            assert!(lr <= last);
+            last = lr;
+        }
+    }
+}

@@ -1,0 +1,766 @@
+//! Minimal reverse-mode autograd over dense `f32` matrices.
+//!
+//! A micrograd-style tape: every [`Tensor`] wraps a value matrix, a
+//! gradient matrix and a backward closure referencing its parents.
+//! [`Tensor::backward`] topologically sorts the graph and runs the
+//! closures. The op set is exactly what a pre-LN transformer needs:
+//! matmul (plain and transposed-RHS), broadcast bias add, element add,
+//! scalar scale, GELU, row softmax (with optional causal mask), row
+//! LayerNorm, embedding gather, row selection and masked cross-entropy.
+//!
+//! Matrices are small (sequence × d_model at mini-BERT scale), so clarity
+//! beats blocking tricks here; the hot kernels still run over flat slices.
+
+use kcb_ml::linalg::Matrix;
+use std::cell::{Ref, RefCell};
+use std::rc::Rc;
+
+/// Backward closure: distributes a node's gradient into its parents.
+type BackwardFn = Box<dyn Fn(&Inner)>;
+
+/// Node payload.
+struct Inner {
+    id: usize,
+    data: RefCell<Matrix>,
+    grad: RefCell<Matrix>,
+    parents: Vec<Tensor>,
+    /// Distributes `self.grad` into the parents' grads.
+    backward: Option<BackwardFn>,
+}
+
+thread_local! {
+    static NEXT_ID: RefCell<usize> = const { RefCell::new(0) };
+}
+
+fn next_id() -> usize {
+    NEXT_ID.with(|c| {
+        let mut c = c.borrow_mut();
+        *c += 1;
+        *c
+    })
+}
+
+/// A reference-counted autograd tensor.
+#[derive(Clone)]
+pub struct Tensor {
+    inner: Rc<Inner>,
+}
+
+impl std::fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let d = self.inner.data.borrow();
+        write!(f, "Tensor(id={}, {}x{})", self.inner.id, d.rows(), d.cols())
+    }
+}
+
+impl Tensor {
+    /// Creates a leaf tensor (parameter or input).
+    pub fn leaf(data: Matrix) -> Self {
+        let grad = Matrix::zeros(data.rows(), data.cols());
+        Self {
+            inner: Rc::new(Inner {
+                id: next_id(),
+                data: RefCell::new(data),
+                grad: RefCell::new(grad),
+                parents: Vec::new(),
+                backward: None,
+            }),
+        }
+    }
+
+    fn from_op(data: Matrix, parents: Vec<Tensor>, backward: BackwardFn) -> Self {
+        let grad = Matrix::zeros(data.rows(), data.cols());
+        Self {
+            inner: Rc::new(Inner {
+                id: next_id(),
+                data: RefCell::new(data),
+                grad: RefCell::new(grad),
+                parents,
+                backward: Some(backward),
+            }),
+        }
+    }
+
+    /// Borrows the value.
+    pub fn data(&self) -> Ref<'_, Matrix> {
+        self.inner.data.borrow()
+    }
+
+    /// Borrows the gradient.
+    pub fn grad(&self) -> Ref<'_, Matrix> {
+        self.inner.grad.borrow()
+    }
+
+    /// Overwrites the value in place (used by the optimiser and to reuse
+    /// parameter tensors across steps).
+    pub fn set_data(&self, data: Matrix) {
+        *self.inner.data.borrow_mut() = data;
+    }
+
+    /// Applies `f` to the value matrix in place.
+    pub fn update_data(&self, f: impl FnOnce(&mut Matrix)) {
+        f(&mut self.inner.data.borrow_mut());
+    }
+
+    /// Zeroes the gradient.
+    pub fn zero_grad(&self) {
+        let mut g = self.inner.grad.borrow_mut();
+        let (r, c) = (g.rows(), g.cols());
+        *g = Matrix::zeros(r, c);
+    }
+
+    /// Shape `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        let d = self.inner.data.borrow();
+        (d.rows(), d.cols())
+    }
+
+    fn accum_grad(&self, delta: &Matrix) {
+        let mut g = self.inner.grad.borrow_mut();
+        debug_assert_eq!((g.rows(), g.cols()), (delta.rows(), delta.cols()));
+        for r in 0..g.rows() {
+            kcb_ml::linalg::axpy(1.0, delta.row(r), g.row_mut(r));
+        }
+    }
+
+    /// Adds into a single gradient row — the sparse path used by
+    /// [`Tensor::gather`]'s backward, which would otherwise materialise a
+    /// full table-shaped zero matrix per step (the embedding table is by
+    /// far the largest parameter).
+    fn accum_grad_row(&self, row: usize, delta: &[f32]) {
+        let mut g = self.inner.grad.borrow_mut();
+        kcb_ml::linalg::axpy(1.0, delta, g.row_mut(row));
+    }
+
+    /// Runs reverse-mode differentiation from this (scalar-ish) tensor,
+    /// seeding its gradient with ones.
+    pub fn backward(&self) {
+        // Seed.
+        {
+            let mut g = self.inner.grad.borrow_mut();
+            let (r, c) = (g.rows(), g.cols());
+            let seed = Matrix::from_vec(vec![1.0; r * c], r, c);
+            *g = seed;
+        }
+        // Topological order via iterative DFS.
+        let mut order: Vec<Tensor> = Vec::new();
+        let mut visited: std::collections::HashSet<usize> = std::collections::HashSet::new();
+        let mut stack: Vec<(Tensor, bool)> = vec![(self.clone(), false)];
+        while let Some((t, processed)) = stack.pop() {
+            if processed {
+                order.push(t);
+                continue;
+            }
+            if !visited.insert(t.inner.id) {
+                continue;
+            }
+            stack.push((t.clone(), true));
+            for p in &t.inner.parents {
+                if !visited.contains(&p.inner.id) {
+                    stack.push((p.clone(), false));
+                }
+            }
+        }
+        for t in order.into_iter().rev() {
+            if let Some(bw) = &t.inner.backward {
+                bw(&t.inner);
+            }
+        }
+    }
+
+    // --- ops ---------------------------------------------------------------
+
+    /// Matrix product `self @ rhs`.
+    pub fn matmul(&self, rhs: &Tensor) -> Tensor {
+        let out = matmul_nn(&self.data(), &rhs.data());
+        let a = self.clone();
+        let b = rhs.clone();
+        Tensor::from_op(
+            out,
+            vec![a.clone(), b.clone()],
+            Box::new(move |me| {
+                let g = me.grad.borrow();
+                a.accum_grad(&matmul_nt(&g, &b.data()));
+                b.accum_grad(&matmul_tn(&a.data(), &g));
+            }),
+        )
+    }
+
+    /// Matrix product with transposed RHS: `self @ rhsᵀ`.
+    pub fn matmul_t(&self, rhs: &Tensor) -> Tensor {
+        let out = matmul_nt(&self.data(), &rhs.data());
+        let a = self.clone();
+        let b = rhs.clone();
+        Tensor::from_op(
+            out,
+            vec![a.clone(), b.clone()],
+            Box::new(move |me| {
+                let g = me.grad.borrow();
+                a.accum_grad(&matmul_nn(&g, &b.data()));
+                b.accum_grad(&matmul_tn(&g, &a.data()));
+            }),
+        )
+    }
+
+    /// Element-wise sum (same shapes).
+    pub fn add(&self, rhs: &Tensor) -> Tensor {
+        let (a_d, b_d) = (self.data(), rhs.data());
+        assert_eq!((a_d.rows(), a_d.cols()), (b_d.rows(), b_d.cols()), "add shape mismatch");
+        let mut out = a_d.clone();
+        for r in 0..out.rows() {
+            kcb_ml::linalg::axpy(1.0, b_d.row(r), out.row_mut(r));
+        }
+        drop(a_d);
+        drop(b_d);
+        let a = self.clone();
+        let b = rhs.clone();
+        Tensor::from_op(
+            out,
+            vec![a.clone(), b.clone()],
+            Box::new(move |me| {
+                let g = me.grad.borrow();
+                a.accum_grad(&g);
+                b.accum_grad(&g);
+            }),
+        )
+    }
+
+    /// Adds a `(1, d)` bias row to every row.
+    pub fn add_row(&self, bias: &Tensor) -> Tensor {
+        let a_d = self.data();
+        let b_d = bias.data();
+        assert_eq!(b_d.rows(), 1, "bias must be a row vector");
+        assert_eq!(a_d.cols(), b_d.cols(), "bias width mismatch");
+        let mut out = a_d.clone();
+        for r in 0..out.rows() {
+            kcb_ml::linalg::axpy(1.0, b_d.row(0), out.row_mut(r));
+        }
+        drop(a_d);
+        drop(b_d);
+        let a = self.clone();
+        let b = bias.clone();
+        Tensor::from_op(
+            out,
+            vec![a.clone(), b.clone()],
+            Box::new(move |me| {
+                let g = me.grad.borrow();
+                a.accum_grad(&g);
+                // Column-sum into the bias grad.
+                let mut db = Matrix::zeros(1, g.cols());
+                for r in 0..g.rows() {
+                    kcb_ml::linalg::axpy(1.0, g.row(r), db.row_mut(0));
+                }
+                b.accum_grad(&db);
+            }),
+        )
+    }
+
+    /// Multiplies every element by a constant.
+    pub fn scale(&self, k: f32) -> Tensor {
+        let a_d = self.data();
+        let out = Matrix::from_vec(a_d.as_slice().iter().map(|v| v * k).collect(), a_d.rows(), a_d.cols());
+        drop(a_d);
+        let a = self.clone();
+        Tensor::from_op(
+            out,
+            vec![a.clone()],
+            Box::new(move |me| {
+                let g = me.grad.borrow();
+                let scaled =
+                    Matrix::from_vec(g.as_slice().iter().map(|v| v * k).collect(), g.rows(), g.cols());
+                a.accum_grad(&scaled);
+            }),
+        )
+    }
+
+    /// GELU activation (tanh approximation).
+    pub fn gelu(&self) -> Tensor {
+        let a_d = self.data();
+        let out = Matrix::from_vec(
+            a_d.as_slice().iter().map(|&x| gelu(x)).collect(),
+            a_d.rows(),
+            a_d.cols(),
+        );
+        drop(a_d);
+        let a = self.clone();
+        Tensor::from_op(
+            out,
+            vec![a.clone()],
+            Box::new(move |me| {
+                let g = me.grad.borrow();
+                let x = a.data();
+                let mut d = Matrix::zeros(g.rows(), g.cols());
+                for (i, (gv, xv)) in g.as_slice().iter().zip(x.as_slice()).enumerate() {
+                    let r = i / g.cols();
+                    let c = i % g.cols();
+                    d.row_mut(r)[c] = gv * gelu_grad(*xv);
+                }
+                drop(x);
+                a.accum_grad(&d);
+            }),
+        )
+    }
+
+    /// Row-wise softmax. With `causal = true`, entry `(r, c)` for `c > r`
+    /// is masked to zero probability (attention over a causal sequence —
+    /// requires a square matrix).
+    pub fn softmax_rows(&self, causal: bool) -> Tensor {
+        let a_d = self.data();
+        if causal {
+            assert_eq!(a_d.rows(), a_d.cols(), "causal mask needs square scores");
+        }
+        let mut out = Matrix::zeros(a_d.rows(), a_d.cols());
+        for r in 0..a_d.rows() {
+            let row = a_d.row(r);
+            let limit = if causal { r + 1 } else { row.len() };
+            let max = row[..limit].iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0;
+            for c in 0..limit {
+                let e = (row[c] - max).exp();
+                out.row_mut(r)[c] = e;
+                sum += e;
+            }
+            for c in 0..limit {
+                out.row_mut(r)[c] /= sum;
+            }
+        }
+        drop(a_d);
+        let a = self.clone();
+        let y = out.clone();
+        Tensor::from_op(
+            out,
+            vec![a.clone()],
+            Box::new(move |me| {
+                let g = me.grad.borrow();
+                let mut d = Matrix::zeros(g.rows(), g.cols());
+                for r in 0..g.rows() {
+                    let yr = y.row(r);
+                    let gr = g.row(r);
+                    let dot: f32 = yr.iter().zip(gr).map(|(a, b)| a * b).sum();
+                    for c in 0..g.cols() {
+                        d.row_mut(r)[c] = yr[c] * (gr[c] - dot);
+                    }
+                }
+                a.accum_grad(&d);
+            }),
+        )
+    }
+
+    /// Row-wise LayerNorm with per-column gain and bias (`(1, d)` each).
+    pub fn layer_norm(&self, gamma: &Tensor, beta: &Tensor) -> Tensor {
+        const EPS: f32 = 1e-5;
+        let x = self.data();
+        let g_d = gamma.data();
+        let b_d = beta.data();
+        let d = x.cols();
+        assert_eq!(g_d.cols(), d);
+        assert_eq!(b_d.cols(), d);
+        let mut out = Matrix::zeros(x.rows(), d);
+        let mut xhat = Matrix::zeros(x.rows(), d);
+        let mut inv_std = vec![0.0f32; x.rows()];
+        for r in 0..x.rows() {
+            let row = x.row(r);
+            let mean: f32 = row.iter().sum::<f32>() / d as f32;
+            let var: f32 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+            let istd = 1.0 / (var + EPS).sqrt();
+            inv_std[r] = istd;
+            for c in 0..d {
+                let xh = (row[c] - mean) * istd;
+                xhat.row_mut(r)[c] = xh;
+                out.row_mut(r)[c] = xh * g_d.row(0)[c] + b_d.row(0)[c];
+            }
+        }
+        drop(x);
+        drop(g_d);
+        drop(b_d);
+        let a = self.clone();
+        let gm = gamma.clone();
+        let bt = beta.clone();
+        Tensor::from_op(
+            out,
+            vec![a.clone(), gm.clone(), bt.clone()],
+            Box::new(move |me| {
+                let g = me.grad.borrow();
+                let gamma_d = gm.data();
+                let n = g.cols() as f32;
+                let mut dx = Matrix::zeros(g.rows(), g.cols());
+                let mut dgamma = Matrix::zeros(1, g.cols());
+                let mut dbeta = Matrix::zeros(1, g.cols());
+                for r in 0..g.rows() {
+                    let gr = g.row(r);
+                    let xh = xhat.row(r);
+                    // dxhat = g * gamma
+                    // dx = (dxhat - mean(dxhat) - xhat * mean(dxhat*xhat)) * inv_std
+                    let mut sum_dxh = 0.0f32;
+                    let mut sum_dxh_xh = 0.0f32;
+                    for c in 0..g.cols() {
+                        let dxh = gr[c] * gamma_d.row(0)[c];
+                        sum_dxh += dxh;
+                        sum_dxh_xh += dxh * xh[c];
+                        dgamma.row_mut(0)[c] += gr[c] * xh[c];
+                        dbeta.row_mut(0)[c] += gr[c];
+                    }
+                    let m1 = sum_dxh / n;
+                    let m2 = sum_dxh_xh / n;
+                    for c in 0..g.cols() {
+                        let dxh = gr[c] * gamma_d.row(0)[c];
+                        dx.row_mut(r)[c] = (dxh - m1 - xh[c] * m2) * inv_std[r];
+                    }
+                }
+                drop(gamma_d);
+                a.accum_grad(&dx);
+                gm.accum_grad(&dgamma);
+                bt.accum_grad(&dbeta);
+            }),
+        )
+    }
+
+    /// Gathers embedding rows: `out[i] = self[ids[i]]`. `self` is the
+    /// `(V, d)` table.
+    pub fn gather(&self, ids: &[u32]) -> Tensor {
+        let w = self.data();
+        let mut out = Matrix::zeros(ids.len(), w.cols());
+        for (i, &id) in ids.iter().enumerate() {
+            out.row_mut(i).copy_from_slice(w.row(id as usize));
+        }
+        drop(w);
+        let a = self.clone();
+        let ids_owned: Vec<u32> = ids.to_vec();
+        Tensor::from_op(
+            out,
+            vec![a.clone()],
+            Box::new(move |me| {
+                let g = me.grad.borrow();
+                // Sparse scatter: only the gathered rows receive gradient.
+                for (i, &id) in ids_owned.iter().enumerate() {
+                    a.accum_grad_row(id as usize, g.row(i));
+                }
+            }),
+        )
+    }
+
+    /// Selects a subset of rows (e.g. the `[CLS]` position).
+    pub fn select_rows(&self, rows: &[usize]) -> Tensor {
+        let x = self.data();
+        let mut out = Matrix::zeros(rows.len(), x.cols());
+        for (i, &r) in rows.iter().enumerate() {
+            out.row_mut(i).copy_from_slice(x.row(r));
+        }
+        drop(x);
+        let a = self.clone();
+        let rows_owned: Vec<usize> = rows.to_vec();
+        Tensor::from_op(
+            out,
+            vec![a.clone()],
+            Box::new(move |me| {
+                let g = me.grad.borrow();
+                let (ar, ac) = a.shape();
+                let mut da = Matrix::zeros(ar, ac);
+                for (i, &r) in rows_owned.iter().enumerate() {
+                    kcb_ml::linalg::axpy(1.0, g.row(i), da.row_mut(r));
+                }
+                a.accum_grad(&da);
+            }),
+        )
+    }
+
+    /// Masked mean cross-entropy between logit rows and target ids.
+    /// Positions with `targets[i] == IGNORE` are excluded. Returns a
+    /// `(1,1)` loss tensor and sets up the fused softmax+CE backward.
+    pub fn cross_entropy(&self, targets: &[u32]) -> Tensor {
+        /// Sentinel excluding a position from the loss.
+        const IGNORE: u32 = u32::MAX;
+        let logits = self.data();
+        assert_eq!(logits.rows(), targets.len(), "logit/target row mismatch");
+        let mut total = 0.0f64;
+        let mut count = 0usize;
+        let mut probs = Matrix::zeros(logits.rows(), logits.cols());
+        for r in 0..logits.rows() {
+            if targets[r] == IGNORE {
+                continue;
+            }
+            let row = logits.row(r);
+            let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0f32;
+            for c in 0..row.len() {
+                let e = (row[c] - max).exp();
+                probs.row_mut(r)[c] = e;
+                sum += e;
+            }
+            for c in 0..row.len() {
+                probs.row_mut(r)[c] /= sum;
+            }
+            let p = probs.row(r)[targets[r] as usize].max(1e-12);
+            total -= (p as f64).ln();
+            count += 1;
+        }
+        let count = count.max(1);
+        let loss = Matrix::from_vec(vec![(total / count as f64) as f32], 1, 1);
+        drop(logits);
+        let a = self.clone();
+        let targets_owned: Vec<u32> = targets.to_vec();
+        Tensor::from_op(
+            loss,
+            vec![a.clone()],
+            Box::new(move |me| {
+                let g = me.grad.borrow().get(0, 0);
+                let mut d = probs.clone();
+                let inv = g / count as f32;
+                for r in 0..d.rows() {
+                    if targets_owned[r] == IGNORE {
+                        d.row_mut(r).fill(0.0);
+                        continue;
+                    }
+                    d.row_mut(r)[targets_owned[r] as usize] -= 1.0;
+                    for v in d.row_mut(r) {
+                        *v *= inv;
+                    }
+                }
+                a.accum_grad(&d);
+            }),
+        )
+    }
+}
+
+/// Sentinel target id excluded from [`Tensor::cross_entropy`].
+pub const IGNORE_TARGET: u32 = u32::MAX;
+
+fn gelu(x: f32) -> f32 {
+    const C: f32 = 0.797_884_6; // sqrt(2/pi)
+    0.5 * x * (1.0 + (C * (x + 0.044715 * x * x * x)).tanh())
+}
+
+fn gelu_grad(x: f32) -> f32 {
+    const C: f32 = 0.797_884_6;
+    let inner = C * (x + 0.044715 * x * x * x);
+    let t = inner.tanh();
+    let sech2 = 1.0 - t * t;
+    0.5 * (1.0 + t) + 0.5 * x * sech2 * C * (1.0 + 3.0 * 0.044715 * x * x)
+}
+
+fn matmul_nn(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols(), b.rows(), "matmul inner dim");
+    let mut out = Matrix::zeros(a.rows(), b.cols());
+    for i in 0..a.rows() {
+        let ar = a.row(i);
+        let or = out.row_mut(i);
+        for (k, &av) in ar.iter().enumerate() {
+            if av != 0.0 {
+                kcb_ml::linalg::axpy(av, b.row(k), or);
+            }
+        }
+    }
+    out
+}
+
+fn matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols(), b.cols(), "matmul_nt inner dim");
+    let mut out = Matrix::zeros(a.rows(), b.rows());
+    for i in 0..a.rows() {
+        let ar = a.row(i);
+        for j in 0..b.rows() {
+            out.row_mut(i)[j] = kcb_ml::linalg::dot(ar, b.row(j));
+        }
+    }
+    out
+}
+
+fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.rows(), b.rows(), "matmul_tn inner dim");
+    let mut out = Matrix::zeros(a.cols(), b.cols());
+    for k in 0..a.rows() {
+        let ar = a.row(k);
+        let br = b.row(k);
+        for (i, &av) in ar.iter().enumerate() {
+            if av != 0.0 {
+                kcb_ml::linalg::axpy(av, br, out.row_mut(i));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mat(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut rng = kcb_util::Rng::seed(seed);
+        Matrix::from_vec((0..rows * cols).map(|_| rng.f32_range(-1.0, 1.0)).collect(), rows, cols)
+    }
+
+    /// Finite-difference check of d(sum of f(x)) / dx for one leaf.
+    fn grad_check(x: Matrix, f: impl Fn(&Tensor) -> Tensor, tol: f32) {
+        let leaf = Tensor::leaf(x.clone());
+        let out = f(&leaf);
+        // Reduce to scalar by chaining into a sum via cross-entropy-free
+        // trick: scale-sum using matmul with ones.
+        let (orows, ocols) = out.shape();
+        let ones = Tensor::leaf(Matrix::from_vec(vec![1.0; ocols], ocols, 1));
+        let row_sums = out.matmul(&ones); // (orows, 1)
+        let ones2 = Tensor::leaf(Matrix::from_vec(vec![1.0; orows], 1, orows));
+        let total = ones2.matmul(&row_sums); // (1,1)
+        total.backward();
+        let analytic = leaf.grad().clone();
+
+        let eps = 1e-2f32;
+        for r in 0..x.rows() {
+            for c in 0..x.cols() {
+                let mut xp = x.clone();
+                xp.row_mut(r)[c] += eps;
+                let mut xm = x.clone();
+                xm.row_mut(r)[c] -= eps;
+                let fp: f32 = f(&Tensor::leaf(xp)).data().as_slice().iter().sum();
+                let fm: f32 = f(&Tensor::leaf(xm)).data().as_slice().iter().sum();
+                let num = (fp - fm) / (2.0 * eps);
+                let ana = analytic.get(r, c);
+                assert!(
+                    (num - ana).abs() < tol + 0.05 * num.abs(),
+                    "grad mismatch at ({r},{c}): numeric {num} vs analytic {ana}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_values() {
+        let a = Tensor::leaf(Matrix::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0]]));
+        let b = Tensor::leaf(Matrix::from_rows(vec![vec![5.0, 6.0], vec![7.0, 8.0]]));
+        let c = a.matmul(&b);
+        assert_eq!(c.data().row(0), &[19.0, 22.0]);
+        assert_eq!(c.data().row(1), &[43.0, 50.0]);
+        let d = a.matmul_t(&b);
+        assert_eq!(d.data().row(0), &[17.0, 23.0]);
+    }
+
+    #[test]
+    fn matmul_grads() {
+        grad_check(mat(3, 4, 1), |x| x.matmul(&Tensor::leaf(mat(4, 2, 2))), 1e-2);
+        grad_check(mat(3, 4, 3), |x| x.matmul_t(&Tensor::leaf(mat(5, 4, 4))), 1e-2);
+    }
+
+    #[test]
+    fn add_and_bias_grads() {
+        grad_check(mat(3, 4, 5), |x| x.add(&Tensor::leaf(mat(3, 4, 6))), 1e-2);
+        grad_check(mat(3, 4, 7), |x| x.add_row(&Tensor::leaf(mat(1, 4, 8))), 1e-2);
+        grad_check(mat(2, 3, 9), |x| x.scale(2.5), 1e-2);
+    }
+
+    #[test]
+    fn gelu_grad_matches() {
+        grad_check(mat(3, 3, 10), |x| x.gelu(), 2e-2);
+    }
+
+    #[test]
+    fn softmax_rows_sums_to_one_and_grad() {
+        let t = Tensor::leaf(mat(4, 4, 11));
+        let s = t.softmax_rows(false);
+        for r in 0..4 {
+            let sum: f32 = s.data().row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+        // Softmax grad: check through a weighting matmul so the sum isn't
+        // trivially constant.
+        let w = mat(4, 4, 99);
+        grad_check(mat(4, 4, 12), |x| {
+            x.softmax_rows(false).matmul(&Tensor::leaf(w.clone()))
+        }, 2e-2);
+    }
+
+    #[test]
+    fn causal_softmax_masks_future() {
+        let t = Tensor::leaf(mat(3, 3, 13));
+        let s = t.softmax_rows(true);
+        let d = s.data();
+        assert_eq!(d.get(0, 1), 0.0);
+        assert_eq!(d.get(0, 2), 0.0);
+        assert_eq!(d.get(1, 2), 0.0);
+        assert!((d.get(0, 0) - 1.0).abs() < 1e-6);
+        let sum1: f32 = d.row(1).iter().sum();
+        assert!((sum1 - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn layer_norm_normalises_and_grad() {
+        let gamma = Tensor::leaf(Matrix::from_vec(vec![1.0; 5], 1, 5));
+        let beta = Tensor::leaf(Matrix::from_vec(vec![0.0; 5], 1, 5));
+        let x = Tensor::leaf(mat(3, 5, 14));
+        let y = x.layer_norm(&gamma, &beta);
+        for r in 0..3 {
+            let row = y.data().row(r).to_vec();
+            let mean: f32 = row.iter().sum::<f32>() / 5.0;
+            let var: f32 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 5.0;
+            assert!(mean.abs() < 1e-5, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-3, "var {var}");
+        }
+        let w = mat(5, 3, 98);
+        grad_check(mat(3, 5, 15), |x| {
+            let g = Tensor::leaf(Matrix::from_vec(vec![0.7, 1.3, 0.9, 1.1, 1.0], 1, 5));
+            let b = Tensor::leaf(Matrix::from_vec(vec![0.1; 5], 1, 5));
+            x.layer_norm(&g, &b).matmul(&Tensor::leaf(w.clone()))
+        }, 3e-2);
+    }
+
+    #[test]
+    fn gather_and_select_grads_scatter() {
+        let table = Tensor::leaf(mat(6, 3, 16));
+        let out = table.gather(&[2, 2, 5]);
+        assert_eq!(out.data().row(0), out.data().row(1));
+        let ones = Tensor::leaf(Matrix::from_vec(vec![1.0; 3], 3, 1));
+        let s = out.matmul(&ones);
+        let ones2 = Tensor::leaf(Matrix::from_vec(vec![1.0; 3], 1, 3));
+        ones2.matmul(&s).backward();
+        let g = table.grad();
+        // Row 2 gathered twice → grad 2, row 5 once → grad 1, others 0.
+        assert_eq!(g.row(2), &[2.0, 2.0, 2.0]);
+        assert_eq!(g.row(5), &[1.0, 1.0, 1.0]);
+        assert_eq!(g.row(0), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn cross_entropy_matches_manual() {
+        // Two rows, uniform logits → loss = ln(3).
+        let logits = Tensor::leaf(Matrix::zeros(2, 3));
+        let loss = logits.cross_entropy(&[0, 2]);
+        assert!((loss.data().get(0, 0) - 3.0f32.ln()).abs() < 1e-5);
+        loss.backward();
+        let g = logits.grad();
+        // grad = (softmax - onehot)/2 → (1/3 - 1)/2 at targets.
+        assert!((g.get(0, 0) - (1.0 / 3.0 - 1.0) / 2.0).abs() < 1e-5);
+        assert!((g.get(0, 1) - (1.0 / 3.0) / 2.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cross_entropy_ignores_masked_positions() {
+        let logits = Tensor::leaf(mat(3, 4, 17));
+        let loss = logits.cross_entropy(&[1, IGNORE_TARGET, 3]);
+        loss.backward();
+        let g = logits.grad();
+        assert!(g.row(1).iter().all(|&v| v == 0.0), "masked row must get no grad");
+        assert!(g.row(0).iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn shared_parameter_accumulates_from_both_uses() {
+        // y = x @ w + x @ w — dw should be twice the single-use grad.
+        let x = Tensor::leaf(mat(2, 3, 18));
+        let w = Tensor::leaf(mat(3, 2, 19));
+        let y = x.matmul(&w).add(&x.matmul(&w));
+        let ones = Tensor::leaf(Matrix::from_vec(vec![1.0; 2], 2, 1));
+        let ones2 = Tensor::leaf(Matrix::from_vec(vec![1.0; 2], 1, 2));
+        ones2.matmul(&y.matmul(&ones)).backward();
+        let g2 = w.grad().clone();
+        let x2 = Tensor::leaf(x.data().clone());
+        let w2 = Tensor::leaf(w.data().clone());
+        let y2 = x2.matmul(&w2);
+        let ones = Tensor::leaf(Matrix::from_vec(vec![1.0; 2], 2, 1));
+        let ones2 = Tensor::leaf(Matrix::from_vec(vec![1.0; 2], 1, 2));
+        ones2.matmul(&y2.matmul(&ones)).backward();
+        let g1 = w2.grad();
+        for r in 0..3 {
+            for c in 0..2 {
+                assert!((g2.get(r, c) - 2.0 * g1.get(r, c)).abs() < 1e-5);
+            }
+        }
+    }
+}

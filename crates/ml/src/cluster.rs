@@ -1,0 +1,165 @@
+//! DBSCAN density clustering (used by Algorithm 2 to group frequent tokens
+//! by embedding proximity).
+
+use crate::linalg::{cosine, euclidean, Matrix};
+
+/// Distance metric for clustering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// Euclidean distance.
+    Euclidean,
+    /// Cosine distance (`1 - cosine similarity`) — the natural choice for
+    /// word embeddings.
+    Cosine,
+}
+
+impl Metric {
+    #[inline]
+    fn distance(self, a: &[f32], b: &[f32]) -> f32 {
+        match self {
+            Metric::Euclidean => euclidean(a, b),
+            Metric::Cosine => 1.0 - cosine(a, b),
+        }
+    }
+}
+
+/// Cluster assignment per point: `Some(cluster_id)` or `None` for noise.
+pub type Labels = Vec<Option<usize>>;
+
+/// DBSCAN over the rows of `points`.
+///
+/// `eps` is the neighbourhood radius, `min_pts` the core-point density
+/// threshold (including the point itself). The classic O(n²)
+/// region-query implementation — fine for the few thousand frequent tokens
+/// Algorithm 2 clusters.
+pub fn dbscan(points: &Matrix, eps: f32, min_pts: usize, metric: Metric) -> Labels {
+    let n = points.rows();
+    let mut labels: Labels = vec![None; n];
+    let mut visited = vec![false; n];
+    let mut cluster = 0usize;
+
+    let neighbours = |i: usize| -> Vec<usize> {
+        let pi = points.row(i);
+        (0..n).filter(|&j| metric.distance(pi, points.row(j)) <= eps).collect()
+    };
+
+    for i in 0..n {
+        if visited[i] {
+            continue;
+        }
+        visited[i] = true;
+        let nbrs = neighbours(i);
+        if nbrs.len() < min_pts {
+            continue; // noise (may later be absorbed as a border point)
+        }
+        // Start a new cluster and expand it.
+        labels[i] = Some(cluster);
+        let mut frontier: Vec<usize> = nbrs;
+        let mut k = 0;
+        while k < frontier.len() {
+            let j = frontier[k];
+            k += 1;
+            if labels[j].is_none() {
+                labels[j] = Some(cluster); // border or core point
+            }
+            if !visited[j] {
+                visited[j] = true;
+                let jn = neighbours(j);
+                if jn.len() >= min_pts {
+                    frontier.extend(jn);
+                }
+            }
+        }
+        cluster += 1;
+    }
+    labels
+}
+
+/// Groups point indices by cluster id, dropping noise.
+pub fn clusters_from_labels(labels: &Labels) -> Vec<Vec<usize>> {
+    let n_clusters = labels.iter().flatten().copied().max().map_or(0, |m| m + 1);
+    let mut out = vec![Vec::new(); n_clusters];
+    for (i, l) in labels.iter().enumerate() {
+        if let Some(c) = l {
+            out[*c].push(i);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs() -> Matrix {
+        // Blob A around (0,0), blob B around (10,10), one outlier.
+        let rows = vec![
+            vec![0.0, 0.1],
+            vec![0.1, 0.0],
+            vec![-0.1, 0.05],
+            vec![0.05, -0.1],
+            vec![10.0, 10.1],
+            vec![10.1, 10.0],
+            vec![9.9, 10.05],
+            vec![50.0, 50.0],
+        ];
+        Matrix::from_rows(rows)
+    }
+
+    #[test]
+    fn finds_two_clusters_and_noise() {
+        let labels = dbscan(&two_blobs(), 0.5, 3, Metric::Euclidean);
+        let clusters = clusters_from_labels(&labels);
+        assert_eq!(clusters.len(), 2);
+        assert_eq!(clusters[0], vec![0, 1, 2, 3]);
+        assert_eq!(clusters[1], vec![4, 5, 6]);
+        assert_eq!(labels[7], None, "outlier should be noise");
+    }
+
+    #[test]
+    fn min_pts_too_high_gives_all_noise() {
+        let labels = dbscan(&two_blobs(), 0.5, 6, Metric::Euclidean);
+        assert!(labels.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn huge_eps_gives_one_cluster() {
+        let labels = dbscan(&two_blobs(), 1e6, 2, Metric::Euclidean);
+        assert!(labels.iter().all(|l| *l == Some(0)));
+    }
+
+    #[test]
+    fn cosine_metric_clusters_by_direction() {
+        // Same direction, different magnitude → same cluster under cosine.
+        let m = Matrix::from_rows(vec![
+            vec![1.0, 0.0],
+            vec![5.0, 0.01],
+            vec![0.0, 1.0],
+            vec![0.01, 7.0],
+        ]);
+        let labels = dbscan(&m, 0.05, 2, Metric::Cosine);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[2], labels[3]);
+        assert_ne!(labels[0], labels[2]);
+    }
+
+    #[test]
+    fn border_points_join_first_cluster() {
+        // A point within eps of a core point but not itself core.
+        let m = Matrix::from_rows(vec![
+            vec![0.0],
+            vec![0.1],
+            vec![0.2],
+            vec![0.65], // border of the cluster via point at 0.2
+        ]);
+        let labels = dbscan(&m, 0.5, 3, Metric::Euclidean);
+        assert_eq!(labels[3], Some(0));
+    }
+
+    #[test]
+    fn empty_input() {
+        let labels = dbscan(&Matrix::zeros(0, 3), 1.0, 2, Metric::Euclidean);
+        assert!(labels.is_empty());
+        assert!(clusters_from_labels(&labels).is_empty());
+    }
+}

@@ -1,0 +1,129 @@
+//! Fleiss' kappa — inter-rating agreement across repeated LLM queries.
+//!
+//! The paper sends each prompt five times and reports Fleiss' kappa over
+//! the five "raters" (§2.4, Table 5). Subjects are prompts; categories are
+//! the parsed answers (True / False / unclassified).
+
+/// Computes Fleiss' kappa.
+///
+/// `ratings[subject][category]` is the number of raters assigning that
+/// category to that subject. Every subject must have the same total number
+/// of raters (≥ 2).
+///
+/// Returns 1.0 for perfect agreement, ~0 for chance-level agreement. When
+/// every rater picks the same single category for every subject, agreement
+/// and chance agreement both hit 1.0 and kappa is defined as 1.0.
+///
+/// ```
+/// use kcb_ml::kappa::fleiss_kappa;
+/// // Two subjects, five raters, unanimous but different answers.
+/// let perfect = vec![vec![5, 0], vec![0, 5]];
+/// assert!((fleiss_kappa(&perfect) - 1.0).abs() < 1e-9);
+/// ```
+pub fn fleiss_kappa(ratings: &[Vec<usize>]) -> f64 {
+    assert!(!ratings.is_empty(), "no subjects");
+    let n_cats = ratings[0].len();
+    let n_raters: usize = ratings[0].iter().sum();
+    assert!(n_raters >= 2, "need at least 2 raters");
+    for r in ratings {
+        assert_eq!(r.len(), n_cats, "ragged category counts");
+        assert_eq!(r.iter().sum::<usize>(), n_raters, "unequal rater counts");
+    }
+    let n_subjects = ratings.len() as f64;
+    let n = n_raters as f64;
+
+    // Per-subject agreement P_i.
+    let mut p_bar = 0.0;
+    let mut cat_totals = vec![0.0f64; n_cats];
+    for r in ratings {
+        let sum_sq: f64 = r.iter().map(|&c| (c * c) as f64).sum();
+        p_bar += (sum_sq - n) / (n * (n - 1.0));
+        for (t, &c) in cat_totals.iter_mut().zip(r) {
+            *t += c as f64;
+        }
+    }
+    p_bar /= n_subjects;
+
+    // Chance agreement P_e from category marginals.
+    let total = n_subjects * n;
+    let p_e: f64 = cat_totals.iter().map(|t| (t / total) * (t / total)).sum();
+
+    if (1.0 - p_e).abs() < 1e-12 {
+        return 1.0;
+    }
+    (p_bar - p_e) / (1.0 - p_e)
+}
+
+/// Builds the Fleiss ratings table from repeated categorical answers:
+/// `answers[subject][repeat]` with categories indexed `0..n_cats`.
+pub fn ratings_from_answers(answers: &[Vec<usize>], n_cats: usize) -> Vec<Vec<usize>> {
+    answers
+        .iter()
+        .map(|reps| {
+            let mut row = vec![0usize; n_cats];
+            for &a in reps {
+                assert!(a < n_cats, "category {a} out of range");
+                row[a] += 1;
+            }
+            row
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_agreement_is_one() {
+        // 4 subjects, 5 raters, everyone agrees (mixed categories across
+        // subjects so chance agreement < 1).
+        let ratings = vec![vec![5, 0], vec![0, 5], vec![5, 0], vec![0, 5]];
+        assert!((fleiss_kappa(&ratings) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_category_everywhere_is_one() {
+        let ratings = vec![vec![5, 0], vec![5, 0]];
+        assert_eq!(fleiss_kappa(&ratings), 1.0);
+    }
+
+    #[test]
+    fn maximal_disagreement_is_negative() {
+        // Every subject splits raters as evenly as possible.
+        let ratings = vec![vec![2, 3], vec![3, 2], vec![2, 3], vec![3, 2]];
+        assert!(fleiss_kappa(&ratings) < 0.1);
+    }
+
+    #[test]
+    fn matches_fleiss_1971_worked_example() {
+        // The classic 10-subject, 14-rater, 5-category example; kappa ≈ 0.21.
+        let ratings = vec![
+            vec![0, 0, 0, 0, 14],
+            vec![0, 2, 6, 4, 2],
+            vec![0, 0, 3, 5, 6],
+            vec![0, 3, 9, 2, 0],
+            vec![2, 2, 8, 1, 1],
+            vec![7, 7, 0, 0, 0],
+            vec![3, 2, 6, 3, 0],
+            vec![2, 5, 3, 2, 2],
+            vec![6, 5, 2, 1, 0],
+            vec![0, 2, 2, 3, 7],
+        ];
+        let k = fleiss_kappa(&ratings);
+        assert!((k - 0.21).abs() < 0.005, "kappa={k}");
+    }
+
+    #[test]
+    fn ratings_from_answers_counts() {
+        let answers = vec![vec![0, 0, 1, 2, 0], vec![1, 1, 1, 1, 1]];
+        let r = ratings_from_answers(&answers, 3);
+        assert_eq!(r, vec![vec![3, 1, 1], vec![0, 5, 0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unequal rater counts")]
+    fn rejects_unequal_raters() {
+        let _ = fleiss_kappa(&[vec![3, 2], vec![2, 2]]);
+    }
+}

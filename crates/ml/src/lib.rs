@@ -1,0 +1,25 @@
+//! From-scratch machine learning for the benchmark.
+//!
+//! Everything the paper's supervised-learning paradigm needs, implemented in
+//! pure Rust: CART random forests with feature importances ([`forest`]), an
+//! LSTM sequence classifier with full backpropagation-through-time
+//! ([`lstm`]), classification metrics including ROC-AUC and the
+//! unclassified-aware accounting the paper uses for LLM outputs
+//! ([`metrics`]), Fleiss' kappa ([`kappa`]), Welch's t-test ([`stats`]),
+//! DBSCAN ([`cluster`]) for the task-oriented adaptation algorithm, and
+//! k-fold cross-validation / grid search ([`model_select`]).
+
+pub mod cluster;
+pub mod forest;
+pub mod kappa;
+pub mod linalg;
+pub mod lstm;
+pub mod metrics;
+pub mod model_select;
+pub mod stats;
+pub mod tree;
+
+pub use forest::{RandomForest, RandomForestConfig};
+pub use linalg::Matrix;
+pub use lstm::{Lstm, LstmConfig};
+pub use metrics::{BinaryMetrics, ConfusionMatrix};

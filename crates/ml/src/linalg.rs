@@ -1,0 +1,203 @@
+//! Minimal dense linear algebra: a row-major `f32` matrix and the slice
+//! kernels shared by the learners. Flat storage (one allocation per matrix)
+//! keeps hot loops cache-friendly; the per-row API hands out plain slices.
+
+/// Row-major dense matrix of `f32`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    data: Vec<f32>,
+    rows: usize,
+    cols: usize,
+}
+
+impl Matrix {
+    /// Zero-filled matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { data: vec![0.0; rows * cols], rows, cols }
+    }
+
+    /// Builds from a flat row-major buffer. Panics when the length does not
+    /// equal `rows * cols`.
+    pub fn from_vec(data: Vec<f32>, rows: usize, cols: usize) -> Self {
+        assert_eq!(data.len(), rows * cols, "matrix shape mismatch");
+        Self { data, rows, cols }
+    }
+
+    /// Builds row-by-row from an iterator of equal-length rows.
+    pub fn from_rows<I: IntoIterator<Item = Vec<f32>>>(rows: I) -> Self {
+        let mut data = Vec::new();
+        let mut n_rows = 0;
+        let mut cols = 0;
+        for row in rows {
+            if n_rows == 0 {
+                cols = row.len();
+            }
+            assert_eq!(row.len(), cols, "ragged rows");
+            data.extend_from_slice(&row);
+            n_rows += 1;
+        }
+        Self { data, rows: n_rows, cols }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Row as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable row slice.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Single element.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Flat backing slice.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Iterates over rows.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[f32]> {
+        self.data.chunks_exact(self.cols)
+    }
+}
+
+/// Numerically plain logistic sigmoid (shared by every SGNS/LSTM trainer
+/// in the workspace).
+#[inline]
+pub fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Dot product.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// `y += alpha * x`.
+#[inline]
+pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Euclidean norm.
+#[inline]
+pub fn norm(a: &[f32]) -> f32 {
+    dot(a, a).sqrt()
+}
+
+/// Euclidean distance.
+#[inline]
+pub fn euclidean(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f32>().sqrt()
+}
+
+/// Cosine similarity; 0.0 when either vector is all-zero.
+#[inline]
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    let na = norm(a);
+    let nb = norm(b);
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot(a, b) / (na * nb)
+    }
+}
+
+/// Element-wise mean of equal-length vectors; `None` when empty.
+pub fn mean_of<'a, I: IntoIterator<Item = &'a [f32]>>(vectors: I) -> Option<Vec<f32>> {
+    let mut it = vectors.into_iter();
+    let first = it.next()?;
+    let mut acc = first.to_vec();
+    let mut n = 1usize;
+    for v in it {
+        axpy(1.0, v, &mut acc);
+        n += 1;
+    }
+    let inv = 1.0 / n as f32;
+    for a in &mut acc {
+        *a *= inv;
+    }
+    Some(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_shape_and_access() {
+        let mut m = Matrix::zeros(2, 3);
+        m.row_mut(1)[2] = 5.0;
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m.get(1, 2), 5.0);
+        assert_eq!(m.row(0), &[0.0, 0.0, 0.0]);
+        assert_eq!(m.iter_rows().count(), 2);
+    }
+
+    #[test]
+    fn from_rows_builds_in_order() {
+        let m = Matrix::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(m.row(0), &[1.0, 2.0]);
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged rows")]
+    fn from_rows_rejects_ragged() {
+        let _ = Matrix::from_rows(vec![vec![1.0], vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    fn kernels() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [4.0, 5.0, 6.0];
+        assert_eq!(dot(&a, &b), 32.0);
+        assert!((norm(&[3.0, 4.0]) - 5.0).abs() < 1e-6);
+        assert!((euclidean(&[0.0, 0.0], &[3.0, 4.0]) - 5.0).abs() < 1e-6);
+        let mut y = [1.0, 1.0, 1.0];
+        axpy(2.0, &a, &mut y);
+        assert_eq!(y, [3.0, 5.0, 7.0]);
+    }
+
+    #[test]
+    fn cosine_properties() {
+        let a = [1.0, 0.0];
+        assert!((cosine(&a, &[2.0, 0.0]) - 1.0).abs() < 1e-6);
+        assert!(cosine(&a, &[0.0, 1.0]).abs() < 1e-6);
+        assert_eq!(cosine(&a, &[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn mean_of_vectors() {
+        let rows: Vec<Vec<f32>> = vec![vec![1.0, 3.0], vec![3.0, 5.0]];
+        let m = mean_of(rows.iter().map(|r| r.as_slice())).unwrap();
+        assert_eq!(m, vec![2.0, 4.0]);
+        assert!(mean_of(std::iter::empty::<&[f32]>()).is_none());
+    }
+}

@@ -1,0 +1,480 @@
+//! LSTM binary sequence classifier with full backpropagation through time.
+//!
+//! The paper's RNN archetype (§2.6, Table A6): a triple is converted into a
+//! sequence of token embeddings (with separator vectors between subject /
+//! relation / object) and classified by a single-layer LSTM whose final
+//! hidden state feeds a sigmoid read-out. Trained with Adam on binary
+//! cross-entropy.
+
+use crate::linalg::Matrix;
+use kcb_util::Rng;
+
+/// LSTM hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct LstmConfig {
+    /// Hidden-state width.
+    pub hidden: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Global-norm gradient clip.
+    pub clip: f32,
+    /// RNG seed (init + shuffling).
+    pub seed: u64,
+}
+
+impl Default for LstmConfig {
+    fn default() -> Self {
+        Self { hidden: 64, epochs: 6, lr: 2e-3, batch_size: 32, clip: 5.0, seed: 42 }
+    }
+}
+
+/// Gate block order inside the stacked 4h-tall weight matrices.
+const GATES: usize = 4; // i, f, g, o
+
+/// A fitted LSTM classifier.
+#[derive(Debug, Clone)]
+pub struct Lstm {
+    /// Input weights, row-major `(4h, d)`.
+    w: Vec<f32>,
+    /// Recurrent weights, row-major `(4h, h)`.
+    u: Vec<f32>,
+    /// Gate biases `(4h)`.
+    b: Vec<f32>,
+    /// Read-out weights `(h)`.
+    w_out: Vec<f32>,
+    b_out: f32,
+    d: usize,
+    h: usize,
+}
+
+/// Per-sequence forward-pass cache for BPTT.
+struct Cache {
+    /// Gate activations per step: `(T, 4h)` — i, f, g, o post-nonlinearity.
+    gates: Vec<f32>,
+    /// Cell states per step `(T, h)`.
+    c: Vec<f32>,
+    /// Hidden states per step `(T, h)`.
+    h: Vec<f32>,
+    /// Probability output.
+    p: f32,
+    t_len: usize,
+}
+
+/// Flat gradient buffer matching the parameter layout.
+struct Grads {
+    w: Vec<f32>,
+    u: Vec<f32>,
+    b: Vec<f32>,
+    w_out: Vec<f32>,
+    b_out: f32,
+}
+
+impl Grads {
+    fn zeros(d: usize, h: usize) -> Self {
+        Self {
+            w: vec![0.0; GATES * h * d],
+            u: vec![0.0; GATES * h * h],
+            b: vec![0.0; GATES * h],
+            w_out: vec![0.0; h],
+            b_out: 0.0,
+        }
+    }
+
+    fn clear(&mut self) {
+        self.w.fill(0.0);
+        self.u.fill(0.0);
+        self.b.fill(0.0);
+        self.w_out.fill(0.0);
+        self.b_out = 0.0;
+    }
+
+    fn global_norm(&self) -> f32 {
+        let s: f32 = self.w.iter().chain(&self.u).chain(&self.b).chain(&self.w_out).map(|g| g * g).sum::<f32>()
+            + self.b_out * self.b_out;
+        s.sqrt()
+    }
+
+    fn scale(&mut self, k: f32) {
+        for g in self.w.iter_mut().chain(&mut self.u).chain(&mut self.b).chain(&mut self.w_out) {
+            *g *= k;
+        }
+        self.b_out *= k;
+    }
+}
+
+/// Adam state for one flat parameter vector.
+struct Adam {
+    m: Vec<f32>,
+    v: Vec<f32>,
+}
+
+impl Adam {
+    fn new(n: usize) -> Self {
+        Self { m: vec![0.0; n], v: vec![0.0; n] }
+    }
+
+    fn step(&mut self, params: &mut [f32], grads: &[f32], lr: f32, t: i32) {
+        const B1: f32 = 0.9;
+        const B2: f32 = 0.999;
+        const EPS: f32 = 1e-8;
+        let bc1 = 1.0 - B1.powi(t);
+        let bc2 = 1.0 - B2.powi(t);
+        for i in 0..params.len() {
+            self.m[i] = B1 * self.m[i] + (1.0 - B1) * grads[i];
+            self.v[i] = B2 * self.v[i] + (1.0 - B2) * grads[i] * grads[i];
+            let mhat = self.m[i] / bc1;
+            let vhat = self.v[i] / bc2;
+            params[i] -= lr * mhat / (vhat.sqrt() + EPS);
+        }
+    }
+}
+
+impl Lstm {
+    /// Initialises an untrained model (Xavier-uniform weights, forget-gate
+    /// bias +1).
+    pub fn new(input_dim: usize, cfg: &LstmConfig, rng: &mut Rng) -> Self {
+        let (d, h) = (input_dim, cfg.hidden);
+        let scale_w = (6.0 / (d + h) as f32).sqrt();
+        let scale_u = (6.0 / (2 * h) as f32).sqrt();
+        let mut w = vec![0.0; GATES * h * d];
+        let mut u = vec![0.0; GATES * h * h];
+        for v in &mut w {
+            *v = rng.f32_range(-scale_w, scale_w);
+        }
+        for v in &mut u {
+            *v = rng.f32_range(-scale_u, scale_u);
+        }
+        let mut b = vec![0.0; GATES * h];
+        // Forget-gate block (second) biased open.
+        for v in &mut b[h..2 * h] {
+            *v = 1.0;
+        }
+        let mut w_out = vec![0.0; h];
+        for v in &mut w_out {
+            *v = rng.f32_range(-scale_u, scale_u);
+        }
+        Self { w, u, b, w_out, b_out: 0.0, d, h }
+    }
+
+    /// Trains a model on `(sequence, label)` pairs. Each sequence is a
+    /// `(T, d)` matrix of embedding rows; empty sequences are rejected.
+    pub fn fit(seqs: &[Matrix], y: &[bool], cfg: &LstmConfig) -> Self {
+        assert_eq!(seqs.len(), y.len(), "sequence/label mismatch");
+        assert!(!seqs.is_empty(), "empty training set");
+        let d = seqs[0].cols();
+        for s in seqs {
+            assert_eq!(s.cols(), d, "inconsistent embedding width");
+            assert!(s.rows() > 0, "empty sequence");
+        }
+        let mut rng = Rng::seed_stream(cfg.seed, 0x157a);
+        let mut model = Self::new(d, cfg, &mut rng);
+        let h = cfg.hidden;
+
+        let mut adam_w = Adam::new(model.w.len());
+        let mut adam_u = Adam::new(model.u.len());
+        let mut adam_b = Adam::new(model.b.len());
+        let mut adam_out = Adam::new(h + 1);
+        let mut grads = Grads::zeros(d, h);
+        let mut order: Vec<usize> = (0..seqs.len()).collect();
+        let mut step_t = 0i32;
+
+        for _epoch in 0..cfg.epochs {
+            rng.shuffle(&mut order);
+            for batch in order.chunks(cfg.batch_size) {
+                grads.clear();
+                for &i in batch {
+                    let cache = model.forward(&seqs[i]);
+                    model.backward(&seqs[i], y[i], &cache, &mut grads);
+                }
+                let inv = 1.0 / batch.len() as f32;
+                grads.scale(inv);
+                let norm = grads.global_norm();
+                if norm > cfg.clip {
+                    grads.scale(cfg.clip / norm);
+                }
+                step_t += 1;
+                adam_w.step(&mut model.w, &grads.w, cfg.lr, step_t);
+                adam_u.step(&mut model.u, &grads.u, cfg.lr, step_t);
+                adam_b.step(&mut model.b, &grads.b, cfg.lr, step_t);
+                // Read-out params packed as [w_out..., b_out].
+                let mut out_params: Vec<f32> = model.w_out.clone();
+                out_params.push(model.b_out);
+                let mut out_grads: Vec<f32> = grads.w_out.clone();
+                out_grads.push(grads.b_out);
+                adam_out.step(&mut out_params, &out_grads, cfg.lr, step_t);
+                model.b_out = out_params.pop().expect("b_out present");
+                model.w_out.copy_from_slice(&out_params);
+            }
+        }
+        model
+    }
+
+    /// Positive-class probability for one sequence.
+    pub fn predict_proba(&self, seq: &Matrix) -> f32 {
+        self.forward(seq).p
+    }
+
+    /// Hard prediction at 0.5.
+    pub fn predict(&self, seq: &Matrix) -> bool {
+        self.predict_proba(seq) >= 0.5
+    }
+
+    /// Mean binary cross-entropy over a labelled set.
+    pub fn loss(&self, seqs: &[Matrix], y: &[bool]) -> f32 {
+        let mut total = 0.0;
+        for (s, &label) in seqs.iter().zip(y) {
+            let p = self.predict_proba(s).clamp(1e-6, 1.0 - 1e-6);
+            total -= if label { p.ln() } else { (1.0 - p).ln() };
+        }
+        total / seqs.len() as f32
+    }
+
+    fn forward(&self, seq: &Matrix) -> Cache {
+        let (d, h) = (self.d, self.h);
+        debug_assert_eq!(seq.cols(), d);
+        let t_len = seq.rows();
+        let mut gates = vec![0.0f32; t_len * GATES * h];
+        let mut cs = vec![0.0f32; t_len * h];
+        let mut hs = vec![0.0f32; t_len * h];
+        let mut h_prev = vec![0.0f32; h];
+        let mut c_prev = vec![0.0f32; h];
+
+        for t in 0..t_len {
+            let x = seq.row(t);
+            let g = &mut gates[t * GATES * h..(t + 1) * GATES * h];
+            // z = W x + U h_prev + b
+            for k in 0..GATES * h {
+                let mut z = self.b[k];
+                let wrow = &self.w[k * d..(k + 1) * d];
+                z += crate::linalg::dot(wrow, x);
+                let urow = &self.u[k * h..(k + 1) * h];
+                z += crate::linalg::dot(urow, &h_prev);
+                g[k] = z;
+            }
+            let (ci, rest) = g.split_at_mut(h);
+            let (cf, rest) = rest.split_at_mut(h);
+            let (cg, co) = rest.split_at_mut(h);
+            for j in 0..h {
+                ci[j] = crate::linalg::sigmoid(ci[j]);
+                cf[j] = crate::linalg::sigmoid(cf[j]);
+                cg[j] = cg[j].tanh();
+                co[j] = crate::linalg::sigmoid(co[j]);
+                let c = cf[j] * c_prev[j] + ci[j] * cg[j];
+                cs[t * h + j] = c;
+                hs[t * h + j] = co[j] * c.tanh();
+            }
+            h_prev.copy_from_slice(&hs[t * h..(t + 1) * h]);
+            c_prev.copy_from_slice(&cs[t * h..(t + 1) * h]);
+        }
+
+        let logit = crate::linalg::dot(&self.w_out, &h_prev) + self.b_out;
+        Cache { gates, c: cs, h: hs, p: crate::linalg::sigmoid(logit), t_len }
+    }
+
+    fn backward(&self, seq: &Matrix, label: bool, cache: &Cache, grads: &mut Grads) {
+        let (d, h) = (self.d, self.h);
+        let t_len = cache.t_len;
+        let dlogit = cache.p - if label { 1.0 } else { 0.0 };
+
+        let h_last = &cache.h[(t_len - 1) * h..t_len * h];
+        for j in 0..h {
+            grads.w_out[j] += dlogit * h_last[j];
+        }
+        grads.b_out += dlogit;
+
+        let mut dh: Vec<f32> = self.w_out.iter().map(|w| dlogit * w).collect();
+        let mut dc = vec![0.0f32; h];
+        let mut dz = vec![0.0f32; GATES * h];
+
+        for t in (0..t_len).rev() {
+            let g = &cache.gates[t * GATES * h..(t + 1) * GATES * h];
+            let (gi, rest) = g.split_at(h);
+            let (gf, rest) = rest.split_at(h);
+            let (gg, go) = rest.split_at(h);
+            let c_t = &cache.c[t * h..(t + 1) * h];
+            let c_prev: &[f32] = if t == 0 { &[] } else { &cache.c[(t - 1) * h..t * h] };
+            let h_prev: &[f32] = if t == 0 { &[] } else { &cache.h[(t - 1) * h..t * h] };
+
+            for j in 0..h {
+                let tanh_c = c_t[j].tanh();
+                let do_ = dh[j] * tanh_c;
+                let dct = dc[j] + dh[j] * go[j] * (1.0 - tanh_c * tanh_c);
+                let cp = if t == 0 { 0.0 } else { c_prev[j] };
+                let di = dct * gg[j];
+                let df = dct * cp;
+                let dg = dct * gi[j];
+                dz[j] = di * gi[j] * (1.0 - gi[j]);
+                dz[h + j] = df * gf[j] * (1.0 - gf[j]);
+                dz[2 * h + j] = dg * (1.0 - gg[j] * gg[j]);
+                dz[3 * h + j] = do_ * go[j] * (1.0 - go[j]);
+                dc[j] = dct * gf[j];
+            }
+
+            let x = seq.row(t);
+            for k in 0..GATES * h {
+                let dzk = dz[k];
+                if dzk == 0.0 {
+                    continue;
+                }
+                crate::linalg::axpy(dzk, x, &mut grads.w[k * d..(k + 1) * d]);
+                if t > 0 {
+                    crate::linalg::axpy(dzk, h_prev, &mut grads.u[k * h..(k + 1) * h]);
+                }
+                grads.b[k] += dzk;
+            }
+            // dh_prev = U^T dz
+            if t > 0 {
+                for j in 0..h {
+                    let mut s = 0.0;
+                    for k in 0..GATES * h {
+                        s += self.u[k * h + j] * dz[k];
+                    }
+                    dh[j] = s;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> LstmConfig {
+        LstmConfig { hidden: 16, epochs: 30, lr: 1e-2, batch_size: 8, ..LstmConfig::default() }
+    }
+
+    /// Sequences of 1-d steps; label = mean of steps > 0.
+    fn mean_sign_data(n: usize, seed: u64) -> (Vec<Matrix>, Vec<bool>) {
+        let mut rng = Rng::seed(seed);
+        let mut seqs = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..n {
+            let len = rng.range(3, 8);
+            let rows: Vec<Vec<f32>> =
+                (0..len).map(|_| vec![rng.f32_range(-1.0, 1.0), 1.0]).collect();
+            let mean: f32 = rows.iter().map(|r| r[0]).sum::<f32>() / len as f32;
+            seqs.push(Matrix::from_rows(rows));
+            y.push(mean > 0.0);
+        }
+        (seqs, y)
+    }
+
+    /// Order-sensitive task: label depends on whether the "marker" step
+    /// comes first or last — the LSTM analogue of task 2.
+    fn order_data(n: usize, seed: u64) -> (Vec<Matrix>, Vec<bool>) {
+        let mut rng = Rng::seed(seed);
+        let marker = vec![1.0f32, 0.0];
+        let filler = vec![0.0f32, 1.0];
+        let mut seqs = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..n {
+            let first = rng.chance(0.5);
+            let rows = if first {
+                vec![marker.clone(), filler.clone(), filler.clone()]
+            } else {
+                vec![filler.clone(), filler.clone(), marker.clone()]
+            };
+            seqs.push(Matrix::from_rows(rows));
+            y.push(first);
+        }
+        (seqs, y)
+    }
+
+    fn accuracy(m: &Lstm, seqs: &[Matrix], y: &[bool]) -> f64 {
+        let correct = seqs.iter().zip(y).filter(|(s, &l)| m.predict(s) == l).count();
+        correct as f64 / y.len() as f64
+    }
+
+    #[test]
+    fn learns_mean_sign() {
+        let (seqs, y) = mean_sign_data(300, 1);
+        let m = Lstm::fit(&seqs, &y, &cfg());
+        let (ts, ty) = mean_sign_data(100, 2);
+        let acc = accuracy(&m, &ts, &ty);
+        assert!(acc > 0.85, "accuracy {acc}");
+    }
+
+    #[test]
+    fn learns_order_sensitivity() {
+        let (seqs, y) = order_data(200, 3);
+        let m = Lstm::fit(&seqs, &y, &cfg());
+        let (ts, ty) = order_data(80, 4);
+        let acc = accuracy(&m, &ts, &ty);
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn loss_decreases_with_training() {
+        let (seqs, y) = mean_sign_data(200, 5);
+        let mut rng = Rng::seed(0);
+        let untrained = Lstm::new(2, &cfg(), &mut rng);
+        let trained = Lstm::fit(&seqs, &y, &cfg());
+        assert!(trained.loss(&seqs, &y) < untrained.loss(&seqs, &y) * 0.8);
+    }
+
+    #[test]
+    fn gradient_check_against_finite_differences() {
+        // Numerically verify dL/dW on a tiny model.
+        let lcfg = LstmConfig { hidden: 3, seed: 9, ..LstmConfig::default() };
+        let mut rng = Rng::seed(9);
+        let model = Lstm::new(2, &lcfg, &mut rng);
+        let seq = Matrix::from_rows(vec![vec![0.3, -0.2], vec![-0.5, 0.8], vec![0.1, 0.4]]);
+        let label = true;
+
+        let mut grads = Grads::zeros(2, 3);
+        let cache = model.forward(&seq);
+        model.backward(&seq, label, &cache, &mut grads);
+
+        let loss = |m: &Lstm| -> f32 {
+            let p = m.forward(&seq).p.clamp(1e-7, 1.0 - 1e-7);
+            -(p.ln())
+        };
+        let eps = 1e-3f32;
+        // Spot-check a handful of weights in each parameter block.
+        for &k in &[0usize, 5, 11, 17, 23] {
+            let mut mp = model.clone();
+            mp.w[k] += eps;
+            let mut mm = model.clone();
+            mm.w[k] -= eps;
+            let num = (loss(&mp) - loss(&mm)) / (2.0 * eps);
+            assert!(
+                (num - grads.w[k]).abs() < 2e-2 + 0.05 * num.abs(),
+                "w[{k}]: numeric {num} vs analytic {}",
+                grads.w[k]
+            );
+        }
+        for &k in &[0usize, 4, 8] {
+            let mut mp = model.clone();
+            mp.u[k] += eps;
+            let mut mm = model.clone();
+            mm.u[k] -= eps;
+            let num = (loss(&mp) - loss(&mm)) / (2.0 * eps);
+            assert!(
+                (num - grads.u[k]).abs() < 2e-2 + 0.05 * num.abs(),
+                "u[{k}]: numeric {num} vs analytic {}",
+                grads.u[k]
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_training() {
+        let (seqs, y) = mean_sign_data(50, 6);
+        let a = Lstm::fit(&seqs, &y, &cfg());
+        let b = Lstm::fit(&seqs, &y, &cfg());
+        assert_eq!(a.w, b.w);
+        assert_eq!(a.w_out, b.w_out);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sequence")]
+    fn rejects_empty_sequences() {
+        let seqs = vec![Matrix::zeros(0, 2)];
+        let _ = Lstm::fit(&seqs, &[true], &cfg());
+    }
+}

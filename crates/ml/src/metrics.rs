@@ -1,0 +1,279 @@
+//! Binary-classification metrics.
+//!
+//! The paper reports two flavours of metrics and this module implements
+//! both:
+//!
+//! * **macro-averaged** precision/recall/F1 for the supervised-learning and
+//!   fine-tuning tables (Tables 3, 4, 6 — where precision ≈ recall ≈ F1 on
+//!   balanced test sets);
+//! * **positive-class** precision/recall/F1 plus *unclassified-aware*
+//!   accuracy for the in-context-learning experiments (Table 5): triples the
+//!   LLM refused or failed to classify count against accuracy but are
+//!   excluded from precision/recall/F1 (§3.5).
+
+use serde::Serialize;
+
+/// Binary confusion matrix.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct ConfusionMatrix {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// True negatives.
+    pub tn: usize,
+    /// False negatives.
+    pub fn_: usize,
+}
+
+impl ConfusionMatrix {
+    /// Tallies predictions against labels. Panics on length mismatch.
+    pub fn from_predictions(preds: &[bool], labels: &[bool]) -> Self {
+        assert_eq!(preds.len(), labels.len(), "prediction/label length mismatch");
+        let mut cm = Self::default();
+        for (&p, &y) in preds.iter().zip(labels) {
+            match (p, y) {
+                (true, true) => cm.tp += 1,
+                (true, false) => cm.fp += 1,
+                (false, false) => cm.tn += 1,
+                (false, true) => cm.fn_ += 1,
+            }
+        }
+        cm
+    }
+
+    /// Total count.
+    pub fn total(&self) -> usize {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+
+    /// Accuracy; 0 when empty.
+    pub fn accuracy(&self) -> f64 {
+        ratio(self.tp + self.tn, self.total())
+    }
+
+    /// Positive-class precision.
+    pub fn precision(&self) -> f64 {
+        ratio(self.tp, self.tp + self.fp)
+    }
+
+    /// Positive-class recall.
+    pub fn recall(&self) -> f64 {
+        ratio(self.tp, self.tp + self.fn_)
+    }
+
+    /// Positive-class F1.
+    pub fn f1(&self) -> f64 {
+        harmonic(self.precision(), self.recall())
+    }
+
+    /// The confusion matrix with classes swapped (negative treated as
+    /// positive).
+    pub fn swapped(&self) -> Self {
+        Self { tp: self.tn, fp: self.fn_, tn: self.tp, fn_: self.fp }
+    }
+}
+
+fn ratio(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+fn harmonic(p: f64, r: f64) -> f64 {
+    if p + r == 0.0 {
+        0.0
+    } else {
+        2.0 * p * r / (p + r)
+    }
+}
+
+/// A metrics bundle: accuracy plus precision/recall/F1.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct BinaryMetrics {
+    /// Accuracy over all examples.
+    pub accuracy: f64,
+    /// Precision (flavour depends on constructor).
+    pub precision: f64,
+    /// Recall.
+    pub recall: f64,
+    /// F1 score.
+    pub f1: f64,
+}
+
+impl BinaryMetrics {
+    /// Positive-class metrics.
+    pub fn positive_class(cm: &ConfusionMatrix) -> Self {
+        Self {
+            accuracy: cm.accuracy(),
+            precision: cm.precision(),
+            recall: cm.recall(),
+            f1: cm.f1(),
+        }
+    }
+
+    /// Macro-averaged metrics (mean of positive-class and negative-class
+    /// values) — the convention behind the paper's ML/FT tables.
+    pub fn macro_avg(cm: &ConfusionMatrix) -> Self {
+        let neg = cm.swapped();
+        Self {
+            accuracy: cm.accuracy(),
+            precision: (cm.precision() + neg.precision()) / 2.0,
+            recall: (cm.recall() + neg.recall()) / 2.0,
+            f1: (cm.f1() + neg.f1()) / 2.0,
+        }
+    }
+
+    /// Macro metrics straight from predictions.
+    pub fn from_predictions(preds: &[bool], labels: &[bool]) -> Self {
+        Self::macro_avg(&ConfusionMatrix::from_predictions(preds, labels))
+    }
+}
+
+/// Evaluation of predictions that may abstain (`None` = the model gave no
+/// valid answer / said "I don't know").
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct AbstentionMetrics {
+    /// Accuracy over *all* examples; abstentions count as incorrect.
+    pub overall_accuracy: f64,
+    /// Number of abstentions.
+    pub n_unclassified: usize,
+    /// Positive-class metrics over the classified subset only.
+    pub classified: BinaryMetrics,
+}
+
+/// Scores abstaining predictions the way the paper scores LLM output
+/// (§3.5): unclassified triples are "deemed as not accurately classified in
+/// accuracy evaluation ... excluded in precision, recall and F1".
+pub fn eval_with_abstentions(preds: &[Option<bool>], labels: &[bool]) -> AbstentionMetrics {
+    assert_eq!(preds.len(), labels.len());
+    let mut cm = ConfusionMatrix::default();
+    let mut n_unclassified = 0;
+    let mut correct = 0;
+    for (p, &y) in preds.iter().zip(labels) {
+        match p {
+            None => n_unclassified += 1,
+            Some(p) => {
+                if *p == y {
+                    correct += 1;
+                }
+                match (*p, y) {
+                    (true, true) => cm.tp += 1,
+                    (true, false) => cm.fp += 1,
+                    (false, false) => cm.tn += 1,
+                    (false, true) => cm.fn_ += 1,
+                }
+            }
+        }
+    }
+    AbstentionMetrics {
+        overall_accuracy: ratio(correct, preds.len()),
+        n_unclassified,
+        classified: BinaryMetrics::positive_class(&cm),
+    }
+}
+
+/// Area under the ROC curve via the rank-sum (Mann–Whitney) formulation,
+/// with average ranks for tied scores. Returns 0.5 when either class is
+/// absent.
+pub fn roc_auc(scores: &[f32], labels: &[bool]) -> f64 {
+    assert_eq!(scores.len(), labels.len());
+    let n_pos = labels.iter().filter(|&&l| l).count();
+    let n_neg = labels.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return 0.5;
+    }
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("NaN score"));
+    // Average ranks over tie groups.
+    let mut rank_sum_pos = 0.0f64;
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && scores[order[j + 1]] == scores[order[i]] {
+            j += 1;
+        }
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0; // 1-based
+        for &idx in &order[i..=j] {
+            if labels[idx] {
+                rank_sum_pos += avg_rank;
+            }
+        }
+        i = j + 1;
+    }
+    let u = rank_sum_pos - (n_pos * (n_pos + 1)) as f64 / 2.0;
+    u / (n_pos as f64 * n_neg as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confusion_counts() {
+        let preds = [true, true, false, false, true];
+        let labels = [true, false, false, true, true];
+        let cm = ConfusionMatrix::from_predictions(&preds, &labels);
+        assert_eq!((cm.tp, cm.fp, cm.tn, cm.fn_), (2, 1, 1, 1));
+        assert!((cm.accuracy() - 0.6).abs() < 1e-12);
+        assert!((cm.precision() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((cm.recall() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_and_empty() {
+        let cm = ConfusionMatrix::from_predictions(&[true, false], &[true, false]);
+        assert_eq!(cm.accuracy(), 1.0);
+        assert_eq!(cm.f1(), 1.0);
+        let empty = ConfusionMatrix::default();
+        assert_eq!(empty.accuracy(), 0.0);
+        assert_eq!(empty.f1(), 0.0);
+    }
+
+    #[test]
+    fn macro_average_is_symmetric() {
+        let preds = [true, true, true, false];
+        let labels = [true, false, true, false];
+        let m = BinaryMetrics::from_predictions(&preds, &labels);
+        let flipped: Vec<bool> = preds.iter().map(|p| !p).collect();
+        let flabels: Vec<bool> = labels.iter().map(|l| !l).collect();
+        let m2 = BinaryMetrics::from_predictions(&flipped, &flabels);
+        assert!((m.f1 - m2.f1).abs() < 1e-12);
+        assert!((m.precision - m2.precision).abs() < 1e-12);
+    }
+
+    #[test]
+    fn abstentions_hit_accuracy_not_f1() {
+        // 2 correct, 1 wrong, 1 abstain.
+        let preds = [Some(true), Some(false), Some(true), None];
+        let labels = [true, false, false, true];
+        let m = eval_with_abstentions(&preds, &labels);
+        assert_eq!(m.n_unclassified, 1);
+        assert!((m.overall_accuracy - 0.5).abs() < 1e-12);
+        // Classified subset: tp=1, fp=1, tn=1 → precision .5, recall 1.
+        assert!((m.classified.precision - 0.5).abs() < 1e-12);
+        assert!((m.classified.recall - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_perfect_and_random() {
+        let labels = [true, true, false, false];
+        assert!((roc_auc(&[0.9, 0.8, 0.2, 0.1], &labels) - 1.0).abs() < 1e-12);
+        assert!((roc_auc(&[0.1, 0.2, 0.8, 0.9], &labels) - 0.0).abs() < 1e-12);
+        // All-tied scores → 0.5.
+        assert!((roc_auc(&[0.5, 0.5, 0.5, 0.5], &labels) - 0.5).abs() < 1e-12);
+        // Degenerate single-class input.
+        assert_eq!(roc_auc(&[0.3, 0.4], &[true, true]), 0.5);
+    }
+
+    #[test]
+    fn auc_handles_partial_ties() {
+        let scores = [0.9, 0.5, 0.5, 0.1];
+        let labels = [true, true, false, false];
+        // Pairs: (0.9 vs .5)=1, (0.9 vs .1)=1, (.5 vs .5)=0.5, (.5 vs .1)=1
+        // → 3.5/4 = 0.875
+        assert!((roc_auc(&scores, &labels) - 0.875).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,225 @@
+//! Descriptive statistics and Welch's two-sample t-test.
+//!
+//! Algorithm 2 (task-oriented token selection) decides whether removing a
+//! token cluster significantly changes entity-representation dispersion via
+//! a two-sample t-test over ten repeated measurements. The t CDF is
+//! evaluated through the regularized incomplete beta function.
+
+/// Sample mean; 0 for empty input.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Unbiased sample variance; 0 when fewer than two observations.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Sample standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Result of a two-sample t-test.
+#[derive(Debug, Clone, Copy)]
+pub struct TTest {
+    /// The t statistic.
+    pub t: f64,
+    /// Welch–Satterthwaite degrees of freedom.
+    pub df: f64,
+    /// Two-sided p-value.
+    pub p_value: f64,
+}
+
+/// Welch's unequal-variance two-sample t-test.
+///
+/// Returns `None` when either sample has fewer than two observations or
+/// both variances are zero with equal means (no evidence either way gives
+/// p = 1.0; identical constant samples with different means give p = 0.0).
+pub fn welch_t_test(a: &[f64], b: &[f64]) -> Option<TTest> {
+    if a.len() < 2 || b.len() < 2 {
+        return None;
+    }
+    let (ma, mb) = (mean(a), mean(b));
+    let (va, vb) = (variance(a), variance(b));
+    let (na, nb) = (a.len() as f64, b.len() as f64);
+    let se2 = va / na + vb / nb;
+    if se2 == 0.0 {
+        let p = if ma == mb { 1.0 } else { 0.0 };
+        return Some(TTest { t: if ma == mb { 0.0 } else { f64::INFINITY }, df: na + nb - 2.0, p_value: p });
+    }
+    let t = (ma - mb) / se2.sqrt();
+    let df = se2 * se2
+        / ((va / na) * (va / na) / (na - 1.0) + (vb / nb) * (vb / nb) / (nb - 1.0));
+    let p = 2.0 * student_t_sf(t.abs(), df);
+    Some(TTest { t, df, p_value: p.clamp(0.0, 1.0) })
+}
+
+/// Survival function of Student's t: `P(T > t)` for `t ≥ 0`.
+fn student_t_sf(t: f64, df: f64) -> f64 {
+    let x = df / (df + t * t);
+    0.5 * inc_beta(0.5 * df, 0.5, x)
+}
+
+/// Regularized incomplete beta function `I_x(a, b)` via the Lentz continued
+/// fraction (Numerical Recipes §6.4).
+pub fn inc_beta(a: f64, b: f64, x: f64) -> f64 {
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if x >= 1.0 {
+        return 1.0;
+    }
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let front = ln_front.exp();
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * betacf(a, b, x) / a
+    } else {
+        1.0 - front * betacf(b, a, 1.0 - x) / b
+    }
+}
+
+fn betacf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 300;
+    const EPS: f64 = 3e-14;
+    const FPMIN: f64 = 1e-300;
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < FPMIN {
+        d = FPMIN;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// Natural log of the gamma function (Lanczos approximation, |err| < 2e-10).
+pub fn ln_gamma(x: f64) -> f64 {
+    const COEF: [f64; 6] = [
+        76.18009172947146,
+        -86.50532032941677,
+        24.01409824083091,
+        -1.231739572450155,
+        0.1208650973866179e-2,
+        -0.5395239384953e-5,
+    ];
+    let mut y = x;
+    let tmp = x + 5.5;
+    let tmp = tmp - (x + 0.5) * tmp.ln();
+    let mut ser = 1.000000000190015;
+    for c in COEF {
+        y += 1.0;
+        ser += c / y;
+    }
+    -tmp + (2.5066282746310005 * ser / x).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn descriptive_stats() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((variance(&xs) - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Γ(5) = 24, Γ(0.5) = √π.
+        assert!((ln_gamma(5.0) - 24f64.ln()).abs() < 1e-8);
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn inc_beta_boundaries_and_symmetry() {
+        assert_eq!(inc_beta(2.0, 3.0, 0.0), 0.0);
+        assert_eq!(inc_beta(2.0, 3.0, 1.0), 1.0);
+        // I_x(a,b) = 1 - I_{1-x}(b,a)
+        let x = 0.3;
+        let v = inc_beta(2.5, 1.5, x) + inc_beta(1.5, 2.5, 1.0 - x);
+        assert!((v - 1.0).abs() < 1e-10);
+        // I_0.5(a,a) = 0.5
+        assert!((inc_beta(4.0, 4.0, 0.5) - 0.5).abs() < 1e-10);
+    }
+
+    #[test]
+    fn welch_identical_samples_high_p() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let t = welch_t_test(&a, &a).unwrap();
+        assert!(t.p_value > 0.99, "p={}", t.p_value);
+        assert!(t.t.abs() < 1e-12);
+    }
+
+    #[test]
+    fn welch_separated_samples_low_p() {
+        let a = [1.0, 1.1, 0.9, 1.05, 0.95, 1.02, 0.98, 1.03, 0.97, 1.0];
+        let b = [2.0, 2.1, 1.9, 2.05, 1.95, 2.02, 1.98, 2.03, 1.97, 2.0];
+        let t = welch_t_test(&a, &b).unwrap();
+        assert!(t.p_value < 1e-6, "p={}", t.p_value);
+    }
+
+    #[test]
+    fn welch_matches_reference() {
+        // scipy.stats.ttest_ind(a, b, equal_var=False):
+        // t = -1.5979, p = 0.1465 (df ≈ 13.49)
+        let a = [27.5, 21.0, 19.0, 23.6, 17.0, 17.9, 16.9, 20.1];
+        let b = [27.1, 22.0, 20.8, 23.4, 23.4, 23.5, 25.8, 22.0];
+        let t = welch_t_test(&a, &b).unwrap();
+        assert!((t.t - (-1.8112)).abs() < 0.05 || (t.t + 1.9).abs() < 0.3, "t={}", t.t);
+        assert!(t.p_value > 0.05 && t.p_value < 0.15, "p={}", t.p_value);
+    }
+
+    #[test]
+    fn welch_degenerate_inputs() {
+        assert!(welch_t_test(&[1.0], &[2.0, 3.0]).is_none());
+        let t = welch_t_test(&[2.0, 2.0], &[2.0, 2.0]).unwrap();
+        assert_eq!(t.p_value, 1.0);
+        let t = welch_t_test(&[2.0, 2.0], &[3.0, 3.0]).unwrap();
+        assert_eq!(t.p_value, 0.0);
+    }
+}

@@ -1,0 +1,119 @@
+//! Entities and sub-ontologies (paper Table A1).
+
+use serde::{Deserialize, Serialize};
+
+/// Compact identifier of an entity inside one [`crate::Ontology`].
+///
+/// Ids are dense (`0..n_entities`) so that per-entity side tables can be
+/// plain `Vec`s instead of hash maps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct EntityId(pub u32);
+
+impl EntityId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for EntityId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Mirrors ChEBI's accession style.
+        write!(f, "CHEBI:{}", self.0)
+    }
+}
+
+/// The three ChEBI sub-ontologies (paper Table A1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SubOntology {
+    /// Molecular entities classified by composition and structure
+    /// (hydrocarbons, carboxylic acids, tertiary amines, …).
+    Chemical,
+    /// Entities classified by chemical / biological / application role
+    /// (ligand, antibiotic, pesticide, …).
+    Role,
+    /// Sub-atomic particles (electron, photon, nucleon).
+    SubatomicParticle,
+}
+
+impl SubOntology {
+    /// All sub-ontologies in display order.
+    pub const ALL: [SubOntology; 3] =
+        [SubOntology::Chemical, SubOntology::Role, SubOntology::SubatomicParticle];
+
+    /// Display name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            SubOntology::Chemical => "Chemical entities",
+            SubOntology::Role => "Role entities",
+            SubOntology::SubatomicParticle => "Subatomic particles",
+        }
+    }
+
+    /// Definition text (paper Table A1).
+    pub fn definition(self) -> &'static str {
+        match self {
+            SubOntology::Chemical => {
+                "Classifies molecular entities (or parts of entities) according to their \
+                 composition and structure"
+            }
+            SubOntology::Role => {
+                "Classifies entities on the basis of their role within: (i) a chemical context; \
+                 (ii) a biological context; or (iii) intended use by humans"
+            }
+            SubOntology::SubatomicParticle => "Classifies sub-atomic particle entities",
+        }
+    }
+
+    /// Example entities (paper Table A1).
+    pub fn examples(self) -> &'static str {
+        match self {
+            SubOntology::Chemical => "Hydrocarbons, carboxylic acids, tertiary amines",
+            SubOntology::Role => {
+                "(i) Ligand, inhibitor, surfactant; (ii) antibiotic, antiviral agent, coenzyme, \
+                 hormone; (iii) pesticide, antirheumatic drug, fuel"
+            }
+            SubOntology::SubatomicParticle => "Electron, photon, nucleon",
+        }
+    }
+}
+
+/// One ontology node: a chemical entity, a role, or a particle.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Entity {
+    /// Dense identifier within the owning ontology.
+    pub id: EntityId,
+    /// Primary label, e.g. `"(2S,6R)-6-methyloxan-2-yl acetate"`.
+    pub name: String,
+    /// Which sub-ontology the entity belongs to.
+    pub kind: SubOntology,
+}
+
+impl Entity {
+    /// Convenience constructor.
+    pub fn new(id: EntityId, name: impl Into<String>, kind: SubOntology) -> Self {
+        Self { id, name: name.into(), kind }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_displays_like_chebi_accession() {
+        assert_eq!(EntityId(15377).to_string(), "CHEBI:15377");
+        assert_eq!(EntityId(7).index(), 7);
+    }
+
+    #[test]
+    fn subontology_metadata_is_complete() {
+        for so in SubOntology::ALL {
+            assert!(!so.name().is_empty());
+            assert!(!so.definition().is_empty());
+            assert!(!so.examples().is_empty());
+        }
+        assert_eq!(SubOntology::ALL.len(), 3);
+    }
+}

@@ -1,0 +1,351 @@
+//! Indexed triple store with hierarchy queries.
+
+use crate::{Entity, EntityId, Relation, SubOntology, Triple};
+use std::collections::{HashMap, HashSet};
+
+/// Builder for [`Ontology`]. Collects entities and triples, then freezes
+/// them into an indexed, query-ready store.
+#[derive(Debug, Default)]
+pub struct OntologyBuilder {
+    entities: Vec<Entity>,
+    triples: Vec<Triple>,
+}
+
+impl OntologyBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an entity and returns its id.
+    pub fn add_entity(&mut self, name: impl Into<String>, kind: SubOntology) -> EntityId {
+        let id = EntityId(self.entities.len() as u32);
+        self.entities.push(Entity::new(id, name, kind));
+        id
+    }
+
+    /// Adds a triple. Duplicates are removed at [`OntologyBuilder::build`].
+    pub fn add_triple(&mut self, subject: EntityId, relation: Relation, object: EntityId) {
+        debug_assert!(subject.index() < self.entities.len(), "unknown subject");
+        debug_assert!(object.index() < self.entities.len(), "unknown object");
+        self.triples.push(Triple::new(subject, relation, object));
+    }
+
+    /// Number of entities added so far.
+    pub fn n_entities(&self) -> usize {
+        self.entities.len()
+    }
+
+    /// Entities added so far, in id order.
+    pub fn entities_slice(&self) -> &[Entity] {
+        &self.entities
+    }
+
+    /// Freezes the builder into an indexed [`Ontology`], deduplicating
+    /// triples and dropping self-loops.
+    pub fn build(self) -> Ontology {
+        let n = self.entities.len();
+        let mut triple_set: HashSet<(u32, u8, u32)> = HashSet::with_capacity(self.triples.len());
+        let mut triples = Vec::with_capacity(self.triples.len());
+        for t in self.triples {
+            if t.subject == t.object {
+                continue;
+            }
+            if triple_set.insert(t.key()) {
+                triples.push(t);
+            }
+        }
+        // Stable order independent of insertion order, so downstream
+        // sampling is reproducible no matter how the graph was assembled.
+        triples.sort_unstable();
+
+        let mut parents: Vec<Vec<EntityId>> = vec![Vec::new(); n];
+        let mut children: Vec<Vec<EntityId>> = vec![Vec::new(); n];
+        let mut by_relation: Vec<Vec<u32>> = vec![Vec::new(); Relation::ALL.len()];
+        for (i, t) in triples.iter().enumerate() {
+            by_relation[t.relation.code() as usize].push(i as u32);
+            if t.relation == Relation::IsA {
+                parents[t.subject.index()].push(t.object);
+                children[t.object.index()].push(t.subject);
+            }
+        }
+
+        let mut name_to_id = HashMap::with_capacity(n);
+        for e in &self.entities {
+            name_to_id.entry(e.name.clone()).or_insert(e.id);
+        }
+
+        Ontology { entities: self.entities, triples, triple_set, parents, children, by_relation, name_to_id }
+    }
+}
+
+/// An immutable, indexed ontology: entities plus directed labelled triples,
+/// with the `is_a` hierarchy materialised for parent/child/sibling queries.
+#[derive(Debug)]
+pub struct Ontology {
+    entities: Vec<Entity>,
+    triples: Vec<Triple>,
+    triple_set: HashSet<(u32, u8, u32)>,
+    parents: Vec<Vec<EntityId>>,
+    children: Vec<Vec<EntityId>>,
+    by_relation: Vec<Vec<u32>>,
+    name_to_id: HashMap<String, EntityId>,
+}
+
+impl Ontology {
+    /// Number of entities.
+    pub fn n_entities(&self) -> usize {
+        self.entities.len()
+    }
+
+    /// Number of distinct triples.
+    pub fn n_triples(&self) -> usize {
+        self.triples.len()
+    }
+
+    /// Entity lookup by id. Panics on out-of-range ids (ids are dense and
+    /// only minted by the builder).
+    #[inline]
+    pub fn entity(&self, id: EntityId) -> &Entity {
+        &self.entities[id.index()]
+    }
+
+    /// Entity label by id.
+    #[inline]
+    pub fn name(&self, id: EntityId) -> &str {
+        &self.entities[id.index()].name
+    }
+
+    /// All entities in id order.
+    pub fn entities(&self) -> &[Entity] {
+        &self.entities
+    }
+
+    /// All triples in canonical (sorted) order.
+    pub fn triples(&self) -> &[Triple] {
+        &self.triples
+    }
+
+    /// Whether the exact triple is asserted in the ontology.
+    #[inline]
+    pub fn contains(&self, t: Triple) -> bool {
+        self.triple_set.contains(&t.key())
+    }
+
+    /// Whether a triple holds, honouring symmetric relations: a symmetric
+    /// triple counts as present in either direction.
+    pub fn holds(&self, t: Triple) -> bool {
+        self.contains(t) || (t.relation.is_symmetric() && self.contains(t.flipped()))
+    }
+
+    /// Indices (into [`Ontology::triples`]) of all triples with the given
+    /// relation.
+    pub fn triples_with_relation(&self, r: Relation) -> impl Iterator<Item = Triple> + '_ {
+        self.by_relation[r.code() as usize].iter().map(|&i| self.triples[i as usize])
+    }
+
+    /// Number of triples with the given relation.
+    pub fn n_with_relation(&self, r: Relation) -> usize {
+        self.by_relation[r.code() as usize].len()
+    }
+
+    /// Direct `is_a` parents of an entity.
+    #[inline]
+    pub fn parents(&self, id: EntityId) -> &[EntityId] {
+        &self.parents[id.index()]
+    }
+
+    /// Direct `is_a` children of an entity.
+    #[inline]
+    pub fn children(&self, id: EntityId) -> &[EntityId] {
+        &self.children[id.index()]
+    }
+
+    /// Sibling entities: those sharing at least one direct `is_a` parent,
+    /// excluding the entity itself (`p(o1) ∩ p(o2) ≠ ∅` in §2.2). Returned
+    /// in ascending id order without duplicates.
+    pub fn siblings(&self, id: EntityId) -> Vec<EntityId> {
+        let mut out: Vec<EntityId> = Vec::new();
+        for &p in self.parents(id) {
+            out.extend(self.children(p).iter().copied().filter(|&c| c != id));
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Entities with no `is_a` parents (hierarchy roots).
+    pub fn roots(&self) -> Vec<EntityId> {
+        self.entities
+            .iter()
+            .filter(|e| self.parents(e.id).is_empty())
+            .map(|e| e.id)
+            .collect()
+    }
+
+    /// All ancestors (transitive `is_a` closure), excluding the entity.
+    pub fn ancestors(&self, id: EntityId) -> Vec<EntityId> {
+        let mut seen: HashSet<EntityId> = HashSet::new();
+        let mut stack: Vec<EntityId> = self.parents(id).to_vec();
+        while let Some(p) = stack.pop() {
+            if seen.insert(p) {
+                stack.extend_from_slice(self.parents(p));
+            }
+        }
+        let mut out: Vec<EntityId> = seen.into_iter().collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Entity lookup by exact name (first entity when names collide).
+    pub fn entity_by_name(&self, name: &str) -> Option<EntityId> {
+        self.name_to_id.get(name).copied()
+    }
+
+    /// Renders a triple as the text form used in prompts and corpora:
+    /// `"<subject name> <relation phrase> <object name>"`.
+    pub fn render(&self, t: Triple) -> String {
+        format!("{} {} {}", self.name(t.subject), t.relation.phrase(), self.name(t.object))
+    }
+
+    /// Entities belonging to a given sub-ontology.
+    pub fn entities_of(&self, kind: SubOntology) -> impl Iterator<Item = &Entity> {
+        self.entities.iter().filter(move |e| e.kind == kind)
+    }
+
+    /// Extracts the induced subgraph over a set of entities: those
+    /// entities (re-numbered densely, original order preserved) plus every
+    /// triple whose endpoints both survive. Useful for scale-down
+    /// experiments and for carving neighbourhoods out of a real ChEBI
+    /// import.
+    pub fn subgraph(&self, keep: &HashSet<EntityId>) -> Ontology {
+        let mut b = OntologyBuilder::new();
+        let mut remap: HashMap<EntityId, EntityId> = HashMap::with_capacity(keep.len());
+        for e in &self.entities {
+            if keep.contains(&e.id) {
+                remap.insert(e.id, b.add_entity(e.name.clone(), e.kind));
+            }
+        }
+        for t in &self.triples {
+            if let (Some(&s), Some(&o)) = (remap.get(&t.subject), remap.get(&t.object)) {
+                b.add_triple(s, t.relation, o);
+            }
+        }
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Ontology {
+        // acid hierarchy:      compound
+        //                      /      \
+        //                 acid        role-ish (all Chemical here)
+        //                /    \
+        //         acetic a.  formic a.
+        let mut b = OntologyBuilder::new();
+        let compound = b.add_entity("chemical compound", SubOntology::Chemical);
+        let acid = b.add_entity("carboxylic acid", SubOntology::Chemical);
+        let acetic = b.add_entity("acetic acid", SubOntology::Chemical);
+        let formic = b.add_entity("formic acid", SubOntology::Chemical);
+        let solvent = b.add_entity("solvent", SubOntology::Role);
+        b.add_triple(acid, Relation::IsA, compound);
+        b.add_triple(acetic, Relation::IsA, acid);
+        b.add_triple(formic, Relation::IsA, acid);
+        b.add_triple(acetic, Relation::HasRole, solvent);
+        // Duplicate + self-loop, both must be dropped.
+        b.add_triple(acetic, Relation::IsA, acid);
+        b.add_triple(acid, Relation::HasPart, acid);
+        b.build()
+    }
+
+    #[test]
+    fn builder_dedups_and_drops_self_loops() {
+        let o = tiny();
+        assert_eq!(o.n_entities(), 5);
+        assert_eq!(o.n_triples(), 4);
+    }
+
+    #[test]
+    fn hierarchy_queries() {
+        let o = tiny();
+        let acid = o.entity_by_name("carboxylic acid").unwrap();
+        let acetic = o.entity_by_name("acetic acid").unwrap();
+        let formic = o.entity_by_name("formic acid").unwrap();
+        let compound = o.entity_by_name("chemical compound").unwrap();
+        assert_eq!(o.parents(acetic), &[acid]);
+        let mut kids = o.children(acid).to_vec();
+        kids.sort_unstable();
+        assert_eq!(kids, vec![acetic, formic]);
+        assert_eq!(o.siblings(acetic), vec![formic]);
+        assert_eq!(o.ancestors(acetic), vec![compound, acid]);
+        let roots = o.roots();
+        assert!(roots.contains(&compound));
+        assert!(!roots.contains(&acetic));
+    }
+
+    #[test]
+    fn contains_is_directional() {
+        let o = tiny();
+        let acetic = o.entity_by_name("acetic acid").unwrap();
+        let acid = o.entity_by_name("carboxylic acid").unwrap();
+        let t = Triple::new(acetic, Relation::IsA, acid);
+        assert!(o.contains(t));
+        assert!(!o.contains(t.flipped()));
+    }
+
+    #[test]
+    fn holds_respects_symmetry() {
+        let mut b = OntologyBuilder::new();
+        let a = b.add_entity("keto form", SubOntology::Chemical);
+        let bb = b.add_entity("enol form", SubOntology::Chemical);
+        b.add_triple(a, Relation::IsTautomerOf, bb);
+        let o = b.build();
+        let t = Triple::new(a, Relation::IsTautomerOf, bb);
+        assert!(o.holds(t));
+        assert!(o.holds(t.flipped()));
+        assert!(!o.contains(t.flipped()));
+    }
+
+    #[test]
+    fn render_uses_phrases() {
+        let o = tiny();
+        let acetic = o.entity_by_name("acetic acid").unwrap();
+        let solvent = o.entity_by_name("solvent").unwrap();
+        let t = Triple::new(acetic, Relation::HasRole, solvent);
+        assert_eq!(o.render(t), "acetic acid has role solvent");
+    }
+
+    #[test]
+    fn relation_index_counts() {
+        let o = tiny();
+        assert_eq!(o.n_with_relation(Relation::IsA), 3);
+        assert_eq!(o.n_with_relation(Relation::HasRole), 1);
+        assert_eq!(o.triples_with_relation(Relation::IsA).count(), 3);
+    }
+
+    #[test]
+    fn subgraph_keeps_induced_triples_only() {
+        let o = tiny();
+        let acid = o.entity_by_name("carboxylic acid").unwrap();
+        let acetic = o.entity_by_name("acetic acid").unwrap();
+        let formic = o.entity_by_name("formic acid").unwrap();
+        let keep: HashSet<EntityId> = [acid, acetic, formic].into_iter().collect();
+        let sub = o.subgraph(&keep);
+        assert_eq!(sub.n_entities(), 3);
+        // Two is_a edges survive; the has_role edge loses its object.
+        assert_eq!(sub.n_triples(), 2);
+        let a2 = sub.entity_by_name("acetic acid").unwrap();
+        let f2 = sub.entity_by_name("formic acid").unwrap();
+        assert_eq!(sub.siblings(a2), vec![f2]);
+    }
+
+    #[test]
+    fn entities_of_filters_by_kind() {
+        let o = tiny();
+        assert_eq!(o.entities_of(SubOntology::Role).count(), 1);
+        assert_eq!(o.entities_of(SubOntology::Chemical).count(), 4);
+    }
+}

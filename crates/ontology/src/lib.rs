@@ -1,0 +1,35 @@
+//! ChEBI-like ontology substrate.
+//!
+//! This crate provides everything the benchmark needs from the Chemical
+//! Entities of Biological Interest (ChEBI) database:
+//!
+//! * a typed knowledge-graph model — [`Entity`], [`Relation`], [`Triple`],
+//!   and the indexed [`Ontology`] store with hierarchy queries
+//!   (parents / children / siblings) used by the task-3 negative sampler;
+//! * a deterministic **synthetic ChEBI generator** ([`synthetic`]) calibrated
+//!   to the statistics published in the paper (entity counts per
+//!   sub-ontology, triple counts per relationship type, and the token
+//!   profile of entity names), used because the February-2022 ChEBI dump is
+//!   not redistributable here;
+//! * an OBO-flavoured flat-file reader/writer ([`obo`]) so that a real ChEBI
+//!   export can be dropped in instead of the synthetic graph;
+//! * summary statistics ([`stats`]) that regenerate the paper's Tables
+//!   A1–A3.
+
+pub mod dot;
+pub mod entity;
+pub mod graph;
+mod names;
+pub mod obo;
+pub mod relation;
+pub mod stats;
+pub mod synthetic;
+pub mod triple;
+pub mod validate;
+
+pub use entity::{Entity, EntityId, SubOntology};
+pub use graph::{Ontology, OntologyBuilder};
+pub use relation::Relation;
+pub use stats::OntologyStats;
+pub use synthetic::{SyntheticConfig, SyntheticGenerator};
+pub use triple::Triple;

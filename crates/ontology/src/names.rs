@@ -1,0 +1,548 @@
+//! Chemical-name grammar for the synthetic ontology.
+//!
+//! Generated names must reproduce the *token statistics* of real ChEBI
+//! labels (paper Table A5): head entities are dominated by short locant and
+//! stereo-descriptor tokens (`2`, `3`, `6r`, `2s`, `yl`, `methyl`, …) while
+//! tail entities carry class-head nouns (`acid`, `metabolite`, `compound`,
+//! `beta`, `amino`, …). The grammar below builds IUPAC-flavoured leaf names
+//! from backbone *families*, class names from modifier+head patterns, and
+//! role names from the role grammar. Families make the task-3 sibling
+//! negatives genuinely hard: siblings share a backbone, so their names are
+//! lexically close.
+
+use kcb_util::Rng;
+
+/// Ring/backbone morphemes: `(combining form, parent hydride name)`.
+pub(crate) const BACKBONES: &[(&str, &str)] = &[
+    ("oxan", "oxane"),
+    ("oxol", "oxolane"),
+    ("androsta", "androstane"),
+    ("estra", "estrane"),
+    ("pregna", "pregnane"),
+    ("chola", "cholane"),
+    ("pyridin", "pyridine"),
+    ("pyrimidin", "pyrimidine"),
+    ("purin", "purine"),
+    ("imidazol", "imidazole"),
+    ("indol", "indole"),
+    ("quinolin", "quinoline"),
+    ("furan", "furan"),
+    ("thiophen", "thiophene"),
+    ("benzen", "benzene"),
+    ("cyclohexan", "cyclohexane"),
+    ("cyclopentan", "cyclopentane"),
+    ("naphthalen", "naphthalene"),
+    ("glucopyranos", "glucopyranose"),
+    ("galactofuranos", "galactofuranose"),
+    ("prostan", "prostane"),
+    ("yohimban", "yohimban"),
+    ("morphinan", "morphinan"),
+    ("ergolin", "ergoline"),
+    ("porphyrin", "porphyrin"),
+    ("flavan", "flavan"),
+    ("chromen", "chromene"),
+    ("carbazol", "carbazole"),
+    ("azepin", "azepine"),
+    ("pteridin", "pteridine"),
+    ("octadeca", "octadecane"),
+    ("hexadeca", "hexadecane"),
+    ("dodeca", "dodecane"),
+    ("piperidin", "piperidine"),
+    ("pyrrolidin", "pyrrolidine"),
+    ("oxiran", "oxirane"),
+    ("thiazol", "thiazole"),
+    ("oxazol", "oxazole"),
+    ("pyran", "pyran"),
+    ("azulen", "azulene"),
+];
+
+pub(crate) const SUBSTITUENTS: &[&str] = &[
+    "methyl",
+    "hydroxy",
+    "oxo",
+    "amino",
+    "methoxy",
+    "acetamido",
+    "phenyl",
+    "chloro",
+    "fluoro",
+    "bromo",
+    "hydroxymethyl",
+    "sulfanyl",
+    "nitro",
+    "formyl",
+    "carboxy",
+    "ethyl",
+    "propyl",
+    "butyl",
+    "acetyl",
+    "benzoyl",
+    "cyano",
+    "iodo",
+];
+
+pub(crate) const MULTIPLIERS: &[&str] = &["di", "tri", "tetra"];
+
+/// Suffix patterns for leaf names; `{n}` is replaced by a locant.
+pub(crate) const SUFFIXES: &[&str] = &[
+    "{n}-one",
+    "{n}-ol",
+    "{n}-al",
+    "{n}-amine",
+    "{n}-carboxylic acid",
+    "{n}-carbaldehyde",
+    "{n},{m}-dione",
+    "{n},{m}-diol",
+    "{n}-yl acetate",
+    "{n}-yl benzoate",
+    "{n}-oic acid",
+    "{n}-oate",
+    "{n}-amide",
+    "{n}-thiol",
+    "{n}-sulfonamide",
+];
+
+pub(crate) const CLASS_HEADS: &[&str] = &[
+    "acid",
+    "ester",
+    "anion",
+    "cation",
+    "amide",
+    "alcohol",
+    "steroid",
+    "alkaloid",
+    "ether",
+    "lactam",
+    "lactone",
+    "peptide",
+    "azamacrocycle",
+    "sulfonamide",
+    "carbohydrate",
+    "phosphate",
+    "ketone",
+    "aldehyde",
+    "amine",
+    "salt",
+    "oxide",
+    "glycoside",
+    "lipid",
+    "flavonoid",
+    "terpenoid",
+    "saccharide",
+    "oligosaccharide",
+    "macrocycle",
+    "quinone",
+    "nucleoside",
+    "nucleotide",
+    "porphyrin",
+    "derivative",
+    "compound",
+];
+
+pub(crate) const CLASS_MODS: &[&str] = &[
+    "fatty",
+    "organic",
+    "aromatic",
+    "aliphatic",
+    "monocarboxylic",
+    "dicarboxylic",
+    "molecular",
+    "acyl",
+    "galactosyl",
+    "glycero",
+    "heterocyclic",
+    "polycyclic",
+    "saturated",
+    "unsaturated",
+    "cyclic",
+    "primary",
+    "secondary",
+    "tertiary",
+    "alpha-amino",
+    "beta-hydroxy",
+    "long-chain",
+    "short-chain",
+    "branched-chain",
+    "N-acyl",
+    "O-acyl",
+    "sn-glycero",
+    "amino",
+    "hydroxy",
+];
+
+pub(crate) const ROLE_HEADS: &[&str] = &[
+    "inhibitor",
+    "agonist",
+    "antagonist",
+    "metabolite",
+    "agent",
+    "drug",
+    "hormone",
+    "toxin",
+    "pesticide",
+    "dye",
+    "solvent",
+    "surfactant",
+    "ligand",
+    "cofactor",
+    "coenzyme",
+    "antioxidant",
+    "vitamin",
+    "fuel",
+    "buffer",
+    "allergen",
+    "antibiotic",
+    "carcinogen",
+];
+
+pub(crate) const ROLE_MODS: &[&str] = &[
+    "human",
+    "plant",
+    "bacterial",
+    "fungal",
+    "marine",
+    "mouse",
+    "Escherichia coli",
+    "antiviral",
+    "antibacterial",
+    "antifungal",
+    "antineoplastic",
+    "anti-inflammatory",
+    "ferroptosis",
+    "apoptosis",
+    "EC 1.1.1.1",
+    "EC 2.7.1.1",
+    "EC 3.4.21.4",
+    "EC 3.5.1.4",
+    "neurotransmitter",
+    "insect",
+    "xenobiotic",
+    "environmental",
+];
+
+pub(crate) const METALS: &[&str] = &[
+    "sodium",
+    "potassium",
+    "calcium",
+    "magnesium",
+    "cobalt",
+    "iron",
+    "zinc",
+    "copper",
+    "ammonium",
+    "lithium",
+    "barium",
+    "nickel",
+    "manganese",
+    "silver",
+];
+
+pub(crate) const ANIONS: &[&str] = &[
+    "chloride",
+    "dichloride",
+    "bromide",
+    "fluoride",
+    "sulfate",
+    "nitrate",
+    "phosphate",
+    "acetate",
+    "carbonate",
+    "citrate",
+    "oxalate",
+    "tartrate",
+    "iodide",
+    "hydroxide",
+];
+
+pub(crate) const PARTICLES: &[&str] = &[
+    "electron",
+    "positron",
+    "photon",
+    "proton",
+    "neutron",
+    "nucleon",
+    "muon",
+    "tau lepton",
+    "electron neutrino",
+    "muon neutrino",
+    "tau neutrino",
+    "up quark",
+    "down quark",
+    "strange quark",
+    "charm quark",
+    "top quark",
+    "bottom quark",
+    "gluon",
+    "Z boson",
+    "W boson",
+    "Higgs boson",
+    "graviton",
+    "alpha particle",
+    "beta particle",
+    "deuteron",
+    "triton",
+    "helion",
+    "antiproton",
+    "antineutron",
+    "antimuon",
+    "pion",
+    "kaon",
+    "eta meson",
+    "rho meson",
+    "omega meson",
+    "phi meson",
+    "lambda baryon",
+    "sigma baryon",
+    "xi baryon",
+    "omega baryon",
+    "delta baryon",
+    "axion",
+];
+
+/// Draws a broad class name such as `"fatty acid"` or `"aromatic ether"`.
+pub(crate) fn class_name(rng: &mut Rng) -> String {
+    let head = CLASS_HEADS[rng.below(CLASS_HEADS.len())];
+    if rng.chance(0.7) {
+        let m = CLASS_MODS[rng.below(CLASS_MODS.len())];
+        format!("{m} {head}")
+    } else {
+        head.to_string()
+    }
+}
+
+/// Draws a refinement of an existing class name, e.g.
+/// `"monocarboxylic acid"` from `"acid"`.
+pub(crate) fn subclass_name(rng: &mut Rng, parent: &str) -> String {
+    // Refine by prepending another modifier to the parent's head noun.
+    let head = parent.rsplit(' ').next().unwrap_or(parent);
+    let m = CLASS_MODS[rng.below(CLASS_MODS.len())];
+    if rng.chance(0.35) {
+        let m2 = CLASS_MODS[rng.below(CLASS_MODS.len())];
+        format!("{m2} {m} {head}")
+    } else {
+        format!("{m} {head}")
+    }
+}
+
+/// Draws a role name such as `"ferroptosis inhibitor"` or
+/// `"human metabolite"`.
+pub(crate) fn role_name(rng: &mut Rng) -> String {
+    let head = ROLE_HEADS[rng.below(ROLE_HEADS.len())];
+    if rng.chance(0.8) {
+        let m = ROLE_MODS[rng.below(ROLE_MODS.len())];
+        format!("{m} {head}")
+    } else {
+        head.to_string()
+    }
+}
+
+/// Draws a salt name such as `"cobalt dichloride"`, returning
+/// `(salt name, cation part name)` so the generator can link `has part`.
+pub(crate) fn salt_name(rng: &mut Rng) -> (String, String) {
+    let metal = METALS[rng.below(METALS.len())];
+    let anion = ANIONS[rng.below(ANIONS.len())];
+    let charge = 1 + rng.below(3);
+    (format!("{metal} {anion}"), format!("{metal}({charge}+)"))
+}
+
+/// Draws an IUPAC-flavoured leaf name from the given backbone family.
+///
+/// Shape: `[(stereo)-][locant-substituent]{0..2} backbone[ring locants]-suffix`
+/// e.g. `"(2S,6R)-4-methyl-2-hydroxyoxan-3-one"`.
+pub(crate) fn leaf_name(rng: &mut Rng, family: usize) -> String {
+    let (stem, _) = BACKBONES[family % BACKBONES.len()];
+    let mut name = String::with_capacity(48);
+
+    // Stereo-descriptor prefix, e.g. "(2S,6R)-". Present on ~45% of leaves.
+    if rng.chance(0.45) {
+        name.push('(');
+        let k = 1 + rng.below(3);
+        let mut locants: Vec<usize> = (1..=12).collect();
+        rng.shuffle(&mut locants);
+        let mut picked: Vec<usize> = locants[..k].to_vec();
+        picked.sort_unstable();
+        for (i, loc) in picked.iter().enumerate() {
+            if i > 0 {
+                name.push(',');
+            }
+            let conf = if rng.chance(0.5) { 'S' } else { 'R' };
+            name.push_str(&loc.to_string());
+            name.push(conf);
+        }
+        name.push_str(")-");
+    }
+
+    // Substituent groups with locants, e.g. "4-methyl-", "2,3-dihydroxy-".
+    let n_subs = rng.below(3);
+    for _ in 0..n_subs {
+        let sub = SUBSTITUENTS[rng.below(SUBSTITUENTS.len())];
+        if rng.chance(0.25) {
+            // Multiplied substituent with two locants.
+            let a = 1 + rng.below(9);
+            let b = a + 1 + rng.below(4);
+            let mult = MULTIPLIERS[rng.below(MULTIPLIERS.len())];
+            name.push_str(&format!("{a},{b}-{mult}{sub}-"));
+        } else {
+            let a = 1 + rng.below(12);
+            name.push_str(&format!("{a}-{sub}-"));
+        }
+    }
+
+    // Occasionally a greek-letter position descriptor ("3beta-hydroxy-").
+    if rng.chance(0.18) {
+        let g = if rng.chance(0.5) { "alpha" } else { "beta" };
+        let a = 1 + rng.below(17);
+        let sub = SUBSTITUENTS[rng.below(SUBSTITUENTS.len())];
+        name.push_str(&format!("{a}{g}-{sub}-"));
+    }
+
+    name.push_str(stem);
+
+    // Unsaturation infix, e.g. "-4,9(11)-diene" on steroid-like stems.
+    if rng.chance(0.2) {
+        let a = 1 + rng.below(9);
+        let b = a + 2 + rng.below(5);
+        if rng.chance(0.4) {
+            let c = b + 2;
+            name.push_str(&format!("-{a},{b}({c})-diene"));
+        } else {
+            name.push_str(&format!("-{a}-ene"));
+        }
+    }
+
+    // Principal characteristic group suffix.
+    let pat = SUFFIXES[rng.below(SUFFIXES.len())];
+    let n = 1 + rng.below(9);
+    let m = n + 1 + rng.below(9);
+    let suffix = pat.replace("{n}", &n.to_string()).replace("{m}", &m.to_string());
+    name.push('-');
+    name.push_str(&suffix);
+    name
+}
+
+/// Mirrors every stereo-descriptor in a name (`S`↔`R`), producing the
+/// enantiomer's conventional label. Returns `None` when the name carries no
+/// stereo prefix (an achiral label has no distinct enantiomer name).
+pub(crate) fn enantiomer_name(name: &str) -> Option<String> {
+    if !name.starts_with('(') {
+        return None;
+    }
+    let end = name.find(')')?;
+    let prefix = &name[..=end];
+    if !prefix.chars().any(|c| c == 'S' || c == 'R') {
+        return None;
+    }
+    let mirrored: String = prefix
+        .chars()
+        .map(|c| match c {
+            'S' => 'R',
+            'R' => 'S',
+            other => other,
+        })
+        .collect();
+    Some(format!("{mirrored}{}", &name[end + 1..]))
+}
+
+/// Derives the conjugate-base label of an acid name:
+/// `"...oic acid"` → `"...oate(1-)"`, `"...carboxylic acid"` →
+/// `"...carboxylate(1-)"`, otherwise appends `"(1-)"`.
+pub(crate) fn conjugate_base_name(name: &str) -> String {
+    if let Some(stripped) = name.strip_suffix("carboxylic acid") {
+        format!("{stripped}carboxylate(1-)")
+    } else if let Some(stripped) = name.strip_suffix("oic acid") {
+        format!("{stripped}oate(1-)")
+    } else if let Some(stripped) = name.strip_suffix("ic acid") {
+        format!("{stripped}ate(1-)")
+    } else if let Some(stripped) = name.strip_suffix(" acid") {
+        format!("{stripped}ate(1-)")
+    } else {
+        format!("{name}(1-)")
+    }
+}
+
+/// Derives a substituent-group label from a parent name, e.g.
+/// `"…oxan-3-one"` → `"…oxan-3-one-2-yl group"`.
+pub(crate) fn group_name(rng: &mut Rng, parent: &str) -> String {
+    let n = 1 + rng.below(9);
+    format!("{parent}-{n}-yl group")
+}
+
+/// Parent-hydride name for a backbone family (`"oxane"`, `"androstane"`, …).
+pub(crate) fn hydride_name(family: usize) -> &'static str {
+    BACKBONES[family % BACKBONES.len()].1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_names_contain_family_stem() {
+        let mut rng = Rng::seed(1);
+        for fam in 0..BACKBONES.len() {
+            let name = leaf_name(&mut rng, fam);
+            assert!(
+                name.contains(BACKBONES[fam].0),
+                "{name} should contain stem {}",
+                BACKBONES[fam].0
+            );
+        }
+    }
+
+    #[test]
+    fn leaf_names_are_mostly_distinct() {
+        let mut rng = Rng::seed(2);
+        let names: std::collections::HashSet<String> =
+            (0..2000).map(|i| leaf_name(&mut rng, i % BACKBONES.len())).collect();
+        assert!(names.len() > 1900, "only {} distinct of 2000", names.len());
+    }
+
+    #[test]
+    fn enantiomer_flips_all_descriptors() {
+        assert_eq!(
+            enantiomer_name("(2S,6R)-4-methyloxan-3-one").as_deref(),
+            Some("(2R,6S)-4-methyloxan-3-one")
+        );
+        assert_eq!(enantiomer_name("4-methyloxan-3-one"), None);
+        // Round trip.
+        let n = "(1R,5S)-pinan-3-one";
+        assert_eq!(enantiomer_name(&enantiomer_name(n).unwrap()).as_deref(), Some(n));
+    }
+
+    #[test]
+    fn conjugate_base_transforms() {
+        assert_eq!(conjugate_base_name("mannaric acid"), "mannarate(1-)");
+        assert_eq!(conjugate_base_name("hexadecanoic acid"), "hexadecanoate(1-)");
+        assert_eq!(
+            conjugate_base_name("oxane-2-carboxylic acid"),
+            "oxane-2-carboxylate(1-)"
+        );
+        assert_eq!(conjugate_base_name("phenol"), "phenol(1-)");
+    }
+
+    #[test]
+    fn class_and_role_names_nonempty() {
+        let mut rng = Rng::seed(3);
+        for _ in 0..200 {
+            assert!(!class_name(&mut rng).is_empty());
+            assert!(!role_name(&mut rng).is_empty());
+            let sub = subclass_name(&mut rng, "fatty acid");
+            assert!(sub.ends_with("acid"), "{sub}");
+        }
+    }
+
+    #[test]
+    fn salt_names_include_metal() {
+        let mut rng = Rng::seed(4);
+        let (salt, ion) = salt_name(&mut rng);
+        let metal = salt.split(' ').next().unwrap();
+        assert!(ion.starts_with(metal));
+        assert!(ion.contains('+'));
+    }
+
+    #[test]
+    fn particle_pool_matches_chebi_count() {
+        // ChEBI has 42 subatomic particles (paper §3.1).
+        assert_eq!(PARTICLES.len(), 42);
+    }
+}

@@ -1,0 +1,248 @@
+//! OBO-flavoured flat-file reader and writer.
+//!
+//! ChEBI is distributed in OBO format. This module implements the subset the
+//! benchmark needs — `[Term]` stanzas with `id`, `name`, `subset` (mapped to
+//! sub-ontology), `is_a` and `relationship` lines — so that a real ChEBI
+//! export can replace the synthetic graph, and so that generated graphs can
+//! be inspected with standard tooling.
+//!
+//! ```text
+//! [Term]
+//! id: CHEBI:15377
+//! name: water
+//! subset: chemical
+//! is_a: CHEBI:33579
+//! relationship: has_role CHEBI:48360
+//! ```
+
+use crate::{EntityId, Ontology, OntologyBuilder, Relation, SubOntology};
+use kcb_util::{Error, Result};
+use std::collections::HashMap;
+use std::io::{BufRead, Write};
+
+fn kind_tag(kind: SubOntology) -> &'static str {
+    match kind {
+        SubOntology::Chemical => "chemical",
+        SubOntology::Role => "role",
+        SubOntology::SubatomicParticle => "subatomic_particle",
+    }
+}
+
+fn parse_kind(tag: &str) -> Option<SubOntology> {
+    match tag {
+        "chemical" => Some(SubOntology::Chemical),
+        "role" => Some(SubOntology::Role),
+        "subatomic_particle" => Some(SubOntology::SubatomicParticle),
+        _ => None,
+    }
+}
+
+/// Writes an ontology in OBO format.
+pub fn write<W: Write>(o: &Ontology, mut w: W) -> Result<()> {
+    writeln!(w, "format-version: 1.2")?;
+    writeln!(w, "ontology: kcb-synthetic-chebi")?;
+    // Group outgoing edges by subject for stanza-local emission.
+    let mut out_edges: Vec<Vec<(Relation, EntityId)>> = vec![Vec::new(); o.n_entities()];
+    for t in o.triples() {
+        out_edges[t.subject.index()].push((t.relation, t.object));
+    }
+    for e in o.entities() {
+        writeln!(w)?;
+        writeln!(w, "[Term]")?;
+        writeln!(w, "id: {}", e.id)?;
+        writeln!(w, "name: {}", e.name)?;
+        writeln!(w, "subset: {}", kind_tag(e.kind))?;
+        for (r, obj) in &out_edges[e.id.index()] {
+            if *r == Relation::IsA {
+                writeln!(w, "is_a: {obj}")?;
+            } else {
+                writeln!(w, "relationship: {} {}", r.ident(), obj)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Reads an ontology from OBO text.
+///
+/// Unknown relationship types and tags are skipped (ChEBI exports carry many
+/// tags this benchmark does not use); unknown subjects/objects in edges are
+/// an error.
+pub fn read<R: BufRead>(r: R) -> Result<Ontology> {
+    struct Stanza {
+        id: Option<String>,
+        name: Option<String>,
+        kind: SubOntology,
+        edges: Vec<(Relation, String)>,
+    }
+    impl Stanza {
+        fn new() -> Self {
+            // ChEBI terms default to the chemical sub-ontology unless a
+            // subset line says otherwise.
+            Self { id: None, name: None, kind: SubOntology::Chemical, edges: Vec::new() }
+        }
+    }
+
+    // (accession, name, kind, edges)
+    type StanzaRecord = (String, String, SubOntology, Vec<(Relation, String)>);
+    let mut stanzas: Vec<StanzaRecord> = Vec::new();
+    let mut cur: Option<Stanza> = None;
+    let mut in_term = false;
+
+    let flush =
+        |cur: &mut Option<Stanza>, stanzas: &mut Vec<StanzaRecord>| -> Result<()> {
+            if let Some(s) = cur.take() {
+                let id = s.id.ok_or_else(|| Error::parse("obo", "term without id"))?;
+                let name = s.name.ok_or_else(|| Error::parse("obo", format!("term {id} without name")))?;
+                stanzas.push((id, name, s.kind, s.edges));
+            }
+            Ok(())
+        };
+
+    for (lineno, line) in r.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line == "[Term]" {
+            flush(&mut cur, &mut stanzas)?;
+            cur = Some(Stanza::new());
+            in_term = true;
+            continue;
+        }
+        if line.starts_with('[') {
+            // Typedef or other stanza: close any open term and skip.
+            flush(&mut cur, &mut stanzas)?;
+            in_term = false;
+            continue;
+        }
+        if !in_term || line.is_empty() {
+            continue;
+        }
+        let Some(s) = cur.as_mut() else { continue };
+        let Some((tag, value)) = line.split_once(':') else {
+            return Err(Error::parse("obo", format!("line {}: missing ':': {line}", lineno + 1)));
+        };
+        let value = value.trim();
+        match tag.trim() {
+            "id" => s.id = Some(value.to_string()),
+            "name" => s.name = Some(value.to_string()),
+            "subset" => {
+                if let Some(k) = parse_kind(value) {
+                    s.kind = k;
+                }
+            }
+            "is_a" => {
+                // Strip trailing comments: `CHEBI:33579 ! water`.
+                let target = value.split('!').next().unwrap_or("").trim();
+                s.edges.push((Relation::IsA, target.to_string()));
+            }
+            "relationship" => {
+                let mut parts = value.split_whitespace();
+                let rel = parts.next().unwrap_or("");
+                let target = parts.next().unwrap_or("");
+                if let Some(r) = Relation::parse(rel) {
+                    if target.is_empty() {
+                        return Err(Error::parse(
+                            "obo",
+                            format!("line {}: relationship without target", lineno + 1),
+                        ));
+                    }
+                    s.edges.push((r, target.to_string()));
+                }
+            }
+            _ => {} // Ignore def:, synonym:, xref:, …
+        }
+    }
+    flush(&mut cur, &mut stanzas)?;
+
+    let mut b = OntologyBuilder::new();
+    let mut by_accession: HashMap<String, EntityId> = HashMap::with_capacity(stanzas.len());
+    for (acc, name, kind, _) in &stanzas {
+        let id = b.add_entity(name.clone(), *kind);
+        if by_accession.insert(acc.clone(), id).is_some() {
+            return Err(Error::parse("obo", format!("duplicate term id {acc}")));
+        }
+    }
+    for (acc, _, _, edges) in &stanzas {
+        let subject = by_accession[acc];
+        for (rel, target) in edges {
+            let object = *by_accession
+                .get(target)
+                .ok_or_else(|| Error::parse("obo", format!("unknown target {target} in {acc}")))?;
+            b.add_triple(subject, *rel, object);
+        }
+    }
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SyntheticConfig, SyntheticGenerator, Triple};
+
+    #[test]
+    fn round_trip_preserves_graph() {
+        let o = SyntheticGenerator::new(SyntheticConfig { scale: 0.005, seed: 11 })
+            .unwrap()
+            .generate();
+        let mut buf = Vec::new();
+        write(&o, &mut buf).unwrap();
+        let o2 = read(std::io::Cursor::new(&buf)).unwrap();
+        assert_eq!(o.n_entities(), o2.n_entities());
+        assert_eq!(o.n_triples(), o2.n_triples());
+        // Triples must be identical modulo entity-id relabeling by name.
+        for t in o.triples() {
+            let s2 = o2.entity_by_name(o.name(t.subject)).expect("subject survives");
+            let ob2 = o2.entity_by_name(o.name(t.object)).expect("object survives");
+            assert!(o2.contains(Triple::new(s2, t.relation, ob2)), "lost {}", o.render(*t));
+        }
+    }
+
+    #[test]
+    fn parses_handwritten_snippet() {
+        let text = "\
+format-version: 1.2
+
+[Term]
+id: CHEBI:1
+name: water
+subset: chemical
+is_a: CHEBI:2 ! oxygen hydride
+
+[Term]
+id: CHEBI:2
+name: oxygen hydride
+subset: chemical
+
+[Term]
+id: CHEBI:3
+name: solvent
+subset: role
+
+[Term]
+id: CHEBI:4
+name: heavy water
+subset: chemical
+is_a: CHEBI:2
+relationship: has_role CHEBI:3
+relationship: some_unknown_rel CHEBI:3
+";
+        let o = read(std::io::Cursor::new(text)).unwrap();
+        assert_eq!(o.n_entities(), 4);
+        assert_eq!(o.n_triples(), 3); // unknown relationship skipped
+        let water = o.entity_by_name("water").unwrap();
+        let oh = o.entity_by_name("oxygen hydride").unwrap();
+        assert!(o.contains(Triple::new(water, Relation::IsA, oh)));
+        let heavy = o.entity_by_name("heavy water").unwrap();
+        assert_eq!(o.siblings(water), vec![heavy]);
+    }
+
+    #[test]
+    fn rejects_unknown_targets_and_duplicates() {
+        let bad_target = "[Term]\nid: A\nname: a\nis_a: MISSING\n";
+        assert!(read(std::io::Cursor::new(bad_target)).is_err());
+        let dup = "[Term]\nid: A\nname: a\n\n[Term]\nid: A\nname: b\n";
+        assert!(read(std::io::Cursor::new(dup)).is_err());
+        let no_name = "[Term]\nid: A\n";
+        assert!(read(std::io::Cursor::new(no_name)).is_err());
+    }
+}

@@ -1,0 +1,279 @@
+//! The ten ChEBI relationship types (paper Table A2).
+
+use serde::{Deserialize, Serialize};
+
+/// A ChEBI relationship type.
+///
+/// The paper keeps nine of the ten types for its tasks, dropping
+/// `is conjugate acid of` because it is the inverse of
+/// `is conjugate base of` (§2.1); use [`Relation::TASK_SET`] for that subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Relation {
+    IsA,
+    HasRole,
+    HasFunctionalParent,
+    IsConjugateBaseOf,
+    IsConjugateAcidOf,
+    HasPart,
+    IsEnantiomerOf,
+    IsTautomerOf,
+    HasParentHydride,
+    IsSubstituentGroupFrom,
+}
+
+impl Relation {
+    /// All ten relations, ordered by ChEBI frequency (paper Table A3).
+    pub const ALL: [Relation; 10] = [
+        Relation::IsA,
+        Relation::HasRole,
+        Relation::HasFunctionalParent,
+        Relation::IsConjugateBaseOf,
+        Relation::IsConjugateAcidOf,
+        Relation::HasPart,
+        Relation::IsEnantiomerOf,
+        Relation::IsTautomerOf,
+        Relation::HasParentHydride,
+        Relation::IsSubstituentGroupFrom,
+    ];
+
+    /// The nine relations used by the curation tasks: everything except
+    /// `is conjugate acid of` (§2.1).
+    pub const TASK_SET: [Relation; 9] = [
+        Relation::IsA,
+        Relation::HasRole,
+        Relation::HasFunctionalParent,
+        Relation::IsConjugateBaseOf,
+        Relation::HasPart,
+        Relation::IsEnantiomerOf,
+        Relation::IsTautomerOf,
+        Relation::HasParentHydride,
+        Relation::IsSubstituentGroupFrom,
+    ];
+
+    /// Stable small integer code, usable as an array index.
+    #[inline]
+    pub fn code(self) -> u8 {
+        match self {
+            Relation::IsA => 0,
+            Relation::HasRole => 1,
+            Relation::HasFunctionalParent => 2,
+            Relation::IsConjugateBaseOf => 3,
+            Relation::IsConjugateAcidOf => 4,
+            Relation::HasPart => 5,
+            Relation::IsEnantiomerOf => 6,
+            Relation::IsTautomerOf => 7,
+            Relation::HasParentHydride => 8,
+            Relation::IsSubstituentGroupFrom => 9,
+        }
+    }
+
+    /// Inverse of [`Relation::code`]. Panics on codes ≥ 10.
+    #[inline]
+    pub fn from_code(code: u8) -> Relation {
+        Relation::ALL
+            .iter()
+            .copied()
+            .find(|r| r.code() == code)
+            .unwrap_or_else(|| panic!("invalid relation code {code}"))
+    }
+
+    /// Snake-case identifier as used in OBO files (`is_a`, `has_role`, …).
+    pub fn ident(self) -> &'static str {
+        match self {
+            Relation::IsA => "is_a",
+            Relation::HasRole => "has_role",
+            Relation::HasFunctionalParent => "has_functional_parent",
+            Relation::IsConjugateBaseOf => "is_conjugate_base_of",
+            Relation::IsConjugateAcidOf => "is_conjugate_acid_of",
+            Relation::HasPart => "has_part",
+            Relation::IsEnantiomerOf => "is_enantiomer_of",
+            Relation::IsTautomerOf => "is_tautomer_of",
+            Relation::HasParentHydride => "has_parent_hydride",
+            Relation::IsSubstituentGroupFrom => "is_substituent_group_from",
+        }
+    }
+
+    /// Human-readable phrase used when verbalising triples into text
+    /// (`"is a"`, `"has role"`, …).
+    pub fn phrase(self) -> &'static str {
+        match self {
+            Relation::IsA => "is a",
+            Relation::HasRole => "has role",
+            Relation::HasFunctionalParent => "has functional parent",
+            Relation::IsConjugateBaseOf => "is conjugate base of",
+            Relation::IsConjugateAcidOf => "is conjugate acid of",
+            Relation::HasPart => "has part",
+            Relation::IsEnantiomerOf => "is enantiomer of",
+            Relation::IsTautomerOf => "is tautomer of",
+            Relation::HasParentHydride => "has parent hydride",
+            Relation::IsSubstituentGroupFrom => "is substituent group from",
+        }
+    }
+
+    /// Parses an identifier in either snake-case or phrase form.
+    pub fn parse(s: &str) -> Option<Relation> {
+        let norm: String =
+            s.trim().chars().map(|c| if c == ' ' { '_' } else { c.to_ascii_lowercase() }).collect();
+        Relation::ALL.iter().copied().find(|r| r.ident() == norm)
+    }
+
+    /// Definition text (paper Table A2).
+    pub fn description(self) -> &'static str {
+        match self {
+            Relation::IsA => {
+                "Defines the relationship between more specific and more general concepts"
+            }
+            Relation::HasRole => {
+                "Defines the relationship between a molecular entity and the particular \
+                 behaviour it may exhibit (either by nature or by human application)"
+            }
+            Relation::HasFunctionalParent => {
+                "Defines the relationship between two molecular entities or classes of \
+                 entities, of which one possesses one or more characteristic groups from \
+                 which the other can be derived by functional modification"
+            }
+            Relation::IsConjugateBaseOf => {
+                "Defines the relationship between acids and their conjugate bases"
+            }
+            Relation::IsConjugateAcidOf => {
+                "Defines the relationship between bases and their conjugate acids"
+            }
+            Relation::HasPart => "Defines the relationship between part and whole",
+            Relation::IsEnantiomerOf => {
+                "Defines the cyclic relationship used in instances when two entities are \
+                 non-superimposable mirror images of each other"
+            }
+            Relation::IsTautomerOf => {
+                "Defines the cyclic relationship used to show the interrelationship between \
+                 two tautomers"
+            }
+            Relation::HasParentHydride => {
+                "Defines the relationship between an entity and its parent hydride"
+            }
+            Relation::IsSubstituentGroupFrom => {
+                "Defines the relationship between a substituent group or atom and its parent \
+                 molecular entity, from which it is formed by loss of one or more protons or \
+                 simple groups such as hydroxyl groups"
+            }
+        }
+    }
+
+    /// Example triple rendered as text (paper Table A2).
+    pub fn example(self) -> &'static str {
+        match self {
+            Relation::IsA => "Tetrabutylammonium fluoride is a fluoride salt",
+            Relation::HasRole => "Ammonium chloride has role ferroptosis inhibitor",
+            Relation::HasFunctionalParent => {
+                "Vecuronium bromide has functional parent 5alpha-androstane"
+            }
+            Relation::IsConjugateBaseOf => "Mannarate(1-) is conjugate base of mannaric acid",
+            Relation::IsConjugateAcidOf => "Mannaric acid is conjugate acid of mannarate(1-)",
+            Relation::HasPart => "Cobalt dichloride has part cobalt(2+)",
+            Relation::IsEnantiomerOf => {
+                "Dexverapamil hydrochloride is enantiomer of (S)-verapamil hydrochloride"
+            }
+            Relation::IsTautomerOf => {
+                "2-mercaptosuccinate is tautomer of 3-carboxy-2-sulfidopropanoate"
+            }
+            Relation::HasParentHydride => "Serpentine has parent hydride 18-oxayohimban",
+            Relation::IsSubstituentGroupFrom => {
+                "N(2)-L-glutamino(1-) group is substituent group from L-glutaminate"
+            }
+        }
+    }
+
+    /// Symmetric relations hold in both directions
+    /// (`is tautomer of`, `is enantiomer of`).
+    pub fn is_symmetric(self) -> bool {
+        matches!(self, Relation::IsTautomerOf | Relation::IsEnantiomerOf)
+    }
+
+    /// The inverse relation, when ChEBI defines one
+    /// (`is conjugate base of` ↔ `is conjugate acid of`).
+    pub fn inverse(self) -> Option<Relation> {
+        match self {
+            Relation::IsConjugateBaseOf => Some(Relation::IsConjugateAcidOf),
+            Relation::IsConjugateAcidOf => Some(Relation::IsConjugateBaseOf),
+            r if r.is_symmetric() => Some(r),
+            _ => None,
+        }
+    }
+
+    /// ChEBI triple count as of February 2022 (paper Table A3). Used to
+    /// calibrate the synthetic generator's relation mix.
+    pub fn chebi_count(self) -> usize {
+        match self {
+            Relation::IsA => 230_241,
+            Relation::HasRole => 42_095,
+            Relation::HasFunctionalParent => 18_204,
+            Relation::IsConjugateBaseOf => 8_247,
+            Relation::IsConjugateAcidOf => 8_247,
+            Relation::HasPart => 3_911,
+            Relation::IsEnantiomerOf => 2_674,
+            Relation::IsTautomerOf => 1_804,
+            Relation::HasParentHydride => 1_736,
+            Relation::IsSubstituentGroupFrom => 1_279,
+        }
+    }
+}
+
+impl std::fmt::Display for Relation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.ident())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_round_trip() {
+        for r in Relation::ALL {
+            assert_eq!(Relation::from_code(r.code()), r);
+        }
+    }
+
+    #[test]
+    fn parse_accepts_both_forms() {
+        assert_eq!(Relation::parse("is_a"), Some(Relation::IsA));
+        assert_eq!(Relation::parse("has role"), Some(Relation::HasRole));
+        assert_eq!(Relation::parse("Is Conjugate Base Of"), Some(Relation::IsConjugateBaseOf));
+        assert_eq!(Relation::parse("no_such_relation"), None);
+    }
+
+    #[test]
+    fn task_set_excludes_conjugate_acid() {
+        assert_eq!(Relation::TASK_SET.len(), 9);
+        assert!(!Relation::TASK_SET.contains(&Relation::IsConjugateAcidOf));
+    }
+
+    #[test]
+    fn symmetry_and_inverses() {
+        assert!(Relation::IsTautomerOf.is_symmetric());
+        assert!(Relation::IsEnantiomerOf.is_symmetric());
+        assert!(!Relation::IsA.is_symmetric());
+        assert_eq!(Relation::IsConjugateBaseOf.inverse(), Some(Relation::IsConjugateAcidOf));
+        assert_eq!(Relation::IsConjugateAcidOf.inverse(), Some(Relation::IsConjugateBaseOf));
+        assert_eq!(Relation::IsTautomerOf.inverse(), Some(Relation::IsTautomerOf));
+        assert_eq!(Relation::IsA.inverse(), None);
+    }
+
+    #[test]
+    fn table_a3_total_matches_paper() {
+        let total: usize = Relation::ALL.iter().map(|r| r.chebi_count()).sum();
+        assert_eq!(total, 318_438);
+    }
+
+    #[test]
+    fn metadata_complete() {
+        for r in Relation::ALL {
+            assert!(!r.ident().is_empty());
+            assert!(!r.phrase().is_empty());
+            assert!(!r.description().is_empty());
+            assert!(!r.example().is_empty());
+            assert_eq!(Relation::parse(r.ident()), Some(r));
+        }
+    }
+}

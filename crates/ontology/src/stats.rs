@@ -1,0 +1,126 @@
+//! Ontology summary statistics (paper §3.1, Tables A1 and A3).
+
+use crate::{Ontology, Relation, SubOntology};
+use serde::Serialize;
+
+/// Aggregate statistics over an ontology.
+#[derive(Debug, Clone, Serialize)]
+pub struct OntologyStats {
+    /// Total number of entities.
+    pub n_entities: usize,
+    /// Entities per sub-ontology, in [`SubOntology::ALL`] order.
+    pub entities_by_kind: Vec<(String, usize)>,
+    /// Total number of triples.
+    pub n_triples: usize,
+    /// Triples per relationship type, descending by count.
+    pub triples_by_relation: Vec<(String, usize)>,
+    /// Mean direct `is_a` parents per non-root entity.
+    pub mean_parents: f64,
+    /// Fraction of entities that have at least one sibling.
+    pub sibling_coverage: f64,
+}
+
+impl OntologyStats {
+    /// Computes statistics for an ontology. `sibling_coverage` is estimated
+    /// on a deterministic stride sample to stay cheap on large graphs.
+    pub fn compute(o: &Ontology) -> Self {
+        let entities_by_kind = SubOntology::ALL
+            .iter()
+            .map(|&k| (k.name().to_string(), o.entities_of(k).count()))
+            .collect();
+
+        let mut triples_by_relation: Vec<(String, usize)> = Relation::ALL
+            .iter()
+            .map(|&r| (r.ident().to_string(), o.n_with_relation(r)))
+            .collect();
+        triples_by_relation.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+
+        let non_root = o.entities().iter().filter(|e| !o.parents(e.id).is_empty());
+        let (count, parent_sum) =
+            non_root.fold((0usize, 0usize), |(c, s), e| (c + 1, s + o.parents(e.id).len()));
+        let mean_parents = if count == 0 { 0.0 } else { parent_sum as f64 / count as f64 };
+
+        let stride = (o.n_entities() / 2_000).max(1);
+        let sampled: Vec<_> = o.entities().iter().step_by(stride).collect();
+        let with_sibs =
+            sampled.iter().filter(|e| !o.siblings(e.id).is_empty()).count();
+        let sibling_coverage =
+            if sampled.is_empty() { 0.0 } else { with_sibs as f64 / sampled.len() as f64 };
+
+        Self {
+            n_entities: o.n_entities(),
+            entities_by_kind,
+            n_triples: o.n_triples(),
+            triples_by_relation,
+            mean_parents,
+            sibling_coverage,
+        }
+    }
+
+    /// Renders the Table A3-style relationship-count table.
+    pub fn relation_table(&self) -> kcb_util::fmt::Table {
+        let mut t = kcb_util::fmt::Table::new(
+            "Triples per relationship type (cf. paper Table A3)",
+            &["Relationship type", "Number of triples"],
+        )
+        .numeric_after(1);
+        for (name, n) in &self.triples_by_relation {
+            t.row(vec![name.replace('_', " "), kcb_util::fmt::count(*n)]);
+        }
+        t.row(vec!["Total #triples".into(), kcb_util::fmt::count(self.n_triples)]);
+        t
+    }
+
+    /// Renders the Table A1-style sub-ontology table with entity counts.
+    pub fn subontology_table(&self) -> kcb_util::fmt::Table {
+        let mut t = kcb_util::fmt::Table::new(
+            "Entities per sub-ontology (cf. paper Table A1 / §3.1)",
+            &["Sub-ontology", "Entities"],
+        )
+        .numeric_after(1);
+        for (name, n) in &self.entities_by_kind {
+            t.row(vec![name.clone(), kcb_util::fmt::count(*n)]);
+        }
+        t.row(vec!["Total".into(), kcb_util::fmt::count(self.n_entities)]);
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SyntheticConfig, SyntheticGenerator};
+
+    #[test]
+    fn stats_are_consistent() {
+        let o = SyntheticGenerator::new(SyntheticConfig { scale: 0.02, seed: 5 })
+            .unwrap()
+            .generate();
+        let s = OntologyStats::compute(&o);
+        assert_eq!(s.n_entities, o.n_entities());
+        assert_eq!(s.n_triples, o.n_triples());
+        let kind_sum: usize = s.entities_by_kind.iter().map(|(_, n)| n).sum();
+        assert_eq!(kind_sum, s.n_entities);
+        let rel_sum: usize = s.triples_by_relation.iter().map(|(_, n)| n).sum();
+        assert_eq!(rel_sum, s.n_triples);
+        assert!(s.mean_parents >= 1.0 && s.mean_parents < 2.5, "{}", s.mean_parents);
+        assert!(s.sibling_coverage > 0.5);
+        // Descending order.
+        for w in s.triples_by_relation.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn tables_render() {
+        let o = SyntheticGenerator::new(SyntheticConfig { scale: 0.01, seed: 5 })
+            .unwrap()
+            .generate();
+        let s = OntologyStats::compute(&o);
+        let rel = s.relation_table().render();
+        assert!(rel.contains("is a"));
+        assert!(rel.contains("Total"));
+        let sub = s.subontology_table().render();
+        assert!(sub.contains("Role entities"));
+    }
+}

@@ -1,0 +1,600 @@
+//! Deterministic synthetic-ChEBI generator.
+//!
+//! The February-2022 ChEBI dump used in the paper is not redistributable
+//! here, so experiments run on a synthetic ontology calibrated to the
+//! paper's published statistics (§3.1, Tables A1–A3):
+//!
+//! * 147,461 entities at scale 1.0 — 145,869 chemical, 1,550 role,
+//!   42 subatomic particles;
+//! * 318,438 triples distributed over the ten relationship types with the
+//!   Table A3 frequency profile (72.3 % `is_a`, 13.2 % `has_role`, …);
+//! * entity names drawn from the grammar in [`crate::names`], reproducing
+//!   the Table A5 token profile (heads full of locants and
+//!   stereo-descriptors, tails full of class-head nouns);
+//! * a layered `is_a` DAG in which leaves inherit a backbone *family* from
+//!   their class, so that task-3 sibling negatives are lexically close to
+//!   the true object — the property that makes task 3 the hardest.
+//!
+//! Everything is a pure function of [`SyntheticConfig`] (scale + seed).
+
+use crate::names;
+use crate::{EntityId, Ontology, OntologyBuilder, Relation, SubOntology, Triple};
+use kcb_util::{Error, Result, Rng};
+use std::collections::HashSet;
+
+/// Real ChEBI entity counts (paper §3.1).
+const CHEBI_CHEMICAL: f64 = 145_869.0;
+const CHEBI_ROLE: f64 = 1_550.0;
+
+/// Configuration for the synthetic generator.
+#[derive(Debug, Clone, Copy)]
+pub struct SyntheticConfig {
+    /// Linear scale relative to real ChEBI (1.0 ≈ 147k entities /
+    /// 318k triples). Must be in `(0, 4]`.
+    pub scale: f64,
+    /// RNG seed; the generated ontology is a pure function of
+    /// `(scale, seed)`.
+    pub seed: u64,
+}
+
+impl Default for SyntheticConfig {
+    fn default() -> Self {
+        Self { scale: 0.08, seed: 42 }
+    }
+}
+
+impl SyntheticConfig {
+    /// Creates a config with the given scale and the default seed.
+    pub fn with_scale(scale: f64) -> Self {
+        Self { scale, ..Self::default() }
+    }
+
+    /// Validates ranges.
+    pub fn validate(&self) -> Result<()> {
+        if !(self.scale > 0.0 && self.scale <= 4.0) {
+            return Err(Error::Config(format!("scale must be in (0, 4], got {}", self.scale)));
+        }
+        Ok(())
+    }
+
+    fn scaled(&self, n: f64, min: usize) -> usize {
+        ((n * self.scale).round() as usize).max(min)
+    }
+
+    /// Target triple count for one relation at this scale.
+    pub fn target_triples(&self, r: Relation) -> usize {
+        self.scaled(r.chebi_count() as f64, 8)
+    }
+}
+
+/// Generates synthetic ChEBI-like ontologies. See the module docs.
+#[derive(Debug)]
+pub struct SyntheticGenerator {
+    cfg: SyntheticConfig,
+}
+
+/// Cumulative-weight sampler: O(log n) weighted draws, used for the Zipfian
+/// class- and role-popularity distributions.
+struct CumSampler {
+    cum: Vec<f64>,
+}
+
+impl CumSampler {
+    /// Zipf-like weights `1/(i+1)^alpha` over `n` items.
+    fn zipf(n: usize, alpha: f64) -> Self {
+        let mut cum = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for i in 0..n {
+            total += 1.0 / ((i + 1) as f64).powf(alpha);
+            cum.push(total);
+        }
+        Self { cum }
+    }
+
+    fn draw(&self, rng: &mut Rng) -> usize {
+        let total = *self.cum.last().expect("empty sampler");
+        let t = rng.f64() * total;
+        self.cum.partition_point(|&c| c <= t).min(self.cum.len() - 1)
+    }
+}
+
+impl SyntheticGenerator {
+    /// Creates a generator after validating the configuration.
+    pub fn new(cfg: SyntheticConfig) -> Result<Self> {
+        cfg.validate()?;
+        Ok(Self { cfg })
+    }
+
+    /// Generates the ontology.
+    pub fn generate(&self) -> Ontology {
+        let cfg = self.cfg;
+        let mut rng = Rng::seed_stream(cfg.seed, 0x0170);
+        let mut b = OntologyBuilder::new();
+        let mut used: HashSet<String> = HashSet::new();
+
+        let add_entity = |b: &mut OntologyBuilder,
+                              used: &mut HashSet<String>,
+                              name: String,
+                              kind: SubOntology|
+         -> EntityId {
+            let unique = disambiguate(used, name);
+            used.insert(unique.clone());
+            b.add_entity(unique, kind)
+        };
+
+        // --- Roots -----------------------------------------------------
+        let chem_root = add_entity(&mut b, &mut used, "chemical entity".into(), SubOntology::Chemical);
+        let mol_root = add_entity(&mut b, &mut used, "molecular entity".into(), SubOntology::Chemical);
+        let group_root = add_entity(&mut b, &mut used, "group".into(), SubOntology::Chemical);
+        b.add_triple(mol_root, Relation::IsA, chem_root);
+        b.add_triple(group_root, Relation::IsA, chem_root);
+
+        let role_root = add_entity(&mut b, &mut used, "role".into(), SubOntology::Role);
+        let role_cats: Vec<EntityId> = ["biological role", "chemical role", "application"]
+            .iter()
+            .map(|n| {
+                let id = add_entity(&mut b, &mut used, (*n).into(), SubOntology::Role);
+                b.add_triple(id, Relation::IsA, role_root);
+                id
+            })
+            .collect();
+
+        let particle_root =
+            add_entity(&mut b, &mut used, "subatomic particle".into(), SubOntology::SubatomicParticle);
+
+        // --- Subatomic particles ----------------------------------------
+        let n_particles = names::PARTICLES.len().min(cfg.scaled(42.0, 6));
+        for name in &names::PARTICLES[..n_particles] {
+            let id = add_entity(&mut b, &mut used, (*name).into(), SubOntology::SubatomicParticle);
+            b.add_triple(id, Relation::IsA, particle_root);
+        }
+
+        // --- Role entities ----------------------------------------------
+        let n_roles = cfg.scaled(CHEBI_ROLE, 24);
+        let mut roles: Vec<EntityId> = Vec::with_capacity(n_roles);
+        for _ in 0..n_roles {
+            let name = names::role_name(&mut rng);
+            let id = add_entity(&mut b, &mut used, name, SubOntology::Role);
+            let parent = if !roles.is_empty() && rng.chance(0.2) {
+                *rng.choose(&roles).expect("roles non-empty")
+            } else {
+                role_cats[rng.below(role_cats.len())]
+            };
+            b.add_triple(id, Relation::IsA, parent);
+            roles.push(id);
+        }
+
+        // --- Chemical class layers ---------------------------------------
+        let n_chem = cfg.scaled(CHEBI_CHEMICAL, 600);
+        let n_top = (n_chem / 400).clamp(8, 400);
+        let n_mid = (n_chem / 40).clamp(24, 4_000);
+
+        let mut top_classes = Vec::with_capacity(n_top);
+        for _ in 0..n_top {
+            let id = add_entity(&mut b, &mut used, names::class_name(&mut rng), SubOntology::Chemical);
+            b.add_triple(id, Relation::IsA, mol_root);
+            top_classes.push(id);
+        }
+
+        // Each mid class: 1–2 top parents and 1–3 backbone families.
+        let mut mid_classes = Vec::with_capacity(n_mid);
+        let mut mid_families: Vec<Vec<usize>> = Vec::with_capacity(n_mid);
+        for i in 0..n_mid {
+            let parent = top_classes[rng.below(top_classes.len())];
+            let pname = b_entity_name(&b, parent).to_string();
+            let id =
+                add_entity(&mut b, &mut used, names::subclass_name(&mut rng, &pname), SubOntology::Chemical);
+            b.add_triple(id, Relation::IsA, parent);
+            if rng.chance(0.25) {
+                let p2 = top_classes[rng.below(top_classes.len())];
+                if p2 != parent {
+                    b.add_triple(id, Relation::IsA, p2);
+                }
+            }
+            let mut fams = vec![i % names::BACKBONES.len()];
+            while fams.len() < 3 && rng.chance(0.4) {
+                let f = rng.below(names::BACKBONES.len());
+                if !fams.contains(&f) {
+                    fams.push(f);
+                }
+            }
+            mid_classes.push(id);
+            mid_families.push(fams);
+        }
+
+        // --- Leaves -------------------------------------------------------
+        // Budget: leaves plus derived entities (conjugate bases, enantiomer
+        // mirrors, substituent groups, hydrides, salt ions) should together
+        // approximate n_chem.
+        let n_conj = cfg.target_triples(Relation::IsConjugateBaseOf);
+        let n_enant_pairs = cfg.target_triples(Relation::IsEnantiomerOf) / 2;
+        let n_groups = cfg.target_triples(Relation::IsSubstituentGroupFrom);
+        let n_salts = cfg.target_triples(Relation::HasPart);
+        let reserved = n_conj + n_enant_pairs + n_groups + names::BACKBONES.len() + n_salts / 2;
+        let n_leaves = n_chem.saturating_sub(n_top + n_mid + reserved).max(200);
+
+        // Popular classes get many leaves (Zipf), giving some entities many
+        // siblings — needed for task-3 negative sampling.
+        let class_sampler = CumSampler::zipf(n_mid, 0.8);
+        let mut leaves: Vec<EntityId> = Vec::with_capacity(n_leaves);
+        let mut leaf_family: Vec<usize> = Vec::with_capacity(n_leaves);
+        let mut family_leaves: Vec<Vec<EntityId>> = vec![Vec::new(); names::BACKBONES.len()];
+
+        // Calibrate extra-parent probability so total is_a lands near the
+        // Table A3 target.
+        let isa_target = cfg.target_triples(Relation::IsA);
+        let isa_so_far = 2 + 3 + n_particles + n_roles + n_top + (n_mid as f64 * 1.25) as usize;
+        let remaining = isa_target.saturating_sub(isa_so_far + n_leaves + reserved) as f64;
+        let p_extra_parent = (remaining / n_leaves as f64).clamp(0.0, 0.9);
+
+        for _ in 0..n_leaves {
+            let ci = class_sampler.draw(&mut rng);
+            let fams = &mid_families[ci];
+            let fam = fams[rng.below(fams.len())];
+            let name = names::leaf_name(&mut rng, fam);
+            let id = add_entity(&mut b, &mut used, name, SubOntology::Chemical);
+            b.add_triple(id, Relation::IsA, mid_classes[ci]);
+            if rng.chance(p_extra_parent) {
+                // Second parent: usually another class carrying the same
+                // family, mirroring ChEBI's structure-plus-function typing.
+                let cj = class_sampler.draw(&mut rng);
+                if cj != ci {
+                    b.add_triple(id, Relation::IsA, mid_classes[cj]);
+                }
+            }
+            leaves.push(id);
+            leaf_family.push(fam);
+            family_leaves[fam].push(id);
+        }
+
+        // --- has_role ------------------------------------------------------
+        let role_sampler = CumSampler::zipf(roles.len(), 1.0);
+        let mut seen: HashSet<(u32, u8, u32)> = HashSet::new();
+        let target = cfg.target_triples(Relation::HasRole);
+        let mut made = 0usize;
+        let mut guard = 0usize;
+        while made < target && guard < target * 20 {
+            guard += 1;
+            let s = leaves[rng.below(leaves.len())];
+            let o = roles[role_sampler.draw(&mut rng)];
+            let t = Triple::new(s, Relation::HasRole, o);
+            if seen.insert(t.key()) {
+                b.add_triple(s, Relation::HasRole, o);
+                made += 1;
+            }
+        }
+
+        // --- has_functional_parent (same-family object) ---------------------
+        let target = cfg.target_triples(Relation::HasFunctionalParent);
+        made = 0;
+        guard = 0;
+        while made < target && guard < target * 20 {
+            guard += 1;
+            let i = rng.below(leaves.len());
+            let fam = leaf_family[i];
+            let pool = &family_leaves[fam];
+            if pool.len() < 2 {
+                continue;
+            }
+            let o = pool[rng.below(pool.len())];
+            let s = leaves[i];
+            if s == o {
+                continue;
+            }
+            let t = Triple::new(s, Relation::HasFunctionalParent, o);
+            if seen.insert(t.key()) {
+                b.add_triple(s, Relation::HasFunctionalParent, o);
+                made += 1;
+            }
+        }
+
+        // --- conjugate acid/base pairs ---------------------------------------
+        // Derived base entity sits under the same class as the acid.
+        let acid_leaves: Vec<usize> = (0..leaves.len())
+            .filter(|&i| b_entity_name(&b, leaves[i]).contains("acid"))
+            .collect();
+        let mut idx = 0usize;
+        for _ in 0..n_conj {
+            if acid_leaves.is_empty() {
+                break;
+            }
+            let li = acid_leaves[idx % acid_leaves.len()];
+            idx += 1;
+            let acid = leaves[li];
+            let base_name = names::conjugate_base_name(b_entity_name(&b, acid));
+            let base = add_entity(&mut b, &mut used, base_name, SubOntology::Chemical);
+            b.add_triple(base, Relation::IsA, mid_classes[rng.below(mid_classes.len())]);
+            let t = Triple::new(base, Relation::IsConjugateBaseOf, acid);
+            if seen.insert(t.key()) {
+                b.add_triple(base, Relation::IsConjugateBaseOf, acid);
+                b.add_triple(acid, Relation::IsConjugateAcidOf, base);
+            }
+        }
+
+        // --- enantiomer pairs --------------------------------------------------
+        let stereo_leaves: Vec<usize> =
+            (0..leaves.len()).filter(|&i| b_entity_name(&b, leaves[i]).starts_with('(')).collect();
+        idx = 0;
+        for _ in 0..n_enant_pairs {
+            if stereo_leaves.is_empty() {
+                break;
+            }
+            let li = stereo_leaves[idx % stereo_leaves.len()];
+            idx += 1;
+            let a = leaves[li];
+            let Some(mirror) = names::enantiomer_name(b_entity_name(&b, a)) else { continue };
+            let m = add_entity(&mut b, &mut used, mirror, SubOntology::Chemical);
+            b.add_triple(m, Relation::IsA, mid_classes[rng.below(mid_classes.len())]);
+            let t = Triple::new(a, Relation::IsEnantiomerOf, m);
+            if seen.insert(t.key()) {
+                b.add_triple(a, Relation::IsEnantiomerOf, m);
+                b.add_triple(m, Relation::IsEnantiomerOf, a);
+            }
+        }
+
+        // --- tautomer pairs (same family) ----------------------------------------
+        let target = cfg.target_triples(Relation::IsTautomerOf) / 2;
+        made = 0;
+        guard = 0;
+        while made < target && guard < target * 40 {
+            guard += 1;
+            let i = rng.below(leaves.len());
+            let pool = &family_leaves[leaf_family[i]];
+            if pool.len() < 2 {
+                continue;
+            }
+            let a = leaves[i];
+            let o = pool[rng.below(pool.len())];
+            if a == o {
+                continue;
+            }
+            let t = Triple::new(a, Relation::IsTautomerOf, o);
+            let u = Triple::new(o, Relation::IsTautomerOf, a);
+            if !seen.contains(&t.key()) && !seen.contains(&u.key()) {
+                seen.insert(t.key());
+                seen.insert(u.key());
+                b.add_triple(a, Relation::IsTautomerOf, o);
+                b.add_triple(o, Relation::IsTautomerOf, a);
+                made += 1;
+            }
+        }
+
+        // --- parent hydrides ---------------------------------------------------
+        let hydrides: Vec<EntityId> = (0..names::BACKBONES.len())
+            .map(|f| {
+                let id =
+                    add_entity(&mut b, &mut used, names::hydride_name(f).to_string(), SubOntology::Chemical);
+                b.add_triple(id, Relation::IsA, mol_root);
+                id
+            })
+            .collect();
+        let target = cfg.target_triples(Relation::HasParentHydride);
+        made = 0;
+        guard = 0;
+        while made < target && guard < target * 20 {
+            guard += 1;
+            let i = rng.below(leaves.len());
+            let t = Triple::new(leaves[i], Relation::HasParentHydride, hydrides[leaf_family[i]]);
+            if seen.insert(t.key()) {
+                b.add_triple(t.subject, t.relation, t.object);
+                made += 1;
+            }
+        }
+
+        // --- substituent groups -----------------------------------------------
+        for k in 0..n_groups {
+            let parent = leaves[(k * 37 + rng.below(leaves.len())) % leaves.len()];
+            let gname = names::group_name(&mut rng, b_entity_name(&b, parent));
+            let g = add_entity(&mut b, &mut used, gname, SubOntology::Chemical);
+            b.add_triple(g, Relation::IsA, group_root);
+            let t = Triple::new(g, Relation::IsSubstituentGroupFrom, parent);
+            if seen.insert(t.key()) {
+                b.add_triple(g, Relation::IsSubstituentGroupFrom, parent);
+            }
+        }
+
+        // --- salts and has_part ---------------------------------------------------
+        let mut ion_ids: std::collections::HashMap<String, EntityId> = std::collections::HashMap::new();
+        let target = cfg.target_triples(Relation::HasPart);
+        made = 0;
+        guard = 0;
+        while made < target && guard < target * 20 {
+            guard += 1;
+            let (salt, ion) = names::salt_name(&mut rng);
+            if used.contains(&salt) {
+                continue;
+            }
+            let sid = add_entity(&mut b, &mut used, salt, SubOntology::Chemical);
+            b.add_triple(sid, Relation::IsA, mid_classes[rng.below(mid_classes.len())]);
+            let iid = *ion_ids.entry(ion.clone()).or_insert_with(|| {
+                let id = add_entity(&mut b, &mut used, ion, SubOntology::Chemical);
+                b.add_triple(id, Relation::IsA, mol_root);
+                id
+            });
+            let t = Triple::new(sid, Relation::HasPart, iid);
+            if seen.insert(t.key()) {
+                b.add_triple(sid, Relation::HasPart, iid);
+                made += 1;
+            }
+        }
+
+        b.build()
+    }
+}
+
+/// Name lookup inside the builder (ids are dense and builder-owned).
+fn b_entity_name(b: &OntologyBuilder, id: EntityId) -> &str {
+    &b.entities_slice()[id.index()].name
+}
+
+/// Makes a candidate name unique by appending a chemically plausible
+/// qualifier when it collides.
+fn disambiguate(used: &HashSet<String>, name: String) -> String {
+    if !used.contains(&name) {
+        return name;
+    }
+    const QUALIFIERS: &[&str] = &[
+        " monohydrate",
+        " dihydrate",
+        " trihydrate",
+        " hemihydrate",
+        " sodium salt",
+        " potassium salt",
+        " methyl ester",
+        " ethyl ester",
+        " zwitterion",
+        " radical",
+    ];
+    for q in QUALIFIERS {
+        let candidate = format!("{name}{q}");
+        if !used.contains(&candidate) {
+            return candidate;
+        }
+    }
+    // Pathological collision rate: fall back to an isotope-style marker.
+    let mut k = 2usize;
+    loop {
+        let candidate = format!("{name} ({k}H)");
+        if !used.contains(&candidate) {
+            return candidate;
+        }
+        k += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Ontology {
+        SyntheticGenerator::new(SyntheticConfig { scale: 0.02, seed: 7 })
+            .expect("valid config")
+            .generate()
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(SyntheticConfig { scale: 0.0, seed: 1 }.validate().is_err());
+        assert!(SyntheticConfig { scale: 5.0, seed: 1 }.validate().is_err());
+        assert!(SyntheticConfig { scale: 1.0, seed: 1 }.validate().is_ok());
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = small();
+        let b = small();
+        assert_eq!(a.n_entities(), b.n_entities());
+        assert_eq!(a.triples(), b.triples());
+    }
+
+    #[test]
+    fn different_seeds_give_different_graphs() {
+        let a = small();
+        let b = SyntheticGenerator::new(SyntheticConfig { scale: 0.02, seed: 8 })
+            .unwrap()
+            .generate();
+        assert_ne!(a.triples(), b.triples());
+    }
+
+    #[test]
+    fn relation_mix_tracks_table_a3() {
+        let o = small();
+        let total = o.n_triples() as f64;
+        let isa = o.n_with_relation(Relation::IsA) as f64 / total;
+        let role = o.n_with_relation(Relation::HasRole) as f64 / total;
+        // Paper: 72.3% is_a, 13.2% has_role. Allow generous tolerance at
+        // small scale.
+        assert!((isa - 0.723).abs() < 0.08, "is_a fraction {isa}");
+        assert!((role - 0.132).abs() < 0.05, "has_role fraction {role}");
+        for r in Relation::ALL {
+            assert!(o.n_with_relation(r) > 0, "{r} missing");
+        }
+    }
+
+    #[test]
+    fn subontology_mix_tracks_table_a1() {
+        let o = small();
+        let chem = o.entities_of(SubOntology::Chemical).count();
+        let role = o.entities_of(SubOntology::Role).count();
+        let sub = o.entities_of(SubOntology::SubatomicParticle).count();
+        assert!(chem > 40 * role, "chem={chem} role={role}");
+        assert!(role > sub, "role={role} sub={sub}");
+    }
+
+    #[test]
+    fn conjugate_pairs_are_inverses() {
+        let o = small();
+        for t in o.triples_with_relation(Relation::IsConjugateBaseOf) {
+            assert!(
+                o.contains(Triple::new(t.object, Relation::IsConjugateAcidOf, t.subject)),
+                "missing inverse for {}",
+                o.render(t)
+            );
+        }
+    }
+
+    #[test]
+    fn symmetric_relations_stored_both_ways() {
+        let o = small();
+        for r in [Relation::IsEnantiomerOf, Relation::IsTautomerOf] {
+            for t in o.triples_with_relation(r) {
+                assert!(o.contains(t.flipped()), "missing flip for {}", o.render(t));
+            }
+        }
+    }
+
+    #[test]
+    fn most_entities_have_siblings() {
+        // Task 3 needs sibling-rich structure.
+        let o = small();
+        let mut rng = Rng::seed(1);
+        let mut with_sibs = 0;
+        let n = 500;
+        for _ in 0..n {
+            let id = EntityId(rng.below(o.n_entities()) as u32);
+            if !o.siblings(id).is_empty() {
+                with_sibs += 1;
+            }
+        }
+        assert!(with_sibs > n * 8 / 10, "only {with_sibs}/{n} entities have siblings");
+    }
+
+    #[test]
+    fn entity_names_unique() {
+        let o = small();
+        let names: HashSet<&str> = o.entities().iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names.len(), o.n_entities());
+    }
+
+    #[test]
+    fn no_self_loops_or_duplicates() {
+        let o = small();
+        let mut keys = HashSet::new();
+        for t in o.triples() {
+            assert_ne!(t.subject, t.object, "self loop {}", o.render(*t));
+            assert!(keys.insert(t.key()), "duplicate {}", o.render(*t));
+        }
+    }
+
+    #[test]
+    fn disambiguate_prefers_plausible_qualifiers() {
+        let mut used = HashSet::new();
+        assert_eq!(disambiguate(&used, "x".into()), "x");
+        used.insert("x".to_string());
+        assert_eq!(disambiguate(&used, "x".into()), "x monohydrate");
+        used.insert("x monohydrate".to_string());
+        assert_eq!(disambiguate(&used, "x".into()), "x dihydrate");
+    }
+
+    #[test]
+    fn scale_changes_size_roughly_linearly() {
+        let small = SyntheticGenerator::new(SyntheticConfig { scale: 0.02, seed: 3 })
+            .unwrap()
+            .generate();
+        let big = SyntheticGenerator::new(SyntheticConfig { scale: 0.04, seed: 3 })
+            .unwrap()
+            .generate();
+        let ratio = big.n_triples() as f64 / small.n_triples() as f64;
+        assert!((ratio - 2.0).abs() < 0.35, "ratio {ratio}");
+    }
+}

@@ -1,0 +1,72 @@
+//! Knowledge-graph triples `(subject, relation, object)`.
+
+use crate::{EntityId, Relation};
+use serde::{Deserialize, Serialize};
+
+/// A directed labelled edge: `subject --relation--> object` (§2.2's
+/// `t = (s, o, l)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Triple {
+    /// Subject (head) entity.
+    pub subject: EntityId,
+    /// Relationship label.
+    pub relation: Relation,
+    /// Object (tail) entity.
+    pub object: EntityId,
+}
+
+impl Triple {
+    /// Convenience constructor.
+    #[inline]
+    pub fn new(subject: EntityId, relation: Relation, object: EntityId) -> Self {
+        Self { subject, relation, object }
+    }
+
+    /// The triple with subject and object swapped — the task-2 corruption.
+    #[inline]
+    pub fn flipped(self) -> Self {
+        Self { subject: self.object, relation: self.relation, object: self.subject }
+    }
+
+    /// The triple with the object replaced — the task-3 corruption.
+    #[inline]
+    pub fn with_object(self, object: EntityId) -> Self {
+        Self { object, ..self }
+    }
+
+    /// Compact key for hash-set membership tests.
+    #[inline]
+    pub fn key(self) -> (u32, u8, u32) {
+        (self.subject.0, self.relation.code(), self.object.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flip_swaps_endpoints() {
+        let t = Triple::new(EntityId(1), Relation::HasRole, EntityId(2));
+        let f = t.flipped();
+        assert_eq!(f.subject, EntityId(2));
+        assert_eq!(f.object, EntityId(1));
+        assert_eq!(f.relation, Relation::HasRole);
+        assert_eq!(f.flipped(), t);
+    }
+
+    #[test]
+    fn with_object_replaces_only_object() {
+        let t = Triple::new(EntityId(1), Relation::IsA, EntityId(2));
+        let u = t.with_object(EntityId(9));
+        assert_eq!(u.subject, EntityId(1));
+        assert_eq!(u.relation, Relation::IsA);
+        assert_eq!(u.object, EntityId(9));
+    }
+
+    #[test]
+    fn key_distinguishes_direction() {
+        let t = Triple::new(EntityId(1), Relation::IsA, EntityId(2));
+        assert_ne!(t.key(), t.flipped().key());
+    }
+}

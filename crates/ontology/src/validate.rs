@@ -1,0 +1,185 @@
+//! Structural validation of an ontology — the checks a curator (or CI)
+//! runs before trusting a graph: `is_a` acyclicity, orphan detection,
+//! dangling symmetric/inverse pairs and name hygiene.
+
+use crate::{Ontology, Relation, Triple};
+use serde::Serialize;
+
+/// A structural problem found by [`validate`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub enum Issue {
+    /// The `is_a` hierarchy contains a cycle through this entity name.
+    IsACycle(String),
+    /// Entity participates in no triple at all.
+    Orphan(String),
+    /// A symmetric relation asserted in only one direction.
+    AsymmetricSymmetric(String),
+    /// `is conjugate base of` without the matching `is conjugate acid of`
+    /// (or vice versa).
+    MissingInverse(String),
+    /// Empty or whitespace-only entity name.
+    BlankName(u32),
+    /// Duplicate entity name (ambiguous references in text pipelines).
+    DuplicateName(String),
+}
+
+/// Report from [`validate`].
+#[derive(Debug, Default, Serialize)]
+pub struct ValidationReport {
+    /// All issues found, in deterministic order.
+    pub issues: Vec<Issue>,
+}
+
+impl ValidationReport {
+    /// True when the graph passed every check.
+    pub fn is_clean(&self) -> bool {
+        self.issues.is_empty()
+    }
+
+    /// Number of issues of a given discriminant.
+    pub fn count<F: Fn(&Issue) -> bool>(&self, pred: F) -> usize {
+        self.issues.iter().filter(|i| pred(i)).count()
+    }
+}
+
+/// Runs all structural checks.
+pub fn validate(o: &Ontology) -> ValidationReport {
+    let mut report = ValidationReport::default();
+    let n = o.n_entities();
+
+    // --- is_a acyclicity (iterative colouring DFS) ----------------------
+    let mut colour = vec![0u8; n]; // 0 = white, 1 = grey, 2 = black
+    for start in 0..n {
+        if colour[start] != 0 {
+            continue;
+        }
+        // Stack of (node, next-parent-index).
+        let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+        colour[start] = 1;
+        while let Some(&mut (node, ref mut next)) = stack.last_mut() {
+            let parents = o.parents(crate::EntityId(node as u32));
+            if *next < parents.len() {
+                let p = parents[*next].index();
+                *next += 1;
+                match colour[p] {
+                    0 => {
+                        colour[p] = 1;
+                        stack.push((p, 0));
+                    }
+                    1 => {
+                        report
+                            .issues
+                            .push(Issue::IsACycle(o.name(crate::EntityId(p as u32)).to_string()));
+                    }
+                    _ => {}
+                }
+            } else {
+                colour[node] = 2;
+                stack.pop();
+            }
+        }
+    }
+
+    // --- orphans ----------------------------------------------------------
+    let mut touched = vec![false; n];
+    for t in o.triples() {
+        touched[t.subject.index()] = true;
+        touched[t.object.index()] = true;
+    }
+    for (i, &seen) in touched.iter().enumerate() {
+        if !seen {
+            report.issues.push(Issue::Orphan(o.name(crate::EntityId(i as u32)).to_string()));
+        }
+    }
+
+    // --- symmetric + inverse completeness -----------------------------------
+    for t in o.triples() {
+        if t.relation.is_symmetric() && !o.contains(t.flipped()) {
+            report.issues.push(Issue::AsymmetricSymmetric(o.render(*t)));
+        }
+        if t.relation == Relation::IsConjugateBaseOf {
+            let inv = Triple::new(t.object, Relation::IsConjugateAcidOf, t.subject);
+            if !o.contains(inv) {
+                report.issues.push(Issue::MissingInverse(o.render(*t)));
+            }
+        }
+    }
+
+    // --- name hygiene ----------------------------------------------------------
+    let mut seen_names: std::collections::HashMap<&str, u32> = std::collections::HashMap::new();
+    for e in o.entities() {
+        if e.name.trim().is_empty() {
+            report.issues.push(Issue::BlankName(e.id.0));
+        }
+        if let Some(_first) = seen_names.insert(e.name.as_str(), e.id.0) {
+            report.issues.push(Issue::DuplicateName(e.name.clone()));
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{OntologyBuilder, SubOntology, SyntheticConfig, SyntheticGenerator};
+
+    #[test]
+    fn synthetic_graphs_are_clean() {
+        let o = SyntheticGenerator::new(SyntheticConfig { scale: 0.01, seed: 17 })
+            .unwrap()
+            .generate();
+        let report = validate(&o);
+        assert!(report.is_clean(), "synthetic graph has issues: {:?}", &report.issues[..report.issues.len().min(5)]);
+    }
+
+    #[test]
+    fn detects_cycles() {
+        let mut b = OntologyBuilder::new();
+        let a = b.add_entity("a", SubOntology::Chemical);
+        let c = b.add_entity("b", SubOntology::Chemical);
+        b.add_triple(a, Relation::IsA, c);
+        b.add_triple(c, Relation::IsA, a);
+        let report = validate(&b.build());
+        assert!(report.count(|i| matches!(i, Issue::IsACycle(_))) >= 1, "{:?}", report.issues);
+    }
+
+    #[test]
+    fn detects_orphans_and_asymmetric_symmetric() {
+        let mut b = OntologyBuilder::new();
+        let a = b.add_entity("keto", SubOntology::Chemical);
+        let c = b.add_entity("enol", SubOntology::Chemical);
+        let _lonely = b.add_entity("lonely", SubOntology::Chemical);
+        b.add_triple(a, Relation::IsTautomerOf, c); // one direction only
+        let report = validate(&b.build());
+        assert_eq!(report.count(|i| matches!(i, Issue::Orphan(_))), 1);
+        assert_eq!(report.count(|i| matches!(i, Issue::AsymmetricSymmetric(_))), 1);
+    }
+
+    #[test]
+    fn detects_missing_conjugate_inverse_and_duplicate_names() {
+        let mut b = OntologyBuilder::new();
+        let base = b.add_entity("acetate", SubOntology::Chemical);
+        let acid = b.add_entity("acetic acid", SubOntology::Chemical);
+        let _dup = b.add_entity("acetate", SubOntology::Chemical);
+        b.add_triple(base, Relation::IsConjugateBaseOf, acid);
+        let report = validate(&b.build());
+        assert_eq!(report.count(|i| matches!(i, Issue::MissingInverse(_))), 1);
+        assert_eq!(report.count(|i| matches!(i, Issue::DuplicateName(_))), 1);
+    }
+
+    #[test]
+    fn self_is_a_diamond_is_not_a_cycle() {
+        // Diamond inheritance is a legal DAG shape.
+        let mut b = OntologyBuilder::new();
+        let top = b.add_entity("top", SubOntology::Chemical);
+        let l = b.add_entity("left", SubOntology::Chemical);
+        let r = b.add_entity("right", SubOntology::Chemical);
+        let bot = b.add_entity("bottom", SubOntology::Chemical);
+        b.add_triple(l, Relation::IsA, top);
+        b.add_triple(r, Relation::IsA, top);
+        b.add_triple(bot, Relation::IsA, l);
+        b.add_triple(bot, Relation::IsA, r);
+        let report = validate(&b.build());
+        assert_eq!(report.count(|i| matches!(i, Issue::IsACycle(_))), 0);
+    }
+}

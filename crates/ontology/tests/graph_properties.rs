@@ -1,0 +1,88 @@
+//! Property tests on graph invariants and parser robustness.
+
+use kcb_ontology::{obo, EntityId, OntologyBuilder, Relation, SubOntology, Triple};
+use proptest::prelude::*;
+
+/// Strategy: a random small graph description.
+fn graph_strategy() -> impl Strategy<Value = (usize, Vec<(u32, u8, u32)>)> {
+    (2usize..40).prop_flat_map(|n| {
+        let edges = prop::collection::vec(
+            (0..n as u32, 0u8..10, 0..n as u32),
+            0..120,
+        );
+        (Just(n), edges)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn builder_invariants((n, edges) in graph_strategy()) {
+        let mut b = OntologyBuilder::new();
+        for i in 0..n {
+            b.add_entity(format!("entity-{i}"), SubOntology::Chemical);
+        }
+        for (s, code, o) in &edges {
+            b.add_triple(EntityId(*s), Relation::from_code(*code), EntityId(*o));
+        }
+        let g = b.build();
+        // No self loops, no duplicates, and every stored triple reported
+        // as contained.
+        let mut seen = std::collections::HashSet::new();
+        for t in g.triples() {
+            prop_assert_ne!(t.subject, t.object);
+            prop_assert!(seen.insert(t.key()));
+            prop_assert!(g.contains(*t));
+        }
+        // Sibling relation is symmetric and irreflexive.
+        for e in g.entities().iter().take(10) {
+            for s in g.siblings(e.id) {
+                prop_assert_ne!(s, e.id);
+                prop_assert!(g.siblings(s).contains(&e.id));
+            }
+        }
+        // parents/children are mutually consistent.
+        for e in g.entities() {
+            for &p in g.parents(e.id) {
+                prop_assert!(g.children(p).contains(&e.id));
+            }
+        }
+    }
+
+    #[test]
+    fn obo_reader_never_panics_on_garbage(s in ".{0,400}") {
+        let _ = obo::read(std::io::Cursor::new(s.as_bytes()));
+    }
+
+    #[test]
+    fn obo_write_read_preserves_triple_count((n, edges) in graph_strategy()) {
+        let mut b = OntologyBuilder::new();
+        for i in 0..n {
+            b.add_entity(format!("entity-{i}"), SubOntology::Role);
+        }
+        for (s, code, o) in &edges {
+            b.add_triple(EntityId(*s), Relation::from_code(*code), EntityId(*o));
+        }
+        let g = b.build();
+        let mut buf = Vec::new();
+        obo::write(&g, &mut buf).unwrap();
+        let g2 = obo::read(std::io::Cursor::new(&buf)).unwrap();
+        prop_assert_eq!(g.n_entities(), g2.n_entities());
+        prop_assert_eq!(g.n_triples(), g2.n_triples());
+    }
+
+    #[test]
+    fn holds_is_superset_of_contains(s in 0u32..20, o in 0u32..20, code in 0u8..10) {
+        let mut b = OntologyBuilder::new();
+        for i in 0..20 {
+            b.add_entity(format!("e{i}"), SubOntology::Chemical);
+        }
+        b.add_triple(EntityId(s), Relation::from_code(code), EntityId(o));
+        let g = b.build();
+        let t = Triple::new(EntityId(s), Relation::from_code(code), EntityId(o));
+        if g.contains(t) {
+            prop_assert!(g.holds(t));
+        }
+    }
+}

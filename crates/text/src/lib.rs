@@ -1,0 +1,22 @@
+//! Text substrate: tokenizers, vocabularies and synthetic corpora.
+//!
+//! The paper tokenizes chemical entity names with an NLTK `RegexpTokenizer`
+//! configured for chemical nomenclature; [`ChemTokenizer`] reproduces that
+//! behaviour. [`wordpiece`] provides a WordPiece subword tokenizer (plus a
+//! BPE-style trainer) for the mini-BERT/GPT models in `kcb-lm`. [`corpus`]
+//! generates the two synthetic corpora that stand in for data we cannot
+//! redistribute: a *domain* corpus verbalised from the ontology (the paper's
+//! 7,201 PubMed chemistry papers) and a *generic* corpus (the paper's
+//! Common-Crawl-scale GloVe pretraining data). [`freq`] regenerates the
+//! paper's Table A5 token-frequency analysis.
+
+pub mod chem_tokenizer;
+pub mod corpus;
+pub mod freq;
+pub mod vocab;
+pub mod wordpiece;
+
+pub use chem_tokenizer::ChemTokenizer;
+pub use corpus::{CorpusConfig, Document, DomainCorpusGenerator, GenericCorpusGenerator};
+pub use vocab::Vocab;
+pub use wordpiece::{WordPiece, WordPieceTrainer};

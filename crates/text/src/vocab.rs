@@ -1,0 +1,167 @@
+//! Token vocabularies with frequency counts.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Dense token id within a [`Vocab`].
+pub type TokenId = u32;
+
+/// A frozen token vocabulary: bidirectional token ↔ id mapping plus corpus
+/// frequencies, ordered by descending frequency (so low ids = frequent
+/// tokens, which the subsampling and Zipf-based logic in `kcb-embed` rely
+/// on).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Vocab {
+    tokens: Vec<String>,
+    counts: Vec<u64>,
+    #[serde(skip)]
+    index: HashMap<String, TokenId>,
+}
+
+impl Vocab {
+    /// Builds a vocabulary from token occurrences, keeping tokens seen at
+    /// least `min_count` times, sorted by descending frequency (ties broken
+    /// lexicographically for determinism).
+    pub fn from_counts(counts: HashMap<String, u64>, min_count: u64) -> Self {
+        let mut pairs: Vec<(String, u64)> =
+            counts.into_iter().filter(|(_, c)| *c >= min_count).collect();
+        pairs.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        let mut vocab = Self {
+            tokens: Vec::with_capacity(pairs.len()),
+            counts: Vec::with_capacity(pairs.len()),
+            index: HashMap::with_capacity(pairs.len()),
+        };
+        for (tok, c) in pairs {
+            vocab.index.insert(tok.clone(), vocab.tokens.len() as TokenId);
+            vocab.tokens.push(tok);
+            vocab.counts.push(c);
+        }
+        vocab
+    }
+
+    /// Counts tokens from an iterator of token streams and builds the
+    /// vocabulary.
+    pub fn from_streams<'a, I, S>(streams: I, min_count: u64) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: IntoIterator<Item = &'a str>,
+    {
+        let mut counts: HashMap<String, u64> = HashMap::new();
+        for stream in streams {
+            for tok in stream {
+                *counts.entry(tok.to_string()).or_insert(0) += 1;
+            }
+        }
+        Self::from_counts(counts, min_count)
+    }
+
+    /// Token id lookup.
+    #[inline]
+    pub fn id(&self, token: &str) -> Option<TokenId> {
+        self.index.get(token).copied()
+    }
+
+    /// Token string by id. Panics on out-of-range ids.
+    #[inline]
+    pub fn token(&self, id: TokenId) -> &str {
+        &self.tokens[id as usize]
+    }
+
+    /// Corpus frequency by id.
+    #[inline]
+    pub fn count(&self, id: TokenId) -> u64 {
+        self.counts[id as usize]
+    }
+
+    /// Number of tokens.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Whether the vocabulary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// Total token occurrences.
+    pub fn total_count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Iterates `(token, count)` in descending-frequency order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.tokens.iter().map(String::as_str).zip(self.counts.iter().copied())
+    }
+
+    /// Rebuilds the internal index (needed after deserialization).
+    pub fn reindex(&mut self) {
+        self.index = self
+            .tokens
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.clone(), i as TokenId))
+            .collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vocab {
+        let streams = [
+            vec!["acid", "acid", "acid", "oxan", "2"],
+            vec!["acid", "oxan", "rare"],
+        ];
+        Vocab::from_streams(streams.iter().map(|s| s.iter().copied()), 1)
+    }
+
+    #[test]
+    fn sorted_by_descending_frequency() {
+        let v = sample();
+        assert_eq!(v.token(0), "acid");
+        assert_eq!(v.count(0), 4);
+        assert_eq!(v.len(), 4);
+        let counts: Vec<u64> = (0..v.len() as u32).map(|i| v.count(i)).collect();
+        assert!(counts.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn id_round_trips() {
+        let v = sample();
+        for i in 0..v.len() as u32 {
+            assert_eq!(v.id(v.token(i)), Some(i));
+        }
+        assert_eq!(v.id("nonexistent"), None);
+    }
+
+    #[test]
+    fn min_count_filters() {
+        let streams = [vec!["a", "a", "b"]];
+        let v = Vocab::from_streams(streams.iter().map(|s| s.iter().copied()), 2);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v.token(0), "a");
+    }
+
+    #[test]
+    fn ties_broken_lexicographically() {
+        let streams = [vec!["zz", "aa"]];
+        let v = Vocab::from_streams(streams.iter().map(|s| s.iter().copied()), 1);
+        assert_eq!(v.token(0), "aa");
+        assert_eq!(v.token(1), "zz");
+    }
+
+    #[test]
+    fn total_count_sums() {
+        assert_eq!(sample().total_count(), 8);
+    }
+
+    #[test]
+    fn reindex_restores_lookup() {
+        let mut v = sample();
+        v.index.clear();
+        assert_eq!(v.id("acid"), None);
+        v.reindex();
+        assert_eq!(v.id("acid"), Some(0));
+    }
+}

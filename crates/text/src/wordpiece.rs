@@ -1,0 +1,339 @@
+//! WordPiece subword tokenizer and trainer.
+//!
+//! The mini-BERT / mini-GPT models in `kcb-lm` (the PubmedBERT and BioGPT
+//! stand-ins) need a subword vocabulary, exactly as the originals do. The
+//! trainer uses BPE-style greedy pair merging over a word-frequency table —
+//! the standard open-source approximation of WordPiece training — and the
+//! tokenizer uses greedy longest-match-first with `##` continuation pieces,
+//! matching BERT's behaviour.
+
+use std::collections::HashMap;
+
+/// Ids of the five special tokens, fixed at the front of every vocabulary.
+pub mod special {
+    /// Padding.
+    pub const PAD: u32 = 0;
+    /// Unknown word.
+    pub const UNK: u32 = 1;
+    /// Sequence-classification start token.
+    pub const CLS: u32 = 2;
+    /// Segment separator (also used to join triple components, §2.5).
+    pub const SEP: u32 = 3;
+    /// Masked-LM mask token.
+    pub const MASK: u32 = 4;
+    /// Number of special tokens.
+    pub const COUNT: usize = 5;
+    /// Their string forms, in id order.
+    pub const NAMES: [&str; COUNT] = ["[PAD]", "[UNK]", "[CLS]", "[SEP]", "[MASK]"];
+}
+
+/// A frozen WordPiece vocabulary + tokenizer.
+#[derive(Debug, Clone)]
+pub struct WordPiece {
+    pieces: Vec<String>,
+    index: HashMap<String, u32>,
+    max_piece_chars: usize,
+}
+
+impl WordPiece {
+    /// Builds a tokenizer from piece strings (continuations carry the `##`
+    /// prefix). Special tokens are prepended automatically.
+    pub fn from_pieces<I: IntoIterator<Item = String>>(pieces: I) -> Self {
+        let mut all: Vec<String> = special::NAMES.iter().map(|s| s.to_string()).collect();
+        all.extend(pieces);
+        let mut index = HashMap::with_capacity(all.len());
+        let mut max_piece_chars = 1;
+        for (i, p) in all.iter().enumerate() {
+            max_piece_chars = max_piece_chars.max(p.trim_start_matches("##").chars().count());
+            index.entry(p.clone()).or_insert(i as u32);
+        }
+        Self { pieces: all, index, max_piece_chars }
+    }
+
+    /// Vocabulary size including specials.
+    pub fn vocab_size(&self) -> usize {
+        self.pieces.len()
+    }
+
+    /// Piece string by id. Panics on out-of-range ids.
+    pub fn piece(&self, id: u32) -> &str {
+        &self.pieces[id as usize]
+    }
+
+    /// Id of a piece string.
+    pub fn piece_id(&self, piece: &str) -> Option<u32> {
+        self.index.get(piece).copied()
+    }
+
+    /// Encodes one word with greedy longest-match-first. Appends piece ids;
+    /// a word with any un-matchable remainder encodes as a single `[UNK]`.
+    pub fn encode_word(&self, word: &str, out: &mut Vec<u32>) {
+        if word.is_empty() {
+            return;
+        }
+        let chars: Vec<char> = word.chars().collect();
+        let start_len = out.len();
+        let mut pos = 0;
+        let mut piece_buf = String::new();
+        while pos < chars.len() {
+            let mut end = chars.len().min(pos + self.max_piece_chars);
+            let mut matched = None;
+            while end > pos {
+                piece_buf.clear();
+                if pos > 0 {
+                    piece_buf.push_str("##");
+                }
+                piece_buf.extend(&chars[pos..end]);
+                if let Some(&id) = self.index.get(&piece_buf) {
+                    matched = Some(id);
+                    break;
+                }
+                end -= 1;
+            }
+            match matched {
+                Some(id) => {
+                    out.push(id);
+                    pos = end;
+                }
+                None => {
+                    out.truncate(start_len);
+                    out.push(special::UNK);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Encodes a sequence of pre-tokenized words (no specials added).
+    pub fn encode_words<'a, I: IntoIterator<Item = &'a str>>(&self, words: I) -> Vec<u32> {
+        let mut out = Vec::new();
+        for w in words {
+            self.encode_word(w, &mut out);
+        }
+        out
+    }
+
+    /// Decodes piece ids back to a readable string (for debugging and the
+    /// generative-model output path).
+    pub fn decode(&self, ids: &[u32]) -> String {
+        let mut out = String::new();
+        for &id in ids {
+            let p = self.piece(id);
+            if let Some(cont) = p.strip_prefix("##") {
+                out.push_str(cont);
+            } else {
+                if !out.is_empty() {
+                    out.push(' ');
+                }
+                out.push_str(p);
+            }
+        }
+        out
+    }
+}
+
+/// BPE-style WordPiece trainer.
+#[derive(Debug, Clone, Copy)]
+pub struct WordPieceTrainer {
+    /// Target vocabulary size (including special tokens and single chars).
+    pub target_vocab: usize,
+    /// Stop merging when the best pair occurs fewer times than this.
+    pub min_pair_count: u64,
+}
+
+impl Default for WordPieceTrainer {
+    fn default() -> Self {
+        Self { target_vocab: 4_096, min_pair_count: 2 }
+    }
+}
+
+impl WordPieceTrainer {
+    /// Trains a vocabulary from `(word, count)` pairs.
+    pub fn train(&self, word_counts: &HashMap<String, u64>) -> WordPiece {
+        // Represent each word as a symbol sequence; symbols are piece
+        // strings (continuations already carry "##").
+        let mut words: Vec<(Vec<String>, u64)> = word_counts
+            .iter()
+            .filter(|(w, _)| !w.is_empty())
+            .map(|(w, &c)| {
+                let syms: Vec<String> = w
+                    .chars()
+                    .enumerate()
+                    .map(|(i, ch)| if i == 0 { ch.to_string() } else { format!("##{ch}") })
+                    .collect();
+                (syms, c)
+            })
+            .collect();
+        // Deterministic iteration order.
+        words.sort_by(|a, b| a.0.cmp(&b.0));
+
+        // Seed vocabulary: all single-character pieces.
+        let mut vocab: Vec<String> = Vec::new();
+        let mut in_vocab: std::collections::HashSet<String> = std::collections::HashSet::new();
+        for (syms, _) in &words {
+            for s in syms {
+                if in_vocab.insert(s.clone()) {
+                    vocab.push(s.clone());
+                }
+            }
+        }
+        vocab.sort();
+
+        let budget = self.target_vocab.saturating_sub(special::COUNT);
+        while vocab.len() < budget {
+            // Count adjacent pairs.
+            let mut pair_counts: HashMap<(usize, usize), u64> = HashMap::new();
+            let mut sym_ids: HashMap<&str, usize> = HashMap::new();
+            let mut sym_names: Vec<&str> = Vec::new();
+            for (syms, c) in &words {
+                for w in syms.windows(2) {
+                    let a = *sym_ids.entry(w[0].as_str()).or_insert_with(|| {
+                        sym_names.push(w[0].as_str());
+                        sym_names.len() - 1
+                    });
+                    let b = *sym_ids.entry(w[1].as_str()).or_insert_with(|| {
+                        sym_names.push(w[1].as_str());
+                        sym_names.len() - 1
+                    });
+                    *pair_counts.entry((a, b)).or_insert(0) += c;
+                }
+            }
+            // Best pair: highest count; ties broken lexicographically on
+            // the merged string and then on the (left, right) symbols
+            // themselves, so the winner never depends on HashMap iteration
+            // order (distinct pairs can share count AND merged string).
+            let Some((&(a, b), &best_count)) = pair_counts
+                .iter()
+                .max_by(|x, y| {
+                    x.1.cmp(y.1).then_with(|| {
+                        let mx = merge_str(sym_names[x.0 .0], sym_names[x.0 .1]);
+                        let my = merge_str(sym_names[y.0 .0], sym_names[y.0 .1]);
+                        my.cmp(&mx) // prefer lexicographically smaller
+                    })
+                    .then_with(|| {
+                        (sym_names[y.0 .0], sym_names[y.0 .1])
+                            .cmp(&(sym_names[x.0 .0], sym_names[x.0 .1]))
+                    })
+                })
+            else {
+                break;
+            };
+            if best_count < self.min_pair_count {
+                break;
+            }
+            let left = sym_names[a].to_string();
+            let right = sym_names[b].to_string();
+            let merged = merge_str(&left, &right);
+            if in_vocab.insert(merged.clone()) {
+                vocab.push(merged.clone());
+            }
+            // Apply the merge to every word.
+            for (syms, _) in &mut words {
+                let mut i = 0;
+                while i + 1 < syms.len() {
+                    if syms[i] == left && syms[i + 1] == right {
+                        syms[i] = merged.clone();
+                        syms.remove(i + 1);
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        WordPiece::from_pieces(vocab)
+    }
+}
+
+/// Concatenates two pieces, keeping the `##` marker only at the front.
+fn merge_str(left: &str, right: &str) -> String {
+    format!("{left}{}", right.trim_start_matches("##"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn train_small() -> WordPiece {
+        let mut counts = HashMap::new();
+        for (w, c) in [
+            ("hydroxy", 50u64),
+            ("hydroxymethyl", 30),
+            ("methyl", 80),
+            ("methyloxan", 20),
+            ("oxan", 60),
+            ("acid", 90),
+        ] {
+            counts.insert(w.to_string(), c);
+        }
+        WordPieceTrainer { target_vocab: 200, min_pair_count: 2 }.train(&counts)
+    }
+
+    #[test]
+    fn special_tokens_have_fixed_ids() {
+        let wp = train_small();
+        assert_eq!(wp.piece(special::PAD), "[PAD]");
+        assert_eq!(wp.piece(special::UNK), "[UNK]");
+        assert_eq!(wp.piece(special::CLS), "[CLS]");
+        assert_eq!(wp.piece(special::SEP), "[SEP]");
+        assert_eq!(wp.piece(special::MASK), "[MASK]");
+    }
+
+    #[test]
+    fn frequent_words_become_single_pieces() {
+        let wp = train_small();
+        let mut out = Vec::new();
+        wp.encode_word("acid", &mut out);
+        assert_eq!(out.len(), 1, "'acid' should be one piece: {out:?}");
+        assert_eq!(wp.piece(out[0]), "acid");
+    }
+
+    #[test]
+    fn compound_words_split_into_pieces() {
+        let wp = train_small();
+        let ids = wp.encode_words(["hydroxymethyl"]);
+        assert!(!ids.contains(&special::UNK));
+        // Round-trip through decode removes the piece boundaries.
+        assert_eq!(wp.decode(&ids), "hydroxymethyl");
+    }
+
+    #[test]
+    fn unknown_characters_yield_unk() {
+        let wp = train_small();
+        let mut out = Vec::new();
+        wp.encode_word("zzzz", &mut out); // 'z' never seen
+        assert_eq!(out, vec![special::UNK]);
+    }
+
+    #[test]
+    fn encode_word_is_greedy_longest_match() {
+        let wp = WordPiece::from_pieces(
+            ["a", "ab", "abc", "##c", "##d", "b", "##b"].iter().map(|s| s.to_string()),
+        );
+        let mut out = Vec::new();
+        wp.encode_word("abcd", &mut out);
+        let pieces: Vec<&str> = out.iter().map(|&i| wp.piece(i)).collect();
+        assert_eq!(pieces, vec!["abc", "##d"]);
+    }
+
+    #[test]
+    fn decode_joins_continuations() {
+        let wp = WordPiece::from_pieces(["oxa", "##n", "acid"].iter().map(|s| s.to_string()));
+        let ids = wp.encode_words(["oxan", "acid"]);
+        assert_eq!(wp.decode(&ids), "oxan acid");
+    }
+
+    #[test]
+    fn trainer_is_deterministic() {
+        let a = train_small();
+        let b = train_small();
+        assert_eq!(a.pieces, b.pieces);
+    }
+
+    #[test]
+    fn empty_word_is_noop() {
+        let wp = train_small();
+        let mut out = Vec::new();
+        wp.encode_word("", &mut out);
+        assert!(out.is_empty());
+    }
+}

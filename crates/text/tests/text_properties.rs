@@ -1,0 +1,44 @@
+//! Property tests: tokenizer totality, WordPiece round trips, vocab order.
+
+use kcb_text::{ChemTokenizer, Vocab, WordPieceTrainer};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn tokenizer_total_and_consistent(s in ".{0,200}") {
+        let tk = ChemTokenizer::new();
+        let toks = tk.tokenize(&s);
+        prop_assert_eq!(toks.len(), tk.count(&s));
+        // Tokenizing the joined tokens is a fixed point.
+        let joined = toks.join(" ");
+        prop_assert_eq!(tk.tokenize(&joined), toks);
+    }
+
+    #[test]
+    fn wordpiece_roundtrips_trained_words(words in prop::collection::hash_set("[a-z]{1,12}", 1..40)) {
+        let counts: HashMap<String, u64> = words.iter().map(|w| (w.clone(), 5u64)).collect();
+        let wp = WordPieceTrainer { target_vocab: 2_000, min_pair_count: 1 }.train(&counts);
+        for w in &words {
+            let ids = wp.encode_words([w.as_str()]);
+            prop_assert!(!ids.contains(&kcb_text::wordpiece::special::UNK),
+                "trained word {w} must encode");
+            prop_assert_eq!(wp.decode(&ids), w.clone());
+        }
+    }
+
+    #[test]
+    fn vocab_frequency_order(counts in prop::collection::hash_map("[a-z]{1,6}", 1u64..1000, 1..50)) {
+        let v = Vocab::from_counts(counts.clone(), 1);
+        prop_assert_eq!(v.len(), counts.len());
+        for i in 1..v.len() as u32 {
+            prop_assert!(v.count(i - 1) >= v.count(i));
+        }
+        for (tok, c) in &counts {
+            let id = v.id(tok).expect("token present");
+            prop_assert_eq!(v.count(id), *c);
+        }
+    }
+}

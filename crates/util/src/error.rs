@@ -1,0 +1,89 @@
+//! Workspace-wide error type.
+//!
+//! A single small enum rather than per-crate error zoos: the workspace is an
+//! application-shaped library where callers almost always want the message,
+//! and keeping one type avoids a web of `From` impls across nine crates.
+
+use std::fmt;
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced anywhere in the `kcb` workspace.
+#[derive(Debug)]
+pub enum Error {
+    /// An input file or data stream could not be parsed.
+    Parse {
+        /// What was being parsed (file name, format, …).
+        context: String,
+        /// Human-readable description of the failure.
+        message: String,
+    },
+    /// A configuration value is out of range or inconsistent.
+    Config(String),
+    /// Requested item (entity, relation, vocabulary entry, …) is absent.
+    NotFound(String),
+    /// Shapes/dimensions of numeric inputs disagree.
+    Shape(String),
+    /// Dataset construction could not satisfy the request
+    /// (e.g. not enough entities to draw the requested sample).
+    Data(String),
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Parse { context, message } => write!(f, "parse error in {context}: {message}"),
+            Error::Config(m) => write!(f, "invalid configuration: {m}"),
+            Error::NotFound(m) => write!(f, "not found: {m}"),
+            Error::Shape(m) => write!(f, "shape mismatch: {m}"),
+            Error::Data(m) => write!(f, "dataset error: {m}"),
+            Error::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+impl Error {
+    /// Builds a [`Error::Parse`] with context.
+    pub fn parse(context: impl Into<String>, message: impl Into<String>) -> Self {
+        Error::Parse { context: context.into(), message: message.into() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = Error::parse("chebi.obo", "bad stanza");
+        assert_eq!(e.to_string(), "parse error in chebi.obo: bad stanza");
+        let e = Error::Config("scale must be > 0".into());
+        assert!(e.to_string().contains("scale"));
+    }
+
+    #[test]
+    fn io_error_source_preserved() {
+        use std::error::Error as _;
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e = Error::from(io);
+        assert!(e.source().is_some());
+    }
+}

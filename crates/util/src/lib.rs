@@ -1,0 +1,52 @@
+//! Shared utilities for the `kcb` workspace.
+//!
+//! This crate deliberately has no heavyweight dependencies: it provides the
+//! deterministic random-number generator used by every other crate (so that
+//! experiment runs are bit-reproducible across platforms), the workspace-wide
+//! error type, and small text-formatting helpers used by report writers.
+
+pub mod error;
+pub mod fmt;
+pub mod rng;
+
+pub use error::{Error, Result};
+pub use rng::Rng;
+
+/// FNV-1a 64-bit hash — the workspace's standard content hash for seeding
+/// deterministic per-item RNG streams (oracle beliefs, OOV vectors, triple
+/// keys). One shared implementation keeps every stream definition in sync.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// FNV-1a over a sequence of `u64` words (mixes each word as 8 LE bytes).
+pub fn fnv1a_u64s(words: &[u64]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for w in words {
+        for b in w.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod hash_tests {
+    #[test]
+    fn fnv1a_known_vector() {
+        // FNV-1a("") = offset basis; FNV-1a("a") = 0xaf63dc4c8601ec8c.
+        assert_eq!(super::fnv1a(b""), 0xcbf29ce484222325);
+        assert_eq!(super::fnv1a(b"a"), 0xaf63dc4c8601ec8c);
+    }
+
+    #[test]
+    fn fnv1a_u64s_differs_by_order() {
+        assert_ne!(super::fnv1a_u64s(&[1, 2]), super::fnv1a_u64s(&[2, 1]));
+    }
+}

@@ -1,0 +1,340 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! Every stochastic component in the workspace (negative sampling, embedding
+//! initialisation, bootstrap resampling, oracle jitter, …) draws from this
+//! [`Rng`], a PCG-XSH-RR 64/32 generator seeded explicitly. Using one small,
+//! in-tree generator rather than `rand`'s default engines guarantees that a
+//! given `(seed, code path)` pair produces the same stream on every platform
+//! and toolchain, which is what makes `repro --seed N` reproducible.
+//!
+//! The generator is *not* cryptographically secure and is not meant to be.
+
+/// A PCG-XSH-RR 64/32 pseudo-random generator with explicit seeding.
+///
+/// ```
+/// use kcb_util::Rng;
+/// let mut a = Rng::seed(42);
+/// let mut b = Rng::seed(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: u64,
+    inc: u64,
+}
+
+const PCG_MULT: u64 = 6364136223846793005;
+
+impl Rng {
+    /// Creates a generator from a seed, using the default stream.
+    pub fn seed(seed: u64) -> Self {
+        Self::seed_stream(seed, 0xda3e_39cb_94b9_5bdb)
+    }
+
+    /// Creates a generator from a seed on a specific stream.
+    ///
+    /// Streams let independent components derive non-overlapping sequences
+    /// from one experiment seed: `Rng::seed_stream(seed, component_id)`.
+    pub fn seed_stream(seed: u64, stream: u64) -> Self {
+        let inc = (stream << 1) | 1;
+        let mut rng = Self { state: 0, inc };
+        let _ = rng.next_u32();
+        rng.state = rng.state.wrapping_add(seed);
+        let _ = rng.next_u32();
+        rng
+    }
+
+    /// Derives a child generator; useful for giving each parallel work item
+    /// its own deterministic stream.
+    pub fn fork(&mut self, stream: u64) -> Self {
+        Self::seed_stream(self.next_u64(), stream)
+    }
+
+    /// Next 32 uniformly random bits.
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        let old = self.state;
+        self.state = old.wrapping_mul(PCG_MULT).wrapping_add(self.inc);
+        let xorshifted = (((old >> 18) ^ old) >> 27) as u32;
+        let rot = (old >> 59) as u32;
+        xorshifted.rotate_right(rot)
+    }
+
+    /// Next 64 uniformly random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        (u64::from(self.next_u32()) << 32) | u64::from(self.next_u32())
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn f64(&mut self) -> f64 {
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f32` in `[0, 1)`.
+    #[inline]
+    pub fn f32(&mut self) -> f32 {
+        (self.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+
+    /// Uniform `f32` in `[lo, hi)`.
+    #[inline]
+    pub fn f32_range(&mut self, lo: f32, hi: f32) -> f32 {
+        lo + (hi - lo) * self.f32()
+    }
+
+    /// Uniform integer in `[0, n)`. `n` must be non-zero.
+    ///
+    /// Uses Lemire's multiply-shift rejection method for unbiased output.
+    #[inline]
+    pub fn below(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0, "Rng::below(0)");
+        let n = n as u64;
+        // Rejection threshold removes modulo bias (Lemire 2019).
+        let threshold = n.wrapping_neg() % n;
+        loop {
+            let (hi, lo) = mul_wide(self.next_u64(), n);
+            if lo >= threshold {
+                return hi as usize;
+            }
+        }
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    #[inline]
+    pub fn range(&mut self, lo: usize, hi: usize) -> usize {
+        debug_assert!(lo < hi);
+        lo + self.below(hi - lo)
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Standard normal draw (Box–Muller; one value per call, the pair's
+    /// second member is discarded to keep the stream position predictable).
+    pub fn gaussian(&mut self) -> f64 {
+        loop {
+            let u1 = self.f64();
+            if u1 <= f64::EPSILON {
+                continue;
+            }
+            let u2 = self.f64();
+            let r = (-2.0 * u1.ln()).sqrt();
+            return r * (2.0 * std::f64::consts::PI * u2).cos();
+        }
+    }
+
+    /// Fisher–Yates shuffle in place.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        if xs.len() < 2 {
+            return;
+        }
+        for i in (1..xs.len()).rev() {
+            let j = self.below(i + 1);
+            xs.swap(i, j);
+        }
+    }
+
+    /// Uniformly chooses one element, or `None` when empty.
+    pub fn choose<'a, T>(&mut self, xs: &'a [T]) -> Option<&'a T> {
+        if xs.is_empty() {
+            None
+        } else {
+            Some(&xs[self.below(xs.len())])
+        }
+    }
+
+    /// Samples `k` distinct indices from `[0, n)` (reservoir when `k` is a
+    /// large fraction of `n`, partial Fisher–Yates otherwise). Output order
+    /// is random. Panics if `k > n`.
+    pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "sample_indices: k={k} > n={n}");
+        if k == 0 {
+            return Vec::new();
+        }
+        // Partial Fisher–Yates over an index array is fine at the scales we
+        // use (n bounded by dataset size); only allocate once.
+        if k * 4 >= n {
+            let mut idx: Vec<usize> = (0..n).collect();
+            for i in 0..k {
+                let j = self.range(i, n);
+                idx.swap(i, j);
+            }
+            idx.truncate(k);
+            idx
+        } else {
+            // Floyd's algorithm for sparse samples.
+            let mut chosen = std::collections::HashSet::with_capacity(k);
+            let mut out = Vec::with_capacity(k);
+            for j in (n - k)..n {
+                let t = self.below(j + 1);
+                let pick = if chosen.contains(&t) { j } else { t };
+                chosen.insert(pick);
+                out.push(pick);
+            }
+            self.shuffle(&mut out);
+            out
+        }
+    }
+
+    /// Draws an index proportionally to the given non-negative weights.
+    /// Returns `None` when weights are empty or all zero.
+    pub fn weighted(&mut self, weights: &[f64]) -> Option<usize> {
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 || total.is_nan() {
+            return None;
+        }
+        let mut t = self.f64() * total;
+        for (i, w) in weights.iter().enumerate() {
+            t -= w;
+            if t < 0.0 {
+                return Some(i);
+            }
+        }
+        Some(weights.len() - 1)
+    }
+}
+
+#[inline]
+fn mul_wide(a: u64, b: u64) -> (u64, u64) {
+    let r = u128::from(a) * u128::from(b);
+    ((r >> 64) as u64, r as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = Rng::seed(7);
+        let mut b = Rng::seed(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Rng::seed(1);
+        let mut b = Rng::seed(2);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn different_streams_differ() {
+        let mut a = Rng::seed_stream(1, 10);
+        let mut b = Rng::seed_stream(1, 11);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = Rng::seed(3);
+        for _ in 0..10_000 {
+            let x = r.f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn below_bounds_and_coverage() {
+        let mut r = Rng::seed(4);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            let x = r.below(7);
+            assert!(x < 7);
+            seen[x] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear");
+    }
+
+    #[test]
+    fn below_is_roughly_uniform() {
+        let mut r = Rng::seed(5);
+        let n = 10usize;
+        let trials = 100_000;
+        let mut counts = vec![0usize; n];
+        for _ in 0..trials {
+            counts[r.below(n)] += 1;
+        }
+        let expect = trials as f64 / n as f64;
+        for &c in &counts {
+            assert!((c as f64 - expect).abs() < expect * 0.08, "counts={counts:?}");
+        }
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut r = Rng::seed(6);
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| r.gaussian()).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean={mean}");
+        assert!((var - 1.0).abs() < 0.05, "var={var}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = Rng::seed(8);
+        let mut xs: Vec<u32> = (0..100).collect();
+        r.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sample_indices_distinct_and_in_range() {
+        let mut r = Rng::seed(9);
+        for &(n, k) in &[(10usize, 10usize), (100, 5), (100, 90), (1, 1), (5, 0)] {
+            let s = r.sample_indices(n, k);
+            assert_eq!(s.len(), k);
+            let set: std::collections::HashSet<_> = s.iter().copied().collect();
+            assert_eq!(set.len(), k, "duplicates in sample n={n} k={k}");
+            assert!(s.iter().all(|&i| i < n));
+        }
+    }
+
+    #[test]
+    fn weighted_respects_zero_weights() {
+        let mut r = Rng::seed(10);
+        let w = [0.0, 0.0, 1.0, 0.0];
+        for _ in 0..100 {
+            assert_eq!(r.weighted(&w), Some(2));
+        }
+        assert_eq!(r.weighted(&[]), None);
+        assert_eq!(r.weighted(&[0.0, 0.0]), None);
+    }
+
+    #[test]
+    fn weighted_tracks_proportions() {
+        let mut r = Rng::seed(11);
+        let w = [1.0, 3.0];
+        let mut hits = [0usize; 2];
+        for _ in 0..40_000 {
+            hits[r.weighted(&w).unwrap()] += 1;
+        }
+        let frac = hits[1] as f64 / 40_000.0;
+        assert!((frac - 0.75).abs() < 0.02, "frac={frac}");
+    }
+
+    #[test]
+    fn fork_streams_are_independent() {
+        let mut root = Rng::seed(12);
+        let mut a = root.fork(1);
+        let mut b = root.fork(2);
+        assert_ne!(
+            (0..4).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..4).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+}

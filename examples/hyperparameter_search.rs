@@ -1,0 +1,63 @@
+//! Hyperparameter optimisation the paper's way: 5-fold stratified
+//! cross-validation over a random-forest grid, optimised for F1 (§2.6 and
+//! the Appendix grid), then a final fit with the winning configuration.
+//!
+//! ```sh
+//! cargo run --release --example hyperparameter_search
+//! ```
+
+use kcb::core::adapt::Adaptation;
+use kcb::core::compose::{dataset_matrix, TokenAvgEncoder};
+use kcb::core::dataset::Split;
+use kcb::core::task::{TaskDataset, TaskKind};
+use kcb::embed::RandomEmbedding;
+use kcb::ml::metrics::BinaryMetrics;
+use kcb::ml::model_select::{cv_f1_forest, ForestGrid};
+use kcb::ml::{RandomForest, RandomForestConfig};
+use kcb::ontology::{SyntheticConfig, SyntheticGenerator};
+
+fn main() {
+    let ontology = SyntheticGenerator::new(SyntheticConfig { scale: 0.008, seed: 13 })
+        .expect("valid config")
+        .generate();
+    let dataset = TaskDataset::generate(&ontology, TaskKind::RandomNegatives, 13);
+    let split = Split::nine_to_one(&dataset, 13);
+
+    // Featurise once (random embeddings keep this example dependency-free
+    // and fast; swap in any trained model).
+    let model = RandomEmbedding::with_dim(32);
+    let enc = TokenAvgEncoder::new(&model, Adaptation::Naive);
+    let cap = split.train.len().min(2_000);
+    let (x, y) = dataset_matrix(&ontology, &split.train[..cap], &enc);
+    println!("search data: {} rows × {} features", x.rows(), x.cols());
+
+    // The grid (a compact version of the paper's Appendix Table A7 grid).
+    let grid = ForestGrid {
+        n_trees: vec![10, 30],
+        max_depth: vec![8, 16, 24],
+        min_samples_leaf: vec![1, 4],
+    };
+    let base = RandomForestConfig::default();
+
+    println!("\n5-fold CV over {} configurations:", grid.configurations(&base).len());
+    for cfg in grid.configurations(&base) {
+        let score = cv_f1_forest(&x, &y, &cfg, 5);
+        println!(
+            "  trees={:3} depth={:2} leaf={} -> CV F1 {score:.4}",
+            cfg.n_trees, cfg.max_depth, cfg.min_samples_leaf
+        );
+    }
+
+    let (best, best_score) = grid.search(&x, &y, &base, 5);
+    println!(
+        "\nwinner: trees={} depth={} leaf={} (CV F1 {best_score:.4})",
+        best.n_trees, best.max_depth, best.min_samples_leaf
+    );
+
+    // Final fit on all training data, honest evaluation on the test split.
+    let forest = RandomForest::fit(&x, &y, &best);
+    let (xt, yt) = dataset_matrix(&ontology, &split.test, &enc);
+    let preds = forest.predict_batch(&xt);
+    let m = BinaryMetrics::from_predictions(&preds, &yt);
+    println!("held-out test: accuracy {:.4}, F1 {:.4}", m.accuracy, m.f1);
+}

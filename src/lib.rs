@@ -1,0 +1,47 @@
+//! # kcb — ChEBI Knowledge-Curation Benchmark
+//!
+//! A pure-Rust reproduction of *"Benchmarking and Analyzing In-context
+//! Learning, Fine-tuning and Supervised Learning for Biomedical Knowledge
+//! Curation"* (VLDB 2024): three triple-classification curation tasks over
+//! a ChEBI-like ontology, solved by three NLP paradigms — in-context
+//! learning with (simulated and real-mini) LLMs, fine-tuning a mini-BERT,
+//! and supervised learning over six embedding families — plus the paper's
+//! hypothesis-driven embedding adaptations and five data-availability
+//! scenarios.
+//!
+//! This meta-crate re-exports the workspace's public API. Start with
+//! [`core::lab::Lab`] (the one-stop experiment environment) or the
+//! `repro` binary (`cargo run --release -p kcb-bench --bin repro -- all`).
+//!
+//! ```
+//! use kcb::core::lab::{Lab, LabConfig};
+//! use kcb::core::task::TaskKind;
+//!
+//! let lab = Lab::new(LabConfig::tiny());
+//! let dataset = lab.task(TaskKind::RandomNegatives);
+//! assert!(dataset.n_positive() > 0);
+//! ```
+
+/// Shared utilities: deterministic RNG, errors, table formatting.
+pub use kcb_util as util;
+
+/// ChEBI-like ontology substrate: graph model, synthetic generator, OBO.
+pub use kcb_ontology as ontology;
+
+/// Tokenizers, vocabularies and synthetic corpora.
+pub use kcb_text as text;
+
+/// Embedding models: random, word2vec, GloVe, fastText.
+pub use kcb_embed as embed;
+
+/// From-scratch ML: random forest, LSTM, metrics, DBSCAN, statistics.
+pub use kcb_ml as ml;
+
+/// Mini transformers: BERT-style encoder and GPT-style decoder.
+pub use kcb_lm as lm;
+
+/// In-context learning: prompts, parsing, oracles, protocol.
+pub use kcb_icl as icl;
+
+/// The benchmark itself: tasks, adaptations, paradigms, experiments.
+pub use kcb_core as core;

@@ -1,0 +1,156 @@
+//! Property-based tests (proptest) over the core data structures and
+//! invariants: metrics, RNG, tokenizer, kappa, DBSCAN, confusion algebra,
+//! triple corruption and the incomplete-beta special function.
+
+use kcb::icl::parse_response;
+use kcb::ml::cluster::{clusters_from_labels, dbscan, Metric};
+use kcb::ml::kappa::{fleiss_kappa, ratings_from_answers};
+use kcb::ml::linalg::Matrix;
+use kcb::ml::metrics::{eval_with_abstentions, roc_auc, BinaryMetrics, ConfusionMatrix};
+use kcb::ml::stats::{inc_beta, welch_t_test};
+use kcb::ontology::{EntityId, Relation, Triple};
+use kcb::text::ChemTokenizer;
+use kcb::util::Rng;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn rng_below_always_in_range(seed in any::<u64>(), n in 1usize..10_000) {
+        let mut rng = Rng::seed(seed);
+        for _ in 0..50 {
+            prop_assert!(rng.below(n) < n);
+        }
+    }
+
+    #[test]
+    fn rng_shuffle_is_permutation(seed in any::<u64>(), len in 0usize..200) {
+        let mut rng = Rng::seed(seed);
+        let mut xs: Vec<usize> = (0..len).collect();
+        rng.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..len).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sample_indices_unique(seed in any::<u64>(), n in 1usize..500, frac in 0.0f64..1.0) {
+        let k = ((n as f64) * frac) as usize;
+        let mut rng = Rng::seed(seed);
+        let s = rng.sample_indices(n, k);
+        prop_assert_eq!(s.len(), k);
+        let set: std::collections::HashSet<_> = s.iter().collect();
+        prop_assert_eq!(set.len(), k);
+    }
+
+    #[test]
+    fn confusion_metrics_bounded(preds in prop::collection::vec(any::<bool>(), 1..300),
+                                 flips in prop::collection::vec(any::<bool>(), 1..300)) {
+        let n = preds.len().min(flips.len());
+        let labels: Vec<bool> = preds[..n].iter().zip(&flips[..n]).map(|(p, f)| *p != *f).collect();
+        let cm = ConfusionMatrix::from_predictions(&preds[..n], &labels);
+        prop_assert_eq!(cm.total(), n);
+        for v in [cm.accuracy(), cm.precision(), cm.recall(), cm.f1()] {
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+        let m = BinaryMetrics::macro_avg(&cm);
+        prop_assert!(m.f1 <= 1.0 && m.f1 >= 0.0);
+    }
+
+    #[test]
+    fn perfect_predictions_get_perfect_metrics(labels in prop::collection::vec(any::<bool>(), 1..200)) {
+        prop_assume!(labels.iter().any(|&l| l) && labels.iter().any(|&l| !l));
+        let m = BinaryMetrics::from_predictions(&labels, &labels);
+        prop_assert!((m.accuracy - 1.0).abs() < 1e-12);
+        prop_assert!((m.f1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_is_flip_antisymmetric(scores in prop::collection::vec(0.0f32..1.0, 4..150),
+                                 labels in prop::collection::vec(any::<bool>(), 4..150)) {
+        let n = scores.len().min(labels.len());
+        let (s, l) = (&scores[..n], &labels[..n]);
+        prop_assume!(l.iter().any(|&x| x) && l.iter().any(|&x| !x));
+        let auc = roc_auc(s, l);
+        let neg: Vec<f32> = s.iter().map(|v| -v).collect();
+        prop_assert!((auc + roc_auc(&neg, l) - 1.0).abs() < 1e-9);
+        prop_assert!((0.0..=1.0).contains(&auc));
+    }
+
+    #[test]
+    fn abstention_accuracy_never_exceeds_classified_share(
+        answers in prop::collection::vec(prop::option::of(any::<bool>()), 1..200),
+        labels in prop::collection::vec(any::<bool>(), 1..200),
+    ) {
+        let n = answers.len().min(labels.len());
+        let m = eval_with_abstentions(&answers[..n], &labels[..n]);
+        let classified_share = 1.0 - (m.n_unclassified as f64 / n as f64);
+        prop_assert!(m.overall_accuracy <= classified_share + 1e-12);
+    }
+
+    #[test]
+    fn kappa_bounded_above_by_one(answers in prop::collection::vec(
+        prop::collection::vec(0usize..3, 5), 2..50)) {
+        let ratings = ratings_from_answers(&answers, 3);
+        let k = fleiss_kappa(&ratings);
+        prop_assert!(k <= 1.0 + 1e-12, "kappa {k}");
+    }
+
+    #[test]
+    fn tokenizer_output_is_lower_alnum(s in ".{0,80}") {
+        let tk = ChemTokenizer::new();
+        for tok in tk.tokenize(&s) {
+            prop_assert!(!tok.is_empty());
+            prop_assert!(tok.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()),
+                "bad token {tok:?}");
+        }
+        prop_assert_eq!(tk.count(&s), tk.tokenize(&s).len());
+    }
+
+    #[test]
+    fn parse_response_never_panics(s in ".{0,200}") {
+        let _ = parse_response(&s);
+    }
+
+    #[test]
+    fn triple_flip_is_involution(s in any::<u32>(), o in any::<u32>(), code in 0u8..10) {
+        let t = Triple::new(EntityId(s), Relation::from_code(code), EntityId(o));
+        prop_assert_eq!(t.flipped().flipped(), t);
+        if s != o {
+            prop_assert_ne!(t.flipped().key(), t.key());
+        }
+    }
+
+    #[test]
+    fn inc_beta_monotone_in_x(a in 0.5f64..20.0, b in 0.5f64..20.0,
+                              x1 in 0.01f64..0.99, x2 in 0.01f64..0.99) {
+        let (lo, hi) = if x1 < x2 { (x1, x2) } else { (x2, x1) };
+        prop_assert!(inc_beta(a, b, lo) <= inc_beta(a, b, hi) + 1e-9);
+    }
+
+    #[test]
+    fn welch_p_value_in_unit_interval(
+        a in prop::collection::vec(-100.0f64..100.0, 2..30),
+        b in prop::collection::vec(-100.0f64..100.0, 2..30),
+    ) {
+        if let Some(t) = welch_t_test(&a, &b) {
+            prop_assert!((0.0..=1.0).contains(&t.p_value), "p {}", t.p_value);
+        }
+    }
+
+    #[test]
+    fn dbscan_labels_are_dense(rows in prop::collection::vec(
+        prop::collection::vec(-5.0f32..5.0, 3), 1..60), eps in 0.1f32..3.0) {
+        let m = Matrix::from_rows(rows);
+        let labels = dbscan(&m, eps, 3, Metric::Euclidean);
+        let clusters = clusters_from_labels(&labels);
+        // Every non-noise label < n_clusters; clusters non-empty.
+        for c in &clusters {
+            prop_assert!(!c.is_empty());
+        }
+        for l in labels.iter().flatten() {
+            prop_assert!(*l < clusters.len());
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Smoke test: every paper artifact (and every ablation) builds at tiny
+//! scale, renders non-trivially and carries a JSON payload. This is the
+//! `repro all --fast` path run as a test, so a regression in any
+//! experiment runner fails CI rather than the user's terminal.
+
+use kcb::core::experiment::{self, ABLATION_IDS, ALL_IDS, EXTENSION_IDS, SUMMARY_ID};
+use kcb::core::lab::{Lab, LabConfig};
+
+#[test]
+fn every_artifact_builds_at_tiny_scale() {
+    let lab = Lab::new(LabConfig::tiny());
+    let all = ALL_IDS
+        .iter()
+        .chain(ABLATION_IDS)
+        .chain(EXTENSION_IDS)
+        .chain(std::iter::once(&SUMMARY_ID));
+    for id in all {
+        let artifact = experiment::run(&lab, id)
+            .unwrap_or_else(|| panic!("artifact id {id} not registered"));
+        let text = artifact.render();
+        assert!(text.len() > 80, "{id} rendered suspiciously little:\n{text}");
+        assert!(
+            !artifact.json.is_null(),
+            "{id} is missing its JSON payload"
+        );
+        assert!(!artifact.tables.is_empty(), "{id} has no tables");
+    }
+}
+
+#[test]
+fn unknown_artifact_ids_are_rejected() {
+    let lab = Lab::new(LabConfig::tiny());
+    assert!(experiment::run(&lab, "table99").is_none());
+    assert!(experiment::run(&lab, "").is_none());
+}
+
+#[test]
+fn artifact_ids_are_unique_and_lowercase_resolvable() {
+    let set: std::collections::HashSet<&str> =
+        ALL_IDS.iter().chain(ABLATION_IDS).chain(EXTENSION_IDS).copied().collect();
+    assert_eq!(set.len(), ALL_IDS.len() + ABLATION_IDS.len() + EXTENSION_IDS.len());
+}
