@@ -1,7 +1,12 @@
-//! Mini-transformer forward/backward and generation throughput.
+//! Mini-transformer forward/backward and generation throughput, plus the
+//! dense kernels underneath (the three matmul layouts and the batched
+//! forward path the training loops feed).
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use kcb_lm::tensor::{matmul_nn, matmul_nt, matmul_tn};
+use kcb_lm::transformer::Backbone;
 use kcb_lm::{MiniBert, MiniBertConfig, MiniGpt, MiniGptConfig, TrainConfig, TransformerConfig};
+use kcb_ml::linalg::Matrix;
 use kcb_util::Rng;
 use std::hint::black_box;
 
@@ -37,6 +42,50 @@ fn bench_bert(c: &mut Criterion) {
     g.finish();
 }
 
+fn filled(rows: usize, cols: usize, seed: f32) -> Matrix {
+    let mut m = Matrix::zeros(rows, cols);
+    for r in 0..rows {
+        for (c, v) in m.row_mut(r).iter_mut().enumerate() {
+            *v = ((r * 31 + c * 7) as f32 * 0.013 + seed).sin();
+        }
+    }
+    m
+}
+
+/// The three matmul layouts at the shape a packed fine-tuning batch feeds
+/// them (≈16 sequences × 20 tokens stacked, d_model 48 → d_ff 96).
+fn bench_matmul_kernels(c: &mut Criterion) {
+    let a = filled(320, 48, 0.1); // packed activations (Σtᵢ, d)
+    let b = filled(48, 96, 0.2); // weight (d, d_ff)
+    let bt = filled(96, 48, 0.3); // weight transposed (backward dX)
+    let at = filled(48, 320, 0.4); // activations transposed (backward dW)
+    let mut g = c.benchmark_group("matmul");
+    g.bench_function("nn/320x48x96", |bch| bch.iter(|| matmul_nn(black_box(&a), black_box(&b))));
+    g.bench_function("nt/320x48x96", |bch| bch.iter(|| matmul_nt(black_box(&a), black_box(&bt))));
+    g.bench_function("tn/48x320x96", |bch| bch.iter(|| matmul_tn(black_box(&at), black_box(&b))));
+    g.finish();
+}
+
+/// Batched (packed, block-diagonal attention) vs one-at-a-time forward
+/// over the same 16 sequences — the win the training loops ride on.
+fn bench_batched_forward(c: &mut Criterion) {
+    let mut rng = Rng::seed(3);
+    let backbone = Backbone::new(arch(), &mut rng);
+    let seqs = random_seqs(16, 20);
+    let refs: Vec<&[u32]> = seqs.iter().map(Vec::as_slice).collect();
+    let mut g = c.benchmark_group("transformer");
+    g.sample_size(20);
+    g.bench_function("forward/16_seqs_batched", |b| {
+        b.iter(|| backbone.forward_batch(black_box(&refs), false).0.shape())
+    });
+    g.bench_function("forward/16_seqs_unbatched", |b| {
+        b.iter(|| {
+            refs.iter().map(|s| backbone.forward(black_box(s), false).shape().0).sum::<usize>()
+        })
+    });
+    g.finish();
+}
+
 fn bench_gpt(c: &mut Criterion) {
     let gpt = MiniGpt::new(MiniGptConfig { arch: arch() });
     let mut g = c.benchmark_group("transformer");
@@ -49,5 +98,5 @@ fn bench_gpt(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_bert, bench_gpt);
+criterion_group!(benches, bench_matmul_kernels, bench_batched_forward, bench_bert, bench_gpt);
 criterion_main!(benches);

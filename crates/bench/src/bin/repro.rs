@@ -91,13 +91,43 @@ ARTIFACTS:
 OPTIONS:
   --scale S      ontology scale relative to real ChEBI (default 0.03)
   --seed N       master seed (default 42)
-  --threads N    worker threads for forest training (default: CPU count)
+  --threads N    worker threads for forest training and the LM matmul
+                 kernels (default: CPU count, capped at 16); artifacts
+                 are bitwise identical at any thread count
   --out DIR      also write one JSON file per artifact into DIR
   --md FILE      also write a combined Markdown report
   --fast         tiny smoke-test configuration (seconds, not minutes)
   --list         list artifact ids and exit";
 
+/// Re-execs the binary once with glibc's allocator tuned for the autograd
+/// workload. Each training step builds and tears down a multi-megabyte
+/// tape; with the default tunables glibc trims the freed pages back to the
+/// kernel after every step and immediately faults them in again (~20% of
+/// wall time in system calls). Raising the trim/mmap thresholds keeps the
+/// pages in the arena. The env vars must be set before the first malloc,
+/// hence the exec rather than a runtime call.
+#[cfg(unix)]
+fn tune_allocator_via_reexec() {
+    const MARKER: &str = "KCB_MALLOC_TUNED";
+    if std::env::var_os(MARKER).is_some() {
+        return;
+    }
+    let Ok(exe) = std::env::current_exe() else { return };
+    use std::os::unix::process::CommandExt;
+    // exec only returns on failure; in that case run untuned.
+    let _ = std::process::Command::new(exe)
+        .args(std::env::args_os().skip(1))
+        .env(MARKER, "1")
+        .env("MALLOC_TRIM_THRESHOLD_", "1073741824")
+        .env("MALLOC_MMAP_THRESHOLD_", "268435456")
+        .exec();
+}
+
+#[cfg(not(unix))]
+fn tune_allocator_via_reexec() {}
+
 fn main() -> ExitCode {
+    tune_allocator_via_reexec();
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
@@ -143,6 +173,9 @@ fn main() -> ExitCode {
     }
     if let Some(t) = args.threads {
         cfg.rf.n_threads = t.max(1);
+        // The same pool size drives the LM matmul kernels; results are
+        // bitwise identical at any thread count (see kcb_lm::pool).
+        kcb_lm::pool::set_threads(t.max(1));
     }
     eprintln!(
         "# kcb repro — scale {} seed {}{}",
@@ -151,16 +184,20 @@ fn main() -> ExitCode {
         if args.fast { " (fast mode)" } else { "" }
     );
 
+    let threads = args.threads.unwrap_or_else(kcb_lm::pool::threads);
+    let (scale, seed) = (cfg.scale, cfg.seed);
     let lab = Lab::new(cfg);
     let total = Instant::now();
     let mut failed = false;
     let mut markdown = String::from("# kcb reproduction report\n\n");
+    let mut timings: Vec<(String, f64)> = Vec::new();
     for id in &ids {
         let t0 = Instant::now();
         match experiment::run(&lab, id) {
             Some(artifact) => {
                 println!("{}", artifact.render());
                 markdown.push_str(&artifact.render_markdown());
+                timings.push((id.clone(), t0.elapsed().as_secs_f64()));
                 eprintln!("# {id} done in {:.1}s", t0.elapsed().as_secs_f64());
                 if let Some(dir) = &args.out {
                     match artifact.write_json(dir) {
@@ -187,7 +224,33 @@ fn main() -> ExitCode {
             }
         }
     }
-    eprintln!("# total {:.1}s", total.elapsed().as_secs_f64());
+    let total_secs = total.elapsed().as_secs_f64();
+    // Machine-readable perf trajectory: per-artifact wall time plus the
+    // run configuration, tracked across PRs (see EXPERIMENTS.md).
+    let bench_path = std::path::Path::new("results").join("bench_repro.json");
+    let bench = serde_json::json!({
+        "seed": seed,
+        "scale": scale,
+        "threads": threads,
+        "total_seconds": total_secs,
+        "artifacts": timings
+            .iter()
+            .map(|(id, secs)| serde_json::json!({"id": id, "seconds": secs}))
+            .collect::<Vec<_>>(),
+    });
+    let bench_text = serde_json::to_string_pretty(&bench).expect("serializable");
+    if let Err(e) = std::fs::create_dir_all("results")
+        .and_then(|()| std::fs::write(&bench_path, &bench_text))
+    {
+        eprintln!("error writing {}: {e}", bench_path.display());
+        failed = true;
+    } else {
+        eprintln!("# wrote {}", bench_path.display());
+    }
+    if ids.iter().any(|id| id == "summary") {
+        println!("\n## Benchmark timings ({})\n{bench_text}", bench_path.display());
+    }
+    eprintln!("# total {:.1}s", total_secs);
     if failed {
         ExitCode::FAILURE
     } else {

@@ -20,8 +20,10 @@ use kcb_lm::MiniBert;
 use kcb_ml::linalg::Matrix;
 use kcb_ontology::{Ontology, Triple};
 use kcb_text::{ChemTokenizer, WordPiece};
+use parking_lot::Mutex;
 use std::cell::RefCell;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Encodes one triple component (an entity name or relation phrase) into a
 /// fixed-width vector.
@@ -154,6 +156,76 @@ pub fn dataset_matrix(
     let mut labels = Vec::with_capacity(examples.len());
     for e in examples {
         data.extend_from_slice(&triple_vector(o, e.triple, enc));
+        labels.push(e.label);
+    }
+    (Matrix::from_vec(data, examples.len(), d), labels)
+}
+
+/// Memoised averaged-concat triple vectors, keyed `(encoder name, triple
+/// key)`.
+///
+/// The §2.8 scenario sweeps build a fresh encoder per figure cell, and the
+/// five scenarios of a task draw from one heavily-overlapping pool — so
+/// without this cache the same triple is re-encoded (a full mini-BERT
+/// forward pass per component for the PubmedBERT variant) once per
+/// scenario. Entries are keyed by the encoder *display name*, which folds
+/// in the embedding model and adaptation; callers that mutate an encoder's
+/// underlying model (fine-tuning the mini-BERT) must restore it to the
+/// shared snapshot before encoding through the cache, which every forest
+/// path does.
+///
+/// The map is [`parking_lot::Mutex`]-guarded: encoders themselves stay
+/// single-threaded, but the guard makes the cache safe to consult from the
+/// forest pool's worker threads.
+/// Per-encoder inner map: triple key → its cached averaged-concat vector.
+type TripleVectors = HashMap<(u32, u8, u32), Arc<[f32]>>;
+
+pub struct EncodingCache {
+    map: Mutex<HashMap<String, TripleVectors>>,
+}
+
+impl EncodingCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self { map: Mutex::new(HashMap::new()) }
+    }
+
+    /// Total cached vectors across all encoders.
+    pub fn len(&self) -> usize {
+        self.map.lock().values().map(HashMap::len).sum()
+    }
+
+    /// Whether nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for EncodingCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// [`dataset_matrix`] through an [`EncodingCache`]: triples already seen
+/// under this encoder are copied from the cache instead of re-encoded.
+/// Bitwise identical to the uncached path (vectors are stored verbatim).
+pub fn dataset_matrix_cached(
+    o: &Ontology,
+    examples: &[LabeledTriple],
+    enc: &dyn ComponentEncoder,
+    cache: &EncodingCache,
+) -> (Matrix, Vec<bool>) {
+    let d = enc.dim() * 3;
+    let mut data = Vec::with_capacity(examples.len() * d);
+    let mut labels = Vec::with_capacity(examples.len());
+    let mut map = cache.map.lock();
+    let by_triple = map.entry(enc.name()).or_default();
+    for e in examples {
+        let v = by_triple
+            .entry(e.triple.key())
+            .or_insert_with(|| triple_vector(o, e.triple, enc).into());
+        data.extend_from_slice(v);
         labels.push(e.label);
     }
     (Matrix::from_vec(data, examples.len(), d), labels)
@@ -319,6 +391,37 @@ mod tests {
         assert_eq!(ids[0], special::CLS);
         assert_eq!(ids.iter().filter(|&&i| i == special::SEP).count(), 3);
         assert_eq!(*ids.last().unwrap(), special::SEP);
+    }
+
+    #[test]
+    fn encoding_cache_shares_across_encoder_instances() {
+        let o = ontology();
+        let d = crate::task::TaskDataset::generate(&o, TaskKind::RandomNegatives, 1);
+        let ex = &d.examples[..30];
+        let model = RandomEmbedding::with_dim(8);
+        let cache = EncodingCache::new();
+        assert!(cache.is_empty());
+
+        let enc1 = TokenAvgEncoder::new(&model, Adaptation::Naive);
+        let (a, _) = dataset_matrix_cached(&o, ex, &enc1, &cache);
+        let n = cache.len();
+        assert!(n > 0 && n <= ex.len());
+
+        // A fresh encoder instance with the same identity hits the cache
+        // (this is exactly what the scenario sweeps do per figure cell).
+        let enc2 = TokenAvgEncoder::new(&model, Adaptation::Naive);
+        let (b, _) = dataset_matrix_cached(&o, ex, &enc2, &cache);
+        assert_eq!(cache.len(), n, "second pass must add no entries");
+        assert_eq!(a.as_slice(), b.as_slice());
+
+        // Bitwise identical to the uncached path.
+        let (c, _) = dataset_matrix(&o, ex, &TokenAvgEncoder::new(&model, Adaptation::Naive));
+        assert_eq!(a.as_slice(), c.as_slice());
+
+        // A different adaptation is a different cache key.
+        let enc3 = TokenAvgEncoder::new(&model, Adaptation::None);
+        let _ = dataset_matrix_cached(&o, ex, &enc3, &cache);
+        assert!(cache.len() > n, "distinct encoder identities must not collide");
     }
 
     #[test]

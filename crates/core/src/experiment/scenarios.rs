@@ -13,60 +13,94 @@ use crate::task::TaskKind;
 use kcb_icl::{run_protocol, LlmOracle, OracleProfile, PromptVariant};
 use kcb_util::fmt::{metric, Table};
 
+// The scenario figures overlap heavily: Figure 3 and Figure A2 share their
+// fine-tuned-BERT and GPT-4 series verbatim plus two forest columns, and
+// within one figure the five scenarios of a task re-encode one overlapping
+// triple pool. Each cell is therefore memoised in the [`Lab`] (keyed by the
+// full cell identity) and every forest run encodes through the lab-wide
+// [`crate::compose::EncodingCache`].
+
 fn rf_f1(lab: &Lab, task: TaskKind, sc: Scenario, model: &str, adapt: &str) -> f64 {
-    let split = scenario_split(lab.task(task), lab.config().scenario_fraction, sc, lab.config().seed);
-    let run = if model == "pubmedbert" {
-        let (bert, snapshot) = lab.bert();
-        bert.restore(snapshot);
-        let enc = crate::compose::BertClsEncoder::new(bert, lab.wordpiece());
-        crate::paradigm::ml::run_forest(lab.ontology(), &split.train, &split.test, &enc, &lab.config().rf)
-    } else {
-        let enc =
-            crate::compose::TokenAvgEncoder::new(lab.embedding(model), lab.adaptation(adapt, model));
-        crate::paradigm::ml::run_forest(lab.ontology(), &split.train, &split.test, &enc, &lab.config().rf)
-    };
-    run.metrics.f1
+    let key = format!("rf|{}|{}|{}|{model}|{adapt}", task.number(), sc.split, sc.pos_ratio);
+    lab.memo_score(key, || {
+        let split =
+            scenario_split(lab.task(task), lab.config().scenario_fraction, sc, lab.config().seed);
+        let run = if model == "pubmedbert" {
+            let (bert, snapshot) = lab.bert();
+            bert.restore(snapshot);
+            let enc = crate::compose::BertClsEncoder::new(bert, lab.wordpiece());
+            crate::paradigm::ml::run_forest_cached(
+                lab.ontology(),
+                &split.train,
+                &split.test,
+                &enc,
+                &lab.config().rf,
+                Some(lab.encodings()),
+            )
+        } else {
+            let enc = crate::compose::TokenAvgEncoder::new(
+                lab.embedding(model),
+                lab.adaptation(adapt, model),
+            );
+            crate::paradigm::ml::run_forest_cached(
+                lab.ontology(),
+                &split.train,
+                &split.test,
+                &enc,
+                &lab.config().rf,
+                Some(lab.encodings()),
+            )
+        };
+        run.metrics.f1
+    })
 }
 
 fn ft_f1(lab: &Lab, task: TaskKind, sc: Scenario) -> f64 {
-    let mut split =
-        scenario_split(lab.task(task), lab.config().scenario_fraction, sc, lab.config().seed);
-    split.train.truncate(lab.config().ft_train_cap);
-    let (bert, snapshot) = lab.bert();
-    bert.restore(snapshot);
-    let run = crate::paradigm::ft::run_fine_tune(
-        lab.ontology(),
-        &split,
-        bert,
-        lab.wordpiece(),
-        &lab.config().ft_schedule,
-    );
-    bert.restore(snapshot);
-    // Figures compare macro-F1-like series; positive-class F1 is what the
-    // paper plots for FT (its Table 4 convention).
-    run.metrics.f1
+    let key = format!("ft|{}|{}|{}", task.number(), sc.split, sc.pos_ratio);
+    lab.memo_score(key, || {
+        let mut split =
+            scenario_split(lab.task(task), lab.config().scenario_fraction, sc, lab.config().seed);
+        split.train.truncate(lab.config().ft_train_cap);
+        let (bert, snapshot) = lab.bert();
+        bert.restore(snapshot);
+        let run = crate::paradigm::ft::run_fine_tune(
+            lab.ontology(),
+            &split,
+            bert,
+            lab.wordpiece(),
+            &lab.config().ft_schedule,
+        );
+        bert.restore(snapshot);
+        // Figures compare macro-F1-like series; positive-class F1 is what
+        // the paper plots for FT (its Table 4 convention).
+        run.metrics.f1
+    })
 }
 
 fn gpt4_f1(lab: &Lab, task: TaskKind) -> f64 {
     // GPT-4's score does not depend on the training data, so it is
-    // evaluated once per task on the constant scenario test set.
-    let split = scenario_split(
-        lab.task(task),
-        lab.config().scenario_fraction,
-        SCENARIOS[0],
-        lab.config().seed,
-    );
-    let n = (split.test.len() / 2).min(lab.config().icl_queries);
-    let items = build_queries(
-        lab.ontology(),
-        &split.test,
-        task,
-        QueryPolicy { n_per_class: n, is_a_only: false, max_tokens: usize::MAX },
-        lab.config().seed,
-    );
-    let builder = build_examples(lab.ontology(), &split.train, lab.config().seed);
-    let oracle = LlmOracle::new(OracleProfile::gpt4_sim());
-    run_protocol(&oracle, &builder, &items, PromptVariant::Base, 2, lab.config().seed).f1_mean
+    // evaluated once per task on the constant scenario test set and shared
+    // by every figure that draws the reference line.
+    let key = format!("gpt4|{}", task.number());
+    lab.memo_score(key, || {
+        let split = scenario_split(
+            lab.task(task),
+            lab.config().scenario_fraction,
+            SCENARIOS[0],
+            lab.config().seed,
+        );
+        let n = (split.test.len() / 2).min(lab.config().icl_queries);
+        let items = build_queries(
+            lab.ontology(),
+            &split.test,
+            task,
+            QueryPolicy { n_per_class: n, is_a_only: false, max_tokens: usize::MAX },
+            lab.config().seed,
+        );
+        let builder = build_examples(lab.ontology(), &split.train, lab.config().seed);
+        let oracle = LlmOracle::new(OracleProfile::gpt4_sim());
+        run_protocol(&oracle, &builder, &items, PromptVariant::Base, 2, lab.config().seed).f1_mean
+    })
 }
 
 fn scenario_figure(lab: &Lab, id: &str, title: &str, models: &[(&str, &str)]) -> Artifact {
@@ -164,6 +198,17 @@ mod tests {
             rich > poor + 0.03,
             "rich {rich} should clearly beat poor {poor} for random embeddings"
         );
+    }
+
+    #[test]
+    fn scenario_cells_are_memoised() {
+        let lab = Lab::new(LabConfig::tiny());
+        let a = scenario_cell(&lab, TaskKind::RandomNegatives, SCENARIOS[1], "random", "naive");
+        let cached = lab.encodings().len();
+        assert!(cached > 0, "forest run must populate the encoding cache");
+        let b = scenario_cell(&lab, TaskKind::RandomNegatives, SCENARIOS[1], "random", "naive");
+        assert_eq!(a, b);
+        assert_eq!(lab.encodings().len(), cached, "memoised cell must not re-encode");
     }
 
     #[test]

@@ -218,6 +218,8 @@ pub struct Lab {
     biogpt: OnceCell<BioGptMini>,
     stopwords: RefCell<HashMap<String, std::collections::HashSet<String>>>,
     forest_runs: RefCell<HashMap<String, std::rc::Rc<crate::paradigm::ml::ForestRun>>>,
+    encodings: crate::compose::EncodingCache,
+    memo_scores: RefCell<HashMap<String, f64>>,
 }
 
 impl Lab {
@@ -241,7 +243,34 @@ impl Lab {
             biogpt: OnceCell::new(),
             stopwords: RefCell::new(HashMap::new()),
             forest_runs: RefCell::new(HashMap::new()),
+            encodings: crate::compose::EncodingCache::new(),
+            memo_scores: RefCell::new(HashMap::new()),
         }
+    }
+
+    /// The lab-wide triple-encoding cache (see
+    /// [`crate::compose::EncodingCache`]). Every forest run through the lab
+    /// encodes via this cache, so the canonical splits and the §2.8
+    /// scenario sweeps share triple vectors per encoder identity.
+    pub fn encodings(&self) -> &crate::compose::EncodingCache {
+        &self.encodings
+    }
+
+    /// Memoises an expensive scalar score under a caller-chosen key.
+    ///
+    /// Figure runners use this for cells that several artifacts compute
+    /// identically (a Figure 3 / Figure A2 scenario cell, a per-task GPT-4
+    /// reference line): the first caller pays, later callers read. The
+    /// compute closure runs without the map borrowed, so it may itself
+    /// consult the memo.
+    pub fn memo_score(&self, key: String, compute: impl FnOnce() -> f64) -> f64 {
+        let cached = self.memo_scores.borrow().get(&key).copied();
+        if let Some(v) = cached {
+            return v;
+        }
+        let v = compute();
+        self.memo_scores.borrow_mut().insert(key, v);
+        v
     }
 
     /// The configuration.
@@ -499,11 +528,25 @@ impl Lab {
             let (bert, snapshot) = self.bert();
             bert.restore(snapshot); // guarantee the pre-trained state
             let enc = crate::compose::BertClsEncoder::new(bert, self.wordpiece());
-            crate::paradigm::ml::run_forest(self.ontology(), train, &split.test, &enc, &self.cfg.rf)
+            crate::paradigm::ml::run_forest_cached(
+                self.ontology(),
+                train,
+                &split.test,
+                &enc,
+                &self.cfg.rf,
+                Some(&self.encodings),
+            )
         } else {
             let adaptation = self.adaptation(adapt_kind, model);
             let enc = crate::compose::TokenAvgEncoder::new(self.embedding(model), adaptation);
-            crate::paradigm::ml::run_forest(self.ontology(), train, &split.test, &enc, &self.cfg.rf)
+            crate::paradigm::ml::run_forest_cached(
+                self.ontology(),
+                train,
+                &split.test,
+                &enc,
+                &self.cfg.rf,
+                Some(&self.encodings),
+            )
         };
         let run = std::rc::Rc::new(run);
         self.forest_runs.borrow_mut().insert(key, run.clone());
@@ -575,6 +618,17 @@ mod tests {
             (Adaptation::TaskOriented(x), Adaptation::TaskOriented(y)) => assert_eq!(x, y),
             _ => panic!("expected task-oriented adaptations"),
         }
+    }
+
+    #[test]
+    fn memo_score_computes_once_per_key() {
+        let lab = Lab::new(LabConfig::tiny());
+        let a = lab.memo_score("k".to_string(), || 0.25);
+        let b = lab.memo_score("k".to_string(), || panic!("must not recompute"));
+        assert_eq!(a, 0.25);
+        assert_eq!(b, 0.25);
+        let c = lab.memo_score("other".to_string(), || 0.5);
+        assert_eq!(c, 0.5);
     }
 
     #[test]

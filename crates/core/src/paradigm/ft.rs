@@ -49,11 +49,11 @@ pub fn run_fine_tune(
     let train = encode(&split.train);
     let val = encode(&split.validation);
     let test = encode(&split.test);
-
     let losses = bert.fine_tune(&train, tc);
 
     let eval = |set: &[(Vec<u32>, bool)]| -> BinaryMetrics {
-        let preds: Vec<bool> = set.iter().map(|(ids, _)| bert.predict(ids)).collect();
+        let refs: Vec<&[u32]> = set.iter().map(|(ids, _)| ids.as_slice()).collect();
+        let preds = bert.predict_batch(&refs);
         let labels: Vec<bool> = set.iter().map(|(_, l)| *l).collect();
         BinaryMetrics::positive_class(&ConfusionMatrix::from_predictions(&preds, &labels))
     };

@@ -1,6 +1,8 @@
 //! NLP paradigm: supervised learning over triple embeddings (Algorithm 1).
 
-use crate::compose::{dataset_matrix, dataset_sequences, ComponentEncoder};
+use crate::compose::{
+    dataset_matrix, dataset_matrix_cached, dataset_sequences, ComponentEncoder, EncodingCache,
+};
 use crate::dataset::Split;
 use crate::task::LabeledTriple;
 use kcb_embed::EmbeddingModel;
@@ -36,8 +38,27 @@ pub fn run_forest(
     enc: &dyn ComponentEncoder,
     cfg: &RandomForestConfig,
 ) -> ForestRun {
-    let (x_train, y_train) = dataset_matrix(o, train, enc);
-    let (x_test, y_test) = dataset_matrix(o, test, enc);
+    run_forest_cached(o, train, test, enc, cfg, None)
+}
+
+/// [`run_forest`] with triple encodings memoised through an
+/// [`EncodingCache`]. The scenario sweeps (§2.8) call this so the five
+/// overlapping splits of a task share encodings instead of re-running the
+/// encoder per cell; results are bitwise identical to the uncached path.
+pub fn run_forest_cached(
+    o: &Ontology,
+    train: &[LabeledTriple],
+    test: &[LabeledTriple],
+    enc: &dyn ComponentEncoder,
+    cfg: &RandomForestConfig,
+    cache: Option<&EncodingCache>,
+) -> ForestRun {
+    let encode = |set: &[LabeledTriple]| match cache {
+        Some(c) => dataset_matrix_cached(o, set, enc, c),
+        None => dataset_matrix(o, set, enc),
+    };
+    let (x_train, y_train) = encode(train);
+    let (x_test, y_test) = encode(test);
     let forest = RandomForest::fit(&x_train, &y_train, cfg);
     let probs = forest.predict_proba_batch(&x_test);
     let preds: Vec<bool> = probs.iter().map(|&p| p >= 0.5).collect();

@@ -73,19 +73,26 @@ impl MiniGpt {
             let mut n_batches = 0usize;
             for batch in order.chunks(tc.batch_size) {
                 opt.zero_grad();
-                let mut batch_loss = 0.0f64;
+                // Pack the windows into one causal forward; every position
+                // is supervised, weighted 1/(nᵢ·B) so the loss equals the
+                // mean of per-window mean losses (the unbatched semantics).
+                let inputs: Vec<&[u32]> =
+                    batch.iter().map(|&i| &windows[i][..windows[i].len() - 1]).collect();
+                let mut targets = Vec::new();
+                let mut weights = Vec::new();
                 for &i in batch {
                     let w = &windows[i];
-                    let inputs = &w[..w.len() - 1];
-                    let targets = &w[1..];
-                    let hidden = self.backbone.forward(inputs, true);
-                    let logits = hidden.matmul(&self.lm_w).add_row(&self.lm_b);
-                    let loss = logits.cross_entropy(targets).scale(1.0 / batch.len() as f32);
-                    batch_loss += f64::from(loss.data().get(0, 0)) * batch.len() as f64;
-                    loss.backward();
+                    targets.extend_from_slice(&w[1..]);
+                    let wt = 1.0 / ((w.len() - 1) as f32 * batch.len() as f32);
+                    weights.extend(std::iter::repeat_n(wt, w.len() - 1));
                 }
+                let (hidden, _segments) = self.backbone.forward_batch(&inputs, true);
+                let logits = hidden.matmul(&self.lm_w).add_row(&self.lm_b);
+                let loss = logits.cross_entropy_weighted(&targets, &weights);
+                let batch_loss = f64::from(loss.data().get(0, 0));
+                loss.backward();
                 opt.step();
-                total += batch_loss / batch.len() as f64;
+                total += batch_loss;
                 n_batches += 1;
             }
             epoch_losses.push((total / n_batches.max(1) as f64) as f32);

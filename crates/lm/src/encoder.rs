@@ -81,8 +81,12 @@ impl MiniBert {
             let mut n_batches = 0usize;
             for batch in order.chunks(tc.batch_size) {
                 opt.zero_grad();
-                let mut batch_loss = 0.0f64;
-                let mut used = 0usize;
+                // Corrupt every usable sequence (RNG consumption matches the
+                // historical one-sequence-at-a-time order exactly), then run
+                // the whole batch as one packed forward/backward.
+                let mut inputs: Vec<Vec<u32>> = Vec::with_capacity(batch.len());
+                let mut mask_positions: Vec<Vec<usize>> = Vec::with_capacity(batch.len());
+                let mut mask_targets: Vec<Vec<u32>> = Vec::with_capacity(batch.len());
                 for &i in batch {
                     let mut ids: Vec<u32> = sequences[i].clone();
                     self.clamp(&mut ids);
@@ -121,28 +125,43 @@ impl MiniBert {
                         targets[pos] = ids[pos];
                         ids[pos] = special::MASK;
                     }
-                    // Head only at supervised positions (hot-path saver).
                     let positions: Vec<usize> = targets
                         .iter()
                         .enumerate()
                         .filter(|(_, &t)| t != IGNORE_TARGET)
                         .map(|(p, _)| p)
                         .collect();
-                    let masked_targets: Vec<u32> =
-                        positions.iter().map(|&p| targets[p]).collect();
-                    let hidden = self.backbone.forward(&ids, false);
-                    let picked = hidden.select_rows(&positions);
-                    let logits = picked.matmul(&self.mlm_w).add_row(&self.mlm_b);
-                    let loss = logits.cross_entropy(&masked_targets).scale(1.0 / batch.len() as f32);
-                    batch_loss += f64::from(loss.data().get(0, 0)) * batch.len() as f64;
-                    loss.backward();
-                    used += 1;
+                    mask_targets.push(positions.iter().map(|&p| targets[p]).collect());
+                    mask_positions.push(positions);
+                    inputs.push(ids);
                 }
-                if used > 0 {
-                    opt.step();
-                    total += batch_loss / used as f64;
-                    n_batches += 1;
+                let used = inputs.len();
+                if used == 0 {
+                    continue;
                 }
+                let refs: Vec<&[u32]> = inputs.iter().map(Vec::as_slice).collect();
+                let (hidden, segments) = self.backbone.forward_batch(&refs, false);
+                // Head only at supervised positions (hot-path saver); weight
+                // 1/(nᵢ·B) keeps the mean-of-per-sequence-means semantics.
+                let mut rows = Vec::new();
+                let mut targets = Vec::new();
+                let mut weights = Vec::new();
+                for (si, positions) in mask_positions.iter().enumerate() {
+                    let w = 1.0 / (positions.len() as f32 * batch.len() as f32);
+                    for (&p, &t) in positions.iter().zip(&mask_targets[si]) {
+                        rows.push(segments[si] + p);
+                        targets.push(t);
+                        weights.push(w);
+                    }
+                }
+                let picked = hidden.select_rows(&rows);
+                let logits = picked.matmul(&self.mlm_w).add_row(&self.mlm_b);
+                let loss = logits.cross_entropy_weighted(&targets, &weights);
+                let batch_loss = f64::from(loss.data().get(0, 0)) * batch.len() as f64;
+                loss.backward();
+                opt.step();
+                total += batch_loss / used as f64;
+                n_batches += 1;
             }
             epoch_losses.push((total / n_batches.max(1) as f64) as f32);
         }
@@ -163,17 +182,26 @@ impl MiniBert {
             let mut n_batches = 0usize;
             for batch in order.chunks(tc.batch_size) {
                 opt.zero_grad();
-                let mut batch_loss = 0.0;
-                for &i in batch {
-                    let (ids, label) = &examples[i];
-                    let logits = self.class_logits(ids);
-                    let target = [u32::from(*label)];
-                    let loss = logits.cross_entropy(&target).scale(1.0 / batch.len() as f32);
-                    batch_loss += f64::from(loss.data().get(0, 0)) * batch.len() as f64;
-                    loss.backward();
-                }
+                let clamped: Vec<Vec<u32>> = batch
+                    .iter()
+                    .map(|&i| {
+                        let mut ids = examples[i].0.clone();
+                        self.clamp(&mut ids);
+                        ids
+                    })
+                    .collect();
+                let refs: Vec<&[u32]> = clamped.iter().map(Vec::as_slice).collect();
+                let (hidden, segments) = self.backbone.forward_batch(&refs, false);
+                // One `[CLS]` row per sequence; plain cross_entropy already
+                // takes the mean over rows = the old 1/B-scaled sum.
+                let cls = hidden.select_rows(&segments[..batch.len()]);
+                let logits = cls.matmul(&self.cls_w).add_row(&self.cls_b);
+                let targets: Vec<u32> = batch.iter().map(|&i| u32::from(examples[i].1)).collect();
+                let loss = logits.cross_entropy(&targets);
+                let batch_loss = f64::from(loss.data().get(0, 0));
+                loss.backward();
                 opt.step();
-                total += batch_loss / batch.len() as f64;
+                total += batch_loss;
                 n_batches += 1;
             }
             epoch_losses.push((total / n_batches.max(1) as f64) as f32);
@@ -206,19 +234,78 @@ impl MiniBert {
         self.predict_proba(ids) >= 0.5
     }
 
+    /// Sequences per packed forward on the batched inference paths. Bounds
+    /// tape memory while keeping the matmuls big enough to parallelise.
+    const INFER_BATCH: usize = 32;
+
+    /// Positive-class probabilities for many sequences at once. Bitwise
+    /// equal to mapping [`MiniBert::predict_proba`] (block-diagonal
+    /// attention keeps sequences independent), but runs packed mini-batches
+    /// through the backbone so the matmul kernels see pool-sized work.
+    pub fn predict_proba_batch(&self, seqs: &[&[u32]]) -> Vec<f32> {
+        let mut out = Vec::with_capacity(seqs.len());
+        for chunk in seqs.chunks(Self::INFER_BATCH) {
+            let clamped: Vec<Vec<u32>> = chunk
+                .iter()
+                .map(|ids| {
+                    let mut ids = ids.to_vec();
+                    self.clamp(&mut ids);
+                    ids
+                })
+                .collect();
+            let refs: Vec<&[u32]> = clamped.iter().map(Vec::as_slice).collect();
+            let (hidden, segments) = self.backbone.forward_batch(&refs, false);
+            let cls = hidden.select_rows(&segments[..chunk.len()]);
+            let logits = cls.matmul(&self.cls_w).add_row(&self.cls_b);
+            let l = logits.data();
+            for r in 0..chunk.len() {
+                let (a, b) = (l.get(r, 0), l.get(r, 1));
+                let m = a.max(b);
+                let ea = (a - m).exp();
+                let eb = (b - m).exp();
+                out.push(eb / (ea + eb));
+            }
+        }
+        out
+    }
+
+    /// Hard predictions at 0.5 for many sequences at once.
+    pub fn predict_batch(&self, seqs: &[&[u32]]) -> Vec<bool> {
+        self.predict_proba_batch(seqs).into_iter().map(|p| p >= 0.5).collect()
+    }
+
     /// Contextual embedding of a sequence: the sum of the `[CLS]` position
     /// over the last (up to) four hidden states (§2.3).
     pub fn encode(&self, ids: &[u32]) -> Vec<f32> {
-        let mut ids = ids.to_vec();
-        self.clamp(&mut ids);
-        let states = self.backbone.forward_all(&ids, false);
-        let take = states.len().min(4);
+        self.encode_batch(&[ids]).pop().expect("one sequence in, one vector out")
+    }
+
+    /// Contextual embeddings for many sequences at once (bitwise equal to
+    /// mapping [`MiniBert::encode`], chunked like the other batch paths).
+    pub fn encode_batch(&self, seqs: &[&[u32]]) -> Vec<Vec<f32>> {
         let d = self.cfg.arch.d_model;
-        let mut out = vec![0.0f32; d];
-        for s in &states[states.len() - take..] {
-            let data = s.data();
-            for (o, &v) in out.iter_mut().zip(data.row(0)) {
-                *o += v;
+        let mut out = Vec::with_capacity(seqs.len());
+        for chunk in seqs.chunks(Self::INFER_BATCH) {
+            let clamped: Vec<Vec<u32>> = chunk
+                .iter()
+                .map(|ids| {
+                    let mut ids = ids.to_vec();
+                    self.clamp(&mut ids);
+                    ids
+                })
+                .collect();
+            let refs: Vec<&[u32]> = clamped.iter().map(Vec::as_slice).collect();
+            let (states, segments) = self.backbone.forward_batch_all(&refs, false);
+            let take = states.len().min(4);
+            for (si, _) in chunk.iter().enumerate() {
+                let mut v = vec![0.0f32; d];
+                for s in &states[states.len() - take..] {
+                    let data = s.data();
+                    for (o, &x) in v.iter_mut().zip(data.row(segments[si])) {
+                        *o += x;
+                    }
+                }
+                out.push(v);
             }
         }
         out
@@ -226,9 +313,11 @@ impl MiniBert {
 
     /// Mean classification cross-entropy over a labelled set.
     pub fn eval_loss(&self, examples: &[(Vec<u32>, bool)]) -> f32 {
+        let refs: Vec<&[u32]> = examples.iter().map(|(ids, _)| ids.as_slice()).collect();
+        let probs = self.predict_proba_batch(&refs);
         let mut total = 0.0f64;
-        for (ids, label) in examples {
-            let p = self.predict_proba(ids).clamp(1e-6, 1.0 - 1e-6);
+        for (p, (_, label)) in probs.iter().zip(examples) {
+            let p = p.clamp(1e-6, 1.0 - 1e-6);
             total -= if *label { f64::from(p.ln()) } else { f64::from((1.0 - p).ln()) };
         }
         (total / examples.len() as f64) as f32

@@ -13,6 +13,7 @@
 pub mod decoder;
 pub mod encoder;
 pub mod optim;
+pub mod pool;
 pub mod schedule;
 pub mod tensor;
 pub mod transformer;

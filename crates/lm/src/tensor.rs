@@ -132,6 +132,18 @@ impl Tensor {
         kcb_ml::linalg::axpy(1.0, delta, g.row_mut(row));
     }
 
+    /// Adds a `(rows, cols)` block of gradient at `(first_row, first_col)` —
+    /// used by the multi-head attention backward, where each head owns a
+    /// column slice of the fused Q/K/V projections.
+    fn accum_grad_block(&self, first_row: usize, first_col: usize, delta: &Matrix) {
+        let mut g = self.inner.grad.borrow_mut();
+        let w = delta.cols();
+        for r in 0..delta.rows() {
+            let gr = &mut g.row_mut(first_row + r)[first_col..first_col + w];
+            kcb_ml::linalg::axpy(1.0, delta.row(r), gr);
+        }
+    }
+
     /// Runs reverse-mode differentiation from this (scalar-ish) tensor,
     /// seeding its gradient with ones.
     pub fn backward(&self) {
@@ -276,10 +288,21 @@ impl Tensor {
     /// GELU activation (tanh approximation).
     pub fn gelu(&self) -> Tensor {
         let a_d = self.data();
+        let (rows, cols) = (a_d.rows(), a_d.cols());
+        // Cache tanh(inner) for the backward pass: gelu_grad needs the same
+        // tanh the forward computed, and tanh dominates the activation cost.
+        let mut tanhs = Vec::with_capacity(rows * cols);
         let out = Matrix::from_vec(
-            a_d.as_slice().iter().map(|&x| gelu(x)).collect(),
-            a_d.rows(),
-            a_d.cols(),
+            a_d.as_slice()
+                .iter()
+                .map(|&x| {
+                    let t = gelu_tanh(x);
+                    tanhs.push(t);
+                    0.5 * x * (1.0 + t)
+                })
+                .collect(),
+            rows,
+            cols,
         );
         drop(a_d);
         let a = self.clone();
@@ -293,7 +316,7 @@ impl Tensor {
                 for (i, (gv, xv)) in g.as_slice().iter().zip(x.as_slice()).enumerate() {
                     let r = i / g.cols();
                     let c = i % g.cols();
-                    d.row_mut(r)[c] = gv * gelu_grad(*xv);
+                    d.row_mut(r)[c] = gv * gelu_grad_cached(*xv, tanhs[i]);
                 }
                 drop(x);
                 a.accum_grad(&d);
@@ -520,63 +543,410 @@ impl Tensor {
             }),
         )
     }
+
+    /// Fused multi-head block-diagonal attention over a packed batch.
+    ///
+    /// `self` is the fused query matrix `(R, d)` with `d = n_heads · hd`;
+    /// `k` / `v` share its shape, and head `h` owns the contiguous column
+    /// slice `h·hd .. (h+1)·hd` of all three (i.e. the projections were
+    /// computed with column-concatenated per-head weights).
+    ///
+    /// `segments` delimits the packed sequences as `[0, t₁, t₁+t₂, …, R]`;
+    /// each sequence attends only within its own row range, so a batch of
+    /// B sequences costs Σ tᵢ² instead of the (Σ tᵢ)² a dense score matrix
+    /// would. Per (segment, head) the forward computes the classic
+    /// `softmax(q @ kᵀ · scale) @ v` chain on that column slice in a fixed
+    /// accumulation order, so results are bitwise identical across batch
+    /// shapes, head counts, and thread counts (though not to the separate
+    /// matmul/softmax op chain, whose kernels associate differently).
+    /// Row-softmax probabilities are cached for the backward pass.
+    pub fn attention(
+        &self,
+        k: &Tensor,
+        v: &Tensor,
+        segments: &[usize],
+        n_heads: usize,
+        causal: bool,
+        scale: f32,
+    ) -> Tensor {
+        let q_d = self.data();
+        let k_d = k.data();
+        let v_d = v.data();
+        let (rows, d) = (q_d.rows(), q_d.cols());
+        assert_eq!((k_d.rows(), k_d.cols()), (rows, d), "attention k shape");
+        assert_eq!((v_d.rows(), v_d.cols()), (rows, d), "attention v shape");
+        assert!(n_heads >= 1 && d % n_heads == 0, "n_heads must divide width");
+        assert!(segments.len() >= 2 && segments[0] == 0, "bad segment offsets");
+        assert_eq!(*segments.last().unwrap(), rows, "segments must cover all rows");
+        let hd = d / n_heads;
+
+        let mut out = Matrix::zeros(rows, d);
+        let mut probs: Vec<Matrix> = Vec::with_capacity((segments.len() - 1) * n_heads);
+        for w in segments.windows(2) {
+            let (s, e) = (w[0], w[1]);
+            assert!(s < e, "empty attention segment");
+            let t = e - s;
+            for h in 0..n_heads {
+                let (cs, ce) = (h * hd, (h + 1) * hd);
+                let mut p = Matrix::zeros(t, t);
+                for i in 0..t {
+                    let qi = &q_d.row(s + i)[cs..ce];
+                    let limit = if causal { i + 1 } else { t };
+                    let pr = p.row_mut(i);
+                    let mut j = 0;
+                    while j + 4 <= limit {
+                        let d = kcb_ml::linalg::dot4(
+                            qi,
+                            &k_d.row(s + j)[cs..ce],
+                            &k_d.row(s + j + 1)[cs..ce],
+                            &k_d.row(s + j + 2)[cs..ce],
+                            &k_d.row(s + j + 3)[cs..ce],
+                        );
+                        for (o, dv) in pr[j..j + 4].iter_mut().zip(d) {
+                            *o = dv * scale;
+                        }
+                        j += 4;
+                    }
+                    for jj in j..limit {
+                        pr[jj] = kcb_ml::linalg::dot(qi, &k_d.row(s + jj)[cs..ce]) * scale;
+                    }
+                    // In-place row softmax over the unmasked prefix.
+                    let max = pr[..limit].iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+                    let mut sum = 0.0;
+                    for x in &mut pr[..limit] {
+                        *x = (*x - max).exp();
+                        sum += *x;
+                    }
+                    for x in &mut pr[..limit] {
+                        *x /= sum;
+                    }
+                }
+                for i in 0..t {
+                    let limit = if causal { i + 1 } else { t };
+                    let or = &mut out.row_mut(s + i)[cs..ce];
+                    let pr = p.row(i);
+                    // Four attended rows per pass; per output element the
+                    // additions stay in ascending-j order, so this matches
+                    // one-axpy-per-row bit for bit.
+                    let mut j = 0;
+                    while j + 4 <= limit {
+                        let (p0, p1, p2, p3) = (pr[j], pr[j + 1], pr[j + 2], pr[j + 3]);
+                        let v0 = &v_d.row(s + j)[cs..ce];
+                        let v1 = &v_d.row(s + j + 1)[cs..ce];
+                        let v2 = &v_d.row(s + j + 2)[cs..ce];
+                        let v3 = &v_d.row(s + j + 3)[cs..ce];
+                        for c in 0..or.len() {
+                            or[c] = (((or[c] + p0 * v0[c]) + p1 * v1[c]) + p2 * v2[c])
+                                + p3 * v3[c];
+                        }
+                        j += 4;
+                    }
+                    for jj in j..limit {
+                        if pr[jj] != 0.0 {
+                            kcb_ml::linalg::axpy(pr[jj], &v_d.row(s + jj)[cs..ce], or);
+                        }
+                    }
+                }
+                probs.push(p);
+            }
+        }
+        drop(q_d);
+        drop(k_d);
+        drop(v_d);
+        let q = self.clone();
+        let k = k.clone();
+        let v = v.clone();
+        let segments_owned: Vec<usize> = segments.to_vec();
+        Tensor::from_op(
+            out,
+            vec![q.clone(), k.clone(), v.clone()],
+            Box::new(move |me| {
+                let g = me.grad.borrow();
+                let q_d = q.data();
+                let k_d = k.data();
+                let v_d = v.data();
+                for (bi, w) in segments_owned.windows(2).enumerate() {
+                    let (s, e) = (w[0], w[1]);
+                    let t = e - s;
+                    for h in 0..n_heads {
+                        let (cs, ce) = (h * hd, (h + 1) * hd);
+                        let p = &probs[bi * n_heads + h];
+                        let mut dq = Matrix::zeros(t, hd);
+                        let mut dk = Matrix::zeros(t, hd);
+                        let mut dv = Matrix::zeros(t, hd);
+                        let mut dp = vec![0.0f32; t];
+                        for i in 0..t {
+                            let gi = &g.row(s + i)[cs..ce];
+                            let pr = p.row(i);
+                            // Positions past `limit` hold structural zeros
+                            // (the causal mask), not attended rows.
+                            let limit = if causal { i + 1 } else { t };
+                            // dV += Pᵀ @ G (row i scatters into every attended j).
+                            for (j, &pv) in pr[..limit].iter().enumerate() {
+                                if pv != 0.0 {
+                                    kcb_ml::linalg::axpy(pv, gi, dv.row_mut(j));
+                                }
+                            }
+                            // dP row, then the softmax Jacobian gives dS.
+                            dp[limit..].fill(0.0);
+                            let mut j = 0;
+                            while j + 4 <= limit {
+                                let d = kcb_ml::linalg::dot4(
+                                    gi,
+                                    &v_d.row(s + j)[cs..ce],
+                                    &v_d.row(s + j + 1)[cs..ce],
+                                    &v_d.row(s + j + 2)[cs..ce],
+                                    &v_d.row(s + j + 3)[cs..ce],
+                                );
+                                dp[j..j + 4].copy_from_slice(&d);
+                                j += 4;
+                            }
+                            for jj in j..limit {
+                                dp[jj] = kcb_ml::linalg::dot(gi, &v_d.row(s + jj)[cs..ce]);
+                            }
+                            let row_dot: f32 =
+                                pr[..limit].iter().zip(&dp).map(|(a, b)| a * b).sum();
+                            // dQ_i accumulates over j ascending (4 at a time,
+                            // association unchanged); dK_j is a scatter.
+                            let dqi = dq.row_mut(i);
+                            let qi = &q_d.row(s + i)[cs..ce];
+                            let ds_at = |j: usize, pv: f32| pv * (dp[j] - row_dot) * scale;
+                            let mut j = 0;
+                            while j + 4 <= limit {
+                                let (s0, s1, s2, s3) = (
+                                    ds_at(j, pr[j]),
+                                    ds_at(j + 1, pr[j + 1]),
+                                    ds_at(j + 2, pr[j + 2]),
+                                    ds_at(j + 3, pr[j + 3]),
+                                );
+                                let k0 = &k_d.row(s + j)[cs..ce];
+                                let k1 = &k_d.row(s + j + 1)[cs..ce];
+                                let k2 = &k_d.row(s + j + 2)[cs..ce];
+                                let k3 = &k_d.row(s + j + 3)[cs..ce];
+                                for c in 0..dqi.len() {
+                                    dqi[c] = (((dqi[c] + s0 * k0[c]) + s1 * k1[c]) + s2 * k2[c])
+                                        + s3 * k3[c];
+                                }
+                                for (jj, ds) in [(j, s0), (j + 1, s1), (j + 2, s2), (j + 3, s3)] {
+                                    if ds != 0.0 {
+                                        kcb_ml::linalg::axpy(ds, qi, dk.row_mut(jj));
+                                    }
+                                }
+                                j += 4;
+                            }
+                            for jj in j..limit {
+                                let ds = ds_at(jj, pr[jj]);
+                                if ds != 0.0 {
+                                    kcb_ml::linalg::axpy(ds, &k_d.row(s + jj)[cs..ce], dqi);
+                                    kcb_ml::linalg::axpy(ds, qi, dk.row_mut(jj));
+                                }
+                            }
+                        }
+                        q.accum_grad_block(s, cs, &dq);
+                        k.accum_grad_block(s, cs, &dk);
+                        v.accum_grad_block(s, cs, &dv);
+                    }
+                }
+            }),
+        )
+    }
+
+    /// Per-row weighted cross-entropy: `Σ_r w_r · CE(logits_r, t_r)`.
+    ///
+    /// The batched training loops use this to preserve the unbatched
+    /// per-sequence-mean loss semantics exactly: a packed batch of B
+    /// sequences, where sequence i supervises nᵢ rows, passes
+    /// `w = 1 / (nᵢ · B)` for each of its rows so the loss (and therefore
+    /// every gradient) equals the mean of per-sequence mean losses.
+    pub fn cross_entropy_weighted(&self, targets: &[u32], weights: &[f32]) -> Tensor {
+        let logits = self.data();
+        assert_eq!(logits.rows(), targets.len(), "logit/target row mismatch");
+        assert_eq!(targets.len(), weights.len(), "target/weight mismatch");
+        let mut total = 0.0f64;
+        let mut probs = Matrix::zeros(logits.rows(), logits.cols());
+        for r in 0..logits.rows() {
+            let row = logits.row(r);
+            let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0f32;
+            for c in 0..row.len() {
+                let e = (row[c] - max).exp();
+                probs.row_mut(r)[c] = e;
+                sum += e;
+            }
+            for c in 0..row.len() {
+                probs.row_mut(r)[c] /= sum;
+            }
+            let p = probs.row(r)[targets[r] as usize].max(1e-12);
+            total -= f64::from(weights[r]) * (p as f64).ln();
+        }
+        let loss = Matrix::from_vec(vec![total as f32], 1, 1);
+        drop(logits);
+        let a = self.clone();
+        let targets_owned: Vec<u32> = targets.to_vec();
+        let weights_owned: Vec<f32> = weights.to_vec();
+        Tensor::from_op(
+            loss,
+            vec![a.clone()],
+            Box::new(move |me| {
+                let g = me.grad.borrow().get(0, 0);
+                let mut d = probs.clone();
+                for r in 0..d.rows() {
+                    d.row_mut(r)[targets_owned[r] as usize] -= 1.0;
+                    let wr = g * weights_owned[r];
+                    for v in d.row_mut(r) {
+                        *v *= wr;
+                    }
+                }
+                a.accum_grad(&d);
+            }),
+        )
+    }
 }
 
 /// Sentinel target id excluded from [`Tensor::cross_entropy`].
 pub const IGNORE_TARGET: u32 = u32::MAX;
 
-fn gelu(x: f32) -> f32 {
+/// `tanh` of the GELU inner polynomial — shared by forward and backward so
+/// the transcendental is evaluated once per element.
+fn gelu_tanh(x: f32) -> f32 {
     const C: f32 = 0.797_884_6; // sqrt(2/pi)
-    0.5 * x * (1.0 + (C * (x + 0.044715 * x * x * x)).tanh())
+    (C * (x + 0.044715 * x * x * x)).tanh()
 }
 
-fn gelu_grad(x: f32) -> f32 {
+fn gelu_grad_cached(x: f32, t: f32) -> f32 {
     const C: f32 = 0.797_884_6;
-    let inner = C * (x + 0.044715 * x * x * x);
-    let t = inner.tanh();
     let sech2 = 1.0 - t * t;
     0.5 * (1.0 + t) + 0.5 * x * sech2 * C * (1.0 + 3.0 * 0.044715 * x * x)
 }
 
-fn matmul_nn(a: &Matrix, b: &Matrix) -> Matrix {
+/// Register-tile height (output rows) for the axpy-form kernels.
+const MR: usize = 4;
+/// Register-tile width (output cols): 8 f32 = two SSE lanes, small enough
+/// that an `MR × NR` accumulator block stays in xmm registers.
+const NR: usize = 8;
+
+/// `a (m,k) @ b (k,n)`: row-parallel with an `MR × NR` register-tiled
+/// inner kernel. Each output element still accumulates over k in ascending
+/// order — identical association to the plain axpy loop — so tiling never
+/// perturbs results; it just keeps the accumulators in registers instead
+/// of re-streaming the output row once per k. Public so the criterion
+/// benches can measure the kernel in isolation.
+pub fn matmul_nn(a: &Matrix, b: &Matrix) -> Matrix {
     assert_eq!(a.cols(), b.rows(), "matmul inner dim");
-    let mut out = Matrix::zeros(a.rows(), b.cols());
-    for i in 0..a.rows() {
-        let ar = a.row(i);
-        let or = out.row_mut(i);
-        for (k, &av) in ar.iter().enumerate() {
-            if av != 0.0 {
+    let (inner, cols) = (a.cols(), b.cols());
+    let mut out = Matrix::zeros(a.rows(), cols);
+    crate::pool::parallel_row_chunks(out.as_mut_slice(), cols, inner * cols, |first, chunk| {
+        let rows = chunk.len() / cols;
+        let mut r = 0;
+        while r + MR <= rows {
+            let ar: [&[f32]; MR] = std::array::from_fn(|i| a.row(first + r + i));
+            let mut j = 0;
+            while j + NR <= cols {
+                let mut acc = [[0.0f32; NR]; MR];
+                for k in 0..inner {
+                    let bk: &[f32; NR] = b.row(k)[j..j + NR].try_into().expect("NR slice");
+                    for (accr, arow) in acc.iter_mut().zip(&ar) {
+                        let av = arow[k];
+                        for (accv, bv) in accr.iter_mut().zip(bk) {
+                            *accv += av * bv;
+                        }
+                    }
+                }
+                for (i2, accr) in acc.iter().enumerate() {
+                    chunk[(r + i2) * cols + j..][..NR].copy_from_slice(accr);
+                }
+                j += NR;
+            }
+            if j < cols {
+                for (i2, arow) in ar.iter().enumerate() {
+                    let or = &mut chunk[(r + i2) * cols + j..(r + i2) * cols + cols];
+                    for (k, &av) in arow.iter().enumerate() {
+                        kcb_ml::linalg::axpy(av, &b.row(k)[j..], or);
+                    }
+                }
+            }
+            r += MR;
+        }
+        for i2 in r..rows {
+            let ar = a.row(first + i2);
+            let or = &mut chunk[i2 * cols..(i2 + 1) * cols];
+            for (k, &av) in ar.iter().enumerate() {
                 kcb_ml::linalg::axpy(av, b.row(k), or);
             }
         }
-    }
+    });
     out
 }
 
-fn matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
+/// `a (m,k) @ bᵀ` for `b (n,k)`: materialises `bᵀ` (b is always the small
+/// weight/score operand, so the transpose is negligible next to the
+/// product) and runs the register-tiled [`matmul_nn`] kernel on contiguous
+/// rows. Accumulation is ascending in k per output element.
+pub fn matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
     assert_eq!(a.cols(), b.cols(), "matmul_nt inner dim");
-    let mut out = Matrix::zeros(a.rows(), b.rows());
-    for i in 0..a.rows() {
-        let ar = a.row(i);
-        for j in 0..b.rows() {
-            out.row_mut(i)[j] = kcb_ml::linalg::dot(ar, b.row(j));
-        }
-    }
-    out
-}
-
-fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
-    assert_eq!(a.rows(), b.rows(), "matmul_tn inner dim");
-    let mut out = Matrix::zeros(a.cols(), b.cols());
-    for k in 0..a.rows() {
-        let ar = a.row(k);
-        let br = b.row(k);
-        for (i, &av) in ar.iter().enumerate() {
-            if av != 0.0 {
-                kcb_ml::linalg::axpy(av, br, out.row_mut(i));
+    let (n, k) = (b.rows(), b.cols());
+    let mut bt = Matrix::zeros(k, n);
+    {
+        let flat = bt.as_mut_slice();
+        for r in 0..n {
+            for (c, &v) in b.row(r).iter().enumerate() {
+                flat[c * n + r] = v;
             }
         }
     }
+    matmul_nn(a, &bt)
+}
+
+/// `aᵀ @ b` for `a (k,m)`, `b (k,n)`: row-parallel over the `m` output
+/// rows with the same `MR × NR` register tiling as [`matmul_nn`] — per
+/// tile step the MR "a" values are one contiguous run of a's row k.
+/// Accumulation stays ascending in k for every output element.
+pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.rows(), b.rows(), "matmul_tn inner dim");
+    let (inner, cols, a_cols) = (a.rows(), b.cols(), a.cols());
+    let a_flat = a.as_slice();
+    let mut out = Matrix::zeros(a.cols(), cols);
+    crate::pool::parallel_row_chunks(out.as_mut_slice(), cols, inner * cols, |first, chunk| {
+        let rows = chunk.len() / cols;
+        let mut r = 0;
+        while r + MR <= rows {
+            let mut j = 0;
+            while j + NR <= cols {
+                let mut acc = [[0.0f32; NR]; MR];
+                for k in 0..inner {
+                    let avs: &[f32; MR] =
+                        a_flat[k * a_cols + first + r..][..MR].try_into().expect("MR slice");
+                    let bk: &[f32; NR] = b.row(k)[j..j + NR].try_into().expect("NR slice");
+                    for (accr, &av) in acc.iter_mut().zip(avs) {
+                        for (accv, bv) in accr.iter_mut().zip(bk) {
+                            *accv += av * bv;
+                        }
+                    }
+                }
+                for (i2, accr) in acc.iter().enumerate() {
+                    chunk[(r + i2) * cols + j..][..NR].copy_from_slice(accr);
+                }
+                j += NR;
+            }
+            if j < cols {
+                for i2 in 0..MR {
+                    let i = first + r + i2;
+                    let or = &mut chunk[(r + i2) * cols + j..(r + i2) * cols + cols];
+                    for k in 0..inner {
+                        kcb_ml::linalg::axpy(a_flat[k * a_cols + i], &b.row(k)[j..], or);
+                    }
+                }
+            }
+            r += MR;
+        }
+        for i2 in r..rows {
+            let i = first + i2;
+            let or = &mut chunk[i2 * cols..(i2 + 1) * cols];
+            for k in 0..inner {
+                kcb_ml::linalg::axpy(a_flat[k * a_cols + i], b.row(k), or);
+            }
+        }
+    });
     out
 }
 
@@ -738,6 +1108,180 @@ mod tests {
         let g = logits.grad();
         assert!(g.row(1).iter().all(|&v| v == 0.0), "masked row must get no grad");
         assert!(g.row(0).iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn attention_single_segment_matches_op_chain() {
+        // The fused op must reproduce softmax(q kᵀ · s) @ v for one
+        // segment, causal and not. The two paths accumulate their dot
+        // products in different (but each fixed) orders, so equality is up
+        // to a few ULPs rather than bitwise.
+        for causal in [false, true] {
+            let q = Tensor::leaf(mat(5, 4, 20));
+            let k = Tensor::leaf(mat(5, 4, 21));
+            let v = Tensor::leaf(mat(5, 4, 22));
+            let fused = q.attention(&k, &v, &[0, 5], 1, causal, 0.5);
+            let chain = q.matmul_t(&k).scale(0.5).softmax_rows(causal).matmul(&v);
+            for (a, b) in fused.data().as_slice().iter().zip(chain.data().as_slice()) {
+                assert!((a - b).abs() < 1e-6, "causal={causal}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn attention_blocks_are_independent() {
+        // A packed pair of sequences must equal the two single-sequence
+        // results stacked: no cross-segment leakage.
+        let q = Tensor::leaf(mat(7, 4, 23));
+        let k = Tensor::leaf(mat(7, 4, 24));
+        let v = Tensor::leaf(mat(7, 4, 25));
+        let packed = q.attention(&k, &v, &[0, 3, 7], 1, false, 0.7);
+        let take = |t: &Tensor, rows: std::ops::Range<usize>| {
+            Tensor::leaf(Matrix::from_rows(rows.map(|r| t.data().row(r).to_vec())))
+        };
+        let first =
+            take(&q, 0..3).attention(&take(&k, 0..3), &take(&v, 0..3), &[0, 3], 1, false, 0.7);
+        let second =
+            take(&q, 3..7).attention(&take(&k, 3..7), &take(&v, 3..7), &[0, 4], 1, false, 0.7);
+        for r in 0..3 {
+            assert_eq!(packed.data().row(r), first.data().row(r));
+        }
+        for r in 0..4 {
+            assert_eq!(packed.data().row(3 + r), second.data().row(r));
+        }
+    }
+
+    #[test]
+    fn attention_multi_head_matches_per_head_slices() {
+        // Fused two-head attention on a (R, 6) matrix must equal two
+        // independent one-head calls on the (R, 3) column slices — forward
+        // AND gradients, bitwise (same per-head arithmetic either way).
+        let qm = mat(5, 6, 40);
+        let km = mat(5, 6, 41);
+        let vm = mat(5, 6, 42);
+        let cols = |m: &Matrix, r: std::ops::Range<usize>| {
+            Matrix::from_rows((0..m.rows()).map(|i| m.row(i)[r.clone()].to_vec()))
+        };
+        let q = Tensor::leaf(qm.clone());
+        let k = Tensor::leaf(km.clone());
+        let v = Tensor::leaf(vm.clone());
+        let fused = q.attention(&k, &v, &[0, 2, 5], 2, false, 0.4);
+        let ones = Tensor::leaf(Matrix::from_vec(vec![1.0; 6], 6, 1));
+        let rows1 = Tensor::leaf(Matrix::from_vec(vec![1.0; 5], 1, 5));
+        rows1.matmul(&fused.matmul(&ones)).backward();
+        for h in 0..2 {
+            let (cs, ce) = (h * 3, h * 3 + 3);
+            let qh = Tensor::leaf(cols(&qm, cs..ce));
+            let kh = Tensor::leaf(cols(&km, cs..ce));
+            let vh = Tensor::leaf(cols(&vm, cs..ce));
+            let single = qh.attention(&kh, &vh, &[0, 2, 5], 1, false, 0.4);
+            for r in 0..5 {
+                assert_eq!(&fused.data().row(r)[cs..ce], single.data().row(r), "head {h} row {r}");
+            }
+            let ones3 = Tensor::leaf(Matrix::from_vec(vec![1.0; 3], 3, 1));
+            let rows1b = Tensor::leaf(Matrix::from_vec(vec![1.0; 5], 1, 5));
+            rows1b.matmul(&single.matmul(&ones3)).backward();
+            for (t, th) in [(&q, &qh), (&k, &kh), (&v, &vh)] {
+                for r in 0..5 {
+                    assert_eq!(
+                        &t.grad().row(r)[cs..ce],
+                        th.grad().row(r),
+                        "head {h} grad row {r}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn attention_grads_match_op_chain() {
+        // Same graph two ways; all three inputs must receive identical
+        // gradients (up to float noise from differing accumulation order).
+        let qm = mat(6, 3, 26);
+        let km = mat(6, 3, 27);
+        let vm = mat(6, 3, 28);
+        let run = |fused: bool| -> Vec<Matrix> {
+            let q = Tensor::leaf(qm.clone());
+            let k = Tensor::leaf(km.clone());
+            let v = Tensor::leaf(vm.clone());
+            let out = if fused {
+                q.attention(&k, &v, &[0, 2, 6], 1, false, 0.6)
+            } else {
+                // Two separate single-segment chains stacked via select.
+                let sel = |t: &Tensor, rows: &[usize]| t.select_rows(rows);
+                let a = sel(&q, &[0, 1])
+                    .matmul_t(&sel(&k, &[0, 1]))
+                    .scale(0.6)
+                    .softmax_rows(false)
+                    .matmul(&sel(&v, &[0, 1]));
+                let b = sel(&q, &[2, 3, 4, 5])
+                    .matmul_t(&sel(&k, &[2, 3, 4, 5]))
+                    .scale(0.6)
+                    .softmax_rows(false)
+                    .matmul(&sel(&v, &[2, 3, 4, 5]));
+                // Reduce each to the same scalar sum as the fused path.
+                let ones3 = Tensor::leaf(Matrix::from_vec(vec![1.0; 3], 3, 1));
+                let oa = Tensor::leaf(Matrix::from_vec(vec![1.0; 2], 1, 2))
+                    .matmul(&a.matmul(&ones3));
+                let ob = Tensor::leaf(Matrix::from_vec(vec![1.0; 4], 1, 4))
+                    .matmul(&b.matmul(&ones3));
+                oa.add(&ob).backward();
+                let grads = vec![q.grad().clone(), k.grad().clone(), v.grad().clone()];
+                return grads;
+            };
+            let ones3 = Tensor::leaf(Matrix::from_vec(vec![1.0; 3], 3, 1));
+            let ones6 = Tensor::leaf(Matrix::from_vec(vec![1.0; 6], 1, 6));
+            ones6.matmul(&out.matmul(&ones3)).backward();
+            let grads = vec![q.grad().clone(), k.grad().clone(), v.grad().clone()];
+            grads
+        };
+        let fused = run(true);
+        let chain = run(false);
+        for (name, (f, c)) in ["q", "k", "v"].iter().zip(fused.iter().zip(&chain)) {
+            for r in 0..6 {
+                for col in 0..3 {
+                    assert!(
+                        (f.get(r, col) - c.get(r, col)).abs() < 1e-4,
+                        "d{name} mismatch at ({r},{col}): {} vs {}",
+                        f.get(r, col),
+                        c.get(r, col)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_ce_matches_uniform_mean() {
+        // With w_r = 1/n the weighted loss and grads equal cross_entropy.
+        let m = mat(4, 5, 29);
+        let targets = [1u32, 0, 4, 2];
+        let a = Tensor::leaf(m.clone());
+        let la = a.cross_entropy(&targets);
+        la.backward();
+        let b = Tensor::leaf(m);
+        let lb = b.cross_entropy_weighted(&targets, &[0.25; 4]);
+        lb.backward();
+        assert!((la.data().get(0, 0) - lb.data().get(0, 0)).abs() < 1e-6);
+        for r in 0..4 {
+            for c in 0..5 {
+                assert!((a.grad().get(r, c) - b.grad().get(r, c)).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_ce_respects_per_row_weights() {
+        // Doubling one row's weight doubles its gradient contribution.
+        let m = mat(2, 3, 30);
+        let t = Tensor::leaf(m);
+        let loss = t.cross_entropy_weighted(&[0, 2], &[0.2, 0.8]);
+        loss.backward();
+        let g = t.grad();
+        // Row sums of |grad| scale with the weights.
+        let s0: f32 = g.row(0).iter().map(|v| v.abs()).sum();
+        let s1: f32 = g.row(1).iter().map(|v| v.abs()).sum();
+        assert!(s1 > s0, "heavier row must dominate: {s0} vs {s1}");
     }
 
     #[test]

@@ -71,17 +71,38 @@ pub(crate) fn xavier(rows: usize, cols: usize, rng: &mut Rng) -> Matrix {
     Matrix::from_vec((0..rows * cols).map(|_| rng.f32_range(-scale, scale)).collect(), rows, cols)
 }
 
-/// One attention head's projections.
-struct Head {
+/// Column-concatenates per-head `(d, hd)` matrices into one `(d, H·hd)`.
+fn hstack(mats: &[Matrix]) -> Matrix {
+    let rows = mats[0].rows();
+    Matrix::from_rows((0..rows).map(|r| {
+        let mut row = Vec::new();
+        for m in mats {
+            row.extend_from_slice(m.row(r));
+        }
+        row
+    }))
+}
+
+/// Row-concatenates per-head `(hd, d)` matrices into one `(H·hd, d)`.
+fn vstack(mats: &[Matrix]) -> Matrix {
+    Matrix::from_rows(mats.iter().flat_map(|m| (0..m.rows()).map(|r| m.row(r).to_vec())))
+}
+
+/// A pre-LN transformer block.
+///
+/// The per-head Q/K/V/O projections are stored *fused*: `wq`/`wk`/`wv` are
+/// `(d, d)` with head `h` owning columns `h·hd..(h+1)·hd`, and `wo` is
+/// `(d, d)` with head `h` owning the matching rows. One wide matmul per
+/// projection then computes all heads at once — mathematically identical to
+/// per-head `(d, hd)` matmuls (block-column structure) and to summing
+/// per-head `o_h @ wo_h` outputs (block-row structure), but ~4× wider
+/// kernels, which is what the serial axpy inner loops need to hit good
+/// throughput at mini-model widths.
+pub struct Block {
     wq: Tensor,
     wk: Tensor,
     wv: Tensor,
     wo: Tensor,
-}
-
-/// A pre-LN transformer block.
-pub struct Block {
-    heads: Vec<Head>,
     ln1_g: Tensor,
     ln1_b: Tensor,
     ln2_g: Tensor,
@@ -90,6 +111,7 @@ pub struct Block {
     b1: Tensor,
     w2: Tensor,
     b2: Tensor,
+    n_heads: usize,
     head_scale: f32,
 }
 
@@ -97,16 +119,26 @@ impl Block {
     fn new(cfg: &TransformerConfig, rng: &mut Rng) -> Self {
         let d = cfg.d_model;
         let hd = d / cfg.n_heads;
-        let heads = (0..cfg.n_heads)
-            .map(|_| Head {
-                wq: Tensor::leaf(xavier(d, hd, rng)),
-                wk: Tensor::leaf(xavier(d, hd, rng)),
-                wv: Tensor::leaf(xavier(d, hd, rng)),
-                wo: Tensor::leaf(xavier(hd, d, rng)),
+        // Draw per-head matrices in the historical order (q, k, v, o per
+        // head) so the init stream — and thus every per-head weight value —
+        // matches the unfused layout, then pack them.
+        let per_head: Vec<[Matrix; 4]> = (0..cfg.n_heads)
+            .map(|_| {
+                [
+                    xavier(d, hd, rng),
+                    xavier(d, hd, rng),
+                    xavier(d, hd, rng),
+                    xavier(hd, d, rng),
+                ]
             })
             .collect();
+        let pick = |i: usize| per_head.iter().map(|h| h[i].clone()).collect::<Vec<_>>();
         Self {
-            heads,
+            wq: Tensor::leaf(hstack(&pick(0))),
+            wk: Tensor::leaf(hstack(&pick(1))),
+            wv: Tensor::leaf(hstack(&pick(2))),
+            wo: Tensor::leaf(vstack(&pick(3))),
+            n_heads: cfg.n_heads,
             ln1_g: Tensor::leaf(Matrix::from_vec(vec![1.0; d], 1, d)),
             ln1_b: Tensor::leaf(Matrix::zeros(1, d)),
             ln2_g: Tensor::leaf(Matrix::from_vec(vec![1.0; d], 1, d)),
@@ -119,24 +151,25 @@ impl Block {
         }
     }
 
-    /// Applies the block to a `(T, d)` activation.
+    /// Applies the block to a single-sequence `(T, d)` activation.
     pub fn forward(&self, x: &Tensor, causal: bool) -> Tensor {
-        // Attention sub-layer.
+        let rows = x.shape().0;
+        self.forward_packed(x, &[0, rows], causal)
+    }
+
+    /// Applies the block to a packed batch: `x` stacks the sequences
+    /// row-wise and `segments` delimits them (see [`Tensor::attention`]).
+    /// Everything except attention is row-local, so only the attention
+    /// sub-layer needs the segment structure.
+    pub fn forward_packed(&self, x: &Tensor, segments: &[usize], causal: bool) -> Tensor {
+        // Attention sub-layer: three wide fused-head projections, one
+        // multi-head attention op, one output projection.
         let normed = x.layer_norm(&self.ln1_g, &self.ln1_b);
-        let mut attn_out: Option<Tensor> = None;
-        for h in &self.heads {
-            let q = normed.matmul(&h.wq);
-            let k = normed.matmul(&h.wk);
-            let v = normed.matmul(&h.wv);
-            let scores = q.matmul_t(&k).scale(self.head_scale);
-            let p = scores.softmax_rows(causal);
-            let o = p.matmul(&v).matmul(&h.wo);
-            attn_out = Some(match attn_out {
-                Some(acc) => acc.add(&o),
-                None => o,
-            });
-        }
-        let h1 = x.add(&attn_out.expect("at least one head"));
+        let q = normed.matmul(&self.wq);
+        let k = normed.matmul(&self.wk);
+        let v = normed.matmul(&self.wv);
+        let ctx = q.attention(&k, &v, segments, self.n_heads, causal, self.head_scale);
+        let h1 = x.add(&ctx.matmul(&self.wo));
         // Feed-forward sub-layer.
         let normed2 = h1.layer_norm(&self.ln2_g, &self.ln2_b);
         let ff = normed2.matmul(&self.w1).add_row(&self.b1).gelu().matmul(&self.w2).add_row(&self.b2);
@@ -144,9 +177,7 @@ impl Block {
     }
 
     fn params(&self, out: &mut Vec<Tensor>) {
-        for h in &self.heads {
-            out.extend([h.wq.clone(), h.wk.clone(), h.wv.clone(), h.wo.clone()]);
-        }
+        out.extend([self.wq.clone(), self.wk.clone(), self.wv.clone(), self.wo.clone()]);
         out.extend([
             self.ln1_g.clone(),
             self.ln1_b.clone(),
@@ -200,22 +231,65 @@ impl Backbone {
         assert!(!ids.is_empty(), "empty input sequence");
         assert!(ids.len() <= self.cfg.max_len, "sequence exceeds max_len");
         let positions: Vec<u32> = (0..ids.len() as u32).collect();
+        self.forward_packed_all(ids, &positions, &[0, ids.len()], causal)
+    }
+
+    /// Runs the stack and returns the final `(T, d)` hidden state.
+    pub fn forward(&self, ids: &[u32], causal: bool) -> Tensor {
+        self.forward_all(ids, causal).pop().expect("non-empty states")
+    }
+
+    /// Runs the stack over a packed mini-batch, returning every hidden
+    /// state of the `(Σ tᵢ, d)` packed activation plus the segment offsets
+    /// `[0, t₁, t₁+t₂, …]` locating each sequence's rows.
+    ///
+    /// Positions restart at 0 per sequence and attention is block-diagonal
+    /// ([`Tensor::attention`]), so each sequence's rows are exactly what
+    /// [`Backbone::forward_all`] would produce for it alone — batching
+    /// amortises the per-op tape overhead and feeds the parallel matmul
+    /// kernels matrices big enough to split across the worker pool.
+    pub fn forward_batch_all(&self, seqs: &[&[u32]], causal: bool) -> (Vec<Tensor>, Vec<usize>) {
+        assert!(!seqs.is_empty(), "empty batch");
+        let total: usize = seqs.iter().map(|s| s.len()).sum();
+        let mut ids = Vec::with_capacity(total);
+        let mut positions = Vec::with_capacity(total);
+        let mut segments = Vec::with_capacity(seqs.len() + 1);
+        segments.push(0);
+        for s in seqs {
+            assert!(!s.is_empty(), "empty input sequence");
+            assert!(s.len() <= self.cfg.max_len, "sequence exceeds max_len");
+            ids.extend_from_slice(s);
+            positions.extend(0..s.len() as u32);
+            segments.push(ids.len());
+        }
+        (self.forward_packed_all(&ids, &positions, &segments, causal), segments)
+    }
+
+    /// Like [`Backbone::forward_batch_all`] but returns only the final
+    /// hidden state.
+    pub fn forward_batch(&self, seqs: &[&[u32]], causal: bool) -> (Tensor, Vec<usize>) {
+        let (mut states, segments) = self.forward_batch_all(seqs, causal);
+        (states.pop().expect("non-empty states"), segments)
+    }
+
+    fn forward_packed_all(
+        &self,
+        ids: &[u32],
+        positions: &[u32],
+        segments: &[usize],
+        causal: bool,
+    ) -> Vec<Tensor> {
         let mut states = Vec::with_capacity(self.cfg.n_layers + 2);
-        let mut x = self.tok_emb.gather(ids).add(&self.pos_emb.gather(&positions));
+        let mut x = self.tok_emb.gather(ids).add(&self.pos_emb.gather(positions));
         states.push(x.clone());
         for b in &self.blocks {
-            x = b.forward(&x, causal);
+            x = b.forward_packed(&x, segments, causal);
             states.push(x.clone());
         }
         let last = x.layer_norm(&self.ln_f_g, &self.ln_f_b);
         let i = states.len() - 1;
         states[i] = last;
         states
-    }
-
-    /// Runs the stack and returns the final `(T, d)` hidden state.
-    pub fn forward(&self, ids: &[u32], causal: bool) -> Tensor {
-        self.forward_all(ids, causal).pop().expect("non-empty states")
     }
 
     /// All trainable parameters.
@@ -296,8 +370,8 @@ mod tests {
         let mut rng = Rng::seed(4);
         let bb = Backbone::new(tiny_cfg(), &mut rng);
         let params = bb.params();
-        // 2 emb + 2 blocks × (2 heads × 4 + 8) + 2 final LN = 2+2*16+2 = 36.
-        assert_eq!(params.len(), 36);
+        // 2 emb + 2 blocks × (4 fused attn + 8) + 2 final LN = 2+2*12+2 = 28.
+        assert_eq!(params.len(), 28);
         // Gradient flows to every parameter.
         let out = bb.forward(&[1, 2, 3], false);
         let loss = out.cross_entropy(&[0, 0, 0]); // logits misuse is fine for shape
@@ -308,7 +382,41 @@ mod tests {
             .count();
         // Everything except maybe the unused-position rows should get grad;
         // count tensors with any nonzero grad.
-        assert!(with_grad > 30, "only {with_grad}/36 params received gradient");
+        assert!(with_grad > 24, "only {with_grad}/28 params received gradient");
+    }
+
+    #[test]
+    fn batched_forward_matches_single_sequences_exactly() {
+        // Block-diagonal attention + row-local ops: every packed row must be
+        // bitwise equal to the unbatched forward of its own sequence.
+        let mut rng = Rng::seed(6);
+        let bb = Backbone::new(tiny_cfg(), &mut rng);
+        let seqs: [&[u32]; 3] = [&[1, 2, 3, 4], &[9, 8], &[5, 6, 7, 8, 9, 10]];
+        for causal in [false, true] {
+            let (batched, segments) = bb.forward_batch(&seqs, causal);
+            assert_eq!(segments, vec![0, 4, 6, 12]);
+            for (si, seq) in seqs.iter().enumerate() {
+                let single = bb.forward(seq, causal);
+                for r in 0..seq.len() {
+                    assert_eq!(
+                        batched.data().row(segments[si] + r),
+                        single.data().row(r),
+                        "seq {si} row {r} causal={causal}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_forward_all_exposes_every_layer() {
+        let mut rng = Rng::seed(7);
+        let bb = Backbone::new(tiny_cfg(), &mut rng);
+        let seqs: [&[u32]; 2] = [&[1, 2], &[3, 4, 5]];
+        let (states, segments) = bb.forward_batch_all(&seqs, false);
+        assert_eq!(states.len(), 3); // embeddings + 2 blocks (last normed)
+        assert_eq!(segments, vec![0, 2, 5]);
+        assert_eq!(states[0].shape(), (5, 8));
     }
 
     #[test]

@@ -1,0 +1,86 @@
+//! Thread-count determinism regressions.
+//!
+//! The repro contract is that `--threads` changes wall-clock only, never
+//! artifacts: every LM kernel fixes its per-element accumulation order, so
+//! worker layout cannot leak into results. These tests pin the pool to 1
+//! and 4 workers (via the RAII `ThreadsGuard`) and demand *bitwise*
+//! equality — any `<` / `≈` tolerance here would hide exactly the class of
+//! bug the contract forbids.
+
+use kcb_lm::pool::ThreadsGuard;
+use kcb_lm::tensor::{matmul_nn, matmul_nt, matmul_tn};
+use kcb_lm::{MiniBert, MiniBertConfig, TrainConfig, TransformerConfig};
+use kcb_ml::linalg::Matrix;
+
+/// Serializes tests that touch the process-global pool size.
+static POOL_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn pool_lock() -> std::sync::MutexGuard<'static, ()> {
+    POOL_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn filled(rows: usize, cols: usize, seed: f32) -> Matrix {
+    let mut m = Matrix::zeros(rows, cols);
+    for r in 0..rows {
+        for (c, v) in m.row_mut(r).iter_mut().enumerate() {
+            *v = ((r * 31 + c * 7) as f32 * 0.013 + seed).sin();
+        }
+    }
+    m
+}
+
+#[test]
+fn matmul_kernels_are_bitwise_identical_across_thread_counts() {
+    let _lock = pool_lock();
+    // Big enough that rows × flops/row clears MIN_PARALLEL_FLOPS, so the
+    // 4-worker run genuinely takes the chunked path on multi-core hosts.
+    let a = filled(256, 96, 0.1);
+    let b = filled(96, 96, 0.2);
+    let bt = filled(96, 96, 0.3);
+    let at = filled(96, 256, 0.4);
+    let serial = {
+        let _g = ThreadsGuard::new(1);
+        (matmul_nn(&a, &b), matmul_nt(&a, &bt), matmul_tn(&at, &b))
+    };
+    let parallel = {
+        let _g = ThreadsGuard::new(4);
+        (matmul_nn(&a, &b), matmul_nt(&a, &bt), matmul_tn(&at, &b))
+    };
+    assert_eq!(serial.0.as_slice(), parallel.0.as_slice(), "matmul_nn");
+    assert_eq!(serial.1.as_slice(), parallel.1.as_slice(), "matmul_nt");
+    assert_eq!(serial.2.as_slice(), parallel.2.as_slice(), "matmul_tn");
+}
+
+fn pretrain_snapshot(threads: usize) -> (Vec<f32>, Vec<Matrix>) {
+    let _g = ThreadsGuard::new(threads);
+    let bert = MiniBert::new(MiniBertConfig {
+        arch: TransformerConfig {
+            vocab_size: 200,
+            d_model: 32,
+            n_heads: 4,
+            n_layers: 2,
+            d_ff: 64,
+            max_len: 32,
+            seed: 11,
+        },
+        mask_prob: 0.15,
+    });
+    let corpus: Vec<Vec<u32>> = (0..24)
+        .map(|i| (0..20).map(|j| 5 + ((i * 17 + j * 3) % 190) as u32).collect())
+        .collect();
+    let tc = TrainConfig { epochs: 1, lr: 1e-3, batch_size: 8, seed: 9 };
+    let losses = bert.pretrain_mlm(&corpus, &tc);
+    (losses, bert.snapshot())
+}
+
+#[test]
+fn mlm_pretraining_is_bitwise_identical_across_thread_counts() {
+    let _lock = pool_lock();
+    let (losses_1, weights_1) = pretrain_snapshot(1);
+    let (losses_4, weights_4) = pretrain_snapshot(4);
+    assert_eq!(losses_1, losses_4, "per-epoch losses must match bitwise");
+    assert_eq!(weights_1.len(), weights_4.len());
+    for (i, (w1, w4)) in weights_1.iter().zip(&weights_4).enumerate() {
+        assert_eq!(w1.as_slice(), w4.as_slice(), "weight matrix {i}");
+    }
+}

@@ -74,6 +74,12 @@ impl Matrix {
         &self.data
     }
 
+    /// Mutable flat backing slice (row-major). Lets parallel kernels split
+    /// the matrix into disjoint row chunks via `chunks_mut`.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
     /// Iterates over rows.
     pub fn iter_rows(&self) -> impl Iterator<Item = &[f32]> {
         self.data.chunks_exact(self.cols)
@@ -87,11 +93,62 @@ pub fn sigmoid(x: f32) -> f32 {
     1.0 / (1.0 + (-x).exp())
 }
 
-/// Dot product.
+/// Dot product, accumulated in four independent lanes (lane `i` sums the
+/// products at indices `≡ i mod 4`, then `(l0+l2)+(l1+l3)` plus the tail in
+/// order). Strict left-to-right summation would force scalar code; the
+/// fixed lane association lets LLVM emit SIMD while staying bitwise
+/// deterministic for a given slice length.
 #[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
+    let mut lanes = [0.0f32; 4];
+    let ca = a.chunks_exact(4);
+    let cb = b.chunks_exact(4);
+    let (ra, rb) = (ca.remainder(), cb.remainder());
+    for (x, y) in ca.zip(cb) {
+        lanes[0] += x[0] * y[0];
+        lanes[1] += x[1] * y[1];
+        lanes[2] += x[2] * y[2];
+        lanes[3] += x[3] * y[3];
+    }
+    let mut s = (lanes[0] + lanes[2]) + (lanes[1] + lanes[3]);
+    for (x, y) in ra.iter().zip(rb) {
+        s += x * y;
+    }
+    s
+}
+
+/// Four dot products of `a` against `b0..b3`, interleaved. Each result is
+/// bitwise identical to [`dot`] (same four-lane association); computing the
+/// independent accumulator chains together hides the FP-add latency that
+/// bounds a single running dot, which is what the `a @ bᵀ` matmul kernel
+/// needs on one core.
+#[inline]
+pub fn dot4(a: &[f32], b0: &[f32], b1: &[f32], b2: &[f32], b3: &[f32]) -> [f32; 4] {
+    debug_assert!(a.len() == b0.len() && a.len() == b1.len());
+    debug_assert!(a.len() == b2.len() && a.len() == b3.len());
+    let mut lanes = [[0.0f32; 4]; 4];
+    let n4 = (a.len() / 4) * 4;
+    let mut i = 0;
+    while i < n4 {
+        let av: &[f32] = &a[i..i + 4];
+        for (l, b) in lanes.iter_mut().zip([b0, b1, b2, b3]) {
+            let bv = &b[i..i + 4];
+            for c in 0..4 {
+                l[c] += av[c] * bv[c];
+            }
+        }
+        i += 4;
+    }
+    let mut out = [0.0f32; 4];
+    for (o, (l, b)) in out.iter_mut().zip(lanes.iter().zip([b0, b1, b2, b3])) {
+        let mut s = (l[0] + l[2]) + (l[1] + l[3]);
+        for (x, y) in a[n4..].iter().zip(&b[n4..]) {
+            s += x * y;
+        }
+        *o = s;
+    }
+    out
 }
 
 /// `y += alpha * x`.
@@ -183,6 +240,22 @@ mod tests {
         let mut y = [1.0, 1.0, 1.0];
         axpy(2.0, &a, &mut y);
         assert_eq!(y, [3.0, 5.0, 7.0]);
+    }
+
+    #[test]
+    fn dot4_matches_dot_bitwise() {
+        // Lengths exercising the lane loop, the tail, and tail-only.
+        for len in [3usize, 4, 7, 12, 48, 50] {
+            let gen = |s: u64| -> Vec<f32> {
+                (0..len).map(|i| ((i as f32 + s as f32) * 0.37).sin()).collect()
+            };
+            let a = gen(1);
+            let bs: Vec<Vec<f32>> = (2..6).map(gen).collect();
+            let d = dot4(&a, &bs[0], &bs[1], &bs[2], &bs[3]);
+            for (i, b) in bs.iter().enumerate() {
+                assert_eq!(d[i], dot(&a, b), "len {len} lane {i}");
+            }
+        }
     }
 
     #[test]

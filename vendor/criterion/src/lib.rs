@@ -1,0 +1,273 @@
+//! In-tree stand-in for the slice of `criterion` this workspace uses (see
+//! `vendor/README.md`).
+//!
+//! Matches criterion's calling convention for `harness = false` bench
+//! targets: `cargo bench` passes `--bench`, which enables real
+//! measurement; any other invocation (notably `cargo test`, which builds
+//! and runs bench targets) runs each benchmark body once as a smoke test.
+//! Measurement is a simple calibrated loop reporting the mean wall-clock
+//! time per iteration — no statistics, plots or saved baselines.
+
+use std::time::{Duration, Instant};
+
+/// Re-export for convenience (criterion's `black_box` is std's).
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    bench_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut bench_mode = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--bench" => bench_mode = true,
+                "--test" => bench_mode = false,
+                a if !a.starts_with('-') => filter = Some(a.to_string()),
+                _ => {}
+            }
+        }
+        Self { bench_mode, filter }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 100,
+            throughput: None,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let (bench_mode, skip) = self.plan(&id);
+        run_one(&id, bench_mode, skip, 100, None, f);
+        self
+    }
+
+    fn plan(&self, id: &str) -> (bool, bool) {
+        let skip = self.filter.as_deref().is_some_and(|f| !id.contains(f));
+        (self.bench_mode, skip)
+    }
+}
+
+/// A measurement of how much work one iteration performs.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifier for a parameterized benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self { id: format!("{}/{}", function.into(), parameter) }
+    }
+
+    /// Just the parameter (the group supplies the function name).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self { id: parameter.to_string() }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the target number of samples (scales measuring time).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Declares per-iteration throughput, reported alongside timing.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        let (bench_mode, skip) = self.criterion.plan(&full);
+        run_one(&full, bench_mode, skip, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        let (bench_mode, skip) = self.criterion.plan(&full);
+        run_one(&full, bench_mode, skip, self.sample_size, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; groups also end on drop).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark body; `iter` performs the measurement.
+pub struct Bencher {
+    mode: Mode,
+    elapsed: Duration,
+    iters: u64,
+}
+
+enum Mode {
+    /// Run the body once, untimed (cargo test).
+    Smoke,
+    /// Time `iters` iterations.
+    Measure(u64),
+}
+
+impl Bencher {
+    /// Calls `f` repeatedly and records the elapsed wall-clock time.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        match self.mode {
+            Mode::Smoke => {
+                black_box(f());
+                self.iters = 1;
+            }
+            Mode::Measure(iters) => {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    black_box(f());
+                }
+                self.elapsed = start.elapsed();
+                self.iters = iters;
+            }
+        }
+    }
+}
+
+fn run_one<F>(id: &str, bench_mode: bool, skip: bool, sample_size: usize, tp: Option<Throughput>, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    if skip {
+        return;
+    }
+    if !bench_mode {
+        // Smoke mode (cargo test): run once so the body is exercised.
+        let mut b = Bencher { mode: Mode::Smoke, elapsed: Duration::ZERO, iters: 0 };
+        f(&mut b);
+        return;
+    }
+    // Calibrate: time a single iteration, then pick an iteration count
+    // targeting ~sample_size * 2ms of total measurement, capped for very
+    // slow bodies.
+    let mut b = Bencher { mode: Mode::Measure(1), elapsed: Duration::ZERO, iters: 0 };
+    f(&mut b);
+    let per_iter = b.elapsed.max(Duration::from_nanos(20));
+    let budget = Duration::from_millis(2).mul_f64(sample_size as f64);
+    let iters = (budget.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+    let mut b = Bencher { mode: Mode::Measure(iters), elapsed: Duration::ZERO, iters: 0 };
+    f(&mut b);
+    let mean = b.elapsed.as_secs_f64() / b.iters.max(1) as f64;
+    let mut line = format!("{id:<55} time: {}", fmt_time(mean));
+    if let Some(tp) = tp {
+        let (amount, unit) = match tp {
+            Throughput::Bytes(n) => (n as f64, "MiB/s"),
+            Throughput::Elements(n) => (n as f64, "Melem/s"),
+        };
+        if mean > 0.0 {
+            line.push_str(&format!("  ({:.1} {unit})", amount / mean / 1_048_576.0));
+        }
+    }
+    println!("{line}");
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Bundles benchmark functions into a group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_body_once() {
+        let mut c = Criterion { bench_mode: false, filter: None };
+        let mut runs = 0u32;
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10).bench_function("f", |b| b.iter(|| runs += 1));
+        g.finish();
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn measure_mode_times_iterations() {
+        let mut c = Criterion { bench_mode: true, filter: Some("match-nothing".into()) };
+        let mut runs = 0u32;
+        c.bench_function("skipped", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 0, "filter must skip non-matching benches");
+        let mut c = Criterion { bench_mode: true, filter: None };
+        c.bench_function("timed", |b| b.iter(|| black_box(3u64.pow(7))));
+    }
+
+    #[test]
+    fn benchmark_ids_compose() {
+        assert_eq!(BenchmarkId::new("f", 3).id, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("task1").id, "task1");
+    }
+}

@@ -1,0 +1,68 @@
+//! In-tree stand-in for the slice of `crossbeam` this workspace uses:
+//! `crossbeam::thread::scope` (see `vendor/README.md`).
+//!
+//! Since Rust 1.63 the standard library provides structured scoped threads,
+//! so this shim simply adapts `std::thread::scope` to crossbeam's calling
+//! convention (a `Result`-returning `scope` whose closure receives `&Scope`
+//! with a `spawn` method taking `FnOnce(&Scope)`).
+
+/// Scoped threads.
+pub mod thread {
+    /// A scope for spawning borrowing threads (wraps [`std::thread::Scope`]).
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// A handle to a scoped thread (wraps [`std::thread::ScopedJoinHandle`]).
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish, yielding its result.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread that may borrow from outside the scope. The
+        /// closure receives the scope again so workers can spawn siblings
+        /// (crossbeam's signature; rarely used but part of the contract).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle { inner: inner.spawn(move || f(&Scope { inner })) }
+        }
+    }
+
+    /// Creates a scope; all threads spawned within are joined before it
+    /// returns. Unlike crossbeam, a panicking child propagates on join via
+    /// std's scope semantics, so the `Err` arm is never produced — the
+    /// `Result` exists for signature compatibility.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn scoped_threads_borrow_and_join() {
+            let data = vec![1u32, 2, 3, 4];
+            let mut out = vec![0u32; 4];
+            super::scope(|s| {
+                for (slot, v) in out.chunks_mut(1).zip(&data) {
+                    s.spawn(move |_| slot[0] = v * 10);
+                }
+            })
+            .expect("scope");
+            assert_eq!(out, vec![10, 20, 30, 40]);
+        }
+    }
+}

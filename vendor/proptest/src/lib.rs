@@ -1,0 +1,701 @@
+//! In-tree stand-in for the slice of `proptest` this workspace uses (see
+//! `vendor/README.md`).
+//!
+//! Same macro surface — `proptest! { #![proptest_config(..)] #[test] fn
+//! name(x in strategy) { .. } }`, `prop_assert*`, `prop_assume!` — backed
+//! by a deterministic splitmix64 generator. Differences from the real
+//! crate: no shrinking (a failing case reports its inputs via the assert
+//! message instead of a minimized counterexample) and regex string
+//! strategies support the `atom{m,n}` shapes used in-tree rather than
+//! full regex syntax.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::Hash;
+use std::ops::Range;
+
+/// Per-test configuration (`with_cases` is the only knob used in-tree).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Runs each property `cases` times.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` filtered the inputs; the case is skipped.
+    Reject,
+    /// An assertion failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// An assertion failure with a message.
+    pub fn fail(msg: String) -> Self {
+        TestCaseError::Fail(msg)
+    }
+}
+
+/// Deterministic generator state (splitmix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A stream for one test case: fixed base seed + case index.
+    pub fn for_case(case: u64) -> Self {
+        Self { state: 0x9e37_79b9_7f4a_7c15 ^ case.wrapping_mul(0xbf58_476d_1ce4_e5b9) }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, n)`; `n` must be non-zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        // Multiply-shift; bias is negligible for test generation.
+        ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// A value generator. Unlike real proptest there is no intermediate value
+/// tree: `generate` yields the final value directly (no shrinking).
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Derives a dependent strategy from each drawn value.
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { base: self, f }
+    }
+
+    /// Maps drawn values.
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { base: self, f }
+    }
+
+    /// Type-erases the strategy (for signature compatibility).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy { inner: Box::new(self) }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.base.generate(rng)).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S, T, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.base.generate(rng))
+    }
+}
+
+/// A heap-allocated strategy.
+pub struct BoxedStrategy<T> {
+    inner: Box<dyn Strategy<Value = T>>,
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.inner.generate(rng)
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Full-range strategy for a type (`any::<u64>()` etc.).
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy { _marker: std::marker::PhantomData }
+}
+
+/// See [`any`].
+pub struct AnyStrategy<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Types with a canonical full-range generator.
+pub trait Arbitrary {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        (rng.unit_f64() * 2.0 - 1.0) as f32 * 1e6
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        (rng.unit_f64() * 2.0 - 1.0) * 1e12
+    }
+}
+
+macro_rules! impl_range_strategy_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_range_strategy_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        self.start + (rng.unit_f64() as f32) * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A: 0);
+impl_tuple_strategy!(A: 0, B: 1);
+impl_tuple_strategy!(A: 0, B: 1, C: 2);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+
+/// String-literal regex strategies, e.g. `"[a-z]{1,12}"` or `".{0,200}"`.
+///
+/// Grammar: a sequence of `atom{m,n}` / `atom{m}` / bare `atom` where an
+/// atom is `.` (any printable char, ASCII-biased with some multi-byte
+/// code points) or a `[...]` class of literal chars and `a-z` ranges —
+/// the subset of regex syntax the in-tree properties use.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let chars: Vec<char> = self.chars().collect();
+        let mut out = String::new();
+        let mut i = 0;
+        while i < chars.len() {
+            // Parse one atom.
+            let class: Option<Vec<char>> = match chars[i] {
+                '.' => {
+                    i += 1;
+                    None
+                }
+                '[' => {
+                    let mut set = Vec::new();
+                    i += 1;
+                    while i < chars.len() && chars[i] != ']' {
+                        if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                            let (lo, hi) = (chars[i] as u32, chars[i + 2] as u32);
+                            for c in lo..=hi {
+                                set.push(char::from_u32(c).expect("class range"));
+                            }
+                            i += 3;
+                        } else {
+                            set.push(chars[i]);
+                            i += 1;
+                        }
+                    }
+                    assert!(i < chars.len(), "unterminated class in {self:?}");
+                    i += 1;
+                    Some(set)
+                }
+                c => {
+                    i += 1;
+                    Some(vec![c])
+                }
+            };
+            // Parse an optional {m,n} / {m} quantifier.
+            let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+                i += 1;
+                let mut nums = [0usize, 0];
+                let mut which = 0;
+                let mut seen_comma = false;
+                while i < chars.len() && chars[i] != '}' {
+                    if chars[i] == ',' {
+                        which = 1;
+                        seen_comma = true;
+                    } else {
+                        let d = chars[i].to_digit(10).expect("quantifier digit") as usize;
+                        nums[which] = nums[which] * 10 + d;
+                    }
+                    i += 1;
+                }
+                assert!(i < chars.len(), "unterminated quantifier in {self:?}");
+                i += 1;
+                if seen_comma {
+                    (nums[0], nums[1])
+                } else {
+                    (nums[0], nums[0])
+                }
+            } else {
+                (1, 1)
+            };
+            let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+            for _ in 0..len {
+                match &class {
+                    Some(set) => out.push(set[rng.below(set.len() as u64) as usize]),
+                    None => out.push(printable_char(rng)),
+                }
+            }
+        }
+        out
+    }
+}
+
+/// `.`-atom characters: printable ASCII most of the time, with a tail of
+/// multi-byte / exotic code points so text pipelines see real Unicode.
+fn printable_char(rng: &mut TestRng) -> char {
+    const EXOTIC: &[char] =
+        &['α', 'β', 'Ω', 'é', 'ß', '中', '文', '🧪', '∅', '√', '°', 'µ', '‐', '\u{0301}'];
+    if rng.below(10) < 8 {
+        char::from_u32(0x20 + rng.below(0x5f) as u32).expect("ascii printable")
+    } else {
+        EXOTIC[rng.below(EXOTIC.len() as u64) as usize]
+    }
+}
+
+/// Collection and option strategy constructors (`prop::collection::vec`,
+/// `prop::option::of`, ...).
+pub mod prop {
+    /// Sized collections.
+    pub mod collection {
+        use super::super::*;
+
+        /// A size bound: an exact `usize` or a `Range<usize>`.
+        pub trait IntoSize {
+            /// Draws a concrete size.
+            fn pick(&self, rng: &mut TestRng) -> usize;
+        }
+
+        impl IntoSize for usize {
+            fn pick(&self, _rng: &mut TestRng) -> usize {
+                *self
+            }
+        }
+
+        impl IntoSize for Range<usize> {
+            fn pick(&self, rng: &mut TestRng) -> usize {
+                assert!(self.start < self.end, "empty size range");
+                self.start + rng.below((self.end - self.start) as u64) as usize
+            }
+        }
+
+        /// `Vec` of drawn elements.
+        pub fn vec<S: Strategy, Z: IntoSize>(element: S, size: Z) -> VecStrategy<S, Z> {
+            VecStrategy { element, size }
+        }
+
+        /// See [`vec`].
+        pub struct VecStrategy<S, Z> {
+            element: S,
+            size: Z,
+        }
+
+        impl<S: Strategy, Z: IntoSize> Strategy for VecStrategy<S, Z> {
+            type Value = Vec<S::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let n = self.size.pick(rng);
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+
+        /// `HashSet` of distinct drawn elements. Draws until the set
+        /// reaches the chosen size, bounded by a generous retry budget
+        /// (small domains yield smaller sets instead of hanging).
+        pub fn hash_set<S, Z>(element: S, size: Z) -> HashSetStrategy<S, Z>
+        where
+            S: Strategy,
+            S::Value: Eq + Hash,
+            Z: IntoSize,
+        {
+            HashSetStrategy { element, size }
+        }
+
+        /// See [`hash_set`].
+        pub struct HashSetStrategy<S, Z> {
+            element: S,
+            size: Z,
+        }
+
+        impl<S, Z> Strategy for HashSetStrategy<S, Z>
+        where
+            S: Strategy,
+            S::Value: Eq + Hash,
+            Z: IntoSize,
+        {
+            type Value = HashSet<S::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+                let n = self.size.pick(rng);
+                let mut out = HashSet::with_capacity(n);
+                let mut budget = 20 * n + 100;
+                while out.len() < n && budget > 0 {
+                    out.insert(self.element.generate(rng));
+                    budget -= 1;
+                }
+                out
+            }
+        }
+
+        /// `HashMap` with distinct drawn keys.
+        pub fn hash_map<K, V, Z>(key: K, value: V, size: Z) -> HashMapStrategy<K, V, Z>
+        where
+            K: Strategy,
+            K::Value: Eq + Hash,
+            V: Strategy,
+            Z: IntoSize,
+        {
+            HashMapStrategy { key, value, size }
+        }
+
+        /// See [`hash_map`].
+        pub struct HashMapStrategy<K, V, Z> {
+            key: K,
+            value: V,
+            size: Z,
+        }
+
+        impl<K, V, Z> Strategy for HashMapStrategy<K, V, Z>
+        where
+            K: Strategy,
+            K::Value: Eq + Hash,
+            V: Strategy,
+            Z: IntoSize,
+        {
+            type Value = HashMap<K::Value, V::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> HashMap<K::Value, V::Value> {
+                let n = self.size.pick(rng);
+                let mut out = HashMap::with_capacity(n);
+                let mut budget = 20 * n + 100;
+                while out.len() < n && budget > 0 {
+                    let k = self.key.generate(rng);
+                    let v = self.value.generate(rng);
+                    out.insert(k, v);
+                    budget -= 1;
+                }
+                out
+            }
+        }
+    }
+
+    /// Optional values.
+    pub mod option {
+        use super::super::*;
+
+        /// `Some` with probability 0.8, `None` otherwise.
+        pub fn of<S: Strategy>(element: S) -> OptionStrategy<S> {
+            OptionStrategy { element }
+        }
+
+        /// See [`of`].
+        pub struct OptionStrategy<S> {
+            element: S,
+        }
+
+        impl<S: Strategy> Strategy for OptionStrategy<S> {
+            type Value = Option<S::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+                if rng.below(5) < 4 {
+                    Some(self.element.generate(rng))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+/// Everything a property test file imports.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Declares property tests. See the crate docs for supported syntax.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::ProptestConfig = $cfg;
+            for case in 0..u64::from(cfg.cases) {
+                let mut __proptest_rng = $crate::TestRng::for_case(case);
+                $(let $pat = $crate::Strategy::generate(&($strat), &mut __proptest_rng);)+
+                let outcome: ::std::result::Result<(), $crate::TestCaseError> = (move || {
+                    $body
+                    Ok(())
+                })();
+                match outcome {
+                    Ok(()) => {}
+                    Err($crate::TestCaseError::Reject) => {}
+                    Err($crate::TestCaseError::Fail(msg)) => {
+                        panic!("proptest case {case}: {msg}");
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+/// Asserts inside a property, failing the case (not the process) first.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {:?} == {:?}",
+                a, b
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    }};
+}
+
+/// Inequality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        if *a == *b {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {:?} != {:?}",
+                a, b
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if *a == *b {
+            return Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    }};
+}
+
+/// Filters inputs: a false condition skips the case.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn generation_is_deterministic_per_case() {
+        let s = prop::collection::vec(0usize..100, 3..10);
+        let mut a = crate::TestRng::for_case(7);
+        let mut b = crate::TestRng::for_case(7);
+        assert_eq!(s.generate(&mut a), s.generate(&mut b));
+    }
+
+    #[test]
+    fn regex_strategies_honour_class_and_length() {
+        let mut rng = crate::TestRng::for_case(1);
+        for _ in 0..200 {
+            let s = "[a-z0-9]{1,10}".generate(&mut rng);
+            assert!((1..=10).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+        }
+        let dot = ".{0,80}".generate(&mut rng);
+        assert!(dot.chars().count() <= 80);
+    }
+
+    #[test]
+    fn hash_collections_reach_requested_sizes() {
+        let mut rng = crate::TestRng::for_case(3);
+        let set = prop::collection::hash_set("[a-z]{1,12}", 1..40).generate(&mut rng);
+        assert!(!set.is_empty() && set.len() < 40);
+        let map =
+            prop::collection::hash_map("[a-z]{1,6}", 1u64..1000, 1..50).generate(&mut rng);
+        assert!(!map.is_empty() && map.len() < 50);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn the_macro_itself_runs(x in 0usize..50, flag in any::<bool>(), s in "[a-z]{1,6}") {
+            prop_assume!(x != 13);
+            prop_assert!(x < 50);
+            prop_assert_eq!(flag, flag);
+            prop_assert_ne!(s.len(), 0, "unexpected empty {s:?}");
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! vendored serde facade. No `syn`/`quote`: the input token stream is
+//! walked directly, which is enough for the shapes this workspace uses —
+//! named-field structs, tuple structs and unit-variant enums, plus the
+//! `#[serde(skip)]` field attribute.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the vendored `serde::Serialize` (JSON-value projection).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse(input) {
+        Ok(item) => impl_serialize(&item).parse().expect("generated impl parses"),
+        Err(e) => format!("compile_error!({e:?});").parse().unwrap(),
+    }
+}
+
+/// Derives the vendored `serde::Deserialize` marker.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse(input) {
+        Ok(item) => format!("impl ::serde::Deserialize for {} {{}}", item.name)
+            .parse()
+            .expect("generated impl parses"),
+        Err(e) => format!("compile_error!({e:?});").parse().unwrap(),
+    }
+}
+
+enum Shape {
+    /// Named fields, each with a skip flag.
+    Struct(Vec<(String, bool)>),
+    /// Tuple struct with this many fields.
+    Tuple(usize),
+    /// Enum; each variant records its payload arity (0 = unit).
+    Enum(Vec<(String, usize)>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+fn parse(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip outer attributes and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum, got {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!("derive on generic type {name} not supported"));
+        }
+    }
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) => g,
+        other => return Err(format!("expected {{...}} or (...) body, got {other:?}")),
+    };
+    let shape = match (kind.as_str(), body.delimiter()) {
+        ("struct", Delimiter::Brace) => Shape::Struct(parse_named_fields(body.stream())?),
+        ("struct", Delimiter::Parenthesis) => Shape::Tuple(count_tuple_fields(body.stream())),
+        ("enum", Delimiter::Brace) => Shape::Enum(parse_variants(body.stream())?),
+        other => return Err(format!("unsupported item shape {other:?}")),
+    };
+    Ok(Item { name, shape })
+}
+
+/// Parses `{ attrs? vis? name: Type, ... }`, tracking `#[serde(skip)]`.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<(String, bool)>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut skip = false;
+        // Attributes.
+        while let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() != '#' {
+                break;
+            }
+            if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                let text = g.stream().to_string().replace(' ', "");
+                if text.starts_with("serde(") && text.contains("skip") {
+                    skip = true;
+                }
+            }
+            i += 2;
+        }
+        // Visibility.
+        if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+            if id.to_string() == "pub" {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected field name, got {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected ':' after {name}, got {other:?}")),
+        }
+        // Skip the type: everything until a comma outside angle brackets.
+        let mut angle = 0i32;
+        while let Some(t) = tokens.get(i) {
+            if let TokenTree::Punct(p) = t {
+                match p.as_char() {
+                    '<' => angle += 1,
+                    '>' => angle -= 1,
+                    ',' if angle == 0 => break,
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        i += 1; // past the comma (or end)
+        fields.push((name, skip));
+    }
+    Ok(fields)
+}
+
+/// Counts top-level comma-separated fields of a tuple struct body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut angle = 0i32;
+    let mut fields = 0usize;
+    let mut any = false;
+    for t in stream {
+        any = true;
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => fields += 1,
+                _ => {}
+            }
+        }
+    }
+    if any {
+        fields + 1
+    } else {
+        0
+    }
+}
+
+/// Parses `{ A, B(T), C(T, U), ... }` (unit and tuple variants).
+fn parse_variants(stream: TokenStream) -> Result<Vec<(String, usize)>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        while let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() != '#' {
+                break;
+            }
+            i += 2;
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected variant, got {other:?}")),
+        };
+        i += 1;
+        let mut arity = 0;
+        if let Some(TokenTree::Group(g)) = tokens.get(i) {
+            match g.delimiter() {
+                Delimiter::Parenthesis => arity = count_tuple_fields(g.stream()),
+                other => return Err(format!("unsupported variant body {other:?} on {name}")),
+            }
+            i += 1;
+        }
+        match tokens.get(i) {
+            None => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                // Discriminant: `A = 3,` — skip to the comma.
+                while let Some(t) = tokens.get(i) {
+                    if matches!(t, TokenTree::Punct(p) if p.as_char() == ',') {
+                        break;
+                    }
+                    i += 1;
+                }
+                i += 1;
+            }
+            other => return Err(format!("unexpected token after variant {name}: {other:?}")),
+        }
+        variants.push((name, arity));
+    }
+    Ok(variants)
+}
+
+fn impl_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(fields) => {
+            let mut s = String::from("let mut obj = Vec::new();\n");
+            for (f, skip) in fields {
+                if *skip {
+                    continue;
+                }
+                s.push_str(&format!(
+                    "obj.push(({f:?}.to_string(), ::serde::Serialize::to_json(&self.{f})));\n"
+                ));
+            }
+            s.push_str("::serde::Value::Object(obj)");
+            s
+        }
+        Shape::Tuple(1) => "::serde::Serialize::to_json(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let mut s = String::from("::serde::Value::Array(vec![");
+            for k in 0..*n {
+                s.push_str(&format!("::serde::Serialize::to_json(&self.{k}),"));
+            }
+            s.push_str("])");
+            s
+        }
+        Shape::Enum(variants) => {
+            // serde's externally-tagged representation: unit variants are
+            // strings, payload variants `{"Variant": payload}`.
+            let mut s = String::from("match self {\n");
+            for (v, arity) in variants {
+                match arity {
+                    0 => s.push_str(&format!(
+                        "{name}::{v} => ::serde::Value::String({v:?}.to_string()),\n"
+                    )),
+                    1 => s.push_str(&format!(
+                        "{name}::{v}(f0) => ::serde::Value::Object(vec![({v:?}.to_string(), \
+                         ::serde::Serialize::to_json(f0))]),\n"
+                    )),
+                    n => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                        let elems: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_json({b})"))
+                            .collect();
+                        s.push_str(&format!(
+                            "{name}::{v}({}) => ::serde::Value::Object(vec![({v:?}.to_string(), \
+                             ::serde::Value::Array(vec![{}]))]),\n",
+                            binds.join(","),
+                            elems.join(",")
+                        ));
+                    }
+                }
+            }
+            s.push('}');
+            s
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n fn to_json(&self) -> ::serde::Value {{\n {body}\n }}\n}}"
+    )
+}

@@ -1,0 +1,115 @@
+//! In-tree stand-in for `serde_json` (this workspace builds without a
+//! registry — see `vendor/README.md`).
+//!
+//! The [`Value`]/[`Number`] tree, its accessors, indexing and rendering
+//! all live on the vendored `serde` crate; this layer re-exports them and
+//! adds the format-level entry points the workspace calls: the [`json!`]
+//! macro, [`to_value`], and [`to_string`] / [`to_string_pretty`].
+
+pub use serde::{Number, Value};
+
+use std::fmt;
+
+/// Serialization error. The vendored projection is total, so this is never
+/// actually produced; it exists so call sites keep serde_json's `Result`
+/// shape (`to_value(&x).expect("serializable")`).
+#[derive(Debug)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("JSON serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Converts any [`serde::Serialize`] value to a [`Value`].
+pub fn to_value<T: serde::Serialize>(value: T) -> Result<Value, Error> {
+    Ok(value.to_json())
+}
+
+/// Compact JSON text.
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    Ok(value.to_json().render_json(None))
+}
+
+/// Pretty JSON text, 2-space indented (serde_json's default style).
+pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    Ok(value.to_json().render_json(Some(2)))
+}
+
+/// Builds a [`Value`] from JSON-looking syntax.
+///
+/// Supports the workspace's usage: object literals with string-literal
+/// keys and expression values, array literals of expressions, `null`, and
+/// a bare serializable expression. (Real serde_json also allows nested
+/// `{...}`/`[...]` literals as values; write `json!({...})` explicitly
+/// and pass it as the value expression for those.)
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($elem:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::to_value(&$elem).expect("serializable") ),* ])
+    };
+    ({ $($key:literal : $val:expr),* $(,)? }) => {
+        $crate::Value::Object(vec![
+            $( (($key).to_string(), $crate::to_value(&$val).expect("serializable")) ),*
+        ])
+    };
+    ($other:expr) => { $crate::to_value(&$other).expect("serializable") };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_builds_objects_and_arrays() {
+        let name = "glove";
+        let v = json!({"model": name, "f1": 0.5, "n": 3usize});
+        assert_eq!(v["model"], "glove");
+        assert_eq!(v["f1"].as_f64(), Some(0.5));
+        assert_eq!(v["n"].as_u64(), Some(3));
+        assert!(v["missing"].is_null());
+        let arr = json!([1usize, 2usize]);
+        assert_eq!(arr[1].as_u64(), Some(2));
+        assert_eq!(arr[9], Value::Null);
+    }
+
+    #[test]
+    fn pretty_printing_matches_serde_json_style() {
+        let v = json!({"a": 1usize, "b": [true, false]});
+        assert_eq!(
+            to_string_pretty(&v).unwrap(),
+            "{\n  \"a\": 1,\n  \"b\": [\n    true,\n    false\n  ]\n}"
+        );
+        assert_eq!(to_string(&v).unwrap(), "{\"a\":1,\"b\":[true,false]}");
+    }
+
+    #[test]
+    fn floats_render_shortest_with_trailing_point_zero() {
+        assert_eq!(to_string(&1.0f64).unwrap(), "1.0");
+        assert_eq!(to_string(&0.125f64).unwrap(), "0.125");
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+    }
+
+    #[test]
+    fn loose_comparisons() {
+        let v = json!({"pass": true, "model": "x", "n": 2usize});
+        assert!(v["pass"] == true);
+        assert!(v["model"] == "x");
+        assert!(v["n"] == 2u64);
+    }
+
+    #[test]
+    fn string_escaping() {
+        assert_eq!(to_string(&"a\"b\\c\nd").unwrap(), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn display_is_compact_json() {
+        let v = json!({"k": "v"});
+        assert_eq!(format!("{v}"), "{\"k\":\"v\"}");
+    }
+}
