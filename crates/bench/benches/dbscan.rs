@@ -1,0 +1,49 @@
+//! DBSCAN region queries: the pivot-annulus [`kcb_ml::cluster`] index
+//! against the brute-force scan it replaced, on blob-structured data
+//! shaped like the embedding-space sweeps (hundreds of points, tens of
+//! dimensions, both metrics).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kcb_ml::cluster::{dbscan, dbscan_brute, Metric};
+use kcb_ml::linalg::Matrix;
+use kcb_util::Rng;
+use std::hint::black_box;
+
+/// Gaussian-ish blobs: `k` centres, `n` points, `d` dims.
+fn blobs(n: usize, d: usize, k: usize, seed: u64) -> Matrix {
+    let mut rng = Rng::seed(seed);
+    let centres: Vec<Vec<f32>> =
+        (0..k).map(|_| (0..d).map(|_| rng.f32() * 40.0 - 20.0).collect()).collect();
+    let rows: Vec<Vec<f32>> = (0..n)
+        .map(|i| {
+            let c = &centres[i % k];
+            c.iter().map(|&v| v + rng.f32() * 2.0 - 1.0).collect()
+        })
+        .collect();
+    Matrix::from_rows(rows)
+}
+
+fn bench_dbscan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dbscan");
+    group.sample_size(20);
+    for (n, d) in [(400usize, 16usize), (800, 32)] {
+        let m = blobs(n, d, 8, 7);
+        group.bench_function(format!("indexed/euclidean/{n}x{d}"), |b| {
+            b.iter(|| dbscan(black_box(&m), 3.0, 4, Metric::Euclidean).len())
+        });
+        group.bench_function(format!("brute/euclidean/{n}x{d}"), |b| {
+            b.iter(|| dbscan_brute(black_box(&m), 3.0, 4, Metric::Euclidean).len())
+        });
+    }
+    let m = blobs(400, 24, 8, 11);
+    group.bench_function("indexed/cosine/400x24", |b| {
+        b.iter(|| dbscan(black_box(&m), 0.05, 4, Metric::Cosine).len())
+    });
+    group.bench_function("brute/cosine/400x24", |b| {
+        b.iter(|| dbscan_brute(black_box(&m), 0.05, 4, Metric::Cosine).len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dbscan);
+criterion_main!(benches);

@@ -12,7 +12,8 @@
 //! substrate is a mini-scale simulator — see DESIGN.md); the comparisons
 //! that must hold are recorded in EXPERIMENTS.md.
 
-use kcb_core::experiment::{self, ALL_IDS};
+use kcb_core::experiment::plan::run_scheduled;
+use kcb_core::experiment::ALL_IDS;
 use kcb_core::lab::{Lab, LabConfig};
 use std::process::ExitCode;
 use std::time::Instant;
@@ -91,9 +92,10 @@ ARTIFACTS:
 OPTIONS:
   --scale S      ontology scale relative to real ChEBI (default 0.03)
   --seed N       master seed (default 42)
-  --threads N    worker threads for forest training and the LM matmul
-                 kernels (default: CPU count, capped at 16); artifacts
-                 are bitwise identical at any thread count
+  --threads N    worker threads for the cell scheduler; nested forest /
+                 LM kernels share the same pool and yield to cell-level
+                 parallelism (default: CPU count, capped at 16);
+                 artifacts are byte-identical at any thread count
   --out DIR      also write one JSON file per artifact into DIR
   --md FILE      also write a combined Markdown report
   --fast         tiny smoke-test configuration (seconds, not minutes)
@@ -184,34 +186,59 @@ fn main() -> ExitCode {
         if args.fast { " (fast mode)" } else { "" }
     );
 
+    // Reject unknown ids before building the DAG (run_scheduled skips
+    // silently, mirroring experiment::run returning None).
+    let known: Vec<String> = ALL_IDS
+        .iter()
+        .chain(kcb_core::experiment::ABLATION_IDS)
+        .chain(kcb_core::experiment::EXTENSION_IDS)
+        .chain(std::iter::once(&kcb_core::experiment::SUMMARY_ID))
+        .map(|s| s.to_ascii_lowercase())
+        .collect();
+    let mut failed = false;
+    for id in &ids {
+        if !known.contains(&id.to_ascii_lowercase()) {
+            eprintln!("error: unknown artifact '{id}' (see --list)");
+            failed = true;
+        }
+    }
+    if failed {
+        return ExitCode::FAILURE;
+    }
+
     let threads = args.threads.unwrap_or_else(kcb_lm::pool::threads);
     let (scale, seed) = (cfg.scale, cfg.seed);
     let lab = Lab::new(cfg);
     let total = Instant::now();
-    let mut failed = false;
     let mut markdown = String::from("# kcb reproduction report\n\n");
-    let mut timings: Vec<(String, f64)> = Vec::new();
-    for id in &ids {
-        let t0 = Instant::now();
-        match experiment::run(&lab, id) {
-            Some(artifact) => {
-                println!("{}", artifact.render());
-                markdown.push_str(&artifact.render_markdown());
-                timings.push((id.clone(), t0.elapsed().as_secs_f64()));
-                eprintln!("# {id} done in {:.1}s", t0.elapsed().as_secs_f64());
-                if let Some(dir) = &args.out {
-                    match artifact.write_json(dir) {
-                        Ok(path) => eprintln!("# wrote {}", path.display()),
-                        Err(e) => {
-                            eprintln!("error writing {id}: {e}");
-                            failed = true;
-                        }
-                    }
+
+    // Decompose the requested artifacts into the dependency-aware cell
+    // DAG and run it; artifacts come back in request (= canonical) order
+    // and are byte-identical at any worker count.
+    let id_refs: Vec<&str> = ids.iter().map(String::as_str).collect();
+    let (artifacts, report) = run_scheduled(&lab, &id_refs, threads);
+    eprintln!(
+        "# scheduler: {} workers, {} jobs, {} steals, {:.1}s",
+        report.scheduler.workers,
+        report.scheduler.jobs.len(),
+        report.scheduler.steals,
+        report.scheduler.wall_seconds
+    );
+    for j in &report.scheduler.jobs {
+        if let Some(id) = j.label.strip_prefix("artifact:") {
+            eprintln!("# {id} assembled in {:.1}s", j.seconds);
+        }
+    }
+    for (id, artifact) in &artifacts {
+        println!("{}", artifact.render());
+        markdown.push_str(&artifact.render_markdown());
+        if let Some(dir) = &args.out {
+            match artifact.write_json(dir) {
+                Ok(path) => eprintln!("# wrote {}", path.display()),
+                Err(e) => {
+                    eprintln!("error writing {id}: {e}");
+                    failed = true;
                 }
-            }
-            None => {
-                eprintln!("error: unknown artifact '{id}' (see --list)");
-                failed = true;
             }
         }
     }
@@ -225,18 +252,47 @@ fn main() -> ExitCode {
         }
     }
     let total_secs = total.elapsed().as_secs_f64();
-    // Machine-readable perf trajectory: per-artifact wall time plus the
-    // run configuration, tracked across PRs (see EXPERIMENTS.md).
+
+    // Machine-readable perf trajectory: run configuration, per-artifact
+    // assembly times, per-cell and per-provider timings, and scheduler /
+    // cache statistics, tracked across PRs (see EXPERIMENTS.md).
+    let jobs = &report.scheduler.jobs;
+    let group = |prefix: &str| -> Vec<serde_json::Value> {
+        jobs.iter()
+            .filter(|j| j.label.starts_with(prefix))
+            .map(|j| {
+                serde_json::json!({
+                    "label": j.label.strip_prefix(prefix).unwrap_or(&j.label),
+                    "kind": j.kind,
+                    "seconds": j.seconds,
+                })
+            })
+            .collect()
+    };
     let bench_path = std::path::Path::new("results").join("bench_repro.json");
+    let scheduler_stats = serde_json::json!({
+        "workers": report.scheduler.workers,
+        "jobs": jobs.len(),
+        "steals": report.scheduler.steals,
+        "wall_seconds": report.scheduler.wall_seconds,
+    });
+    let encoding_stats = serde_json::json!({
+        "hits": report.encoding_hits,
+        "misses": report.encoding_misses,
+        "entries": report.encoding_entries,
+    });
     let bench = serde_json::json!({
         "seed": seed,
         "scale": scale,
         "threads": threads,
+        "hardware_threads": kcb_lm::pool::hardware_threads(),
         "total_seconds": total_secs,
-        "artifacts": timings
-            .iter()
-            .map(|(id, secs)| serde_json::json!({"id": id, "seconds": secs}))
-            .collect::<Vec<_>>(),
+        "scheduler": scheduler_stats,
+        "cache": report.cache,
+        "encoding_cache": encoding_stats,
+        "artifacts": group("artifact:"),
+        "cells": group("cell:"),
+        "providers": group("provider:"),
     });
     let bench_text = serde_json::to_string_pretty(&bench).expect("serializable");
     if let Err(e) = std::fs::create_dir_all("results")

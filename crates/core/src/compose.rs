@@ -174,30 +174,66 @@ pub fn dataset_matrix(
 /// shared snapshot before encoding through the cache, which every forest
 /// path does.
 ///
-/// The map is [`parking_lot::Mutex`]-guarded: encoders themselves stay
-/// single-threaded, but the guard makes the cache safe to consult from the
-/// forest pool's worker threads.
+/// The cache is sharded per encoder identity: a short-lived outer lock
+/// hands out the shard `Arc`, and misses are encoded **without any lock
+/// held** (two-phase: collect hits / encode misses / insert), so scheduler
+/// workers warming different scenario cells never serialise on each
+/// other's encoder passes. Racing same-triple encodes are benign — the
+/// encoders are deterministic, so both writers produce identical vectors
+/// and `or_insert` keeps the first.
 /// Per-encoder inner map: triple key → its cached averaged-concat vector.
 type TripleVectors = HashMap<(u32, u8, u32), Arc<[f32]>>;
 
+/// One encoder's shard.
+type Shard = Arc<Mutex<TripleVectors>>;
+
 pub struct EncodingCache {
-    map: Mutex<HashMap<String, TripleVectors>>,
+    shards: Mutex<HashMap<String, Shard>>,
+    hits: std::sync::atomic::AtomicUsize,
+    misses: std::sync::atomic::AtomicUsize,
 }
 
 impl EncodingCache {
     /// An empty cache.
     pub fn new() -> Self {
-        Self { map: Mutex::new(HashMap::new()) }
+        Self {
+            shards: Mutex::new(HashMap::new()),
+            hits: std::sync::atomic::AtomicUsize::new(0),
+            misses: std::sync::atomic::AtomicUsize::new(0),
+        }
+    }
+
+    /// The shard for one encoder identity (created on first use).
+    fn shard(&self, encoder_name: &str) -> Shard {
+        let mut shards = self.shards.lock();
+        match shards.get(encoder_name) {
+            Some(s) => s.clone(),
+            None => {
+                let s: Shard = Arc::default();
+                shards.insert(encoder_name.to_string(), s.clone());
+                s
+            }
+        }
     }
 
     /// Total cached vectors across all encoders.
     pub fn len(&self) -> usize {
-        self.map.lock().values().map(HashMap::len).sum()
+        let shards: Vec<Shard> = self.shards.lock().values().cloned().collect();
+        shards.iter().map(|s| s.lock().len()).sum()
     }
 
     /// Whether nothing has been cached yet.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// `(hits, misses)` counters across all [`dataset_matrix_cached`]
+    /// lookups (one count per triple row requested).
+    pub fn hit_miss(&self) -> (usize, usize) {
+        (
+            self.hits.load(std::sync::atomic::Ordering::Relaxed),
+            self.misses.load(std::sync::atomic::Ordering::Relaxed),
+        )
     }
 }
 
@@ -216,16 +252,55 @@ pub fn dataset_matrix_cached(
     enc: &dyn ComponentEncoder,
     cache: &EncodingCache,
 ) -> (Matrix, Vec<bool>) {
+    use std::sync::atomic::Ordering;
     let d = enc.dim() * 3;
+    let shard = cache.shard(&enc.name());
+
+    // Phase 1 — under the shard lock, copy hits and record distinct misses.
+    let mut rows: Vec<Option<Arc<[f32]>>> = Vec::with_capacity(examples.len());
+    let mut missing: Vec<Triple> = Vec::new();
+    let mut missing_keys: std::collections::HashSet<(u32, u8, u32)> = Default::default();
+    {
+        let map = shard.lock();
+        for e in examples {
+            match map.get(&e.triple.key()) {
+                Some(v) => rows.push(Some(v.clone())),
+                None => {
+                    rows.push(None);
+                    if missing_keys.insert(e.triple.key()) {
+                        missing.push(e.triple);
+                    }
+                }
+            }
+        }
+    }
+    let n_hits = rows.iter().filter(|r| r.is_some()).count();
+    cache.hits.fetch_add(n_hits, Ordering::Relaxed);
+    cache.misses.fetch_add(examples.len() - n_hits, Ordering::Relaxed);
+
+    // Phase 2 — encode misses with no lock held (the expensive part; for
+    // the PubmedBERT variant each miss is a mini-BERT forward pass per
+    // component).
+    type Encoded = ((u32, u8, u32), Arc<[f32]>);
+    let encoded: Vec<Encoded> =
+        missing.iter().map(|&t| (t.key(), triple_vector(o, t, enc).into())).collect();
+
+    // Phase 3 — insert and resolve the remaining rows.
     let mut data = Vec::with_capacity(examples.len() * d);
     let mut labels = Vec::with_capacity(examples.len());
-    let mut map = cache.map.lock();
-    let by_triple = map.entry(enc.name()).or_default();
-    for e in examples {
-        let v = by_triple
-            .entry(e.triple.key())
-            .or_insert_with(|| triple_vector(o, e.triple, enc).into());
-        data.extend_from_slice(v);
+    {
+        let mut map = shard.lock();
+        for (k, v) in encoded {
+            map.entry(k).or_insert(v);
+        }
+        for (e, row) in examples.iter().zip(&mut rows) {
+            if row.is_none() {
+                *row = Some(map[&e.triple.key()].clone());
+            }
+        }
+    }
+    for (e, row) in examples.iter().zip(&rows) {
+        data.extend_from_slice(row.as_ref().expect("row resolved"));
         labels.push(e.label);
     }
     (Matrix::from_vec(data, examples.len(), d), labels)

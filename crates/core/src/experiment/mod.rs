@@ -7,6 +7,7 @@ pub mod extension;
 pub mod finetune;
 pub mod head_to_head;
 pub mod incontext;
+pub mod plan;
 pub mod scenarios;
 pub mod summary;
 pub mod supervised;

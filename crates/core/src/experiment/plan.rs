@@ -1,0 +1,392 @@
+//! The artifact cell DAG: decomposes the requested tables/figures into
+//! provider jobs (ontology, datasets, corpora, embeddings, LM
+//! checkpoints), warm cells keyed by `(artifact-family, paradigm, task,
+//! scenario, model, adaptation)`, and one driver-side assembly job per
+//! artifact, then executes the whole graph on the [`crate::sched`]
+//! work-stealing scheduler.
+//!
+//! Warm cells populate the [`crate::lab::Shared`] memo caches (forest
+//! runs, LSTM runs, scenario scores, the triple-encoding cache); the
+//! assembly jobs then re-run the ordinary [`crate::experiment::run`]
+//! runners, which hit those caches and emit artifacts in the *same
+//! canonical order and bytes* at any worker count — every cached value is
+//! a pure function of the lab seed, never of scheduling. Cells shared by
+//! several artifacts (e.g. the fine-tuned-BERT series of Figures 3/A2, or
+//! the Task-1 forest grid reused by Tables 3a/A7 and Figures 2/A1) are
+//! deduplicated by key, so requesting `all` runs each cell exactly once.
+//!
+//! Anything touching the `Rc`-autograd MiniBERT/BioGPT checkpoints
+//! (PubmedBERT forest cells, fine-tuning, BioGPT prompting) is pushed as
+//! a driver-only job; everything else fans out to worker threads.
+
+use super::{scenarios, supervised};
+use crate::dataset::SCENARIOS;
+use crate::lab::{Lab, Shared, EMBEDDING_NAMES};
+use crate::report::Artifact;
+use crate::sched::{Graph, JobId, RunReport};
+use crate::task::TaskKind;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// What a scheduled run did, for `results/bench_repro.json`.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct PlanReport {
+    /// Scheduler execution record (per-job timings, steals, wall time).
+    pub scheduler: RunReport,
+    /// Lab memo-cache counters (memoised scores and forest runs).
+    pub cache: crate::lab::CacheStats,
+    /// Triple-encoding cache: `(hits, misses)` row lookups.
+    pub encoding_hits: usize,
+    /// See `encoding_hits`.
+    pub encoding_misses: usize,
+    /// Distinct triple vectors cached across all encoders.
+    pub encoding_entries: usize,
+}
+
+/// Provider job ids shared by every artifact.
+struct Providers {
+    ontology: JobId,
+    task: [JobId; 3],
+    split: [JobId; 3],
+    embed: HashMap<&'static str, JobId>,
+    wordpiece: JobId,
+    bert: JobId,
+    biogpt: JobId,
+}
+
+fn providers<'a>(g: &mut Graph<'a>, lab: &'a Lab) -> Providers {
+    let shared: &'a Shared = lab.shared();
+    let ontology = g.add_par("provider:ontology", &[], move || {
+        shared.ontology();
+    });
+    let domain = g.add_par("provider:corpus-domain", &[ontology], move || {
+        shared.domain_sentences();
+    });
+    let generic = g.add_par("provider:corpus-generic", &[], move || {
+        shared.generic_sentences();
+    });
+    let task: [JobId; 3] = TaskKind::ALL.map(|t| {
+        g.add_par(format!("provider:task{}", t.number()), &[ontology], move || {
+            shared.task(t);
+        })
+    });
+    let split: [JobId; 3] = [0, 1, 2].map(|i| {
+        let t = TaskKind::ALL[i];
+        g.add_par(format!("provider:split{}", t.number()), &[task[i]], move || {
+            shared.split(t);
+        })
+    });
+    let mut embed = HashMap::new();
+    for name in EMBEDDING_NAMES.iter().copied() {
+        let deps: &[JobId] = if name == "random" { &[] } else { &[domain, generic] };
+        let id = g.add_par(format!("provider:embed-{name}"), deps, move || {
+            shared.embedding(name);
+        });
+        embed.insert(name, id);
+    }
+    let wordpiece = g.add_par("provider:wordpiece", &[domain], move || {
+        shared.wordpiece();
+    });
+    let bert = g.add_driver("provider:bert", &[wordpiece, domain, generic], move || {
+        lab.bert();
+    });
+    let biogpt = g.add_driver("provider:biogpt", &[wordpiece, domain], move || {
+        lab.biogpt();
+    });
+    Providers { ontology, task, split, embed, wordpiece, bert, biogpt }
+}
+
+/// Builds warm cells for one artifact id and returns the assembly deps.
+/// Cells are deduplicated across artifacts through `keyed`.
+struct Cells<'g, 'a> {
+    g: &'g mut Graph<'a>,
+    keyed: &'g mut HashMap<String, JobId>,
+    lab: &'a Lab,
+    shared: &'a Shared,
+    prov: &'g Providers,
+}
+
+impl<'a> Cells<'_, 'a> {
+    fn dedup(&mut self, key: String, deps: &[JobId], f: CellClosure<'a>) -> JobId {
+        if let Some(&id) = self.keyed.get(&key) {
+            return id;
+        }
+        let label = format!("cell:{key}");
+        let id = match f {
+            CellClosure::Par(f) => self.g.add_par(label, deps, f),
+            CellClosure::Driver(f) => self.g.add_driver(label, deps, f),
+        };
+        self.keyed.insert(key, id);
+        id
+    }
+
+    fn forest(&mut self, task: TaskKind, model: &'static str, adapt: &'static str) -> JobId {
+        let key = format!("forest|{}|{model}|{adapt}", task.number());
+        if model == "pubmedbert" {
+            let lab = self.lab;
+            let deps = [self.prov.split[task.number() - 1], self.prov.bert];
+            self.dedup(key, &deps, CellClosure::Driver(Box::new(move || {
+                lab.forest_run(task, model, adapt);
+            })))
+        } else {
+            let shared = self.shared;
+            let deps = [self.prov.split[task.number() - 1], self.prov.embed[model]];
+            self.dedup(key, &deps, CellClosure::Par(Box::new(move || {
+                shared.forest_run(task, model, adapt);
+            })))
+        }
+    }
+
+    fn lstm(&mut self, model: &'static str) -> JobId {
+        let shared = self.shared;
+        let deps = [self.prov.split[0], self.prov.embed[model]];
+        self.dedup(format!("lstm|{model}"), &deps, CellClosure::Par(Box::new(move || {
+            shared.lstm_run(model);
+        })))
+    }
+
+    fn scenario_rf(
+        &mut self,
+        task: TaskKind,
+        sc_index: usize,
+        model: &'static str,
+        adapt: &'static str,
+    ) -> JobId {
+        let sc = SCENARIOS[sc_index];
+        let key = format!("rf|{}|{}|{}|{model}|{adapt}", task.number(), sc.split, sc.pos_ratio);
+        if model == "pubmedbert" {
+            let lab = self.lab;
+            let deps = [self.prov.task[task.number() - 1], self.prov.bert];
+            self.dedup(key, &deps, CellClosure::Driver(Box::new(move || {
+                scenarios::rf_f1_pubmedbert(lab, task, sc);
+            })))
+        } else {
+            let shared = self.shared;
+            let deps = [self.prov.task[task.number() - 1], self.prov.embed[model]];
+            self.dedup(key, &deps, CellClosure::Par(Box::new(move || {
+                scenarios::rf_f1_warm(shared, task, sc, model, adapt);
+            })))
+        }
+    }
+
+    fn scenario_ft(&mut self, task: TaskKind, sc_index: usize) -> JobId {
+        let sc = SCENARIOS[sc_index];
+        let key = format!("ft|{}|{}|{}", task.number(), sc.split, sc.pos_ratio);
+        let lab = self.lab;
+        let deps = [self.prov.task[task.number() - 1], self.prov.bert];
+        self.dedup(key, &deps, CellClosure::Driver(Box::new(move || {
+            scenarios::ft_f1(lab, task, sc);
+        })))
+    }
+
+    fn gpt4(&mut self, task: TaskKind) -> JobId {
+        let shared = self.shared;
+        let deps = [self.prov.task[task.number() - 1]];
+        self.dedup(format!("gpt4|{}", task.number()), &deps, CellClosure::Par(Box::new(
+            move || {
+                scenarios::gpt4_f1_warm(shared, task);
+            },
+        )))
+    }
+
+    /// The dependency set for one artifact id: warm cells where the
+    /// artifact has them, otherwise the providers its runner touches.
+    fn deps_for(&mut self, id: &str) -> Vec<JobId> {
+        let p_all_embeds: Vec<JobId> = self.prov.embed.values().copied().collect();
+        let supervised_models =
+            || EMBEDDING_NAMES.iter().copied().chain(["pubmedbert"]).collect::<Vec<_>>();
+        match id {
+            "table2" | "tablea2" | "tablea3" => self.prov.split.to_vec(),
+            "tablea1" => vec![self.prov.ontology],
+            // Corpus / OOV statistics touch the tokenizer and embeddings.
+            "tablea4" | "tablea5" => {
+                let mut d = vec![self.prov.wordpiece];
+                d.extend(p_all_embeds);
+                d
+            }
+            "table3a" => {
+                let mut d = Vec::new();
+                for adapt in ["none", "naive", "task-oriented"] {
+                    for model in supervised_models() {
+                        if supervised::adaptations_for(model).contains(&adapt) {
+                            d.push(self.forest(TaskKind::RandomNegatives, model, adapt));
+                        }
+                    }
+                }
+                d
+            }
+            "table3b" => {
+                let mut d = Vec::new();
+                for task in [TaskKind::FlippedNegatives, TaskKind::SiblingNegatives] {
+                    for model in supervised_models() {
+                        let adapt = if model == "pubmedbert" { "none" } else { "naive" };
+                        d.push(self.forest(task, model, adapt));
+                    }
+                }
+                d
+            }
+            "tablea7" => {
+                let mut d = Vec::new();
+                for task in [TaskKind::FlippedNegatives, TaskKind::SiblingNegatives] {
+                    for adapt in ["naive", "task-oriented"] {
+                        for model in supervised_models() {
+                            if supervised::adaptations_for(model).contains(&adapt) {
+                                d.push(self.forest(task, model, adapt));
+                            }
+                        }
+                    }
+                }
+                d
+            }
+            "tablea6" => EMBEDDING_NAMES.iter().map(|m| self.lstm(m)).collect(),
+            "fig2" => {
+                let mut d = Vec::new();
+                for task in TaskKind::ALL {
+                    for model in EMBEDDING_NAMES {
+                        d.push(self.forest(task, model, "naive"));
+                    }
+                }
+                d
+            }
+            "figa1" => {
+                let mut d = Vec::new();
+                for model in ["random", "biowordvec", "glove-chem"] {
+                    for adapt in supervised::adaptations_for(model) {
+                        d.push(self.forest(TaskKind::RandomNegatives, model, adapt));
+                    }
+                }
+                d
+            }
+            "fig3" | "figa2" => {
+                let models: Vec<(&'static str, &'static str)> = if id == "fig3" {
+                    vec![("random", "naive"), ("glove-chem", "task-oriented"), ("pubmedbert", "none")]
+                } else {
+                    EMBEDDING_NAMES
+                        .iter()
+                        .map(|&m| (m, "naive"))
+                        .chain([("pubmedbert", "none")])
+                        .collect()
+                };
+                let mut d = Vec::new();
+                for task in TaskKind::ALL {
+                    d.push(self.gpt4(task));
+                    for s in 0..SCENARIOS.len() {
+                        for &(model, adapt) in &models {
+                            d.push(self.scenario_rf(task, s, model, adapt));
+                        }
+                        d.push(self.scenario_ft(task, s));
+                    }
+                }
+                d
+            }
+            "table4" => {
+                let mut d = self.prov.split.to_vec();
+                d.push(self.prov.bert);
+                d
+            }
+            "table5" => {
+                let mut d = self.prov.split.to_vec();
+                d.push(self.prov.biogpt);
+                d
+            }
+            "table6" => {
+                let mut d = Vec::new();
+                for task in TaskKind::ALL {
+                    for (model, adapt) in
+                        [("glove-chem", "naive"), ("w2v-chem", "naive"), ("pubmedbert", "none")]
+                    {
+                        d.push(self.forest(task, model, adapt));
+                    }
+                }
+                d.push(self.prov.bert);
+                d
+            }
+            "summary" => {
+                let mut d = vec![
+                    self.forest(TaskKind::RandomNegatives, "random", "none"),
+                    self.forest(TaskKind::RandomNegatives, "glove", "none"),
+                    self.forest(TaskKind::RandomNegatives, "glove", "naive"),
+                    self.scenario_rf(TaskKind::RandomNegatives, 0, "random", "naive"),
+                    self.scenario_rf(TaskKind::RandomNegatives, 4, "random", "naive"),
+                    self.scenario_rf(TaskKind::RandomNegatives, 4, "glove-chem", "naive"),
+                    self.scenario_rf(TaskKind::SiblingNegatives, 4, "random", "naive"),
+                    self.prov.bert,
+                    self.prov.biogpt,
+                ];
+                for task in TaskKind::ALL {
+                    d.push(self.forest(task, "w2v-chem", "naive"));
+                }
+                d
+            }
+            // Ablations rebuild their own corpora/forests; they only share
+            // the base providers.
+            id if id.starts_with("ablation-") => {
+                let mut d = vec![self.prov.ontology, self.prov.split[0]];
+                d.extend(p_all_embeds);
+                d
+            }
+            // Extensions and anything not modelled above: all providers, so the
+            // runner only does its own novel work on the driver.
+            _ => {
+                let mut d = self.prov.split.to_vec();
+                d.push(self.prov.bert);
+                d.push(self.prov.biogpt);
+                d
+            }
+        }
+    }
+}
+
+enum CellClosure<'a> {
+    Par(Box<dyn FnOnce() + Send + 'a>),
+    Driver(Box<dyn FnOnce() + 'a>),
+}
+
+/// Runs the given artifact ids through the cell scheduler with `workers`
+/// threads and returns `(artifacts in request order, run report)`.
+/// Unknown ids are skipped (mirroring [`crate::experiment::run`]).
+pub fn run_scheduled(
+    lab: &Lab,
+    ids: &[&str],
+    workers: usize,
+) -> (Vec<(String, Artifact)>, PlanReport) {
+    let mut g = Graph::new();
+    let prov = providers(&mut g, lab);
+    let mut keyed: HashMap<String, JobId> = HashMap::new();
+
+    let ids: Vec<String> = ids.iter().map(|s| s.to_ascii_lowercase()).collect();
+    let mut slots: Vec<Rc<RefCell<Option<Artifact>>>> = Vec::with_capacity(ids.len());
+    for id in &ids {
+        let mut deps = {
+            let mut cells =
+                Cells { g: &mut g, keyed: &mut keyed, lab, shared: lab.shared(), prov: &prov };
+            cells.deps_for(id)
+        };
+        deps.sort_unstable();
+        deps.dedup();
+        let slot: Rc<RefCell<Option<Artifact>>> = Rc::default();
+        let out = slot.clone();
+        let id_owned = id.clone();
+        g.add_driver(format!("artifact:{id}"), &deps, move || {
+            *out.borrow_mut() = super::run(lab, &id_owned);
+        });
+        slots.push(slot);
+    }
+
+    let scheduler = g.run(workers);
+    let artifacts: Vec<(String, Artifact)> = ids
+        .into_iter()
+        .zip(slots)
+        .filter_map(|(id, slot)| slot.borrow_mut().take().map(|a| (id, a)))
+        .collect();
+    let (encoding_hits, encoding_misses) = lab.encodings().hit_miss();
+    let report = PlanReport {
+        scheduler,
+        cache: lab.cache_stats(),
+        encoding_hits,
+        encoding_misses,
+        encoding_entries: lab.encodings().len(),
+    };
+    (artifacts, report)
+}

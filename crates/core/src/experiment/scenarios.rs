@@ -6,7 +6,7 @@
 //! as a horizontal reference line.
 
 use crate::dataset::{scenario_split, Scenario, SCENARIOS};
-use crate::lab::{Lab, EMBEDDING_NAMES};
+use crate::lab::{Lab, Shared, EMBEDDING_NAMES};
 use crate::paradigm::icl::{build_examples, build_queries, QueryPolicy};
 use crate::report::Artifact;
 use crate::task::TaskKind;
@@ -20,42 +20,75 @@ use kcb_util::fmt::{metric, Table};
 // full cell identity) and every forest run encodes through the lab-wide
 // [`crate::compose::EncodingCache`].
 
-fn rf_f1(lab: &Lab, task: TaskKind, sc: Scenario, model: &str, adapt: &str) -> f64 {
-    let key = format!("rf|{}|{}|{}|{model}|{adapt}", task.number(), sc.split, sc.pos_ratio);
-    lab.memo_score(key, || {
-        let split =
-            scenario_split(lab.task(task), lab.config().scenario_fraction, sc, lab.config().seed);
-        let run = if model == "pubmedbert" {
-            let (bert, snapshot) = lab.bert();
-            bert.restore(snapshot);
-            let enc = crate::compose::BertClsEncoder::new(bert, lab.wordpiece());
-            crate::paradigm::ml::run_forest_cached(
-                lab.ontology(),
-                &split.train,
-                &split.test,
-                &enc,
-                &lab.config().rf,
-                Some(lab.encodings()),
-            )
-        } else {
-            let enc = crate::compose::TokenAvgEncoder::new(
-                lab.embedding(model),
-                lab.adaptation(adapt, model),
-            );
-            crate::paradigm::ml::run_forest_cached(
-                lab.ontology(),
-                &split.train,
-                &split.test,
-                &enc,
-                &lab.config().rf,
-                Some(lab.encodings()),
-            )
-        };
-        run.metrics.f1
+fn rf_key(task: TaskKind, sc: Scenario, model: &str, adapt: &str) -> String {
+    format!("rf|{}|{}|{}|{model}|{adapt}", task.number(), sc.split, sc.pos_ratio)
+}
+
+/// One token-embedding forest cell, computable from the [`Shared`] core
+/// alone — this is what the scheduler warms on worker threads.
+pub(crate) fn rf_f1_warm(
+    shared: &Shared,
+    task: TaskKind,
+    sc: Scenario,
+    model: &str,
+    adapt: &str,
+) -> f64 {
+    assert_ne!(model, "pubmedbert", "BERT cells are driver-only");
+    shared.memo_score(rf_key(task, sc, model, adapt), || {
+        let split = scenario_split(
+            shared.task(task),
+            shared.config().scenario_fraction,
+            sc,
+            shared.config().seed,
+        );
+        let enc = crate::compose::TokenAvgEncoder::new(
+            shared.embedding(model),
+            shared.adaptation(adapt, model),
+        );
+        crate::paradigm::ml::run_forest_cached(
+            shared.ontology(),
+            &split.train,
+            &split.test,
+            &enc,
+            &shared.config().rf,
+            Some(shared.encodings()),
+        )
+        .metrics
+        .f1
     })
 }
 
-fn ft_f1(lab: &Lab, task: TaskKind, sc: Scenario) -> f64 {
+/// The PubmedBERT forest cell; needs the `!Send` checkpoint, so it runs
+/// on the driver thread.
+pub(crate) fn rf_f1_pubmedbert(lab: &Lab, task: TaskKind, sc: Scenario) -> f64 {
+    lab.memo_score(rf_key(task, sc, "pubmedbert", "none"), || {
+        let split =
+            scenario_split(lab.task(task), lab.config().scenario_fraction, sc, lab.config().seed);
+        let (bert, snapshot) = lab.bert();
+        bert.restore(snapshot);
+        let enc = crate::compose::BertClsEncoder::new(bert, lab.wordpiece());
+        crate::paradigm::ml::run_forest_cached(
+            lab.ontology(),
+            &split.train,
+            &split.test,
+            &enc,
+            &lab.config().rf,
+            Some(lab.encodings()),
+        )
+        .metrics
+        .f1
+    })
+}
+
+fn rf_f1(lab: &Lab, task: TaskKind, sc: Scenario, model: &str, adapt: &str) -> f64 {
+    if model == "pubmedbert" {
+        rf_f1_pubmedbert(lab, task, sc)
+    } else {
+        rf_f1_warm(lab.shared(), task, sc, model, adapt)
+    }
+}
+
+pub(crate) fn ft_f1(lab: &Lab, task: TaskKind, sc: Scenario) -> f64 {
     let key = format!("ft|{}|{}|{}", task.number(), sc.split, sc.pos_ratio);
     lab.memo_score(key, || {
         let mut split =
@@ -77,30 +110,36 @@ fn ft_f1(lab: &Lab, task: TaskKind, sc: Scenario) -> f64 {
     })
 }
 
-fn gpt4_f1(lab: &Lab, task: TaskKind) -> f64 {
-    // GPT-4's score does not depend on the training data, so it is
-    // evaluated once per task on the constant scenario test set and shared
-    // by every figure that draws the reference line.
+/// GPT-4's score does not depend on the training data, so it is evaluated
+/// once per task on the constant scenario test set and shared by every
+/// figure that draws the reference line. Oracle simulation is pure `Send`
+/// state, so this cell is scheduler-warmable.
+pub(crate) fn gpt4_f1_warm(shared: &Shared, task: TaskKind) -> f64 {
     let key = format!("gpt4|{}", task.number());
-    lab.memo_score(key, || {
+    shared.memo_score(key, || {
         let split = scenario_split(
-            lab.task(task),
-            lab.config().scenario_fraction,
+            shared.task(task),
+            shared.config().scenario_fraction,
             SCENARIOS[0],
-            lab.config().seed,
+            shared.config().seed,
         );
-        let n = (split.test.len() / 2).min(lab.config().icl_queries);
+        let n = (split.test.len() / 2).min(shared.config().icl_queries);
         let items = build_queries(
-            lab.ontology(),
+            shared.ontology(),
             &split.test,
             task,
             QueryPolicy { n_per_class: n, is_a_only: false, max_tokens: usize::MAX },
-            lab.config().seed,
+            shared.config().seed,
         );
-        let builder = build_examples(lab.ontology(), &split.train, lab.config().seed);
+        let builder = build_examples(shared.ontology(), &split.train, shared.config().seed);
         let oracle = LlmOracle::new(OracleProfile::gpt4_sim());
-        run_protocol(&oracle, &builder, &items, PromptVariant::Base, 2, lab.config().seed).f1_mean
+        run_protocol(&oracle, &builder, &items, PromptVariant::Base, 2, shared.config().seed)
+            .f1_mean
     })
+}
+
+fn gpt4_f1(lab: &Lab, task: TaskKind) -> f64 {
+    gpt4_f1_warm(lab.shared(), task)
 }
 
 fn scenario_figure(lab: &Lab, id: &str, title: &str, models: &[(&str, &str)]) -> Artifact {

@@ -10,7 +10,7 @@ use kcb_util::fmt::{metric, Table};
 /// The adaptation kinds each model supports (the paper computes the
 /// task-oriented variant only for semantic token embeddings — "-" cells in
 /// Table 3a for random and PubmedBERT).
-fn adaptations_for(model: &str) -> &'static [&'static str] {
+pub(crate) fn adaptations_for(model: &str) -> &'static [&'static str] {
     match model {
         "random" => &["none", "naive"],
         "pubmedbert" => &["none"],
@@ -125,21 +125,9 @@ pub fn table_a6(lab: &Lab) -> Artifact {
         &["Embeddings", "Precision", "Recall", "F1"],
     )
     .numeric_after(1);
-    let split = lab.split(TaskKind::RandomNegatives);
-    // The LSTM is the slowest learner; cap its training set harder.
-    let cap = (lab.config().train_cap / 4).max(200).min(split.train.len());
-    let test_cap = split.test.len().min(1_500);
     let mut json = Vec::new();
     for model in EMBEDDING_NAMES {
-        let adaptation = lab.adaptation("naive", model);
-        let run = crate::paradigm::ml::run_lstm(
-            lab.ontology(),
-            &split.train[..cap],
-            &split.test[..test_cap],
-            lab.embedding(model),
-            &adaptation,
-            &lab.config().lstm,
-        );
+        let run = lab.lstm_run(model);
         let mut row = vec![model.to_string()];
         row.extend(prf_cells(&run.metrics));
         t.row(row);

@@ -7,9 +7,24 @@
 //! the same checkpoint) and the domain-pre-trained BioGPT-mini. [`Lab`]
 //! builds each lazily, exactly once, as a deterministic function of
 //! [`LabConfig`].
+//!
+//! Since PR 2 the environment is split along the `Send`/`Sync` boundary:
+//!
+//! * [`Shared`] holds everything that is plain data once built — ontology,
+//!   datasets, corpora, embeddings, WordPiece, the forest/LSTM/score memo
+//!   caches and the [`crate::compose::EncodingCache`]. All of its caches
+//!   are thread-safe (`OnceLock` / mutex-guarded slot maps), so the cell
+//!   scheduler's worker threads can warm them concurrently; a slot that is
+//!   being computed blocks later requesters instead of recomputing.
+//! * [`Lab`] wraps a [`Shared`] and adds the two language models. Their
+//!   autograd tensors are `Rc<RefCell<…>>`-based (`!Send`), so BERT and
+//!   BioGPT live only on the thread that owns the `Lab` — the scheduler's
+//!   *driver* thread. `Lab` derefs to [`Shared`], so existing call sites
+//!   are oblivious to the split.
 
 use crate::adapt::{task_oriented_stopwords, Adaptation, TaskOrientedConfig};
 use crate::dataset::Split;
+use crate::paradigm::ml::{run_lstm, ForestRun, LstmRun};
 use crate::task::{positive_triples, TaskDataset, TaskKind};
 use kcb_embed::{
     fasttext, glove, word2vec, EmbeddingModel, EmbeddingTable, FastText, RandomEmbedding,
@@ -19,13 +34,16 @@ use kcb_lm::{MiniBert, MiniBertConfig, MiniGpt, MiniGptConfig, TrainConfig, Tran
 use kcb_ml::linalg::Matrix;
 use kcb_ml::{LstmConfig, RandomForestConfig};
 use kcb_ontology::{Ontology, SyntheticConfig, SyntheticGenerator};
-use kcb_util::Rng;
 use kcb_text::{
     corpus::tokenize_corpus, ChemTokenizer, CorpusConfig, DomainCorpusGenerator,
     GenericCorpusGenerator, WordPiece, WordPieceTrainer,
 };
-use std::cell::{OnceCell, RefCell};
-use std::collections::HashMap;
+use kcb_util::Rng;
+use parking_lot::Mutex;
+use std::cell::OnceCell;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 
 /// Everything tunable about an experiment environment.
 #[derive(Debug, Clone)]
@@ -200,51 +218,89 @@ impl LabConfig {
 /// Names of the token-level embedding models, in the paper's table order.
 pub const EMBEDDING_NAMES: [&str; 5] = ["random", "glove", "w2v-chem", "glove-chem", "biowordvec"];
 
-/// Lazily-built, cached experiment environment.
-pub struct Lab {
-    cfg: LabConfig,
-    ontology: OnceCell<Ontology>,
-    tasks: [OnceCell<TaskDataset>; 3],
-    splits: [OnceCell<Split>; 3],
-    domain_sentences: OnceCell<Vec<Vec<String>>>,
-    generic_sentences: OnceCell<Vec<Vec<String>>>,
-    random: RandomEmbedding,
-    w2v_chem: OnceCell<EmbeddingTable>,
-    glove: OnceCell<EmbeddingTable>,
-    glove_chem: OnceCell<EmbeddingTable>,
-    biowordvec: OnceCell<FastText>,
-    wordpiece: OnceCell<WordPiece>,
-    bert: OnceCell<(MiniBert, Vec<Matrix>)>,
-    biogpt: OnceCell<BioGptMini>,
-    stopwords: RefCell<HashMap<String, std::collections::HashSet<String>>>,
-    forest_runs: RefCell<HashMap<String, std::rc::Rc<crate::paradigm::ml::ForestRun>>>,
-    encodings: crate::compose::EncodingCache,
-    memo_scores: RefCell<HashMap<String, f64>>,
+/// A keyed once-cell: the slot map hands out `Arc`s under a short lock,
+/// then `OnceLock` serialises the (potentially long) computation per key
+/// without holding the map — concurrent requests for *different* keys
+/// proceed in parallel, concurrent requests for the *same* key compute
+/// once and share.
+type SlotMap<T> = Mutex<HashMap<String, Arc<OnceLock<T>>>>;
+
+fn slot<T>(map: &SlotMap<T>, key: &str) -> Arc<OnceLock<T>> {
+    let mut m = map.lock();
+    match m.get(key) {
+        Some(s) => s.clone(),
+        None => {
+            let s = Arc::new(OnceLock::new());
+            m.insert(key.to_string(), s.clone());
+            s
+        }
+    }
 }
 
-impl Lab {
-    /// Creates an environment (nothing is built yet).
-    pub fn new(cfg: LabConfig) -> Self {
+/// Hit/miss counters for the lab's memo caches, reported by the scheduler.
+#[derive(Debug, Clone, Copy, Default, serde::Serialize)]
+pub struct CacheStats {
+    /// Memoised scalar scores served without recompute.
+    pub memo_hits: usize,
+    /// Memoised scalar scores computed.
+    pub memo_misses: usize,
+    /// Forest runs served from the `(task, model, adaptation)` cache.
+    pub forest_hits: usize,
+    /// Forest runs computed.
+    pub forest_misses: usize,
+}
+
+/// The thread-safe core of the experiment environment: every component
+/// that is plain data once built. See the module docs for the split.
+pub struct Shared {
+    cfg: LabConfig,
+    ontology: OnceLock<Ontology>,
+    tasks: [OnceLock<TaskDataset>; 3],
+    splits: [OnceLock<Split>; 3],
+    domain_sentences: OnceLock<Vec<Vec<String>>>,
+    generic_sentences: OnceLock<Vec<Vec<String>>>,
+    random: RandomEmbedding,
+    w2v_chem: OnceLock<EmbeddingTable>,
+    glove: OnceLock<EmbeddingTable>,
+    glove_chem: OnceLock<EmbeddingTable>,
+    biowordvec: OnceLock<FastText>,
+    wordpiece: OnceLock<WordPiece>,
+    stopwords: SlotMap<HashSet<String>>,
+    forest_runs: SlotMap<Arc<ForestRun>>,
+    lstm_runs: SlotMap<Arc<LstmRun>>,
+    encodings: crate::compose::EncodingCache,
+    memo_scores: SlotMap<f64>,
+    memo_hits: AtomicUsize,
+    memo_misses: AtomicUsize,
+    forest_hits: AtomicUsize,
+    forest_misses: AtomicUsize,
+}
+
+impl Shared {
+    fn new(cfg: LabConfig) -> Self {
         let random = RandomEmbedding::with_dim(cfg.embed_dim);
         Self {
             cfg,
-            ontology: OnceCell::new(),
-            tasks: [OnceCell::new(), OnceCell::new(), OnceCell::new()],
-            splits: [OnceCell::new(), OnceCell::new(), OnceCell::new()],
-            domain_sentences: OnceCell::new(),
-            generic_sentences: OnceCell::new(),
+            ontology: OnceLock::new(),
+            tasks: [OnceLock::new(), OnceLock::new(), OnceLock::new()],
+            splits: [OnceLock::new(), OnceLock::new(), OnceLock::new()],
+            domain_sentences: OnceLock::new(),
+            generic_sentences: OnceLock::new(),
             random,
-            w2v_chem: OnceCell::new(),
-            glove: OnceCell::new(),
-            glove_chem: OnceCell::new(),
-            biowordvec: OnceCell::new(),
-            wordpiece: OnceCell::new(),
-            bert: OnceCell::new(),
-            biogpt: OnceCell::new(),
-            stopwords: RefCell::new(HashMap::new()),
-            forest_runs: RefCell::new(HashMap::new()),
+            w2v_chem: OnceLock::new(),
+            glove: OnceLock::new(),
+            glove_chem: OnceLock::new(),
+            biowordvec: OnceLock::new(),
+            wordpiece: OnceLock::new(),
+            stopwords: Mutex::new(HashMap::new()),
+            forest_runs: Mutex::new(HashMap::new()),
+            lstm_runs: Mutex::new(HashMap::new()),
             encodings: crate::compose::EncodingCache::new(),
-            memo_scores: RefCell::new(HashMap::new()),
+            memo_scores: Mutex::new(HashMap::new()),
+            memo_hits: AtomicUsize::new(0),
+            memo_misses: AtomicUsize::new(0),
+            forest_hits: AtomicUsize::new(0),
+            forest_misses: AtomicUsize::new(0),
         }
     }
 
@@ -260,17 +316,29 @@ impl Lab {
     ///
     /// Figure runners use this for cells that several artifacts compute
     /// identically (a Figure 3 / Figure A2 scenario cell, a per-task GPT-4
-    /// reference line): the first caller pays, later callers read. The
-    /// compute closure runs without the map borrowed, so it may itself
-    /// consult the memo.
+    /// reference line): the first caller pays, later callers read. Safe
+    /// from any thread; concurrent same-key calls compute once (the rest
+    /// block on the slot), different keys run in parallel.
     pub fn memo_score(&self, key: String, compute: impl FnOnce() -> f64) -> f64 {
-        let cached = self.memo_scores.borrow().get(&key).copied();
-        if let Some(v) = cached {
-            return v;
+        let s = slot(&self.memo_scores, &key);
+        if let Some(v) = s.get() {
+            self.memo_hits.fetch_add(1, Ordering::Relaxed);
+            return *v;
         }
-        let v = compute();
-        self.memo_scores.borrow_mut().insert(key, v);
-        v
+        *s.get_or_init(|| {
+            self.memo_misses.fetch_add(1, Ordering::Relaxed);
+            compute()
+        })
+    }
+
+    /// Memo-cache hit/miss counters (for the scheduler report).
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            memo_hits: self.memo_hits.load(Ordering::Relaxed),
+            memo_misses: self.memo_misses.load(Ordering::Relaxed),
+            forest_hits: self.forest_hits.load(Ordering::Relaxed),
+            forest_misses: self.forest_misses.load(Ordering::Relaxed),
+        }
     }
 
     /// The configuration.
@@ -437,18 +505,139 @@ impl Lab {
             .collect()
     }
 
+    /// A trained+evaluated random-forest run on a task's canonical split
+    /// for a *token-embedding* model (anything in [`EMBEDDING_NAMES`]),
+    /// cached by `(task, model, adaptation)`. Safe from any thread —
+    /// scheduler warm cells call this concurrently. The `"pubmedbert"`
+    /// model needs the driver-only BERT; use [`Lab::forest_run`] for it.
+    pub fn forest_run(
+        &self,
+        task: TaskKind,
+        model: &str,
+        adapt_kind: &str,
+    ) -> Arc<ForestRun> {
+        assert_ne!(
+            model, "pubmedbert",
+            "pubmedbert forests need the driver-only BERT; call Lab::forest_run"
+        );
+        let key = format!("{}|{model}|{adapt_kind}", task.number());
+        let s = slot(&self.forest_runs, &key);
+        if let Some(run) = s.get() {
+            self.forest_hits.fetch_add(1, Ordering::Relaxed);
+            return run.clone();
+        }
+        s.get_or_init(|| {
+            self.forest_misses.fetch_add(1, Ordering::Relaxed);
+            let split = self.split(task);
+            let train = &split.train[..split.train.len().min(self.cfg.train_cap)];
+            let adaptation = self.adaptation(adapt_kind, model);
+            let enc = crate::compose::TokenAvgEncoder::new(self.embedding(model), adaptation);
+            Arc::new(crate::paradigm::ml::run_forest_cached(
+                self.ontology(),
+                train,
+                &split.test,
+                &enc,
+                &self.cfg.rf,
+                Some(&self.encodings),
+            ))
+        })
+        .clone()
+    }
+
+    /// Slot accessor used by [`Lab::forest_run`] for the BERT-backed model
+    /// so both paths share one cache (and its hit/miss counters).
+    fn forest_slot(&self, key: &str) -> Arc<OnceLock<Arc<ForestRun>>> {
+        slot(&self.forest_runs, key)
+    }
+
+    /// A trained+evaluated LSTM run on Task 1's canonical split (Table A6),
+    /// cached per embedding model. Uses the table's historical caps: train
+    /// capped at `train_cap / 4`, test at 1,500 rows, naive adaptation.
+    pub fn lstm_run(&self, model: &str) -> Arc<LstmRun> {
+        let s = slot(&self.lstm_runs, model);
+        s.get_or_init(|| {
+            let split = self.split(TaskKind::RandomNegatives);
+            let cap = (self.cfg.train_cap / 4).max(200).min(split.train.len());
+            let test_cap = split.test.len().min(1_500);
+            let adaptation = self.adaptation("naive", model);
+            Arc::new(run_lstm(
+                self.ontology(),
+                &split.train[..cap],
+                &split.test[..test_cap],
+                self.embedding(model),
+                &adaptation,
+                &self.cfg.lstm,
+            ))
+        })
+        .clone()
+    }
+
+    /// The adaptation of the given kind (`"none"` / `"naive"` /
+    /// `"task-oriented"`) for one embedding model. Task-oriented stop
+    /// words (Algorithm 2) are computed once per model and cached;
+    /// concurrent callers for the same model block on one computation.
+    pub fn adaptation(&self, kind: &str, model_name: &str) -> Adaptation {
+        match kind {
+            "none" => Adaptation::None,
+            "naive" => Adaptation::Naive,
+            "task-oriented" => {
+                let s = slot(&self.stopwords, model_name);
+                let stop = s.get_or_init(|| {
+                    let positives = positive_triples(self.ontology(), TaskKind::RandomNegatives);
+                    task_oriented_stopwords(
+                        self.ontology(),
+                        &positives,
+                        self.embedding(model_name),
+                        &self.cfg.task_oriented,
+                    )
+                });
+                Adaptation::TaskOriented(stop.clone())
+            }
+            other => panic!("unknown adaptation {other}"),
+        }
+    }
+}
+
+/// Lazily-built, cached experiment environment: a [`Shared`] core plus the
+/// two driver-thread-only language models.
+pub struct Lab {
+    shared: Shared,
+    bert: OnceCell<(MiniBert, Vec<Matrix>)>,
+    biogpt: OnceCell<BioGptMini>,
+}
+
+impl std::ops::Deref for Lab {
+    type Target = Shared;
+
+    fn deref(&self) -> &Shared {
+        &self.shared
+    }
+}
+
+impl Lab {
+    /// Creates an environment (nothing is built yet).
+    pub fn new(cfg: LabConfig) -> Self {
+        Self { shared: Shared::new(cfg), bert: OnceCell::new(), biogpt: OnceCell::new() }
+    }
+
+    /// The thread-safe core, for handing to scheduler worker threads.
+    pub fn shared(&self) -> &Shared {
+        &self.shared
+    }
+
     /// The MLM-pre-trained mini-BERT plus its pre-trained weight snapshot.
     /// Fine-tuning runs mutate the model in place; call
     /// [`kcb_lm::MiniBert::restore`] with the snapshot to reset it.
+    /// Driver-thread only (the model is `!Send`).
     pub fn bert(&self) -> &(MiniBert, Vec<Matrix>) {
         self.bert.get_or_init(|| {
             let arch = TransformerConfig {
                 vocab_size: self.wordpiece().vocab_size(),
-                ..self.cfg.bert_arch
+                ..self.shared.cfg.bert_arch
             };
             let bert = MiniBert::new(MiniBertConfig { arch, mask_prob: 0.15 });
-            let corpus = self.encode_corpus_for_lm(self.cfg.bert_pretrain_cap);
-            bert.pretrain_mlm(&corpus, &self.cfg.bert_pretrain);
+            let corpus = self.encode_corpus_for_lm(self.shared.cfg.bert_pretrain_cap);
+            bert.pretrain_mlm(&corpus, &self.shared.cfg.bert_pretrain);
             let snapshot = bert.snapshot();
             (bert, snapshot)
         })
@@ -466,18 +655,17 @@ impl Lab {
         self.biogpt.get_or_init(|| {
             let arch = TransformerConfig {
                 vocab_size: self.wordpiece().vocab_size(),
-                ..self.cfg.gpt_arch
+                ..self.shared.cfg.gpt_arch
             };
             let gpt = MiniGpt::new(MiniGptConfig { arch });
-            let mut corpus = self.encode_corpus_for_lm(self.cfg.gpt_pretrain_cap);
+            let mut corpus = self.encode_corpus_for_lm(self.shared.cfg.gpt_pretrain_cap);
             let o = self.ontology();
             let wp = self.wordpiece();
             let tk = ChemTokenizer::new();
             // Transcript sources must not overlap any task's test queries:
             // positives are shared across tasks, so a task-2/3 test triple
             // can sit in task-1's train split.
-            let mut test_keys: std::collections::HashSet<(u32, u8, u32)> =
-                std::collections::HashSet::new();
+            let mut test_keys: HashSet<(u32, u8, u32)> = HashSet::new();
             for task in crate::task::TaskKind::ALL {
                 test_keys.extend(self.split(task).test.iter().map(|e| e.triple.key()));
             }
@@ -488,7 +676,7 @@ impl Lab {
                 .copied()
                 .filter(|e| !test_keys.contains(&e.triple.key()))
                 .collect();
-            let mut rng = Rng::seed_stream(self.cfg.seed, 0xb109);
+            let mut rng = Rng::seed_stream(self.shared.cfg.seed, 0xb109);
             let n_transcripts = (corpus.len() * 2).max(400);
             for _ in 0..n_transcripts {
                 // "triple <text> classification <verdict>" pairs — the
@@ -503,7 +691,7 @@ impl Lab {
                 }
                 corpus.push(wp.encode_words(words.iter().map(String::as_str)));
             }
-            gpt.pretrain_clm(&corpus, &self.cfg.gpt_pretrain);
+            gpt.pretrain_clm(&corpus, &self.shared.cfg.gpt_pretrain);
             BioGptMini::new(gpt, self.wordpiece().clone())
         })
     }
@@ -512,69 +700,33 @@ impl Lab {
     /// cached by `(task, model, adaptation)`. `model` is an embedding name
     /// from [`EMBEDDING_NAMES`] or `"pubmedbert"` (frozen mini-BERT `[CLS]`
     /// embeddings). Training rows are capped at `train_cap`.
-    pub fn forest_run(
-        &self,
-        task: TaskKind,
-        model: &str,
-        adapt_kind: &str,
-    ) -> std::rc::Rc<crate::paradigm::ml::ForestRun> {
+    pub fn forest_run(&self, task: TaskKind, model: &str, adapt_kind: &str) -> Arc<ForestRun> {
+        if model != "pubmedbert" {
+            return self.shared.forest_run(task, model, adapt_kind);
+        }
         let key = format!("{}|{model}|{adapt_kind}", task.number());
-        if let Some(run) = self.forest_runs.borrow().get(&key) {
+        let s = self.shared.forest_slot(&key);
+        if let Some(run) = s.get() {
+            self.shared.forest_hits.fetch_add(1, Ordering::Relaxed);
             return run.clone();
         }
-        let split = self.split(task);
-        let train = &split.train[..split.train.len().min(self.cfg.train_cap)];
-        let run = if model == "pubmedbert" {
+        s.get_or_init(|| {
+            self.shared.forest_misses.fetch_add(1, Ordering::Relaxed);
+            let split = self.split(task);
+            let train = &split.train[..split.train.len().min(self.shared.cfg.train_cap)];
             let (bert, snapshot) = self.bert();
             bert.restore(snapshot); // guarantee the pre-trained state
             let enc = crate::compose::BertClsEncoder::new(bert, self.wordpiece());
-            crate::paradigm::ml::run_forest_cached(
+            Arc::new(crate::paradigm::ml::run_forest_cached(
                 self.ontology(),
                 train,
                 &split.test,
                 &enc,
-                &self.cfg.rf,
-                Some(&self.encodings),
-            )
-        } else {
-            let adaptation = self.adaptation(adapt_kind, model);
-            let enc = crate::compose::TokenAvgEncoder::new(self.embedding(model), adaptation);
-            crate::paradigm::ml::run_forest_cached(
-                self.ontology(),
-                train,
-                &split.test,
-                &enc,
-                &self.cfg.rf,
-                Some(&self.encodings),
-            )
-        };
-        let run = std::rc::Rc::new(run);
-        self.forest_runs.borrow_mut().insert(key, run.clone());
-        run
-    }
-
-    /// The adaptation of the given kind (`"none"` / `"naive"` /
-    /// `"task-oriented"`) for one embedding model. Task-oriented stop
-    /// words (Algorithm 2) are computed once per model and cached.
-    pub fn adaptation(&self, kind: &str, model_name: &str) -> Adaptation {
-        match kind {
-            "none" => Adaptation::None,
-            "naive" => Adaptation::Naive,
-            "task-oriented" => {
-                let mut cache = self.stopwords.borrow_mut();
-                let stop = cache.entry(model_name.to_string()).or_insert_with(|| {
-                    let positives = positive_triples(self.ontology(), TaskKind::RandomNegatives);
-                    task_oriented_stopwords(
-                        self.ontology(),
-                        &positives,
-                        self.embedding(model_name),
-                        &self.cfg.task_oriented,
-                    )
-                });
-                Adaptation::TaskOriented(stop.clone())
-            }
-            other => panic!("unknown adaptation {other}"),
-        }
+                &self.shared.cfg.rf,
+                Some(&self.shared.encodings),
+            ))
+        })
+        .clone()
     }
 }
 
@@ -608,6 +760,12 @@ mod tests {
     }
 
     #[test]
+    fn shared_core_is_send_and_sync() {
+        fn assert_sync<T: Send + Sync>() {}
+        assert_sync::<Shared>();
+    }
+
+    #[test]
     fn adaptations_resolve() {
         let lab = Lab::new(LabConfig::tiny());
         assert!(matches!(lab.adaptation("none", "random"), Adaptation::None));
@@ -629,6 +787,30 @@ mod tests {
         assert_eq!(b, 0.25);
         let c = lab.memo_score("other".to_string(), || 0.5);
         assert_eq!(c, 0.5);
+        let stats = lab.cache_stats();
+        assert_eq!(stats.memo_misses, 2);
+        assert!(stats.memo_hits >= 1);
+    }
+
+    #[test]
+    fn memo_score_is_safe_under_concurrent_same_key_calls() {
+        let lab = Lab::new(LabConfig::tiny());
+        let shared = lab.shared();
+        let values: Vec<f64> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    s.spawn(|| {
+                        shared.memo_score("concurrent".to_string(), || {
+                            std::thread::sleep(std::time::Duration::from_millis(5));
+                            1.5
+                        })
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert!(values.iter().all(|&v| v == 1.5));
+        assert_eq!(lab.cache_stats().memo_misses, 1, "one compute for 4 same-key callers");
     }
 
     #[test]

@@ -18,6 +18,7 @@ pub mod experiment;
 pub mod lab;
 pub mod paradigm;
 pub mod report;
+pub mod sched;
 pub mod task;
 
 pub use dataset::{Scenario, Split, SCENARIOS};

@@ -1,0 +1,531 @@
+//! Dependency-aware cell scheduler for the reproduction pipeline.
+//!
+//! [`Graph`] holds a DAG of jobs. A job is either **parallel** (`Send`
+//! closure, runnable on any worker thread — forest fits, scenario-sweep
+//! cells, embedding training) or **driver-only** (non-`Send` closure that
+//! must run on the thread that called [`Graph::run`] — anything touching
+//! the `Rc`-autograd MiniBERT/BioGPT checkpoints). Dependencies always
+//! point at earlier ids, so push order is a valid topological order and
+//! the single-worker path degenerates to plain sequential execution in
+//! exactly that order.
+//!
+//! With `workers > 1` the graph runs on scoped worker threads with
+//! per-worker LIFO deques, FIFO stealing, and a shared injector queue;
+//! the driver thread drains driver-only jobs and helps with parallel
+//! jobs while it waits. Parallel jobs executing on a multi-worker run
+//! hold a [`pool::CoreReservation`] and are pinned to
+//! [`pool::run_serial`], so nested LM/forest fan-out yields to
+//! cell-level parallelism (and driver-side LM kernels see the reserved
+//! cores subtracted from their own fan-out).
+//!
+//! Determinism contract: jobs communicate only through write-once slots
+//! and memoised caches whose values are independent of scheduling, and
+//! callers assemble outputs in push order from the slots afterwards —
+//! the scheduler itself never reorders observable results.
+
+use kcb_util::pool;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::Condvar;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// Handle to a job pushed onto a [`Graph`]; used to declare dependencies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct JobId(usize);
+
+type ParFn<'a> = Box<dyn FnOnce() + Send + 'a>;
+type DriverFn<'a> = Box<dyn FnOnce() + 'a>;
+
+enum Slot {
+    /// Index into the shared parallel-closure table.
+    Par(usize),
+    /// Index into the driver-local closure table.
+    Driver(usize),
+}
+
+struct Node {
+    label: String,
+    slot: Slot,
+    deps: Vec<usize>,
+}
+
+/// Per-job execution record, in push (= canonical) order.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct JobReport {
+    /// The label given at push time.
+    pub label: String,
+    /// `"par"` or `"driver"`.
+    pub kind: &'static str,
+    /// Wall-clock seconds spent inside the closure.
+    pub seconds: f64,
+}
+
+/// What one [`Graph::run`] did.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct RunReport {
+    /// Worker threads used (1 = sequential driver-only execution).
+    pub workers: usize,
+    /// Per-job timings in push order.
+    pub jobs: Vec<JobReport>,
+    /// Successful steals from another worker's local deque.
+    pub steals: usize,
+    /// End-to-end wall-clock seconds for the whole graph.
+    pub wall_seconds: f64,
+}
+
+/// A DAG of labelled jobs. See the module docs for the execution model.
+#[derive(Default)]
+pub struct Graph<'a> {
+    nodes: Vec<Node>,
+    par_fns: Vec<Option<ParFn<'a>>>,
+    driver_fns: Vec<Option<DriverFn<'a>>>,
+}
+
+impl<'a> Graph<'a> {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of jobs pushed so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether no jobs have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn push(&mut self, label: String, slot: Slot, deps: &[JobId]) -> JobId {
+        let id = self.nodes.len();
+        for d in deps {
+            assert!(d.0 < id, "dependency {} of job {id} not yet pushed", d.0);
+        }
+        self.nodes.push(Node { label, slot, deps: deps.iter().map(|d| d.0).collect() });
+        JobId(id)
+    }
+
+    /// Pushes a parallel job: may run on any worker thread once all
+    /// `deps` have finished.
+    pub fn add_par(
+        &mut self,
+        label: impl Into<String>,
+        deps: &[JobId],
+        f: impl FnOnce() + Send + 'a,
+    ) -> JobId {
+        self.par_fns.push(Some(Box::new(f)));
+        self.push(label.into(), Slot::Par(self.par_fns.len() - 1), deps)
+    }
+
+    /// Pushes a driver-only job: runs on the thread that calls
+    /// [`Graph::run`] (for `!Send` state such as the LM checkpoints).
+    pub fn add_driver(
+        &mut self,
+        label: impl Into<String>,
+        deps: &[JobId],
+        f: impl FnOnce() + 'a,
+    ) -> JobId {
+        self.driver_fns.push(Some(Box::new(f)));
+        self.push(label.into(), Slot::Driver(self.driver_fns.len() - 1), deps)
+    }
+
+    /// Executes the whole graph and returns the run report. Panics in
+    /// jobs are re-raised here after the scope unwinds.
+    pub fn run(self, workers: usize) -> RunReport {
+        let started = Instant::now();
+        let n = self.nodes.len();
+        let label_kinds = self.label_kinds();
+        let mut seconds = vec![0.0f64; n];
+        let (steals, workers) = if workers <= 1 || n <= 1 {
+            self.run_sequential(&mut seconds);
+            (0, 1)
+        } else {
+            (self.run_parallel(workers, &mut seconds), workers)
+        };
+        let jobs = label_kinds
+            .into_iter()
+            .zip(seconds)
+            .map(|((label, kind), seconds)| JobReport { label, kind, seconds })
+            .collect();
+        RunReport { workers, jobs, steals, wall_seconds: started.elapsed().as_secs_f64() }
+    }
+
+    fn run_sequential(self, seconds: &mut [f64]) {
+        let Graph { nodes, mut par_fns, mut driver_fns } = self;
+        for (i, node) in nodes.into_iter().enumerate() {
+            let t = Instant::now();
+            match node.slot {
+                Slot::Par(p) => (par_fns[p].take().expect("par job present"))(),
+                Slot::Driver(d) => (driver_fns[d].take().expect("driver job present"))(),
+            }
+            seconds[i] = t.elapsed().as_secs_f64();
+        }
+    }
+
+    fn run_parallel(self, workers: usize, seconds: &mut [f64]) -> usize {
+        let Graph { nodes, par_fns, mut driver_fns } = self;
+        let n = nodes.len();
+
+        let pending: Vec<usize> = nodes.iter().map(|nd| nd.deps.len()).collect();
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, nd) in nodes.iter().enumerate() {
+            for &d in &nd.deps {
+                dependents[d].push(i);
+            }
+        }
+        let mut state = State {
+            pending,
+            dependents,
+            injector: VecDeque::new(),
+            ready_driver: VecDeque::new(),
+            remaining: n,
+            panic: None,
+        };
+        // Seed the ready queues with dep-free jobs, in push order.
+        for (i, nd) in nodes.iter().enumerate() {
+            if state.pending[i] == 0 {
+                match nd.slot {
+                    Slot::Par(_) => state.injector.push_back(i),
+                    Slot::Driver(_) => state.ready_driver.push_back(i),
+                }
+            }
+        }
+
+        let shared = Shared {
+            nodes,
+            par_fns: par_fns.into_iter().map(Mutex::new).collect(),
+            locals: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            seconds: (0..n).map(|_| Mutex::new(0.0)).collect(),
+            state: Mutex::new(state),
+            cv: Condvar::new(),
+            steals: AtomicUsize::new(0),
+        };
+
+        std::thread::scope(|s| {
+            // Workers 1..workers steal and run parallel jobs; worker 0 is
+            // the driver (this thread), which also owns the driver jobs.
+            for w in 1..workers {
+                let shared = &shared;
+                s.spawn(move || shared.worker_loop(w));
+            }
+            shared.driver_loop(&mut driver_fns);
+        });
+
+        for (dst, src) in seconds.iter_mut().zip(&shared.seconds) {
+            *dst = *src.lock();
+        }
+        if let Some(payload) = shared.state.lock().panic.take() {
+            resume_unwind(payload);
+        }
+        shared.steals.load(Ordering::Relaxed)
+    }
+
+    fn label_kinds(&self) -> Vec<(String, &'static str)> {
+        self.nodes
+            .iter()
+            .map(|nd| {
+                (nd.label.clone(), match nd.slot {
+                    Slot::Par(_) => "par",
+                    Slot::Driver(_) => "driver",
+                })
+            })
+            .collect()
+    }
+}
+
+struct State {
+    pending: Vec<usize>,
+    dependents: Vec<Vec<usize>>,
+    /// Global FIFO of ready parallel jobs not yet claimed by a local deque.
+    injector: VecDeque<usize>,
+    /// Ready driver-only jobs (popped only by the driver thread).
+    ready_driver: VecDeque<usize>,
+    remaining: usize,
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+struct Shared<'a> {
+    nodes: Vec<Node>,
+    par_fns: Vec<Mutex<Option<ParFn<'a>>>>,
+    locals: Vec<Mutex<VecDeque<usize>>>,
+    seconds: Vec<Mutex<f64>>,
+    state: Mutex<State>,
+    cv: Condvar,
+    steals: AtomicUsize,
+}
+
+impl Shared<'_> {
+    /// Runs one parallel job on worker `w`: reserve a core and pin nested
+    /// kernels to serial so cell-level parallelism wins the machine.
+    fn run_par(&self, i: usize, w: usize) {
+        let p = match self.nodes[i].slot {
+            Slot::Par(p) => p,
+            Slot::Driver(_) => unreachable!("driver job in par path"),
+        };
+        let f = self.par_fns[p].lock().take().expect("par job claimed twice");
+        let _core = pool::CoreReservation::claim();
+        let t = Instant::now();
+        let result = catch_unwind(AssertUnwindSafe(|| pool::run_serial(f)));
+        *self.seconds[i].lock() = t.elapsed().as_secs_f64();
+        self.finish(i, w, result);
+    }
+
+    /// Marks job `i` done, promoting newly-ready jobs. The first
+    /// newly-ready parallel job goes to worker `w`'s own deque (LIFO
+    /// locality); the rest go to the injector.
+    fn finish(&self, i: usize, w: usize, result: Result<(), Box<dyn std::any::Any + Send>>) {
+        let mut st = self.state.lock();
+        match result {
+            Ok(()) => {
+                let mut kept_local = false;
+                let deps_of: Vec<usize> = st.dependents[i].clone();
+                for j in deps_of {
+                    st.pending[j] -= 1;
+                    if st.pending[j] == 0 {
+                        match self.nodes[j].slot {
+                            Slot::Par(_) if !kept_local => {
+                                kept_local = true;
+                                self.locals[w].lock().push_back(j);
+                            }
+                            Slot::Par(_) => st.injector.push_back(j),
+                            Slot::Driver(_) => st.ready_driver.push_back(j),
+                        }
+                    }
+                }
+            }
+            Err(payload) => {
+                if st.panic.is_none() {
+                    st.panic = Some(payload);
+                }
+            }
+        }
+        st.remaining -= 1;
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    /// Next parallel job for worker `w`: own deque (LIFO) → steal others
+    /// (FIFO, scanning `w+1, w+2, …` wrapping) → injector.
+    fn next_par(&self, w: usize) -> Option<usize> {
+        if let Some(i) = self.locals[w].lock().pop_back() {
+            return Some(i);
+        }
+        let k = self.locals.len();
+        for off in 1..k {
+            if let Some(i) = self.locals[(w + off) % k].lock().pop_front() {
+                self.steals.fetch_add(1, Ordering::Relaxed);
+                return Some(i);
+            }
+        }
+        self.state.lock().injector.pop_front()
+    }
+
+    fn worker_loop(&self, w: usize) {
+        loop {
+            if let Some(i) = self.next_par(w) {
+                self.run_par(i, w);
+                continue;
+            }
+            let st = self.state.lock();
+            if st.remaining == 0 || st.panic.is_some() {
+                return;
+            }
+            // Timed wait: steals from peer deques are not signalled
+            // through the state condvar, so retry periodically.
+            drop(self.cv.wait_timeout(st, Duration::from_millis(2)));
+        }
+    }
+
+    /// The calling thread: owns the driver-only closures, helps with
+    /// parallel jobs while waiting on dependencies.
+    fn driver_loop(&self, driver_fns: &mut [Option<DriverFn<'_>>]) {
+        const W: usize = 0;
+        loop {
+            let next_driver = {
+                let mut st = self.state.lock();
+                if st.remaining == 0 || st.panic.is_some() {
+                    return;
+                }
+                st.ready_driver.pop_front()
+            };
+            if let Some(i) = next_driver {
+                let d = match self.nodes[i].slot {
+                    Slot::Driver(d) => d,
+                    Slot::Par(_) => unreachable!("par job in driver queue"),
+                };
+                let f = driver_fns[d].take().expect("driver job claimed twice");
+                let t = Instant::now();
+                let result = catch_unwind(AssertUnwindSafe(f));
+                *self.seconds[i].lock() = t.elapsed().as_secs_f64();
+                self.finish(i, W, result);
+                continue;
+            }
+            if let Some(i) = self.next_par(W) {
+                self.run_par(i, W);
+                continue;
+            }
+            let st = self.state.lock();
+            if st.remaining == 0 || st.panic.is_some() {
+                return;
+            }
+            drop(self.cv.wait_timeout(st, Duration::from_millis(2)));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex as StdMutex};
+
+    /// Records completion order; returns (graph-builder helper, log).
+    fn log() -> Arc<StdMutex<Vec<&'static str>>> {
+        Arc::new(StdMutex::new(Vec::new()))
+    }
+
+    #[test]
+    fn sequential_runs_in_push_order() {
+        let mut g = Graph::new();
+        let l = log();
+        for name in ["a", "b", "c", "d"] {
+            let l = l.clone();
+            g.add_par(name, &[], move || l.lock().unwrap().push(name));
+        }
+        let report = g.run(1);
+        assert_eq!(*l.lock().unwrap(), vec!["a", "b", "c", "d"]);
+        assert_eq!(report.workers, 1);
+        assert_eq!(report.steals, 0);
+        assert_eq!(report.jobs.len(), 4);
+        assert!(report.jobs.iter().all(|j| j.kind == "par"));
+    }
+
+    #[test]
+    fn diamond_dependencies_are_respected() {
+        for workers in [1, 2, 4] {
+            let mut g = Graph::new();
+            let l = log();
+            let mk = |l: &Arc<StdMutex<Vec<&'static str>>>, name: &'static str| {
+                let l = l.clone();
+                move || l.lock().unwrap().push(name)
+            };
+            let a = g.add_par("a", &[], mk(&l, "a"));
+            let b = g.add_par("b", &[a], mk(&l, "b"));
+            let c = g.add_par("c", &[a], mk(&l, "c"));
+            let _d = g.add_driver("d", &[b, c], mk(&l, "d"));
+            g.run(workers);
+            let order = l.lock().unwrap().clone();
+            assert_eq!(order.len(), 4, "workers={workers}");
+            let pos = |x| order.iter().position(|&o| o == x).unwrap();
+            assert!(pos("a") < pos("b") && pos("a") < pos("c"));
+            assert_eq!(pos("d"), 3);
+        }
+    }
+
+    #[test]
+    fn driver_jobs_run_on_the_calling_thread() {
+        let caller = std::thread::current().id();
+        let seen = Arc::new(StdMutex::new(Vec::new()));
+        let mut g = Graph::new();
+        for _ in 0..4 {
+            let seen = seen.clone();
+            g.add_driver("d", &[], move || seen.lock().unwrap().push(std::thread::current().id()));
+        }
+        // Interleave parallel load so the driver actually waits.
+        for _ in 0..8 {
+            g.add_par("p", &[], || std::thread::sleep(Duration::from_millis(1)));
+        }
+        g.run(4);
+        let seen = seen.lock().unwrap();
+        assert_eq!(seen.len(), 4);
+        assert!(seen.iter().all(|&t| t == caller));
+    }
+
+    #[test]
+    fn shared_results_flow_through_slots() {
+        // Providers fill OnceLock slots; consumers read them — the pattern
+        // plan.rs uses for ontology/embedding/checkpoint intermediates.
+        use std::sync::OnceLock;
+        for workers in [1, 3] {
+            let slot: Arc<OnceLock<u64>> = Arc::new(OnceLock::new());
+            let sum = Arc::new(StdMutex::new(0u64));
+            let mut g = Graph::new();
+            let provider = {
+                let slot = slot.clone();
+                g.add_par("provider", &[], move || {
+                    slot.set(21).unwrap();
+                })
+            };
+            for _ in 0..6 {
+                let slot = slot.clone();
+                let sum = sum.clone();
+                g.add_par("consumer", &[provider], move || {
+                    *sum.lock().unwrap() += slot.get().copied().unwrap();
+                });
+            }
+            g.run(workers);
+            assert_eq!(*sum.lock().unwrap(), 126, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn panics_propagate_after_the_scope_unwinds() {
+        for workers in [1, 3] {
+            let mut g = Graph::new();
+            g.add_par("ok", &[], || {});
+            g.add_par("boom", &[], || panic!("cell failed"));
+            let err = std::panic::catch_unwind(AssertUnwindSafe(|| g.run(workers)))
+                .expect_err("panic should propagate");
+            let msg = err.downcast_ref::<&str>().copied().unwrap_or("");
+            assert_eq!(msg, "cell failed", "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn report_records_every_job_with_timing() {
+        let mut g = Graph::new();
+        let a = g.add_par("sleepy", &[], || std::thread::sleep(Duration::from_millis(5)));
+        g.add_driver("after", &[a], || {});
+        let report = g.run(2);
+        assert_eq!(report.jobs.len(), 2);
+        assert_eq!(report.jobs[0].label, "sleepy");
+        assert_eq!(report.jobs[0].kind, "par");
+        assert!(report.jobs[0].seconds >= 0.004, "{}", report.jobs[0].seconds);
+        assert_eq!(report.jobs[1].kind, "driver");
+        assert!(report.wall_seconds >= report.jobs[0].seconds);
+    }
+
+    #[test]
+    #[should_panic(expected = "not yet pushed")]
+    fn forward_dependencies_are_rejected() {
+        let mut g = Graph::new();
+        let a = g.add_par("a", &[], || {});
+        let _ = a;
+        // A JobId forged beyond the current length must be rejected.
+        let bogus = JobId(5);
+        g.add_par("b", &[bogus], || {});
+    }
+
+    #[test]
+    fn par_cells_are_serial_inside_multiworker_runs() {
+        let observed = Arc::new(StdMutex::new(Vec::new()));
+        let mut g = Graph::new();
+        for _ in 0..3 {
+            let observed = observed.clone();
+            g.add_par("cell", &[], move || {
+                observed.lock().unwrap().push(pool::serial_mode());
+            });
+        }
+        g.run(2);
+        assert!(observed.lock().unwrap().iter().all(|&s| s), "multi-worker par cells pin serial");
+
+        let observed = Arc::new(StdMutex::new(Vec::new()));
+        let mut g = Graph::new();
+        let obs = observed.clone();
+        g.add_par("cell", &[], move || obs.lock().unwrap().push(pool::serial_mode()));
+        g.run(1);
+        assert!(!observed.lock().unwrap()[0], "sequential runs keep full nested fan-out");
+    }
+}

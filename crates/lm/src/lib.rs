@@ -13,10 +13,14 @@
 pub mod decoder;
 pub mod encoder;
 pub mod optim;
-pub mod pool;
 pub mod schedule;
 pub mod tensor;
 pub mod transformer;
+
+/// Thread-pool policy now lives in `kcb-util` so the cell scheduler and the
+/// forest can share it; re-exported here so `kcb_lm::pool::*` paths keep
+/// working.
+pub use kcb_util::pool;
 
 pub use decoder::{MiniGpt, MiniGptConfig};
 pub use encoder::{MiniBert, MiniBertConfig};

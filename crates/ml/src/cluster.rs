@@ -1,5 +1,19 @@
 //! DBSCAN density clustering (used by Algorithm 2 to group frequent tokens
 //! by embedding proximity).
+//!
+//! The region query — "all points within `eps` of point *i*" — is served by
+//! a pivot-based annulus index ([`NeighbourIndex`]) instead of a full O(n)
+//! scan per query. Literal grid buckets are useless at embedding
+//! dimensionality (16–64: every point lands in its own cell or all in one),
+//! so the index stores each point's distance to a few deterministic pivot
+//! points and prunes with the triangle inequality: any true neighbour `j`
+//! of `i` satisfies `|d(i, p) − d(j, p)| ≤ eps` for every pivot `p`. The
+//! first pivot's distances are kept sorted, so a query is a binary-searched
+//! annulus plus a filtered sweep. Every surviving candidate is confirmed
+//! with the *exact* metric used by the brute-force scan, and candidates are
+//! emitted in ascending index order, so the index returns bit-identical
+//! neighbour sets — and therefore [`dbscan`] returns bit-identical labels —
+//! to [`dbscan_brute`] at any data distribution (property-tested).
 
 use crate::linalg::{cosine, euclidean, Matrix};
 
@@ -26,22 +40,206 @@ impl Metric {
 /// Cluster assignment per point: `Some(cluster_id)` or `None` for noise.
 pub type Labels = Vec<Option<usize>>;
 
-/// DBSCAN over the rows of `points`.
+/// Number of pivots: one sorted axis + two extra triangle filters.
+const N_PIVOTS: usize = 3;
+
+/// Safety slack on the pruning radius. Pruning distances are f32 and the
+/// cosine path prunes in a *transformed* space (unit-normalised euclidean),
+/// so the annulus is widened by a relative + absolute margin that dwarfs
+/// the accumulated rounding error; the exact final check keeps the result
+/// identical to brute force while false candidates only cost a distance
+/// evaluation.
+fn pruning_radius(r: f32) -> f32 {
+    r * 1.001 + 1e-4
+}
+
+/// Pivot-distance annulus index over the rows of a [`Matrix`].
 ///
-/// `eps` is the neighbourhood radius, `min_pts` the core-point density
-/// threshold (including the point itself). The classic O(n²)
-/// region-query implementation — fine for the few thousand frequent tokens
-/// Algorithm 2 clusters.
+/// Pruning space: the metric itself for [`Metric::Euclidean`]; for
+/// [`Metric::Cosine`] the unit-normalised rows under euclidean distance,
+/// where `‖û − v̂‖² = 2 · cosine_distance(u, v)` makes the eps ball a
+/// euclidean ball of radius `√(2·eps)`. Rows that cannot be embedded in
+/// the pruning space (zero norm, non-finite coordinates) are kept in an
+/// `unindexed` list and exact-checked on every query, preserving the
+/// brute-force semantics for degenerate inputs.
+pub struct NeighbourIndex<'a> {
+    points: &'a Matrix,
+    metric: Metric,
+    /// Indexed point ids sorted by distance to pivot 0 (ascending, then id).
+    order: Vec<u32>,
+    /// `sorted_d0[k]` = distance of `order[k]` to pivot 0.
+    sorted_d0: Vec<f32>,
+    /// `pivot_d[p][i]` = pruning-space distance of point `i` to pivot `p`.
+    pivot_d: Vec<Vec<f32>>,
+    /// Points excluded from the pruning space; always exact-checked.
+    unindexed: Vec<u32>,
+    /// False for `unindexed` points (their pivot distances are meaningless).
+    indexed: Vec<bool>,
+}
+
+impl<'a> NeighbourIndex<'a> {
+    /// Builds the index; O(pivots · n) distance evaluations + one sort.
+    pub fn build(points: &'a Matrix, metric: Metric) -> Self {
+        let n = points.rows();
+        let normalised = match metric {
+            Metric::Euclidean => None,
+            Metric::Cosine => Some(normalise_rows(points)),
+        };
+        let space = normalised.as_ref().unwrap_or(points);
+
+        let mut indexed = vec![true; n];
+        let mut unindexed = Vec::new();
+        for i in 0..n {
+            let row = space.row(i);
+            let usable = row.iter().all(|v| v.is_finite())
+                && (metric == Metric::Euclidean || row.iter().any(|&v| v != 0.0));
+            if !usable {
+                indexed[i] = false;
+                unindexed.push(i as u32);
+            }
+        }
+
+        // Deterministic pivots: the first indexed point, then the point
+        // farthest from the previous pivot (ties → lowest id) — a cheap
+        // max-spread heuristic that needs no randomness.
+        let mut pivots: Vec<usize> = Vec::new();
+        if let Some(first) = (0..n).find(|&i| indexed[i]) {
+            pivots.push(first);
+        }
+        let mut pivot_d: Vec<Vec<f32>> = Vec::new();
+        while let Some(&last) = pivots.last() {
+            let last_row = space.row(last);
+            let d: Vec<f32> = (0..n)
+                .map(|i| if indexed[i] { euclidean(space.row(i), last_row) } else { 0.0 })
+                .collect();
+            if pivots.len() < N_PIVOTS {
+                let far = (0..n)
+                    .filter(|&i| indexed[i] && !pivots.contains(&i))
+                    .max_by(|&a, &b| d[a].total_cmp(&d[b]).then(b.cmp(&a)));
+                pivot_d.push(d);
+                match far {
+                    Some(f) if pivot_d.len() < N_PIVOTS => pivots.push(f),
+                    _ => break,
+                }
+            } else {
+                pivot_d.push(d);
+                break;
+            }
+        }
+        if pivot_d.is_empty() {
+            pivot_d.push(vec![0.0; n]);
+        }
+
+        // Pivot distances that overflowed to ±inf/NaN would make the
+        // annulus bounds meaningless; route those points through the exact
+        // path too.
+        for i in 0..n {
+            if indexed[i] && pivot_d.iter().any(|d| !d[i].is_finite()) {
+                indexed[i] = false;
+                unindexed.push(i as u32);
+            }
+        }
+
+        let mut order: Vec<u32> = (0..n as u32).filter(|&i| indexed[i as usize]).collect();
+        order.sort_by(|&a, &b| {
+            pivot_d[0][a as usize].total_cmp(&pivot_d[0][b as usize]).then(a.cmp(&b))
+        });
+        let sorted_d0: Vec<f32> = order.iter().map(|&i| pivot_d[0][i as usize]).collect();
+
+        Self { points, metric, order, sorted_d0, pivot_d, unindexed, indexed }
+    }
+
+    /// Radius of the eps ball in the pruning space.
+    fn pruning_eps(&self, eps: f32) -> f32 {
+        match self.metric {
+            Metric::Euclidean => eps.max(0.0),
+            // ‖û − v̂‖ = √(2 · cos_dist); clamp the argument so a negative
+            // or NaN eps degrades to an empty annulus, like brute force.
+            Metric::Cosine => (2.0 * eps.max(0.0)).sqrt(),
+        }
+    }
+
+    /// All `j` with `distance(i, j) ≤ eps`, ascending — the same set, in
+    /// the same order, as the brute-force scan.
+    pub fn neighbours(&self, i: usize, eps: f32) -> Vec<usize> {
+        let pi = self.points.row(i);
+        let exact = |j: usize| self.metric.distance(pi, self.points.row(j)) <= eps;
+
+        if !self.indexed[i] {
+            // Degenerate query point: fall back to the exact scan.
+            return (0..self.points.rows()).filter(|&j| exact(j)).collect();
+        }
+
+        let r = pruning_radius(self.pruning_eps(eps));
+        let d0 = self.pivot_d[0][i];
+        let lo = self.sorted_d0.partition_point(|&d| d < d0 - r);
+        let hi = self.sorted_d0.partition_point(|&d| d <= d0 + r);
+
+        let mut out: Vec<usize> = Vec::new();
+        'cand: for &j in &self.order[lo..hi] {
+            let j = j as usize;
+            for d in &self.pivot_d[1..] {
+                if (d[i] - d[j]).abs() > r {
+                    continue 'cand;
+                }
+            }
+            if exact(j) {
+                out.push(j);
+            }
+        }
+        for &j in &self.unindexed {
+            if exact(j as usize) {
+                out.push(j as usize);
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+/// Unit-normalises each row; zero rows stay zero (flagged unindexed).
+fn normalise_rows(points: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(points.rows(), points.cols());
+    for i in 0..points.rows() {
+        let row = points.row(i);
+        let norm = row.iter().map(|v| v * v).sum::<f32>().sqrt();
+        if norm > 0.0 && norm.is_finite() {
+            let dst = out.row_mut(i);
+            for (d, s) in dst.iter_mut().zip(row) {
+                *d = s / norm;
+            }
+        }
+    }
+    out
+}
+
+/// DBSCAN over the rows of `points`, with region queries served by a
+/// [`NeighbourIndex`]. Labels are identical to [`dbscan_brute`] — the index
+/// changes the query cost from O(n) to an annulus sweep, never the result.
 pub fn dbscan(points: &Matrix, eps: f32, min_pts: usize, metric: Metric) -> Labels {
+    let index = NeighbourIndex::build(points, metric);
+    dbscan_core(points.rows(), min_pts, |i| index.neighbours(i, eps))
+}
+
+/// Reference DBSCAN with the classic O(n²) region query. Kept as the
+/// ground truth for the index's exact-match property test and as the
+/// baseline for the `dbscan` criterion bench.
+pub fn dbscan_brute(points: &Matrix, eps: f32, min_pts: usize, metric: Metric) -> Labels {
     let n = points.rows();
+    dbscan_core(n, min_pts, |i| {
+        let pi = points.row(i);
+        (0..n).filter(|&j| metric.distance(pi, points.row(j)) <= eps).collect()
+    })
+}
+
+/// The DBSCAN expansion loop, generic over the region-query provider.
+/// Visit order (ascending seed index, FIFO frontier) fixes the cluster
+/// numbering and border-point assignment, so two query providers that
+/// return equal neighbour sets yield equal labels.
+fn dbscan_core<F: Fn(usize) -> Vec<usize>>(n: usize, min_pts: usize, neighbours: F) -> Labels {
     let mut labels: Labels = vec![None; n];
     let mut visited = vec![false; n];
     let mut cluster = 0usize;
-
-    let neighbours = |i: usize| -> Vec<usize> {
-        let pi = points.row(i);
-        (0..n).filter(|&j| metric.distance(pi, points.row(j)) <= eps).collect()
-    };
 
     for i in 0..n {
         if visited[i] {
@@ -161,5 +359,40 @@ mod tests {
         let labels = dbscan(&Matrix::zeros(0, 3), 1.0, 2, Metric::Euclidean);
         assert!(labels.is_empty());
         assert!(clusters_from_labels(&labels).is_empty());
+    }
+
+    #[test]
+    fn zero_rows_under_cosine_match_brute_force() {
+        // cosine() defines zero vectors as similarity 0 → distance 1 from
+        // everything; the index must reproduce that via its unindexed path.
+        let m = Matrix::from_rows(vec![
+            vec![0.0, 0.0],
+            vec![1.0, 0.0],
+            vec![0.9, 0.1],
+            vec![0.0, 0.0],
+        ]);
+        for eps in [0.05f32, 0.5, 1.0, 1.5] {
+            assert_eq!(
+                dbscan(&m, eps, 2, Metric::Cosine),
+                dbscan_brute(&m, eps, 2, Metric::Cosine),
+                "eps {eps}"
+            );
+        }
+    }
+
+    #[test]
+    fn index_neighbours_match_brute_on_blobs() {
+        let m = two_blobs();
+        for metric in [Metric::Euclidean, Metric::Cosine] {
+            let idx = NeighbourIndex::build(&m, metric);
+            for eps in [0.01f32, 0.3, 1.0, 20.0] {
+                for i in 0..m.rows() {
+                    let brute: Vec<usize> = (0..m.rows())
+                        .filter(|&j| metric.distance(m.row(i), m.row(j)) <= eps)
+                        .collect();
+                    assert_eq!(idx.neighbours(i, eps), brute, "i={i} eps={eps} {metric:?}");
+                }
+            }
+        }
     }
 }

@@ -5,7 +5,7 @@
 
 use crate::linalg::Matrix;
 use crate::tree::{DecisionTree, TreeConfig};
-use kcb_util::Rng;
+use kcb_util::{pool, Rng};
 
 /// Random-forest hyperparameters.
 #[derive(Debug, Clone, Copy)]
@@ -38,7 +38,10 @@ impl Default for RandomForestConfig {
 }
 
 fn num_threads() -> usize {
-    std::thread::available_parallelism().map_or(4, |n| n.get()).min(16)
+    // The workspace-wide pool setting (`kcb_util::pool::set_threads`, driven
+    // by `repro --threads`) so forest fan-out follows the same knob as the
+    // LM kernels and the cell scheduler.
+    pool::threads()
 }
 
 /// A fitted random forest.
@@ -91,13 +94,16 @@ impl RandomForest {
             DecisionTree::fit(x, y, &indices, &tree_cfg, &mut rng)
         };
 
-        let trees: Vec<DecisionTree> = if cfg.n_threads <= 1 || cfg.n_trees == 1 {
+        // Pool arbitration: yields to cell-level parallelism (fan-out 1 on
+        // scheduler workers in serial mode) and to cores reserved by other
+        // threads; per-tree streams keep the result independent of fan-out.
+        let workers = pool::fanout(cfg.n_threads, cfg.n_trees);
+        let trees: Vec<DecisionTree> = if workers <= 1 || cfg.n_trees == 1 {
             (0..cfg.n_trees).map(fit_one).collect()
         } else {
             // Chunk tree indices across scoped worker threads; each slot is
             // written by exactly one worker.
             let mut slots: Vec<Option<DecisionTree>> = (0..cfg.n_trees).map(|_| None).collect();
-            let workers = cfg.n_threads.min(cfg.n_trees);
             let chunk = cfg.n_trees.div_ceil(workers);
             crossbeam::thread::scope(|s| {
                 for (w, slot_chunk) in slots.chunks_mut(chunk).enumerate() {

@@ -1,0 +1,84 @@
+//! Property test: the pivot-annulus [`NeighbourIndex`] behind `dbscan` is
+//! an *exact* drop-in for the brute-force region query — identical labels
+//! (cluster ids, border assignment, noise) over random point sets, eps
+//! values, densities, and both metrics.
+
+use kcb_ml::cluster::{dbscan, dbscan_brute, Metric, NeighbourIndex};
+use kcb_ml::linalg::Matrix;
+use proptest::prelude::*;
+
+/// Random point set: up to 120 points in up to 24 dimensions, with
+/// coordinates spanning several magnitudes so annuli straddle cluster
+/// boundaries. Duplicate-heavy sets are produced by the quantised variant.
+fn points(max_n: usize, max_dim: usize) -> impl Strategy<Value = Matrix> {
+    (1..max_dim + 1, 0..max_n + 1).prop_flat_map(|(dim, n)| {
+        prop::collection::vec(prop::collection::vec(-50.0f32..50.0, dim), n)
+            .prop_map(Matrix::from_rows)
+    })
+}
+
+/// Coarsely quantised points: many exact duplicates and boundary ties,
+/// stressing the `distance == eps` edge and the ascending-order contract.
+fn quantised_points() -> impl Strategy<Value = Matrix> {
+    (1..5usize, 0..81usize).prop_flat_map(|(dim, n)| {
+        prop::collection::vec(prop::collection::vec(-4i8..5, dim), n).prop_map(|rows| {
+            Matrix::from_rows(rows.into_iter().map(|r| r.into_iter().map(f32::from).collect()))
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn indexed_labels_match_brute_force(
+        m in points(120, 24),
+        eps in 0.01f32..60.0,
+        min_pts in 1usize..6,
+        metric_cosine in any::<bool>(),
+    ) {
+        let metric = if metric_cosine { Metric::Cosine } else { Metric::Euclidean };
+        prop_assert_eq!(
+            dbscan(&m, eps, min_pts, metric),
+            dbscan_brute(&m, eps, min_pts, metric)
+        );
+    }
+
+    #[test]
+    fn indexed_labels_match_on_duplicate_heavy_sets(
+        m in quantised_points(),
+        eps in 0.0f32..12.0,
+        min_pts in 1usize..8,
+        metric_cosine in any::<bool>(),
+    ) {
+        let metric = if metric_cosine { Metric::Cosine } else { Metric::Euclidean };
+        prop_assert_eq!(
+            dbscan(&m, eps, min_pts, metric),
+            dbscan_brute(&m, eps, min_pts, metric)
+        );
+    }
+
+    #[test]
+    fn region_queries_match_exactly_and_ascending(
+        m in points(60, 12),
+        eps in 0.01f32..30.0,
+        metric_cosine in any::<bool>(),
+    ) {
+        let metric = if metric_cosine { Metric::Cosine } else { Metric::Euclidean };
+        let idx = NeighbourIndex::build(&m, metric);
+        for i in 0..m.rows() {
+            let got = idx.neighbours(i, eps);
+            let brute: Vec<usize> = (0..m.rows())
+                .filter(|&j| {
+                    let d = match metric {
+                        Metric::Euclidean => kcb_ml::linalg::euclidean(m.row(i), m.row(j)),
+                        Metric::Cosine => 1.0 - kcb_ml::linalg::cosine(m.row(i), m.row(j)),
+                    };
+                    d <= eps
+                })
+                .collect();
+            prop_assert_eq!(&got, &brute, "query {}", i);
+            prop_assert!(got.windows(2).all(|w| w[0] < w[1]), "ascending order");
+        }
+    }
+}

@@ -7,6 +7,7 @@
 
 pub mod error;
 pub mod fmt;
+pub mod pool;
 pub mod rng;
 
 pub use error::{Error, Result};

@@ -1,4 +1,5 @@
-//! Row-parallel execution for the dense LM kernels.
+//! Workspace-wide thread-pool policy: row-parallel kernels plus the
+//! fan-out arbitration used by the cell scheduler.
 //!
 //! The tensor matmuls split their *output rows* across a crossbeam
 //! scoped-thread worker pool: each output row is written by exactly one
@@ -13,12 +14,19 @@
 //! (DESIGN §5's guard idiom). Small kernels stay on the calling thread:
 //! below [`MIN_PARALLEL_FLOPS`] the scoped-spawn overhead (~10–20 µs per
 //! worker) would outweigh the work, which keeps single-sequence forwards
-//! serial while batched training steps fan out. The effective fan-out is
-//! further clamped at the machine's available parallelism — requesting
-//! more workers than cores cannot speed up a compute-bound kernel, and
-//! because outputs never depend on the worker count the clamp is
-//! invisible in the artifacts.
+//! serial while batched training steps fan out.
+//!
+//! **Nested parallelism.** PR 2's cell scheduler runs whole experiment
+//! cells on worker threads. A forest fit or matmul inside such a cell must
+//! not fan out again — the cores are already busy running sibling cells —
+//! so scheduler workers wrap cell bodies in [`run_serial`], which pins
+//! every nested [`fanout`] to 1 on that thread. Conversely the scheduler's
+//! *driver* thread (the only thread allowed to touch the `Rc`-based LM
+//! models) keeps full fan-out, minus any cores other threads have claimed
+//! through [`CoreReservation`]. Because outputs never depend on the
+//! fan-out, all of this arbitration is invisible in the artifacts.
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Work threshold (≈ multiply-adds) below which kernels run serially.
@@ -27,8 +35,18 @@ pub const MIN_PARALLEL_FLOPS: usize = 1 << 18;
 /// 0 = "not set yet" → resolve from available parallelism on first read.
 static THREADS: AtomicUsize = AtomicUsize::new(0);
 
+/// Cores currently claimed by scheduler workers (process-wide).
+static RESERVED: AtomicUsize = AtomicUsize::new(0);
+
 /// Upper bound mirroring `RandomForestConfig`'s default cap.
 const MAX_DEFAULT_THREADS: usize = 16;
+
+thread_local! {
+    /// Reservations held *by this thread* (excluded from its own clamp).
+    static MY_RESERVATIONS: Cell<usize> = const { Cell::new(0) };
+    /// When set, every [`fanout`] on this thread resolves to 1.
+    static SERIAL: Cell<bool> = const { Cell::new(false) };
+}
 
 /// Sets the pool size for all subsequent LM kernels (min 1).
 pub fn set_threads(n: usize) {
@@ -46,7 +64,7 @@ pub fn threads() -> usize {
 }
 
 /// Available hardware parallelism, resolved once per process.
-fn hardware_threads() -> usize {
+pub fn hardware_threads() -> usize {
     static HW: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
     *HW.get_or_init(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
 }
@@ -72,6 +90,68 @@ impl Drop for ThreadsGuard {
     }
 }
 
+/// RAII claim on one core, held by a scheduler worker while it executes a
+/// cell. Other threads' [`fanout`] shrinks by the number of outstanding
+/// reservations (a thread never counts its own), so nested LM parallelism
+/// yields to cell-level parallelism when cells outnumber cores.
+pub struct CoreReservation {
+    _private: (),
+}
+
+impl CoreReservation {
+    /// Claims one core until the guard drops.
+    pub fn claim() -> Self {
+        RESERVED.fetch_add(1, Ordering::Relaxed);
+        MY_RESERVATIONS.with(|c| c.set(c.get() + 1));
+        Self { _private: () }
+    }
+}
+
+impl Drop for CoreReservation {
+    fn drop(&mut self) {
+        RESERVED.fetch_sub(1, Ordering::Relaxed);
+        MY_RESERVATIONS.with(|c| c.set(c.get() - 1));
+    }
+}
+
+/// Number of cores currently reserved by *other* threads.
+fn reserved_elsewhere() -> usize {
+    let mine = MY_RESERVATIONS.with(Cell::get);
+    RESERVED.load(Ordering::Relaxed).saturating_sub(mine)
+}
+
+/// Runs `f` with this thread's nested fan-out pinned to 1 (restores the
+/// previous mode on exit, including on panic via a drop guard).
+pub fn run_serial<R>(f: impl FnOnce() -> R) -> R {
+    struct Restore(bool);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            SERIAL.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(SERIAL.with(|c| c.replace(true)));
+    f()
+}
+
+/// True when the current thread is in [`run_serial`] mode.
+pub fn serial_mode() -> bool {
+    SERIAL.with(Cell::get)
+}
+
+/// Effective worker count for a fan-out of `units` independent work items
+/// when `requested` threads were asked for: 1 in serial mode, otherwise
+/// clamped by the unit count and by the hardware cores not reserved by
+/// other threads. Oversubscribing buys nothing for compute-bound work, and
+/// because outputs never depend on the worker count the clamp is invisible
+/// in the artifacts.
+pub fn fanout(requested: usize, units: usize) -> usize {
+    if SERIAL.with(Cell::get) {
+        return 1;
+    }
+    let available = hardware_threads().saturating_sub(reserved_elsewhere()).max(1);
+    requested.max(1).min(units.max(1)).min(available)
+}
+
 /// Runs `f` over disjoint contiguous row chunks of a row-major buffer.
 ///
 /// `f(first_row, chunk)` receives the index of the chunk's first row and
@@ -87,11 +167,7 @@ where
         return;
     }
     let rows = data.len() / cols;
-    // Oversubscribing the hardware buys nothing here — the pool is a
-    // scoped spawn per kernel call, so each extra worker is an extra stack
-    // map + join for the same serial core time. Results are bitwise
-    // identical at any worker count, so the fan-out can be clamped freely.
-    let workers = threads().min(rows).min(hardware_threads());
+    let workers = fanout(threads(), rows);
     if workers <= 1 || rows.saturating_mul(flops_per_row) < MIN_PARALLEL_FLOPS {
         f(0, data);
         return;
@@ -166,5 +242,47 @@ mod tests {
             assert_eq!(threads(), 2);
         }
         assert_eq!(threads(), 5);
+    }
+
+    #[test]
+    fn serial_mode_pins_fanout_to_one_and_restores() {
+        let _lock = test_lock();
+        let _guard = ThreadsGuard::new(8);
+        assert!(!serial_mode());
+        let inner = run_serial(|| fanout(8, 8));
+        assert_eq!(inner, 1);
+        assert!(!serial_mode());
+        assert!(fanout(8, 8) >= 1);
+    }
+
+    #[test]
+    fn own_reservation_does_not_shrink_own_fanout() {
+        let _lock = test_lock();
+        let _guard = ThreadsGuard::new(4);
+        let before = fanout(4, 64);
+        let _claim = CoreReservation::claim();
+        // A thread's own claim must not count against itself.
+        assert_eq!(fanout(4, 64), before);
+    }
+
+    #[test]
+    fn foreign_reservations_shrink_fanout() {
+        let _lock = test_lock();
+        let _guard = ThreadsGuard::new(64);
+        let hw = hardware_threads();
+        std::thread::scope(|s| {
+            let (tx, rx) = std::sync::mpsc::channel::<()>();
+            let (done_tx, done_rx) = std::sync::mpsc::channel::<()>();
+            s.spawn(move || {
+                let _claim = CoreReservation::claim();
+                tx.send(()).unwrap();
+                done_rx.recv().unwrap();
+            });
+            rx.recv().unwrap();
+            let shrunk = fanout(64, 64);
+            assert_eq!(shrunk, hw.saturating_sub(1).max(1));
+            done_tx.send(()).unwrap();
+        });
+        assert_eq!(fanout(64, 64), hw.min(64));
     }
 }
