@@ -3,78 +3,29 @@
 //! ```text
 //! repro all                       # every artifact at the default scale
 //! repro table3a fig3              # specific artifacts
-//! repro --list                    # show artifact ids
+//! repro --list                    # show artifact ids with descriptions
 //! repro all --scale 0.05 --seed 7 --out results/
 //! repro all --fast                # tiny smoke-test configuration
+//! repro all --fast --trace t.json --metrics --profile   # observability
 //! ```
 //!
 //! Numbers are not expected to match the paper's absolute values (the
 //! substrate is a mini-scale simulator — see DESIGN.md); the comparisons
 //! that must hold are recorded in EXPERIMENTS.md.
+//!
+//! Telemetry: `--trace` writes a Chrome trace-event timeline (open in
+//! `chrome://tracing` or Perfetto), `--metrics` writes the versioned
+//! `results/run_meta.json` run manifest, `--profile` prints a per-span
+//! wall-time table. All three draw on one recording pass that is strictly
+//! out-of-band of the artifact pipeline — artifact bytes are identical
+//! with or without them (enforced by the determinism suite).
 
+use kcb_bench::cli;
+use kcb_bench::run_meta::{self, RunMetaInputs};
 use kcb_core::experiment::plan::run_scheduled;
-use kcb_core::experiment::ALL_IDS;
 use kcb_core::lab::{Lab, LabConfig};
 use std::process::ExitCode;
 use std::time::Instant;
-
-struct Args {
-    ids: Vec<String>,
-    scale: Option<f64>,
-    seed: Option<u64>,
-    threads: Option<usize>,
-    out: Option<std::path::PathBuf>,
-    md: Option<std::path::PathBuf>,
-    fast: bool,
-    list: bool,
-}
-
-fn parse_args() -> Result<Args, String> {
-    let mut args = Args {
-        ids: Vec::new(),
-        scale: None,
-        seed: None,
-        threads: None,
-        out: None,
-        md: None,
-        fast: false,
-        list: false,
-    };
-    let mut it = std::env::args().skip(1);
-    while let Some(a) = it.next() {
-        match a.as_str() {
-            "--list" => args.list = true,
-            "--fast" => args.fast = true,
-            "--scale" => {
-                let v = it.next().ok_or("--scale needs a value")?;
-                args.scale = Some(v.parse().map_err(|_| format!("bad scale {v}"))?);
-            }
-            "--seed" => {
-                let v = it.next().ok_or("--seed needs a value")?;
-                args.seed = Some(v.parse().map_err(|_| format!("bad seed {v}"))?);
-            }
-            "--threads" => {
-                let v = it.next().ok_or("--threads needs a value")?;
-                args.threads = Some(v.parse().map_err(|_| format!("bad thread count {v}"))?);
-            }
-            "--out" => {
-                let v = it.next().ok_or("--out needs a directory")?;
-                args.out = Some(v.into());
-            }
-            "--md" => {
-                let v = it.next().ok_or("--md needs a file path")?;
-                args.md = Some(v.into());
-            }
-            "--help" | "-h" => {
-                println!("{USAGE}");
-                std::process::exit(0);
-            }
-            other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
-            other => args.ids.push(other.to_string()),
-        }
-    }
-    Ok(args)
-}
 
 const USAGE: &str = "\
 repro — regenerate the paper's tables and figures
@@ -98,8 +49,11 @@ OPTIONS:
                  artifacts are byte-identical at any thread count
   --out DIR      also write one JSON file per artifact into DIR
   --md FILE      also write a combined Markdown report
+  --trace FILE   write a Chrome trace-event timeline of the run
+  --metrics      write results/run_meta.json (manifest + counters + series)
+  --profile      print per-span wall-time statistics to stdout
   --fast         tiny smoke-test configuration (seconds, not minutes)
-  --list         list artifact ids and exit";
+  --list         list artifact ids with descriptions and exit";
 
 /// Re-execs the binary once with glibc's allocator tuned for the autograd
 /// workload. Each training step builds and tears down a multi-megabyte
@@ -130,54 +84,51 @@ fn tune_allocator_via_reexec() {}
 
 fn main() -> ExitCode {
     tune_allocator_via_reexec();
-    let args = match parse_args() {
+    let args = match cli::parse(std::env::args().skip(1)) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}\n\n{USAGE}");
             return ExitCode::FAILURE;
         }
     };
+    if args.help {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
     if args.list {
-        for id in ALL_IDS
-            .iter()
-            .chain(kcb_core::experiment::ABLATION_IDS)
-            .chain(kcb_core::experiment::EXTENSION_IDS)
-            .chain(std::iter::once(&kcb_core::experiment::SUMMARY_ID))
-        {
-            println!("{id}");
+        let ids = cli::known_ids();
+        let width = ids.iter().map(|id| id.len()).max().unwrap_or(0);
+        for id in ids {
+            let what = kcb_core::experiment::describe(id).unwrap_or("");
+            println!("{id:width$}  {what}");
         }
         return ExitCode::SUCCESS;
     }
-    let mut ids: Vec<String> = args.ids;
+    let mut ids: Vec<String> = args.ids.clone();
     if ids.is_empty() {
         eprintln!("no artifacts requested\n\n{USAGE}");
         return ExitCode::FAILURE;
     }
-    if let Some(pos) = ids.iter().position(|i| i == "all") {
-        ids.splice(pos..=pos, ALL_IDS.iter().map(|s| s.to_string()));
-        ids.dedup();
-    }
-    if let Some(pos) = ids.iter().position(|i| i == "ablations") {
-        ids.remove(pos);
-        ids.extend(kcb_core::experiment::ABLATION_IDS.iter().map(|s| s.to_string()));
+    cli::expand_aliases(&mut ids);
+    // Reject unknown ids before building the DAG (run_scheduled skips
+    // silently, mirroring experiment::run returning None).
+    if let Err(e) = cli::validate_ids(&ids) {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
     }
 
     let mut cfg = if args.fast { LabConfig::tiny() } else { LabConfig::default() };
     if let Some(s) = args.scale {
-        if !(s > 0.0 && s <= 4.0) {
-            eprintln!("error: --scale must be in (0, 4], got {s}");
-            return ExitCode::FAILURE;
-        }
         cfg.scale = s;
     }
     if let Some(s) = args.seed {
         cfg.reseed(s);
     }
     if let Some(t) = args.threads {
-        cfg.rf.n_threads = t.max(1);
+        cfg.rf.n_threads = t;
         // The same pool size drives the LM matmul kernels; results are
         // bitwise identical at any thread count (see kcb_lm::pool).
-        kcb_lm::pool::set_threads(t.max(1));
+        kcb_lm::pool::set_threads(t);
     }
     eprintln!(
         "# kcb repro — scale {} seed {}{}",
@@ -186,31 +137,20 @@ fn main() -> ExitCode {
         if args.fast { " (fast mode)" } else { "" }
     );
 
-    // Reject unknown ids before building the DAG (run_scheduled skips
-    // silently, mirroring experiment::run returning None).
-    let known: Vec<String> = ALL_IDS
-        .iter()
-        .chain(kcb_core::experiment::ABLATION_IDS)
-        .chain(kcb_core::experiment::EXTENSION_IDS)
-        .chain(std::iter::once(&kcb_core::experiment::SUMMARY_ID))
-        .map(|s| s.to_ascii_lowercase())
-        .collect();
-    let mut failed = false;
-    for id in &ids {
-        if !known.contains(&id.to_ascii_lowercase()) {
-            eprintln!("error: unknown artifact '{id}' (see --list)");
-            failed = true;
-        }
-    }
-    if failed {
-        return ExitCode::FAILURE;
+    // Turn the recorder on before any instrumented work; the artifact
+    // path never reads telemetry, so this cannot change output bytes.
+    if args.wants_telemetry() {
+        kcb_obs::reset();
+        kcb_obs::set_enabled(true);
     }
 
     let threads = args.threads.unwrap_or_else(kcb_lm::pool::threads);
     let (scale, seed) = (cfg.scale, cfg.seed);
+    let config_digest = run_meta::fnv64_hex(format!("{cfg:?}").as_bytes());
     let lab = Lab::new(cfg);
     let total = Instant::now();
     let mut markdown = String::from("# kcb reproduction report\n\n");
+    let mut failed = false;
 
     // Decompose the requested artifacts into the dependency-aware cell
     // DAG and run it; artifacts come back in request (= canonical) order
@@ -253,58 +193,50 @@ fn main() -> ExitCode {
     }
     let total_secs = total.elapsed().as_secs_f64();
 
-    // Machine-readable perf trajectory: run configuration, per-artifact
-    // assembly times, per-cell and per-provider timings, and scheduler /
-    // cache statistics, tracked across PRs (see EXPERIMENTS.md).
-    let jobs = &report.scheduler.jobs;
-    let group = |prefix: &str| -> Vec<serde_json::Value> {
-        jobs.iter()
-            .filter(|j| j.label.starts_with(prefix))
-            .map(|j| {
-                serde_json::json!({
-                    "label": j.label.strip_prefix(prefix).unwrap_or(&j.label),
-                    "kind": j.kind,
-                    "seconds": j.seconds,
-                })
-            })
-            .collect()
-    };
-    let bench_path = std::path::Path::new("results").join("bench_repro.json");
-    let scheduler_stats = serde_json::json!({
-        "workers": report.scheduler.workers,
-        "jobs": jobs.len(),
-        "steals": report.scheduler.steals,
-        "wall_seconds": report.scheduler.wall_seconds,
-    });
-    let encoding_stats = serde_json::json!({
-        "hits": report.encoding_hits,
-        "misses": report.encoding_misses,
-        "entries": report.encoding_entries,
-    });
-    let bench = serde_json::json!({
-        "seed": seed,
-        "scale": scale,
-        "threads": threads,
-        "hardware_threads": kcb_lm::pool::hardware_threads(),
-        "total_seconds": total_secs,
-        "scheduler": scheduler_stats,
-        "cache": report.cache,
-        "encoding_cache": encoding_stats,
-        "artifacts": group("artifact:"),
-        "cells": group("cell:"),
-        "providers": group("provider:"),
-    });
-    let bench_text = serde_json::to_string_pretty(&bench).expect("serializable");
-    if let Err(e) = std::fs::create_dir_all("results")
-        .and_then(|()| std::fs::write(&bench_path, &bench_text))
-    {
-        eprintln!("error writing {}: {e}", bench_path.display());
-        failed = true;
-    } else {
-        eprintln!("# wrote {}", bench_path.display());
+    // One drain serves all three exporters; after this the recorder is
+    // empty again.
+    let telemetry = kcb_obs::drain();
+    kcb_obs::set_enabled(false);
+
+    if let Some(path) = &args.trace {
+        let doc = kcb_obs::trace::chrome_trace_string(&telemetry);
+        match std::fs::write(path, &doc) {
+            Ok(()) => eprintln!("# wrote {} ({} spans)", path.display(), telemetry.spans.len()),
+            Err(e) => {
+                eprintln!("error writing trace {}: {e}", path.display());
+                failed = true;
+            }
+        }
     }
-    if ids.iter().any(|id| id == "summary") {
-        println!("\n## Benchmark timings ({})\n{bench_text}", bench_path.display());
+    if args.metrics {
+        let meta = run_meta::run_meta_json(&RunMetaInputs {
+            seed,
+            scale,
+            threads,
+            fast: args.fast,
+            total_seconds: total_secs,
+            config_digest,
+            git_rev: run_meta::git_rev(),
+            report: &report,
+            telemetry: &telemetry,
+        });
+        let meta_path = std::path::Path::new("results").join("run_meta.json");
+        let text = serde_json::to_string_pretty(&meta).expect("serializable");
+        if let Err(e) = std::fs::create_dir_all("results")
+            .and_then(|()| std::fs::write(&meta_path, &text))
+        {
+            eprintln!("error writing {}: {e}", meta_path.display());
+            failed = true;
+        } else {
+            eprintln!("# wrote {}", meta_path.display());
+        }
+        if ids.iter().any(|id| id == "summary") {
+            println!("\n## Run metadata ({})\n{text}", meta_path.display());
+        }
+    }
+    if args.profile {
+        println!("\n## Span profile ({} spans)\n", telemetry.spans.len());
+        print!("{}", kcb_obs::profile::render_table(&telemetry));
     }
     eprintln!("# total {:.1}s", total_secs);
     if failed {

@@ -1,0 +1,209 @@
+//! Argument parsing and validation for the `repro` binary.
+//!
+//! Lives in the library (rather than `bin/repro.rs`) so the parser and
+//! every rejection path are unit-testable: `repro` itself only turns a
+//! returned `Err` into an exit code. Errors are one-liners that name the
+//! offending value — the binary appends the usage text.
+
+use std::path::PathBuf;
+
+/// Parsed `repro` command line.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Args {
+    /// Requested artifact ids, in order (aliases not yet expanded).
+    pub ids: Vec<String>,
+    /// `--scale`: ontology scale override.
+    pub scale: Option<f64>,
+    /// `--seed`: master-seed override.
+    pub seed: Option<u64>,
+    /// `--threads`: scheduler worker count override.
+    pub threads: Option<usize>,
+    /// `--out`: per-artifact JSON output directory.
+    pub out: Option<PathBuf>,
+    /// `--md`: combined Markdown report path.
+    pub md: Option<PathBuf>,
+    /// `--trace`: Chrome trace-event timeline output path.
+    pub trace: Option<PathBuf>,
+    /// `--metrics`: write `results/run_meta.json`.
+    pub metrics: bool,
+    /// `--profile`: print the span profile table to stdout.
+    pub profile: bool,
+    /// `--fast`: tiny smoke-test configuration.
+    pub fast: bool,
+    /// `--list`: list artifact ids and exit.
+    pub list: bool,
+    /// `--help` / `-h`.
+    pub help: bool,
+}
+
+impl Args {
+    /// Whether any flag requests telemetry recording.
+    pub fn wants_telemetry(&self) -> bool {
+        self.trace.is_some() || self.metrics || self.profile
+    }
+}
+
+/// Parses `repro` arguments (without the program name). Flag values are
+/// validated here so every bad input fails before any work starts.
+pub fn parse<I>(args: I) -> Result<Args, String>
+where
+    I: IntoIterator<Item = String>,
+{
+    let mut out = Args::default();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--list" => out.list = true,
+            "--fast" => out.fast = true,
+            "--metrics" => out.metrics = true,
+            "--profile" => out.profile = true,
+            "--help" | "-h" => out.help = true,
+            "--scale" => {
+                let v = it.next().ok_or("--scale needs a value")?;
+                let s: f64 = v.parse().map_err(|_| format!("bad scale {v}"))?;
+                if !(s > 0.0 && s <= 4.0) {
+                    return Err(format!("--scale must be in (0, 4], got {v}"));
+                }
+                out.scale = Some(s);
+            }
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                out.seed = Some(v.parse().map_err(|_| format!("bad seed {v}"))?);
+            }
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a value")?;
+                let t: usize = v.parse().map_err(|_| format!("bad thread count {v}"))?;
+                if t == 0 {
+                    return Err("--threads must be at least 1, got 0".to_string());
+                }
+                out.threads = Some(t);
+            }
+            "--out" => {
+                let v = it.next().ok_or("--out needs a directory")?;
+                out.out = Some(v.into());
+            }
+            "--md" => {
+                let v = it.next().ok_or("--md needs a file path")?;
+                out.md = Some(v.into());
+            }
+            "--trace" => {
+                let v = it.next().ok_or("--trace needs a file path")?;
+                out.trace = Some(v.into());
+            }
+            other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
+            other => out.ids.push(other.to_string()),
+        }
+    }
+    Ok(out)
+}
+
+/// Every runnable artifact id, lowercase, in listing order.
+pub fn known_ids() -> Vec<&'static str> {
+    kcb_core::experiment::ALL_IDS
+        .iter()
+        .chain(kcb_core::experiment::ABLATION_IDS)
+        .chain(kcb_core::experiment::EXTENSION_IDS)
+        .chain(std::iter::once(&kcb_core::experiment::SUMMARY_ID))
+        .copied()
+        .collect()
+}
+
+/// Expands the `all` / `ablations` aliases in place (preserving request
+/// order, deduplicating the `all` block like the historical behaviour).
+pub fn expand_aliases(ids: &mut Vec<String>) {
+    if let Some(pos) = ids.iter().position(|i| i == "all") {
+        ids.splice(pos..=pos, kcb_core::experiment::ALL_IDS.iter().map(|s| s.to_string()));
+        ids.dedup();
+    }
+    if let Some(pos) = ids.iter().position(|i| i == "ablations") {
+        ids.remove(pos);
+        ids.extend(kcb_core::experiment::ABLATION_IDS.iter().map(|s| s.to_string()));
+    }
+}
+
+/// Rejects ids outside the artifact registry, naming the first offender.
+pub fn validate_ids(ids: &[String]) -> Result<(), String> {
+    let known: Vec<String> = known_ids().iter().map(|s| s.to_ascii_lowercase()).collect();
+    for id in ids {
+        if !known.contains(&id.to_ascii_lowercase()) {
+            return Err(format!("unknown artifact '{id}' (see --list)"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(args: &[&str]) -> Result<Args, String> {
+        parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_a_full_command_line() {
+        let a = p(&[
+            "all", "--fast", "--threads", "4", "--scale", "0.05", "--seed", "7", "--trace",
+            "t.json", "--metrics", "--profile", "--out", "results",
+        ])
+        .unwrap();
+        assert_eq!(a.ids, vec!["all"]);
+        assert_eq!(a.threads, Some(4));
+        assert_eq!(a.scale, Some(0.05));
+        assert_eq!(a.seed, Some(7));
+        assert_eq!(a.trace.as_deref(), Some(std::path::Path::new("t.json")));
+        assert!(a.metrics && a.profile && a.fast);
+        assert!(a.wants_telemetry());
+        assert!(!p(&["all"]).unwrap().wants_telemetry());
+    }
+
+    #[test]
+    fn rejects_zero_threads_naming_the_value() {
+        let e = p(&["all", "--threads", "0"]).unwrap_err();
+        assert!(e.contains("--threads") && e.contains('0'), "{e}");
+    }
+
+    #[test]
+    fn rejects_bad_scales_naming_the_value() {
+        for bad in ["0", "-1", "nan", "inf", "4.5"] {
+            let e = p(&["all", "--scale", bad]).unwrap_err();
+            assert!(e.contains("scale"), "{bad}: {e}");
+        }
+        assert_eq!(p(&["--scale", "0.5"]).unwrap().scale, Some(0.5));
+    }
+
+    #[test]
+    fn rejects_unknown_flags_and_missing_values() {
+        assert!(p(&["--bogus"]).unwrap_err().contains("--bogus"));
+        assert!(p(&["--trace"]).unwrap_err().contains("--trace"));
+        assert!(p(&["--threads"]).unwrap_err().contains("--threads"));
+    }
+
+    #[test]
+    fn id_validation_names_the_offender() {
+        assert!(validate_ids(&["table2".into(), "Fig3".into()]).is_ok());
+        let e = validate_ids(&["table2".into(), "tabel3".into()]).unwrap_err();
+        assert!(e.contains("tabel3"), "{e}");
+    }
+
+    #[test]
+    fn aliases_expand_in_request_order() {
+        let mut ids = vec!["summary".to_string(), "all".to_string(), "ablations".to_string()];
+        expand_aliases(&mut ids);
+        assert_eq!(ids[0], "summary");
+        assert_eq!(ids[1], "table2");
+        assert!(ids.contains(&"ablation-dim".to_string()));
+        assert!(validate_ids(&ids).is_ok());
+    }
+
+    #[test]
+    fn every_known_id_has_a_description() {
+        for id in known_ids() {
+            assert!(
+                kcb_core::experiment::describe(id).is_some(),
+                "{id} is listed but has no description"
+            );
+        }
+        assert!(kcb_core::experiment::describe("nope").is_none());
+    }
+}

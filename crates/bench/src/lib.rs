@@ -5,6 +5,9 @@
 //! benchmarks under `benches/`. The library part provides shared fixtures
 //! so benches don't duplicate setup code.
 
+pub mod cli;
+pub mod run_meta;
+
 use kcb_core::task::{TaskDataset, TaskKind};
 use kcb_ontology::{Ontology, SyntheticConfig, SyntheticGenerator};
 

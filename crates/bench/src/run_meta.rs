@@ -1,0 +1,242 @@
+//! The versioned `results/run_meta.json` document written by
+//! `repro --metrics`.
+//!
+//! One file captures everything needed to interpret (and re-run) a
+//! reproduction: a **manifest** (seed, scale, threads, git revision,
+//! config digest), the scheduler / cache statistics from the
+//! [`PlanReport`], the telemetry counters and training series from the
+//! drained [`Telemetry`], per-group span statistics, and per-job timings
+//! grouped by artifact / cell / provider. It subsumes the old
+//! hand-rolled `bench_repro.json` (same timing groups, plus provenance
+//! and telemetry), and `schema_version` is bumped on any breaking shape
+//! change so downstream tooling can refuse files it does not understand.
+
+use kcb_core::experiment::plan::PlanReport;
+use kcb_obs::Telemetry;
+use serde_json::{json, Value};
+
+/// Version of the `run_meta.json` shape.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Everything `run_meta.json` is built from.
+pub struct RunMetaInputs<'a> {
+    /// Master seed of the run.
+    pub seed: u64,
+    /// Ontology scale of the run.
+    pub scale: f64,
+    /// Scheduler worker threads requested.
+    pub threads: usize,
+    /// Whether the tiny `--fast` configuration was used.
+    pub fast: bool,
+    /// End-to-end wall-clock seconds (lab construction through export).
+    pub total_seconds: f64,
+    /// FNV-64 digest of the full lab configuration (hex).
+    pub config_digest: String,
+    /// Git revision the binary ran from (`"unknown"` outside a checkout).
+    pub git_rev: String,
+    /// Scheduler + cache report from the run.
+    pub report: &'a PlanReport,
+    /// Drained telemetry (empty when recording was off).
+    pub telemetry: &'a Telemetry,
+}
+
+/// FNV-1a 64-bit hash, hex-encoded — a stable, dependency-free digest for
+/// the config manifest field.
+pub fn fnv64_hex(bytes: &[u8]) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{h:016x}")
+}
+
+/// The current checkout's short revision, or `"unknown"`.
+pub fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Per-job timing rows for labels under `prefix` (prefix stripped).
+fn job_group(report: &PlanReport, prefix: &str) -> Vec<Value> {
+    report
+        .scheduler
+        .jobs
+        .iter()
+        .filter(|j| j.label.starts_with(prefix))
+        .map(|j| {
+            json!({
+                "label": j.label.strip_prefix(prefix).unwrap_or(&j.label),
+                "kind": j.kind,
+                "seconds": j.seconds,
+                "start": j.start,
+                "end": j.end,
+                "worker": j.worker,
+            })
+        })
+        .collect()
+}
+
+/// Builds the full `run_meta.json` document.
+///
+/// (The vendored `json!` macro takes expressions, not nested object
+/// literals, so each sub-object is built separately.)
+pub fn run_meta_json(inp: &RunMetaInputs<'_>) -> Value {
+    let r = inp.report;
+    let t = inp.telemetry;
+    let counters =
+        Value::Object(t.counters.iter().map(|(k, &v)| (k.clone(), json!(v))).collect());
+    let series =
+        Value::Object(t.series.iter().map(|(k, v)| (k.clone(), json!(v))).collect());
+    let span_stats = Value::Object(
+        kcb_obs::profile::span_stats(t)
+            .into_iter()
+            .map(|(k, s)| {
+                let row = json!({
+                    "count": s.count,
+                    "total_s": s.total_s,
+                    "self_s": s.self_s,
+                    "p50_s": s.p50_s,
+                    "p95_s": s.p95_s,
+                    "max_s": s.max_s,
+                });
+                (k, row)
+            })
+            .collect(),
+    );
+    let manifest = json!({
+        "seed": inp.seed,
+        "scale": inp.scale,
+        "threads": inp.threads,
+        "hardware_threads": kcb_lm::pool::hardware_threads(),
+        "fast": inp.fast,
+        "git_rev": inp.git_rev,
+        "config_digest": inp.config_digest,
+    });
+    let scheduler = json!({
+        "workers": r.scheduler.workers,
+        "jobs": r.scheduler.jobs.len(),
+        "steals": r.scheduler.steals,
+        "wall_seconds": r.scheduler.wall_seconds,
+    });
+    let encoding_cache = json!({
+        "hits": r.encoding_hits,
+        "misses": r.encoding_misses,
+        "entries": r.encoding_entries,
+        "contended": r.encoding_contended,
+    });
+    json!({
+        "schema_version": SCHEMA_VERSION,
+        "manifest": manifest,
+        "total_seconds": inp.total_seconds,
+        "scheduler": scheduler,
+        "cache": r.cache,
+        "encoding_cache": encoding_cache,
+        "counters": counters,
+        "series": series,
+        "span_stats": span_stats,
+        "artifacts": job_group(r, "artifact:"),
+        "cells": job_group(r, "cell:"),
+        "providers": job_group(r, "provider:"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kcb_core::sched::{JobReport, RunReport};
+
+    fn sample_inputs(report: &PlanReport, telemetry: &Telemetry) -> Value {
+        run_meta_json(&RunMetaInputs {
+            seed: 42,
+            scale: 0.01,
+            threads: 4,
+            fast: true,
+            total_seconds: 1.25,
+            config_digest: fnv64_hex(b"cfg"),
+            git_rev: "abc1234".to_string(),
+            report,
+            telemetry,
+        })
+    }
+
+    fn sample_report() -> PlanReport {
+        let job = |label: &str, kind: &'static str, start: f64, end: f64, worker: usize| {
+            JobReport { label: label.to_string(), kind, seconds: end - start, start, end, worker }
+        };
+        PlanReport {
+            scheduler: RunReport {
+                workers: 4,
+                jobs: vec![
+                    job("provider:ontology", "par", 0.0, 0.1, 1),
+                    job("cell:rf|1|0.5", "par", 0.1, 0.4, 2),
+                    job("artifact:fig3", "driver", 0.4, 0.5, 0),
+                ],
+                steals: 3,
+                wall_seconds: 0.5,
+            },
+            cache: Default::default(),
+            encoding_hits: 10,
+            encoding_misses: 2,
+            encoding_entries: 2,
+            encoding_contended: 1,
+        }
+    }
+
+    #[test]
+    fn document_has_the_versioned_shape() {
+        let mut t = Telemetry::default();
+        t.counters.insert("dbscan.probes".into(), 7);
+        t.series.insert("lm.bert.pretrain.loss".into(), vec![2.0, 1.5]);
+        t.spans.push(kcb_obs::SpanEvent {
+            cat: "cell",
+            name: "cell:rf|1|0.5".into(),
+            tid: 1,
+            start_us: 100_000,
+            dur_us: 300_000,
+            args: Vec::new(),
+        });
+        let doc = sample_inputs(&sample_report(), &t);
+
+        assert_eq!(doc["schema_version"], json!(SCHEMA_VERSION));
+        assert_eq!(doc["manifest"]["seed"], json!(42));
+        assert_eq!(doc["manifest"]["git_rev"], json!("abc1234"));
+        assert_eq!(doc["manifest"]["config_digest"], json!(fnv64_hex(b"cfg")));
+        assert_eq!(doc["scheduler"]["steals"], json!(3));
+        assert_eq!(doc["encoding_cache"]["contended"], json!(1));
+        assert_eq!(doc["counters"]["dbscan.probes"], json!(7));
+        assert_eq!(doc["series"]["lm.bert.pretrain.loss"], json!([2.0, 1.5]));
+        assert_eq!(doc["span_stats"]["cell:rf"]["count"], json!(1));
+        // Groups strip their prefix and carry the placement fields.
+        assert_eq!(doc["artifacts"][0]["label"], json!("fig3"));
+        assert_eq!(doc["artifacts"][0]["worker"], json!(0));
+        assert_eq!(doc["cells"][0]["start"], json!(0.1));
+        assert_eq!(doc["providers"][0]["label"], json!("ontology"));
+        // The document must round-trip the zero-dependency validator.
+        let text = serde_json::to_string_pretty(&doc).unwrap();
+        kcb_obs::json::validate(&text).unwrap();
+    }
+
+    #[test]
+    fn fnv_digest_is_stable_and_input_sensitive() {
+        assert_eq!(fnv64_hex(b""), "cbf29ce484222325");
+        assert_eq!(fnv64_hex(b"kcb"), fnv64_hex(b"kcb"));
+        assert_ne!(fnv64_hex(b"kcb"), fnv64_hex(b"kcc"));
+    }
+
+    #[test]
+    fn empty_telemetry_still_yields_a_valid_document() {
+        let doc = sample_inputs(&sample_report(), &Telemetry::default());
+        assert_eq!(doc["counters"], json!({}));
+        assert_eq!(doc["span_stats"], json!({}));
+        let text = serde_json::to_string(&doc).unwrap();
+        kcb_obs::json::validate(&text).unwrap();
+    }
+}

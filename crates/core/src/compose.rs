@@ -191,6 +191,7 @@ pub struct EncodingCache {
     shards: Mutex<HashMap<String, Shard>>,
     hits: std::sync::atomic::AtomicUsize,
     misses: std::sync::atomic::AtomicUsize,
+    contended: std::sync::atomic::AtomicUsize,
 }
 
 impl EncodingCache {
@@ -200,7 +201,27 @@ impl EncodingCache {
             shards: Mutex::new(HashMap::new()),
             hits: std::sync::atomic::AtomicUsize::new(0),
             misses: std::sync::atomic::AtomicUsize::new(0),
+            contended: std::sync::atomic::AtomicUsize::new(0),
         }
+    }
+
+    /// Locks a shard, counting the acquisition as contended when another
+    /// worker already holds it (telemetry for the sharding claim in the
+    /// type docs: same-encoder cells serialise, different-encoder cells
+    /// must not).
+    fn lock_shard<'s>(&self, shard: &'s Shard) -> parking_lot::MutexGuard<'s, TripleVectors> {
+        match shard.try_lock() {
+            Some(g) => g,
+            None => {
+                self.contended.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                shard.lock()
+            }
+        }
+    }
+
+    /// Shard-lock acquisitions that found the lock already held.
+    pub fn contended(&self) -> usize {
+        self.contended.load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// The shard for one encoder identity (created on first use).
@@ -261,7 +282,7 @@ pub fn dataset_matrix_cached(
     let mut missing: Vec<Triple> = Vec::new();
     let mut missing_keys: std::collections::HashSet<(u32, u8, u32)> = Default::default();
     {
-        let map = shard.lock();
+        let map = cache.lock_shard(&shard);
         for e in examples {
             match map.get(&e.triple.key()) {
                 Some(v) => rows.push(Some(v.clone())),
@@ -289,7 +310,7 @@ pub fn dataset_matrix_cached(
     let mut data = Vec::with_capacity(examples.len() * d);
     let mut labels = Vec::with_capacity(examples.len());
     {
-        let mut map = shard.lock();
+        let mut map = cache.lock_shard(&shard);
         for (k, v) in encoded {
             map.entry(k).or_insert(v);
         }

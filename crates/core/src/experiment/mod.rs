@@ -63,3 +63,35 @@ pub fn run(lab: &Lab, id: &str) -> Option<Artifact> {
     };
     Some(artifact)
 }
+
+/// One-line description of an artifact id (case-insensitive), for
+/// `repro --list`. Returns `None` for unknown ids — the same id space as
+/// [`run`].
+pub fn describe(id: &str) -> Option<&'static str> {
+    Some(match id.to_ascii_lowercase().as_str() {
+        "table2" => "statistics of the generated datasets for the three curation tasks",
+        "table3a" => "supervised F1 on Task 1 across embeddings and vocabulary adaptations",
+        "table3b" => "supervised F1 on Tasks 2 and 3 (flipped / sibling negatives)",
+        "table4" => "fine-tuned mini-BERT F1 on all three tasks",
+        "table5" => "in-context learning with the BioGPT-mini oracle",
+        "table6" => "head-to-head comparisons of the three NLP paradigms",
+        "tablea1" => "included ChEBI sub-ontologies",
+        "tablea2" => "included ChEBI relationship types",
+        "tablea3" => "numbers of triples per relationship type",
+        "tablea4" => "embedding model size and out-of-vocabulary statistics",
+        "tablea5" => "most frequent tokens in head and tail entities",
+        "tablea6" => "Task 1 results of the LSTM models",
+        "tablea7" => "vocabulary-adaptation ablation on Tasks 2 and 3",
+        "fig2" => "supervised F1 per relationship type across embeddings",
+        "fig3" => "data-scarcity scenario sweeps: supervised vs fine-tuning vs ICL",
+        "figa1" => "feature-importance mass by component on Task 1",
+        "figa2" => "scenario sweeps for every embedding model",
+        "ablation-corpus" => "ablation: domain vs generic pre-training corpus",
+        "ablation-dim" => "ablation: embedding dimensionality",
+        "ablation-forest" => "ablation: random-forest capacity",
+        "ablation-adapt" => "ablation: vocabulary-adaptation strategies",
+        "summary" => "machine-checked scorecard of the paper's key findings",
+        "ext-llama2" => "extension: the paper's future-work open-weight oracle",
+        _ => return None,
+    })
+}

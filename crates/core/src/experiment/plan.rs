@@ -29,7 +29,7 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 
-/// What a scheduled run did, for `results/bench_repro.json`.
+/// What a scheduled run did, for `results/run_meta.json`.
 #[derive(Debug, Clone, serde::Serialize)]
 pub struct PlanReport {
     /// Scheduler execution record (per-job timings, steals, wall time).
@@ -42,6 +42,8 @@ pub struct PlanReport {
     pub encoding_misses: usize,
     /// Distinct triple vectors cached across all encoders.
     pub encoding_entries: usize,
+    /// Encoding-cache shard-lock acquisitions that found the lock held.
+    pub encoding_contended: usize,
 }
 
 /// Provider job ids shared by every artifact.
@@ -374,7 +376,11 @@ pub fn run_scheduled(
         slots.push(slot);
     }
 
+    let run_span = kcb_obs::span("sched", "graph:run")
+        .arg("jobs", g.len())
+        .arg("workers", workers);
     let scheduler = g.run(workers);
+    run_span.end();
     let artifacts: Vec<(String, Artifact)> = ids
         .into_iter()
         .zip(slots)
@@ -387,6 +393,28 @@ pub fn run_scheduled(
         encoding_hits,
         encoding_misses,
         encoding_entries: lab.encodings().len(),
+        encoding_contended: lab.encodings().contended(),
     };
+    record_counters(&report);
     (artifacts, report)
+}
+
+/// Publishes the run's cache counters to the telemetry recorder so they
+/// land in the exported trace / run metadata alongside the span timeline.
+fn record_counters(r: &PlanReport) {
+    if !kcb_obs::enabled() {
+        return;
+    }
+    for (name, v) in [
+        ("encoding.hits", r.encoding_hits),
+        ("encoding.misses", r.encoding_misses),
+        ("encoding.entries", r.encoding_entries),
+        ("encoding.contended", r.encoding_contended),
+        ("memo.hits", r.cache.memo_hits),
+        ("memo.misses", r.cache.memo_misses),
+        ("forest_cache.hits", r.cache.forest_hits),
+        ("forest_cache.misses", r.cache.forest_misses),
+    ] {
+        kcb_obs::counter(name, v as u64);
+    }
 }

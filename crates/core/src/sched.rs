@@ -22,6 +22,15 @@
 //! and memoised caches whose values are independent of scheduling, and
 //! callers assemble outputs in push order from the slots afterwards —
 //! the scheduler itself never reorders observable results.
+//!
+//! Telemetry: when the [`kcb_obs`] recorder is enabled, every job emits a
+//! span (categorised by its label prefix, annotated with worker id and
+//! kind) into the executing thread's buffer, steals emit instant events,
+//! and queue promotions are counted — all out-of-band of the job
+//! closures, so recording can never perturb artifact bytes. The
+//! per-thread buffers are merged only after [`Graph::run`] returns, at
+//! `kcb_obs::drain()` time, so instrumentation adds no cross-worker
+//! contention.
 
 use kcb_util::pool;
 use parking_lot::Mutex;
@@ -30,6 +39,20 @@ use std::sync::Condvar;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
+
+/// Span category for a job label: providers/cells/artifacts get their own
+/// trace categories, anything else files under the scheduler itself.
+fn cat_for(label: &str) -> &'static str {
+    if label.starts_with("provider:") {
+        "provider"
+    } else if label.starts_with("cell:") {
+        "cell"
+    } else if label.starts_with("artifact:") {
+        "artifact"
+    } else {
+        "sched"
+    }
+}
 
 /// Handle to a job pushed onto a [`Graph`]; used to declare dependencies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -58,8 +81,36 @@ pub struct JobReport {
     pub label: String,
     /// `"par"` or `"driver"`.
     pub kind: &'static str,
-    /// Wall-clock seconds spent inside the closure.
+    /// Wall-clock seconds spent inside the closure (`end - start`).
     pub seconds: f64,
+    /// Seconds from graph start when the closure began.
+    pub start: f64,
+    /// Seconds from graph start when the closure returned.
+    pub end: f64,
+    /// Worker that executed the job (0 = the driver thread).
+    pub worker: usize,
+}
+
+/// Start/end offsets (seconds from graph start) and executing worker.
+#[derive(Debug, Clone, Copy, Default)]
+struct Timing {
+    start: f64,
+    end: f64,
+    worker: usize,
+}
+
+/// Records a job span into the executing thread's `kcb_obs` buffer.
+fn record_job_span(label: &str, kind: &'static str, epoch_us: u64, t: Timing) {
+    if !kcb_obs::enabled() {
+        return;
+    }
+    kcb_obs::record_span(
+        cat_for(label),
+        label,
+        epoch_us + (t.start * 1e6) as u64,
+        ((t.end - t.start).max(0.0) * 1e6) as u64,
+        vec![("worker", t.worker.to_string()), ("kind", kind.to_string())],
+    );
 }
 
 /// What one [`Graph::run`] did.
@@ -136,36 +187,57 @@ impl<'a> Graph<'a> {
     /// jobs are re-raised here after the scope unwinds.
     pub fn run(self, workers: usize) -> RunReport {
         let started = Instant::now();
+        let epoch_us = kcb_obs::now_us();
         let n = self.nodes.len();
         let label_kinds = self.label_kinds();
-        let mut seconds = vec![0.0f64; n];
+        let mut timing = vec![Timing::default(); n];
         let (steals, workers) = if workers <= 1 || n <= 1 {
-            self.run_sequential(&mut seconds);
+            self.run_sequential(started, epoch_us, &mut timing);
             (0, 1)
         } else {
-            (self.run_parallel(workers, &mut seconds), workers)
+            (self.run_parallel(workers, started, epoch_us, &mut timing), workers)
         };
         let jobs = label_kinds
             .into_iter()
-            .zip(seconds)
-            .map(|((label, kind), seconds)| JobReport { label, kind, seconds })
+            .zip(timing)
+            .map(|((label, kind), t)| JobReport {
+                label,
+                kind,
+                seconds: (t.end - t.start).max(0.0),
+                start: t.start,
+                end: t.end,
+                worker: t.worker,
+            })
             .collect();
         RunReport { workers, jobs, steals, wall_seconds: started.elapsed().as_secs_f64() }
     }
 
-    fn run_sequential(self, seconds: &mut [f64]) {
+    fn run_sequential(self, t0: Instant, epoch_us: u64, timing: &mut [Timing]) {
+        kcb_obs::set_thread_label("driver");
         let Graph { nodes, mut par_fns, mut driver_fns } = self;
         for (i, node) in nodes.into_iter().enumerate() {
-            let t = Instant::now();
+            let start = t0.elapsed().as_secs_f64();
+            let kind = match node.slot {
+                Slot::Par(_) => "par",
+                Slot::Driver(_) => "driver",
+            };
             match node.slot {
                 Slot::Par(p) => (par_fns[p].take().expect("par job present"))(),
                 Slot::Driver(d) => (driver_fns[d].take().expect("driver job present"))(),
             }
-            seconds[i] = t.elapsed().as_secs_f64();
+            let end = t0.elapsed().as_secs_f64();
+            timing[i] = Timing { start, end, worker: 0 };
+            record_job_span(&node.label, kind, epoch_us, timing[i]);
         }
     }
 
-    fn run_parallel(self, workers: usize, seconds: &mut [f64]) -> usize {
+    fn run_parallel(
+        self,
+        workers: usize,
+        t0: Instant,
+        epoch_us: u64,
+        timing: &mut [Timing],
+    ) -> usize {
         let Graph { nodes, par_fns, mut driver_fns } = self;
         let n = nodes.len();
 
@@ -198,10 +270,12 @@ impl<'a> Graph<'a> {
             nodes,
             par_fns: par_fns.into_iter().map(Mutex::new).collect(),
             locals: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
-            seconds: (0..n).map(|_| Mutex::new(0.0)).collect(),
+            timing: (0..n).map(|_| Mutex::new(Timing::default())).collect(),
             state: Mutex::new(state),
             cv: Condvar::new(),
             steals: AtomicUsize::new(0),
+            t0,
+            epoch_us,
         };
 
         std::thread::scope(|s| {
@@ -214,7 +288,7 @@ impl<'a> Graph<'a> {
             shared.driver_loop(&mut driver_fns);
         });
 
-        for (dst, src) in seconds.iter_mut().zip(&shared.seconds) {
+        for (dst, src) in timing.iter_mut().zip(&shared.timing) {
             *dst = *src.lock();
         }
         if let Some(payload) = shared.state.lock().panic.take() {
@@ -251,10 +325,14 @@ struct Shared<'a> {
     nodes: Vec<Node>,
     par_fns: Vec<Mutex<Option<ParFn<'a>>>>,
     locals: Vec<Mutex<VecDeque<usize>>>,
-    seconds: Vec<Mutex<f64>>,
+    timing: Vec<Mutex<Timing>>,
     state: Mutex<State>,
     cv: Condvar,
     steals: AtomicUsize,
+    /// Graph start, shared so every thread reports offsets on one clock.
+    t0: Instant,
+    /// Recorder-epoch microseconds at graph start, for span timestamps.
+    epoch_us: u64,
 }
 
 impl Shared<'_> {
@@ -267,9 +345,11 @@ impl Shared<'_> {
         };
         let f = self.par_fns[p].lock().take().expect("par job claimed twice");
         let _core = pool::CoreReservation::claim();
-        let t = Instant::now();
+        let start = self.t0.elapsed().as_secs_f64();
         let result = catch_unwind(AssertUnwindSafe(|| pool::run_serial(f)));
-        *self.seconds[i].lock() = t.elapsed().as_secs_f64();
+        let t = Timing { start, end: self.t0.elapsed().as_secs_f64(), worker: w };
+        *self.timing[i].lock() = t;
+        record_job_span(&self.nodes[i].label, "par", self.epoch_us, t);
         self.finish(i, w, result);
     }
 
@@ -289,8 +369,12 @@ impl Shared<'_> {
                             Slot::Par(_) if !kept_local => {
                                 kept_local = true;
                                 self.locals[w].lock().push_back(j);
+                                kcb_obs::counter("sched.local_pushes", 1);
                             }
-                            Slot::Par(_) => st.injector.push_back(j),
+                            Slot::Par(_) => {
+                                st.injector.push_back(j);
+                                kcb_obs::counter("sched.injector_pushes", 1);
+                            }
                             Slot::Driver(_) => st.ready_driver.push_back(j),
                         }
                     }
@@ -317,6 +401,8 @@ impl Shared<'_> {
         for off in 1..k {
             if let Some(i) = self.locals[(w + off) % k].lock().pop_front() {
                 self.steals.fetch_add(1, Ordering::Relaxed);
+                kcb_obs::counter("sched.steals", 1);
+                kcb_obs::instant("sched", "steal");
                 return Some(i);
             }
         }
@@ -324,6 +410,7 @@ impl Shared<'_> {
     }
 
     fn worker_loop(&self, w: usize) {
+        kcb_obs::set_thread_label(format!("worker-{w}"));
         loop {
             if let Some(i) = self.next_par(w) {
                 self.run_par(i, w);
@@ -343,6 +430,7 @@ impl Shared<'_> {
     /// parallel jobs while waiting on dependencies.
     fn driver_loop(&self, driver_fns: &mut [Option<DriverFn<'_>>]) {
         const W: usize = 0;
+        kcb_obs::set_thread_label("driver");
         loop {
             let next_driver = {
                 let mut st = self.state.lock();
@@ -357,9 +445,11 @@ impl Shared<'_> {
                     Slot::Par(_) => unreachable!("par job in driver queue"),
                 };
                 let f = driver_fns[d].take().expect("driver job claimed twice");
-                let t = Instant::now();
+                let start = self.t0.elapsed().as_secs_f64();
                 let result = catch_unwind(AssertUnwindSafe(f));
-                *self.seconds[i].lock() = t.elapsed().as_secs_f64();
+                let t = Timing { start, end: self.t0.elapsed().as_secs_f64(), worker: W };
+                *self.timing[i].lock() = t;
+                record_job_span(&self.nodes[i].label, "driver", self.epoch_us, t);
                 self.finish(i, W, result);
                 continue;
             }

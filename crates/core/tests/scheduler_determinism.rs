@@ -2,6 +2,11 @@
 //! cell DAG are byte-identical at any worker count — cell values are pure
 //! functions of the lab seed, never of scheduling — and warm cells are
 //! deduplicated so the assembly pass runs against hot caches.
+//!
+//! The 4-worker leg runs with `kcb_obs` recording enabled while the
+//! 1-worker leg runs with it off, so the byte-for-byte comparison also
+//! proves telemetry is strictly out-of-band: turning the recorder on
+//! must never change artifact bytes.
 
 use kcb_core::experiment::plan::run_scheduled;
 use kcb_core::lab::{Lab, LabConfig};
@@ -14,10 +19,18 @@ const IDS: [&str; 4] = ["table2", "table3a", "tablea6", "fig3"];
 
 #[test]
 fn artifacts_are_byte_identical_across_worker_counts() {
+    // Telemetry off: the baseline bytes.
     let lab1 = Lab::new(LabConfig::tiny());
     let (seq, r1) = run_scheduled(&lab1, &IDS, 1);
+
+    // Telemetry on for the parallel leg — recording must be invisible to
+    // the artifact pipeline.
+    kcb_obs::reset();
+    kcb_obs::set_enabled(true);
     let lab4 = Lab::new(LabConfig::tiny());
     let (par, r4) = run_scheduled(&lab4, &IDS, 4);
+    kcb_obs::set_enabled(false);
+    let telemetry = kcb_obs::drain();
 
     assert_eq!(r1.scheduler.workers, 1);
     assert_eq!(r4.scheduler.workers, 4);
@@ -57,5 +70,26 @@ fn artifacts_are_byte_identical_across_worker_counts() {
         r1.scheduler.jobs.len(),
         r4.scheduler.jobs.len(),
         "same DAG regardless of worker count"
+    );
+
+    // The recording that ran alongside the parallel leg covered every
+    // scheduled job: one span per job label, tagged with its category.
+    let span_names: Vec<&str> = telemetry.spans.iter().map(|s| s.name.as_str()).collect();
+    for j in &r4.scheduler.jobs {
+        assert!(
+            span_names.contains(&j.label.as_str()),
+            "job {} has no telemetry span",
+            j.label
+        );
+    }
+    assert!(
+        telemetry.spans.iter().all(|s| !s.cat.is_empty()),
+        "every span carries a category"
+    );
+    // The training loops inside the cells published their loss series.
+    assert!(
+        telemetry.series.keys().any(|k| k.starts_with("lm.")),
+        "LM training series missing: {:?}",
+        telemetry.series.keys().collect::<Vec<_>>()
     );
 }

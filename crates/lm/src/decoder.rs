@@ -62,6 +62,9 @@ impl MiniGpt {
             }
         }
         assert!(!windows.is_empty(), "no usable training windows");
+        let _span = kcb_obs::span("lm", "gpt.pretrain_clm")
+            .arg("windows", windows.len())
+            .arg("epochs", tc.epochs);
 
         let mut rng = Rng::seed_stream(tc.seed, 0xc1a0);
         let mut opt = Adam::new(self.all_params(), tc.lr);
@@ -95,7 +98,11 @@ impl MiniGpt {
                 total += batch_loss;
                 n_batches += 1;
             }
-            epoch_losses.push((total / n_batches.max(1) as f64) as f32);
+            let epoch_loss = (total / n_batches.max(1) as f64) as f32;
+            kcb_obs::series("lm.gpt.pretrain.loss", f64::from(epoch_loss));
+            kcb_obs::series("lm.gpt.pretrain.lr", f64::from(opt.lr));
+            kcb_obs::series("lm.gpt.pretrain.grad_norm", f64::from(opt.last_grad_norm()));
+            epoch_losses.push(epoch_loss);
         }
         epoch_losses
     }

@@ -69,6 +69,9 @@ impl MiniBert {
     /// are never selected.
     pub fn pretrain_mlm(&self, sequences: &[Vec<u32>], tc: &TrainConfig) -> Vec<f32> {
         assert!(!sequences.is_empty(), "empty pre-training corpus");
+        let _span = kcb_obs::span("lm", "bert.pretrain_mlm")
+            .arg("sequences", sequences.len())
+            .arg("epochs", tc.epochs);
         let mut rng = Rng::seed_stream(tc.seed, 0x313a);
         let mut opt = Adam::new(self.all_params(), tc.lr);
         let v = self.cfg.arch.vocab_size as u32;
@@ -163,7 +166,11 @@ impl MiniBert {
                 total += batch_loss / used as f64;
                 n_batches += 1;
             }
-            epoch_losses.push((total / n_batches.max(1) as f64) as f32);
+            let epoch_loss = (total / n_batches.max(1) as f64) as f32;
+            kcb_obs::series("lm.bert.pretrain.loss", f64::from(epoch_loss));
+            kcb_obs::series("lm.bert.pretrain.lr", f64::from(opt.lr));
+            kcb_obs::series("lm.bert.pretrain.grad_norm", f64::from(opt.last_grad_norm()));
+            epoch_losses.push(epoch_loss);
         }
         epoch_losses
     }
@@ -172,6 +179,9 @@ impl MiniBert {
     /// labelled sequences. Returns mean loss per epoch.
     pub fn fine_tune(&self, examples: &[(Vec<u32>, bool)], tc: &TrainConfig) -> Vec<f32> {
         assert!(!examples.is_empty(), "empty fine-tuning set");
+        let _span = kcb_obs::span("lm", "bert.fine_tune")
+            .arg("examples", examples.len())
+            .arg("epochs", tc.epochs);
         let mut rng = Rng::seed_stream(tc.seed, 0xf17e);
         let mut opt = Adam::new(self.all_params(), tc.lr);
         let mut order: Vec<usize> = (0..examples.len()).collect();
@@ -204,7 +214,11 @@ impl MiniBert {
                 total += batch_loss;
                 n_batches += 1;
             }
-            epoch_losses.push((total / n_batches.max(1) as f64) as f32);
+            let epoch_loss = (total / n_batches.max(1) as f64) as f32;
+            kcb_obs::series("lm.bert.ft.loss", f64::from(epoch_loss));
+            kcb_obs::series("lm.bert.ft.lr", f64::from(opt.lr));
+            kcb_obs::series("lm.bert.ft.grad_norm", f64::from(opt.last_grad_norm()));
+            epoch_losses.push(epoch_loss);
         }
         epoch_losses
     }

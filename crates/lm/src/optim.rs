@@ -11,6 +11,7 @@ pub struct Adam {
     t: i32,
     /// Learning rate (mutable so schedules can adjust it between steps).
     pub lr: f32,
+    last_grad_norm: f32,
 }
 
 impl Adam {
@@ -18,7 +19,7 @@ impl Adam {
     pub fn new(params: Vec<Tensor>, lr: f32) -> Self {
         let m = params.iter().map(|p| { let (r, c) = p.shape(); Matrix::zeros(r, c) }).collect();
         let v = params.iter().map(|p| { let (r, c) = p.shape(); Matrix::zeros(r, c) }).collect();
-        Self { params, m, v, t: 0, lr }
+        Self { params, m, v, t: 0, lr, last_grad_norm: 0.0 }
     }
 
     /// Zeroes every parameter gradient (call before each batch).
@@ -37,8 +38,10 @@ impl Adam {
         let bc1 = 1.0 - B1.powi(self.t);
         let bc2 = 1.0 - B2.powi(self.t);
         let lr = self.lr;
+        let mut grad_sq = 0.0f64;
         for (i, p) in self.params.iter().enumerate() {
             let g = p.grad().clone();
+            grad_sq += g.as_slice().iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>();
             let m = &mut self.m[i];
             let v = &mut self.v[i];
             p.update_data(|data| {
@@ -67,6 +70,14 @@ impl Adam {
                 }
             });
         }
+        self.last_grad_norm = grad_sq.sqrt() as f32;
+    }
+
+    /// L2 norm of the full gradient consumed by the most recent
+    /// [`Adam::step`] (0 before the first step). Telemetry only — the
+    /// update itself never reads it.
+    pub fn last_grad_norm(&self) -> f32 {
+        self.last_grad_norm
     }
 
     /// Number of scalar parameters across all tensors.

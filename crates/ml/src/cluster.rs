@@ -16,6 +16,7 @@
 //! to [`dbscan_brute`] at any data distribution (property-tested).
 
 use crate::linalg::{cosine, euclidean, Matrix};
+use std::cell::Cell;
 
 /// Distance metric for clustering.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -75,6 +76,11 @@ pub struct NeighbourIndex<'a> {
     unindexed: Vec<u32>,
     /// False for `unindexed` points (their pivot distances are meaningless).
     indexed: Vec<bool>,
+    /// Exact-distance evaluations performed across all queries — the
+    /// index's work metric (brute force would do n per query). A `Cell`
+    /// so read-only queries can count; the index is built and queried on
+    /// one thread per clustering call.
+    probes: Cell<u64>,
 }
 
 impl<'a> NeighbourIndex<'a> {
@@ -146,7 +152,12 @@ impl<'a> NeighbourIndex<'a> {
         });
         let sorted_d0: Vec<f32> = order.iter().map(|&i| pivot_d[0][i as usize]).collect();
 
-        Self { points, metric, order, sorted_d0, pivot_d, unindexed, indexed }
+        Self { points, metric, order, sorted_d0, pivot_d, unindexed, indexed, probes: Cell::new(0) }
+    }
+
+    /// Exact-distance evaluations performed by [`Self::neighbours`] so far.
+    pub fn probes(&self) -> u64 {
+        self.probes.get()
     }
 
     /// Radius of the eps ball in the pruning space.
@@ -163,7 +174,10 @@ impl<'a> NeighbourIndex<'a> {
     /// the same order, as the brute-force scan.
     pub fn neighbours(&self, i: usize, eps: f32) -> Vec<usize> {
         let pi = self.points.row(i);
-        let exact = |j: usize| self.metric.distance(pi, self.points.row(j)) <= eps;
+        let exact = |j: usize| {
+            self.probes.set(self.probes.get() + 1);
+            self.metric.distance(pi, self.points.row(j)) <= eps
+        };
 
         if !self.indexed[i] {
             // Degenerate query point: fall back to the exact scan.
@@ -218,7 +232,15 @@ fn normalise_rows(points: &Matrix) -> Matrix {
 /// changes the query cost from O(n) to an annulus sweep, never the result.
 pub fn dbscan(points: &Matrix, eps: f32, min_pts: usize, metric: Metric) -> Labels {
     let index = NeighbourIndex::build(points, metric);
-    dbscan_core(points.rows(), min_pts, |i| index.neighbours(i, eps))
+    let queries = Cell::new(0u64);
+    let labels = dbscan_core(points.rows(), min_pts, |i| {
+        queries.set(queries.get() + 1);
+        index.neighbours(i, eps)
+    });
+    kcb_obs::counter("dbscan.points", points.rows() as u64);
+    kcb_obs::counter("dbscan.queries", queries.get());
+    kcb_obs::counter("dbscan.probes", index.probes());
+    labels
 }
 
 /// Reference DBSCAN with the classic O(n²) region query. Kept as the

@@ -71,6 +71,11 @@ impl RandomForest {
         assert_eq!(x.rows(), y.len(), "row/label mismatch");
         assert!(x.rows() > 0, "empty training data");
         assert!(cfg.n_trees > 0, "n_trees must be positive");
+        let _span = kcb_obs::span("ml", "forest.fit")
+            .arg("trees", cfg.n_trees)
+            .arg("rows", x.rows())
+            .arg("cols", x.cols());
+        kcb_obs::counter("forest.fits", 1);
         let mtry = cfg
             .n_features_per_split
             .unwrap_or_else(|| (x.cols() as f64).sqrt().round().max(1.0) as usize);

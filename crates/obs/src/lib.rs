@@ -1,0 +1,422 @@
+//! `kcb-obs` — structured telemetry for the reproduction pipeline.
+//!
+//! A process-wide recorder collects three kinds of evidence while the
+//! pipeline runs:
+//!
+//! * **spans** — named, categorised wall-clock intervals (a scheduler job,
+//!   a forest fit, an LM pre-training pass), exportable as a Chrome
+//!   trace-event timeline ([`trace`]) and aggregable into a profile table
+//!   ([`profile`]);
+//! * **counters** — monotonically accumulated integers (cache hits,
+//!   DBSCAN probe counts, scheduler steals);
+//! * **series** — ordered `f64` observations under a name (per-epoch LM
+//!   loss / learning rate / gradient norm).
+//!
+//! # Architecture
+//!
+//! Recording is **strictly out-of-band** of the artifacts: instrumented
+//! code only ever *writes* telemetry, nothing on the artifact path reads
+//! it back, so enabling or disabling the recorder cannot perturb a single
+//! artifact byte (this is tested — see `scheduler_determinism` in
+//! `kcb-core`).
+//!
+//! Each thread records into its own buffer (registered with the global
+//! recorder on that thread's first event), so scheduler workers never
+//! contend on a shared sink — the buffers are merged once, at
+//! [`drain`] time, after `Graph::run` has exited. The per-buffer mutex is
+//! uncontended except during the final merge.
+//!
+//! The recorder is disabled by default and every record call is a cheap
+//! early-return until [`set_enabled`]`(true)`; the `repro` binary turns it
+//! on when any of `--trace` / `--metrics` / `--profile` is requested.
+//!
+//! This crate deliberately has **zero runtime dependencies** — every
+//! hot-path crate in the workspace links it.
+
+pub mod json;
+pub mod profile;
+pub mod trace;
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// One completed wall-clock interval.
+#[derive(Debug, Clone)]
+pub struct SpanEvent {
+    /// Coarse category (`"sched"`, `"lm"`, `"ml"`, …).
+    pub cat: &'static str,
+    /// Span name; scheduler jobs use their job label verbatim.
+    pub name: String,
+    /// Recorder-assigned id of the recording thread.
+    pub tid: u64,
+    /// Microseconds since the recorder epoch.
+    pub start_us: u64,
+    /// Duration in microseconds.
+    pub dur_us: u64,
+    /// Free-form key/value annotations (worker id, row counts, …).
+    pub args: Vec<(&'static str, String)>,
+}
+
+impl SpanEvent {
+    /// End timestamp in microseconds since the recorder epoch.
+    pub fn end_us(&self) -> u64 {
+        self.start_us.saturating_add(self.dur_us)
+    }
+}
+
+/// A zero-duration marker (e.g. a work-steal).
+#[derive(Debug, Clone)]
+pub struct InstantEvent {
+    /// Coarse category.
+    pub cat: &'static str,
+    /// Event name.
+    pub name: String,
+    /// Recorder-assigned id of the recording thread.
+    pub tid: u64,
+    /// Microseconds since the recorder epoch.
+    pub ts_us: u64,
+}
+
+/// Everything the recorder captured, merged across threads.
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry {
+    /// Spans sorted by `(start_us, tid)`.
+    pub spans: Vec<SpanEvent>,
+    /// Instant events sorted by `(ts_us, tid)`.
+    pub instants: Vec<InstantEvent>,
+    /// Counter totals, summed across threads.
+    pub counters: BTreeMap<String, u64>,
+    /// Named series; observations from different threads are concatenated
+    /// in thread-registration order.
+    pub series: BTreeMap<String, Vec<f64>>,
+    /// Human labels for recorder thread ids (`"worker-1"`, `"driver"`).
+    pub thread_labels: BTreeMap<u64, String>,
+}
+
+impl Telemetry {
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+            && self.instants.is_empty()
+            && self.counters.is_empty()
+            && self.series.is_empty()
+    }
+}
+
+#[derive(Default)]
+struct LocalBuf {
+    label: Option<String>,
+    spans: Vec<SpanEvent>,
+    instants: Vec<InstantEvent>,
+    counters: HashMap<String, u64>,
+    series: HashMap<String, Vec<f64>>,
+}
+
+struct Registry {
+    enabled: AtomicBool,
+    epoch: Instant,
+    bufs: Mutex<Vec<(u64, Arc<Mutex<LocalBuf>>)>>,
+    next_tid: AtomicU64,
+}
+
+fn registry() -> &'static Registry {
+    static R: OnceLock<Registry> = OnceLock::new();
+    R.get_or_init(|| Registry {
+        enabled: AtomicBool::new(false),
+        epoch: Instant::now(),
+        bufs: Mutex::new(Vec::new()),
+        next_tid: AtomicU64::new(1),
+    })
+}
+
+thread_local! {
+    static LOCAL: RefCell<Option<(u64, Arc<Mutex<LocalBuf>>)>> = const { RefCell::new(None) };
+}
+
+/// Runs `f` against this thread's buffer, registering it on first use.
+fn with_local<R>(f: impl FnOnce(u64, &mut LocalBuf) -> R) -> R {
+    LOCAL.with(|slot| {
+        let mut slot = slot.borrow_mut();
+        let (tid, buf) = slot.get_or_insert_with(|| {
+            let reg = registry();
+            let tid = reg.next_tid.fetch_add(1, Ordering::Relaxed);
+            let buf = Arc::new(Mutex::new(LocalBuf::default()));
+            reg.bufs.lock().expect("obs registry poisoned").push((tid, buf.clone()));
+            (tid, buf)
+        });
+        let mut guard = buf.lock().expect("obs local buffer poisoned");
+        f(*tid, &mut guard)
+    })
+}
+
+/// Turns recording on or off. Off (the default) makes every record call a
+/// cheap early-return; already-captured data is kept until [`drain`].
+pub fn set_enabled(on: bool) {
+    registry().enabled.store(on, Ordering::Relaxed);
+}
+
+/// Whether the recorder is currently capturing.
+pub fn enabled() -> bool {
+    registry().enabled.load(Ordering::Relaxed)
+}
+
+/// Microseconds since the recorder epoch (the first touch of the
+/// recorder in this process).
+pub fn now_us() -> u64 {
+    registry().epoch.elapsed().as_micros() as u64
+}
+
+/// Names the current thread in exported timelines (`"worker-1"`,
+/// `"driver"`). Recorded regardless of later re-labels: last write wins.
+pub fn set_thread_label(label: impl Into<String>) {
+    if !enabled() {
+        return;
+    }
+    let label = label.into();
+    with_local(|_, b| b.label = Some(label));
+}
+
+/// Adds `delta` to a named counter.
+pub fn counter(name: &str, delta: u64) {
+    if !enabled() || delta == 0 {
+        return;
+    }
+    with_local(|_, b| match b.counters.get_mut(name) {
+        Some(v) => *v += delta,
+        None => {
+            b.counters.insert(name.to_string(), delta);
+        }
+    });
+}
+
+/// Appends one observation to a named series.
+pub fn series(name: &str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    with_local(|_, b| match b.series.get_mut(name) {
+        Some(v) => v.push(value),
+        None => {
+            b.series.insert(name.to_string(), vec![value]);
+        }
+    });
+}
+
+/// Records a zero-duration marker at the current time.
+pub fn instant(cat: &'static str, name: impl Into<String>) {
+    if !enabled() {
+        return;
+    }
+    let ts_us = now_us();
+    let name = name.into();
+    with_local(|tid, b| b.instants.push(InstantEvent { cat, name, tid, ts_us }));
+}
+
+/// An in-flight span; records itself on drop. Obtained from [`span`].
+#[must_use = "a span records its interval when dropped"]
+pub struct Span {
+    inner: Option<SpanInner>,
+}
+
+struct SpanInner {
+    cat: &'static str,
+    name: String,
+    start_us: u64,
+    args: Vec<(&'static str, String)>,
+}
+
+impl Span {
+    /// Attaches a key/value annotation (no-op when recording is off).
+    pub fn arg(mut self, key: &'static str, value: impl std::fmt::Display) -> Self {
+        if let Some(i) = self.inner.as_mut() {
+            i.args.push((key, value.to_string()));
+        }
+        self
+    }
+
+    /// Ends the span now (equivalent to dropping it).
+    pub fn end(self) {}
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(i) = self.inner.take() {
+            let dur_us = now_us().saturating_sub(i.start_us);
+            with_local(|tid, b| {
+                b.spans.push(SpanEvent {
+                    cat: i.cat,
+                    name: i.name,
+                    tid,
+                    start_us: i.start_us,
+                    dur_us,
+                    args: i.args,
+                });
+            });
+        }
+    }
+}
+
+/// Opens a span covering the interval from now until the guard drops.
+pub fn span(cat: &'static str, name: impl Into<String>) -> Span {
+    if !enabled() {
+        return Span { inner: None };
+    }
+    Span {
+        inner: Some(SpanInner { cat, name: name.into(), start_us: now_us(), args: Vec::new() }),
+    }
+}
+
+/// Records a span whose interval the caller measured itself (the
+/// scheduler does this: it already times every job). `start_us`/`dur_us`
+/// are in recorder-epoch microseconds — pair with [`now_us`].
+pub fn record_span(
+    cat: &'static str,
+    name: impl Into<String>,
+    start_us: u64,
+    dur_us: u64,
+    args: Vec<(&'static str, String)>,
+) {
+    if !enabled() {
+        return;
+    }
+    let name = name.into();
+    with_local(|tid, b| {
+        b.spans.push(SpanEvent { cat, name, tid, start_us, dur_us, args });
+    });
+}
+
+/// Merges every thread's buffer into one [`Telemetry`], emptying the
+/// buffers. Call after the instrumented workload has finished (worker
+/// threads are joined at `Graph::run` exit, so their buffers are final).
+pub fn drain() -> Telemetry {
+    let bufs: Vec<(u64, Arc<Mutex<LocalBuf>>)> =
+        registry().bufs.lock().expect("obs registry poisoned").clone();
+    let mut per_tid: Vec<(u64, LocalBuf)> = bufs
+        .iter()
+        .map(|(tid, b)| (*tid, std::mem::take(&mut *b.lock().expect("obs local buffer poisoned"))))
+        .collect();
+    per_tid.sort_by_key(|(tid, _)| *tid);
+
+    let mut t = Telemetry::default();
+    for (tid, buf) in per_tid {
+        if let Some(l) = buf.label {
+            t.thread_labels.insert(tid, l);
+        }
+        t.spans.extend(buf.spans);
+        t.instants.extend(buf.instants);
+        for (k, v) in buf.counters {
+            *t.counters.entry(k).or_insert(0) += v;
+        }
+        let mut series: Vec<(String, Vec<f64>)> = buf.series.into_iter().collect();
+        series.sort_by(|a, b| a.0.cmp(&b.0));
+        for (k, mut v) in series {
+            t.series.entry(k).or_default().append(&mut v);
+        }
+    }
+    t.spans.sort_by_key(|s| (s.start_us, s.tid));
+    t.instants.sort_by_key(|i| (i.ts_us, i.tid));
+    t
+}
+
+/// Discards everything recorded so far (the enabled flag is unchanged).
+pub fn reset() {
+    let _ = drain();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The recorder is process-global; tests in this binary serialise on
+    /// this lock so their drains don't steal each other's events.
+    fn guard() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disabled_recorder_captures_nothing() {
+        let _g = guard();
+        reset();
+        set_enabled(false);
+        counter("c", 3);
+        series("s", 1.0);
+        instant("t", "i");
+        span("t", "span").arg("k", 1).end();
+        assert!(drain().is_empty());
+    }
+
+    #[test]
+    fn spans_counters_and_series_round_trip() {
+        let _g = guard();
+        reset();
+        set_enabled(true);
+        set_thread_label("test-thread");
+        {
+            let _outer = span("t", "outer").arg("n", 42);
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            span("t", "inner").end();
+        }
+        counter("hits", 2);
+        counter("hits", 3);
+        series("loss", 0.5);
+        series("loss", 0.25);
+        instant("t", "marker");
+        let t = drain();
+        set_enabled(false);
+
+        assert_eq!(t.counters["hits"], 5);
+        assert_eq!(t.series["loss"], vec![0.5, 0.25]);
+        assert_eq!(t.instants.len(), 1);
+        assert_eq!(t.spans.len(), 2);
+        let outer = t.spans.iter().find(|s| s.name == "outer").unwrap();
+        let inner = t.spans.iter().find(|s| s.name == "inner").unwrap();
+        assert_eq!(outer.args, vec![("n", "42".to_string())]);
+        assert!(outer.start_us <= inner.start_us && inner.end_us() <= outer.end_us());
+        assert!(outer.dur_us >= 2_000, "slept 2ms inside: {}", outer.dur_us);
+        assert!(t.thread_labels.values().any(|l| l == "test-thread"));
+        // Drained means drained.
+        assert!(drain().is_empty());
+    }
+
+    #[test]
+    fn counters_merge_across_threads() {
+        let _g = guard();
+        reset();
+        set_enabled(true);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    counter("x", 1);
+                    series("v", 1.0);
+                    span("t", "job").end();
+                });
+            }
+        });
+        let t = drain();
+        set_enabled(false);
+        assert_eq!(t.counters["x"], 4);
+        assert_eq!(t.series["v"].len(), 4);
+        assert_eq!(t.spans.len(), 4);
+        let tids: std::collections::HashSet<u64> = t.spans.iter().map(|s| s.tid).collect();
+        assert_eq!(tids.len(), 4, "one buffer per thread");
+    }
+
+    #[test]
+    fn record_span_uses_caller_timestamps() {
+        let _g = guard();
+        reset();
+        set_enabled(true);
+        record_span("sched", "job:a", 100, 50, vec![("worker", "1".into())]);
+        record_span("sched", "job:b", 10, 20, Vec::new());
+        let t = drain();
+        set_enabled(false);
+        assert_eq!(t.spans.len(), 2);
+        // Sorted by start time regardless of record order.
+        assert_eq!(t.spans[0].name, "job:b");
+        assert_eq!(t.spans[1].end_us(), 150);
+    }
+}

@@ -1,0 +1,209 @@
+//! Profile aggregation: folds the recorded spans into per-group wall-time
+//! statistics (count, total, self vs. child time, p50/p95/max) and renders
+//! them as a fixed-width table for `repro --profile`.
+//!
+//! **Self time** is a span's duration minus the durations of spans nested
+//! inside it *on the same thread* (nesting is reconstructed from interval
+//! containment per thread — exactly how a sampling profiler's flame graph
+//! attributes time). An `artifact:` assembly job that spends most of its
+//! interval inside `lm` fine-tuning spans therefore shows a small self
+//! time, pointing the reader at the child rows.
+//!
+//! **Grouping**: spans aggregate under `name` truncated at the first `|`,
+//! so the hundreds of per-scenario cells (`cell:rf|1|0.9|random|naive`)
+//! fold into one `cell:rf` row while artifacts (`artifact:fig3`) keep a
+//! row each.
+
+use crate::Telemetry;
+use std::collections::BTreeMap;
+
+/// Aggregated wall-time statistics for one span group.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SpanStats {
+    /// Number of spans in the group.
+    pub count: usize,
+    /// Sum of span durations, seconds.
+    pub total_s: f64,
+    /// Sum of self times (duration minus same-thread nested spans), seconds.
+    pub self_s: f64,
+    /// Median span duration, seconds.
+    pub p50_s: f64,
+    /// 95th-percentile span duration, seconds.
+    pub p95_s: f64,
+    /// Longest span duration, seconds.
+    pub max_s: f64,
+}
+
+/// The aggregation key for one span: its name up to the first `|`.
+pub fn group_key(name: &str) -> &str {
+    name.split('|').next().unwrap_or(name)
+}
+
+const US: f64 = 1e-6;
+
+/// Self time per span (same order as `t.spans`), in microseconds.
+///
+/// Spans are grouped per thread, and within a thread a span is a child of
+/// the nearest earlier span whose interval contains it. `t.spans` is
+/// sorted by start time (the [`crate::drain`] contract); ties are broken
+/// by longer-duration-first so a parent starting at the same microsecond
+/// as its child is visited first.
+fn self_times_us(t: &Telemetry) -> Vec<u64> {
+    let n = t.spans.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        let (sa, sb) = (&t.spans[a], &t.spans[b]);
+        (sa.tid, sa.start_us, std::cmp::Reverse(sa.dur_us))
+            .cmp(&(sb.tid, sb.start_us, std::cmp::Reverse(sb.dur_us)))
+    });
+    let mut child_us = vec![0u64; n];
+    // Stack of enclosing spans for the current thread: (end_us, index).
+    let mut stack: Vec<(u64, usize)> = Vec::new();
+    let mut cur_tid = None;
+    for &i in &order {
+        let s = &t.spans[i];
+        if cur_tid != Some(s.tid) {
+            cur_tid = Some(s.tid);
+            stack.clear();
+        }
+        while let Some(&(end, _)) = stack.last() {
+            if end <= s.start_us {
+                stack.pop();
+            } else {
+                break;
+            }
+        }
+        if let Some(&(_, parent)) = stack.last() {
+            child_us[parent] += s.dur_us;
+        }
+        stack.push((s.end_us(), i));
+    }
+    (0..n).map(|i| t.spans[i].dur_us.saturating_sub(child_us[i])).collect()
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice.
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Folds the telemetry's spans into per-group statistics.
+pub fn span_stats(t: &Telemetry) -> BTreeMap<String, SpanStats> {
+    let self_us = self_times_us(t);
+    let mut durs: BTreeMap<String, Vec<u64>> = BTreeMap::new();
+    let mut selfs: BTreeMap<String, u64> = BTreeMap::new();
+    for (s, &own) in t.spans.iter().zip(&self_us) {
+        let key = group_key(&s.name).to_string();
+        durs.entry(key.clone()).or_default().push(s.dur_us);
+        *selfs.entry(key).or_insert(0) += own;
+    }
+    durs.into_iter()
+        .map(|(key, mut d)| {
+            d.sort_unstable();
+            let total: u64 = d.iter().sum();
+            let stats = SpanStats {
+                count: d.len(),
+                total_s: total as f64 * US,
+                self_s: selfs[&key] as f64 * US,
+                p50_s: percentile(&d, 0.50) as f64 * US,
+                p95_s: percentile(&d, 0.95) as f64 * US,
+                max_s: *d.last().unwrap() as f64 * US,
+            };
+            (key, stats)
+        })
+        .collect()
+}
+
+/// Renders the profile as a fixed-width table, rows sorted by total time
+/// descending. Empty telemetry renders a one-line notice.
+pub fn render_table(t: &Telemetry) -> String {
+    let stats = span_stats(t);
+    if stats.is_empty() {
+        return "profile: no spans recorded\n".to_string();
+    }
+    let mut rows: Vec<(&String, &SpanStats)> = stats.iter().collect();
+    rows.sort_by(|a, b| b.1.total_s.total_cmp(&a.1.total_s).then(a.0.cmp(b.0)));
+
+    let name_w = rows.iter().map(|(k, _)| k.len()).max().unwrap_or(4).max(4);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<name_w$}  {:>6}  {:>9}  {:>9}  {:>9}  {:>9}  {:>9}\n",
+        "span", "count", "total s", "self s", "p50 s", "p95 s", "max s"
+    ));
+    out.push_str(&format!("{}\n", "-".repeat(name_w + 2 + 6 + 5 * 11)));
+    for (key, s) in rows {
+        out.push_str(&format!(
+            "{key:<name_w$}  {:>6}  {:>9.3}  {:>9.3}  {:>9.3}  {:>9.3}  {:>9.3}\n",
+            s.count, s.total_s, s.self_s, s.p50_s, s.p95_s, s.max_s
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SpanEvent;
+
+    fn span(name: &str, tid: u64, start_us: u64, dur_us: u64) -> SpanEvent {
+        SpanEvent { cat: "t", name: name.to_string(), tid, start_us, dur_us, args: Vec::new() }
+    }
+
+    fn telemetry(spans: Vec<SpanEvent>) -> Telemetry {
+        Telemetry { spans, ..Default::default() }
+    }
+
+    #[test]
+    fn self_time_subtracts_same_thread_children_only() {
+        let t = telemetry(vec![
+            span("parent", 1, 0, 100),
+            span("child", 1, 10, 30),
+            span("child", 1, 50, 20),
+            // Same interval on another thread: not a child of `parent`.
+            span("other", 2, 20, 40),
+        ]);
+        let stats = span_stats(&t);
+        assert_eq!(stats["parent"].count, 1);
+        assert!((stats["parent"].total_s - 100e-6).abs() < 1e-12);
+        assert!((stats["parent"].self_s - 50e-6).abs() < 1e-12, "{:?}", stats["parent"]);
+        assert!((stats["child"].self_s - 50e-6).abs() < 1e-12);
+        assert!((stats["other"].self_s - 40e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn groups_fold_at_the_first_pipe() {
+        let t = telemetry(vec![
+            span("cell:rf|1|0.5|random", 1, 0, 10),
+            span("cell:rf|2|0.9|glove", 1, 20, 30),
+            span("artifact:fig3", 1, 60, 5),
+        ]);
+        let stats = span_stats(&t);
+        assert_eq!(stats["cell:rf"].count, 2);
+        assert!((stats["cell:rf"].max_s - 30e-6).abs() < 1e-12);
+        assert_eq!(stats["artifact:fig3"].count, 1);
+    }
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        let d: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&d, 0.50), 50);
+        assert_eq!(percentile(&d, 0.95), 95);
+        assert_eq!(percentile(&d, 1.0), 100);
+        assert_eq!(percentile(&[7], 0.95), 7);
+        assert_eq!(percentile(&[], 0.5), 0);
+    }
+
+    #[test]
+    fn table_renders_sorted_by_total() {
+        let t = telemetry(vec![span("small", 1, 0, 10), span("big", 1, 20, 1_000_000)]);
+        let table = render_table(&t);
+        let big_at = table.find("big").unwrap();
+        let small_at = table.find("small").unwrap();
+        assert!(big_at < small_at, "rows must be sorted by total time:\n{table}");
+        assert!(table.contains("count"));
+        assert_eq!(render_table(&Telemetry::default()), "profile: no spans recorded\n");
+    }
+}
