@@ -29,6 +29,28 @@ fn bench_word2vec_train(c: &mut Criterion) {
     g.finish();
 }
 
+/// One SGNS epoch at 1 worker vs the full shard fan-out — measures the
+/// speedup (and overhead floor) of the block-synchronous sharded trainer.
+/// Results are bitwise identical across the two legs by construction.
+fn bench_sgns_epoch(c: &mut Criterion) {
+    let corpus = topic_corpus(800);
+    let cfg = word2vec::Word2VecConfig {
+        dim: 32,
+        epochs: 1,
+        min_count: 1,
+        ..word2vec::Word2VecConfig::default()
+    };
+    let mut g = c.benchmark_group("embed");
+    g.sample_size(10);
+    for threads in [1usize, 4] {
+        g.bench_function(format!("sgns_epoch/threads-{threads}"), |b| {
+            let _guard = kcb_util::pool::ThreadsGuard::new(threads);
+            b.iter(|| word2vec::train("bench", &corpus, &cfg).vocab_size())
+        });
+    }
+    g.finish();
+}
+
 fn bench_lookup(c: &mut Criterion) {
     let model = RandomEmbedding::with_dim(48);
     let tokens: Vec<String> = (0..2_000).map(|i| format!("token-{i}")).collect();
@@ -43,5 +65,5 @@ fn bench_lookup(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_word2vec_train, bench_lookup);
+criterion_group!(benches, bench_word2vec_train, bench_sgns_epoch, bench_lookup);
 criterion_main!(benches);

@@ -49,6 +49,10 @@ OPTIONS:
                  artifacts are byte-identical at any thread count
   --out DIR      also write one JSON file per artifact into DIR
   --md FILE      also write a combined Markdown report
+  --cache-dir DIR  persistent checkpoint store for trained providers and
+                 derived results (default results/ckpt); a warm cache only
+                 changes wall time, never artifact bytes
+  --cold         ignore existing checkpoints: retrain and overwrite them
   --trace FILE   write a Chrome trace-event timeline of the run
   --metrics      write results/run_meta.json (manifest + counters + series)
   --profile      print per-span wall-time statistics to stdout
@@ -147,7 +151,17 @@ fn main() -> ExitCode {
     let threads = args.threads.unwrap_or_else(kcb_lm::pool::threads);
     let (scale, seed) = (cfg.scale, cfg.seed);
     let config_digest = run_meta::fnv64_hex(format!("{cfg:?}").as_bytes());
-    let lab = Lab::new(cfg);
+    // Trained providers and derived results persist across runs in a
+    // content-addressed store; a stale or corrupt entry falls back to
+    // retraining, so the cache is purely a wall-clock knob.
+    let cache_dir =
+        args.cache_dir.clone().unwrap_or_else(|| std::path::Path::new("results").join("ckpt"));
+    let store = std::sync::Arc::new(if args.cold {
+        kcb_core::ckpt::CkptStore::cold(cache_dir)
+    } else {
+        kcb_core::ckpt::CkptStore::open(cache_dir)
+    });
+    let lab = Lab::with_checkpoints(cfg, store);
     let total = Instant::now();
     let mut markdown = String::from("# kcb reproduction report\n\n");
     let mut failed = false;
@@ -157,12 +171,21 @@ fn main() -> ExitCode {
     // and are byte-identical at any worker count.
     let id_refs: Vec<&str> = ids.iter().map(String::as_str).collect();
     let (artifacts, report) = run_scheduled(&lab, &id_refs, threads);
+    // Persist the union of loaded + freshly computed derived results so
+    // the next run replays them.
+    lab.save_checkpoints();
     eprintln!(
         "# scheduler: {} workers, {} jobs, {} steals, {:.1}s",
         report.scheduler.workers,
         report.scheduler.jobs.len(),
         report.scheduler.steals,
         report.scheduler.wall_seconds
+    );
+    eprintln!(
+        "# checkpoints: {} hits, {} misses ({})",
+        report.cache.ckpt_hits,
+        report.cache.ckpt_misses,
+        lab.checkpoint_store().map(|s| s.dir().display().to_string()).unwrap_or_default()
     );
     for j in &report.scheduler.jobs {
         if let Some(id) = j.label.strip_prefix("artifact:") {
@@ -237,6 +260,22 @@ fn main() -> ExitCode {
     if args.profile {
         println!("\n## Span profile ({} spans)\n", telemetry.spans.len());
         print!("{}", kcb_obs::profile::render_table(&telemetry));
+        if !report.checkpoints.is_empty() {
+            println!(
+                "\n## Checkpoints ({} hits, {} misses)\n",
+                report.cache.ckpt_hits, report.cache.ckpt_misses
+            );
+            println!("{:<20} {:<18} {:>6} {:>12}", "provider", "key", "state", "bytes");
+            for e in &report.checkpoints {
+                println!(
+                    "{:<20} {:<18} {:>6} {:>12}",
+                    e.provider,
+                    e.key,
+                    if e.hit { "hit" } else { "miss" },
+                    e.bytes
+                );
+            }
+        }
     }
     eprintln!("# total {:.1}s", total_secs);
     if failed {

@@ -30,6 +30,10 @@ pub struct Args {
     pub profile: bool,
     /// `--fast`: tiny smoke-test configuration.
     pub fast: bool,
+    /// `--cache-dir`: checkpoint-store directory (default `results/ckpt`).
+    pub cache_dir: Option<PathBuf>,
+    /// `--cold`: ignore existing checkpoints, retrain and overwrite them.
+    pub cold: bool,
     /// `--list`: list artifact ids and exit.
     pub list: bool,
     /// `--help` / `-h`.
@@ -55,6 +59,7 @@ where
         match a.as_str() {
             "--list" => out.list = true,
             "--fast" => out.fast = true,
+            "--cold" => out.cold = true,
             "--metrics" => out.metrics = true,
             "--profile" => out.profile = true,
             "--help" | "-h" => out.help = true,
@@ -81,6 +86,17 @@ where
             "--out" => {
                 let v = it.next().ok_or("--out needs a directory")?;
                 out.out = Some(v.into());
+            }
+            "--cache-dir" => {
+                let v = it.next().ok_or("--cache-dir needs a directory")?;
+                if v.is_empty() {
+                    return Err("--cache-dir needs a non-empty directory".to_string());
+                }
+                let p = PathBuf::from(&v);
+                if p.is_file() {
+                    return Err(format!("--cache-dir {v} is a file, not a directory"));
+                }
+                out.cache_dir = Some(p);
             }
             "--md" => {
                 let v = it.next().ok_or("--md needs a file path")?;
@@ -177,6 +193,29 @@ mod tests {
         assert!(p(&["--bogus"]).unwrap_err().contains("--bogus"));
         assert!(p(&["--trace"]).unwrap_err().contains("--trace"));
         assert!(p(&["--threads"]).unwrap_err().contains("--threads"));
+        assert!(p(&["--cache-dir"]).unwrap_err().contains("--cache-dir"));
+    }
+
+    #[test]
+    fn parses_cache_flags() {
+        let a = p(&["table4", "--cache-dir", "warm", "--cold"]).unwrap();
+        assert_eq!(a.cache_dir.as_deref(), Some(std::path::Path::new("warm")));
+        assert!(a.cold);
+        let a = p(&["table4"]).unwrap();
+        assert_eq!(a.cache_dir, None);
+        assert!(!a.cold);
+    }
+
+    #[test]
+    fn rejects_bad_cache_dirs_naming_the_value() {
+        let e = p(&["--cache-dir", ""]).unwrap_err();
+        assert!(e.contains("--cache-dir"), "{e}");
+        // A path that names an existing *file* is rejected at parse time.
+        let file = std::env::temp_dir().join(format!("kcb-cli-test-{}", std::process::id()));
+        std::fs::write(&file, b"x").unwrap();
+        let e = p(&["--cache-dir", file.to_str().unwrap()]).unwrap_err();
+        assert!(e.contains("is a file"), "{e}");
+        std::fs::remove_file(&file).ok();
     }
 
     #[test]

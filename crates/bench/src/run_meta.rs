@@ -16,7 +16,10 @@ use kcb_obs::Telemetry;
 use serde_json::{json, Value};
 
 /// Version of the `run_meta.json` shape.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// v2: `cache` gained `ckpt_hits` / `ckpt_misses`, and a top-level
+/// `checkpoints` group lists every persistent checkpoint lookup.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Everything `run_meta.json` is built from.
 pub struct RunMetaInputs<'a> {
@@ -132,6 +135,18 @@ pub fn run_meta_json(inp: &RunMetaInputs<'_>) -> Value {
         "entries": r.encoding_entries,
         "contended": r.encoding_contended,
     });
+    let checkpoints: Vec<Value> = r
+        .checkpoints
+        .iter()
+        .map(|e| {
+            json!({
+                "provider": e.provider,
+                "key": e.key,
+                "hit": e.hit,
+                "bytes": e.bytes,
+            })
+        })
+        .collect();
     json!({
         "schema_version": SCHEMA_VERSION,
         "manifest": manifest,
@@ -139,6 +154,7 @@ pub fn run_meta_json(inp: &RunMetaInputs<'_>) -> Value {
         "scheduler": scheduler,
         "cache": r.cache,
         "encoding_cache": encoding_cache,
+        "checkpoints": checkpoints,
         "counters": counters,
         "series": series,
         "span_stats": span_stats,
@@ -187,6 +203,12 @@ mod tests {
             encoding_misses: 2,
             encoding_entries: 2,
             encoding_contended: 1,
+            checkpoints: vec![kcb_core::ckpt::CkptEvent {
+                provider: "embed-glove".to_string(),
+                key: "00ff00ff00ff00ff".to_string(),
+                hit: true,
+                bytes: 1024,
+            }],
         }
     }
 
@@ -211,6 +233,9 @@ mod tests {
         assert_eq!(doc["manifest"]["config_digest"], json!(fnv64_hex(b"cfg")));
         assert_eq!(doc["scheduler"]["steals"], json!(3));
         assert_eq!(doc["encoding_cache"]["contended"], json!(1));
+        assert_eq!(doc["cache"]["ckpt_hits"], json!(0));
+        assert_eq!(doc["checkpoints"][0]["provider"], json!("embed-glove"));
+        assert_eq!(doc["checkpoints"][0]["hit"], json!(true));
         assert_eq!(doc["counters"]["dbscan.probes"], json!(7));
         assert_eq!(doc["series"]["lm.bert.pretrain.loss"], json!([2.0, 1.5]));
         assert_eq!(doc["span_stats"]["cell:rf"]["count"], json!(1));

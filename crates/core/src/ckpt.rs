@@ -1,0 +1,653 @@
+//! Persistent content-addressed checkpoint store.
+//!
+//! Training the lab's providers (embedding tables, the WordPiece
+//! vocabulary, the two mini language models) and the derived experiment
+//! results (forest runs, memoised cell scores) dominates a `repro` run's
+//! wall clock, yet every one of them is a pure function of [`LabConfig`].
+//! This module caches them on disk between runs, addressed by content key:
+//!
+//! * **Key derivation** — each artifact's key is the FNV-64 digest of its
+//!   full determinant string: the provider's schema-version constant, the
+//!   `Debug` rendering of every config that feeds its training, and the
+//!   fingerprints of its input corpora (themselves config-derived). Change
+//!   any input — seed, scale, trainer hyperparameter, corpus size — and the
+//!   key changes, so a stale checkpoint is simply never *addressed*. Bump
+//!   the provider's `SCHEMA_*` constant when the trainer's byte output or
+//!   the on-disk format changes.
+//! * **On-disk layout** — one file per artifact under the cache directory,
+//!   named `<provider>-<key16>.ckpt`. Every file carries a container header
+//!   (magic `KCBC`, container version, provider name, key, payload FNV-64
+//!   checksum) followed by a provider-specific payload. Writes go through a
+//!   temp file + rename, so a crashed run never leaves a half-written
+//!   checkpoint under the final name.
+//! * **Fallback** — a missing, truncated, corrupt or version-mismatched
+//!   checkpoint is treated as a miss: one warning line on stderr, then the
+//!   artifact retrains exactly as if the cache were empty. The store can
+//!   slow a run down; it can never change results or make one fail.
+//!
+//! The contract mirrored by the CI warm-cache job: cache state (cold,
+//! warm, corrupt) is a wall-clock knob, never a results knob — a warm run
+//! must produce byte-identical artifact JSON to a cold one.
+
+use kcb_util::bin::{Reader, Writer};
+use kcb_util::{fnv1a, Result};
+use parking_lot::Mutex;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Schema version of the W2V-Chem embedding checkpoint.
+pub const SCHEMA_W2V: u32 = 1;
+/// Schema version of the generic-GloVe embedding checkpoint.
+pub const SCHEMA_GLOVE: u32 = 1;
+/// Schema version of the GloVe-Chem (warm-started) embedding checkpoint.
+pub const SCHEMA_GLOVE_CHEM: u32 = 1;
+/// Schema version of the BioWordVec (fastText) checkpoint.
+pub const SCHEMA_BIOWORDVEC: u32 = 1;
+/// Schema version of the WordPiece vocabulary checkpoint.
+pub const SCHEMA_WORDPIECE: u32 = 1;
+/// Schema version of the mini-BERT weight checkpoint.
+pub const SCHEMA_BERT: u32 = 1;
+/// Schema version of the BioGPT-mini weight checkpoint.
+pub const SCHEMA_BIOGPT: u32 = 1;
+/// Schema version of the derived-results cache.
+pub const SCHEMA_DERIVED: u32 = 1;
+
+const CONTAINER_MAGIC: &[u8; 4] = b"KCBC";
+const CONTAINER_VERSION: u32 = 1;
+
+/// Derives an artifact's content key: FNV-64 over the schema version and
+/// every determinant part, rendered as 16 hex chars (the file-name stem).
+pub fn digest_key(schema: u32, parts: &[&str]) -> String {
+    let mut joined = format!("v{schema}");
+    for p in parts {
+        joined.push('|');
+        joined.push_str(p);
+    }
+    format!("{:016x}", fnv1a(joined.as_bytes()))
+}
+
+/// One checkpoint lookup or write, reported through `run_meta.json`.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct CkptEvent {
+    /// Provider name (`embed-w2v-chem`, `lm-bert`, `derived`, ...).
+    pub provider: String,
+    /// Content key (16 hex chars).
+    pub key: String,
+    /// True when the artifact was served from disk.
+    pub hit: bool,
+    /// Payload size in bytes (0 for a miss without a file).
+    pub bytes: u64,
+}
+
+/// A persistent content-addressed checkpoint store rooted at one directory.
+pub struct CkptStore {
+    dir: PathBuf,
+    cold: bool,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+    events: Mutex<Vec<CkptEvent>>,
+}
+
+impl CkptStore {
+    /// Opens (and lazily creates) a store rooted at `dir`.
+    pub fn open(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            dir: dir.into(),
+            cold: false,
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+            events: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Opens a store in *cold* mode: every lookup misses (forcing a fresh
+    /// train) but results are still written, overwriting stale entries.
+    pub fn cold(dir: impl Into<PathBuf>) -> Self {
+        Self { cold: true, ..Self::open(dir) }
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// True when opened with [`CkptStore::cold`].
+    pub fn is_cold(&self) -> bool {
+        self.cold
+    }
+
+    /// `(hits, misses)` so far.
+    pub fn stats(&self) -> (usize, usize) {
+        (self.hits.load(Ordering::Relaxed), self.misses.load(Ordering::Relaxed))
+    }
+
+    /// Every lookup so far, in order.
+    pub fn events(&self) -> Vec<CkptEvent> {
+        self.events.lock().clone()
+    }
+
+    fn file_path(&self, provider: &str, key: &str) -> PathBuf {
+        self.dir.join(format!("{provider}-{key}.ckpt"))
+    }
+
+    fn record(&self, provider: &str, key: &str, hit: bool, bytes: u64) {
+        if hit {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            kcb_obs::counter("ckpt.hits", 1);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            kcb_obs::counter("ckpt.misses", 1);
+        }
+        self.events.lock().push(CkptEvent {
+            provider: provider.to_string(),
+            key: key.to_string(),
+            hit,
+            bytes,
+        });
+    }
+
+    /// Tries to load and decode `provider`'s artifact under `key`. Returns
+    /// `None` (recording a miss) when the file is absent, the store is
+    /// cold, or the checkpoint is unusable for any reason — the latter with
+    /// a single warning line.
+    pub fn take<T>(
+        &self,
+        provider: &str,
+        key: &str,
+        decode: impl FnOnce(&[u8]) -> Result<T>,
+    ) -> Option<T> {
+        if self.cold {
+            self.record(provider, key, false, 0);
+            return None;
+        }
+        let path = self.file_path(provider, key);
+        let _span = kcb_obs::span("ckpt", "ckpt.read").arg("provider", provider);
+        let raw = match std::fs::read(&path) {
+            Ok(raw) => raw,
+            Err(_) => {
+                self.record(provider, key, false, 0);
+                return None;
+            }
+        };
+        match Self::verify(provider, key, &raw).and_then(decode) {
+            Ok(v) => {
+                self.record(provider, key, true, raw.len() as u64);
+                Some(v)
+            }
+            Err(e) => {
+                eprintln!(
+                    "warning: checkpoint {} unusable ({e}); retraining {provider}",
+                    path.display()
+                );
+                self.record(provider, key, false, raw.len() as u64);
+                None
+            }
+        }
+    }
+
+    /// Validates the container header and payload checksum, returning the
+    /// payload slice.
+    fn verify<'a>(provider: &str, key: &str, raw: &'a [u8]) -> Result<&'a [u8]> {
+        let mut r = Reader::new(raw, "checkpoint");
+        let _span = kcb_obs::span("ckpt", "ckpt.verify").arg("provider", provider);
+        r.magic(CONTAINER_MAGIC)?;
+        r.version(CONTAINER_VERSION)?;
+        let stored_provider = r.str()?;
+        let stored_key = r.str()?;
+        if stored_provider != provider || stored_key != key {
+            return Err(kcb_util::Error::parse(
+                "checkpoint",
+                format!("header names {stored_provider}/{stored_key}, expected {provider}/{key}"),
+            ));
+        }
+        let checksum = r.u64()?;
+        let len = r.u64()? as usize;
+        if len != r.remaining() {
+            return Err(kcb_util::Error::parse(
+                "checkpoint",
+                format!("payload length {len} != remaining {}", r.remaining()),
+            ));
+        }
+        let payload = &raw[raw.len() - len..];
+        if fnv1a(payload) != checksum {
+            return Err(kcb_util::Error::parse("checkpoint", "payload checksum mismatch"));
+        }
+        Ok(payload)
+    }
+
+    /// Persists `payload` as `provider`'s artifact under `key` (temp file +
+    /// rename). Write failures warn and are otherwise ignored — caching is
+    /// never allowed to fail a run.
+    pub fn put(&self, provider: &str, key: &str, payload: &[u8]) {
+        let _span = kcb_obs::span("ckpt", "ckpt.write")
+            .arg("provider", provider)
+            .arg("bytes", payload.len());
+        let mut w = Writer::new();
+        w.raw(CONTAINER_MAGIC);
+        w.u32(CONTAINER_VERSION);
+        w.str(provider);
+        w.str(key);
+        w.u64(fnv1a(payload));
+        w.u64(payload.len() as u64);
+        w.raw(payload);
+        let path = self.file_path(provider, key);
+        let tmp = self.dir.join(format!(".{provider}-{key}.tmp"));
+        let write = || -> std::io::Result<()> {
+            std::fs::create_dir_all(&self.dir)?;
+            std::fs::write(&tmp, w.into_bytes())?;
+            std::fs::rename(&tmp, &path)
+        };
+        if let Err(e) = write() {
+            eprintln!("warning: could not write checkpoint {} ({e})", path.display());
+            std::fs::remove_file(&tmp).ok();
+        } else {
+            kcb_obs::counter("ckpt.writes", 1);
+        }
+    }
+
+    /// Load-or-train in one call: [`CkptStore::take`], falling back to
+    /// `make` + [`CkptStore::put`].
+    pub fn load_or_make<T>(
+        &self,
+        provider: &str,
+        key: &str,
+        decode: impl FnOnce(&[u8]) -> Result<T>,
+        encode: impl FnOnce(&T) -> Vec<u8>,
+        make: impl FnOnce() -> T,
+    ) -> T {
+        if let Some(v) = self.take(provider, key, decode) {
+            return v;
+        }
+        let v = make();
+        self.put(provider, key, &encode(&v));
+        v
+    }
+}
+
+/// Load-or-train against an optional store: with no store attached the
+/// artifact is simply built (the `Lab::new` path used by unit tests).
+pub(crate) fn cached<T>(
+    store: Option<&CkptStore>,
+    provider: &str,
+    key: &str,
+    decode: impl FnOnce(&[u8]) -> Result<T>,
+    encode: impl FnOnce(&T) -> Vec<u8>,
+    make: impl FnOnce() -> T,
+) -> T {
+    match store {
+        Some(s) => s.load_or_make(provider, key, decode, encode, make),
+        None => make(),
+    }
+}
+
+/// Config-derived fingerprint of the domain corpus (and, transitively, the
+/// ontology it is generated from).
+pub(crate) fn domain_fp(cfg: &crate::lab::LabConfig) -> String {
+    format!("domain(n={},seed={},scale={})", cfg.n_domain_docs, cfg.seed, cfg.scale)
+}
+
+/// Config-derived fingerprint of the generic corpus.
+pub(crate) fn generic_fp(cfg: &crate::lab::LabConfig) -> String {
+    format!("generic(n={},seed={})", cfg.n_generic_docs, cfg.seed ^ 0x9e37)
+}
+
+// ---------------------------------------------------------------------------
+// Derived-results cache: memoised cell scores, memoised row vectors, forest
+// runs and LSTM runs, one payload per full-config digest.
+// ---------------------------------------------------------------------------
+
+const DERIVED_MAGIC: &[u8; 4] = b"KCBD";
+const DERIVED_VERSION: u32 = 1;
+
+/// In-memory form of the derived-results cache.
+#[derive(Default)]
+pub(crate) struct Derived {
+    /// Memoised scalar scores (`Shared::memo_score`).
+    pub scores: Vec<(String, f64)>,
+    /// Memoised row vectors (`Shared::memo_vec`).
+    pub vecs: Vec<(String, Vec<f64>)>,
+    /// Forest runs by `(task, model, adaptation)` key.
+    pub forests: Vec<(String, std::sync::Arc<crate::paradigm::ml::ForestRun>)>,
+    /// LSTM runs by model name.
+    pub lstms: Vec<(String, std::sync::Arc<crate::paradigm::ml::LstmRun>)>,
+}
+
+impl Derived {
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.raw(DERIVED_MAGIC);
+        w.u32(DERIVED_VERSION);
+        w.u32(self.scores.len() as u32);
+        for (k, v) in &self.scores {
+            w.str(k);
+            w.f64(*v);
+        }
+        w.u32(self.vecs.len() as u32);
+        for (k, v) in &self.vecs {
+            w.str(k);
+            w.f64s(v);
+        }
+        w.u32(self.forests.len() as u32);
+        for (k, run) in &self.forests {
+            w.str(k);
+            encode_forest_run(run, &mut w);
+        }
+        w.u32(self.lstms.len() as u32);
+        for (k, run) in &self.lstms {
+            w.str(k);
+            w.str(&run.model_name);
+            encode_metrics(&run.metrics, &mut w);
+        }
+        w.into_bytes()
+    }
+
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        let mut r = Reader::new(bytes, "derived cache");
+        r.magic(DERIVED_MAGIC)?;
+        r.version(DERIVED_VERSION)?;
+        let mut out = Self::default();
+        let n = r.u32()? as usize;
+        r.sized(n, 12)?;
+        for _ in 0..n {
+            let k = r.str()?;
+            out.scores.push((k, r.f64()?));
+        }
+        let n = r.u32()? as usize;
+        r.sized(n, 8)?;
+        for _ in 0..n {
+            let k = r.str()?;
+            out.vecs.push((k, r.f64s()?));
+        }
+        let n = r.u32()? as usize;
+        r.sized(n, 16)?;
+        for _ in 0..n {
+            let k = r.str()?;
+            out.forests.push((k, std::sync::Arc::new(decode_forest_run(&mut r)?)));
+        }
+        let n = r.u32()? as usize;
+        r.sized(n, 40)?;
+        for _ in 0..n {
+            let k = r.str()?;
+            let model_name = r.str()?;
+            let metrics = decode_metrics(&mut r)?;
+            out.lstms.push((
+                k,
+                std::sync::Arc::new(crate::paradigm::ml::LstmRun { model_name, metrics }),
+            ));
+        }
+        r.finish()?;
+        Ok(out)
+    }
+}
+
+fn encode_metrics(m: &kcb_ml::metrics::BinaryMetrics, w: &mut Writer) {
+    w.f64(m.accuracy);
+    w.f64(m.precision);
+    w.f64(m.recall);
+    w.f64(m.f1);
+}
+
+fn decode_metrics(r: &mut Reader<'_>) -> Result<kcb_ml::metrics::BinaryMetrics> {
+    Ok(kcb_ml::metrics::BinaryMetrics {
+        accuracy: r.f64()?,
+        precision: r.f64()?,
+        recall: r.f64()?,
+        f1: r.f64()?,
+    })
+}
+
+fn encode_forest_run(run: &crate::paradigm::ml::ForestRun, w: &mut Writer) {
+    w.str(&run.encoder_name);
+    encode_metrics(&run.metrics, w);
+    run.forest.encode(w);
+    w.f32s(&run.test_probs);
+    w.u32(run.test_labels.len() as u32);
+    for &b in &run.test_labels {
+        w.u8(b as u8);
+    }
+    w.u32(run.test_relations.len() as u32);
+    for &rel in &run.test_relations {
+        w.u8(rel.code());
+    }
+    w.f64s(&run.importances);
+}
+
+fn decode_forest_run(r: &mut Reader<'_>) -> Result<crate::paradigm::ml::ForestRun> {
+    let err = |m: &str| kcb_util::Error::parse("derived cache", m.to_string());
+    let encoder_name = r.str()?;
+    let metrics = decode_metrics(r)?;
+    let forest = kcb_ml::RandomForest::decode(r)?;
+    let test_probs = r.f32s()?;
+    let n = r.u32()? as usize;
+    r.sized(n, 1)?;
+    let test_labels = (0..n).map(|_| r.u8().map(|b| b != 0)).collect::<Result<Vec<_>>>()?;
+    let n = r.u32()? as usize;
+    r.sized(n, 1)?;
+    let test_relations = (0..n)
+        .map(|_| {
+            let code = r.u8()?;
+            if code as usize >= kcb_ontology::Relation::ALL.len() {
+                return Err(err("relation code out of range"));
+            }
+            Ok(kcb_ontology::Relation::from_code(code))
+        })
+        .collect::<Result<Vec<_>>>()?;
+    let importances = r.f64s()?;
+    if test_probs.len() != test_labels.len() || test_labels.len() != test_relations.len() {
+        return Err(err("test-set column lengths disagree"));
+    }
+    Ok(crate::paradigm::ml::ForestRun {
+        encoder_name,
+        metrics,
+        forest,
+        test_probs,
+        test_labels,
+        test_relations,
+        importances,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_key_is_stable_and_sensitive() {
+        let a = digest_key(1, &["cfg", "corpus"]);
+        assert_eq!(a, digest_key(1, &["cfg", "corpus"]));
+        assert_eq!(a.len(), 16);
+        assert_ne!(a, digest_key(2, &["cfg", "corpus"]), "schema bump must change the key");
+        assert_ne!(a, digest_key(1, &["cfg2", "corpus"]));
+        assert_ne!(a, digest_key(1, &["cfg", "corpus2"]));
+    }
+
+    fn temp_store(name: &str) -> CkptStore {
+        let dir = std::env::temp_dir().join(format!("kcb-ckpt-test-{name}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        CkptStore::open(dir)
+    }
+
+    fn decode_u64(b: &[u8]) -> Result<u64> {
+        let mut r = Reader::new(b, "test");
+        let v = r.u64()?;
+        r.finish()?;
+        Ok(v)
+    }
+
+    #[test]
+    fn load_or_make_round_trips_and_counts() {
+        let store = temp_store("roundtrip");
+        let mut made = 0;
+        let encode = |v: &u64| {
+            let mut w = Writer::new();
+            w.u64(*v);
+            w.into_bytes()
+        };
+        let v = store.load_or_make("unit", "k1", decode_u64, encode, || {
+            made += 1;
+            99
+        });
+        assert_eq!((v, made), (99, 1));
+        let v = store.load_or_make("unit", "k1", decode_u64, encode, || {
+            made += 1;
+            0
+        });
+        assert_eq!((v, made), (99, 1), "second lookup must hit");
+        assert_eq!(store.stats(), (1, 1));
+        let events = store.events();
+        assert_eq!(events.len(), 2);
+        assert!(!events[0].hit && events[1].hit);
+        std::fs::remove_dir_all(store.dir()).ok();
+    }
+
+    #[test]
+    fn cold_store_ignores_existing_but_still_writes() {
+        let store = temp_store("cold");
+        store.put("unit", "k", &{
+            let mut w = Writer::new();
+            w.u64(7);
+            w.into_bytes()
+        });
+        let cold = CkptStore::cold(store.dir().to_path_buf());
+        let v = cold.load_or_make(
+            "unit",
+            "k",
+            decode_u64,
+            |v| {
+                let mut w = Writer::new();
+                w.u64(*v);
+                w.into_bytes()
+            },
+            || 8,
+        );
+        assert_eq!(v, 8, "cold mode must retrain");
+        // The rewritten entry is visible to a subsequent warm store.
+        let warm = CkptStore::open(store.dir().to_path_buf());
+        assert_eq!(warm.take("unit", "k", decode_u64), Some(8));
+        std::fs::remove_dir_all(store.dir()).ok();
+    }
+
+    #[test]
+    fn truncated_checkpoint_falls_back_to_retraining() {
+        let store = temp_store("trunc");
+        let mut w = Writer::new();
+        w.u64(1234);
+        store.put("unit", "k", &w.into_bytes());
+        // Truncate the real file mid-payload.
+        let path = store.dir().join("unit-k.ckpt");
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 3]).unwrap();
+        assert_eq!(store.take("unit", "k", decode_u64), None);
+        // A fresh write repairs the entry.
+        let mut w = Writer::new();
+        w.u64(5678);
+        store.put("unit", "k", &w.into_bytes());
+        assert_eq!(store.take("unit", "k", decode_u64), Some(5678));
+        std::fs::remove_dir_all(store.dir()).ok();
+    }
+
+    #[test]
+    fn version_flip_and_bit_flip_fall_back() {
+        let store = temp_store("flip");
+        let mut w = Writer::new();
+        w.u64(42);
+        store.put("unit", "k", &w.into_bytes());
+        let path = store.dir().join("unit-k.ckpt");
+        let good = std::fs::read(&path).unwrap();
+
+        // Container-version byte flipped.
+        let mut bad = good.clone();
+        bad[4] ^= 0xff;
+        std::fs::write(&path, &bad).unwrap();
+        assert_eq!(store.take("unit", "k", decode_u64), None);
+
+        // Payload bit flipped — caught by the checksum.
+        let mut bad = good.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x01;
+        std::fs::write(&path, &bad).unwrap();
+        assert_eq!(store.take("unit", "k", decode_u64), None);
+
+        // Pristine bytes restored — hit again.
+        std::fs::write(&path, &good).unwrap();
+        assert_eq!(store.take("unit", "k", decode_u64), Some(42));
+        std::fs::remove_dir_all(store.dir()).ok();
+    }
+
+    #[test]
+    fn wrong_provider_name_is_rejected() {
+        let store = temp_store("name");
+        let mut w = Writer::new();
+        w.u64(1);
+        store.put("unit-a", "k", &w.into_bytes());
+        // Copy the file under another provider's name: header mismatch.
+        std::fs::copy(store.dir().join("unit-a-k.ckpt"), store.dir().join("unit-b-k.ckpt"))
+            .unwrap();
+        assert_eq!(store.take("unit-b", "k", decode_u64), None);
+        std::fs::remove_dir_all(store.dir()).ok();
+    }
+
+    #[test]
+    fn derived_cache_round_trips() {
+        use kcb_ml::linalg::Matrix;
+        let x = Matrix::from_rows((0..30).map(|i| vec![i as f32, (i % 3) as f32]).collect::<Vec<_>>());
+        let y: Vec<bool> = (0..30).map(|i| i % 2 == 0).collect();
+        let forest = kcb_ml::RandomForest::fit(
+            &x,
+            &y,
+            &kcb_ml::RandomForestConfig { n_trees: 3, n_threads: 1, ..Default::default() },
+        );
+        let run = crate::paradigm::ml::ForestRun {
+            encoder_name: "enc".into(),
+            metrics: kcb_ml::metrics::BinaryMetrics {
+                accuracy: 0.5,
+                precision: 0.25,
+                recall: 0.75,
+                f1: 0.375,
+            },
+            forest,
+            test_probs: vec![0.1, 0.9],
+            test_labels: vec![false, true],
+            test_relations: vec![kcb_ontology::Relation::IsA, kcb_ontology::Relation::HasRole],
+            importances: vec![0.5, 0.5],
+        };
+        let d = Derived {
+            scores: vec![("rf|1".into(), 0.125)],
+            vecs: vec![("icl|1".into(), vec![1.0, -2.5])],
+            forests: vec![("1|random|naive".into(), std::sync::Arc::new(run))],
+            lstms: vec![(
+                "random".into(),
+                std::sync::Arc::new(crate::paradigm::ml::LstmRun {
+                    model_name: "random".into(),
+                    metrics: kcb_ml::metrics::BinaryMetrics {
+                        accuracy: 1.0,
+                        precision: 1.0,
+                        recall: 0.0,
+                        f1: 0.0,
+                    },
+                }),
+            )],
+        };
+        let bytes = d.to_bytes();
+        let e = Derived::from_bytes(&bytes).expect("decode");
+        assert_eq!(e.scores, d.scores);
+        assert_eq!(e.vecs, d.vecs);
+        assert_eq!(e.lstms.len(), 1);
+        assert_eq!(e.lstms[0].1.model_name, "random");
+        assert_eq!(e.forests.len(), 1);
+        let (k, run2) = &e.forests[0];
+        assert_eq!(k, "1|random|naive");
+        assert_eq!(run2.encoder_name, "enc");
+        assert_eq!(run2.metrics.f1, 0.375);
+        assert_eq!(run2.test_probs, vec![0.1, 0.9]);
+        assert_eq!(run2.test_relations, d.forests[0].1.test_relations);
+        assert_eq!(
+            run2.forest.predict_proba(&[3.0, 1.0]).to_bits(),
+            d.forests[0].1.forest.predict_proba(&[3.0, 1.0]).to_bits()
+        );
+        // Truncations error cleanly.
+        for cut in [0, 5, bytes.len() / 2, bytes.len() - 1] {
+            assert!(Derived::from_bytes(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+    }
+}

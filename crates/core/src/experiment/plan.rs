@@ -44,6 +44,9 @@ pub struct PlanReport {
     pub encoding_entries: usize,
     /// Encoding-cache shard-lock acquisitions that found the lock held.
     pub encoding_contended: usize,
+    /// Persistent checkpoint lookups this run, in order (empty when the
+    /// lab has no store attached).
+    pub checkpoints: Vec<crate::ckpt::CkptEvent>,
 }
 
 /// Provider job ids shared by every artifact.
@@ -394,6 +397,7 @@ pub fn run_scheduled(
         encoding_misses,
         encoding_entries: lab.encodings().len(),
         encoding_contended: lab.encodings().contended(),
+        checkpoints: lab.checkpoint_store().map(|s| s.events()).unwrap_or_default(),
     };
     record_counters(&report);
     (artifacts, report)

@@ -23,6 +23,7 @@
 //!   are oblivious to the split.
 
 use crate::adapt::{task_oriented_stopwords, Adaptation, TaskOrientedConfig};
+use crate::ckpt::{self, CkptStore};
 use crate::dataset::Split;
 use crate::paradigm::ml::{run_lstm, ForestRun, LstmRun};
 use crate::task::{positive_triples, TaskDataset, TaskKind};
@@ -248,12 +249,17 @@ pub struct CacheStats {
     pub forest_hits: usize,
     /// Forest runs computed.
     pub forest_misses: usize,
+    /// Persistent checkpoints served from disk ([`crate::ckpt`]).
+    pub ckpt_hits: usize,
+    /// Persistent checkpoint lookups that fell back to training.
+    pub ckpt_misses: usize,
 }
 
 /// The thread-safe core of the experiment environment: every component
 /// that is plain data once built. See the module docs for the split.
 pub struct Shared {
     cfg: LabConfig,
+    ckpt: Option<Arc<CkptStore>>,
     ontology: OnceLock<Ontology>,
     tasks: [OnceLock<TaskDataset>; 3],
     splits: [OnceLock<Split>; 3],
@@ -270,6 +276,7 @@ pub struct Shared {
     lstm_runs: SlotMap<Arc<LstmRun>>,
     encodings: crate::compose::EncodingCache,
     memo_scores: SlotMap<f64>,
+    memo_vecs: SlotMap<Arc<Vec<f64>>>,
     memo_hits: AtomicUsize,
     memo_misses: AtomicUsize,
     forest_hits: AtomicUsize,
@@ -277,10 +284,11 @@ pub struct Shared {
 }
 
 impl Shared {
-    fn new(cfg: LabConfig) -> Self {
+    fn new(cfg: LabConfig, ckpt: Option<Arc<CkptStore>>) -> Self {
         let random = RandomEmbedding::with_dim(cfg.embed_dim);
         Self {
             cfg,
+            ckpt,
             ontology: OnceLock::new(),
             tasks: [OnceLock::new(), OnceLock::new(), OnceLock::new()],
             splits: [OnceLock::new(), OnceLock::new(), OnceLock::new()],
@@ -297,6 +305,7 @@ impl Shared {
             lstm_runs: Mutex::new(HashMap::new()),
             encodings: crate::compose::EncodingCache::new(),
             memo_scores: Mutex::new(HashMap::new()),
+            memo_vecs: Mutex::new(HashMap::new()),
             memo_hits: AtomicUsize::new(0),
             memo_misses: AtomicUsize::new(0),
             forest_hits: AtomicUsize::new(0),
@@ -331,14 +340,106 @@ impl Shared {
         })
     }
 
+    /// Memoises an expensive result row (a fixed-width vector of numbers)
+    /// under a caller-chosen key — the vector-valued sibling of
+    /// [`Shared::memo_score`], sharing its hit/miss counters. Table runners
+    /// use it for rows the derived-results checkpoint can replay (a Table 4
+    /// fine-tuning row, a Table 5 ICL result).
+    pub fn memo_vec(&self, key: String, compute: impl FnOnce() -> Vec<f64>) -> Arc<Vec<f64>> {
+        let s = slot(&self.memo_vecs, &key);
+        if let Some(v) = s.get() {
+            self.memo_hits.fetch_add(1, Ordering::Relaxed);
+            return v.clone();
+        }
+        s.get_or_init(|| {
+            self.memo_misses.fetch_add(1, Ordering::Relaxed);
+            Arc::new(compute())
+        })
+        .clone()
+    }
+
     /// Memo-cache hit/miss counters (for the scheduler report).
     pub fn cache_stats(&self) -> CacheStats {
+        let (ckpt_hits, ckpt_misses) =
+            self.ckpt.as_deref().map(CkptStore::stats).unwrap_or((0, 0));
         CacheStats {
             memo_hits: self.memo_hits.load(Ordering::Relaxed),
             memo_misses: self.memo_misses.load(Ordering::Relaxed),
             forest_hits: self.forest_hits.load(Ordering::Relaxed),
             forest_misses: self.forest_misses.load(Ordering::Relaxed),
+            ckpt_hits,
+            ckpt_misses,
         }
+    }
+
+    /// The attached persistent checkpoint store, if any.
+    pub fn checkpoint_store(&self) -> Option<&CkptStore> {
+        self.ckpt.as_deref()
+    }
+
+    /// Content key of the derived-results checkpoint: the full config,
+    /// with the forest's thread knob normalised out (thread count is a
+    /// wall-clock knob, never a results knob).
+    fn derived_key(&self) -> String {
+        let mut c = self.cfg.clone();
+        c.rf.n_threads = 0;
+        ckpt::digest_key(ckpt::SCHEMA_DERIVED, &[&format!("{c:?}")])
+    }
+
+    /// Prefills the memo/forest/LSTM slot maps from the derived-results
+    /// checkpoint (no-op without a store or on a cold/missing cache).
+    fn load_derived(&self) {
+        let Some(store) = self.ckpt.as_deref() else { return };
+        let Some(d) = store.take("derived", &self.derived_key(), ckpt::Derived::from_bytes)
+        else {
+            return;
+        };
+        for (k, v) in d.scores {
+            let _ = slot(&self.memo_scores, &k).set(v);
+        }
+        for (k, v) in d.vecs {
+            let _ = slot(&self.memo_vecs, &k).set(Arc::new(v));
+        }
+        for (k, run) in d.forests {
+            let _ = slot(&self.forest_runs, &k).set(run);
+        }
+        for (k, run) in d.lstms {
+            let _ = slot(&self.lstm_runs, &k).set(run);
+        }
+    }
+
+    /// Writes the derived-results checkpoint: every memoised score/row,
+    /// forest run and LSTM run computed (or replayed) so far. Entries are
+    /// sorted by key so the payload bytes are deterministic. No-op without
+    /// a store.
+    pub fn save_checkpoints(&self) {
+        let Some(store) = self.ckpt.as_deref() else { return };
+        let mut d = ckpt::Derived::default();
+        for (k, s) in self.memo_scores.lock().iter() {
+            if let Some(v) = s.get() {
+                d.scores.push((k.clone(), *v));
+            }
+        }
+        for (k, s) in self.memo_vecs.lock().iter() {
+            if let Some(v) = s.get() {
+                d.vecs.push((k.clone(), (**v).clone()));
+            }
+        }
+        for (k, s) in self.forest_runs.lock().iter() {
+            if let Some(run) = s.get() {
+                d.forests.push((k.clone(), run.clone()));
+            }
+        }
+        for (k, s) in self.lstm_runs.lock().iter() {
+            if let Some(run) = s.get() {
+                d.lstms.push((k.clone(), run.clone()));
+            }
+        }
+        d.scores.sort_by(|a, b| a.0.cmp(&b.0));
+        d.vecs.sort_by(|a, b| a.0.cmp(&b.0));
+        d.forests.sort_by(|a, b| a.0.cmp(&b.0));
+        d.lstms.sort_by(|a, b| a.0.cmp(&b.0));
+        store.put("derived", &self.derived_key(), &d.to_bytes());
     }
 
     /// The configuration.
@@ -398,6 +499,34 @@ impl Shared {
         &self.random
     }
 
+    /// The GloVe trainer configuration (shared by `glove` / `glove-chem`).
+    fn glove_train_cfg(&self) -> glove::GloveConfig {
+        glove::GloveConfig {
+            dim: self.cfg.embed_dim,
+            epochs: self.cfg.embed_epochs * 2,
+            seed: self.cfg.seed,
+            ..glove::GloveConfig::default()
+        }
+    }
+
+    /// Content key of the generic-GloVe checkpoint (also a determinant of
+    /// the warm-started GloVe-Chem key).
+    fn glove_ckpt_key(&self) -> String {
+        ckpt::digest_key(
+            ckpt::SCHEMA_GLOVE,
+            &[&format!("{:?}", self.glove_train_cfg()), &ckpt::generic_fp(&self.cfg)],
+        )
+    }
+
+    /// Content key of the WordPiece checkpoint (also a determinant of both
+    /// LM keys — the vocabulary fixes their token ids).
+    fn wordpiece_ckpt_key(&self) -> String {
+        ckpt::digest_key(
+            ckpt::SCHEMA_WORDPIECE,
+            &[&self.cfg.wp_vocab.to_string(), &ckpt::domain_fp(&self.cfg)],
+        )
+    }
+
     /// W2V-Chem: word2vec trained from scratch on the domain corpus.
     pub fn w2v_chem(&self) -> &EmbeddingTable {
         self.w2v_chem.get_or_init(|| {
@@ -407,20 +536,33 @@ impl Shared {
                 seed: self.cfg.seed,
                 ..word2vec::Word2VecConfig::default()
             };
-            word2vec::train("w2v-chem", self.domain_sentences(), &cfg)
+            let key = ckpt::digest_key(
+                ckpt::SCHEMA_W2V,
+                &[&format!("{cfg:?}"), &ckpt::domain_fp(&self.cfg)],
+            );
+            ckpt::cached(
+                self.ckpt.as_deref(),
+                "embed-w2v-chem",
+                &key,
+                kcb_embed::store::from_bytes,
+                |t| kcb_embed::store::to_bytes(t).to_vec(),
+                || word2vec::train("w2v-chem", self.domain_sentences(), &cfg),
+            )
         })
     }
 
     /// Generic GloVe: trained on the generic corpus only.
     pub fn glove(&self) -> &EmbeddingTable {
         self.glove.get_or_init(|| {
-            let cfg = glove::GloveConfig {
-                dim: self.cfg.embed_dim,
-                epochs: self.cfg.embed_epochs * 2,
-                seed: self.cfg.seed,
-                ..glove::GloveConfig::default()
-            };
-            glove::train("glove", self.generic_sentences(), &cfg)
+            let cfg = self.glove_train_cfg();
+            ckpt::cached(
+                self.ckpt.as_deref(),
+                "embed-glove",
+                &self.glove_ckpt_key(),
+                kcb_embed::store::from_bytes,
+                |t| kcb_embed::store::to_bytes(t).to_vec(),
+                || glove::train("glove", self.generic_sentences(), &cfg),
+            )
         })
     }
 
@@ -428,13 +570,21 @@ impl Shared {
     /// a joined vocabulary.
     pub fn glove_chem(&self) -> &EmbeddingTable {
         self.glove_chem.get_or_init(|| {
-            let cfg = glove::GloveConfig {
-                dim: self.cfg.embed_dim,
-                epochs: self.cfg.embed_epochs * 2,
-                seed: self.cfg.seed,
-                ..glove::GloveConfig::default()
-            };
-            glove::train_warm("glove-chem", self.domain_sentences(), &cfg, self.glove())
+            let cfg = self.glove_train_cfg();
+            // The warm-start parent is a training input, so its key is a
+            // determinant of this one.
+            let key = ckpt::digest_key(
+                ckpt::SCHEMA_GLOVE_CHEM,
+                &[&format!("{cfg:?}"), &self.glove_ckpt_key(), &ckpt::domain_fp(&self.cfg)],
+            );
+            ckpt::cached(
+                self.ckpt.as_deref(),
+                "embed-glove-chem",
+                &key,
+                kcb_embed::store::from_bytes,
+                |t| kcb_embed::store::to_bytes(t).to_vec(),
+                || glove::train_warm("glove-chem", self.domain_sentences(), &cfg, self.glove()),
+            )
         })
     }
 
@@ -442,8 +592,6 @@ impl Shared {
     /// generic text.
     pub fn biowordvec(&self) -> &FastText {
         self.biowordvec.get_or_init(|| {
-            let mut corpus = self.domain_sentences().clone();
-            corpus.extend(self.generic_sentences().iter().cloned());
             let cfg = fasttext::FastTextConfig {
                 dim: self.cfg.embed_dim,
                 epochs: self.cfg.embed_epochs,
@@ -451,7 +599,22 @@ impl Shared {
                 seed: self.cfg.seed,
                 ..fasttext::FastTextConfig::default()
             };
-            FastText::train("biowordvec", &corpus, &cfg)
+            let key = ckpt::digest_key(
+                ckpt::SCHEMA_BIOWORDVEC,
+                &[&format!("{cfg:?}"), &ckpt::domain_fp(&self.cfg), &ckpt::generic_fp(&self.cfg)],
+            );
+            ckpt::cached(
+                self.ckpt.as_deref(),
+                "embed-biowordvec",
+                &key,
+                kcb_embed::store::fasttext_from_bytes,
+                kcb_embed::store::fasttext_to_bytes,
+                || {
+                    let mut corpus = self.domain_sentences().clone();
+                    corpus.extend(self.generic_sentences().iter().cloned());
+                    FastText::train("biowordvec", &corpus, &cfg)
+                },
+            )
         })
     }
 
@@ -471,27 +634,37 @@ impl Shared {
     /// and the domain corpus).
     pub fn wordpiece(&self) -> &WordPiece {
         self.wordpiece.get_or_init(|| {
-            let mut counts: HashMap<String, u64> = HashMap::new();
-            let tk = ChemTokenizer::new();
-            for e in self.ontology().entities() {
-                for t in tk.tokenize(&e.name) {
-                    *counts.entry(t).or_insert(0) += 1;
-                }
-            }
-            for r in kcb_ontology::Relation::ALL {
-                for t in tk.tokenize(r.phrase()) {
-                    *counts.entry(t).or_insert(0) += 500;
-                }
-            }
-            for sent in self.domain_sentences().iter().take(2_000) {
-                for t in sent {
-                    *counts.entry(t.clone()).or_insert(0) += 1;
-                }
-            }
-            for w in ["true", "false", "classify", "classification", "triple", "know"] {
-                *counts.entry(w.to_string()).or_insert(0) += 500;
-            }
-            WordPieceTrainer { target_vocab: self.cfg.wp_vocab, min_pair_count: 2 }.train(&counts)
+            ckpt::cached(
+                self.ckpt.as_deref(),
+                "wordpiece",
+                &self.wordpiece_ckpt_key(),
+                WordPiece::from_bytes,
+                WordPiece::to_bytes,
+                || {
+                    let mut counts: HashMap<String, u64> = HashMap::new();
+                    let tk = ChemTokenizer::new();
+                    for e in self.ontology().entities() {
+                        for t in tk.tokenize(&e.name) {
+                            *counts.entry(t).or_insert(0) += 1;
+                        }
+                    }
+                    for r in kcb_ontology::Relation::ALL {
+                        for t in tk.tokenize(r.phrase()) {
+                            *counts.entry(t).or_insert(0) += 500;
+                        }
+                    }
+                    for sent in self.domain_sentences().iter().take(2_000) {
+                        for t in sent {
+                            *counts.entry(t.clone()).or_insert(0) += 1;
+                        }
+                    }
+                    for w in ["true", "false", "classify", "classification", "triple", "know"] {
+                        *counts.entry(w.to_string()).or_insert(0) += 500;
+                    }
+                    WordPieceTrainer { target_vocab: self.cfg.wp_vocab, min_pair_count: 2 }
+                        .train(&counts)
+                },
+            )
         })
     }
 
@@ -617,7 +790,23 @@ impl std::ops::Deref for Lab {
 impl Lab {
     /// Creates an environment (nothing is built yet).
     pub fn new(cfg: LabConfig) -> Self {
-        Self { shared: Shared::new(cfg), bert: OnceCell::new(), biogpt: OnceCell::new() }
+        Self::build(cfg, None)
+    }
+
+    /// Creates an environment backed by a persistent checkpoint store:
+    /// every provider loads from the store when a matching checkpoint
+    /// exists and trains (then saves) otherwise, and previously computed
+    /// derived results (memo scores/rows, forest and LSTM runs) are
+    /// replayed from the store's derived cache. Call
+    /// [`Shared::save_checkpoints`] after a run to persist the union.
+    pub fn with_checkpoints(cfg: LabConfig, store: Arc<CkptStore>) -> Self {
+        Self::build(cfg, Some(store))
+    }
+
+    fn build(cfg: LabConfig, store: Option<Arc<CkptStore>>) -> Self {
+        let shared = Shared::new(cfg, store);
+        shared.load_derived();
+        Self { shared, bert: OnceCell::new(), biogpt: OnceCell::new() }
     }
 
     /// The thread-safe core, for handing to scheduler worker threads.
@@ -635,10 +824,35 @@ impl Lab {
                 vocab_size: self.wordpiece().vocab_size(),
                 ..self.shared.cfg.bert_arch
             };
+            let key = ckpt::digest_key(
+                ckpt::SCHEMA_BERT,
+                &[
+                    &format!("{arch:?}"),
+                    &format!("{:?}", self.shared.cfg.bert_pretrain),
+                    &self.shared.cfg.bert_pretrain_cap.to_string(),
+                    &self.shared.wordpiece_ckpt_key(),
+                    &ckpt::domain_fp(&self.shared.cfg),
+                ],
+            );
             let bert = MiniBert::new(MiniBertConfig { arch, mask_prob: 0.15 });
-            let corpus = self.encode_corpus_for_lm(self.shared.cfg.bert_pretrain_cap);
-            bert.pretrain_mlm(&corpus, &self.shared.cfg.bert_pretrain);
-            let snapshot = bert.snapshot();
+            // Freshly initialised weights double as the shape reference a
+            // cached snapshot must match to be usable.
+            let expect = bert.snapshot();
+            let snapshot = ckpt::cached(
+                self.shared.ckpt.as_deref(),
+                "lm-bert",
+                &key,
+                |b| decode_snapshot(b, &expect),
+                |w| kcb_lm::ckpt::weights_to_bytes(w),
+                || {
+                    let corpus = self.encode_corpus_for_lm(self.shared.cfg.bert_pretrain_cap);
+                    bert.pretrain_mlm(&corpus, &self.shared.cfg.bert_pretrain);
+                    bert.snapshot()
+                },
+            );
+            // Both the trained and the loaded path land here, so cold and
+            // warm labs hold byte-identical models.
+            bert.restore(&snapshot);
             (bert, snapshot)
         })
     }
@@ -657,41 +871,64 @@ impl Lab {
                 vocab_size: self.wordpiece().vocab_size(),
                 ..self.shared.cfg.gpt_arch
             };
+            let key = ckpt::digest_key(
+                ckpt::SCHEMA_BIOGPT,
+                &[
+                    &format!("{arch:?}"),
+                    &format!("{:?}", self.shared.cfg.gpt_pretrain),
+                    &self.shared.cfg.gpt_pretrain_cap.to_string(),
+                    &self.shared.wordpiece_ckpt_key(),
+                    &ckpt::domain_fp(&self.shared.cfg),
+                ],
+            );
             let gpt = MiniGpt::new(MiniGptConfig { arch });
-            let mut corpus = self.encode_corpus_for_lm(self.shared.cfg.gpt_pretrain_cap);
-            let o = self.ontology();
-            let wp = self.wordpiece();
-            let tk = ChemTokenizer::new();
-            // Transcript sources must not overlap any task's test queries:
-            // positives are shared across tasks, so a task-2/3 test triple
-            // can sit in task-1's train split.
-            let mut test_keys: HashSet<(u32, u8, u32)> = HashSet::new();
-            for task in crate::task::TaskKind::ALL {
-                test_keys.extend(self.split(task).test.iter().map(|e| e.triple.key()));
-            }
-            let train: Vec<crate::task::LabeledTriple> = self
-                .split(crate::task::TaskKind::RandomNegatives)
-                .train
-                .iter()
-                .copied()
-                .filter(|e| !test_keys.contains(&e.triple.key()))
-                .collect();
-            let mut rng = Rng::seed_stream(self.shared.cfg.seed, 0xb109);
-            let n_transcripts = (corpus.len() * 2).max(400);
-            for _ in 0..n_transcripts {
-                // "triple <text> classification <verdict>" pairs — the
-                // ChemTokenizer-normalised surface of the Table 1 prompt.
-                let mut words: Vec<String> = Vec::new();
-                for _ in 0..2 {
-                    let e = train[rng.below(train.len())];
-                    words.push("triple".to_string());
-                    words.extend(tk.tokenize(&o.render(e.triple)));
-                    words.push("classification".to_string());
-                    words.push(if e.label { "true" } else { "false" }.to_string());
-                }
-                corpus.push(wp.encode_words(words.iter().map(String::as_str)));
-            }
-            gpt.pretrain_clm(&corpus, &self.shared.cfg.gpt_pretrain);
+            let expect = gpt.snapshot();
+            let snapshot = ckpt::cached(
+                self.shared.ckpt.as_deref(),
+                "lm-biogpt",
+                &key,
+                |b| decode_snapshot(b, &expect),
+                |w| kcb_lm::ckpt::weights_to_bytes(w),
+                || {
+                    let mut corpus = self.encode_corpus_for_lm(self.shared.cfg.gpt_pretrain_cap);
+                    let o = self.ontology();
+                    let wp = self.wordpiece();
+                    let tk = ChemTokenizer::new();
+                    // Transcript sources must not overlap any task's test
+                    // queries: positives are shared across tasks, so a
+                    // task-2/3 test triple can sit in task-1's train split.
+                    let mut test_keys: HashSet<(u32, u8, u32)> = HashSet::new();
+                    for task in crate::task::TaskKind::ALL {
+                        test_keys.extend(self.split(task).test.iter().map(|e| e.triple.key()));
+                    }
+                    let train: Vec<crate::task::LabeledTriple> = self
+                        .split(crate::task::TaskKind::RandomNegatives)
+                        .train
+                        .iter()
+                        .copied()
+                        .filter(|e| !test_keys.contains(&e.triple.key()))
+                        .collect();
+                    let mut rng = Rng::seed_stream(self.shared.cfg.seed, 0xb109);
+                    let n_transcripts = (corpus.len() * 2).max(400);
+                    for _ in 0..n_transcripts {
+                        // "triple <text> classification <verdict>" pairs —
+                        // the ChemTokenizer-normalised surface of the
+                        // Table 1 prompt.
+                        let mut words: Vec<String> = Vec::new();
+                        for _ in 0..2 {
+                            let e = train[rng.below(train.len())];
+                            words.push("triple".to_string());
+                            words.extend(tk.tokenize(&o.render(e.triple)));
+                            words.push("classification".to_string());
+                            words.push(if e.label { "true" } else { "false" }.to_string());
+                        }
+                        corpus.push(wp.encode_words(words.iter().map(String::as_str)));
+                    }
+                    gpt.pretrain_clm(&corpus, &self.shared.cfg.gpt_pretrain);
+                    gpt.snapshot()
+                },
+            );
+            gpt.restore(&snapshot);
             BioGptMini::new(gpt, self.wordpiece().clone())
         })
     }
@@ -728,6 +965,22 @@ impl Lab {
         })
         .clone()
     }
+}
+
+/// Decodes an LM weight snapshot, rejecting one whose parameter shapes
+/// don't match the freshly initialised model — a stale snapshot must fall
+/// back to retraining, never panic inside `restore`.
+fn decode_snapshot(bytes: &[u8], expect: &[Matrix]) -> kcb_util::Result<Vec<Matrix>> {
+    let w = kcb_lm::ckpt::weights_from_bytes(bytes)?;
+    let ok = w.len() == expect.len()
+        && w.iter().zip(expect).all(|(a, b)| a.rows() == b.rows() && a.cols() == b.cols());
+    if !ok {
+        return Err(kcb_util::Error::parse(
+            "lm snapshot",
+            "parameter shapes do not match the architecture".to_string(),
+        ));
+    }
+    Ok(w)
 }
 
 #[cfg(test)]
@@ -811,6 +1064,128 @@ mod tests {
         });
         assert!(values.iter().all(|&v| v == 1.5));
         assert_eq!(lab.cache_stats().memo_misses, 1, "one compute for 4 same-key callers");
+    }
+
+    fn temp_ckpt_dir(name: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("kcb-lab-ckpt-{name}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    #[test]
+    fn warm_lab_replays_every_provider_bit_identically() {
+        let dir = temp_ckpt_dir("warm");
+        let cold = Lab::with_checkpoints(LabConfig::tiny(), Arc::new(CkptStore::open(&dir)));
+        let baseline = Lab::new(LabConfig::tiny());
+        // A store-backed cold lab trains exactly what a storeless lab does.
+        assert_eq!(
+            cold.w2v_chem().vectors().as_slice(),
+            baseline.w2v_chem().vectors().as_slice()
+        );
+        cold.glove();
+        cold.glove_chem();
+        cold.biowordvec();
+        cold.wordpiece();
+        let (_, cold_snapshot) = cold.bert();
+        let stats = cold.cache_stats();
+        assert_eq!(stats.ckpt_hits, 0, "first run must train everything");
+        assert!(stats.ckpt_misses >= 6, "derived + 4 embeddings + wordpiece + bert missed");
+
+        let warm = Lab::with_checkpoints(LabConfig::tiny(), Arc::new(CkptStore::open(&dir)));
+        assert_eq!(
+            warm.w2v_chem().vectors().as_slice(),
+            cold.w2v_chem().vectors().as_slice()
+        );
+        assert_eq!(warm.glove().vectors().as_slice(), cold.glove().vectors().as_slice());
+        assert_eq!(
+            warm.glove_chem().vectors().as_slice(),
+            cold.glove_chem().vectors().as_slice()
+        );
+        assert_eq!(warm.biowordvec().vocab_size(), cold.biowordvec().vocab_size());
+        let (wp_w, wp_c) = (warm.wordpiece(), cold.wordpiece());
+        assert_eq!(wp_w.vocab_size(), wp_c.vocab_size());
+        assert!((0..wp_w.vocab_size() as u32).all(|i| wp_w.piece(i) == wp_c.piece(i)));
+        let (_, warm_snapshot) = warm.bert();
+        assert_eq!(warm_snapshot.len(), cold_snapshot.len());
+        for (a, b) in warm_snapshot.iter().zip(cold_snapshot) {
+            assert_eq!(a.as_slice(), b.as_slice(), "bert weights must replay bit-identically");
+        }
+        let stats = warm.cache_stats();
+        assert_eq!(stats.ckpt_misses, 1, "only the derived cache missed (none saved yet)");
+        assert_eq!(stats.ckpt_hits, 6, "4 embeddings + wordpiece + bert served from disk");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn derived_cache_replays_memo_and_forest_results() {
+        let dir = temp_ckpt_dir("derived");
+        let cold = Lab::with_checkpoints(LabConfig::tiny(), Arc::new(CkptStore::open(&dir)));
+        let score = cold.memo_score("cell".to_string(), || 0.75);
+        let row = cold.memo_vec("row".to_string(), || vec![1.0, 2.0]);
+        let run = cold.forest_run(TaskKind::RandomNegatives, "random", "naive");
+        let lstm = cold.lstm_run("random");
+        cold.save_checkpoints();
+
+        let warm = Lab::with_checkpoints(LabConfig::tiny(), Arc::new(CkptStore::open(&dir)));
+        assert_eq!(warm.memo_score("cell".to_string(), || panic!("replayed")), score);
+        assert_eq!(*warm.memo_vec("row".to_string(), || panic!("replayed")), *row);
+        let warm_run = warm.forest_run(TaskKind::RandomNegatives, "random", "naive");
+        assert_eq!(warm_run.metrics.f1, run.metrics.f1);
+        assert_eq!(warm_run.test_probs, run.test_probs);
+        assert_eq!(warm_run.importances, run.importances);
+        let probe = vec![0.25f32; run.importances.len()];
+        assert_eq!(
+            warm_run.forest.predict_proba(&probe).to_bits(),
+            run.forest.predict_proba(&probe).to_bits(),
+            "the replayed forest must predict bit-identically"
+        );
+        assert_eq!(warm.lstm_run("random").metrics.accuracy, lstm.metrics.accuracy);
+        let stats = warm.cache_stats();
+        assert!(stats.ckpt_hits >= 1, "derived cache must hit");
+        assert!(
+            warm.cache_stats().forest_hits >= 1,
+            "prefilled forest slot must count as a hit"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_provider_checkpoint_falls_back_to_training() {
+        let dir = temp_ckpt_dir("corrupt");
+        let cold = Lab::with_checkpoints(LabConfig::tiny(), Arc::new(CkptStore::open(&dir)));
+        let reference = cold.w2v_chem().vectors().as_slice().to_vec();
+        // Truncate the real w2v checkpoint mid-file.
+        let file = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .find(|p| {
+                p.file_name().and_then(|n| n.to_str()).is_some_and(|n| {
+                    n.starts_with("embed-w2v-chem-")
+                })
+            })
+            .expect("w2v checkpoint written");
+        let bytes = std::fs::read(&file).unwrap();
+        std::fs::write(&file, &bytes[..bytes.len() / 2]).unwrap();
+        let warm = Lab::with_checkpoints(LabConfig::tiny(), Arc::new(CkptStore::open(&dir)));
+        assert_eq!(
+            warm.w2v_chem().vectors().as_slice(),
+            reference.as_slice(),
+            "fallback retraining must reproduce the same table"
+        );
+        // The lookup recorded a miss, and the rewrite repaired the file.
+        let w2v_events: Vec<_> = warm
+            .checkpoint_store()
+            .unwrap()
+            .events()
+            .into_iter()
+            .filter(|e| e.provider == "embed-w2v-chem")
+            .collect();
+        assert_eq!(w2v_events.len(), 1);
+        assert!(!w2v_events[0].hit);
+        assert!(std::fs::read(&file).unwrap().len() > bytes.len() / 2, "repaired on retrain");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

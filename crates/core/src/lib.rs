@@ -12,6 +12,7 @@
 //! [`report`]).
 
 pub mod adapt;
+pub mod ckpt;
 pub mod compose;
 pub mod dataset;
 pub mod experiment;

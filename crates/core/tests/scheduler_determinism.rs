@@ -19,18 +19,45 @@ const IDS: [&str; 4] = ["table2", "table3a", "tablea6", "fig3"];
 
 #[test]
 fn artifacts_are_byte_identical_across_worker_counts() {
-    // Telemetry off: the baseline bytes.
+    // Telemetry off: the baseline bytes. The sharded embedding trainers
+    // read the same pool size as the kernels, so pin it per leg.
     let lab1 = Lab::new(LabConfig::tiny());
-    let (seq, r1) = run_scheduled(&lab1, &IDS, 1);
+    let (seq, r1) = {
+        let _g = kcb_util::pool::ThreadsGuard::new(1);
+        run_scheduled(&lab1, &IDS, 1)
+    };
 
     // Telemetry on for the parallel leg — recording must be invisible to
     // the artifact pipeline.
     kcb_obs::reset();
     kcb_obs::set_enabled(true);
     let lab4 = Lab::new(LabConfig::tiny());
-    let (par, r4) = run_scheduled(&lab4, &IDS, 4);
+    let (par, r4) = {
+        let _g = kcb_util::pool::ThreadsGuard::new(4);
+        run_scheduled(&lab4, &IDS, 4)
+    };
     kcb_obs::set_enabled(false);
     let telemetry = kcb_obs::drain();
+
+    // The trained embedding *stores* — not just the artifacts computed
+    // from them — are byte-identical across thread counts: the sharded
+    // trainers fix their shard structure independently of the pool size.
+    for (name, t1, t4) in [
+        ("w2v-chem", lab1.w2v_chem(), lab4.w2v_chem()),
+        ("glove", lab1.glove(), lab4.glove()),
+        ("glove-chem", lab1.glove_chem(), lab4.glove_chem()),
+    ] {
+        assert_eq!(
+            kcb_embed::store::to_bytes(t1).to_vec(),
+            kcb_embed::store::to_bytes(t4).to_vec(),
+            "{name} store bytes differ across thread counts"
+        );
+    }
+    assert_eq!(
+        kcb_embed::store::fasttext_to_bytes(lab1.biowordvec()),
+        kcb_embed::store::fasttext_to_bytes(lab4.biowordvec()),
+        "biowordvec store bytes differ across thread counts"
+    );
 
     assert_eq!(r1.scheduler.workers, 1);
     assert_eq!(r4.scheduler.workers, 4);

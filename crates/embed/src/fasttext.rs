@@ -8,9 +8,10 @@
 //! effective OOV rate on chemical morphology (paper Table A4).
 
 use crate::model::{EmbeddingModel, Lookup};
-use kcb_util::fnv1a;
+use crate::shard::{self, DeltaTable};
 use kcb_text::Vocab;
-use kcb_util::Rng;
+use kcb_util::fnv1a;
+use kcb_util::{pool, Rng};
 
 /// fastText hyperparameters.
 #[derive(Debug, Clone, Copy)]
@@ -113,76 +114,131 @@ impl FastText {
         let total_tokens: usize = id_sentences.iter().map(Vec::len).sum();
         let total_work = (total_tokens * cfg.epochs).max(1);
 
+        // Block-synchronous sharded SGD (see `crate::shard`): bitwise
+        // identical at any thread count.
+        struct Shard {
+            dword: DeltaTable,
+            dngram: DeltaTable,
+            dsyn1: DeltaTable,
+            hidden: Vec<f32>,
+            row_eff: Vec<f32>,
+            grad: Vec<f32>,
+        }
+        let mut shards: Vec<Shard> = (0..shard::SHARDS)
+            .map(|_| Shard {
+                dword: DeltaTable::new(n, dim),
+                dngram: DeltaTable::new(cfg.buckets, dim),
+                dsyn1: DeltaTable::new(n, dim),
+                hidden: vec![0.0; dim],
+                row_eff: vec![0.0; dim],
+                grad: vec![0.0; dim],
+            })
+            .collect();
+
+        // Shard-contention counters for the averaged fold-in (see
+        // `DeltaTable::apply_averaged`): n-gram buckets are shared by
+        // every word containing the gram, so summed deltas diverge.
+        let mut cnt_word = vec![0u32; n];
+        let mut cnt_ngram = vec![0u32; cfg.buckets];
+        let mut cnt_syn1 = vec![0u32; n];
+
         let mut processed = 0usize;
-        let mut hidden = vec![0.0f32; dim];
-        let mut grad = vec![0.0f32; dim];
-        for _epoch in 0..cfg.epochs {
-            for sent in &id_sentences {
-                if sent.len() < 2 {
-                    processed += sent.len();
-                    continue;
-                }
-                for (pos, &center) in sent.iter().enumerate() {
-                    processed += 1;
-                    let lr_now = {
-                        let frac = processed as f32 / total_work as f32;
-                        (cfg.lr * (1.0 - frac)).max(cfg.lr * 1e-4)
-                    };
-                    let b = 1 + rng.below(cfg.window);
-                    let lo = pos.saturating_sub(b);
-                    let hi = (pos + b + 1).min(sent.len());
-                    let grams = &word_ngrams[center as usize];
-                    let parts = (grams.len() + 1) as f32;
-                    for ctx_pos in lo..hi {
-                        if ctx_pos == pos {
+        for epoch in 0..cfg.epochs {
+            for (block_idx, block) in id_sentences.chunks(shard::BLOCK_SENTENCES).enumerate() {
+                let lr_now = {
+                    let frac = processed as f32 / total_work as f32;
+                    (cfg.lr * (1.0 - frac)).max(cfg.lr * 1e-4)
+                };
+                let workers = pool::fanout(pool::threads(), shard::SHARDS);
+                pool::run_sharded(workers, &mut shards, |s, st| {
+                    st.dword.begin_block();
+                    st.dngram.begin_block();
+                    st.dsyn1.begin_block();
+                    let mut rng = Rng::seed_stream(
+                        cfg.seed,
+                        shard::shard_stream(0xfa57, epoch, block_idx, s),
+                    );
+                    for sent in &block[shard::shard_range(block.len(), s)] {
+                        if sent.len() < 2 {
                             continue;
                         }
-                        let context = sent[ctx_pos];
-                        // hidden = mean(word vec, ngram vecs)
-                        hidden.copy_from_slice(&word_vecs[center as usize * dim..(center as usize + 1) * dim]);
-                        for &g in grams {
-                            let r = g as usize * dim;
-                            for j in 0..dim {
-                                hidden[j] += ngram_vecs[r + j];
-                            }
-                        }
-                        for h in hidden.iter_mut() {
-                            *h /= parts;
-                        }
-                        grad.fill(0.0);
-                        for k in 0..=cfg.negative {
-                            let (target, label) = if k == 0 {
-                                (context, 1.0f32)
-                            } else {
-                                let t = rng.f64() * neg_total;
-                                let negw = neg_cum.partition_point(|&c| c <= t).min(n - 1) as u32;
-                                if negw == context {
+                        for (pos, &center) in sent.iter().enumerate() {
+                            let b = 1 + rng.below(cfg.window);
+                            let lo = pos.saturating_sub(b);
+                            let hi = (pos + b + 1).min(sent.len());
+                            let grams = &word_ngrams[center as usize];
+                            let parts = (grams.len() + 1) as f32;
+                            for ctx_pos in lo..hi {
+                                if ctx_pos == pos {
                                     continue;
                                 }
-                                (negw, 0.0)
-                            };
-                            let u = target as usize * dim;
-                            let score = kcb_ml::linalg::dot(&hidden, &syn1[u..u + dim]);
-                            let g = (label - kcb_ml::linalg::sigmoid(score)) * lr_now;
-                            for j in 0..dim {
-                                grad[j] += g * syn1[u + j];
-                                syn1[u + j] += g * hidden[j];
-                            }
-                        }
-                        // Distribute the hidden-layer gradient across parts.
-                        let scale = 1.0 / parts;
-                        let wrow = center as usize * dim;
-                        for j in 0..dim {
-                            word_vecs[wrow + j] += grad[j] * scale;
-                        }
-                        for &gb in grams {
-                            let r = gb as usize * dim;
-                            for j in 0..dim {
-                                ngram_vecs[r + j] += grad[j] * scale;
+                                let context = sent[ctx_pos];
+                                // hidden = mean(word vec, ngram vecs), all
+                                // through the shard's effective view.
+                                st.dword.read_into(center as usize, &word_vecs, &mut st.row_eff);
+                                st.hidden.copy_from_slice(&st.row_eff);
+                                for &g in grams {
+                                    st.dngram.read_into(g as usize, &ngram_vecs, &mut st.row_eff);
+                                    for j in 0..dim {
+                                        st.hidden[j] += st.row_eff[j];
+                                    }
+                                }
+                                for h in st.hidden.iter_mut() {
+                                    *h /= parts;
+                                }
+                                st.grad.fill(0.0);
+                                for k in 0..=cfg.negative {
+                                    let (target, label) = if k == 0 {
+                                        (context, 1.0f32)
+                                    } else {
+                                        let t = rng.f64() * neg_total;
+                                        let negw =
+                                            neg_cum.partition_point(|&c| c <= t).min(n - 1) as u32;
+                                        if negw == context {
+                                            continue;
+                                        }
+                                        (negw, 0.0)
+                                    };
+                                    let u = target as usize;
+                                    st.dsyn1.read_into(u, &syn1, &mut st.row_eff);
+                                    let score = kcb_ml::linalg::dot(&st.hidden, &st.row_eff);
+                                    let g = (label - kcb_ml::linalg::sigmoid(score)) * lr_now;
+                                    let drow = st.dsyn1.row_mut(u);
+                                    for j in 0..dim {
+                                        st.grad[j] += g * st.row_eff[j];
+                                        drow[j] += g * st.hidden[j];
+                                    }
+                                }
+                                // Distribute the hidden-layer gradient.
+                                let scale = 1.0 / parts;
+                                let wrow = st.dword.row_mut(center as usize);
+                                for j in 0..dim {
+                                    wrow[j] += st.grad[j] * scale;
+                                }
+                                for &gb in grams {
+                                    let r = st.dngram.row_mut(gb as usize);
+                                    for j in 0..dim {
+                                        r[j] += st.grad[j] * scale;
+                                    }
+                                }
                             }
                         }
                     }
+                });
+                cnt_word.fill(0);
+                cnt_ngram.fill(0);
+                cnt_syn1.fill(0);
+                for st in &shards {
+                    st.dword.add_touch_counts(&mut cnt_word);
+                    st.dngram.add_touch_counts(&mut cnt_ngram);
+                    st.dsyn1.add_touch_counts(&mut cnt_syn1);
                 }
+                for st in &shards {
+                    st.dword.apply_averaged(&mut word_vecs, &cnt_word);
+                    st.dngram.apply_averaged(&mut ngram_vecs, &cnt_ngram);
+                    st.dsyn1.apply_averaged(&mut syn1, &cnt_syn1);
+                }
+                processed += block.iter().map(Vec::len).sum::<usize>();
             }
         }
 
@@ -201,6 +257,60 @@ impl FastText {
     /// The word vocabulary.
     pub fn vocab(&self) -> &Vocab {
         &self.vocab
+    }
+
+    /// Encodes the trained model for the checkpoint store (see
+    /// [`crate::store::fasttext_to_bytes`]). Bit-exact round trip.
+    pub(crate) fn encode(&self, w: &mut kcb_util::bin::Writer) {
+        w.raw(b"KCBX");
+        w.u32(1);
+        w.str(&self.name);
+        w.u32(self.dim as u32);
+        w.u32(self.buckets as u32);
+        w.u32(self.min_n as u32);
+        w.u32(self.max_n as u32);
+        w.u32(self.vocab.len() as u32);
+        for id in 0..self.vocab.len() as u32 {
+            w.str(self.vocab.token(id));
+            w.u64(self.vocab.count(id));
+        }
+        w.f32s(&self.word_vecs);
+        w.f32s(&self.ngram_vecs);
+    }
+
+    /// Decodes a model written by [`FastText::encode`], rejecting corrupt
+    /// or truncated input.
+    pub(crate) fn decode(r: &mut kcb_util::bin::Reader<'_>) -> kcb_util::Result<Self> {
+        let err = |m: &str| kcb_util::Error::parse("fasttext store", m.to_string());
+        r.magic(b"KCBX")?;
+        r.version(1)?;
+        let name = r.str()?;
+        let dim = r.u32()? as usize;
+        let buckets = r.u32()? as usize;
+        let min_n = r.u32()? as usize;
+        let max_n = r.u32()? as usize;
+        let n = r.u32()? as usize;
+        r.sized(n, 12)?;
+        let mut counts: Vec<(String, u64)> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let tok = r.str()?;
+            counts.push((tok, r.u64()?));
+        }
+        let word_vecs = r.f32s()?;
+        let ngram_vecs = r.f32s()?;
+        if word_vecs.len() != n * dim || ngram_vecs.len() != buckets * dim {
+            return Err(err("vector table size mismatch"));
+        }
+        // Rebuild the vocabulary; stored order must be Vocab's canonical
+        // order or ids (and so every row) would shift.
+        let map: std::collections::HashMap<String, u64> = counts.iter().cloned().collect();
+        let vocab = Vocab::from_counts(map, 0);
+        for (i, (tok, _)) in counts.iter().enumerate() {
+            if vocab.id(tok) != Some(i as u32) {
+                return Err(err("vocabulary order mismatch (corrupt or duplicate tokens)"));
+            }
+        }
+        Ok(Self { name, vocab, word_vecs, ngram_vecs, dim, buckets, min_n, max_n })
     }
 
     fn compose(&self, word_row: Option<usize>, grams: &[u32], out: &mut [f32]) {
@@ -372,6 +482,21 @@ mod tests {
         let corpus = topic_corpus(50, 4);
         let a = FastText::train("a", &corpus, &small_cfg());
         let b = FastText::train("b", &corpus, &small_cfg());
+        assert_eq!(a.word_vecs, b.word_vecs);
+        assert_eq!(a.ngram_vecs, b.ngram_vecs);
+    }
+
+    #[test]
+    fn training_is_bitwise_identical_across_thread_counts() {
+        let corpus = topic_corpus(200, 8);
+        let a = {
+            let _g = pool::ThreadsGuard::new(1);
+            FastText::train("a", &corpus, &small_cfg())
+        };
+        let b = {
+            let _g = pool::ThreadsGuard::new(4);
+            FastText::train("b", &corpus, &small_cfg())
+        };
         assert_eq!(a.word_vecs, b.word_vecs);
         assert_eq!(a.ngram_vecs, b.ngram_vecs);
     }

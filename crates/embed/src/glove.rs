@@ -5,9 +5,10 @@
 //! from the GloVe vectors before further training.
 
 use crate::model::{EmbeddingModel, EmbeddingTable};
+use crate::shard::{self, DeltaTable};
 use kcb_ml::linalg::Matrix;
 use kcb_text::Vocab;
-use kcb_util::Rng;
+use kcb_util::{pool, Rng};
 use std::collections::HashMap;
 
 /// GloVe hyperparameters (defaults follow Pennington et al. 2014).
@@ -138,41 +139,112 @@ fn train_with_vocab(
         }
     }
 
-    // --- AdaGrad -----------------------------------------------------------
+    // --- AdaGrad (block-synchronous sharded, see `crate::shard`) ----------
     let mut gw = vec![1.0f32; n * dim];
     let mut gwt = vec![1.0f32; n * dim];
     let mut gb = vec![1.0f32; n];
     let mut gbt = vec![1.0f32; n];
     let mut order: Vec<usize> = (0..pairs.len()).collect();
 
+    // Shard-private deltas over every parameter and AdaGrad accumulator,
+    // plus effective-view scratch rows.
+    struct Shard {
+        dw: DeltaTable,
+        dwt: DeltaTable,
+        db: DeltaTable,
+        dbt: DeltaTable,
+        dgw: DeltaTable,
+        dgwt: DeltaTable,
+        dgb: DeltaTable,
+        dgbt: DeltaTable,
+        wa: Vec<f32>,
+        wc: Vec<f32>,
+        ga: Vec<f32>,
+        gc: Vec<f32>,
+    }
+    let mut shards: Vec<Shard> = (0..shard::SHARDS)
+        .map(|_| Shard {
+            dw: DeltaTable::new(n, dim),
+            dwt: DeltaTable::new(n, dim),
+            db: DeltaTable::new(n, 1),
+            dbt: DeltaTable::new(n, 1),
+            dgw: DeltaTable::new(n, dim),
+            dgwt: DeltaTable::new(n, dim),
+            dgb: DeltaTable::new(n, 1),
+            dgbt: DeltaTable::new(n, 1),
+            wa: vec![0.0; dim],
+            wc: vec![0.0; dim],
+            ga: vec![0.0; dim],
+            gc: vec![0.0; dim],
+        })
+        .collect();
+
     for _epoch in 0..cfg.epochs {
+        // The shuffle stays on the driver's sequential RNG stream: the
+        // visit order is corpus state, not shard randomness.
         rng.shuffle(&mut order);
-        for &pi in &order {
-            let ((i, j), x) = pairs[pi];
-            // Train both directions of the symmetric pair.
-            for (a, c) in [(i as usize, j as usize), (j as usize, i as usize)] {
-                if a == c {
-                    continue;
+        for block in order.chunks(shard::BLOCK_PAIRS) {
+            let workers = pool::fanout(pool::threads(), shard::SHARDS);
+            pool::run_sharded(workers, &mut shards, |s, st| {
+                st.dw.begin_block();
+                st.dwt.begin_block();
+                st.db.begin_block();
+                st.dbt.begin_block();
+                st.dgw.begin_block();
+                st.dgwt.begin_block();
+                st.dgb.begin_block();
+                st.dgbt.begin_block();
+                for &pi in &block[shard::shard_range(block.len(), s)] {
+                    let ((i, j), x) = pairs[pi];
+                    // Train both directions of the symmetric pair.
+                    for (a, c) in [(i as usize, j as usize), (j as usize, i as usize)] {
+                        if a == c {
+                            continue;
+                        }
+                        let fx =
+                            if x < cfg.x_max { (x / cfg.x_max).powf(cfg.alpha) } else { 1.0 } as f32;
+                        // Effective views = frozen params + own block deltas.
+                        st.dw.read_into(a, &w, &mut st.wa);
+                        st.dwt.read_into(c, &wt, &mut st.wc);
+                        st.dgw.read_into(a, &gw, &mut st.ga);
+                        st.dgwt.read_into(c, &gwt, &mut st.gc);
+                        let beff = st.db.read_scalar(a, &b);
+                        let bteff = st.dbt.read_scalar(c, &bt);
+                        let pred: f32 = kcb_ml::linalg::dot(&st.wa, &st.wc) + beff + bteff;
+                        let diff = pred - (x.ln() as f32);
+                        let fdiff = fx * diff;
+                        // AdaGrad updates, accumulated into the deltas.
+                        let dwa = st.dw.row_mut(a);
+                        let dwc = st.dwt.row_mut(c);
+                        let dga = st.dgw.row_mut(a);
+                        let dgc = st.dgwt.row_mut(c);
+                        for k in 0..dim {
+                            let gwk = fdiff * st.wc[k];
+                            let gwtk = fdiff * st.wa[k];
+                            dwa[k] -= cfg.lr * gwk / st.ga[k].sqrt();
+                            dwc[k] -= cfg.lr * gwtk / st.gc[k].sqrt();
+                            dga[k] += gwk * gwk;
+                            dgc[k] += gwtk * gwtk;
+                        }
+                        let gbeff = st.dgb.read_scalar(a, &gb);
+                        let gbteff = st.dgbt.read_scalar(c, &gbt);
+                        st.db.row_mut(a)[0] -= cfg.lr * fdiff / gbeff.sqrt();
+                        st.dbt.row_mut(c)[0] -= cfg.lr * fdiff / gbteff.sqrt();
+                        st.dgb.row_mut(a)[0] += fdiff * fdiff;
+                        st.dgbt.row_mut(c)[0] += fdiff * fdiff;
+                    }
                 }
-                let (ra, rc) = (a * dim, c * dim);
-                let fx = if x < cfg.x_max { (x / cfg.x_max).powf(cfg.alpha) } else { 1.0 } as f32;
-                let pred: f32 =
-                    kcb_ml::linalg::dot(&w[ra..ra + dim], &wt[rc..rc + dim]) + b[a] + bt[c];
-                let diff = pred - (x.ln() as f32);
-                let fdiff = fx * diff;
-                // AdaGrad updates.
-                for k in 0..dim {
-                    let gwk = fdiff * wt[rc + k];
-                    let gwtk = fdiff * w[ra + k];
-                    w[ra + k] -= cfg.lr * gwk / gw[ra + k].sqrt();
-                    wt[rc + k] -= cfg.lr * gwtk / gwt[rc + k].sqrt();
-                    gw[ra + k] += gwk * gwk;
-                    gwt[rc + k] += gwtk * gwtk;
-                }
-                b[a] -= cfg.lr * fdiff / gb[a].sqrt();
-                bt[c] -= cfg.lr * fdiff / gbt[c].sqrt();
-                gb[a] += fdiff * fdiff;
-                gbt[c] += fdiff * fdiff;
+            });
+            // Fixed shard→parameter reduction order.
+            for st in &shards {
+                st.dw.apply(&mut w);
+                st.dwt.apply(&mut wt);
+                st.db.apply(&mut b);
+                st.dbt.apply(&mut bt);
+                st.dgw.apply(&mut gw);
+                st.dgwt.apply(&mut gwt);
+                st.dgb.apply(&mut gb);
+                st.dgbt.apply(&mut gbt);
             }
         }
     }
@@ -225,6 +297,20 @@ mod tests {
         let corpus = topic_corpus(60, 2);
         let a = train("a", &corpus, &small_cfg());
         let b = train("b", &corpus, &small_cfg());
+        assert_eq!(a.vectors().as_slice(), b.vectors().as_slice());
+    }
+
+    #[test]
+    fn training_is_bitwise_identical_across_thread_counts() {
+        let corpus = topic_corpus(200, 7);
+        let a = {
+            let _g = pool::ThreadsGuard::new(1);
+            train("a", &corpus, &small_cfg())
+        };
+        let b = {
+            let _g = pool::ThreadsGuard::new(4);
+            train("b", &corpus, &small_cfg())
+        };
         assert_eq!(a.vectors().as_slice(), b.vectors().as_slice());
     }
 

@@ -13,6 +13,7 @@ pub mod fasttext;
 pub mod glove;
 pub mod model;
 pub mod random;
+mod shard;
 pub mod store;
 pub mod word2vec;
 

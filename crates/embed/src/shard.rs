@@ -1,0 +1,231 @@
+//! Sharded, bitwise-deterministic SGD infrastructure for the embedding
+//! trainers (word2vec, GloVe, fastText).
+//!
+//! The serial trainers processed one token stream with one RNG, so no two
+//! updates could ever run concurrently. The sharded formulation fixes the
+//! *structure* of the computation independently of the thread count, the
+//! same contract `kcb-lm::pool` established for the tensor kernels:
+//!
+//! 1. An epoch is cut into **blocks** (a fixed number of sentences or
+//!    co-occurrence pairs). Block boundaries depend only on the corpus.
+//! 2. Each block is split into [`SHARDS`] contiguous slices. Shard `s`
+//!    reads the shared parameters *frozen at the block start* plus its own
+//!    private [`DeltaTable`] accumulator, and draws randomness from an RNG
+//!    seeded by `(seed, epoch, block, s)` — never from a shared stream.
+//! 3. After every shard finishes, the driver folds the deltas back into
+//!    the shared parameters in fixed shard order `0..SHARDS`, each shard's
+//!    rows in first-touch order.
+//!
+//! A shard's output is a pure function of its index and the frozen block
+//! inputs, and the reduction order is constant, so the result is
+//! **bitwise identical at any `--threads`** — the worker count (clamped by
+//! [`kcb_util::pool::fanout`]) only decides how many shards run at once.
+//! Within a shard the effective parameter view is `frozen + own delta`,
+//! which keeps plain sequential-SGD semantics for the shard's slice of the
+//! block instead of stale full-block gradients.
+
+/// Fixed shard count — part of the computation's structure, deliberately
+/// independent of the thread count so `--threads` can never change bytes.
+pub(crate) const SHARDS: usize = 8;
+
+/// Sentences per block for the skip-gram trainers (word2vec, fastText).
+pub(crate) const BLOCK_SENTENCES: usize = 128;
+
+/// Co-occurrence pairs per block for the GloVe AdaGrad sweep.
+pub(crate) const BLOCK_PAIRS: usize = 2048;
+
+/// The RNG stream for shard `s` of block `b` in epoch `e` under a trainer's
+/// base stream. Mixing through FNV keeps streams from colliding across the
+/// (epoch, block, shard) lattice and across trainers.
+pub(crate) fn shard_stream(base: u64, epoch: usize, block: usize, shard: usize) -> u64 {
+    kcb_util::fnv1a_u64s(&[base, epoch as u64, block as u64, shard as u64])
+}
+
+/// The contiguous sub-range of `0..len` owned by shard `s` (possibly
+/// empty): `len` items split into [`SHARDS`] near-equal contiguous chunks.
+pub(crate) fn shard_range(len: usize, s: usize) -> std::ops::Range<usize> {
+    let chunk = len.div_ceil(SHARDS).max(1);
+    let lo = (s * chunk).min(len);
+    let hi = ((s + 1) * chunk).min(len);
+    lo..hi
+}
+
+/// A shard-private sparse delta over an `n × dim` row-major parameter
+/// matrix. Rows are zeroed lazily on first touch per block (stamp clock),
+/// so a block touching few rows costs O(touched × dim), not O(n × dim),
+/// and the backing buffers are allocated once per shard for the whole
+/// training run.
+pub(crate) struct DeltaTable {
+    dim: usize,
+    delta: Vec<f32>,
+    stamp: Vec<u32>,
+    clock: u32,
+    touched: Vec<u32>,
+}
+
+impl DeltaTable {
+    pub fn new(n: usize, dim: usize) -> Self {
+        Self { dim, delta: vec![0.0; n * dim], stamp: vec![0; n], clock: 0, touched: Vec::new() }
+    }
+
+    /// Starts a new block: previous touches become stale without any
+    /// clearing work (the stamp clock advances instead).
+    pub fn begin_block(&mut self) {
+        self.touched.clear();
+        if self.clock == u32::MAX {
+            self.stamp.fill(0);
+            self.clock = 1;
+        } else {
+            self.clock += 1;
+        }
+    }
+
+    /// Mutable delta row, zeroed and marked touched on first access in the
+    /// current block.
+    pub fn row_mut(&mut self, row: usize) -> &mut [f32] {
+        if self.stamp[row] != self.clock {
+            self.stamp[row] = self.clock;
+            self.touched.push(row as u32);
+            self.delta[row * self.dim..(row + 1) * self.dim].fill(0.0);
+        }
+        &mut self.delta[row * self.dim..(row + 1) * self.dim]
+    }
+
+    /// Writes the shard's *effective* view of a row — frozen value plus any
+    /// delta this shard accumulated earlier in the block — into `out`.
+    pub fn read_into(&self, row: usize, frozen: &[f32], out: &mut [f32]) {
+        let base = &frozen[row * self.dim..(row + 1) * self.dim];
+        if self.stamp[row] == self.clock {
+            let d = &self.delta[row * self.dim..(row + 1) * self.dim];
+            for ((o, &f), &dv) in out.iter_mut().zip(base).zip(d) {
+                *o = f + dv;
+            }
+        } else {
+            out.copy_from_slice(base);
+        }
+    }
+
+    /// The effective scalar for `dim == 1` tables (biases, AdaGrad cells).
+    pub fn read_scalar(&self, row: usize, frozen: &[f32]) -> f32 {
+        debug_assert_eq!(self.dim, 1);
+        if self.stamp[row] == self.clock {
+            frozen[row] + self.delta[row]
+        } else {
+            frozen[row]
+        }
+    }
+
+    /// Folds the block's deltas into the shared parameters. Called by the
+    /// driver in fixed shard order; rows apply in first-touch order.
+    pub fn apply(&self, target: &mut [f32]) {
+        for &r in &self.touched {
+            let r = r as usize;
+            let d = &self.delta[r * self.dim..(r + 1) * self.dim];
+            let t = &mut target[r * self.dim..(r + 1) * self.dim];
+            for (tv, &dv) in t.iter_mut().zip(d) {
+                *tv += dv;
+            }
+        }
+    }
+
+    /// Adds 1 to `counts[r]` for every row this shard touched in the
+    /// current block. Used with [`DeltaTable::apply_averaged`].
+    pub fn add_touch_counts(&self, counts: &mut [u32]) {
+        for &r in &self.touched {
+            counts[r as usize] += 1;
+        }
+    }
+
+    /// Like [`DeltaTable::apply`], but divides each row's delta by the
+    /// number of shards that touched it (`counts`, from
+    /// [`DeltaTable::add_touch_counts`] over all shards).
+    ///
+    /// Plain summation amplifies the step on *contested* rows: all shards
+    /// compute their gradients against the same frozen block snapshot, so a
+    /// row updated by every shard moves up to [`SHARDS`]× further than
+    /// sequential SGD would — enough to diverge when rows are shared as
+    /// aggressively as fastText's n-gram buckets (every word scatters into
+    /// dozens of hash buckets). Averaging contested rows is minibatch
+    /// gradient averaging across shards: uncontested rows keep full
+    /// sequential-SGD steps, hot rows take the mean of the shard opinions.
+    /// Counts depend only on the shard structure, never the thread count,
+    /// so results stay bitwise identical at any `--threads`.
+    pub fn apply_averaged(&self, target: &mut [f32], counts: &[u32]) {
+        for &r in &self.touched {
+            let r = r as usize;
+            let scale = 1.0 / counts[r] as f32;
+            let d = &self.delta[r * self.dim..(r + 1) * self.dim];
+            let t = &mut target[r * self.dim..(r + 1) * self.dim];
+            for (tv, &dv) in t.iter_mut().zip(d) {
+                *tv += dv * scale;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_rows_zero_on_first_touch_per_block() {
+        let mut d = DeltaTable::new(4, 2);
+        d.begin_block();
+        d.row_mut(1)[0] = 5.0;
+        d.begin_block();
+        assert_eq!(d.row_mut(1), &[0.0, 0.0], "stale delta leaked across blocks");
+    }
+
+    #[test]
+    fn read_into_adds_only_touched_rows() {
+        let frozen = vec![1.0f32, 2.0, 3.0, 4.0];
+        let mut d = DeltaTable::new(2, 2);
+        d.begin_block();
+        d.row_mut(0)[1] = 0.5;
+        let mut out = [0.0f32; 2];
+        d.read_into(0, &frozen, &mut out);
+        assert_eq!(out, [1.0, 2.5]);
+        d.read_into(1, &frozen, &mut out);
+        assert_eq!(out, [3.0, 4.0]);
+    }
+
+    #[test]
+    fn apply_folds_touched_rows_in_order() {
+        let mut target = vec![0.0f32; 6];
+        let mut d = DeltaTable::new(3, 2);
+        d.begin_block();
+        d.row_mut(2)[0] = 1.0;
+        d.row_mut(0)[1] = -2.0;
+        d.apply(&mut target);
+        assert_eq!(target, vec![0.0, -2.0, 0.0, 0.0, 1.0, 0.0]);
+        // Applying after a fresh block is a no-op.
+        d.begin_block();
+        d.apply(&mut target);
+        assert_eq!(target, vec![0.0, -2.0, 0.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn shard_ranges_partition_exactly() {
+        for len in [0, 1, 7, 8, 9, 127, 128, 1000] {
+            let mut covered = 0;
+            for s in 0..SHARDS {
+                let r = shard_range(len, s);
+                assert_eq!(r.start, covered.min(len));
+                covered = covered.max(r.end);
+            }
+            assert_eq!(covered, len, "len={len}");
+        }
+    }
+
+    #[test]
+    fn shard_streams_are_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for e in 0..3 {
+            for b in 0..4 {
+                for s in 0..SHARDS {
+                    assert!(seen.insert(shard_stream(0x2ec, e, b, s)));
+                }
+            }
+        }
+    }
+}

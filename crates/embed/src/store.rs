@@ -76,6 +76,24 @@ pub fn from_bytes(mut buf: &[u8]) -> Result<EmbeddingTable> {
     Ok(EmbeddingTable::new(name, vocab, Matrix::from_vec(data, n, dim)))
 }
 
+/// Serializes a trained [`FastText`](crate::FastText) model (word table,
+/// n-gram buckets, composition parameters) to bytes. Format: magic `KCBX`,
+/// version u32, name, dim/buckets/min_n/max_n, vocabulary records, then
+/// both flat vector tables bit-exact.
+pub fn fasttext_to_bytes(model: &crate::FastText) -> Vec<u8> {
+    let mut w = kcb_util::bin::Writer::new();
+    model.encode(&mut w);
+    w.into_bytes()
+}
+
+/// Deserializes a fastText model written by [`fasttext_to_bytes`].
+pub fn fasttext_from_bytes(bytes: &[u8]) -> Result<crate::FastText> {
+    let mut r = kcb_util::bin::Reader::new(bytes, "fasttext store");
+    let m = crate::FastText::decode(&mut r)?;
+    r.finish()?;
+    Ok(m)
+}
+
 /// Saves a table to a file.
 pub fn save(table: &EmbeddingTable, path: &std::path::Path) -> Result<()> {
     std::fs::write(path, to_bytes(table))?;
@@ -160,5 +178,96 @@ mod tests {
         let mut good = to_bytes(&table()).to_vec();
         good.truncate(good.len() - 5);
         assert!(from_bytes(&good).is_err());
+    }
+
+    fn fasttext_model() -> crate::FastText {
+        let corpus: Vec<Vec<String>> = (0..30)
+            .map(|_| ["oxane", "acid", "sterol"].iter().map(|s| s.to_string()).collect())
+            .collect();
+        let cfg = crate::FastTextConfig {
+            dim: 12,
+            epochs: 2,
+            min_count: 1,
+            buckets: 64,
+            ..Default::default()
+        };
+        crate::FastText::train("bw-test", &corpus, &cfg)
+    }
+
+    #[test]
+    fn fasttext_round_trip_is_bit_exact() {
+        let m = fasttext_model();
+        let bytes = fasttext_to_bytes(&m);
+        let u = fasttext_from_bytes(&bytes).unwrap();
+        assert_eq!(u.name(), m.name());
+        assert_eq!(u.dim(), m.dim());
+        assert_eq!(u.vocab_size(), m.vocab_size());
+        // Probe both in-vocab and subword-composed (OOV) lookups.
+        for word in ["oxane", "acid", "sterol", "oxanyl", "unseen"] {
+            let mut a = vec![0.0f32; m.dim()];
+            let mut b = vec![0.0f32; m.dim()];
+            assert_eq!(m.embed_into(word, &mut a), u.embed_into(word, &mut b));
+            let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&a), bits(&b), "word {word}");
+        }
+    }
+
+    #[test]
+    fn fasttext_rejects_truncation_and_version_flip() {
+        let bytes = fasttext_to_bytes(&fasttext_model());
+        for cut in [0, 4, 9, bytes.len() / 2, bytes.len() - 1] {
+            assert!(fasttext_from_bytes(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+        let mut flipped = bytes.clone();
+        flipped[4] ^= 0x40;
+        assert!(fasttext_from_bytes(&flipped).is_err());
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Any vocabulary + any float bit patterns survive the store
+            /// round trip exactly — the property the warm/cold byte-identity
+            /// contract rests on.
+            #[test]
+            fn table_round_trip_any_bits(
+                raw_counts in prop::collection::vec(1u64..10_000, 1..20),
+                dim in 1usize..5,
+                float_seed in any::<u64>(),
+            ) {
+                let counts: HashMap<String, u64> = raw_counts
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &c)| (format!("tok{i}"), c))
+                    .collect();
+                let vocab = Vocab::from_counts(counts, 0);
+                let n = vocab.len();
+                let mut rng = kcb_util::Rng::seed(float_seed);
+                let data: Vec<f32> = (0..n * dim)
+                    .map(|_| f32::from_bits(rng.next_u32()))
+                    .map(|v| if v.is_nan() { 0.0 } else { v })
+                    .collect();
+                let t = EmbeddingTable::new("prop", vocab, Matrix::from_vec(data, n, dim));
+                let u = from_bytes(&to_bytes(&t)).unwrap();
+                prop_assert_eq!(u.name(), t.name());
+                let bits = |m: &EmbeddingTable| {
+                    m.vectors().as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+                };
+                prop_assert_eq!(bits(&t), bits(&u));
+                for id in 0..n as u32 {
+                    prop_assert_eq!(t.vocab().token(id), u.vocab().token(id));
+                    prop_assert_eq!(t.vocab().count(id), u.vocab().count(id));
+                }
+            }
+
+            /// Feeding the decoder arbitrary garbage must error, not panic.
+            #[test]
+            fn arbitrary_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..300)) {
+                let _ = from_bytes(&bytes);
+                let _ = fasttext_from_bytes(&bytes);
+            }
+        }
     }
 }

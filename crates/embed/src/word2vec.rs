@@ -4,9 +4,10 @@
 //! initialized from random vectors".
 
 use crate::model::EmbeddingTable;
+use crate::shard::{self, DeltaTable};
 use kcb_ml::linalg::Matrix;
 use kcb_text::Vocab;
-use kcb_util::Rng;
+use kcb_util::{pool, Rng};
 
 /// SGNS hyperparameters (defaults follow the original word2vec tool).
 #[derive(Debug, Clone, Copy)]
@@ -46,6 +47,11 @@ impl Default for Word2VecConfig {
 
 /// Trains SGNS embeddings on tokenized sentences and returns the input
 /// vectors as an [`EmbeddingTable`] named `name`.
+///
+/// Training is block-synchronous sharded SGD (see [`crate::shard`]): each
+/// epoch is cut into fixed sentence blocks, every block fans its shards out
+/// over the pool, and the shard deltas fold back in fixed order — so the
+/// table is bitwise identical at any thread count.
 ///
 /// ```
 /// use kcb_embed::{word2vec, EmbeddingModel};
@@ -99,66 +105,105 @@ pub fn train(name: &str, sentences: &[Vec<String>], cfg: &Word2VecConfig) -> Emb
     let total_work = (total_tokens * cfg.epochs).max(1);
     let corpus_size = vocab.total_count() as f64;
 
+    // Shard-private accumulators and scratch, allocated once per run.
+    struct Shard {
+        d0: DeltaTable,
+        d1: DeltaTable,
+        v_eff: Vec<f32>,
+        u_eff: Vec<f32>,
+        grad: Vec<f32>,
+    }
+    let mut shards: Vec<Shard> = (0..shard::SHARDS)
+        .map(|_| Shard {
+            d0: DeltaTable::new(n, dim),
+            d1: DeltaTable::new(n, dim),
+            v_eff: vec![0.0; dim],
+            u_eff: vec![0.0; dim],
+            grad: vec![0.0; dim],
+        })
+        .collect();
+
     let mut processed = 0usize;
-    let mut grad_buf = vec![0.0f32; dim];
-    for _epoch in 0..cfg.epochs {
-        for sent in &id_sentences {
-            // Frequent-word subsampling (word2vec's keep probability).
-            let kept: Vec<u32> = sent
-                .iter()
-                .copied()
-                .filter(|&w| {
-                    processed += 1;
-                    if cfg.subsample <= 0.0 {
-                        return true;
-                    }
-                    let f = vocab.count(w) as f64 / corpus_size;
-                    let keep = (cfg.subsample / f).sqrt() + cfg.subsample / f;
-                    keep >= 1.0 || rng.f64() < keep
-                })
-                .collect();
-            if kept.len() < 2 {
-                continue;
-            }
+    for epoch in 0..cfg.epochs {
+        for (block_idx, block) in id_sentences.chunks(shard::BLOCK_SENTENCES).enumerate() {
+            // One learning rate per block, from global progress at block
+            // start — block granularity is what makes shards independent.
             let lr_now = {
                 let frac = processed as f32 / total_work as f32;
                 (cfg.lr * (1.0 - frac)).max(cfg.lr * 1e-4)
             };
-            for (pos, &center) in kept.iter().enumerate() {
-                let b = 1 + rng.below(cfg.window);
-                let lo = pos.saturating_sub(b);
-                let hi = (pos + b + 1).min(kept.len());
-                for ctx_pos in lo..hi {
-                    if ctx_pos == pos {
+            let workers = pool::fanout(pool::threads(), shard::SHARDS);
+            pool::run_sharded(workers, &mut shards, |s, st| {
+                st.d0.begin_block();
+                st.d1.begin_block();
+                let mut rng =
+                    Rng::seed_stream(cfg.seed, shard::shard_stream(0x2ec, epoch, block_idx, s));
+                for sent in &block[shard::shard_range(block.len(), s)] {
+                    // Frequent-word subsampling (word2vec's keep probability).
+                    let kept: Vec<u32> = sent
+                        .iter()
+                        .copied()
+                        .filter(|&w| {
+                            if cfg.subsample <= 0.0 {
+                                return true;
+                            }
+                            let f = vocab.count(w) as f64 / corpus_size;
+                            let keep = (cfg.subsample / f).sqrt() + cfg.subsample / f;
+                            keep >= 1.0 || rng.f64() < keep
+                        })
+                        .collect();
+                    if kept.len() < 2 {
                         continue;
                     }
-                    let context = kept[ctx_pos];
-                    // One positive + k negative updates on (center, *).
-                    grad_buf.fill(0.0);
-                    let v = center as usize * dim;
-                    for k in 0..=cfg.negative {
-                        let (target, label) = if k == 0 {
-                            (context, 1.0f32)
-                        } else {
-                            let neg = draw_negative(&mut rng);
-                            if neg == context {
+                    for (pos, &center) in kept.iter().enumerate() {
+                        let b = 1 + rng.below(cfg.window);
+                        let lo = pos.saturating_sub(b);
+                        let hi = (pos + b + 1).min(kept.len());
+                        for ctx_pos in lo..hi {
+                            if ctx_pos == pos {
                                 continue;
                             }
-                            (neg, 0.0)
-                        };
-                        let u = target as usize * dim;
-                        let score: f32 = kcb_ml::linalg::dot(&syn0[v..v + dim], &syn1[u..u + dim]);
-                        let g = (label - kcb_ml::linalg::sigmoid(score)) * lr_now;
-                        for j in 0..dim {
-                            grad_buf[j] += g * syn1[u + j];
-                            syn1[u + j] += g * syn0[v + j];
+                            let context = kept[ctx_pos];
+                            // Effective views = frozen params + this shard's
+                            // block deltas (sequential SGD within the shard).
+                            st.d0.read_into(center as usize, &syn0, &mut st.v_eff);
+                            st.grad.fill(0.0);
+                            // One positive + k negative updates on (center, *).
+                            for k in 0..=cfg.negative {
+                                let (target, label) = if k == 0 {
+                                    (context, 1.0f32)
+                                } else {
+                                    let neg = draw_negative(&mut rng);
+                                    if neg == context {
+                                        continue;
+                                    }
+                                    (neg, 0.0)
+                                };
+                                let u = target as usize;
+                                st.d1.read_into(u, &syn1, &mut st.u_eff);
+                                let score: f32 = kcb_ml::linalg::dot(&st.v_eff, &st.u_eff);
+                                let g = (label - kcb_ml::linalg::sigmoid(score)) * lr_now;
+                                let drow = st.d1.row_mut(u);
+                                for j in 0..dim {
+                                    st.grad[j] += g * st.u_eff[j];
+                                    drow[j] += g * st.v_eff[j];
+                                }
+                            }
+                            let crow = st.d0.row_mut(center as usize);
+                            for j in 0..dim {
+                                crow[j] += st.grad[j];
+                            }
                         }
                     }
-                    for j in 0..dim {
-                        syn0[v + j] += grad_buf[j];
-                    }
                 }
+            });
+            // Fold deltas back in fixed shard order — the reduction order is
+            // part of the result, so it never varies with the worker count.
+            for st in &shards {
+                st.d0.apply(&mut syn0);
+                st.d1.apply(&mut syn1);
             }
+            processed += block.iter().map(Vec::len).sum::<usize>();
         }
     }
 
@@ -224,6 +269,20 @@ mod tests {
         let corpus = topic_corpus(50, 3);
         let a = train("a", &corpus, &small_cfg());
         let b = train("b", &corpus, &small_cfg());
+        assert_eq!(a.vectors().as_slice(), b.vectors().as_slice());
+    }
+
+    #[test]
+    fn training_is_bitwise_identical_across_thread_counts() {
+        let corpus = topic_corpus(300, 6);
+        let a = {
+            let _g = pool::ThreadsGuard::new(1);
+            train("a", &corpus, &small_cfg())
+        };
+        let b = {
+            let _g = pool::ThreadsGuard::new(4);
+            train("b", &corpus, &small_cfg())
+        };
         assert_eq!(a.vectors().as_slice(), b.vectors().as_slice());
     }
 

@@ -1,0 +1,168 @@
+//! Binary checkpoint format for transformer weight snapshots.
+//!
+//! [`MiniBert::snapshot`](crate::MiniBert::snapshot) and
+//! [`MiniGpt::snapshot`](crate::MiniGpt::snapshot) expose a model's weights
+//! as an ordered `Vec<Matrix>`; this module round-trips that list through
+//! bytes so the checkpoint store can persist pre-trained models across
+//! `repro` runs. Float bit patterns are preserved exactly, so a restored
+//! model scores identically to the one that was saved.
+
+use kcb_ml::linalg::Matrix;
+use kcb_util::bin::{Reader, Writer};
+use kcb_util::Result;
+
+const MAGIC: &[u8; 4] = b"KCBW";
+const VERSION: u32 = 1;
+
+/// Encodes a weight snapshot (ordered matrices) into a standalone blob.
+pub fn weights_to_bytes(weights: &[Matrix]) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.raw(MAGIC);
+    w.u32(VERSION);
+    w.u32(weights.len() as u32);
+    for m in weights {
+        w.u32(m.rows() as u32);
+        w.u32(m.cols() as u32);
+        for &v in m.as_slice() {
+            w.f32(v);
+        }
+    }
+    w.into_bytes()
+}
+
+/// Decodes a weight snapshot written by [`weights_to_bytes`]. Truncated or
+/// corrupt input returns an error instead of panicking.
+pub fn weights_from_bytes(bytes: &[u8]) -> Result<Vec<Matrix>> {
+    let mut r = Reader::new(bytes, "lm-weights");
+    r.magic(MAGIC)?;
+    r.version(VERSION)?;
+    let n = r.u32()? as usize;
+    r.sized(n, 8)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let rows = r.u32()? as usize;
+        let cols = r.u32()? as usize;
+        r.sized(rows.saturating_mul(cols), 4)?;
+        let mut data = Vec::with_capacity(rows * cols);
+        for _ in 0..rows * cols {
+            data.push(r.f32()?);
+        }
+        out.push(Matrix::from_vec(data, rows, cols));
+    }
+    r.finish()?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Matrix> {
+        vec![
+            Matrix::from_vec(vec![1.5, -0.0, f32::MIN_POSITIVE, 3.25e-7, 2.0, -9.5], 2, 3),
+            Matrix::from_vec(vec![], 0, 4),
+            Matrix::from_vec(vec![42.0], 1, 1),
+        ]
+    }
+
+    #[test]
+    fn round_trip_is_bit_exact() {
+        let ws = sample();
+        let decoded = weights_from_bytes(&weights_to_bytes(&ws)).expect("decode");
+        assert_eq!(decoded.len(), ws.len());
+        for (a, b) in ws.iter().zip(&decoded) {
+            assert_eq!((a.rows(), a.cols()), (b.rows(), b.cols()));
+            let bits =
+                |m: &Matrix| m.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(a), bits(b));
+        }
+    }
+
+    #[test]
+    fn truncation_errors_at_every_cut() {
+        let bytes = weights_to_bytes(&sample());
+        for cut in 0..bytes.len() {
+            assert!(weights_from_bytes(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn version_flip_is_rejected() {
+        let mut bytes = weights_to_bytes(&sample());
+        bytes[4] ^= 1;
+        assert!(weights_from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut bytes = weights_to_bytes(&sample());
+        bytes.push(0);
+        assert!(weights_from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn restored_encoder_scores_probe_batch_identically() {
+        use crate::{MiniBert, MiniBertConfig, TrainConfig, TransformerConfig};
+        let cfg = MiniBertConfig {
+            arch: TransformerConfig {
+                vocab_size: 40,
+                d_model: 16,
+                n_heads: 2,
+                n_layers: 2,
+                d_ff: 32,
+                max_len: 12,
+                seed: 7,
+            },
+            mask_prob: 0.2,
+        };
+        let bert = MiniBert::new(cfg);
+        let seqs: Vec<Vec<u32>> =
+            (0..8).map(|i| (0..10).map(|j| (i * 3 + j) % 40).collect()).collect();
+        bert.pretrain_mlm(&seqs, &TrainConfig { epochs: 1, batch_size: 4, ..TrainConfig::default() });
+
+        let bytes = weights_to_bytes(&bert.snapshot());
+        let restored = MiniBert::new(cfg);
+        restored.restore(&weights_from_bytes(&bytes).expect("decode"));
+
+        let probe: Vec<&[u32]> = seqs.iter().map(Vec::as_slice).collect();
+        for (a, b) in bert.predict_proba_batch(&probe).iter().zip(restored.predict_proba_batch(&probe)) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (a, b) in bert.encode_batch(&probe).iter().zip(restored.encode_batch(&probe)) {
+            let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(a), bits(&b));
+        }
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_matrix() -> impl Strategy<Value = Matrix> {
+            ((1usize..6), (1usize..6)).prop_flat_map(|(r, c)| {
+                prop::collection::vec(any::<f32>(), r * c)
+                    .prop_map(move |data| Matrix::from_vec(data, r, c))
+            })
+        }
+
+        proptest! {
+            #[test]
+            fn weights_round_trip_any_bits(ws in prop::collection::vec(arb_matrix(), 0..5)) {
+                let decoded = weights_from_bytes(&weights_to_bytes(&ws)).unwrap();
+                prop_assert_eq!(decoded.len(), ws.len());
+                for (a, b) in ws.iter().zip(&decoded) {
+                    prop_assert_eq!((a.rows(), a.cols()), (b.rows(), b.cols()));
+                    let bits = |m: &Matrix| {
+                        m.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+                    };
+                    prop_assert_eq!(bits(a), bits(b));
+                }
+            }
+
+            #[test]
+            fn arbitrary_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..200)) {
+                let _ = weights_from_bytes(&bytes);
+            }
+        }
+    }
+}

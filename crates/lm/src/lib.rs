@@ -10,6 +10,7 @@
 //! dense matrices from `kcb-ml`. Models are deterministic functions of
 //! their configs and seeds.
 
+pub mod ckpt;
 pub mod decoder;
 pub mod encoder;
 pub mod optim;

@@ -209,6 +209,58 @@ impl RandomForest {
     pub fn n_trees(&self) -> usize {
         self.trees.len()
     }
+
+    /// Streams the fitted forest into a checkpoint writer. Bit-exact: a
+    /// decoded forest returns identical probabilities for every input.
+    pub fn encode(&self, w: &mut kcb_util::bin::Writer) {
+        w.raw(b"KCBF");
+        w.u32(1);
+        w.u32(self.n_features as u32);
+        match self.oob_accuracy {
+            Some(v) => {
+                w.u8(1);
+                w.f64(v);
+            }
+            None => w.u8(0),
+        }
+        w.u32(self.trees.len() as u32);
+        for t in &self.trees {
+            t.encode(w);
+        }
+    }
+
+    /// Decodes a forest previously written by [`RandomForest::encode`].
+    pub fn decode(r: &mut kcb_util::bin::Reader<'_>) -> kcb_util::Result<Self> {
+        r.magic(b"KCBF")?;
+        r.version(1)?;
+        let n_features = r.u32()? as usize;
+        let oob_accuracy = match r.u8()? {
+            0 => None,
+            _ => Some(r.f64()?),
+        };
+        let n_trees = r.u32()? as usize;
+        r.sized(n_trees, 12)?;
+        let trees = (0..n_trees).map(|_| DecisionTree::decode(r)).collect::<kcb_util::Result<Vec<_>>>()?;
+        if trees.is_empty() {
+            return Err(kcb_util::Error::parse("random-forest", "zero trees"));
+        }
+        Ok(Self { trees, n_features, oob_accuracy })
+    }
+
+    /// Encodes the forest as a standalone byte blob.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = kcb_util::bin::Writer::new();
+        self.encode(&mut w);
+        w.into_bytes()
+    }
+
+    /// Decodes a forest from a standalone byte blob.
+    pub fn from_bytes(bytes: &[u8]) -> kcb_util::Result<Self> {
+        let mut r = kcb_util::bin::Reader::new(bytes, "random-forest");
+        let f = Self::decode(&mut r)?;
+        r.finish()?;
+        Ok(f)
+    }
 }
 
 #[cfg(test)]
@@ -297,6 +349,37 @@ mod tests {
         let cfg = RandomForestConfig { n_trees: 1, n_threads: 1, ..RandomForestConfig::default() };
         let f = RandomForest::fit(&x, &y, &cfg);
         assert_eq!(f.n_trees(), 1);
+    }
+
+    #[test]
+    fn codec_round_trip_is_bit_exact() {
+        let (x, y) = xor_data(300, 11);
+        let f = RandomForest::fit(&x, &y, &small_cfg());
+        let bytes = f.to_bytes();
+        let g = RandomForest::from_bytes(&bytes).expect("decode");
+        assert_eq!(g.n_trees(), f.n_trees());
+        assert_eq!(g.oob_accuracy(), f.oob_accuracy());
+        assert_eq!(g.feature_importances(), f.feature_importances());
+        let (xt, _) = xor_data(80, 12);
+        for r in xt.iter_rows() {
+            assert_eq!(f.predict_proba(r).to_bits(), g.predict_proba(r).to_bits());
+        }
+    }
+
+    #[test]
+    fn codec_rejects_truncation_and_corruption_without_panicking() {
+        let (x, y) = xor_data(100, 13);
+        let cfg = RandomForestConfig { n_trees: 4, n_threads: 1, ..RandomForestConfig::default() };
+        let f = RandomForest::fit(&x, &y, &cfg);
+        let bytes = f.to_bytes();
+        // Truncation at every prefix must error, never panic.
+        for cut in [0, 3, 8, bytes.len() / 2, bytes.len() - 1] {
+            assert!(RandomForest::from_bytes(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+        // A flipped version byte must be rejected.
+        let mut flipped = bytes.clone();
+        flipped[4] ^= 0xff;
+        assert!(RandomForest::from_bytes(&flipped).is_err());
     }
 
     #[test]

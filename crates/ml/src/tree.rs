@@ -217,6 +217,74 @@ impl DecisionTree {
     }
 }
 
+impl DecisionTree {
+    /// Streams the tree into a checkpoint writer (node arena + importances).
+    pub(crate) fn encode(&self, w: &mut kcb_util::bin::Writer) {
+        w.u32(self.n_features as u32);
+        w.f64s(&self.importance);
+        w.u32(self.nodes.len() as u32);
+        for n in &self.nodes {
+            match *n {
+                Node::Leaf { proba } => {
+                    w.u8(0);
+                    w.f32(proba);
+                }
+                Node::Split { feature, threshold, left, right } => {
+                    w.u8(1);
+                    w.u32(feature);
+                    w.f32(threshold);
+                    w.u32(left);
+                    w.u32(right);
+                }
+            }
+        }
+    }
+
+    /// Decodes a tree from a checkpoint reader, validating the node arena
+    /// (child indices in range) so corrupt data errors instead of looping.
+    pub(crate) fn decode(r: &mut kcb_util::bin::Reader<'_>) -> kcb_util::Result<Self> {
+        let n_features = r.u32()? as usize;
+        let importance = r.f64s()?;
+        let n_nodes = r.u32()? as usize;
+        r.sized(n_nodes, 5)?;
+        let mut nodes = Vec::with_capacity(n_nodes);
+        for _ in 0..n_nodes {
+            nodes.push(match r.u8()? {
+                0 => Node::Leaf { proba: r.f32()? },
+                1 => Node::Split {
+                    feature: r.u32()?,
+                    threshold: r.f32()?,
+                    left: r.u32()?,
+                    right: r.u32()?,
+                },
+                t => {
+                    return Err(kcb_util::Error::parse(
+                        "decision-tree",
+                        format!("unknown node tag {t}"),
+                    ))
+                }
+            });
+        }
+        if nodes.is_empty() || importance.len() != n_features {
+            return Err(kcb_util::Error::parse("decision-tree", "inconsistent tree header"));
+        }
+        for n in &nodes {
+            if let Node::Split { feature, left, right, .. } = *n {
+                if left as usize >= nodes.len()
+                    || right as usize >= nodes.len()
+                    || feature as usize >= n_features
+                {
+                    return Err(kcb_util::Error::parse(
+                        "decision-tree",
+                        "node index out of range",
+                    ));
+                }
+            }
+        }
+        Ok(Self { nodes, n_features, importance })
+    }
+}
+
 #[inline]
 fn gini(pos: usize, total: usize) -> f64 {
     if total == 0 {

@@ -113,6 +113,41 @@ impl WordPiece {
         out
     }
 
+    /// Serializes the vocabulary for the checkpoint store. Only the learned
+    /// pieces are written — the five specials are structural and re-added by
+    /// [`WordPiece::from_pieces`] on load.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = kcb_util::bin::Writer::new();
+        w.raw(b"KCBP");
+        w.u32(1);
+        w.u32((self.pieces.len() - special::COUNT) as u32);
+        for p in &self.pieces[special::COUNT..] {
+            w.str(p);
+        }
+        w.into_bytes()
+    }
+
+    /// Deserializes a vocabulary written by [`WordPiece::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> kcb_util::Result<Self> {
+        let mut r = kcb_util::bin::Reader::new(bytes, "wordpiece store");
+        r.magic(b"KCBP")?;
+        r.version(1)?;
+        let n = r.u32()? as usize;
+        r.sized(n, 4)?;
+        let pieces = (0..n).map(|_| r.str()).collect::<kcb_util::Result<Vec<_>>>()?;
+        r.finish()?;
+        let wp = Self::from_pieces(pieces);
+        for (i, p) in wp.pieces.iter().enumerate() {
+            if wp.index.get(p) != Some(&(i as u32)) {
+                return Err(kcb_util::Error::parse(
+                    "wordpiece store",
+                    format!("duplicate piece {p:?} in stored vocabulary"),
+                ));
+            }
+        }
+        Ok(wp)
+    }
+
     /// Decodes piece ids back to a readable string (for debugging and the
     /// generative-model output path).
     pub fn decode(&self, ids: &[u32]) -> String {
@@ -335,5 +370,28 @@ mod tests {
         let mut out = Vec::new();
         wp.encode_word("", &mut out);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn store_round_trip_preserves_ids_and_tokenization() {
+        let wp = train_small();
+        let bytes = wp.to_bytes();
+        let back = WordPiece::from_bytes(&bytes).unwrap();
+        assert_eq!(back.pieces, wp.pieces);
+        assert_eq!(
+            back.encode_words(["oxanyl", "acid", "zzz"]),
+            wp.encode_words(["oxanyl", "acid", "zzz"])
+        );
+    }
+
+    #[test]
+    fn store_rejects_truncation_and_version_flip() {
+        let bytes = train_small().to_bytes();
+        for cut in [0, 4, 8, bytes.len() - 1] {
+            assert!(WordPiece::from_bytes(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+        let mut flipped = bytes.clone();
+        flipped[4] ^= 0xff;
+        assert!(WordPiece::from_bytes(&flipped).is_err());
     }
 }

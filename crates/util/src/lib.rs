@@ -5,6 +5,7 @@
 //! experiment runs are bit-reproducible across platforms), the workspace-wide
 //! error type, and small text-formatting helpers used by report writers.
 
+pub mod bin;
 pub mod error;
 pub mod fmt;
 pub mod pool;

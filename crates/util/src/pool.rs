@@ -182,6 +182,43 @@ where
     .expect("pool worker panicked");
 }
 
+/// Runs `f(shard_index, &mut state[shard_index])` for every shard, spread
+/// over `workers` scoped threads (contiguous shard ranges per worker).
+///
+/// This is the embedding trainers' sharded-SGD primitive: each shard owns
+/// its state element exclusively, reads everything else through `&` borrows
+/// captured by `f`, and the caller folds the shard states back together in
+/// fixed shard order afterwards. Because a shard's output depends only on
+/// its index and the frozen inputs — never on which worker ran it — the
+/// serial path (`workers <= 1`) is the plain in-order loop and produces
+/// bitwise-identical state at any thread count.
+pub fn run_sharded<S: Send, F>(workers: usize, state: &mut [S], f: F)
+where
+    F: Fn(usize, &mut S) + Sync,
+{
+    if state.is_empty() {
+        return;
+    }
+    if workers <= 1 || state.len() == 1 {
+        for (i, s) in state.iter_mut().enumerate() {
+            f(i, s);
+        }
+        return;
+    }
+    let chunk = state.len().div_ceil(workers.min(state.len()));
+    crossbeam::thread::scope(|scope| {
+        for (ci, states) in state.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            scope.spawn(move |_| {
+                for (j, s) in states.iter_mut().enumerate() {
+                    f(ci * chunk + j, s);
+                }
+            });
+        }
+    })
+    .expect("pool worker panicked");
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -263,6 +300,29 @@ mod tests {
         let _claim = CoreReservation::claim();
         // A thread's own claim must not count against itself.
         assert_eq!(fanout(4, 64), before);
+    }
+
+    #[test]
+    fn run_sharded_matches_serial_at_any_worker_count() {
+        let _lock = test_lock();
+        let work = |i: usize, s: &mut u64| {
+            // Depends only on the shard index, as the contract requires.
+            *s = (i as u64 + 1) * 17;
+        };
+        let mut serial = vec![0u64; 13];
+        run_sharded(1, &mut serial, work);
+        for workers in [2, 3, 4, 13, 32] {
+            let mut parallel = vec![0u64; 13];
+            run_sharded(workers, &mut parallel, work);
+            assert_eq!(serial, parallel, "workers={workers}");
+        }
+        assert_eq!(serial[12], 13 * 17);
+    }
+
+    #[test]
+    fn run_sharded_handles_empty_state() {
+        let mut state: Vec<u32> = Vec::new();
+        run_sharded(4, &mut state, |_, _| unreachable!());
     }
 
     #[test]
