@@ -51,6 +51,29 @@ fn bench_sgns_epoch(c: &mut Criterion) {
     g.finish();
 }
 
+/// `nearest` over a trained table, f32 vs the int8-quantized twin — the
+/// query pair `repro bench-query` measures end-to-end.
+fn bench_nearest_quantized(c: &mut Criterion) {
+    let corpus = topic_corpus(400);
+    let cfg = word2vec::Word2VecConfig {
+        dim: 32,
+        epochs: 1,
+        min_count: 1,
+        ..word2vec::Word2VecConfig::default()
+    };
+    let table = word2vec::train("bench", &corpus, &cfg);
+    let quantized = kcb_embed::QuantizedEmbeddingTable::quantize(&table);
+    let probe = table.vocab().token(0).to_string();
+    let mut g = c.benchmark_group("embeddings");
+    g.bench_function("nearest_f32/top10", |b| {
+        b.iter(|| table.nearest(black_box(&probe), 10).len())
+    });
+    g.bench_function("nearest_int8/top10", |b| {
+        b.iter(|| quantized.nearest(black_box(&probe), 10).len())
+    });
+    g.finish();
+}
+
 fn bench_lookup(c: &mut Criterion) {
     let model = RandomEmbedding::with_dim(48);
     let tokens: Vec<String> = (0..2_000).map(|i| format!("token-{i}")).collect();
@@ -65,5 +88,11 @@ fn bench_lookup(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_word2vec_train, bench_sgns_epoch, bench_lookup);
+criterion_group!(
+    benches,
+    bench_word2vec_train,
+    bench_sgns_epoch,
+    bench_nearest_quantized,
+    bench_lookup
+);
 criterion_main!(benches);

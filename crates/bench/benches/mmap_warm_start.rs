@@ -1,0 +1,56 @@
+//! Warm-start cost: zero-copy mmap vs full decode of a raw container.
+//!
+//! Writes one raw (`KCBC` v2) container holding an embedding-table-sized
+//! payload, then measures a warm read through the store with mmap
+//! borrowing enabled vs disabled (byte-reader decode). The two legs
+//! return bit-identical tables; only the loading mechanism differs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kcb_core::ckpt::CkptStore;
+use kcb_embed::store as estore;
+use kcb_embed::EmbeddingTable;
+use kcb_ml::linalg::Matrix;
+use kcb_text::Vocab;
+use kcb_util::Rng;
+use std::collections::HashMap;
+use std::hint::black_box;
+
+fn table(n: usize, dim: usize) -> EmbeddingTable {
+    let counts: HashMap<String, u64> =
+        (0..n).map(|i| (format!("tok{i}"), (n - i) as u64 + 1)).collect();
+    let vocab = Vocab::from_counts(counts, 0);
+    let mut rng = Rng::seed(31);
+    let rows: Vec<Vec<f32>> =
+        (0..n).map(|_| (0..dim).map(|_| rng.f32_range(-1.0, 1.0)).collect()).collect();
+    EmbeddingTable::new("bench", vocab, Matrix::from_rows(rows))
+}
+
+fn bench_warm_start(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join(format!("kcb-mmap-bench-{}", std::process::id()));
+    let t = table(5_000, 64);
+    {
+        let store = CkptStore::open(&dir);
+        let (meta, vectors) = estore::raw_parts(&t);
+        store.put_raw("bench", "warm", &meta, &[vectors]);
+    }
+    let mut g = c.benchmark_group("warm_start");
+    g.sample_size(20);
+    for (leg, mmap) in [("mmap", true), ("decode", false)] {
+        g.bench_function(format!("raw_container/{leg}"), |b| {
+            b.iter(|| {
+                let mut store = CkptStore::open(&dir);
+                store.set_mmap(mmap);
+                let got = store
+                    .take_raw("bench", "warm", estore::from_raw, estore::from_bytes)
+                    .expect("warm read");
+                // Touch one row so lazily-verified stripes do real work.
+                black_box(got.vector(0)[0])
+            })
+        });
+    }
+    g.finish();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+criterion_group!(benches, bench_warm_start);
+criterion_main!(benches);

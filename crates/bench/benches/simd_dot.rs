@@ -1,0 +1,75 @@
+//! SIMD vs scalar kernels: dot, dot4 and the matmul tile update.
+//!
+//! The acceptance bar for the wide kernels is ≥ 2× the strided scalar
+//! baseline on the dot/matmul inner loops (both produce bitwise-identical
+//! sums — the scalar baseline keeps the exact 4-lane association, it just
+//! defeats auto-vectorization with strided passes).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kcb_util::simd;
+use kcb_util::Rng;
+use std::hint::black_box;
+
+fn vectors(n: usize, seed: u64) -> (Vec<f32>, Vec<f32>) {
+    let mut rng = Rng::seed(seed);
+    let a = (0..n).map(|_| rng.f32_range(-1.0, 1.0)).collect();
+    let b = (0..n).map(|_| rng.f32_range(-1.0, 1.0)).collect();
+    (a, b)
+}
+
+fn bench_dot(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simd");
+    for n in [64usize, 768] {
+        let (a, b) = vectors(n, 7);
+        g.bench_function(format!("dot_wide/{n}"), |bch| {
+            bch.iter(|| simd::dot_wide(black_box(&a), black_box(&b)))
+        });
+        g.bench_function(format!("dot_scalar/{n}"), |bch| {
+            bch.iter(|| simd::dot_scalar(black_box(&a), black_box(&b)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_dot4(c: &mut Criterion) {
+    let n = 768;
+    let (q, k0) = vectors(n, 11);
+    let (k1, k2) = vectors(n, 13);
+    let (k3, _) = vectors(n, 17);
+    let mut g = c.benchmark_group("simd");
+    g.bench_function(format!("dot4_wide/{n}"), |bch| {
+        bch.iter(|| simd::dot4_wide(black_box(&q), &k0, &k1, &k2, &k3))
+    });
+    g.bench_function(format!("dot4_scalar_x4/{n}"), |bch| {
+        bch.iter(|| {
+            let q = black_box(&q);
+            [
+                simd::dot_scalar(q, &k0),
+                simd::dot_scalar(q, &k1),
+                simd::dot_scalar(q, &k2),
+                simd::dot_scalar(q, &k3),
+            ]
+        })
+    });
+    g.finish();
+}
+
+fn bench_tile(c: &mut Criterion) {
+    // The matmul micro-kernel's unit of work: one fused row update.
+    let (bk_v, _) = vectors(8, 23);
+    let bk: [f32; 8] = bk_v.try_into().unwrap();
+    let mut acc = [0.0f32; 8];
+    let mut g = c.benchmark_group("simd");
+    g.bench_function("fma_tile8/1k_updates", |bch| {
+        bch.iter(|| {
+            for i in 0..1000 {
+                simd::fma_tile8(&mut acc, black_box(i as f32 * 1e-3), black_box(&bk));
+            }
+            acc[0]
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_dot, bench_dot4, bench_tile);
+criterion_main!(benches);

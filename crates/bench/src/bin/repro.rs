@@ -40,6 +40,11 @@ ARTIFACTS:
   summary        machine-checked scorecard of the paper's key findings
   ext-llama2     extension: the paper's future work (open-weight oracle)
 
+SUBCOMMANDS:
+  bench-query    run the raw-speed query-path microbenchmark and write
+                 results/bench_query.json (qps/core, p50/p95/p99 per
+                 query kind); combines with --fast / --quant / --no-mmap
+
 OPTIONS:
   --scale S      ontology scale relative to real ChEBI (default 0.03)
   --seed N       master seed (default 42)
@@ -53,6 +58,12 @@ OPTIONS:
                  derived results (default results/ckpt); a warm cache only
                  changes wall time, never artifact bytes
   --cold         ignore existing checkpoints: retrain and overwrite them
+  --no-mmap      decode checkpoint containers through the byte reader
+                 instead of borrowing them zero-copy from an mmap; bytes
+                 are identical either way, only warm-start time changes
+  --cache-cap BYTES  after the run, evict oldest checkpoints until the
+                 store fits under BYTES
+  --quant        bench-query only: add the int8-quantized query legs
   --trace FILE   write a Chrome trace-event timeline of the run
   --metrics      write results/run_meta.json (manifest + counters + series)
   --profile      print per-span wall-time statistics to stdout
@@ -86,6 +97,14 @@ fn tune_allocator_via_reexec() {
 #[cfg(not(unix))]
 fn tune_allocator_via_reexec() {}
 
+/// Applies `--cache-cap` to the checkpoint store after checkpoints have
+/// been saved, reporting what was evicted in one line.
+fn run_gc(lab: &Lab, cap: Option<u64>) {
+    if let (Some(cap), Some(store)) = (cap, lab.checkpoint_store()) {
+        eprintln!("# {}", store.gc(cap));
+    }
+}
+
 fn main() -> ExitCode {
     tune_allocator_via_reexec();
     let args = match cli::parse(std::env::args().skip(1)) {
@@ -109,7 +128,7 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
     let mut ids: Vec<String> = args.ids.clone();
-    if ids.is_empty() {
+    if ids.is_empty() && !args.bench_query {
         eprintln!("no artifacts requested\n\n{USAGE}");
         return ExitCode::FAILURE;
     }
@@ -156,12 +175,59 @@ fn main() -> ExitCode {
     // retraining, so the cache is purely a wall-clock knob.
     let cache_dir =
         args.cache_dir.clone().unwrap_or_else(|| std::path::Path::new("results").join("ckpt"));
-    let store = std::sync::Arc::new(if args.cold {
+    let mut store = if args.cold {
         kcb_core::ckpt::CkptStore::cold(cache_dir)
     } else {
         kcb_core::ckpt::CkptStore::open(cache_dir)
-    });
-    let lab = Lab::with_checkpoints(cfg, store);
+    };
+    // Zero-copy warm start is the default; --no-mmap drops to the decode
+    // path (same bytes, more copies).
+    store.set_mmap(!args.no_mmap);
+    let lab = Lab::with_checkpoints(cfg, std::sync::Arc::new(store));
+
+    if args.bench_query {
+        let doc = kcb_bench::bench_query::run(&lab, args.quant, threads, args.fast);
+        if args.quant {
+            // Prove metric parity of the int8 legs rather than assume it.
+            let calib = kcb_core::experiment::quant::calibrate(&lab);
+            let path = std::path::Path::new("results").join("quant_calibration.json");
+            let text = serde_json::to_string_pretty(&calib).expect("serializable");
+            if let Err(e) = std::fs::create_dir_all("results")
+                .and_then(|()| std::fs::write(&path, &text))
+            {
+                eprintln!("error writing {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            eprintln!(
+                "# calibration: {} (wrote {})",
+                if calib["pass"] == serde_json::json!(true) { "pass" } else { "FAIL" },
+                path.display()
+            );
+        }
+        lab.save_checkpoints();
+        run_gc(&lab, args.cache_cap);
+        let path = std::path::Path::new("results").join("bench_query.json");
+        let text = serde_json::to_string_pretty(&doc).expect("serializable");
+        if let Err(e) = std::fs::create_dir_all("results")
+            .and_then(|()| std::fs::write(&path, &text))
+        {
+            eprintln!("error writing {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        if let Some(kinds) = doc["kinds"].as_object() {
+            for (kind, row) in kinds {
+                eprintln!(
+                    "# {kind}: {} queries, {:.0} qps/core, p50 {:.1}us p99 {:.1}us",
+                    row["count"],
+                    row["qps_per_core"].as_f64().unwrap_or(0.0),
+                    row["p50_s"].as_f64().unwrap_or(0.0) * 1e6,
+                    row["p99_s"].as_f64().unwrap_or(0.0) * 1e6,
+                );
+            }
+        }
+        eprintln!("# wrote {}", path.display());
+        return ExitCode::SUCCESS;
+    }
     let total = Instant::now();
     let mut markdown = String::from("# kcb reproduction report\n\n");
     let mut failed = false;
@@ -174,6 +240,7 @@ fn main() -> ExitCode {
     // Persist the union of loaded + freshly computed derived results so
     // the next run replays them.
     lab.save_checkpoints();
+    run_gc(&lab, args.cache_cap);
     eprintln!(
         "# scheduler: {} workers, {} jobs, {} steals, {:.1}s",
         report.scheduler.workers,

@@ -34,6 +34,16 @@ pub struct Args {
     pub cache_dir: Option<PathBuf>,
     /// `--cold`: ignore existing checkpoints, retrain and overwrite them.
     pub cold: bool,
+    /// `bench-query`: run the query-path microbenchmark instead of
+    /// assembling artifacts.
+    pub bench_query: bool,
+    /// `--quant`: add the int8-quantized legs to `bench-query`.
+    pub quant: bool,
+    /// `--no-mmap`: disable zero-copy mmap checkpoint loading (decode
+    /// containers through the byte reader instead).
+    pub no_mmap: bool,
+    /// `--cache-cap BYTES`: evict oldest checkpoints until the store fits.
+    pub cache_cap: Option<u64>,
     /// `--list`: list artifact ids and exit.
     pub list: bool,
     /// `--help` / `-h`.
@@ -60,6 +70,9 @@ where
             "--list" => out.list = true,
             "--fast" => out.fast = true,
             "--cold" => out.cold = true,
+            "--quant" => out.quant = true,
+            "--no-mmap" => out.no_mmap = true,
+            "bench-query" => out.bench_query = true,
             "--metrics" => out.metrics = true,
             "--profile" => out.profile = true,
             "--help" | "-h" => out.help = true,
@@ -98,6 +111,14 @@ where
                 }
                 out.cache_dir = Some(p);
             }
+            "--cache-cap" => {
+                let v = it.next().ok_or("--cache-cap needs a byte count")?;
+                let cap: u64 = v.parse().map_err(|_| format!("bad cache cap {v}"))?;
+                if cap == 0 {
+                    return Err("--cache-cap must be at least 1 byte, got 0".to_string());
+                }
+                out.cache_cap = Some(cap);
+            }
             "--md" => {
                 let v = it.next().ok_or("--md needs a file path")?;
                 out.md = Some(v.into());
@@ -109,6 +130,15 @@ where
             other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
             other => out.ids.push(other.to_string()),
         }
+    }
+    if out.quant && !out.bench_query {
+        // Quantization is an inference-only query-path option; keeping it
+        // out of artifact runs guarantees f32 artifact bytes never depend
+        // on the flag.
+        return Err("--quant only applies to the bench-query subcommand".to_string());
+    }
+    if out.bench_query && !out.ids.is_empty() {
+        return Err(format!("bench-query runs alone, got artifact '{}'", out.ids[0]));
     }
     Ok(out)
 }
@@ -216,6 +246,36 @@ mod tests {
         let e = p(&["--cache-dir", file.to_str().unwrap()]).unwrap_err();
         assert!(e.contains("is a file"), "{e}");
         std::fs::remove_file(&file).ok();
+    }
+
+    #[test]
+    fn parses_query_path_flags() {
+        let a = p(&["bench-query", "--quant", "--no-mmap", "--fast", "--cache-cap", "1024"])
+            .unwrap();
+        assert!(a.bench_query && a.quant && a.no_mmap && a.fast);
+        assert_eq!(a.cache_cap, Some(1024));
+        assert!(a.ids.is_empty());
+        let a = p(&["table4"]).unwrap();
+        assert!(!a.bench_query && !a.quant && !a.no_mmap && a.cache_cap.is_none());
+    }
+
+    #[test]
+    fn quant_requires_bench_query() {
+        let e = p(&["table4", "--quant"]).unwrap_err();
+        assert!(e.contains("--quant") && e.contains("bench-query"), "{e}");
+        let e = p(&["--quant"]).unwrap_err();
+        assert!(e.contains("bench-query"), "{e}");
+    }
+
+    #[test]
+    fn bench_query_rejects_artifact_ids_and_bad_caps() {
+        let e = p(&["bench-query", "table4"]).unwrap_err();
+        assert!(e.contains("table4"), "{e}");
+        let e = p(&["bench-query", "--cache-cap", "0"]).unwrap_err();
+        assert!(e.contains("--cache-cap"), "{e}");
+        let e = p(&["bench-query", "--cache-cap", "lots"]).unwrap_err();
+        assert!(e.contains("lots"), "{e}");
+        assert!(p(&["bench-query", "--cache-cap"]).unwrap_err().contains("--cache-cap"));
     }
 
     #[test]

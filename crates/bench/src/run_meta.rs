@@ -19,7 +19,11 @@ use serde_json::{json, Value};
 ///
 /// v2: `cache` gained `ckpt_hits` / `ckpt_misses`, and a top-level
 /// `checkpoints` group lists every persistent checkpoint lookup.
-pub const SCHEMA_VERSION: u64 = 2;
+///
+/// v3: `span_stats` rows gained `p99_s`, and `cache` gained
+/// `provider_skips` (provider jobs that skipped eager materialization
+/// because their checkpoint was known-fresh).
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// Everything `run_meta.json` is built from.
 pub struct RunMetaInputs<'a> {
@@ -108,6 +112,7 @@ pub fn run_meta_json(inp: &RunMetaInputs<'_>) -> Value {
                     "self_s": s.self_s,
                     "p50_s": s.p50_s,
                     "p95_s": s.p95_s,
+                    "p99_s": s.p99_s,
                     "max_s": s.max_s,
                 });
                 (k, row)
@@ -234,6 +239,8 @@ mod tests {
         assert_eq!(doc["scheduler"]["steals"], json!(3));
         assert_eq!(doc["encoding_cache"]["contended"], json!(1));
         assert_eq!(doc["cache"]["ckpt_hits"], json!(0));
+        assert_eq!(doc["cache"]["provider_skips"], json!(0));
+        assert_eq!(doc["span_stats"]["cell:rf"]["p99_s"], doc["span_stats"]["cell:rf"]["max_s"]);
         assert_eq!(doc["checkpoints"][0]["provider"], json!("embed-glove"));
         assert_eq!(doc["checkpoints"][0]["hit"], json!(true));
         assert_eq!(doc["counters"]["dbscan.probes"], json!(7));

@@ -30,10 +30,12 @@
 //! must produce byte-identical artifact JSON to a cold one.
 
 use kcb_util::bin::{Reader, Writer};
+use kcb_util::mmap::{pack_f32s, Mmap, RawSection};
 use kcb_util::{fnv1a, Result};
 use parking_lot::Mutex;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Schema version of the W2V-Chem embedding checkpoint.
 pub const SCHEMA_W2V: u32 = 1;
@@ -54,6 +56,25 @@ pub const SCHEMA_DERIVED: u32 = 1;
 
 const CONTAINER_MAGIC: &[u8; 4] = b"KCBC";
 const CONTAINER_VERSION: u32 = 1;
+/// Container version with an aligned raw-payload section that can be
+/// memory-mapped and borrowed in place. Layout (little-endian):
+///
+/// ```text
+/// magic "KCBC" | version u32 = 2 | raw_off u64 | raw_len u64
+/// provider str | key str | meta fnv-64 | meta_len u64 | meta bytes
+/// stripe count u32 | stripe fnv-64 × count      (one per 4096-byte stripe)
+/// zero padding to raw_off (64-byte aligned)
+/// raw payload: packed little-endian f32 elements
+/// ```
+///
+/// `raw_off`/`raw_len` sit at fixed offsets 8/16 so a mapped reader can
+/// locate the payload before parsing anything variable-length. The metadata
+/// checksum is verified eagerly (it is small); the payload is verified
+/// lazily, stripe by stripe, on first access.
+const CONTAINER_VERSION_RAW: u32 = 2;
+/// Raw payloads start on a 64-byte boundary: enough for any f32 SIMD lane
+/// width, and page-aligned mappings keep the property at runtime.
+const RAW_ALIGN: usize = 64;
 
 /// Derives an artifact's content key: FNV-64 over the schema version and
 /// every determinant part, rendered as 16 hex chars (the file-name stem).
@@ -83,6 +104,7 @@ pub struct CkptEvent {
 pub struct CkptStore {
     dir: PathBuf,
     cold: bool,
+    mmap: bool,
     hits: AtomicUsize,
     misses: AtomicUsize,
     events: Mutex<Vec<CkptEvent>>,
@@ -94,6 +116,7 @@ impl CkptStore {
         Self {
             dir: dir.into(),
             cold: false,
+            mmap: true,
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
             events: Mutex::new(Vec::new()),
@@ -104,6 +127,19 @@ impl CkptStore {
     /// train) but results are still written, overwriting stale entries.
     pub fn cold(dir: impl Into<PathBuf>) -> Self {
         Self { cold: true, ..Self::open(dir) }
+    }
+
+    /// Enables or disables memory-mapped reads of raw-payload containers
+    /// (the `--no-mmap` flag). With mapping off, raw containers are read
+    /// into owned memory and decoded — byte-identical results, slower warm
+    /// start.
+    pub fn set_mmap(&mut self, on: bool) {
+        self.mmap = on;
+    }
+
+    /// True when raw-payload containers will be memory-mapped.
+    pub fn mmap_enabled(&self) -> bool {
+        self.mmap
     }
 
     /// The store's root directory.
@@ -245,6 +281,209 @@ impl CkptStore {
         }
     }
 
+    /// Persists `meta` plus the concatenated f32 `parts` as a
+    /// [`CONTAINER_VERSION_RAW`] container with an aligned raw payload that
+    /// warm starts can memory-map in place.
+    pub fn put_raw(&self, provider: &str, key: &str, meta: &[u8], parts: &[&[f32]]) {
+        let (raw, stripe_sums) = pack_f32s(parts);
+        let _span = kcb_obs::span("ckpt", "ckpt.write")
+            .arg("provider", provider)
+            .arg("bytes", raw.len() + meta.len());
+        let mut w = Writer::new();
+        w.raw(CONTAINER_MAGIC);
+        w.u32(CONTAINER_VERSION_RAW);
+        w.u64(0); // raw_off placeholder, patched below
+        w.u64(raw.len() as u64);
+        w.str(provider);
+        w.str(key);
+        w.u64(fnv1a(meta));
+        w.u64(meta.len() as u64);
+        w.raw(meta);
+        w.u32(stripe_sums.len() as u32);
+        for &s in &stripe_sums {
+            w.u64(s);
+        }
+        let mut bytes = w.into_bytes();
+        let raw_off = bytes.len().div_ceil(RAW_ALIGN) * RAW_ALIGN;
+        bytes[8..16].copy_from_slice(&(raw_off as u64).to_le_bytes());
+        bytes.resize(raw_off, 0);
+        bytes.extend_from_slice(&raw);
+        let path = self.file_path(provider, key);
+        let tmp = self.dir.join(format!(".{provider}-{key}.tmp"));
+        let write = || -> std::io::Result<()> {
+            std::fs::create_dir_all(&self.dir)?;
+            std::fs::write(&tmp, &bytes)?;
+            std::fs::rename(&tmp, &path)
+        };
+        if let Err(e) = write() {
+            eprintln!("warning: could not write checkpoint {} ({e})", path.display());
+            std::fs::remove_file(&tmp).ok();
+        } else {
+            kcb_obs::counter("ckpt.writes", 1);
+        }
+    }
+
+    /// Parses a raw container's header, returning `(meta, section)`. The
+    /// metadata checksum is verified here; stripe checksums verify lazily
+    /// inside the returned [`RawSection`].
+    fn parse_raw(
+        provider: &str,
+        key: &str,
+        bytes: &[u8],
+        map: Option<Arc<Mmap>>,
+    ) -> Result<(Vec<u8>, RawSection)> {
+        let mut r = Reader::new(bytes, "checkpoint");
+        r.magic(CONTAINER_MAGIC)?;
+        r.version(CONTAINER_VERSION_RAW)?;
+        let raw_off = r.u64()? as usize;
+        let raw_len = r.u64()? as usize;
+        let stored_provider = r.str()?;
+        let stored_key = r.str()?;
+        if stored_provider != provider || stored_key != key {
+            return Err(kcb_util::Error::parse(
+                "checkpoint",
+                format!("header names {stored_provider}/{stored_key}, expected {provider}/{key}"),
+            ));
+        }
+        let meta_sum = r.u64()?;
+        let meta_len = r.u64()? as usize;
+        r.sized(meta_len, 1)?;
+        let mut meta = Vec::with_capacity(meta_len);
+        for _ in 0..meta_len {
+            meta.push(r.u8()?);
+        }
+        if fnv1a(&meta) != meta_sum {
+            return Err(kcb_util::Error::parse("checkpoint", "metadata checksum mismatch"));
+        }
+        let n_stripes = r.u32()? as usize;
+        r.sized(n_stripes, 8)?;
+        let stripe_sums = (0..n_stripes).map(|_| r.u64()).collect::<Result<Vec<_>>>()?;
+        if raw_off < bytes.len() - r.remaining() || !raw_off.is_multiple_of(RAW_ALIGN) {
+            return Err(kcb_util::Error::parse("checkpoint", "raw offset overlaps header"));
+        }
+        if raw_off.saturating_add(raw_len) != bytes.len() {
+            return Err(kcb_util::Error::parse(
+                "checkpoint",
+                format!("raw section {raw_off}+{raw_len} != file size {}", bytes.len()),
+            ));
+        }
+        let section = match map {
+            Some(m) => RawSection::from_map(m, raw_off, raw_len, stripe_sums)?,
+            None => RawSection::from_owned(bytes.to_vec(), raw_off, raw_len, stripe_sums)?,
+        };
+        Ok((meta, section))
+    }
+
+    /// Tries to load a raw-payload artifact under `key`. A version-2
+    /// container is memory-mapped when enabled (zero-copy, stripes verified
+    /// lazily) or read into owned memory otherwise; a legacy version-1
+    /// container falls back to `decode_v1` on the verified payload. Any
+    /// failure is a miss with one warning line.
+    pub fn take_raw<T>(
+        &self,
+        provider: &str,
+        key: &str,
+        decode_v2: impl FnOnce(&[u8], &RawSection) -> Result<T>,
+        decode_v1: impl FnOnce(&[u8]) -> Result<T>,
+    ) -> Option<T> {
+        if self.cold {
+            self.record(provider, key, false, 0);
+            return None;
+        }
+        let path = self.file_path(provider, key);
+        let _span = kcb_obs::span("ckpt", "ckpt.read").arg("provider", provider);
+        let attempt = || -> Result<(T, u64)> {
+            if self.mmap {
+                if let Ok(map) = Mmap::open(&path) {
+                    let map = Arc::new(map);
+                    let len = map.len() as u64;
+                    let version = container_version(map.bytes());
+                    if version == Some(CONTAINER_VERSION_RAW) {
+                        let (meta, section) =
+                            Self::parse_raw(provider, key, map.bytes(), Some(Arc::clone(&map)))?;
+                        return decode_v2(&meta, &section).map(|v| (v, len));
+                    }
+                    // Legacy v1 container: fall through to the decode path.
+                }
+            }
+            let bytes = std::fs::read(&path).map_err(kcb_util::Error::Io)?;
+            let len = bytes.len() as u64;
+            if container_version(&bytes) == Some(CONTAINER_VERSION_RAW) {
+                let (meta, section) = Self::parse_raw(provider, key, &bytes, None)?;
+                decode_v2(&meta, &section).map(|v| (v, len))
+            } else {
+                let payload = Self::verify(provider, key, &bytes)?;
+                decode_v1(payload).map(|v| (v, len))
+            }
+        };
+        if !path.exists() {
+            self.record(provider, key, false, 0);
+            return None;
+        }
+        match attempt() {
+            Ok((v, len)) => {
+                self.record(provider, key, true, len);
+                Some(v)
+            }
+            Err(e) => {
+                eprintln!(
+                    "warning: checkpoint {} unusable ({e}); retraining {provider}",
+                    path.display()
+                );
+                self.record(provider, key, false, 0);
+                None
+            }
+        }
+    }
+
+    /// Cheap freshness probe: true when a plausible checkpoint file exists
+    /// for `key` and the store is warm. No decode, no checksum, no event —
+    /// providers use this to skip eager materialization, trusting the
+    /// getter's full verify-or-retrain path to handle a file that turns out
+    /// to be corrupt.
+    pub fn is_fresh(&self, provider: &str, key: &str) -> bool {
+        if self.cold {
+            return false;
+        }
+        std::fs::metadata(self.file_path(provider, key))
+            .map(|m| m.is_file() && m.len() > 24)
+            .unwrap_or(false)
+    }
+
+    /// Evicts oldest-first (by modification time) until the store's total
+    /// `.ckpt` size is at most `cap_bytes`. Returns a one-line report.
+    pub fn gc(&self, cap_bytes: u64) -> GcReport {
+        let mut entries: Vec<(PathBuf, u64, std::time::SystemTime)> = Vec::new();
+        if let Ok(dir) = std::fs::read_dir(&self.dir) {
+            for e in dir.flatten() {
+                let path = e.path();
+                if path.extension().map(|x| x == "ckpt") != Some(true) {
+                    continue;
+                }
+                if let Ok(m) = e.metadata() {
+                    let mtime = m.modified().unwrap_or(std::time::UNIX_EPOCH);
+                    entries.push((path, m.len(), mtime));
+                }
+            }
+        }
+        let scanned = entries.len();
+        let mut total: u64 = entries.iter().map(|(_, len, _)| len).sum();
+        entries.sort_by_key(|(_, _, mtime)| *mtime);
+        let mut evicted = 0usize;
+        let mut freed = 0u64;
+        for (path, len, _) in &entries {
+            if total <= cap_bytes {
+                break;
+            }
+            if std::fs::remove_file(path).is_ok() {
+                total -= len;
+                freed += len;
+                evicted += 1;
+            }
+        }
+        GcReport { scanned, evicted, freed_bytes: freed, kept_bytes: total, cap_bytes }
+    }
+
     /// Load-or-train in one call: [`CkptStore::take`], falling back to
     /// `make` + [`CkptStore::put`].
     pub fn load_or_make<T>(
@@ -264,6 +503,44 @@ impl CkptStore {
     }
 }
 
+/// Peeks at a container's version field without consuming the reader
+/// (`None` when the file is too short or the magic is wrong).
+fn container_version(bytes: &[u8]) -> Option<u32> {
+    if bytes.len() < 8 || &bytes[..4] != CONTAINER_MAGIC {
+        return None;
+    }
+    Some(u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes")))
+}
+
+/// Result of a [`CkptStore::gc`] sweep.
+#[derive(Debug, Clone)]
+pub struct GcReport {
+    /// `.ckpt` files found in the store.
+    pub scanned: usize,
+    /// Files deleted this sweep.
+    pub evicted: usize,
+    /// Bytes freed.
+    pub freed_bytes: u64,
+    /// Bytes remaining after the sweep.
+    pub kept_bytes: u64,
+    /// The cap that drove eviction.
+    pub cap_bytes: u64,
+}
+
+impl std::fmt::Display for GcReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ckpt gc: {} of {} files evicted ({} freed, {} kept, cap {})",
+            self.evicted,
+            self.scanned,
+            kcb_util::fmt::bytes(self.freed_bytes),
+            kcb_util::fmt::bytes(self.kept_bytes),
+            kcb_util::fmt::bytes(self.cap_bytes),
+        )
+    }
+}
+
 /// Load-or-train against an optional store: with no store attached the
 /// artifact is simply built (the `Lab::new` path used by unit tests).
 pub(crate) fn cached<T>(
@@ -276,6 +553,34 @@ pub(crate) fn cached<T>(
 ) -> T {
     match store {
         Some(s) => s.load_or_make(provider, key, decode, encode, make),
+        None => make(),
+    }
+}
+
+/// Raw-container variant of [`cached`]: decodes a v2 container via
+/// `decode_v2` (zero-copy when mapped), a legacy v1 container via
+/// `decode_v1`, and on a miss builds the artifact and writes it back in v2
+/// form. `encode` returns the metadata blob plus the flat f32 parts that
+/// become the aligned raw payload.
+pub(crate) fn cached_raw<T>(
+    store: Option<&CkptStore>,
+    provider: &str,
+    key: &str,
+    decode_v2: impl FnOnce(&[u8], &RawSection) -> Result<T>,
+    decode_v1: impl FnOnce(&[u8]) -> Result<T>,
+    encode: impl for<'t> FnOnce(&'t T) -> (Vec<u8>, Vec<&'t [f32]>),
+    make: impl FnOnce() -> T,
+) -> T {
+    match store {
+        Some(s) => {
+            if let Some(v) = s.take_raw(provider, key, decode_v2, decode_v1) {
+                return v;
+            }
+            let v = make();
+            let (meta, parts) = encode(&v);
+            s.put_raw(provider, key, &meta, &parts);
+            v
+        }
         None => make(),
     }
 }
@@ -584,6 +889,132 @@ mod tests {
         std::fs::copy(store.dir().join("unit-a-k.ckpt"), store.dir().join("unit-b-k.ckpt"))
             .unwrap();
         assert_eq!(store.take("unit-b", "k", decode_u64), None);
+        std::fs::remove_dir_all(store.dir()).ok();
+    }
+
+    fn raw_decode_v2(meta: &[u8], raw: &RawSection) -> Result<(Vec<u8>, Vec<f32>)> {
+        let n = raw.len() / 4;
+        Ok((meta.to_vec(), raw.f32s(0, n)?.as_slice().to_vec()))
+    }
+
+    #[test]
+    fn raw_container_round_trips_mapped_and_owned() {
+        let store = temp_store("raw");
+        let meta = b"shape:3x500".to_vec();
+        let data: Vec<f32> = (0..1500).map(|i| (i as f32 * 0.11).cos()).collect();
+        store.put_raw("unit", "k", &meta, &[&data[..700], &data[700..]]);
+
+        let got = store.take_raw("unit", "k", raw_decode_v2, |_| unreachable!("v1"));
+        let (m, d) = got.expect("mapped hit");
+        assert_eq!(m, meta);
+        assert_eq!(d.len(), data.len());
+        assert!(d.iter().zip(&data).all(|(a, b)| a.to_bits() == b.to_bits()));
+
+        let mut no_mmap = CkptStore::open(store.dir().to_path_buf());
+        no_mmap.set_mmap(false);
+        let (m2, d2) = no_mmap
+            .take_raw("unit", "k", raw_decode_v2, |_| unreachable!("v1"))
+            .expect("owned hit");
+        assert_eq!(m2, meta);
+        assert!(d2.iter().zip(&d).all(|(a, b)| a.to_bits() == b.to_bits()));
+        assert_eq!(store.stats(), (1, 0));
+        std::fs::remove_dir_all(store.dir()).ok();
+    }
+
+    #[test]
+    fn raw_reader_falls_back_to_legacy_v1_containers() {
+        let store = temp_store("raw-legacy");
+        let mut w = Writer::new();
+        w.u64(4242);
+        store.put("unit", "k", &w.into_bytes()); // v1 container
+        let got = store.take_raw(
+            "unit",
+            "k",
+            |_, _| -> Result<u64> { unreachable!("v2") },
+            decode_u64,
+        );
+        assert_eq!(got, Some(4242));
+        std::fs::remove_dir_all(store.dir()).ok();
+    }
+
+    #[test]
+    fn raw_container_corruption_falls_back() {
+        let store = temp_store("raw-corrupt");
+        let data: Vec<f32> = (0..2000).map(|i| i as f32).collect();
+        store.put_raw("unit", "k", b"m", &[&data]);
+        let path = store.dir().join("unit-k.ckpt");
+        let good = std::fs::read(&path).unwrap();
+
+        // Flip a payload bit: caught by the stripe checksum on access.
+        let mut bad = good.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x01;
+        std::fs::write(&path, &bad).unwrap();
+        assert!(store.take_raw("unit", "k", raw_decode_v2, |_| unreachable!()).is_none());
+
+        // Flip a metadata byte: caught eagerly by the meta checksum.
+        let mut bad = good.clone();
+        bad[40] ^= 0x01;
+        std::fs::write(&path, &bad).unwrap();
+        assert!(store.take_raw("unit", "k", raw_decode_v2, |_| unreachable!()).is_none());
+
+        // Truncations never panic.
+        for cut in [0usize, 7, 20, good.len() / 2, good.len() - 1] {
+            std::fs::write(&path, &good[..cut]).unwrap();
+            assert!(
+                store
+                    .take_raw("unit", "k", raw_decode_v2, |b| decode_u64(b)
+                        .map(|v| (vec![], vec![v as f32])))
+                    .is_none(),
+                "cut {cut}"
+            );
+        }
+
+        std::fs::write(&path, &good).unwrap();
+        assert!(store.take_raw("unit", "k", raw_decode_v2, |_| unreachable!()).is_some());
+        std::fs::remove_dir_all(store.dir()).ok();
+    }
+
+    #[test]
+    fn freshness_probe_is_quiet_and_cold_aware() {
+        let store = temp_store("fresh");
+        assert!(!store.is_fresh("unit", "k"));
+        let mut w = Writer::new();
+        w.u64(1);
+        store.put("unit", "k", &w.into_bytes());
+        assert!(store.is_fresh("unit", "k"));
+        assert!(store.events().is_empty(), "probe must not record events");
+        let cold = CkptStore::cold(store.dir().to_path_buf());
+        assert!(!cold.is_fresh("unit", "k"));
+        std::fs::remove_dir_all(store.dir()).ok();
+    }
+
+    #[test]
+    fn gc_evicts_oldest_first_until_under_cap() {
+        let store = temp_store("gc");
+        for (i, name) in ["a", "b", "c"].iter().enumerate() {
+            let mut w = Writer::new();
+            w.u64(i as u64);
+            store.put("unit", name, &w.into_bytes());
+            // Distinct mtimes, oldest = "a".
+            let t = std::time::SystemTime::UNIX_EPOCH
+                + std::time::Duration::from_secs(1_000_000 + i as u64 * 100);
+            let f = std::fs::File::options()
+                .append(true)
+                .open(store.dir().join(format!("unit-{name}.ckpt")))
+                .unwrap();
+            f.set_modified(t).unwrap();
+        }
+        let one = std::fs::metadata(store.dir().join("unit-a.ckpt")).unwrap().len();
+        let report = store.gc(2 * one);
+        assert_eq!((report.scanned, report.evicted), (3, 1));
+        assert_eq!(report.freed_bytes, one);
+        assert!(!store.dir().join("unit-a.ckpt").exists(), "oldest must go first");
+        assert!(store.dir().join("unit-c.ckpt").exists());
+        assert!(format!("{report}").contains("1 of 3 files evicted"));
+        // A generous cap is a no-op.
+        let report = store.gc(u64::MAX);
+        assert_eq!(report.evicted, 0);
         std::fs::remove_dir_all(store.dir()).ok();
     }
 

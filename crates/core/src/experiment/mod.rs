@@ -8,6 +8,7 @@ pub mod finetune;
 pub mod head_to_head;
 pub mod incontext;
 pub mod plan;
+pub mod quant;
 pub mod scenarios;
 pub mod summary;
 pub mod supervised;

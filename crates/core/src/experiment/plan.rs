@@ -82,22 +82,43 @@ fn providers<'a>(g: &mut Graph<'a>, lab: &'a Lab) -> Providers {
             shared.split(t);
         })
     });
+    // Provider jobs are cache-aware: when the checkpoint store says the
+    // artifact is known-fresh (warm container on disk for the current key),
+    // the job skips eager materialization and lets the first consumer decode
+    // lazily — with the raw mmap containers that decode is a borrow, and
+    // artifact subsets that never touch the provider pay nothing at all.
     let mut embed = HashMap::new();
     for name in EMBEDDING_NAMES.iter().copied() {
         let deps: &[JobId] = if name == "random" { &[] } else { &[domain, generic] };
         let id = g.add_par(format!("provider:embed-{name}"), deps, move || {
-            shared.embedding(name);
+            if shared.provider_fresh(&format!("embed-{name}")) {
+                shared.note_provider_skip();
+            } else {
+                shared.embedding(name);
+            }
         });
         embed.insert(name, id);
     }
     let wordpiece = g.add_par("provider:wordpiece", &[domain], move || {
-        shared.wordpiece();
+        if shared.provider_fresh("wordpiece") {
+            shared.note_provider_skip();
+        } else {
+            shared.wordpiece();
+        }
     });
     let bert = g.add_driver("provider:bert", &[wordpiece, domain, generic], move || {
-        lab.bert();
+        if lab.provider_fresh("lm-bert") {
+            lab.shared().note_provider_skip();
+        } else {
+            lab.bert();
+        }
     });
     let biogpt = g.add_driver("provider:biogpt", &[wordpiece, domain], move || {
-        lab.biogpt();
+        if lab.provider_fresh("lm-biogpt") {
+            lab.shared().note_provider_skip();
+        } else {
+            lab.biogpt();
+        }
     });
     Providers { ontology, task, split, embed, wordpiece, bert, biogpt }
 }
@@ -418,6 +439,7 @@ fn record_counters(r: &PlanReport) {
         ("memo.misses", r.cache.memo_misses),
         ("forest_cache.hits", r.cache.forest_hits),
         ("forest_cache.misses", r.cache.forest_misses),
+        ("provider.skips", r.cache.provider_skips),
     ] {
         kcb_obs::counter(name, v as u64);
     }

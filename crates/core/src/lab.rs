@@ -253,6 +253,9 @@ pub struct CacheStats {
     pub ckpt_hits: usize,
     /// Persistent checkpoint lookups that fell back to training.
     pub ckpt_misses: usize,
+    /// Provider jobs that skipped eager materialization because their
+    /// checkpoint was known-fresh within the run.
+    pub provider_skips: usize,
 }
 
 /// The thread-safe core of the experiment environment: every component
@@ -281,6 +284,7 @@ pub struct Shared {
     memo_misses: AtomicUsize,
     forest_hits: AtomicUsize,
     forest_misses: AtomicUsize,
+    provider_skips: AtomicUsize,
 }
 
 impl Shared {
@@ -310,6 +314,7 @@ impl Shared {
             memo_misses: AtomicUsize::new(0),
             forest_hits: AtomicUsize::new(0),
             forest_misses: AtomicUsize::new(0),
+            provider_skips: AtomicUsize::new(0),
         }
     }
 
@@ -369,6 +374,7 @@ impl Shared {
             forest_misses: self.forest_misses.load(Ordering::Relaxed),
             ckpt_hits,
             ckpt_misses,
+            provider_skips: self.provider_skips.load(Ordering::Relaxed),
         }
     }
 
@@ -527,25 +533,74 @@ impl Shared {
         )
     }
 
+    /// The word2vec trainer configuration for W2V-Chem.
+    fn w2v_train_cfg(&self) -> word2vec::Word2VecConfig {
+        word2vec::Word2VecConfig {
+            dim: self.cfg.embed_dim,
+            epochs: self.cfg.embed_epochs,
+            seed: self.cfg.seed,
+            ..word2vec::Word2VecConfig::default()
+        }
+    }
+
+    /// Content key of the W2V-Chem checkpoint.
+    fn w2v_ckpt_key(&self) -> String {
+        ckpt::digest_key(
+            ckpt::SCHEMA_W2V,
+            &[&format!("{:?}", self.w2v_train_cfg()), &ckpt::domain_fp(&self.cfg)],
+        )
+    }
+
+    /// Content key of the GloVe-Chem checkpoint. The warm-start parent is a
+    /// training input, so its key is a determinant of this one.
+    fn glove_chem_ckpt_key(&self) -> String {
+        ckpt::digest_key(
+            ckpt::SCHEMA_GLOVE_CHEM,
+            &[
+                &format!("{:?}", self.glove_train_cfg()),
+                &self.glove_ckpt_key(),
+                &ckpt::domain_fp(&self.cfg),
+            ],
+        )
+    }
+
+    /// The fastText trainer configuration for the BioWordVec stand-in.
+    fn biowordvec_train_cfg(&self) -> fasttext::FastTextConfig {
+        fasttext::FastTextConfig {
+            dim: self.cfg.embed_dim,
+            epochs: self.cfg.embed_epochs,
+            buckets: 8_192,
+            seed: self.cfg.seed,
+            ..fasttext::FastTextConfig::default()
+        }
+    }
+
+    /// Content key of the BioWordVec checkpoint.
+    fn biowordvec_ckpt_key(&self) -> String {
+        ckpt::digest_key(
+            ckpt::SCHEMA_BIOWORDVEC,
+            &[
+                &format!("{:?}", self.biowordvec_train_cfg()),
+                &ckpt::domain_fp(&self.cfg),
+                &ckpt::generic_fp(&self.cfg),
+            ],
+        )
+    }
+
     /// W2V-Chem: word2vec trained from scratch on the domain corpus.
     pub fn w2v_chem(&self) -> &EmbeddingTable {
         self.w2v_chem.get_or_init(|| {
-            let cfg = word2vec::Word2VecConfig {
-                dim: self.cfg.embed_dim,
-                epochs: self.cfg.embed_epochs,
-                seed: self.cfg.seed,
-                ..word2vec::Word2VecConfig::default()
-            };
-            let key = ckpt::digest_key(
-                ckpt::SCHEMA_W2V,
-                &[&format!("{cfg:?}"), &ckpt::domain_fp(&self.cfg)],
-            );
-            ckpt::cached(
+            let cfg = self.w2v_train_cfg();
+            ckpt::cached_raw(
                 self.ckpt.as_deref(),
                 "embed-w2v-chem",
-                &key,
+                &self.w2v_ckpt_key(),
+                kcb_embed::store::from_raw,
                 kcb_embed::store::from_bytes,
-                |t| kcb_embed::store::to_bytes(t).to_vec(),
+                |t| {
+                    let (meta, vectors) = kcb_embed::store::raw_parts(t);
+                    (meta, vec![vectors])
+                },
                 || word2vec::train("w2v-chem", self.domain_sentences(), &cfg),
             )
         })
@@ -555,12 +610,16 @@ impl Shared {
     pub fn glove(&self) -> &EmbeddingTable {
         self.glove.get_or_init(|| {
             let cfg = self.glove_train_cfg();
-            ckpt::cached(
+            ckpt::cached_raw(
                 self.ckpt.as_deref(),
                 "embed-glove",
                 &self.glove_ckpt_key(),
+                kcb_embed::store::from_raw,
                 kcb_embed::store::from_bytes,
-                |t| kcb_embed::store::to_bytes(t).to_vec(),
+                |t| {
+                    let (meta, vectors) = kcb_embed::store::raw_parts(t);
+                    (meta, vec![vectors])
+                },
                 || glove::train("glove", self.generic_sentences(), &cfg),
             )
         })
@@ -571,42 +630,32 @@ impl Shared {
     pub fn glove_chem(&self) -> &EmbeddingTable {
         self.glove_chem.get_or_init(|| {
             let cfg = self.glove_train_cfg();
-            // The warm-start parent is a training input, so its key is a
-            // determinant of this one.
-            let key = ckpt::digest_key(
-                ckpt::SCHEMA_GLOVE_CHEM,
-                &[&format!("{cfg:?}"), &self.glove_ckpt_key(), &ckpt::domain_fp(&self.cfg)],
-            );
-            ckpt::cached(
+            ckpt::cached_raw(
                 self.ckpt.as_deref(),
                 "embed-glove-chem",
-                &key,
+                &self.glove_chem_ckpt_key(),
+                kcb_embed::store::from_raw,
                 kcb_embed::store::from_bytes,
-                |t| kcb_embed::store::to_bytes(t).to_vec(),
+                |t| {
+                    let (meta, vectors) = kcb_embed::store::raw_parts(t);
+                    (meta, vec![vectors])
+                },
                 || glove::train_warm("glove-chem", self.domain_sentences(), &cfg, self.glove()),
             )
         })
     }
 
     /// BioWordVec stand-in: fastText subword embeddings on domain +
-    /// generic text.
+    /// generic text. Stays on the version-1 decode container: a fastText
+    /// model is word table + n-gram buckets + composition parameters, not
+    /// one flat matrix, so it exercises the legacy path by design.
     pub fn biowordvec(&self) -> &FastText {
         self.biowordvec.get_or_init(|| {
-            let cfg = fasttext::FastTextConfig {
-                dim: self.cfg.embed_dim,
-                epochs: self.cfg.embed_epochs,
-                buckets: 8_192,
-                seed: self.cfg.seed,
-                ..fasttext::FastTextConfig::default()
-            };
-            let key = ckpt::digest_key(
-                ckpt::SCHEMA_BIOWORDVEC,
-                &[&format!("{cfg:?}"), &ckpt::domain_fp(&self.cfg), &ckpt::generic_fp(&self.cfg)],
-            );
+            let cfg = self.biowordvec_train_cfg();
             ckpt::cached(
                 self.ckpt.as_deref(),
                 "embed-biowordvec",
-                &key,
+                &self.biowordvec_ckpt_key(),
                 kcb_embed::store::fasttext_from_bytes,
                 kcb_embed::store::fasttext_to_bytes,
                 || {
@@ -616,6 +665,32 @@ impl Shared {
                 },
             )
         })
+    }
+
+    /// Freshness probe for a provider the experiment graph schedules
+    /// eagerly: true when a warm checkpoint file plausibly covers it, in
+    /// which case the provider job can skip materialization and let the
+    /// first consumer decode lazily (the getter still verifies in full).
+    /// Unknown names are never fresh.
+    pub fn provider_fresh(&self, name: &str) -> bool {
+        let Some(store) = self.ckpt.as_deref() else { return false };
+        let key = match name {
+            "embed-w2v-chem" => self.w2v_ckpt_key(),
+            "embed-glove" => self.glove_ckpt_key(),
+            "embed-glove-chem" => self.glove_chem_ckpt_key(),
+            "embed-biowordvec" => self.biowordvec_ckpt_key(),
+            "wordpiece" => self.wordpiece_ckpt_key(),
+            _ => return false,
+        };
+        // glove-chem warm-starts from glove: its checkpoint replaces the
+        // training, so a fresh child never needs the parent materialised.
+        store.is_fresh(name, &key)
+    }
+
+    /// Counts one provider job that skipped eager materialization because
+    /// its checkpoint was known-fresh (reported via `run_meta.json`).
+    pub fn note_provider_skip(&self) {
+        self.provider_skips.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Token-level embedding model by table name.
@@ -814,36 +889,87 @@ impl Lab {
         &self.shared
     }
 
+    /// Content key of the mini-BERT checkpoint. Forces the (cheap,
+    /// checkpointed) WordPiece vocabulary: its size fixes the architecture.
+    fn bert_ckpt_key(&self) -> (TransformerConfig, String) {
+        let arch = TransformerConfig {
+            vocab_size: self.wordpiece().vocab_size(),
+            ..self.shared.cfg.bert_arch
+        };
+        let key = ckpt::digest_key(
+            ckpt::SCHEMA_BERT,
+            &[
+                &format!("{arch:?}"),
+                &format!("{:?}", self.shared.cfg.bert_pretrain),
+                &self.shared.cfg.bert_pretrain_cap.to_string(),
+                &self.shared.wordpiece_ckpt_key(),
+                &ckpt::domain_fp(&self.shared.cfg),
+            ],
+        );
+        (arch, key)
+    }
+
+    /// Content key of the BioGPT-mini checkpoint.
+    fn biogpt_ckpt_key(&self) -> (TransformerConfig, String) {
+        let arch = TransformerConfig {
+            vocab_size: self.wordpiece().vocab_size(),
+            ..self.shared.cfg.gpt_arch
+        };
+        let key = ckpt::digest_key(
+            ckpt::SCHEMA_BIOGPT,
+            &[
+                &format!("{arch:?}"),
+                &format!("{:?}", self.shared.cfg.gpt_pretrain),
+                &self.shared.cfg.gpt_pretrain_cap.to_string(),
+                &self.shared.wordpiece_ckpt_key(),
+                &ckpt::domain_fp(&self.shared.cfg),
+            ],
+        );
+        (arch, key)
+    }
+
+    /// Freshness probe covering the driver-thread LM providers as well as
+    /// everything [`Shared::provider_fresh`] knows. The LM keys need the
+    /// WordPiece vocabulary size, so probing them materialises that one
+    /// (cheap, itself checkpointed) dependency.
+    pub fn provider_fresh(&self, name: &str) -> bool {
+        if self.shared.checkpoint_store().is_none() {
+            return false;
+        }
+        match name {
+            "lm-bert" => {
+                let (_, key) = self.bert_ckpt_key();
+                self.shared.checkpoint_store().is_some_and(|s| s.is_fresh(name, &key))
+            }
+            "lm-biogpt" => {
+                let (_, key) = self.biogpt_ckpt_key();
+                self.shared.checkpoint_store().is_some_and(|s| s.is_fresh(name, &key))
+            }
+            other => self.shared.provider_fresh(other),
+        }
+    }
+
     /// The MLM-pre-trained mini-BERT plus its pre-trained weight snapshot.
     /// Fine-tuning runs mutate the model in place; call
     /// [`kcb_lm::MiniBert::restore`] with the snapshot to reset it.
     /// Driver-thread only (the model is `!Send`).
     pub fn bert(&self) -> &(MiniBert, Vec<Matrix>) {
         self.bert.get_or_init(|| {
-            let arch = TransformerConfig {
-                vocab_size: self.wordpiece().vocab_size(),
-                ..self.shared.cfg.bert_arch
-            };
-            let key = ckpt::digest_key(
-                ckpt::SCHEMA_BERT,
-                &[
-                    &format!("{arch:?}"),
-                    &format!("{:?}", self.shared.cfg.bert_pretrain),
-                    &self.shared.cfg.bert_pretrain_cap.to_string(),
-                    &self.shared.wordpiece_ckpt_key(),
-                    &ckpt::domain_fp(&self.shared.cfg),
-                ],
-            );
+            let (arch, key) = self.bert_ckpt_key();
             let bert = MiniBert::new(MiniBertConfig { arch, mask_prob: 0.15 });
             // Freshly initialised weights double as the shape reference a
             // cached snapshot must match to be usable.
             let expect = bert.snapshot();
-            let snapshot = ckpt::cached(
+            let snapshot = ckpt::cached_raw(
                 self.shared.ckpt.as_deref(),
                 "lm-bert",
                 &key,
+                |meta, raw| decode_snapshot_raw(meta, raw, &expect),
                 |b| decode_snapshot(b, &expect),
-                |w| kcb_lm::ckpt::weights_to_bytes(w),
+                |w| {
+                    let (meta, parts) = kcb_lm::ckpt::weights_raw_parts(w);
+                    (meta, parts)
+                },
                 || {
                     let corpus = self.encode_corpus_for_lm(self.shared.cfg.bert_pretrain_cap);
                     bert.pretrain_mlm(&corpus, &self.shared.cfg.bert_pretrain);
@@ -883,12 +1009,16 @@ impl Lab {
             );
             let gpt = MiniGpt::new(MiniGptConfig { arch });
             let expect = gpt.snapshot();
-            let snapshot = ckpt::cached(
+            let snapshot = ckpt::cached_raw(
                 self.shared.ckpt.as_deref(),
                 "lm-biogpt",
                 &key,
+                |meta, raw| decode_snapshot_raw(meta, raw, &expect),
                 |b| decode_snapshot(b, &expect),
-                |w| kcb_lm::ckpt::weights_to_bytes(w),
+                |w| {
+                    let (meta, parts) = kcb_lm::ckpt::weights_raw_parts(w);
+                    (meta, parts)
+                },
                 || {
                     let mut corpus = self.encode_corpus_for_lm(self.shared.cfg.gpt_pretrain_cap);
                     let o = self.ontology();
@@ -971,7 +1101,20 @@ impl Lab {
 /// don't match the freshly initialised model — a stale snapshot must fall
 /// back to retraining, never panic inside `restore`.
 fn decode_snapshot(bytes: &[u8], expect: &[Matrix]) -> kcb_util::Result<Vec<Matrix>> {
-    let w = kcb_lm::ckpt::weights_from_bytes(bytes)?;
+    check_snapshot_shapes(kcb_lm::ckpt::weights_from_bytes(bytes)?, expect)
+}
+
+/// Raw-container counterpart of [`decode_snapshot`]: weights borrow the
+/// mapped payload zero-copy, with the same shape gate.
+fn decode_snapshot_raw(
+    meta: &[u8],
+    raw: &kcb_util::mmap::RawSection,
+    expect: &[Matrix],
+) -> kcb_util::Result<Vec<Matrix>> {
+    check_snapshot_shapes(kcb_lm::ckpt::weights_from_raw(meta, raw)?, expect)
+}
+
+fn check_snapshot_shapes(w: Vec<Matrix>, expect: &[Matrix]) -> kcb_util::Result<Vec<Matrix>> {
     let ok = w.len() == expect.len()
         && w.iter().zip(expect).all(|(a, b)| a.rows() == b.rows() && a.cols() == b.cols());
     if !ok {

@@ -12,6 +12,7 @@
 pub mod fasttext;
 pub mod glove;
 pub mod model;
+pub mod quant;
 pub mod random;
 mod shard;
 pub mod store;
@@ -20,5 +21,6 @@ pub mod word2vec;
 pub use fasttext::{FastText, FastTextConfig};
 pub use glove::GloveConfig;
 pub use model::{embed_or_random, oov_rate, EmbeddingModel, EmbeddingTable, Lookup};
+pub use quant::QuantizedEmbeddingTable;
 pub use random::RandomEmbedding;
 pub use word2vec::Word2VecConfig;

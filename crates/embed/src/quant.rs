@@ -1,0 +1,155 @@
+//! Int8-quantized embedding tables for the raw-speed query path.
+//!
+//! A [`QuantizedEmbeddingTable`] stores the vector matrix of an
+//! [`EmbeddingTable`] as per-row symmetric int8 codes
+//! ([`kcb_ml::quant::QuantizedMatrix`]), about 4× smaller than f32. Lookups
+//! dequantize on the fly (so the table is a drop-in [`EmbeddingModel`]),
+//! while [`QuantizedEmbeddingTable::nearest`] ranks by cosine on the raw
+//! int8 codes: per-row positive scales cancel in cosine, so ranking needs
+//! no dequantization at all — just the exact-i32 [`kcb_util::simd::dot_i8`]
+//! kernel. Parity with the f32 path is measured by the calibration artifact
+//! rather than assumed; the quantized path never feeds training.
+
+use crate::model::{EmbeddingModel, EmbeddingTable, Lookup};
+use kcb_ml::quant::QuantizedMatrix;
+use kcb_text::Vocab;
+
+/// An embedding table with int8-quantized vectors.
+pub struct QuantizedEmbeddingTable {
+    name: String,
+    vocab: Vocab,
+    q: QuantizedMatrix,
+}
+
+impl QuantizedEmbeddingTable {
+    /// Quantizes a trained f32 table.
+    pub fn quantize(table: &EmbeddingTable) -> Self {
+        Self {
+            name: format!("{}-int8", table.name()),
+            vocab: table.vocab().clone(),
+            q: QuantizedMatrix::quantize(table.vectors()),
+        }
+    }
+
+    /// The vocabulary.
+    pub fn vocab(&self) -> &Vocab {
+        &self.vocab
+    }
+
+    /// The quantized matrix (codes + per-row scales).
+    pub fn matrix(&self) -> &QuantizedMatrix {
+        &self.q
+    }
+
+    /// Quantized payload bytes (codes + scales), for size reporting.
+    pub fn payload_bytes(&self) -> usize {
+        self.q.payload_bytes()
+    }
+
+    /// Cosine-similarity nearest neighbours of a token (excluding itself)
+    /// computed entirely on int8 codes: `(token, similarity)` pairs, best
+    /// first. Mirrors [`EmbeddingTable::nearest`].
+    pub fn nearest(&self, token: &str, k: usize) -> Vec<(String, f32)> {
+        let Some(id) = self.vocab.id(token) else { return Vec::new() };
+        let q = self.q.row(id as usize);
+        let mut sims: Vec<(u32, f32)> = (0..self.vocab.len() as u32)
+            .filter(|&i| i != id)
+            .map(|i| (i, kcb_ml::quant::cosine_i8(q, self.q.row(i as usize)) as f32))
+            .collect();
+        sims.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("NaN similarity"));
+        sims.truncate(k);
+        sims.into_iter().map(|(i, s)| (self.vocab.token(i).to_string(), s)).collect()
+    }
+}
+
+impl EmbeddingModel for QuantizedEmbeddingTable {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn dim(&self) -> usize {
+        self.q.cols()
+    }
+
+    fn vocab_size(&self) -> usize {
+        self.vocab.len()
+    }
+
+    fn embed_into(&self, token: &str, out: &mut [f32]) -> Lookup {
+        match self.vocab.id(token) {
+            Some(id) => {
+                self.q.dequantize_row_into(id as usize, out);
+                Lookup::InVocab
+            }
+            None => Lookup::Oov,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kcb_ml::linalg::Matrix;
+    use std::collections::HashMap;
+
+    fn table() -> EmbeddingTable {
+        let counts: HashMap<String, u64> = [
+            ("acid".to_string(), 9u64),
+            ("oxan".to_string(), 6),
+            ("sterol".to_string(), 4),
+            ("yl".to_string(), 2),
+        ]
+        .into_iter()
+        .collect();
+        let vocab = Vocab::from_counts(counts, 0);
+        let vectors = Matrix::from_rows(vec![
+            vec![0.9, -0.5, 2.0, 0.1],
+            vec![0.8, -0.4, 1.9, 0.2], // close to row 0
+            vec![-1.0, 1.0, -2.0, 0.0], // opposite
+            vec![0.0, 3.0, 0.0, 0.0],
+        ]);
+        EmbeddingTable::new("toy", vocab, vectors)
+    }
+
+    #[test]
+    fn lookup_is_dequantized_within_half_step() {
+        let t = table();
+        let q = QuantizedEmbeddingTable::quantize(&t);
+        assert_eq!(q.dim(), t.dim());
+        assert_eq!(q.vocab_size(), t.vocab_size());
+        assert_eq!(q.name(), "toy-int8");
+        let mut f = vec![0.0; t.dim()];
+        let mut d = vec![0.0; t.dim()];
+        for id in 0..t.vocab_size() as u32 {
+            let tok = t.vocab().token(id).to_string();
+            assert!(t.embed_into(&tok, &mut f).in_vocab());
+            assert!(q.embed_into(&tok, &mut d).in_vocab());
+            let bound = q.matrix().scale(id as usize) * 0.5 + f32::EPSILON;
+            for (a, b) in f.iter().zip(&d) {
+                assert!((a - b).abs() <= bound, "{tok}: {a} vs {b}");
+            }
+        }
+        assert_eq!(q.embed_into("missing", &mut d), Lookup::Oov);
+    }
+
+    #[test]
+    fn int8_nearest_agrees_with_f32_on_separated_neighbours() {
+        let t = table();
+        let q = QuantizedEmbeddingTable::quantize(&t);
+        let tok = t.vocab().token(0).to_string();
+        let nf: Vec<String> = t.nearest(&tok, 2).into_iter().map(|(n, _)| n).collect();
+        let ni: Vec<String> = q.nearest(&tok, 2).into_iter().map(|(n, _)| n).collect();
+        assert_eq!(nf, ni, "well-separated neighbour order must survive int8");
+        assert!(q.nearest("missing", 3).is_empty());
+    }
+
+    #[test]
+    fn quantized_payload_is_smaller() {
+        let t = table();
+        let q = QuantizedEmbeddingTable::quantize(&t);
+        let f32_bytes = t.vectors().as_slice().len() * 4;
+        // One byte per element plus one f32 scale per row.
+        assert_eq!(q.payload_bytes(), t.vectors().as_slice().len() + t.vocab_size() * 4);
+        assert!(q.payload_bytes() <= f32_bytes / 2);
+    }
+}

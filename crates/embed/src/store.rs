@@ -76,6 +76,71 @@ pub fn from_bytes(mut buf: &[u8]) -> Result<EmbeddingTable> {
     Ok(EmbeddingTable::new(name, vocab, Matrix::from_vec(data, n, dim)))
 }
 
+/// Version tag for the raw-payload split encoding ([`raw_parts`]).
+const RAW_VERSION: u32 = 2;
+
+/// Splits a table into a small metadata blob (shape, name, vocabulary
+/// records — everything except vectors) plus the flat vector slice, for the
+/// raw-payload (`KCBC` v2) container section. The payload is the row-major
+/// vector matrix.
+pub fn raw_parts(table: &EmbeddingTable) -> (Vec<u8>, &[f32]) {
+    let vocab = table.vocab();
+    let dim = table.vectors().cols();
+    let mut buf = BytesMut::with_capacity(16 + vocab.len() * 16);
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(RAW_VERSION);
+    buf.put_u32_le(dim as u32);
+    buf.put_u32_le(vocab.len() as u32);
+    put_str(&mut buf, table.name());
+    for id in 0..vocab.len() as u32 {
+        put_str(&mut buf, vocab.token(id));
+        buf.put_u64_le(vocab.count(id));
+    }
+    (buf.to_vec(), table.vectors().as_slice())
+}
+
+/// Rebuilds a table from [`raw_parts`] metadata plus the raw section. The
+/// vector matrix borrows the section zero-copy when it is memory-mapped and
+/// aligned; bits are identical to the decode path either way.
+pub fn from_raw(meta: &[u8], raw: &kcb_util::mmap::RawSection) -> Result<EmbeddingTable> {
+    let err = |m: &str| Error::parse("embedding store", m);
+    let mut buf: &[u8] = meta;
+    if buf.remaining() < 16 || &buf[..4] != MAGIC {
+        return Err(err("bad magic"));
+    }
+    buf.advance(4);
+    let version = buf.get_u32_le();
+    if version != RAW_VERSION {
+        return Err(err(&format!("unsupported raw version {version}")));
+    }
+    let dim = buf.get_u32_le() as usize;
+    let n = buf.get_u32_le() as usize;
+    let name = get_str(&mut buf)?;
+    let mut counts: Vec<(String, u64)> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let tok = get_str(&mut buf)?;
+        if buf.remaining() < 8 {
+            return Err(err("truncated record"));
+        }
+        counts.push((tok, buf.get_u64_le()));
+    }
+    if buf.remaining() != 0 {
+        return Err(err("trailing metadata bytes"));
+    }
+    if n.saturating_mul(dim).saturating_mul(4) != raw.len() {
+        return Err(err("raw payload size does not match table shape"));
+    }
+    let map: HashMap<String, u64> = counts.iter().cloned().collect();
+    let vocab = Vocab::from_counts(map, 0);
+    for (i, (tok, _)) in counts.iter().enumerate() {
+        if vocab.id(tok) != Some(i as u32) {
+            return Err(err("vocabulary order mismatch (corrupt or duplicate tokens)"));
+        }
+    }
+    let vectors = Matrix::from_shared(raw.f32s(0, n * dim)?, n, dim);
+    Ok(EmbeddingTable::new(name, vocab, vectors))
+}
+
 /// Serializes a trained [`FastText`](crate::FastText) model (word table,
 /// n-gram buckets, composition parameters) to bytes. Format: magic `KCBX`,
 /// version u32, name, dim/buckets/min_n/max_n, vocabulary records, then
@@ -156,6 +221,28 @@ mod tests {
             assert_eq!(t.vocab().count(id), u.vocab().count(id));
             assert_eq!(t.vector(id), u.vector(id));
         }
+    }
+
+    #[test]
+    fn raw_parts_round_trip_exact() {
+        let t = table();
+        let (meta, vectors) = raw_parts(&t);
+        let (bytes, sums) = kcb_util::mmap::pack_f32s(&[vectors]);
+        let len = bytes.len();
+        let raw = kcb_util::mmap::RawSection::from_owned(bytes, 0, len, sums).unwrap();
+        let u = from_raw(&meta, &raw).unwrap();
+        assert_eq!(u.name(), t.name());
+        assert_eq!(u.vocab_size(), t.vocab_size());
+        for id in 0..3u32 {
+            assert_eq!(t.vocab().token(id), u.vocab().token(id));
+            assert_eq!(t.vocab().count(id), u.vocab().count(id));
+            assert_eq!(t.vector(id), u.vector(id));
+        }
+        // Mismatched payload size (extra row) must reject.
+        let (bytes2, sums2) = kcb_util::mmap::pack_f32s(&[vectors, &[1.0, 2.0, 3.0]]);
+        let len2 = bytes2.len();
+        let raw2 = kcb_util::mmap::RawSection::from_owned(bytes2, 0, len2, sums2).unwrap();
+        assert!(from_raw(&meta, &raw2).is_err());
     }
 
     #[test]

@@ -9,10 +9,13 @@
 
 use kcb_ml::linalg::Matrix;
 use kcb_util::bin::{Reader, Writer};
+use kcb_util::mmap::RawSection;
 use kcb_util::Result;
 
 const MAGIC: &[u8; 4] = b"KCBW";
 const VERSION: u32 = 1;
+/// Version tag for the raw-payload split encoding ([`weights_raw_parts`]).
+const RAW_VERSION: u32 = 2;
 
 /// Encodes a weight snapshot (ordered matrices) into a standalone blob.
 pub fn weights_to_bytes(weights: &[Matrix]) -> Vec<u8> {
@@ -53,6 +56,53 @@ pub fn weights_from_bytes(bytes: &[u8]) -> Result<Vec<Matrix>> {
     Ok(out)
 }
 
+/// Splits a snapshot into a small shape-metadata blob plus the flat f32
+/// slices, in order, for the raw-payload (`KCBC` v2) container section.
+/// The payload layout is simply the matrices' elements concatenated.
+pub fn weights_raw_parts(weights: &[Matrix]) -> (Vec<u8>, Vec<&[f32]>) {
+    let mut w = Writer::new();
+    w.raw(MAGIC);
+    w.u32(RAW_VERSION);
+    w.u32(weights.len() as u32);
+    for m in weights {
+        w.u32(m.rows() as u32);
+        w.u32(m.cols() as u32);
+    }
+    (w.into_bytes(), weights.iter().map(|m| m.as_slice()).collect())
+}
+
+/// Rebuilds a snapshot from [`weights_raw_parts`] metadata plus the raw
+/// section. Matrices borrow the section zero-copy when it is memory-mapped
+/// and aligned; bits are identical to the decode path either way.
+pub fn weights_from_raw(meta: &[u8], raw: &RawSection) -> Result<Vec<Matrix>> {
+    let mut r = Reader::new(meta, "lm-weights-raw");
+    r.magic(MAGIC)?;
+    r.version(RAW_VERSION)?;
+    let n = r.u32()? as usize;
+    r.sized(n, 8)?;
+    let mut shapes = Vec::with_capacity(n);
+    for _ in 0..n {
+        let rows = r.u32()? as usize;
+        let cols = r.u32()? as usize;
+        shapes.push((rows, cols));
+    }
+    r.finish()?;
+    let mut out = Vec::with_capacity(n);
+    let mut off = 0usize;
+    for (rows, cols) in shapes {
+        let len = rows.saturating_mul(cols);
+        out.push(Matrix::from_shared(raw.f32s(off, len)?, rows, cols));
+        off += len;
+    }
+    if off * 4 != raw.len() {
+        return Err(kcb_util::Error::parse(
+            "lm-weights-raw",
+            format!("raw payload holds {} bytes, shapes need {}", raw.len(), off * 4),
+        ));
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -76,6 +126,34 @@ mod tests {
                 |m: &Matrix| m.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
             assert_eq!(bits(a), bits(b));
         }
+    }
+
+    #[test]
+    fn raw_parts_round_trip_is_bit_exact() {
+        let ws = sample();
+        let (meta, parts) = weights_raw_parts(&ws);
+        let (bytes, sums) = kcb_util::mmap::pack_f32s(&parts);
+        let len = bytes.len();
+        let raw = RawSection::from_owned(bytes, 0, len, sums).unwrap();
+        let decoded = weights_from_raw(&meta, &raw).expect("decode raw");
+        assert_eq!(decoded.len(), ws.len());
+        for (a, b) in ws.iter().zip(&decoded) {
+            assert_eq!((a.rows(), a.cols()), (b.rows(), b.cols()));
+            let bits = |m: &Matrix| m.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(a), bits(b));
+        }
+    }
+
+    #[test]
+    fn raw_parts_reject_payload_size_mismatch() {
+        let ws = sample();
+        let (meta, parts) = weights_raw_parts(&ws);
+        let (mut bytes, _) = kcb_util::mmap::pack_f32s(&parts);
+        bytes.extend_from_slice(&[0u8; 8]); // extra trailing elements
+        let sums = bytes.chunks(kcb_util::mmap::STRIPE).map(kcb_util::fnv1a).collect();
+        let len = bytes.len();
+        let raw = RawSection::from_owned(bytes, 0, len, sums).unwrap();
+        assert!(weights_from_raw(&meta, &raw).is_err());
     }
 
     #[test]

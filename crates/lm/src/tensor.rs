@@ -846,10 +846,7 @@ pub fn matmul_nn(a: &Matrix, b: &Matrix) -> Matrix {
                 for k in 0..inner {
                     let bk: &[f32; NR] = b.row(k)[j..j + NR].try_into().expect("NR slice");
                     for (accr, arow) in acc.iter_mut().zip(&ar) {
-                        let av = arow[k];
-                        for (accv, bv) in accr.iter_mut().zip(bk) {
-                            *accv += av * bv;
-                        }
+                        kcb_util::simd::fma_tile8(accr, arow[k], bk);
                     }
                 }
                 for (i2, accr) in acc.iter().enumerate() {
@@ -918,9 +915,7 @@ pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
                         a_flat[k * a_cols + first + r..][..MR].try_into().expect("MR slice");
                     let bk: &[f32; NR] = b.row(k)[j..j + NR].try_into().expect("NR slice");
                     for (accr, &av) in acc.iter_mut().zip(avs) {
-                        for (accv, bv) in accr.iter_mut().zip(bk) {
-                            *accv += av * bv;
-                        }
+                        kcb_util::simd::fma_tile8(accr, av, bk);
                     }
                 }
                 for (i2, accr) in acc.iter().enumerate() {

@@ -16,6 +16,7 @@ pub mod linalg;
 pub mod lstm;
 pub mod metrics;
 pub mod model_select;
+pub mod quant;
 pub mod stats;
 pub mod tree;
 

@@ -2,25 +2,61 @@
 //! kernels shared by the learners. Flat storage (one allocation per matrix)
 //! keeps hot loops cache-friendly; the per-row API hands out plain slices.
 
+use kcb_util::mmap::SharedF32;
+
+/// Backing storage for [`Matrix`]: an owned buffer, or a zero-copy view
+/// borrowed from a memory-mapped checkpoint. Mutation promotes to `Owned`
+/// (copy-on-write), so kernels never observe the difference.
+#[derive(Debug, Clone)]
+enum Storage {
+    Owned(Vec<f32>),
+    Shared(SharedF32),
+}
+
+impl Storage {
+    #[inline]
+    fn as_slice(&self) -> &[f32] {
+        match self {
+            Storage::Owned(v) => v,
+            Storage::Shared(s) => s.as_slice(),
+        }
+    }
+}
+
 /// Row-major dense matrix of `f32`.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Matrix {
-    data: Vec<f32>,
+    data: Storage,
     rows: usize,
     cols: usize,
+}
+
+impl PartialEq for Matrix {
+    fn eq(&self, other: &Self) -> bool {
+        self.rows == other.rows
+            && self.cols == other.cols
+            && self.as_slice() == other.as_slice()
+    }
 }
 
 impl Matrix {
     /// Zero-filled matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { data: vec![0.0; rows * cols], rows, cols }
+        Self { data: Storage::Owned(vec![0.0; rows * cols]), rows, cols }
     }
 
     /// Builds from a flat row-major buffer. Panics when the length does not
     /// equal `rows * cols`.
     pub fn from_vec(data: Vec<f32>, rows: usize, cols: usize) -> Self {
         assert_eq!(data.len(), rows * cols, "matrix shape mismatch");
-        Self { data, rows, cols }
+        Self { data: Storage::Owned(data), rows, cols }
+    }
+
+    /// Builds from a shared (possibly memory-mapped) buffer without copying.
+    /// Panics when the view length does not equal `rows * cols`.
+    pub fn from_shared(data: SharedF32, rows: usize, cols: usize) -> Self {
+        assert_eq!(data.len(), rows * cols, "matrix shape mismatch");
+        Self { data: Storage::Shared(data), rows, cols }
     }
 
     /// Builds row-by-row from an iterator of equal-length rows.
@@ -36,7 +72,7 @@ impl Matrix {
             data.extend_from_slice(&row);
             n_rows += 1;
         }
-        Self { data, rows: n_rows, cols }
+        Self { data: Storage::Owned(data), rows: n_rows, cols }
     }
 
     /// Number of rows.
@@ -54,35 +90,53 @@ impl Matrix {
     /// Row as a slice.
     #[inline]
     pub fn row(&self, r: usize) -> &[f32] {
-        &self.data[r * self.cols..(r + 1) * self.cols]
+        &self.as_slice()[r * self.cols..(r + 1) * self.cols]
     }
 
-    /// Mutable row slice.
+    /// Mutable row slice. Promotes shared storage to owned first.
     #[inline]
     pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
-        &mut self.data[r * self.cols..(r + 1) * self.cols]
+        let cols = self.cols;
+        &mut self.owned_mut()[r * cols..(r + 1) * cols]
     }
 
     /// Single element.
     #[inline]
     pub fn get(&self, r: usize, c: usize) -> f32 {
-        self.data[r * self.cols + c]
+        self.as_slice()[r * self.cols + c]
     }
 
     /// Flat backing slice.
+    #[inline]
     pub fn as_slice(&self) -> &[f32] {
-        &self.data
+        self.data.as_slice()
     }
 
     /// Mutable flat backing slice (row-major). Lets parallel kernels split
-    /// the matrix into disjoint row chunks via `chunks_mut`.
+    /// the matrix into disjoint row chunks via `chunks_mut`. Promotes shared
+    /// storage to owned (copy-on-write) first.
     pub fn as_mut_slice(&mut self) -> &mut [f32] {
-        &mut self.data
+        self.owned_mut()
+    }
+
+    /// True when the matrix borrows shared (mapped) storage.
+    pub fn is_shared(&self) -> bool {
+        matches!(self.data, Storage::Shared(_))
+    }
+
+    fn owned_mut(&mut self) -> &mut Vec<f32> {
+        if let Storage::Shared(s) = &self.data {
+            self.data = Storage::Owned(s.as_slice().to_vec());
+        }
+        match &mut self.data {
+            Storage::Owned(v) => v,
+            Storage::Shared(_) => unreachable!("just promoted"),
+        }
     }
 
     /// Iterates over rows.
     pub fn iter_rows(&self) -> impl Iterator<Item = &[f32]> {
-        self.data.chunks_exact(self.cols)
+        self.as_slice().chunks_exact(self.cols)
     }
 }
 
@@ -95,27 +149,13 @@ pub fn sigmoid(x: f32) -> f32 {
 
 /// Dot product, accumulated in four independent lanes (lane `i` sums the
 /// products at indices `≡ i mod 4`, then `(l0+l2)+(l1+l3)` plus the tail in
-/// order). Strict left-to-right summation would force scalar code; the
-/// fixed lane association lets LLVM emit SIMD while staying bitwise
-/// deterministic for a given slice length.
+/// order). Dispatches to the explicit-width kernels in `kcb_util::simd`;
+/// every backend preserves that association, so results stay bitwise
+/// deterministic for a given slice length regardless of backend or thread
+/// count.
 #[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len());
-    let mut lanes = [0.0f32; 4];
-    let ca = a.chunks_exact(4);
-    let cb = b.chunks_exact(4);
-    let (ra, rb) = (ca.remainder(), cb.remainder());
-    for (x, y) in ca.zip(cb) {
-        lanes[0] += x[0] * y[0];
-        lanes[1] += x[1] * y[1];
-        lanes[2] += x[2] * y[2];
-        lanes[3] += x[3] * y[3];
-    }
-    let mut s = (lanes[0] + lanes[2]) + (lanes[1] + lanes[3]);
-    for (x, y) in ra.iter().zip(rb) {
-        s += x * y;
-    }
-    s
+    kcb_util::simd::dot(a, b)
 }
 
 /// Four dot products of `a` against `b0..b3`, interleaved. Each result is
@@ -125,39 +165,13 @@ pub fn dot(a: &[f32], b: &[f32]) -> f32 {
 /// needs on one core.
 #[inline]
 pub fn dot4(a: &[f32], b0: &[f32], b1: &[f32], b2: &[f32], b3: &[f32]) -> [f32; 4] {
-    debug_assert!(a.len() == b0.len() && a.len() == b1.len());
-    debug_assert!(a.len() == b2.len() && a.len() == b3.len());
-    let mut lanes = [[0.0f32; 4]; 4];
-    let n4 = (a.len() / 4) * 4;
-    let mut i = 0;
-    while i < n4 {
-        let av: &[f32] = &a[i..i + 4];
-        for (l, b) in lanes.iter_mut().zip([b0, b1, b2, b3]) {
-            let bv = &b[i..i + 4];
-            for c in 0..4 {
-                l[c] += av[c] * bv[c];
-            }
-        }
-        i += 4;
-    }
-    let mut out = [0.0f32; 4];
-    for (o, (l, b)) in out.iter_mut().zip(lanes.iter().zip([b0, b1, b2, b3])) {
-        let mut s = (l[0] + l[2]) + (l[1] + l[3]);
-        for (x, y) in a[n4..].iter().zip(&b[n4..]) {
-            s += x * y;
-        }
-        *o = s;
-    }
-    out
+    kcb_util::simd::dot4(a, b0, b1, b2, b3)
 }
 
 /// `y += alpha * x`.
 #[inline]
 pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
-    debug_assert_eq!(x.len(), y.len());
-    for (yi, xi) in y.iter_mut().zip(x) {
-        *yi += alpha * xi;
-    }
+    kcb_util::simd::axpy(alpha, x, y)
 }
 
 /// Euclidean norm.
@@ -256,6 +270,23 @@ mod tests {
                 assert_eq!(d[i], dot(&a, b), "len {len} lane {i}");
             }
         }
+    }
+
+    #[test]
+    fn shared_storage_reads_like_owned_and_promotes_on_write() {
+        let data = vec![1.0f32, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let owned = Matrix::from_vec(data.clone(), 2, 3);
+        let shared = Matrix::from_shared(kcb_util::mmap::SharedF32::from_vec(data), 2, 3);
+        assert!(shared.is_shared());
+        assert_eq!(shared, owned);
+        assert_eq!(shared.row(1), owned.row(1));
+        assert_eq!(shared.get(0, 2), 3.0);
+        let mut promoted = shared.clone();
+        promoted.row_mut(0)[0] = 9.0;
+        assert!(!promoted.is_shared());
+        assert_eq!(promoted.get(0, 0), 9.0);
+        // The original shared view is untouched (copy-on-write).
+        assert_eq!(shared.get(0, 0), 1.0);
     }
 
     #[test]

@@ -1,0 +1,240 @@
+//! Per-row symmetric int8 quantization for inference-time weight tables.
+//!
+//! Each row of a [`Matrix`] gets one scale `s = max_abs / 127`; elements are
+//! stored as `round(x / s)` clamped to `[-127, 127]` (the full `-128` code
+//! is unused so negation stays exact). Dequantization is `q * s`. Training
+//! never sees quantized weights — this is an inference-only representation
+//! for the query path, with parity proven by the `quant_calibration.json`
+//! artifact rather than assumed.
+//!
+//! The useful algebraic fact, exploited by the nearest-neighbour path: for
+//! per-row scales `s_a, s_b > 0`,
+//! `cosine(dequant(a), dequant(b)) == cosine(a_q, b_q)` exactly in real
+//! arithmetic (the scales cancel), so int8 cosine ranking can run on the
+//! raw codes via [`kcb_util::simd::dot_i8`] without dequantizing at all.
+
+use crate::linalg::Matrix;
+
+/// A row-major matrix quantized to int8 with one symmetric scale per row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedMatrix {
+    data: Vec<i8>,
+    scales: Vec<f32>,
+    rows: usize,
+    cols: usize,
+}
+
+impl QuantizedMatrix {
+    /// Quantizes `m` row by row. All-zero rows get scale 0 and all-zero
+    /// codes (dequantizing back to exact zeros).
+    pub fn quantize(m: &Matrix) -> Self {
+        let (rows, cols) = (m.rows(), m.cols());
+        let mut data = Vec::with_capacity(rows * cols);
+        let mut scales = Vec::with_capacity(rows);
+        for r in 0..rows {
+            let row = m.row(r);
+            let max_abs = row.iter().fold(0.0f32, |acc, v| acc.max(v.abs()));
+            if max_abs == 0.0 || !max_abs.is_finite() {
+                scales.push(0.0);
+                data.extend(std::iter::repeat_n(0i8, cols));
+                continue;
+            }
+            let scale = max_abs / 127.0;
+            scales.push(scale);
+            for &v in row {
+                let q = (v / scale).round().clamp(-127.0, 127.0);
+                data.push(q as i8);
+            }
+        }
+        Self { data, scales, rows, cols }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Quantized codes for one row.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[i8] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Scale for one row (0.0 for all-zero rows).
+    #[inline]
+    pub fn scale(&self, r: usize) -> f32 {
+        self.scales[r]
+    }
+
+    /// Dequantizes one row into `out` (`out.len() == cols`).
+    pub fn dequantize_row_into(&self, r: usize, out: &mut [f32]) {
+        debug_assert_eq!(out.len(), self.cols);
+        let s = self.scales[r];
+        for (o, &q) in out.iter_mut().zip(self.row(r)) {
+            *o = f32::from(q) * s;
+        }
+    }
+
+    /// Dequantizes the whole matrix back to f32.
+    pub fn dequantize(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            self.dequantize_row_into(r, out.row_mut(r));
+        }
+        out
+    }
+
+    /// Bytes of quantized payload (codes + scales), for size reporting.
+    pub fn payload_bytes(&self) -> usize {
+        self.data.len() + self.scales.len() * 4
+    }
+
+    /// Worst-case absolute reconstruction error over all elements.
+    pub fn max_abs_error(&self, reference: &Matrix) -> f32 {
+        assert_eq!((self.rows, self.cols), (reference.rows(), reference.cols()));
+        let mut worst = 0.0f32;
+        let mut buf = vec![0.0f32; self.cols];
+        for r in 0..self.rows {
+            self.dequantize_row_into(r, &mut buf);
+            for (d, v) in buf.iter().zip(reference.row(r)) {
+                worst = worst.max((d - v).abs());
+            }
+        }
+        worst
+    }
+
+    /// Root-mean-square reconstruction error over all elements.
+    pub fn rmse(&self, reference: &Matrix) -> f64 {
+        assert_eq!((self.rows, self.cols), (reference.rows(), reference.cols()));
+        let n = (self.rows * self.cols).max(1);
+        let mut sum = 0.0f64;
+        let mut buf = vec![0.0f32; self.cols];
+        for r in 0..self.rows {
+            self.dequantize_row_into(r, &mut buf);
+            for (d, v) in buf.iter().zip(reference.row(r)) {
+                let e = f64::from(d - v);
+                sum += e * e;
+            }
+        }
+        (sum / n as f64).sqrt()
+    }
+}
+
+/// Cosine similarity between two int8 rows using exact i32 dot products.
+/// Equals the f32 cosine of the dequantized rows up to f64 rounding (the
+/// per-row scales cancel); 0.0 when either row is all-zero.
+pub fn cosine_i8(a: &[i8], b: &[i8]) -> f64 {
+    let dot = f64::from(kcb_util::simd::dot_i8(a, b));
+    let na = f64::from(kcb_util::simd::dot_i8(a, a)).sqrt();
+    let nb = f64::from(kcb_util::simd::dot_i8(b, b)).sqrt();
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn toy() -> Matrix {
+        Matrix::from_rows(vec![
+            vec![1.0, -2.0, 0.5, 0.25],
+            vec![0.0, 0.0, 0.0, 0.0],
+            vec![-127.0, 127.0, 63.5, 1.0],
+        ])
+    }
+
+    #[test]
+    fn round_trip_error_is_bounded_by_half_scale() {
+        let m = toy();
+        let q = QuantizedMatrix::quantize(&m);
+        for r in 0..m.rows() {
+            let bound = q.scale(r) * 0.5 + f32::EPSILON;
+            let mut buf = vec![0.0; m.cols()];
+            q.dequantize_row_into(r, &mut buf);
+            for (d, v) in buf.iter().zip(m.row(r)) {
+                assert!((d - v).abs() <= bound, "row {r}: {d} vs {v} (bound {bound})");
+            }
+        }
+        assert!(q.max_abs_error(&m) <= 127.0 / 127.0 * 0.5 + f32::EPSILON);
+    }
+
+    #[test]
+    fn zero_rows_stay_exactly_zero() {
+        let q = QuantizedMatrix::quantize(&toy());
+        assert_eq!(q.scale(1), 0.0);
+        assert!(q.row(1).iter().all(|&v| v == 0));
+        let d = q.dequantize();
+        assert!(d.row(1).iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn max_magnitude_maps_to_127() {
+        let m = Matrix::from_rows(vec![vec![-3.0, 1.5, 3.0]]);
+        let q = QuantizedMatrix::quantize(&m);
+        assert_eq!(q.row(0), &[-127, 64, 127]);
+    }
+
+    #[test]
+    fn cosine_i8_matches_dequantized_cosine() {
+        let m = toy();
+        let q = QuantizedMatrix::quantize(&m);
+        let d = q.dequantize();
+        let ci8 = cosine_i8(q.row(0), q.row(2));
+        let cf = f64::from(crate::linalg::cosine(d.row(0), d.row(2)));
+        assert!((ci8 - cf).abs() < 1e-6, "{ci8} vs {cf}");
+        // Zero row → 0.0 on both paths.
+        assert_eq!(cosine_i8(q.row(0), q.row(1)), 0.0);
+    }
+
+    #[test]
+    fn payload_is_about_a_quarter_of_f32() {
+        let m = Matrix::zeros(100, 64);
+        let q = QuantizedMatrix::quantize(&m);
+        let f32_bytes = 100 * 64 * 4;
+        assert!(q.payload_bytes() < f32_bytes / 3);
+    }
+
+    proptest! {
+        /// Quantization is lossy, but (a) the reconstruction error never
+        /// exceeds half a step, and (b) quantize∘dequantize is idempotent —
+        /// re-quantizing the dequantized matrix changes nothing.
+        #[test]
+        fn quantize_error_bounded_and_idempotent(
+            rows in prop::collection::vec(
+                prop::collection::vec(-1000.0f32..1000.0, 1..24),
+                1..8,
+            )
+        ) {
+            let cols = rows[0].len();
+            let rows: Vec<Vec<f32>> =
+                rows.into_iter().map(|mut r| { r.resize(cols, 0.0); r }).collect();
+            let m = Matrix::from_rows(rows);
+            let q = QuantizedMatrix::quantize(&m);
+            let d = q.dequantize();
+            for r in 0..m.rows() {
+                let bound = q.scale(r) * 0.5 + 1e-3;
+                for (x, y) in d.row(r).iter().zip(m.row(r)) {
+                    prop_assert!((x - y).abs() <= bound);
+                }
+            }
+            let q2 = QuantizedMatrix::quantize(&d);
+            let d2 = q2.dequantize();
+            for r in 0..m.rows() {
+                for (x, y) in d.row(r).iter().zip(d2.row(r)) {
+                    // Same codes (up to a possible ±1 from scale re-derivation
+                    // rounding), so values agree within one quantization step.
+                    prop_assert!((x - y).abs() <= q.scale(r) + 1e-3);
+                }
+            }
+        }
+    }
+}

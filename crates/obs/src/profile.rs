@@ -30,6 +30,8 @@ pub struct SpanStats {
     pub p50_s: f64,
     /// 95th-percentile span duration, seconds.
     pub p95_s: f64,
+    /// 99th-percentile span duration, seconds.
+    pub p99_s: f64,
     /// Longest span duration, seconds.
     pub max_s: f64,
 }
@@ -110,6 +112,7 @@ pub fn span_stats(t: &Telemetry) -> BTreeMap<String, SpanStats> {
                 self_s: selfs[&key] as f64 * US,
                 p50_s: percentile(&d, 0.50) as f64 * US,
                 p95_s: percentile(&d, 0.95) as f64 * US,
+                p99_s: percentile(&d, 0.99) as f64 * US,
                 max_s: *d.last().unwrap() as f64 * US,
             };
             (key, stats)
@@ -130,14 +133,14 @@ pub fn render_table(t: &Telemetry) -> String {
     let name_w = rows.iter().map(|(k, _)| k.len()).max().unwrap_or(4).max(4);
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<name_w$}  {:>6}  {:>9}  {:>9}  {:>9}  {:>9}  {:>9}\n",
-        "span", "count", "total s", "self s", "p50 s", "p95 s", "max s"
+        "{:<name_w$}  {:>6}  {:>9}  {:>9}  {:>9}  {:>9}  {:>9}  {:>9}\n",
+        "span", "count", "total s", "self s", "p50 s", "p95 s", "p99 s", "max s"
     ));
-    out.push_str(&format!("{}\n", "-".repeat(name_w + 2 + 6 + 5 * 11)));
+    out.push_str(&format!("{}\n", "-".repeat(name_w + 2 + 6 + 6 * 11)));
     for (key, s) in rows {
         out.push_str(&format!(
-            "{key:<name_w$}  {:>6}  {:>9.3}  {:>9.3}  {:>9.3}  {:>9.3}  {:>9.3}\n",
-            s.count, s.total_s, s.self_s, s.p50_s, s.p95_s, s.max_s
+            "{key:<name_w$}  {:>6}  {:>9.3}  {:>9.3}  {:>9.3}  {:>9.3}  {:>9.3}  {:>9.3}\n",
+            s.count, s.total_s, s.self_s, s.p50_s, s.p95_s, s.p99_s, s.max_s
         ));
     }
     out
@@ -191,6 +194,7 @@ mod tests {
         let d: Vec<u64> = (1..=100).collect();
         assert_eq!(percentile(&d, 0.50), 50);
         assert_eq!(percentile(&d, 0.95), 95);
+        assert_eq!(percentile(&d, 0.99), 99);
         assert_eq!(percentile(&d, 1.0), 100);
         assert_eq!(percentile(&[7], 0.95), 7);
         assert_eq!(percentile(&[], 0.5), 0);

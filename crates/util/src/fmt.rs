@@ -153,6 +153,22 @@ pub fn percent(x: f64) -> String {
     format!("{:.1}%", x * 100.0)
 }
 
+/// Formats a byte count with a binary-unit suffix (`1536` → `1.5 KiB`).
+pub fn bytes(n: u64) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut v = n as f64;
+    let mut unit = 0;
+    while v >= 1024.0 && unit + 1 < UNITS.len() {
+        v /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{n} B")
+    } else {
+        format!("{v:.1} {}", UNITS[unit])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -171,6 +187,14 @@ mod tests {
         assert_eq!(metric(0.969), "0.9690");
         assert_eq!(mean_sd(0.916, 0.0055), "0.9160 (0.0055)");
         assert_eq!(percent(0.218), "21.8%");
+    }
+
+    #[test]
+    fn bytes_units() {
+        assert_eq!(bytes(0), "0 B");
+        assert_eq!(bytes(512), "512 B");
+        assert_eq!(bytes(1536), "1.5 KiB");
+        assert_eq!(bytes(3 * 1024 * 1024), "3.0 MiB");
     }
 
     #[test]

@@ -8,8 +8,10 @@
 pub mod bin;
 pub mod error;
 pub mod fmt;
+pub mod mmap;
 pub mod pool;
 pub mod rng;
+pub mod simd;
 
 pub use error::{Error, Result};
 pub use rng::Rng;
