@@ -44,6 +44,16 @@ SUBCOMMANDS:
   bench-query    run the raw-speed query-path microbenchmark and write
                  results/bench_query.json (qps/core, p50/p95/p99 per
                  query kind); combines with --fast / --quant / --no-mmap
+  serve          freeze a warm snapshot and answer NDJSON queries over
+                 TCP (--port, default 7878) and/or a Unix socket
+                 (--socket PATH); any artifact ids given are assembled
+                 first and preloaded for the `artifact` op; stop with
+                 {\"op\":\"shutdown\"}
+  serve-bench    run the serving load harness (N client connections
+                 against the batching engine, then a serial replay of the
+                 same workload) and write results/bench_serve.json
+                 (qps, qps/core, p50/p95/p99, batch-size histogram, shed
+                 count, byte-identity checksums)
 
 OPTIONS:
   --scale S      ontology scale relative to real ChEBI (default 0.03)
@@ -64,6 +74,14 @@ OPTIONS:
   --cache-cap BYTES  after the run, evict oldest checkpoints until the
                  store fits under BYTES
   --quant        bench-query only: add the int8-quantized query legs
+  --port N       serve: TCP port to listen on (default 7878)
+  --socket PATH  serve: also listen on a Unix socket (unix only)
+  --clients N    serve-bench: concurrent client connections
+  --requests N   serve-bench: requests per client
+  --queue-cap N  serve / serve-bench: bounded request-queue capacity;
+                 submissions beyond it get a typed `overloaded` reply
+  --batch-max N  serve / serve-bench: largest micro-batch one worker
+                 drains at once (default 32)
   --trace FILE   write a Chrome trace-event timeline of the run
   --metrics      write results/run_meta.json (manifest + counters + series)
   --profile      print per-span wall-time statistics to stdout
@@ -128,7 +146,7 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
     let mut ids: Vec<String> = args.ids.clone();
-    if ids.is_empty() && !args.bench_query {
+    if ids.is_empty() && !(args.bench_query || args.serve || args.serve_bench) {
         eprintln!("no artifacts requested\n\n{USAGE}");
         return ExitCode::FAILURE;
     }
@@ -185,6 +203,107 @@ fn main() -> ExitCode {
     store.set_mmap(!args.no_mmap);
     let lab = Lab::with_checkpoints(cfg, std::sync::Arc::new(store));
 
+    if args.serve {
+        // Assemble any requested artifacts first so the daemon can serve
+        // their JSON payloads by id.
+        let preload = if ids.is_empty() {
+            Vec::new()
+        } else {
+            let id_refs: Vec<&str> = ids.iter().map(String::as_str).collect();
+            run_scheduled(&lab, &id_refs, threads).0
+        };
+        let mut snap =
+            kcb_core::snapshot::Snapshot::freeze(&lab, kcb_core::snapshot::SnapshotSpec::default());
+        for (id, artifact) in &preload {
+            let payload = serde_json::json!({
+                "id": artifact.id,
+                "title": artifact.title,
+                "data": artifact.json,
+            });
+            snap.add_artifact(id.clone(), payload);
+        }
+        lab.save_checkpoints();
+        run_gc(&lab, args.cache_cap);
+        let cfg = kcb_serve::ServerConfig {
+            tcp: Some(format!("127.0.0.1:{}", args.port.unwrap_or(7878))),
+            socket: args.socket.clone(),
+            engine: kcb_serve::EngineConfig {
+                workers: threads,
+                queue_cap: args.queue_cap.unwrap_or(4096),
+                batch_max: args.batch_max.unwrap_or(32),
+            },
+        };
+        let server = match kcb_serve::Server::start(std::sync::Arc::new(snap), &cfg) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error starting server: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Some(addr) = server.tcp_addr {
+            eprintln!("# serving on tcp://{addr} ({} workers)", threads);
+        }
+        if let Some(path) = &args.socket {
+            eprintln!("# serving on unix:{}", path.display());
+        }
+        eprintln!("# stop with: {{\"id\":0,\"op\":\"shutdown\"}}");
+        let stats = server.wait();
+        eprintln!("# served {} requests, shed {}", stats.served, stats.shed);
+        return ExitCode::SUCCESS;
+    }
+    if args.serve_bench {
+        let snap =
+            kcb_core::snapshot::Snapshot::freeze(&lab, kcb_core::snapshot::SnapshotSpec::default());
+        lab.save_checkpoints();
+        run_gc(&lab, args.cache_cap);
+        let mut bcfg = kcb_serve::bench::BenchConfig::sized(threads, seed, args.fast);
+        if let Some(c) = args.clients {
+            bcfg.clients = c;
+        }
+        if let Some(r) = args.requests {
+            bcfg.requests = r;
+        }
+        if let Some(q) = args.queue_cap {
+            bcfg.queue_cap = q;
+        }
+        if let Some(b) = args.batch_max {
+            bcfg.batch_max = b;
+        }
+        let doc = kcb_serve::bench::run(std::sync::Arc::new(snap), &bcfg);
+        let path = std::path::Path::new("results").join("bench_serve.json");
+        let text = serde_json::to_string_pretty(&doc).expect("serializable");
+        if let Err(e) =
+            std::fs::create_dir_all("results").and_then(|()| std::fs::write(&path, &text))
+        {
+            eprintln!("error writing {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        let served = &doc["served"];
+        eprintln!(
+            "# served: {} reqs in {:.2}s — {:.0} qps ({:.0} qps/core), p50 {:.0}us p99 {:.0}us, shed {}",
+            served["requests"],
+            served["wall_s"].as_f64().unwrap_or(0.0),
+            served["qps"].as_f64().unwrap_or(0.0),
+            served["qps_per_core"].as_f64().unwrap_or(0.0),
+            served["p50_us"].as_f64().unwrap_or(0.0),
+            served["p99_us"].as_f64().unwrap_or(0.0),
+            served["shed"],
+        );
+        eprintln!(
+            "# serial: {:.0} qps — speedup {:.1}x, byte_identical {}",
+            doc["serial"]["qps"].as_f64().unwrap_or(0.0),
+            doc["speedup_vs_serial"].as_f64().unwrap_or(0.0),
+            doc["byte_identical"],
+        );
+        eprintln!("# wrote {}", path.display());
+        // A checksum mismatch between the batched and serial paths is a
+        // determinism breach, not a performance number.
+        if doc["byte_identical"] != serde_json::json!(true) {
+            eprintln!("error: served replies differ from the serial reference");
+            return ExitCode::FAILURE;
+        }
+        return ExitCode::SUCCESS;
+    }
     if args.bench_query {
         let doc = kcb_bench::bench_query::run(&lab, args.quant, threads, args.fast);
         if args.quant {
@@ -304,6 +423,7 @@ fn main() -> ExitCode {
             scale,
             threads,
             fast: args.fast,
+            mode: "artifacts",
             total_seconds: total_secs,
             config_digest,
             git_rev: run_meta::git_rev(),

@@ -37,6 +37,23 @@ pub struct Args {
     /// `bench-query`: run the query-path microbenchmark instead of
     /// assembling artifacts.
     pub bench_query: bool,
+    /// `serve`: freeze a snapshot and run the NDJSON daemon.
+    pub serve: bool,
+    /// `serve-bench`: run the serving-engine load harness and write
+    /// `results/bench_serve.json`.
+    pub serve_bench: bool,
+    /// `--port`: TCP port for `serve` (default 7878).
+    pub port: Option<u16>,
+    /// `--socket`: Unix-socket path for `serve` (unix only).
+    pub socket: Option<PathBuf>,
+    /// `--clients`: concurrent client connections for `serve-bench`.
+    pub clients: Option<usize>,
+    /// `--requests`: requests per client for `serve-bench`.
+    pub requests: Option<usize>,
+    /// `--queue-cap`: bounded request-queue capacity (admission control).
+    pub queue_cap: Option<usize>,
+    /// `--batch-max`: largest micro-batch a worker drains at once.
+    pub batch_max: Option<usize>,
     /// `--quant`: add the int8-quantized legs to `bench-query`.
     pub quant: bool,
     /// `--no-mmap`: disable zero-copy mmap checkpoint loading (decode
@@ -73,6 +90,51 @@ where
             "--quant" => out.quant = true,
             "--no-mmap" => out.no_mmap = true,
             "bench-query" => out.bench_query = true,
+            "serve" => out.serve = true,
+            "serve-bench" => out.serve_bench = true,
+            "--port" => {
+                let v = it.next().ok_or("--port needs a value")?;
+                out.port = Some(v.parse().map_err(|_| format!("bad port {v}"))?);
+            }
+            "--socket" => {
+                let v = it.next().ok_or("--socket needs a path")?;
+                if v.is_empty() {
+                    return Err("--socket needs a non-empty path".to_string());
+                }
+                out.socket = Some(v.into());
+            }
+            "--clients" => {
+                let v = it.next().ok_or("--clients needs a value")?;
+                let n: usize = v.parse().map_err(|_| format!("bad client count {v}"))?;
+                if n == 0 {
+                    return Err("--clients must be at least 1, got 0".to_string());
+                }
+                out.clients = Some(n);
+            }
+            "--requests" => {
+                let v = it.next().ok_or("--requests needs a value")?;
+                let n: usize = v.parse().map_err(|_| format!("bad request count {v}"))?;
+                if n == 0 {
+                    return Err("--requests must be at least 1, got 0".to_string());
+                }
+                out.requests = Some(n);
+            }
+            "--queue-cap" => {
+                let v = it.next().ok_or("--queue-cap needs a value")?;
+                let n: usize = v.parse().map_err(|_| format!("bad queue cap {v}"))?;
+                if n == 0 {
+                    return Err("--queue-cap must be at least 1, got 0".to_string());
+                }
+                out.queue_cap = Some(n);
+            }
+            "--batch-max" => {
+                let v = it.next().ok_or("--batch-max needs a value")?;
+                let n: usize = v.parse().map_err(|_| format!("bad batch max {v}"))?;
+                if n == 0 {
+                    return Err("--batch-max must be at least 1, got 0".to_string());
+                }
+                out.batch_max = Some(n);
+            }
             "--metrics" => out.metrics = true,
             "--profile" => out.profile = true,
             "--help" | "-h" => out.help = true,
@@ -139,6 +201,23 @@ where
     }
     if out.bench_query && !out.ids.is_empty() {
         return Err(format!("bench-query runs alone, got artifact '{}'", out.ids[0]));
+    }
+    if usize::from(out.bench_query) + usize::from(out.serve) + usize::from(out.serve_bench) > 1 {
+        return Err("bench-query, serve and serve-bench are mutually exclusive".to_string());
+    }
+    if (out.port.is_some() || out.socket.is_some()) && !out.serve {
+        return Err("--port / --socket only apply to the serve subcommand".to_string());
+    }
+    if (out.clients.is_some() || out.requests.is_some()) && !out.serve_bench {
+        return Err("--clients / --requests only apply to the serve-bench subcommand".to_string());
+    }
+    if (out.queue_cap.is_some() || out.batch_max.is_some()) && !(out.serve || out.serve_bench) {
+        return Err("--queue-cap / --batch-max only apply to serve / serve-bench".to_string());
+    }
+    // `serve` accepts artifact ids (they are assembled and preloaded into
+    // the snapshot); `serve-bench` runs alone like `bench-query`.
+    if out.serve_bench && !out.ids.is_empty() {
+        return Err(format!("serve-bench runs alone, got artifact '{}'", out.ids[0]));
     }
     Ok(out)
 }
@@ -276,6 +355,45 @@ mod tests {
         let e = p(&["bench-query", "--cache-cap", "lots"]).unwrap_err();
         assert!(e.contains("lots"), "{e}");
         assert!(p(&["bench-query", "--cache-cap"]).unwrap_err().contains("--cache-cap"));
+    }
+
+    #[test]
+    fn parses_serve_flags() {
+        let a = p(&["serve", "table2", "--port", "9000", "--socket", "/tmp/kcb.sock",
+            "--queue-cap", "128", "--batch-max", "16"])
+            .unwrap();
+        assert!(a.serve && !a.serve_bench && !a.bench_query);
+        assert_eq!(a.ids, vec!["table2"]);
+        assert_eq!(a.port, Some(9000));
+        assert_eq!(a.socket.as_deref(), Some(std::path::Path::new("/tmp/kcb.sock")));
+        assert_eq!(a.queue_cap, Some(128));
+        assert_eq!(a.batch_max, Some(16));
+        let a = p(&["serve-bench", "--clients", "4", "--requests", "100", "--fast"]).unwrap();
+        assert!(a.serve_bench && a.fast);
+        assert_eq!(a.clients, Some(4));
+        assert_eq!(a.requests, Some(100));
+    }
+
+    #[test]
+    fn serve_flags_are_validated() {
+        let e = p(&["serve", "serve-bench"]).unwrap_err();
+        assert!(e.contains("mutually exclusive"), "{e}");
+        let e = p(&["bench-query", "serve"]).unwrap_err();
+        assert!(e.contains("mutually exclusive"), "{e}");
+        let e = p(&["--port", "9000"]).unwrap_err();
+        assert!(e.contains("serve"), "{e}");
+        let e = p(&["serve", "--clients", "4"]).unwrap_err();
+        assert!(e.contains("serve-bench"), "{e}");
+        let e = p(&["table2", "--queue-cap", "4"]).unwrap_err();
+        assert!(e.contains("serve"), "{e}");
+        let e = p(&["serve-bench", "table2"]).unwrap_err();
+        assert!(e.contains("table2"), "{e}");
+        for bad in [["serve", "--port", "notaport"], ["serve-bench", "--clients", "0"],
+            ["serve-bench", "--requests", "0"], ["serve", "--queue-cap", "0"],
+            ["serve", "--batch-max", "0"]]
+        {
+            assert!(p(&bad).is_err(), "accepted {bad:?}");
+        }
     }
 
     #[test]

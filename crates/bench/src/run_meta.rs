@@ -23,7 +23,11 @@ use serde_json::{json, Value};
 /// v3: `span_stats` rows gained `p99_s`, and `cache` gained
 /// `provider_skips` (provider jobs that skipped eager materialization
 /// because their checkpoint was known-fresh).
-pub const SCHEMA_VERSION: u64 = 3;
+///
+/// v4: `manifest` gained `mode` naming the run flavour (`"artifacts"`,
+/// `"bench-query"`, `"serve"`, `"serve-bench"`), matching the serving
+/// subcommands added alongside `results/bench_serve.json`.
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// Everything `run_meta.json` is built from.
 pub struct RunMetaInputs<'a> {
@@ -35,6 +39,9 @@ pub struct RunMetaInputs<'a> {
     pub threads: usize,
     /// Whether the tiny `--fast` configuration was used.
     pub fast: bool,
+    /// Run flavour: `"artifacts"`, `"bench-query"`, `"serve"` or
+    /// `"serve-bench"`.
+    pub mode: &'a str,
     /// End-to-end wall-clock seconds (lab construction through export).
     pub total_seconds: f64,
     /// FNV-64 digest of the full lab configuration (hex).
@@ -125,6 +132,7 @@ pub fn run_meta_json(inp: &RunMetaInputs<'_>) -> Value {
         "threads": inp.threads,
         "hardware_threads": kcb_lm::pool::hardware_threads(),
         "fast": inp.fast,
+        "mode": inp.mode,
         "git_rev": inp.git_rev,
         "config_digest": inp.config_digest,
     });
@@ -180,6 +188,7 @@ mod tests {
             scale: 0.01,
             threads: 4,
             fast: true,
+            mode: "artifacts",
             total_seconds: 1.25,
             config_digest: fnv64_hex(b"cfg"),
             git_rev: "abc1234".to_string(),
@@ -235,6 +244,7 @@ mod tests {
         assert_eq!(doc["schema_version"], json!(SCHEMA_VERSION));
         assert_eq!(doc["manifest"]["seed"], json!(42));
         assert_eq!(doc["manifest"]["git_rev"], json!("abc1234"));
+        assert_eq!(doc["manifest"]["mode"], json!("artifacts"));
         assert_eq!(doc["manifest"]["config_digest"], json!(fnv64_hex(b"cfg")));
         assert_eq!(doc["scheduler"]["steals"], json!(3));
         assert_eq!(doc["encoding_cache"]["contended"], json!(1));

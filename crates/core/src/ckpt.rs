@@ -166,6 +166,18 @@ impl CkptStore {
         self.dir.join(format!("{provider}-{key}.ckpt"))
     }
 
+    /// Marks a checkpoint as just-used by bumping its mtime. Plain reads
+    /// (and mmap reads in particular) never touch mtime on their own, so
+    /// without this a hot serving table would look idle to [`CkptStore::gc`]
+    /// and could be evicted out from under a long-lived daemon. Best-effort:
+    /// a read-only store directory simply keeps the old timestamp.
+    fn touch(path: &Path) {
+        let _ = std::fs::File::options()
+            .append(true)
+            .open(path)
+            .and_then(|f| f.set_modified(std::time::SystemTime::now()));
+    }
+
     fn record(&self, provider: &str, key: &str, hit: bool, bytes: u64) {
         if hit {
             self.hits.fetch_add(1, Ordering::Relaxed);
@@ -207,6 +219,7 @@ impl CkptStore {
         };
         match Self::verify(provider, key, &raw).and_then(decode) {
             Ok(v) => {
+                Self::touch(&path);
                 self.record(provider, key, true, raw.len() as u64);
                 Some(v)
             }
@@ -422,6 +435,7 @@ impl CkptStore {
         }
         match attempt() {
             Ok((v, len)) => {
+                Self::touch(&path);
                 self.record(provider, key, true, len);
                 Some(v)
             }
@@ -450,8 +464,14 @@ impl CkptStore {
             .unwrap_or(false)
     }
 
-    /// Evicts oldest-first (by modification time) until the store's total
-    /// `.ckpt` size is at most `cap_bytes`. Returns a one-line report.
+    /// Evicts least-recently-used first until the store's total `.ckpt`
+    /// size is at most `cap_bytes`. Returns a one-line report.
+    ///
+    /// "Recently used" is the file mtime, which every successful
+    /// [`CkptStore::take`] / [`CkptStore::take_raw`] refreshes — so entries
+    /// a long-lived process keeps reading (including zero-copy mmap reads,
+    /// which the filesystem would otherwise never reflect in mtime) stay
+    /// resident, and only genuinely idle checkpoints are evicted.
     pub fn gc(&self, cap_bytes: u64) -> GcReport {
         let mut entries: Vec<(PathBuf, u64, std::time::SystemTime)> = Vec::new();
         if let Ok(dir) = std::fs::read_dir(&self.dir) {
@@ -1015,6 +1035,33 @@ mod tests {
         // A generous cap is a no-op.
         let report = store.gc(u64::MAX);
         assert_eq!(report.evicted, 0);
+        std::fs::remove_dir_all(store.dir()).ok();
+    }
+
+    #[test]
+    fn reads_refresh_eviction_order() {
+        let store = temp_store("gc-touch");
+        for (i, name) in ["hot", "idle"].iter().enumerate() {
+            let mut w = Writer::new();
+            w.u64(i as u64);
+            store.put("unit", name, &w.into_bytes());
+            // Both entries start equally ancient; "hot" is older.
+            let t = std::time::SystemTime::UNIX_EPOCH
+                + std::time::Duration::from_secs(1_000_000 + i as u64 * 100);
+            let f = std::fs::File::options()
+                .append(true)
+                .open(store.dir().join(format!("unit-{name}.ckpt")))
+                .unwrap();
+            f.set_modified(t).unwrap();
+        }
+        // A serving process keeps reading "hot": the hit bumps its
+        // last-touch stamp past "idle".
+        assert!(store.take("unit", "hot", decode_u64).is_some());
+        let one = std::fs::metadata(store.dir().join("unit-hot.ckpt")).unwrap().len();
+        let report = store.gc(one);
+        assert_eq!(report.evicted, 1);
+        assert!(store.dir().join("unit-hot.ckpt").exists(), "recently read entry must survive");
+        assert!(!store.dir().join("unit-idle.ckpt").exists(), "idle entry is evicted");
         std::fs::remove_dir_all(store.dir()).ok();
     }
 

@@ -62,15 +62,55 @@ struct Providers {
 
 fn providers<'a>(g: &mut Graph<'a>, lab: &'a Lab) -> Providers {
     let shared: &'a Shared = lab.shared();
+
+    // Cache-aware DAG pruning: freshness is probed *once, at graph-build
+    // time*. A provider whose checkpoint is known-fresh becomes a
+    // dependency-free no-op job (kept in the graph so timelines and
+    // run_meta keep their labels) that only counts the skip; the first
+    // consumer decodes lazily — with the raw mmap containers that decode
+    // is a borrow, and artifact subsets that never touch the provider pay
+    // nothing at all. Pruning the edges (not just the job bodies) also
+    // lets the corpus generators be skipped whenever every trained
+    // consumer is fresh, which is every warm run — not just `--fast`.
+    let wp_fresh = shared.provider_fresh("wordpiece");
+    // The LM keys fold in the WordPiece vocabulary size, so probing them
+    // materialises WordPiece. Only probe when that materialisation is a
+    // cheap checkpoint decode — a cold run must never train WordPiece
+    // serially at plan time.
+    let bert_fresh = wp_fresh && lab.provider_fresh("lm-bert");
+    let biogpt_fresh = wp_fresh && lab.provider_fresh("lm-biogpt");
+    let embed_fresh: HashMap<&'static str, bool> = EMBEDDING_NAMES
+        .iter()
+        .map(|&n| (n, n != "random" && shared.provider_fresh(&format!("embed-{n}"))))
+        .collect();
+    let any_embed_training =
+        EMBEDDING_NAMES.iter().any(|&n| n != "random" && !embed_fresh[n]);
+    // The corpora exist only to feed trainers; when every trainer that
+    // reads them is fresh, generating them eagerly is pure waste.
+    let domain_needed = any_embed_training || !wp_fresh || !bert_fresh || !biogpt_fresh;
+    let generic_needed = any_embed_training || !bert_fresh;
+
     let ontology = g.add_par("provider:ontology", &[], move || {
         shared.ontology();
     });
-    let domain = g.add_par("provider:corpus-domain", &[ontology], move || {
-        shared.domain_sentences();
-    });
-    let generic = g.add_par("provider:corpus-generic", &[], move || {
-        shared.generic_sentences();
-    });
+    let domain = if domain_needed {
+        g.add_par("provider:corpus-domain", &[ontology], move || {
+            shared.domain_sentences();
+        })
+    } else {
+        g.add_par("provider:corpus-domain", &[], move || {
+            shared.note_provider_skip();
+        })
+    };
+    let generic = if generic_needed {
+        g.add_par("provider:corpus-generic", &[], move || {
+            shared.generic_sentences();
+        })
+    } else {
+        g.add_par("provider:corpus-generic", &[], move || {
+            shared.note_provider_skip();
+        })
+    };
     let task: [JobId; 3] = TaskKind::ALL.map(|t| {
         g.add_par(format!("provider:task{}", t.number()), &[ontology], move || {
             shared.task(t);
@@ -82,16 +122,13 @@ fn providers<'a>(g: &mut Graph<'a>, lab: &'a Lab) -> Providers {
             shared.split(t);
         })
     });
-    // Provider jobs are cache-aware: when the checkpoint store says the
-    // artifact is known-fresh (warm container on disk for the current key),
-    // the job skips eager materialization and lets the first consumer decode
-    // lazily — with the raw mmap containers that decode is a borrow, and
-    // artifact subsets that never touch the provider pay nothing at all.
     let mut embed = HashMap::new();
     for name in EMBEDDING_NAMES.iter().copied() {
-        let deps: &[JobId] = if name == "random" { &[] } else { &[domain, generic] };
+        let fresh = embed_fresh[name];
+        let deps: &[JobId] =
+            if name == "random" || fresh { &[] } else { &[domain, generic] };
         let id = g.add_par(format!("provider:embed-{name}"), deps, move || {
-            if shared.provider_fresh(&format!("embed-{name}")) {
+            if fresh {
                 shared.note_provider_skip();
             } else {
                 shared.embedding(name);
@@ -99,22 +136,26 @@ fn providers<'a>(g: &mut Graph<'a>, lab: &'a Lab) -> Providers {
         });
         embed.insert(name, id);
     }
-    let wordpiece = g.add_par("provider:wordpiece", &[domain], move || {
-        if shared.provider_fresh("wordpiece") {
+    let wp_deps: &[JobId] = if wp_fresh { &[] } else { &[domain] };
+    let wordpiece = g.add_par("provider:wordpiece", wp_deps, move || {
+        if wp_fresh {
             shared.note_provider_skip();
         } else {
             shared.wordpiece();
         }
     });
-    let bert = g.add_driver("provider:bert", &[wordpiece, domain, generic], move || {
-        if lab.provider_fresh("lm-bert") {
+    let bert_deps: &[JobId] =
+        if bert_fresh { &[] } else { &[wordpiece, domain, generic] };
+    let bert = g.add_driver("provider:bert", bert_deps, move || {
+        if bert_fresh {
             lab.shared().note_provider_skip();
         } else {
             lab.bert();
         }
     });
-    let biogpt = g.add_driver("provider:biogpt", &[wordpiece, domain], move || {
-        if lab.provider_fresh("lm-biogpt") {
+    let biogpt_deps: &[JobId] = if biogpt_fresh { &[] } else { &[wordpiece, domain] };
+    let biogpt = g.add_driver("provider:biogpt", biogpt_deps, move || {
+        if biogpt_fresh {
             lab.shared().note_provider_skip();
         } else {
             lab.biogpt();

@@ -846,10 +846,16 @@ impl Shared {
     }
 }
 
-/// Lazily-built, cached experiment environment: a [`Shared`] core plus the
-/// two driver-thread-only language models.
+/// Lazily-built, cached experiment environment: an [`Arc`]-shared
+/// [`Shared`] core plus the two driver-thread-only language models.
+///
+/// Holding the core behind an `Arc` lets long-lived consumers (the
+/// `kcb-serve` snapshot, request worker threads) keep the providers alive
+/// independently of the `Lab` that built them — [`Lab::shared_arc`] hands
+/// out owned handles while [`Lab::shared`] and the `Deref` impl keep the
+/// borrow-based call sites unchanged.
 pub struct Lab {
-    shared: Shared,
+    shared: Arc<Shared>,
     bert: OnceCell<(MiniBert, Vec<Matrix>)>,
     biogpt: OnceCell<BioGptMini>,
 }
@@ -879,7 +885,7 @@ impl Lab {
     }
 
     fn build(cfg: LabConfig, store: Option<Arc<CkptStore>>) -> Self {
-        let shared = Shared::new(cfg, store);
+        let shared = Arc::new(Shared::new(cfg, store));
         shared.load_derived();
         Self { shared, bert: OnceCell::new(), biogpt: OnceCell::new() }
     }
@@ -887,6 +893,12 @@ impl Lab {
     /// The thread-safe core, for handing to scheduler worker threads.
     pub fn shared(&self) -> &Shared {
         &self.shared
+    }
+
+    /// An owned handle on the thread-safe core. Snapshots and serving
+    /// threads hold this so the providers outlive the `Lab` borrow.
+    pub fn shared_arc(&self) -> Arc<Shared> {
+        Arc::clone(&self.shared)
     }
 
     /// Content key of the mini-BERT checkpoint. Forces the (cheap,

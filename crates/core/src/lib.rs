@@ -20,6 +20,7 @@ pub mod lab;
 pub mod paradigm;
 pub mod report;
 pub mod sched;
+pub mod snapshot;
 pub mod task;
 
 pub use dataset::{Scenario, Split, SCENARIOS};

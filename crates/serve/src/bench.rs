@@ -1,0 +1,323 @@
+//! `repro serve-bench` — the load generator and qps/latency harness.
+//!
+//! Starts an in-process [`Server`] on an ephemeral TCP port, connects
+//! `clients` real socket connections, and replays a deterministic
+//! per-client workload (seeded `Rng::seed_stream(seed, client)`) of the
+//! hot operations: f32/int8 nearest-neighbour, forest classification,
+//! BERT scoring and embedding lookups. Client-side latency is measured
+//! per request; reply bytes fold into a per-client FNV-64 checksum.
+//!
+//! The same workload is then replayed *serially* — one thread, one request
+//! at a time through [`engine::answer_serial`] and the identical renderers
+//! — and the checksum comparison turns the throughput claim into a
+//! byte-identity proof: batching, micro-batch grouping and N worker
+//! threads changed wall-clock only, never a single reply byte.
+//!
+//! The result document (`results/bench_serve.json`, written by the
+//! binary) carries qps and qps/core for both paths, the speedup ratio,
+//! client latency percentiles, the engine's drained-batch-size histogram,
+//! the shed count, and both checksums.
+
+use crate::engine::{self, EngineConfig};
+use crate::protocol::{self, Op, Request};
+use crate::server::{Server, ServerConfig};
+use kcb_core::snapshot::Snapshot;
+use kcb_ontology::Relation;
+use kcb_util::rng::Rng;
+use serde_json::{json, Value};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Version of the `bench_serve.json` shape.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Harness knobs.
+#[derive(Debug, Clone)]
+pub struct BenchConfig {
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Requests issued per client.
+    pub requests: usize,
+    /// Engine worker threads.
+    pub threads: usize,
+    /// Bounded queue capacity (defaults high enough that the synchronous
+    /// clients never shed — sheds would be measured, not hidden).
+    pub queue_cap: usize,
+    /// Largest micro-batch.
+    pub batch_max: usize,
+    /// Requests each client keeps in flight: it writes `pipeline` rendered
+    /// lines in one syscall, then reads that many replies. The server
+    /// drains the whole window from its read buffer into one engine
+    /// submission, so this is also what feeds the micro-batches.
+    pub pipeline: usize,
+    /// Workload seed.
+    pub seed: u64,
+    /// Tiny smoke-test sizing.
+    pub fast: bool,
+}
+
+impl BenchConfig {
+    /// Default sizing for the given mode.
+    pub fn sized(threads: usize, seed: u64, fast: bool) -> Self {
+        let (clients, requests) = if fast { (4, 64) } else { (8, 256) };
+        Self { clients, requests, threads, queue_cap: 4096, batch_max: 32, pipeline: 16, seed, fast }
+    }
+}
+
+/// FNV-1a 64-bit fold over `bytes`, continuing from `h` (seed with
+/// [`FNV_OFFSET`]).
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// One FNV-1a step over a byte slice.
+pub fn fnv64(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The deterministic request stream for one client: a fixed mix of the
+/// hot operations over seeded tokens and triples. Pure function of
+/// `(seed, client, n)` — the served and serial phases replay the same
+/// stream.
+pub fn client_workload(snap: &Snapshot, seed: u64, client: usize, n: usize) -> Vec<Request> {
+    let mut rng = Rng::seed_stream(seed, client as u64 + 1);
+    let vocab_len = snap.table().vocab().len();
+    let n_ent = snap.n_entities();
+    let with_bert = snap.bert().is_some();
+    (0..n)
+        .map(|i| {
+            let id = ((client as u64) << 32) | i as u64;
+            let triple = |rng: &mut Rng| {
+                (
+                    rng.below(n_ent) as u32,
+                    rng.below(Relation::ALL.len()) as u8,
+                    rng.below(n_ent) as u32,
+                )
+            };
+            let token =
+                |rng: &mut Rng| snap.table().vocab().token(rng.below(vocab_len) as u32).to_string();
+            let op = match rng.below(10) {
+                0..=2 => Op::Nn { token: token(&mut rng), k: 10, int8: false },
+                3..=4 => Op::Nn { token: token(&mut rng), k: 10, int8: true },
+                5..=7 => {
+                    let (s, r, o) = triple(&mut rng);
+                    Op::Classify { s, r, o }
+                }
+                8 if with_bert => {
+                    let (s, r, o) = triple(&mut rng);
+                    Op::Bert { s, r, o }
+                }
+                8 => {
+                    let (s, r, o) = triple(&mut rng);
+                    Op::Classify { s, r, o }
+                }
+                _ => Op::Embed { token: token(&mut rng) },
+            };
+            Request { id, op }
+        })
+        .collect()
+}
+
+/// Sorted-latency percentile (µs), nearest-rank.
+fn pct_us(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p / 100.0 * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx]
+}
+
+struct ClientResult {
+    latencies_us: Vec<f64>,
+    checksum: u64,
+}
+
+/// One client connection replaying its workload: `pipeline` requests go
+/// out in a single write, then that window's replies are read back (the
+/// server preserves per-connection order). Latency is measured from the
+/// window's send to each reply's arrival — the honest pipelined number,
+/// which includes queueing behind the rest of the window.
+fn run_client(
+    addr: std::net::SocketAddr,
+    reqs: &[Request],
+    pipeline: usize,
+) -> std::io::Result<ClientResult> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut stream = stream;
+    let mut latencies_us = Vec::with_capacity(reqs.len());
+    let mut checksum = FNV_OFFSET;
+    let mut reply = String::new();
+    let mut buf = String::new();
+    for window in reqs.chunks(pipeline.max(1)) {
+        buf.clear();
+        for req in window {
+            buf.push_str(&protocol::render_request(req));
+            buf.push('\n');
+        }
+        let t0 = Instant::now();
+        stream.write_all(buf.as_bytes())?;
+        for _ in window {
+            reply.clear();
+            reader.read_line(&mut reply)?;
+            latencies_us.push(t0.elapsed().as_secs_f64() * 1e6);
+            checksum = fnv64(checksum, reply.as_bytes());
+        }
+    }
+    Ok(ClientResult { latencies_us, checksum })
+}
+
+/// Combines per-client checksums (in client order) into one digest.
+fn combine(checksums: &[u64]) -> String {
+    let mut h = FNV_OFFSET;
+    for &c in checksums {
+        h = fnv64(h, &c.to_be_bytes());
+    }
+    format!("{h:016x}")
+}
+
+/// Runs the full harness against `snap` and returns the
+/// `bench_serve.json` document. Owns the telemetry recorder for the
+/// duration (reset, enable, drain, restore), like `bench-query`.
+pub fn run(snap: Arc<Snapshot>, cfg: &BenchConfig) -> Value {
+    let was_enabled = kcb_obs::enabled();
+    kcb_obs::reset();
+    kcb_obs::set_enabled(true);
+
+    let workloads: Vec<Vec<Request>> = (0..cfg.clients)
+        .map(|c| client_workload(&snap, cfg.seed, c, cfg.requests))
+        .collect();
+    let total_requests = cfg.clients * cfg.requests;
+
+    // --- Served phase: real sockets, concurrent clients, batching engine.
+    let server = Server::start(
+        Arc::clone(&snap),
+        &ServerConfig {
+            tcp: Some("127.0.0.1:0".to_string()),
+            socket: None,
+            engine: EngineConfig {
+                workers: cfg.threads.max(1),
+                queue_cap: cfg.queue_cap,
+                batch_max: cfg.batch_max,
+            },
+        },
+    )
+    .expect("bind bench server");
+    let addr = server.tcp_addr.expect("tcp listener bound");
+
+    let t0 = Instant::now();
+    let results: Vec<ClientResult> = std::thread::scope(|s| {
+        let handles: Vec<_> = workloads
+            .iter()
+            .map(|reqs| {
+                s.spawn(move || run_client(addr, reqs, cfg.pipeline).expect("bench client io"))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("bench client panicked")).collect()
+    });
+    let served_wall = t0.elapsed().as_secs_f64();
+
+    let histogram = server.batch_histogram();
+    let stats = server.stats();
+    server.stop();
+    // An empty connection nudges the accept loop in case it is between
+    // polls; then wait for the graceful drain.
+    let _ = TcpStream::connect(addr);
+    let final_stats = server.wait();
+
+    let mut latencies: Vec<f64> = results.iter().flat_map(|r| r.latencies_us.iter().copied()).collect();
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+    let served_checksum = combine(&results.iter().map(|r| r.checksum).collect::<Vec<_>>());
+
+    // --- Serial phase: same workload, one thread, single-query paths.
+    let bert = snap.bert().map(kcb_core::snapshot::BertWeights::instantiate);
+    let mut serial_latencies: Vec<f64> = Vec::with_capacity(total_requests);
+    let mut serial_checksums = Vec::with_capacity(cfg.clients);
+    let t0 = Instant::now();
+    for reqs in &workloads {
+        let mut h = FNV_OFFSET;
+        for req in reqs {
+            let q0 = Instant::now();
+            let reply = engine::answer_serial(&snap, bert.as_ref(), req);
+            serial_latencies.push(q0.elapsed().as_secs_f64() * 1e6);
+            h = fnv64(h, reply.as_bytes());
+            h = fnv64(h, b"\n");
+        }
+        serial_checksums.push(h);
+    }
+    let serial_wall = t0.elapsed().as_secs_f64();
+    serial_latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+    let serial_checksum = combine(&serial_checksums);
+
+    let telemetry = kcb_obs::drain();
+    kcb_obs::set_enabled(was_enabled);
+    let span_stats = Value::Object(
+        kcb_obs::profile::span_stats(&telemetry)
+            .into_iter()
+            .filter(|(k, _)| k.starts_with("serve."))
+            .map(|(k, s)| {
+                let row = json!({
+                    "count": s.count,
+                    "total_s": s.total_s,
+                    "p50_s": s.p50_s,
+                    "p95_s": s.p95_s,
+                    "p99_s": s.p99_s,
+                    "max_s": s.max_s,
+                });
+                (k, row)
+            })
+            .collect(),
+    );
+
+    let served_qps = total_requests as f64 / served_wall.max(1e-9);
+    let serial_qps = total_requests as f64 / serial_wall.max(1e-9);
+    let hist = Value::Object(
+        histogram.iter().map(|&(n, c)| (n.to_string(), json!(c))).collect(),
+    );
+    let config = json!({
+        "clients": cfg.clients,
+        "requests_per_client": cfg.requests,
+        "threads": cfg.threads,
+        "queue_cap": cfg.queue_cap,
+        "batch_max": cfg.batch_max,
+        "pipeline": cfg.pipeline,
+        "seed": cfg.seed,
+        "fast": cfg.fast,
+    });
+    let served = json!({
+        "requests": total_requests,
+        "served": final_stats.served,
+        "shed": stats.shed,
+        "wall_s": served_wall,
+        "qps": served_qps,
+        "qps_per_core": served_qps / cfg.threads.max(1) as f64,
+        "p50_us": pct_us(&latencies, 50.0),
+        "p95_us": pct_us(&latencies, 95.0),
+        "p99_us": pct_us(&latencies, 99.0),
+        "max_us": latencies.last().copied().unwrap_or(0.0),
+        "checksum": served_checksum.clone(),
+    });
+    let serial = json!({
+        "requests": total_requests,
+        "wall_s": serial_wall,
+        "qps": serial_qps,
+        "p50_us": pct_us(&serial_latencies, 50.0),
+        "p99_us": pct_us(&serial_latencies, 99.0),
+        "checksum": serial_checksum.clone(),
+    });
+    json!({
+        "schema_version": SCHEMA_VERSION,
+        "config": config,
+        "served": served,
+        "serial": serial,
+        "speedup_vs_serial": served_qps / serial_qps.max(1e-9),
+        "byte_identical": served_checksum == serial_checksum,
+        "batch_histogram": hist,
+        "span_stats": span_stats,
+    })
+}

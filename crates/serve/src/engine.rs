@@ -1,0 +1,377 @@
+//! The batching engine: a bounded request queue drained by worker threads
+//! into micro-batches.
+//!
+//! Admission control is the queue bound: [`Engine::submit`] on a full
+//! queue replies `overloaded` immediately (typed shed, counted) instead of
+//! queueing unboundedly — memory stays bounded no matter how fast clients
+//! push. Accepted requests wait on a condvar'd `VecDeque`; each worker
+//! drains up to `batch_max` at a time and groups the slice by operation so
+//! the hot kinds run through the batched kernels:
+//!
+//! - `nn` → [`Snapshot::nearest_batch`] — one pass over the vocabulary
+//!   serves the whole group (grouped further by `(int8, k)`);
+//! - `classify` → [`Snapshot::classify_batch`] — one scratch vector, no
+//!   per-request allocation;
+//! - `bert` → a *thread-local* [`MiniBert`] (rebuilt per worker from the
+//!   sealed weights, since the model itself is `!Send`) scoring the whole
+//!   group through `predict_proba_batch`'s packed-minibatch kernels.
+//!
+//! Every kind is byte-identical to its serial reference path (snapshot
+//! contract), so batching and multi-threading never change reply bytes —
+//! `serve-bench` asserts this with a checksum, not a hope.
+//!
+//! [`Engine::shutdown`] performs a graceful drain: workers finish the
+//! queued backlog before exiting, so every accepted request is answered.
+//!
+//! `workers: 0` is a legal configuration — nothing drains, which is how
+//! the backpressure tests fill a tiny queue deterministically.
+
+use crate::protocol::{self, Op, Request};
+use kcb_core::snapshot::Snapshot;
+use kcb_lm::MiniBert;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Engine sizing knobs.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Worker threads draining the queue (0 = drain never, for tests).
+    pub workers: usize,
+    /// Bounded queue capacity; submissions beyond it are shed.
+    pub queue_cap: usize,
+    /// Largest micro-batch one worker drains at once.
+    pub batch_max: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self { workers: 4, queue_cap: 4096, batch_max: 32 }
+    }
+}
+
+/// Monotonic engine counters, readable at any time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Requests answered by workers.
+    pub served: u64,
+    /// Requests shed with an `overloaded` reply.
+    pub shed: u64,
+    /// Requests currently queued.
+    pub queue_depth: usize,
+}
+
+struct Job {
+    req: Request,
+    tx: Sender<String>,
+}
+
+struct Inner {
+    snap: Arc<Snapshot>,
+    queue: Mutex<VecDeque<Job>>,
+    ready: Condvar,
+    stop: AtomicBool,
+    queue_cap: usize,
+    batch_max: usize,
+    served: AtomicU64,
+    shed: AtomicU64,
+    /// `hist[n]` counts drained batches of size `n` (index 0 unused).
+    hist: Vec<AtomicU64>,
+}
+
+/// The running engine; dropping it without [`Engine::shutdown`] detaches
+/// the workers (they exit once told to stop), so call `shutdown` for a
+/// graceful drain.
+pub struct Engine {
+    inner: Arc<Inner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Engine {
+    /// Starts `cfg.workers` draining threads over `snap`.
+    pub fn start(snap: Arc<Snapshot>, cfg: &EngineConfig) -> Self {
+        let batch_max = cfg.batch_max.max(1);
+        let inner = Arc::new(Inner {
+            snap,
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            stop: AtomicBool::new(false),
+            queue_cap: cfg.queue_cap.max(1),
+            batch_max,
+            served: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            hist: (0..=batch_max).map(|_| AtomicU64::new(0)).collect(),
+        });
+        let workers = (0..cfg.workers)
+            .map(|w| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("kcb-serve-{w}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        Self { inner, workers }
+    }
+
+    /// Admits `req` or sheds it. A shed request still gets a reply — the
+    /// typed `overloaded` line — through `tx`, so clients never hang on a
+    /// full server.
+    pub fn submit(&self, req: Request, tx: Sender<String>) {
+        {
+            let mut q = self.inner.queue.lock().expect("queue lock");
+            if q.len() < self.inner.queue_cap {
+                q.push_back(Job { req, tx });
+                drop(q);
+                self.inner.ready.notify_one();
+                return;
+            }
+        }
+        self.inner.shed.fetch_add(1, Ordering::Relaxed);
+        kcb_obs::counter("serve.shed", 1);
+        let _ = tx.send(protocol::render_overloaded(req.id));
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            served: self.inner.served.load(Ordering::Relaxed),
+            shed: self.inner.shed.load(Ordering::Relaxed),
+            queue_depth: self.inner.queue.lock().expect("queue lock").len(),
+        }
+    }
+
+    /// The snapshot this engine serves.
+    pub fn snapshot(&self) -> &Arc<Snapshot> {
+        &self.inner.snap
+    }
+
+    /// Drained-batch size histogram as `(size, count)` rows, non-zero
+    /// entries only.
+    pub fn batch_histogram(&self) -> Vec<(usize, u64)> {
+        self.inner
+            .hist
+            .iter()
+            .enumerate()
+            .map(|(n, c)| (n, c.load(Ordering::Relaxed)))
+            .filter(|&(_, c)| c > 0)
+            .collect()
+    }
+
+    /// Graceful drain: workers finish every queued request, then exit.
+    /// With zero workers any still-queued job is dropped (its client sees
+    /// a closed channel). Returns the final counters.
+    pub fn shutdown(self) -> EngineStats {
+        self.inner.stop.store(true, Ordering::SeqCst);
+        self.inner.ready.notify_all();
+        for w in self.workers {
+            let _ = w.join();
+        }
+        let stats = EngineStats {
+            served: self.inner.served.load(Ordering::Relaxed),
+            shed: self.inner.shed.load(Ordering::Relaxed),
+            queue_depth: 0,
+        };
+        self.inner.queue.lock().expect("queue lock").clear();
+        stats
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    // The sealed weights rebuild a thread-local model once per worker;
+    // scoring through it is byte-identical to the driver-thread model.
+    let bert = inner.snap.bert().map(kcb_core::snapshot::BertWeights::instantiate);
+    loop {
+        let batch: Vec<Job> = {
+            let mut q = inner.queue.lock().expect("queue lock");
+            loop {
+                if !q.is_empty() {
+                    break;
+                }
+                if inner.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                q = inner.ready.wait(q).expect("queue lock");
+            }
+            let n = q.len().min(inner.batch_max);
+            q.drain(..n).collect()
+        };
+        let n = batch.len();
+        inner.hist[n].fetch_add(1, Ordering::Relaxed);
+        kcb_obs::series("serve.batch_size", n as f64);
+        kcb_obs::counter("serve.requests", n as u64);
+        serve_batch(&inner.snap, bert.as_ref(), batch);
+        inner.served.fetch_add(n as u64, Ordering::Relaxed);
+    }
+}
+
+/// Answers one drained micro-batch, grouping by operation so the hot
+/// kinds go through the batched kernels. Reply order within the batch is
+/// irrelevant — each job carries its own reply channel.
+fn serve_batch(snap: &Snapshot, bert: Option<&MiniBert>, batch: Vec<Job>) {
+    // Group indices by kind. `nn` additionally groups by (int8, k) since
+    // the batched scan shares one cutoff.
+    let mut nn_groups: Vec<((bool, usize), Vec<usize>)> = Vec::new();
+    let mut cls: Vec<usize> = Vec::new();
+    let mut brt: Vec<usize> = Vec::new();
+    let mut rest: Vec<usize> = Vec::new();
+    for (i, job) in batch.iter().enumerate() {
+        match &job.req.op {
+            Op::Nn { int8, k, .. } => {
+                let key = (*int8, *k);
+                match nn_groups.iter_mut().find(|(g, _)| *g == key) {
+                    Some((_, idx)) => idx.push(i),
+                    None => nn_groups.push((key, vec![i])),
+                }
+            }
+            Op::Classify { .. } => cls.push(i),
+            Op::Bert { .. } => brt.push(i),
+            _ => rest.push(i),
+        }
+    }
+
+    for ((int8, k), idx) in &nn_groups {
+        let _span = kcb_obs::span("serve", "serve.nn");
+        let tokens: Vec<&str> = idx
+            .iter()
+            .map(|&i| match &batch[i].req.op {
+                Op::Nn { token, .. } => token.as_str(),
+                _ => unreachable!("nn group holds nn ops"),
+            })
+            .collect();
+        let results = snap.nearest_batch(&tokens, *k, *int8);
+        for (&i, neighbours) in idx.iter().zip(&results) {
+            let job = &batch[i];
+            let _ = job.tx.send(protocol::render_nn(job.req.id, neighbours));
+        }
+    }
+
+    if !cls.is_empty() {
+        let _span = kcb_obs::span("serve", "serve.classify");
+        let triples: Vec<(u32, u8, u32)> = cls
+            .iter()
+            .map(|&i| match batch[i].req.op {
+                Op::Classify { s, r, o } => (s, r, o),
+                _ => unreachable!("classify group holds classify ops"),
+            })
+            .collect();
+        for (&i, p) in cls.iter().zip(snap.classify_batch(&triples)) {
+            let job = &batch[i];
+            let _ = job.tx.send(match p {
+                Some(p) => protocol::render_proba(job.req.id, p),
+                None => protocol::render_error(job.req.id, "bad_request", "invalid triple"),
+            });
+        }
+    }
+
+    if !brt.is_empty() {
+        let _span = kcb_obs::span("serve", "serve.bert");
+        // Requests that can't be scored (no sealed model, bad ids) get
+        // their error replies; the rest score as one packed minibatch.
+        let mut seqs: Vec<Vec<u32>> = Vec::new();
+        let mut scored: Vec<usize> = Vec::new();
+        for &i in &brt {
+            let job = &batch[i];
+            let Op::Bert { s, r, o } = job.req.op else {
+                unreachable!("bert group holds bert ops")
+            };
+            if bert.is_none() {
+                let _ = job.tx.send(protocol::render_error(
+                    job.req.id,
+                    "unavailable",
+                    "snapshot was frozen without bert",
+                ));
+            } else if let Some(ids) = snap.bert_token_ids(s, r, o) {
+                seqs.push(ids);
+                scored.push(i);
+            } else {
+                let _ =
+                    job.tx.send(protocol::render_error(job.req.id, "bad_request", "invalid triple"));
+            }
+        }
+        if let (Some(bert), false) = (bert, scored.is_empty()) {
+            let refs: Vec<&[u32]> = seqs.iter().map(Vec::as_slice).collect();
+            for (&i, p) in scored.iter().zip(bert.predict_proba_batch(&refs)) {
+                let job = &batch[i];
+                let _ = job.tx.send(protocol::render_proba(job.req.id, p));
+            }
+        }
+    }
+
+    for &i in &rest {
+        let job = &batch[i];
+        let _ = job.tx.send(answer_simple(snap, &job.req));
+    }
+}
+
+/// Answers the non-batched operations (and is the per-op half of the
+/// serial reference path). `stats` and `shutdown` are connection-level
+/// concerns and render as `unavailable` here.
+pub fn answer_simple(snap: &Snapshot, req: &Request) -> String {
+    match &req.op {
+        Op::Ping => {
+            let _span = kcb_obs::span("serve", "serve.ping");
+            protocol::render_pong(req.id)
+        }
+        Op::Artifacts => {
+            let _span = kcb_obs::span("serve", "serve.artifact");
+            protocol::render_artifact_ids(req.id, &snap.artifact_ids())
+        }
+        Op::Artifact { name } => {
+            let _span = kcb_obs::span("serve", "serve.artifact");
+            match snap.artifact(name) {
+                Some(payload) => protocol::render_artifact(req.id, payload),
+                None => protocol::render_error(
+                    req.id,
+                    "not_found",
+                    &format!("no artifact `{name}` preloaded"),
+                ),
+            }
+        }
+        Op::Embed { token } => {
+            let _span = kcb_obs::span("serve", "serve.embed");
+            let (vector, in_vocab) = snap.embed(token);
+            protocol::render_embed(req.id, &vector, in_vocab)
+        }
+        Op::Stats | Op::Shutdown => {
+            protocol::render_error(req.id, "unavailable", "connection-level op")
+        }
+        Op::Nn { .. } | Op::Classify { .. } | Op::Bert { .. } => {
+            unreachable!("batched ops are served by serve_batch")
+        }
+    }
+}
+
+/// The serial reference: answers one request at a time through the
+/// single-query snapshot paths and the *same* renderers as the batched
+/// engine. `serve-bench` replays identical workloads through both and
+/// checks the reply byte streams are equal.
+pub fn answer_serial(snap: &Snapshot, bert: Option<&MiniBert>, req: &Request) -> String {
+    match &req.op {
+        Op::Nn { token, k, int8 } => {
+            let neighbours =
+                if *int8 { snap.nearest_int8(token, *k) } else { snap.nearest(token, *k) };
+            protocol::render_nn(req.id, &neighbours)
+        }
+        Op::Classify { s, r, o } => match snap.classify(*s, *r, *o) {
+            Some(p) => protocol::render_proba(req.id, p),
+            None => protocol::render_error(req.id, "bad_request", "invalid triple"),
+        },
+        Op::Bert { s, r, o } => match (bert, snap.bert_token_ids(*s, *r, *o)) {
+            (None, _) => protocol::render_error(
+                req.id,
+                "unavailable",
+                "snapshot was frozen without bert",
+            ),
+            (Some(_), None) => {
+                protocol::render_error(req.id, "bad_request", "invalid triple")
+            }
+            (Some(bert), Some(ids)) => {
+                protocol::render_proba(req.id, bert.predict_proba(&ids))
+            }
+        },
+        _ => answer_simple(snap, req),
+    }
+}

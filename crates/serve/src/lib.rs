@@ -1,0 +1,26 @@
+//! `kcb-serve` — the snapshot serving engine.
+//!
+//! A daemon front-end for a warm lab: [`kcb_core::snapshot::Snapshot`]
+//! freezes the providers once on the driver thread, then any number of
+//! request threads share it through an `Arc` with no locks on the hot
+//! path. The crate layers, bottom up:
+//!
+//! - [`protocol`] — the newline-delimited-JSON wire format: request
+//!   parsing, and the reply renderers both serving paths share;
+//! - [`engine`] — the bounded queue (admission control: full ⇒ typed
+//!   `overloaded` shed), worker threads, and micro-batch grouping into the
+//!   batched NN / forest / BERT kernels;
+//! - [`server`] — TCP and Unix-socket listeners, one thread per
+//!   connection, cooperative shutdown with a graceful queue drain;
+//! - [`bench`] — the `repro serve-bench` harness: deterministic seeded
+//!   load over real sockets, latency percentiles, and the byte-identity
+//!   checksum against the serial reference replay.
+
+pub mod bench;
+pub mod engine;
+pub mod protocol;
+pub mod server;
+
+pub use engine::{Engine, EngineConfig, EngineStats};
+pub use protocol::{Op, Request};
+pub use server::{Server, ServerConfig};
