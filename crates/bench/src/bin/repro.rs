@@ -22,7 +22,9 @@
 
 use kcb_bench::cli;
 use kcb_bench::run_meta::{self, RunMetaInputs};
-use kcb_core::experiment::plan::run_scheduled;
+use kcb_bench::runs;
+use kcb_core::experiment::plan::{run_scheduled, run_scheduled_with, JournalSpec};
+use kcb_core::journal;
 use kcb_core::lab::{Lab, LabConfig};
 use std::process::ExitCode;
 use std::time::Instant;
@@ -54,6 +56,11 @@ SUBCOMMANDS:
                  same workload) and write results/bench_serve.json
                  (qps, qps/core, p50/p95/p99, batch-size histogram, shed
                  count, byte-identity checksums)
+  runs           query the run index (results/runs/index.jsonl):
+                   runs [list]        latest manifest per run, newest first
+                   runs show ID       one manifest in full (unique prefixes ok)
+                   runs diff ID ID    field-by-field manifest comparison,
+                                      including per-artifact checksums
 
 OPTIONS:
   --scale S      ontology scale relative to real ChEBI (default 0.03)
@@ -82,11 +89,20 @@ OPTIONS:
                  submissions beyond it get a typed `overloaded` reply
   --batch-max N  serve / serve-bench: largest micro-batch one worker
                  drains at once (default 32)
+  --runs-dir DIR run-journal root (default results/runs); artifact runs
+                 journal every completed job there and resume mid-DAG
+                 after an interruption, byte-identically
+  --no-journal   disable the run journal for this artifact run
   --trace FILE   write a Chrome trace-event timeline of the run
   --metrics      write results/run_meta.json (manifest + counters + series)
   --profile      print per-span wall-time statistics to stdout
   --fast         tiny smoke-test configuration (seconds, not minutes)
-  --list         list artifact ids with descriptions and exit";
+  --list         list artifact ids with descriptions and exit
+
+FAULT INJECTION:
+  KCB_FAULT=abort_after_job:N   abort the process after the Nth journaled
+                 job of this run — the crash used by the CI resume test;
+                 rerunning the same command resumes from the journal";
 
 /// Re-execs the binary once with glibc's allocator tuned for the autograd
 /// workload. Each training step builds and tears down a multi-megabyte
@@ -123,6 +139,36 @@ fn run_gc(lab: &Lab, cap: Option<u64>) {
     }
 }
 
+/// Current unix time in milliseconds (run ids and manifest timestamps).
+fn unix_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+/// Answers a `repro runs` query against the index under `root`.
+fn runs_query(cmd: &cli::RunsCmd, root: &std::path::Path) -> ExitCode {
+    let folded = journal::index_fold(journal::index_load(root));
+    let rendered = match cmd {
+        cli::RunsCmd::List => Ok(runs::render_list(&folded)),
+        cli::RunsCmd::Show(id) => runs::resolve(&folded, id).map(runs::render_show),
+        cli::RunsCmd::Diff(a, b) => runs::resolve(&folded, a).and_then(|ma| {
+            runs::resolve(&folded, b).map(|mb| runs::render_diff(ma, mb))
+        }),
+    };
+    match rendered {
+        Ok(text) => {
+            print!("{text}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     tune_allocator_via_reexec();
     let args = match cli::parse(std::env::args().skip(1)) {
@@ -144,6 +190,12 @@ fn main() -> ExitCode {
             println!("{id:width$}  {what}");
         }
         return ExitCode::SUCCESS;
+    }
+    let runs_root =
+        args.runs_dir.clone().unwrap_or_else(|| std::path::Path::new("results").join("runs"));
+    if let Some(cmd) = &args.runs {
+        // Pure index queries: no lab, no training, no journal writes.
+        return runs_query(cmd, &runs_root);
     }
     let mut ids: Vec<String> = args.ids.clone();
     if ids.is_empty() && !(args.bench_query || args.serve || args.serve_bench) {
@@ -351,11 +403,49 @@ fn main() -> ExitCode {
     let mut markdown = String::from("# kcb reproduction report\n\n");
     let mut failed = false;
 
+    // Run journal: every completed job is appended (fsynced) under
+    // results/runs/<config-digest>/, so a killed run resumes mid-DAG on
+    // the next invocation with byte-identical artifacts. KCB_FAULT
+    // injects the crash the CI resume test proves this with.
+    let fault = match journal::FaultPlan::from_env() {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let spec = (!args.no_journal).then(|| JournalSpec {
+        dir: journal::run_dir(&runs_root, &lab.config_digest()),
+        fault,
+    });
+    let started_ms = unix_ms();
+    let run_id = format!("{}-{started_ms}", lab.config_digest());
+    let mut manifest = journal::RunManifest {
+        run_id,
+        config_digest: lab.config_digest(),
+        seed,
+        scale,
+        threads: threads as u64,
+        fast: args.fast,
+        ids: ids.clone(),
+        started_unix_ms: started_ms,
+        updated_unix_ms: started_ms,
+        outcome: "running".to_string(),
+        jobs_run: 0,
+        jobs_replayed: 0,
+        resume: false,
+        wall_s: 0.0,
+        artifacts: Vec::new(),
+    };
+    if spec.is_some() {
+        journal::index_append(&runs_root, &manifest);
+    }
+
     // Decompose the requested artifacts into the dependency-aware cell
     // DAG and run it; artifacts come back in request (= canonical) order
     // and are byte-identical at any worker count.
     let id_refs: Vec<&str> = ids.iter().map(String::as_str).collect();
-    let (artifacts, report) = run_scheduled(&lab, &id_refs, threads);
+    let (artifacts, report) = run_scheduled_with(&lab, &id_refs, threads, spec.as_ref());
     // Persist the union of loaded + freshly computed derived results so
     // the next run replays them.
     lab.save_checkpoints();
@@ -367,6 +457,15 @@ fn main() -> ExitCode {
         report.scheduler.steals,
         report.scheduler.wall_seconds
     );
+    if report.journal.enabled {
+        eprintln!(
+            "# journal: {} appended, {} replayed{} ({})",
+            report.journal.appended,
+            report.journal.replayed,
+            if report.journal.resume { " — resumed an interrupted run" } else { "" },
+            spec.as_ref().map(|s| s.dir.display().to_string()).unwrap_or_default()
+        );
+    }
     eprintln!(
         "# checkpoints: {} hits, {} misses ({})",
         report.cache.ckpt_hits,
@@ -463,6 +562,25 @@ fn main() -> ExitCode {
                 );
             }
         }
+    }
+    // Terminal index record: folds over the start record, so `repro runs
+    // list` shows this run as complete/failed — or still `running` if we
+    // crashed before reaching here.
+    if spec.is_some() {
+        manifest.outcome = if failed { "failed" } else { "complete" }.to_string();
+        manifest.updated_unix_ms = unix_ms();
+        manifest.jobs_run = report.journal.appended;
+        manifest.jobs_replayed = report.journal.replayed;
+        manifest.resume = report.journal.resume;
+        manifest.wall_s = total_secs;
+        manifest.artifacts = artifacts
+            .iter()
+            .map(|(id, a)| {
+                let body = a.to_replay_json().render_json(None);
+                (id.clone(), journal::fnv64_hex(body.as_bytes()))
+            })
+            .collect();
+        journal::index_append(&runs_root, &manifest);
     }
     eprintln!("# total {:.1}s", total_secs);
     if failed {

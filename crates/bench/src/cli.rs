@@ -61,10 +61,27 @@ pub struct Args {
     pub no_mmap: bool,
     /// `--cache-cap BYTES`: evict oldest checkpoints until the store fits.
     pub cache_cap: Option<u64>,
+    /// `runs [list|show|diff]`: query the run index instead of running.
+    pub runs: Option<RunsCmd>,
+    /// `--runs-dir`: run-journal root (default `results/runs`).
+    pub runs_dir: Option<PathBuf>,
+    /// `--no-journal`: disable run journaling for this artifact run.
+    pub no_journal: bool,
     /// `--list`: list artifact ids and exit.
     pub list: bool,
     /// `--help` / `-h`.
     pub help: bool,
+}
+
+/// The `repro runs` query surface over `results/runs/index.jsonl`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunsCmd {
+    /// Latest manifest per run, newest first.
+    List,
+    /// Full manifest of one run id (prefixes accepted when unambiguous).
+    Show(String),
+    /// Field-by-field manifest diff of two run ids.
+    Diff(String, String),
 }
 
 impl Args {
@@ -81,7 +98,7 @@ where
     I: IntoIterator<Item = String>,
 {
     let mut out = Args::default();
-    let mut it = args.into_iter();
+    let mut it = args.into_iter().peekable();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--list" => out.list = true,
@@ -89,9 +106,39 @@ where
             "--cold" => out.cold = true,
             "--quant" => out.quant = true,
             "--no-mmap" => out.no_mmap = true,
+            "--no-journal" => out.no_journal = true,
             "bench-query" => out.bench_query = true,
             "serve" => out.serve = true,
             "serve-bench" => out.serve_bench = true,
+            "runs" => {
+                // `runs` with no (or a flag) next token defaults to `list`.
+                let sub = match it.peek() {
+                    Some(s) if !s.starts_with('-') => it.next().expect("peeked"),
+                    _ => "list".to_string(),
+                };
+                out.runs = Some(match sub.as_str() {
+                    "list" => RunsCmd::List,
+                    "show" => RunsCmd::Show(it.next().ok_or("runs show needs a run id")?),
+                    "diff" => RunsCmd::Diff(
+                        it.next().ok_or("runs diff needs two run ids")?,
+                        it.next().ok_or("runs diff needs two run ids")?,
+                    ),
+                    other => {
+                        return Err(format!("unknown runs subcommand '{other}' (list|show|diff)"))
+                    }
+                });
+            }
+            "--runs-dir" => {
+                let v = it.next().ok_or("--runs-dir needs a directory")?;
+                if v.is_empty() {
+                    return Err("--runs-dir needs a non-empty directory".to_string());
+                }
+                let p = PathBuf::from(&v);
+                if p.is_file() {
+                    return Err(format!("--runs-dir {v} is a file, not a directory"));
+                }
+                out.runs_dir = Some(p);
+            }
             "--port" => {
                 let v = it.next().ok_or("--port needs a value")?;
                 out.port = Some(v.parse().map_err(|_| format!("bad port {v}"))?);
@@ -202,8 +249,18 @@ where
     if out.bench_query && !out.ids.is_empty() {
         return Err(format!("bench-query runs alone, got artifact '{}'", out.ids[0]));
     }
-    if usize::from(out.bench_query) + usize::from(out.serve) + usize::from(out.serve_bench) > 1 {
-        return Err("bench-query, serve and serve-bench are mutually exclusive".to_string());
+    let subcommands = usize::from(out.bench_query)
+        + usize::from(out.serve)
+        + usize::from(out.serve_bench)
+        + usize::from(out.runs.is_some());
+    if subcommands > 1 {
+        return Err("bench-query, serve, serve-bench and runs are mutually exclusive".to_string());
+    }
+    if out.runs.is_some() && !out.ids.is_empty() {
+        return Err(format!("runs queries run alone, got artifact '{}'", out.ids[0]));
+    }
+    if out.no_journal && (out.runs.is_some() || out.bench_query || out.serve || out.serve_bench) {
+        return Err("--no-journal only applies to artifact runs".to_string());
     }
     if (out.port.is_some() || out.socket.is_some()) && !out.serve {
         return Err("--port / --socket only apply to the serve subcommand".to_string());
@@ -394,6 +451,48 @@ mod tests {
         {
             assert!(p(&bad).is_err(), "accepted {bad:?}");
         }
+    }
+
+    #[test]
+    fn parses_runs_subcommands() {
+        assert_eq!(p(&["runs"]).unwrap().runs, Some(RunsCmd::List));
+        assert_eq!(p(&["runs", "list"]).unwrap().runs, Some(RunsCmd::List));
+        let a = p(&["runs", "--runs-dir", "r"]).unwrap();
+        assert_eq!(a.runs, Some(RunsCmd::List));
+        assert_eq!(a.runs_dir.as_deref(), Some(std::path::Path::new("r")));
+        assert_eq!(
+            p(&["runs", "show", "deadbeef-1"]).unwrap().runs,
+            Some(RunsCmd::Show("deadbeef-1".to_string()))
+        );
+        assert_eq!(
+            p(&["runs", "diff", "a-1", "b-2"]).unwrap().runs,
+            Some(RunsCmd::Diff("a-1".to_string(), "b-2".to_string()))
+        );
+    }
+
+    #[test]
+    fn runs_subcommand_is_validated() {
+        let e = p(&["runs", "frobnicate"]).unwrap_err();
+        assert!(e.contains("frobnicate"), "{e}");
+        assert!(p(&["runs", "show"]).unwrap_err().contains("run id"));
+        assert!(p(&["runs", "diff", "only-one"]).unwrap_err().contains("two run ids"));
+        let e = p(&["runs", "list", "table2"]).unwrap_err();
+        assert!(e.contains("table2"), "{e}");
+        let e = p(&["runs", "bench-query"]).unwrap_err();
+        assert!(e.contains("bench-query"), "{e}");
+        assert!(p(&["--runs-dir", ""]).unwrap_err().contains("--runs-dir"));
+    }
+
+    #[test]
+    fn journal_flags_are_validated() {
+        let a = p(&["all", "--no-journal", "--runs-dir", "elsewhere"]).unwrap();
+        assert!(a.no_journal);
+        assert_eq!(a.runs_dir.as_deref(), Some(std::path::Path::new("elsewhere")));
+        assert!(!p(&["all"]).unwrap().no_journal);
+        let e = p(&["bench-query", "--no-journal"]).unwrap_err();
+        assert!(e.contains("--no-journal"), "{e}");
+        let e = p(&["runs", "--no-journal"]).unwrap_err();
+        assert!(e.contains("--no-journal"), "{e}");
     }
 
     #[test]

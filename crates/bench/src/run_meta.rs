@@ -27,7 +27,13 @@ use serde_json::{json, Value};
 /// v4: `manifest` gained `mode` naming the run flavour (`"artifacts"`,
 /// `"bench-query"`, `"serve"`, `"serve-bench"`), matching the serving
 /// subcommands added alongside `results/bench_serve.json`.
-pub const SCHEMA_VERSION: u64 = 4;
+///
+/// v5: a top-level `journal` group records what the run journal did —
+/// `enabled`, records `appended` (fsynced this run), jobs `replayed`
+/// from an interrupted run, whether this was a `resume`, and
+/// damaged-suffix `warnings` — matching the journaled/resumable runs
+/// under `results/runs/`.
+pub const SCHEMA_VERSION: u64 = 5;
 
 /// Everything `run_meta.json` is built from.
 pub struct RunMetaInputs<'a> {
@@ -160,6 +166,13 @@ pub fn run_meta_json(inp: &RunMetaInputs<'_>) -> Value {
             })
         })
         .collect();
+    let journal = json!({
+        "enabled": r.journal.enabled,
+        "appended": r.journal.appended,
+        "replayed": r.journal.replayed,
+        "resume": r.journal.resume,
+        "warnings": r.journal.warnings,
+    });
     json!({
         "schema_version": SCHEMA_VERSION,
         "manifest": manifest,
@@ -167,6 +180,7 @@ pub fn run_meta_json(inp: &RunMetaInputs<'_>) -> Value {
         "scheduler": scheduler,
         "cache": r.cache,
         "encoding_cache": encoding_cache,
+        "journal": journal,
         "checkpoints": checkpoints,
         "counters": counters,
         "series": series,
@@ -223,6 +237,13 @@ mod tests {
                 hit: true,
                 bytes: 1024,
             }],
+            journal: kcb_core::experiment::plan::JournalStats {
+                enabled: true,
+                appended: 3,
+                replayed: 2,
+                resume: true,
+                warnings: 0,
+            },
         }
     }
 
@@ -251,6 +272,11 @@ mod tests {
         assert_eq!(doc["cache"]["ckpt_hits"], json!(0));
         assert_eq!(doc["cache"]["provider_skips"], json!(0));
         assert_eq!(doc["span_stats"]["cell:rf"]["p99_s"], doc["span_stats"]["cell:rf"]["max_s"]);
+        assert_eq!(doc["journal"]["enabled"], json!(true));
+        assert_eq!(doc["journal"]["appended"], json!(3));
+        assert_eq!(doc["journal"]["replayed"], json!(2));
+        assert_eq!(doc["journal"]["resume"], json!(true));
+        assert_eq!(doc["journal"]["warnings"], json!(0));
         assert_eq!(doc["checkpoints"][0]["provider"], json!("embed-glove"));
         assert_eq!(doc["checkpoints"][0]["hit"], json!(true));
         assert_eq!(doc["counters"]["dbscan.probes"], json!(7));

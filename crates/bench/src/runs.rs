@@ -1,0 +1,175 @@
+//! The `repro runs [list|show|diff]` query surface.
+//!
+//! Renders the run index (`results/runs/index.jsonl`, see
+//! [`kcb_core::journal`]) for humans: `list` folds the append-only index
+//! to the latest manifest per run (so an interrupted run shows up as
+//! still-`running`), `show` prints one manifest in full, and `diff`
+//! compares two manifests field by field — including per-artifact
+//! checksums, which is how "same config, same bytes?" is answered without
+//! re-running anything. Everything here is pure rendering over loaded
+//! manifests, so the binary only picks an exit code.
+
+use kcb_core::journal::{diff_manifests, RunManifest};
+use kcb_util::fmt::Table;
+
+/// Renders the `runs list` table from folded manifests (newest first).
+pub fn render_list(folded: &[RunManifest]) -> String {
+    if folded.is_empty() {
+        return "no recorded runs (run `repro <artifacts>` first)\n".to_string();
+    }
+    let mut t = Table::new(
+        format!("Recorded runs ({})", folded.len()),
+        &["run id", "outcome", "seed", "scale", "threads", "ids", "jobs", "replayed", "wall s"],
+    )
+    .numeric_after(6);
+    for m in folded {
+        let mut ids = m.ids.join(" ");
+        if ids.len() > 40 {
+            ids.truncate(37);
+            ids.push_str("...");
+        }
+        t.row(vec![
+            m.run_id.clone(),
+            if m.resume { format!("{} (resumed)", m.outcome) } else { m.outcome.clone() },
+            m.seed.to_string(),
+            m.scale.to_string(),
+            m.threads.to_string(),
+            ids,
+            m.jobs_run.to_string(),
+            m.jobs_replayed.to_string(),
+            format!("{:.1}", m.wall_s),
+        ]);
+    }
+    t.render()
+}
+
+/// Finds one manifest by run id: exact match first, then a unique prefix.
+/// Errors name the needle and, on ambiguity, every candidate.
+pub fn resolve<'a>(folded: &'a [RunManifest], needle: &str) -> Result<&'a RunManifest, String> {
+    if let Some(m) = folded.iter().find(|m| m.run_id == needle) {
+        return Ok(m);
+    }
+    let hits: Vec<&RunManifest> =
+        folded.iter().filter(|m| m.run_id.starts_with(needle)).collect();
+    match hits.as_slice() {
+        [one] => Ok(one),
+        [] => Err(format!("no run matches '{needle}' (see `repro runs list`)")),
+        many => Err(format!(
+            "'{needle}' is ambiguous: {}",
+            many.iter().map(|m| m.run_id.as_str()).collect::<Vec<_>>().join(", ")
+        )),
+    }
+}
+
+/// Renders one full manifest as aligned `key  value` lines.
+pub fn render_show(m: &RunManifest) -> String {
+    let mut t = Table::new(format!("Run {}", m.run_id), &["field", "value"]);
+    let rows: Vec<(&str, String)> = vec![
+        ("config_digest", m.config_digest.clone()),
+        ("outcome", m.outcome.clone()),
+        ("seed", m.seed.to_string()),
+        ("scale", m.scale.to_string()),
+        ("threads", m.threads.to_string()),
+        ("fast", m.fast.to_string()),
+        ("ids", m.ids.join(" ")),
+        ("started_unix_ms", m.started_unix_ms.to_string()),
+        ("updated_unix_ms", m.updated_unix_ms.to_string()),
+        ("jobs_run", m.jobs_run.to_string()),
+        ("jobs_replayed", m.jobs_replayed.to_string()),
+        ("resume", m.resume.to_string()),
+        ("wall_s", format!("{:.3}", m.wall_s)),
+    ];
+    for (k, v) in rows {
+        t.row(vec![k.to_string(), v]);
+    }
+    for (id, fnv) in &m.artifacts {
+        t.row(vec![format!("artifact:{id}"), fnv.clone()]);
+    }
+    t.render()
+}
+
+/// Renders the field-by-field diff of two manifests; identical manifests
+/// (up to timestamps and run id) say so explicitly.
+pub fn render_diff(a: &RunManifest, b: &RunManifest) -> String {
+    let rows = diff_manifests(a, b);
+    if rows.is_empty() {
+        return format!("runs {} and {} are identical (config, jobs, artifact checksums)\n",
+            a.run_id, b.run_id);
+    }
+    let mut t = Table::new(
+        format!("Diff {} vs {}", a.run_id, b.run_id),
+        &["field", a.run_id.as_str(), b.run_id.as_str()],
+    );
+    for (field, va, vb) in rows {
+        t.row(vec![field, va, vb]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn manifest(run_id: &str, outcome: &str) -> RunManifest {
+        RunManifest {
+            run_id: run_id.to_string(),
+            config_digest: "cafe0000cafe0000".to_string(),
+            seed: 42,
+            scale: 0.03,
+            threads: 4,
+            fast: true,
+            ids: vec!["table2".to_string(), "fig3".to_string()],
+            started_unix_ms: 1_000,
+            updated_unix_ms: 2_000,
+            outcome: outcome.to_string(),
+            jobs_run: 9,
+            jobs_replayed: 3,
+            resume: true,
+            wall_s: 12.5,
+            artifacts: vec![("table2".to_string(), "aabb".to_string())],
+        }
+    }
+
+    #[test]
+    fn list_folds_into_a_table() {
+        let s = render_list(&[manifest("cafe-2", "running"), manifest("cafe-1", "complete")]);
+        assert!(s.contains("cafe-2"));
+        assert!(s.contains("running (resumed)"));
+        assert!(s.contains("complete"));
+        assert!(render_list(&[]).contains("no recorded runs"));
+    }
+
+    #[test]
+    fn resolve_accepts_unique_prefixes_and_names_ambiguity() {
+        let ms = vec![manifest("cafe-100", "complete"), manifest("cafe-200", "complete"),
+            manifest("beef-300", "failed")];
+        assert_eq!(resolve(&ms, "beef-300").unwrap().run_id, "beef-300");
+        assert_eq!(resolve(&ms, "beef").unwrap().run_id, "beef-300");
+        let e = resolve(&ms, "cafe").unwrap_err();
+        assert!(e.contains("cafe-100") && e.contains("cafe-200"), "{e}");
+        assert!(resolve(&ms, "nope").unwrap_err().contains("nope"));
+    }
+
+    #[test]
+    fn show_prints_every_field_and_artifact() {
+        let s = render_show(&manifest("cafe-1", "complete"));
+        for needle in ["config_digest", "cafe0000cafe0000", "jobs_replayed", "artifact:table2",
+            "aabb", "table2 fig3"]
+        {
+            assert!(s.contains(needle), "missing {needle} in:\n{s}");
+        }
+    }
+
+    #[test]
+    fn diff_names_changes_or_declares_identity() {
+        let a = manifest("cafe-1", "complete");
+        let mut b = manifest("cafe-2", "complete");
+        assert!(render_diff(&a, &b).contains("identical"));
+        b.seed = 7;
+        b.artifacts[0].1 = "ccdd".to_string();
+        let s = render_diff(&a, &b);
+        assert!(s.contains("seed"), "{s}");
+        assert!(s.contains("artifact:table2") && s.contains("ccdd"), "{s}");
+        assert!(!s.contains("scale"), "{s}");
+    }
+}

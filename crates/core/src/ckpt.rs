@@ -54,6 +54,11 @@ pub const SCHEMA_BIOGPT: u32 = 1;
 /// Schema version of the derived-results cache.
 pub const SCHEMA_DERIVED: u32 = 1;
 
+/// Minimum file age before [`CkptStore::gc`] may evict: anything younger
+/// may still be mid-write (tmp+rename from a concurrent `repro` sharing
+/// the store) or just-read by a process that is about to use it.
+pub const GC_GRACE: std::time::Duration = std::time::Duration::from_secs(60);
+
 const CONTAINER_MAGIC: &[u8; 4] = b"KCBC";
 const CONTAINER_VERSION: u32 = 1;
 /// Container version with an aligned raw-payload section that can be
@@ -467,12 +472,26 @@ impl CkptStore {
     /// Evicts least-recently-used first until the store's total `.ckpt`
     /// size is at most `cap_bytes`. Returns a one-line report.
     ///
+    /// Files younger than [`GC_GRACE`] are never evicted: another `repro`
+    /// process sharing the store (e.g. the interrupted and resumed legs of
+    /// a journaled run, or a concurrent CI matrix) may have just written
+    /// them — and an mtime this recent also means "in active use", so
+    /// deleting such a file could race its writer's rename or its reader's
+    /// first open. They still count toward `kept_bytes`, so a store full of
+    /// young files simply stays over cap until the next sweep.
+    pub fn gc(&self, cap_bytes: u64) -> GcReport {
+        self.gc_with_grace(cap_bytes, GC_GRACE)
+    }
+
+    /// [`CkptStore::gc`] with an explicit grace window (tests use zero).
+    ///
     /// "Recently used" is the file mtime, which every successful
     /// [`CkptStore::take`] / [`CkptStore::take_raw`] refreshes — so entries
     /// a long-lived process keeps reading (including zero-copy mmap reads,
     /// which the filesystem would otherwise never reflect in mtime) stay
     /// resident, and only genuinely idle checkpoints are evicted.
-    pub fn gc(&self, cap_bytes: u64) -> GcReport {
+    pub fn gc_with_grace(&self, cap_bytes: u64, grace: std::time::Duration) -> GcReport {
+        let now = std::time::SystemTime::now();
         let mut entries: Vec<(PathBuf, u64, std::time::SystemTime)> = Vec::new();
         if let Ok(dir) = std::fs::read_dir(&self.dir) {
             for e in dir.flatten() {
@@ -491,9 +510,14 @@ impl CkptStore {
         entries.sort_by_key(|(_, _, mtime)| *mtime);
         let mut evicted = 0usize;
         let mut freed = 0u64;
-        for (path, len, _) in &entries {
+        for (path, len, mtime) in &entries {
             if total <= cap_bytes {
                 break;
+            }
+            // Grace window: too young to be sure nobody is mid-write or
+            // mid-read; a concurrent writer's tmp+rename refreshes mtime.
+            if now.duration_since(*mtime).map(|age| age < grace).unwrap_or(true) {
+                continue;
             }
             if std::fs::remove_file(path).is_ok() {
                 total -= len;
@@ -1035,6 +1059,32 @@ mod tests {
         // A generous cap is a no-op.
         let report = store.gc(u64::MAX);
         assert_eq!(report.evicted, 0);
+        std::fs::remove_dir_all(store.dir()).ok();
+    }
+
+    #[test]
+    fn gc_spares_files_younger_than_the_grace_window() {
+        let store = temp_store("gc-grace");
+        // "old" predates the grace window; "young" was written just now —
+        // exactly what a concurrent writer's fresh checkpoint looks like.
+        for name in ["old", "young"] {
+            let mut w = Writer::new();
+            w.u64(7);
+            store.put("unit", name, &w.into_bytes());
+        }
+        let old = store.dir().join("unit-old.ckpt");
+        let t = std::time::SystemTime::now() - 10 * GC_GRACE;
+        std::fs::File::options().append(true).open(&old).unwrap().set_modified(t).unwrap();
+        // Cap 0 would evict everything; the young file must survive.
+        let report = store.gc(0);
+        assert_eq!((report.scanned, report.evicted), (2, 1));
+        assert!(!old.exists(), "aged-out file is evicted");
+        assert!(store.dir().join("unit-young.ckpt").exists(), "young file survives");
+        assert!(report.kept_bytes > 0, "survivors still count toward kept bytes");
+        // With the window forced to zero, age no longer protects it.
+        let report = store.gc_with_grace(0, std::time::Duration::ZERO);
+        assert_eq!(report.evicted, 1);
+        assert!(!store.dir().join("unit-young.ckpt").exists());
         std::fs::remove_dir_all(store.dir()).ok();
     }
 

@@ -21,13 +21,16 @@
 
 use super::{scenarios, supervised};
 use crate::dataset::SCENARIOS;
+use crate::journal;
 use crate::lab::{Lab, Shared, EMBEDDING_NAMES};
 use crate::report::Artifact;
-use crate::sched::{Graph, JobId, RunReport};
+use crate::sched::{Graph, JobDone, JobId, RunReport};
 use crate::task::TaskKind;
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::path::{Path, PathBuf};
 use std::rc::Rc;
+use std::sync::Mutex;
 
 /// What a scheduled run did, for `results/run_meta.json`.
 #[derive(Debug, Clone, serde::Serialize)]
@@ -47,6 +50,33 @@ pub struct PlanReport {
     /// Persistent checkpoint lookups this run, in order (empty when the
     /// lab has no store attached).
     pub checkpoints: Vec<crate::ckpt::CkptEvent>,
+    /// What the run journal did (all zeros when journaling is off).
+    pub journal: JournalStats,
+}
+
+/// Journal activity of one scheduled run, for `run_meta.json` and the
+/// run-index manifest.
+#[derive(Debug, Clone, Default, serde::Serialize)]
+pub struct JournalStats {
+    /// Whether a journal was attached to this run.
+    pub enabled: bool,
+    /// Completion records appended (and fsynced) by this run.
+    pub appended: u64,
+    /// Jobs satisfied from the journal instead of executed (no-op cells
+    /// plus artifacts replayed byte-for-byte from persisted payloads).
+    pub replayed: u64,
+    /// Whether this run resumed a journal with prior records.
+    pub resume: bool,
+    /// Damaged-suffix warnings emitted while loading the journal.
+    pub warnings: u64,
+}
+
+/// Journal attachment for a scheduled run.
+pub struct JournalSpec {
+    /// The run directory, `results/runs/<config-digest>/`.
+    pub dir: PathBuf,
+    /// Injected fault, checked after each journaled completion.
+    pub fault: Option<journal::FaultPlan>,
 }
 
 /// Provider job ids shared by every artifact.
@@ -172,6 +202,11 @@ struct Cells<'g, 'a> {
     lab: &'a Lab,
     shared: &'a Shared,
     prov: &'g Providers,
+    /// Labels the run journal already recorded as completed.
+    completed: &'g HashSet<String>,
+    /// Labels satisfied from the journal this run (fills as cells are
+    /// replaced by replay no-ops; the completion hook skips these).
+    replayed: &'g mut HashSet<String>,
 }
 
 impl<'a> Cells<'_, 'a> {
@@ -180,9 +215,22 @@ impl<'a> Cells<'_, 'a> {
             return id;
         }
         let label = format!("cell:{key}");
-        let id = match f {
-            CellClosure::Par(f) => self.g.add_par(label, deps, f),
-            CellClosure::Driver(f) => self.g.add_driver(label, deps, f),
+        // Journal replay: a cell that already committed in an earlier
+        // (interrupted) run becomes a dependency-free no-op. Cells only
+        // warm the memo caches — their values come back through the
+        // derived checkpoint, and any cold miss is recomputed inline by
+        // the assembly runner — so skipping them can never change bytes.
+        let id = if self.completed.contains(&label) {
+            self.replayed.insert(label.clone());
+            match f {
+                CellClosure::Par(_) => self.g.add_par(label, &[], || {}),
+                CellClosure::Driver(_) => self.g.add_driver(label, &[], || {}),
+            }
+        } else {
+            match f {
+                CellClosure::Par(f) => self.g.add_par(label, deps, f),
+                CellClosure::Driver(f) => self.g.add_driver(label, deps, f),
+            }
         };
         self.keyed.insert(key, id);
         id
@@ -418,6 +466,50 @@ pub fn run_scheduled(
     ids: &[&str],
     workers: usize,
 ) -> (Vec<(String, Artifact)>, PlanReport) {
+    run_scheduled_with(lab, ids, workers, None)
+}
+
+/// [`run_scheduled`] with an optional run journal attached: completed
+/// jobs from an interrupted run are marked satisfied at graph-build time
+/// (cells become no-ops, artifacts replay byte-for-byte from persisted
+/// payloads), and every job this run completes is appended to the journal
+/// — fsynced before the job's dependents can observe its result — so the
+/// *next* interruption loses at most the job in flight.
+pub fn run_scheduled_with(
+    lab: &Lab,
+    ids: &[&str],
+    workers: usize,
+    spec: Option<&JournalSpec>,
+) -> (Vec<(String, Artifact)>, PlanReport) {
+    // Replay: load whatever an earlier run journaled under this config.
+    let mut jstats = JournalStats::default();
+    let mut writer: Option<journal::Writer> = None;
+    let mut replay = journal::Replay::default();
+    if let Some(spec) = spec {
+        jstats.enabled = true;
+        let path = journal::journal_path(&spec.dir);
+        replay = journal::load(&path);
+        if let Some(w) = &replay.warning {
+            eprintln!("warning: {w}");
+            jstats.warnings += 1;
+        }
+        jstats.resume = !replay.records.is_empty();
+        match journal::Writer::open(&path, replay.records.len() as u64) {
+            Ok(w) => writer = Some(w),
+            Err(e) => {
+                eprintln!("warning: cannot open journal {} ({e}); journaling off", path.display());
+                jstats.enabled = false;
+            }
+        }
+    }
+    let completed = replay.completed();
+
+    // Digests of artifacts assembled *this* run, filled by the assembly
+    // closures (driver thread) and read by the completion hook right
+    // after — so the journal records each artifact's payload checksum.
+    let digests: Mutex<HashMap<String, String>> = Mutex::new(HashMap::new());
+    let mut replayed: HashSet<String> = HashSet::new();
+
     let mut g = Graph::new();
     let prov = providers(&mut g, lab);
     let mut keyed: HashMap<String, JobId> = HashMap::new();
@@ -425,27 +517,88 @@ pub fn run_scheduled(
     let ids: Vec<String> = ids.iter().map(|s| s.to_ascii_lowercase()).collect();
     let mut slots: Vec<Rc<RefCell<Option<Artifact>>>> = Vec::with_capacity(ids.len());
     for id in &ids {
+        let label = format!("artifact:{id}");
+        let slot: Rc<RefCell<Option<Artifact>>> = Rc::default();
+        let out = slot.clone();
+
+        // Journal replay: an artifact whose assembly already committed is
+        // re-emitted from its persisted payload, verified against the
+        // journaled digest. Verification failure (deleted / corrupted
+        // payload) falls back to ordinary reassembly.
+        let replayed_artifact = spec.filter(|_| completed.contains(&label)).and_then(|s| {
+            replay.digest_of(&label).and_then(|want| load_artifact(&s.dir, id, want))
+        });
+        if let Some(a) = replayed_artifact {
+            replayed.insert(label.clone());
+            let mut a = Some(a);
+            g.add_driver(label, &[], move || {
+                *out.borrow_mut() = a.take();
+            });
+            slots.push(slot);
+            continue;
+        }
+
         let mut deps = {
-            let mut cells =
-                Cells { g: &mut g, keyed: &mut keyed, lab, shared: lab.shared(), prov: &prov };
+            let mut cells = Cells {
+                g: &mut g,
+                keyed: &mut keyed,
+                lab,
+                shared: lab.shared(),
+                prov: &prov,
+                completed: &completed,
+                replayed: &mut replayed,
+            };
             cells.deps_for(id)
         };
         deps.sort_unstable();
         deps.dedup();
-        let slot: Rc<RefCell<Option<Artifact>>> = Rc::default();
-        let out = slot.clone();
         let id_owned = id.clone();
-        g.add_driver(format!("artifact:{id}"), &deps, move || {
-            *out.borrow_mut() = super::run(lab, &id_owned);
+        let journal_dir = spec.map(|s| s.dir.clone());
+        let digests = &digests;
+        g.add_driver(label.clone(), &deps, move || {
+            let art = super::run(lab, &id_owned);
+            if let Some(dir) = &journal_dir {
+                if let Some(a) = &art {
+                    match persist_artifact(dir, &id_owned, a) {
+                        Ok(fnv) => {
+                            digests.lock().expect("digest table").insert(label.clone(), fnv);
+                        }
+                        Err(e) => eprintln!("warning: artifact payload persist failed: {e}"),
+                    }
+                }
+                // Refresh the derived checkpoint after every artifact so a
+                // resumed run finds the memo caches its no-op cells warmed.
+                lab.save_checkpoints();
+            }
+            *out.borrow_mut() = art;
         });
         slots.push(slot);
     }
 
+    // The completion hook: journal every job executed this run (replayed
+    // no-ops are already in the journal), then give the injected fault a
+    // chance to kill the process at this exact boundary.
+    let hook = |d: &JobDone<'_>| {
+        if replayed.contains(d.label) {
+            return;
+        }
+        let Some(w) = &writer else { return };
+        let digest =
+            digests.lock().expect("digest table").get(d.label).cloned().unwrap_or_default();
+        let n = w.append(d.label, d.kind, &digest, d.seconds, d.worker);
+        if let Some(f) = spec.and_then(|s| s.fault) {
+            f.check(n);
+        }
+    };
+
     let run_span = kcb_obs::span("sched", "graph:run")
         .arg("jobs", g.len())
         .arg("workers", workers);
-    let scheduler = g.run(workers);
+    let scheduler = g.run_hooked(workers, writer.is_some().then_some(&hook as _));
     run_span.end();
+    jstats.appended = writer.as_ref().map(journal::Writer::appended).unwrap_or(0);
+    jstats.replayed = replayed.len() as u64;
+
     let artifacts: Vec<(String, Artifact)> = ids
         .into_iter()
         .zip(slots)
@@ -460,9 +613,41 @@ pub fn run_scheduled(
         encoding_entries: lab.encodings().len(),
         encoding_contended: lab.encodings().contended(),
         checkpoints: lab.checkpoint_store().map(|s| s.events()).unwrap_or_default(),
+        journal: jstats,
     };
     record_counters(&report);
     (artifacts, report)
+}
+
+/// Persists one assembled artifact's replay payload under the run
+/// directory (tmp + rename, so a crash mid-write can never leave a
+/// payload that passes the digest check) and returns its FNV-64.
+fn persist_artifact(dir: &Path, id: &str, a: &Artifact) -> std::io::Result<String> {
+    let path = journal::artifact_path(dir, id);
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let body = a.to_replay_json().render_json(None);
+    let fnv = journal::fnv64_hex(body.as_bytes());
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, &body)?;
+    std::fs::rename(&tmp, &path)?;
+    Ok(fnv)
+}
+
+/// Loads a persisted artifact payload when its bytes still match the
+/// journaled digest `want`; otherwise `None` (caller reassembles).
+fn load_artifact(dir: &Path, id: &str, want: &str) -> Option<Artifact> {
+    let path = journal::artifact_path(dir, id);
+    let text = std::fs::read_to_string(&path).ok()?;
+    if journal::fnv64_hex(text.as_bytes()) != want {
+        eprintln!(
+            "warning: journal replay: {} no longer matches its journaled digest; reassembling",
+            path.display()
+        );
+        return None;
+    }
+    Artifact::from_replay_json(&kcb_util::json::parse_value(&text).ok()?)
 }
 
 /// Publishes the run's cache counters to the telemetry recorder so they
@@ -483,5 +668,8 @@ fn record_counters(r: &PlanReport) {
         ("provider.skips", r.cache.provider_skips),
     ] {
         kcb_obs::counter(name, v as u64);
+    }
+    if r.journal.enabled {
+        kcb_obs::counter("journal.replayed", r.journal.replayed);
     }
 }

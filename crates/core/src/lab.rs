@@ -383,6 +383,16 @@ impl Shared {
         self.ckpt.as_deref()
     }
 
+    /// FNV-64 hex digest of the configuration with the forest thread knob
+    /// normalised out. Names the run-journal directory
+    /// (`results/runs/<config-digest>/`), so re-running the same config
+    /// resumes the same journal at any worker count.
+    pub fn config_digest(&self) -> String {
+        let mut c = self.cfg.clone();
+        c.rf.n_threads = 0;
+        format!("{:016x}", kcb_util::fnv1a(format!("{c:?}").as_bytes()))
+    }
+
     /// Content key of the derived-results checkpoint: the full config,
     /// with the forest's thread knob normalised out (thread count is a
     /// wall-clock knob, never a results knob).

@@ -16,6 +16,7 @@ pub mod ckpt;
 pub mod compose;
 pub mod dataset;
 pub mod experiment;
+pub mod journal;
 pub mod lab;
 pub mod paradigm;
 pub mod report;

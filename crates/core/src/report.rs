@@ -57,6 +57,36 @@ impl Artifact {
         out
     }
 
+    /// Full structural projection — id, title, tables, payload — persisted
+    /// by the run journal so an interrupted run can replay the artifact
+    /// byte-for-byte without re-running its experiment.
+    pub fn to_replay_json(&self) -> Value {
+        Value::Object(vec![
+            ("id".to_string(), Value::String(self.id.clone())),
+            ("title".to_string(), Value::String(self.title.clone())),
+            ("tables".to_string(), Value::Array(self.tables.iter().map(Table::to_json).collect())),
+            ("json".to_string(), self.json.clone()),
+        ])
+    }
+
+    /// Inverse of [`Artifact::to_replay_json`]. `None` when the value does
+    /// not have the projected shape (replay then falls back to
+    /// reassembling the artifact from scratch).
+    pub fn from_replay_json(v: &Value) -> Option<Self> {
+        let tables = v
+            .get("tables")?
+            .as_array()?
+            .iter()
+            .map(Table::from_json)
+            .collect::<Option<Vec<_>>>()?;
+        Some(Self {
+            id: v.get("id")?.as_str()?.to_string(),
+            title: v.get("title")?.as_str()?.to_string(),
+            tables,
+            json: v.get("json")?.clone(),
+        })
+    }
+
     /// Writes the JSON payload (wrapped with id/title) to a file.
     pub fn write_json(&self, dir: &std::path::Path) -> kcb_util::Result<std::path::PathBuf> {
         std::fs::create_dir_all(dir)?;
@@ -107,6 +137,26 @@ mod tests {
         let text = std::fs::read_to_string(&path).unwrap();
         assert!(text.contains("\"id\": \"Table 2\""));
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn replay_json_round_trips_render_bytes() {
+        let mut a = Artifact::new("Table 3a", "Task 1 forests");
+        let mut t = Table::new("demo", &["model", "f1"]).numeric_after(1);
+        t.row(vec!["glove".into(), "0.9559".into()]);
+        a.push_table(t);
+        a.set_json(serde_json::json!({"f1": [0.9559, 1.0], "n": 3}));
+        let payload = a.to_replay_json().render_json(None);
+        let v = kcb_util::json::parse_value(&payload).unwrap();
+        let b = Artifact::from_replay_json(&v).unwrap();
+        // The replayed artifact must render the same text and persist the
+        // same JSON — the byte-identity the resume path depends on.
+        assert_eq!(b.render(), a.render());
+        assert_eq!(
+            serde_json::to_string_pretty(&b.json).unwrap(),
+            serde_json::to_string_pretty(&a.json).unwrap()
+        );
+        assert_eq!(b.to_replay_json().render_json(None), payload);
     }
 
     #[test]

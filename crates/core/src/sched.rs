@@ -58,6 +58,29 @@ fn cat_for(label: &str) -> &'static str {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub struct JobId(usize);
 
+/// Completion notice passed to a [`Graph::run_hooked`] hook right after a
+/// job's closure returns successfully — the attachment point for the run
+/// journal, which appends (and fsyncs) one record per completed job.
+#[derive(Debug, Clone)]
+pub struct JobDone<'r> {
+    /// Push-order index of the job.
+    pub index: usize,
+    /// The label given at push time.
+    pub label: &'r str,
+    /// `"par"` or `"driver"`.
+    pub kind: &'static str,
+    /// Wall-clock seconds inside the closure.
+    pub seconds: f64,
+    /// Worker that executed the job (0 = the driver thread).
+    pub worker: usize,
+}
+
+/// Job-completion hook. Runs on the executing worker's thread (hence
+/// `Sync`), after the job's own work and timing but before dependents are
+/// promoted — so anything the hook persists is durable before downstream
+/// jobs can observe the result.
+pub type DoneHook<'h> = dyn Fn(&JobDone<'_>) + Sync + 'h;
+
 type ParFn<'a> = Box<dyn FnOnce() + Send + 'a>;
 type DriverFn<'a> = Box<dyn FnOnce() + 'a>;
 
@@ -186,16 +209,22 @@ impl<'a> Graph<'a> {
     /// Executes the whole graph and returns the run report. Panics in
     /// jobs are re-raised here after the scope unwinds.
     pub fn run(self, workers: usize) -> RunReport {
+        self.run_hooked(workers, None)
+    }
+
+    /// [`Graph::run`] with an optional per-job completion hook (see
+    /// [`DoneHook`]); the journal attaches here.
+    pub fn run_hooked(self, workers: usize, hook: Option<&DoneHook<'_>>) -> RunReport {
         let started = Instant::now();
         let epoch_us = kcb_obs::now_us();
         let n = self.nodes.len();
         let label_kinds = self.label_kinds();
         let mut timing = vec![Timing::default(); n];
         let (steals, workers) = if workers <= 1 || n <= 1 {
-            self.run_sequential(started, epoch_us, &mut timing);
+            self.run_sequential(started, epoch_us, &mut timing, hook);
             (0, 1)
         } else {
-            (self.run_parallel(workers, started, epoch_us, &mut timing), workers)
+            (self.run_parallel(workers, started, epoch_us, &mut timing, hook), workers)
         };
         let jobs = label_kinds
             .into_iter()
@@ -212,7 +241,13 @@ impl<'a> Graph<'a> {
         RunReport { workers, jobs, steals, wall_seconds: started.elapsed().as_secs_f64() }
     }
 
-    fn run_sequential(self, t0: Instant, epoch_us: u64, timing: &mut [Timing]) {
+    fn run_sequential(
+        self,
+        t0: Instant,
+        epoch_us: u64,
+        timing: &mut [Timing],
+        hook: Option<&DoneHook<'_>>,
+    ) {
         kcb_obs::set_thread_label("driver");
         let Graph { nodes, mut par_fns, mut driver_fns } = self;
         for (i, node) in nodes.into_iter().enumerate() {
@@ -228,6 +263,15 @@ impl<'a> Graph<'a> {
             let end = t0.elapsed().as_secs_f64();
             timing[i] = Timing { start, end, worker: 0 };
             record_job_span(&node.label, kind, epoch_us, timing[i]);
+            if let Some(h) = hook {
+                h(&JobDone {
+                    index: i,
+                    label: &node.label,
+                    kind,
+                    seconds: (end - start).max(0.0),
+                    worker: 0,
+                });
+            }
         }
     }
 
@@ -237,6 +281,7 @@ impl<'a> Graph<'a> {
         t0: Instant,
         epoch_us: u64,
         timing: &mut [Timing],
+        hook: Option<&DoneHook<'_>>,
     ) -> usize {
         let Graph { nodes, par_fns, mut driver_fns } = self;
         let n = nodes.len();
@@ -276,6 +321,7 @@ impl<'a> Graph<'a> {
             steals: AtomicUsize::new(0),
             t0,
             epoch_us,
+            hook,
         };
 
         std::thread::scope(|s| {
@@ -333,6 +379,9 @@ struct Shared<'a> {
     t0: Instant,
     /// Recorder-epoch microseconds at graph start, for span timestamps.
     epoch_us: u64,
+    /// Optional completion hook, fired on the executing thread after each
+    /// successful job and before its dependents are promoted.
+    hook: Option<&'a DoneHook<'a>>,
 }
 
 impl Shared<'_> {
@@ -350,6 +399,17 @@ impl Shared<'_> {
         let t = Timing { start, end: self.t0.elapsed().as_secs_f64(), worker: w };
         *self.timing[i].lock() = t;
         record_job_span(&self.nodes[i].label, "par", self.epoch_us, t);
+        if result.is_ok() {
+            if let Some(h) = self.hook {
+                h(&JobDone {
+                    index: i,
+                    label: &self.nodes[i].label,
+                    kind: "par",
+                    seconds: (t.end - t.start).max(0.0),
+                    worker: w,
+                });
+            }
+        }
         self.finish(i, w, result);
     }
 
@@ -450,6 +510,17 @@ impl Shared<'_> {
                 let t = Timing { start, end: self.t0.elapsed().as_secs_f64(), worker: W };
                 *self.timing[i].lock() = t;
                 record_job_span(&self.nodes[i].label, "driver", self.epoch_us, t);
+                if result.is_ok() {
+                    if let Some(h) = self.hook {
+                        h(&JobDone {
+                            index: i,
+                            label: &self.nodes[i].label,
+                            kind: "driver",
+                            seconds: (t.end - t.start).max(0.0),
+                            worker: W,
+                        });
+                    }
+                }
                 self.finish(i, W, result);
                 continue;
             }
@@ -596,6 +667,43 @@ mod tests {
         // A JobId forged beyond the current length must be rejected.
         let bogus = JobId(5);
         g.add_par("b", &[bogus], || {});
+    }
+
+    #[test]
+    fn hook_sees_every_successful_job_exactly_once() {
+        for workers in [1, 3] {
+            let mut g = Graph::new();
+            let a = g.add_par("a", &[], || {});
+            let b = g.add_par("b", &[a], || {});
+            g.add_driver("c", &[b], || {});
+            let seen = StdMutex::new(Vec::new());
+            let hook = |d: &JobDone<'_>| {
+                seen.lock().unwrap().push((d.index, d.label.to_string(), d.kind));
+            };
+            g.run_hooked(workers, Some(&hook));
+            let mut got = seen.lock().unwrap().clone();
+            got.sort();
+            assert_eq!(
+                got,
+                vec![
+                    (0, "a".to_string(), "par"),
+                    (1, "b".to_string(), "par"),
+                    (2, "c".to_string(), "driver"),
+                ],
+                "workers={workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn hook_skips_panicked_jobs() {
+        let mut g = Graph::new();
+        g.add_par("ok", &[], || {});
+        g.add_par("boom", &[], || panic!("nope"));
+        let seen = StdMutex::new(Vec::new());
+        let hook = |d: &JobDone<'_>| seen.lock().unwrap().push(d.label.to_string());
+        let _ = std::panic::catch_unwind(AssertUnwindSafe(|| g.run_hooked(1, Some(&hook))));
+        assert_eq!(*seen.lock().unwrap(), vec!["ok".to_string()]);
     }
 
     #[test]

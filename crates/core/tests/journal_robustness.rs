@@ -1,0 +1,245 @@
+//! The run journal's crash-safety contract, attacked from three sides:
+//!
+//! 1. a proptest round-trip of the self-verifying line codec (arbitrary
+//!    labels, digests and timings survive encode → decode unchanged, and
+//!    any single-bit flip is rejected);
+//! 2. a crash matrix over a journal file — truncation at every byte
+//!    offset and a bit flip in every tail position — asserting that
+//!    replay always yields a clean *prefix* of the original records and
+//!    warns (once) exactly when something was dropped;
+//! 3. an end-to-end resume: a scheduled run killed mid-DAG by an injected
+//!    panic fault, resumed from its journal, must produce byte-identical
+//!    artifacts to an uninterrupted run — with at least one job replayed
+//!    rather than re-executed.
+
+use kcb_core::experiment::plan::{run_scheduled_with, JournalSpec};
+use kcb_core::journal::{
+    self, decode_record, encode_record, FaultAction, FaultPlan, JobRecord,
+};
+use kcb_core::lab::{Lab, LabConfig};
+use proptest::prelude::*;
+
+fn record(seq: u64, label: &str) -> JobRecord {
+    JobRecord {
+        seq,
+        label: label.to_string(),
+        kind: "par".to_string(),
+        digest: journal::fnv64_hex(label.as_bytes()),
+        seconds: 0.125 * (seq + 1) as f64,
+        worker: seq % 3,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn line_codec_round_trips_arbitrary_records(
+        seq in any::<u64>(),
+        label in "[a-zA-Z0-9:_|./\\\\\" -]{0,48}",
+        kind_driver in any::<bool>(),
+        digest in "[0-9a-f]{0,16}",
+        seconds in 0.0f64..1e6,
+        worker in any::<u64>(),
+    ) {
+        let rec = JobRecord {
+            seq,
+            label,
+            kind: if kind_driver { "driver" } else { "par" }.to_string(),
+            digest,
+            seconds,
+            worker,
+        };
+        let line = encode_record(&rec);
+        prop_assert!(!line.contains('\n'), "framing must stay single-line");
+        let back = decode_record(&line).expect("undamaged line decodes");
+        prop_assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn any_single_bit_flip_is_rejected(
+        seq in any::<u64>(),
+        byte_frac in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let rec = record(seq, "cell:forest|w2v-chem|d4");
+        let mut bytes = encode_record(&rec).into_bytes();
+        let idx = ((byte_frac * bytes.len() as f64) as usize).min(bytes.len() - 1);
+        bytes[idx] ^= 1 << bit;
+        // The flipped line either fails to parse or fails its checksum —
+        // it must never decode into a *different* valid record.
+        if let Ok(s) = String::from_utf8(bytes) {
+            if let Ok(back) = decode_record(&s) {
+                prop_assert_eq!(back, rec, "a decodable flip must be semantically inert");
+            }
+        }
+    }
+}
+
+/// A journal of `n` records written through the real [`journal::Writer`],
+/// returned as raw bytes alongside the records.
+fn written_journal(name: &str, n: u64) -> (std::path::PathBuf, Vec<u8>, Vec<JobRecord>) {
+    let dir = std::env::temp_dir()
+        .join(format!("kcb-journal-matrix-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let path = journal::journal_path(&dir);
+    let w = journal::Writer::open(&path, 0).expect("open journal");
+    let mut recs = Vec::new();
+    for i in 0..n {
+        let r = record(i, &format!("cell:rf|job{i}"));
+        w.append(&r.label, &r.kind, &r.digest, r.seconds, r.worker as usize);
+        recs.push(r);
+    }
+    let bytes = std::fs::read(&path).expect("journal bytes");
+    (path, bytes, recs)
+}
+
+/// Replay of damaged bytes must yield a clean prefix of the written
+/// labels (never reordered, never invented) and warn iff data was lost.
+fn assert_prefix(path: &std::path::Path, damaged: &[u8], originals: &[JobRecord], ctx: &str) {
+    std::fs::write(path, damaged).expect("write damaged journal");
+    let replay = journal::load(path);
+    assert!(
+        replay.records.len() <= originals.len(),
+        "{ctx}: replay invented records ({} > {})",
+        replay.records.len(),
+        originals.len()
+    );
+    for (got, want) in replay.records.iter().zip(originals) {
+        assert_eq!(got.label, want.label, "{ctx}: replay is not a prefix");
+        assert_eq!(got.digest, want.digest, "{ctx}: digest changed in replay");
+    }
+    // Warning expectations depend on the damage type (a truncation at a
+    // line boundary is a legitimate shorter journal), so the callers
+    // assert those.
+}
+
+#[test]
+fn truncation_at_every_offset_keeps_a_clean_prefix() {
+    let (path, bytes, recs) = written_journal("trunc", 5);
+    // Line boundaries: truncating exactly there is a shorter valid
+    // journal (an fsync'd crash point), anywhere else is a torn line.
+    let boundaries: Vec<usize> = bytes
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &b)| (b == b'\n').then_some(i + 1))
+        .collect();
+    assert_eq!(boundaries.len(), 5, "writer frames one line per record");
+    for cut in 0..bytes.len() {
+        assert_prefix(&path, &bytes[..cut], &recs, &format!("truncate@{cut}"));
+        let replay = journal::load(&path);
+        let whole_lines = boundaries.iter().filter(|&&b| b <= cut).count();
+        assert_eq!(
+            replay.records.len(),
+            whole_lines,
+            "truncate@{cut}: every fsync'd line before the cut must survive"
+        );
+        if cut > 0 && !boundaries.contains(&cut) {
+            assert!(replay.warning.is_some(), "truncate@{cut}: torn tail must warn");
+        }
+    }
+    let _ = std::fs::remove_dir_all(path.parent().unwrap());
+}
+
+#[test]
+fn bit_flips_anywhere_in_the_tail_stop_replay_at_the_damage() {
+    let (path, bytes, recs) = written_journal("flip", 4);
+    let first_line_end = bytes.iter().position(|&b| b == b'\n').unwrap();
+    // Flip one bit at every byte of the final two records; replay must
+    // keep at most the records before the damaged line, and always at
+    // least the untouched first line.
+    let tail_start = bytes.len() / 2;
+    for idx in tail_start..bytes.len() {
+        for bit in [0u8, 3, 7] {
+            let mut damaged = bytes.clone();
+            damaged[idx] ^= 1 << bit;
+            if damaged[idx] == b'\n' || bytes[idx] == b'\n' {
+                continue; // splitting/merging lines is the truncation case
+            }
+            assert_prefix(&path, &damaged, &recs, &format!("flip@{idx}.{bit}"));
+            let replay = journal::load(&path);
+            assert!(
+                !replay.records.is_empty() || first_line_end >= tail_start,
+                "flip@{idx}.{bit}: damage in the tail must not kill the head"
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(path.parent().unwrap());
+}
+
+/// Compact replay-JSON bytes of every artifact, the strongest equality
+/// the journal promises across a crash.
+fn artifact_bytes(arts: &[(String, kcb_core::report::Artifact)]) -> Vec<(String, String)> {
+    arts.iter()
+        .map(|(id, a)| (id.clone(), a.to_replay_json().render_json(None)))
+        .collect()
+}
+
+#[test]
+fn interrupted_run_resumes_to_byte_identical_artifacts() {
+    const IDS: [&str; 2] = ["table2", "table3a"];
+    let root = std::env::temp_dir()
+        .join(format!("kcb-journal-resume-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let _g = kcb_util::pool::ThreadsGuard::new(1);
+
+    // Reference: an uninterrupted journaled run.
+    let lab = Lab::new(LabConfig::tiny());
+    let cold_spec = JournalSpec { dir: root.join("cold"), fault: None };
+    let (cold, cold_report) = run_scheduled_with(&lab, &IDS, 1, Some(&cold_spec));
+    assert!(cold_report.journal.enabled && !cold_report.journal.resume);
+    assert!(cold_report.journal.appended > 4, "reference run journals its jobs");
+
+    // Crash leg: same config, fresh journal dir, killed two jobs short of
+    // the finish line by the in-process fault action (the `panic` twin of
+    // CI's `abort`) — deep enough into the DAG that cells, not just
+    // providers, have committed.
+    let after_jobs = cold_report.journal.appended - 2;
+    let crash_spec = JournalSpec {
+        dir: root.join("crash"),
+        fault: Some(FaultPlan { after_jobs, action: FaultAction::Panic }),
+    };
+    let crashed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let lab = Lab::new(LabConfig::tiny());
+        run_scheduled_with(&lab, &IDS, 1, Some(&crash_spec));
+    }));
+    assert!(crashed.is_err(), "the injected fault must actually fire");
+    let journaled = journal::load(&journal::journal_path(&crash_spec.dir));
+    assert_eq!(
+        journaled.records.len() as u64,
+        after_jobs,
+        "exactly the pre-fault jobs were fsync'd"
+    );
+    assert!(journaled.warning.is_none(), "a clean crash leaves no torn line");
+
+    // Resume: a fresh process image (new lab, cold caches) over the same
+    // journal finishes the DAG and replays what already committed.
+    let resume_spec = JournalSpec { dir: crash_spec.dir.clone(), fault: None };
+    let lab = Lab::new(LabConfig::tiny());
+    let (resumed, report) = run_scheduled_with(&lab, &IDS, 1, Some(&resume_spec));
+    assert!(report.journal.resume, "resume must be detected");
+    assert!(report.journal.replayed > 0, "journaled jobs must be satisfied, not re-run");
+    assert_eq!(report.journal.warnings, 0);
+
+    assert_eq!(
+        artifact_bytes(&cold),
+        artifact_bytes(&resumed),
+        "resumed artifacts must be byte-identical to the uninterrupted run"
+    );
+    for ((id_c, a_c), (id_r, a_r)) in cold.iter().zip(&resumed) {
+        assert_eq!(id_c, id_r);
+        assert_eq!(a_c.render(), a_r.render(), "rendered text differs for {id_c}");
+    }
+
+    // A second resume over the now-complete journal replays *everything*
+    // — including the artifacts themselves, straight from disk.
+    let lab = Lab::new(LabConfig::tiny());
+    let (warm, warm_report) = run_scheduled_with(&lab, &IDS, 1, Some(&resume_spec));
+    assert_eq!(artifact_bytes(&cold), artifact_bytes(&warm));
+    assert!(
+        warm_report.journal.replayed >= IDS.len() as u64,
+        "complete journal should replay at least every artifact"
+    );
+
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -28,7 +28,7 @@ use serde_json::{json, Value};
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Version of the `bench_serve.json` shape.
 pub const SCHEMA_VERSION: u64 = 1;
@@ -136,6 +136,30 @@ struct ClientResult {
     checksum: u64,
 }
 
+/// Connects with bounded exponential backoff (10ms, 40ms between tries).
+/// When all `attempts` client threads start at once, the listener's
+/// accept backlog can momentarily refuse a connection; one refused
+/// connect is startup noise, not a result — but persistent failure still
+/// surfaces as the last error rather than hanging the harness.
+fn connect_with_backoff(
+    addr: std::net::SocketAddr,
+    attempts: u32,
+) -> std::io::Result<TcpStream> {
+    let mut delay = Duration::from_millis(10);
+    let mut last_err = None;
+    for attempt in 0..attempts.max(1) {
+        match TcpStream::connect(addr) {
+            Ok(s) => return Ok(s),
+            Err(e) => last_err = Some(e),
+        }
+        if attempt + 1 < attempts.max(1) {
+            std::thread::sleep(delay);
+            delay *= 4;
+        }
+    }
+    Err(last_err.expect("at least one attempt"))
+}
+
 /// One client connection replaying its workload: `pipeline` requests go
 /// out in a single write, then that window's replies are read back (the
 /// server preserves per-connection order). Latency is measured from the
@@ -146,7 +170,7 @@ fn run_client(
     reqs: &[Request],
     pipeline: usize,
 ) -> std::io::Result<ClientResult> {
-    let stream = TcpStream::connect(addr)?;
+    let stream = connect_with_backoff(addr, 3)?;
     stream.set_nodelay(true)?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut stream = stream;
@@ -320,4 +344,48 @@ pub fn run(snap: Arc<Snapshot>, cfg: &BenchConfig) -> Value {
         "batch_histogram": hist,
         "span_stats": span_stats,
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn connect_backoff_succeeds_against_a_live_listener() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        assert!(connect_with_backoff(addr, 3).is_ok());
+    }
+
+    #[test]
+    fn connect_backoff_gives_up_with_the_last_error() {
+        // Bind then drop: the port existed a moment ago but nobody
+        // listens now, so every attempt is refused.
+        let addr = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let t0 = Instant::now();
+        assert!(connect_with_backoff(addr, 3).is_err());
+        // Two sleeps happened between the three attempts (10ms + 40ms).
+        assert!(t0.elapsed() >= Duration::from_millis(50));
+    }
+
+    #[test]
+    fn connect_backoff_retries_until_the_listener_appears() {
+        // The listener comes up mid-backoff: attempt 1 is refused, a
+        // later one lands — the serve-bench startup race in miniature.
+        let addr = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(25));
+            std::net::TcpListener::bind(addr)
+        });
+        let got = connect_with_backoff(addr, 3);
+        let listener = handle.join().unwrap();
+        assert!(listener.is_ok(), "rebind failed; can't assess retry");
+        assert!(got.is_ok(), "late listener should be reached by a retry");
+    }
 }

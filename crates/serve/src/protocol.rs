@@ -27,10 +27,11 @@
 //! equality between the two in `serve-bench` is then a real byte-identity
 //! proof, not a formatting coincidence.
 //!
-//! The vendored `serde_json` is writer-only, so this module carries the
-//! small recursive-descent parser ([`parse_value`]) the request side
-//! needs; it builds the same [`Value`] tree the rest of the workspace
-//! renders from.
+//! The vendored `serde_json` is writer-only, so the request side reads
+//! through the workspace's recursive-descent parser
+//! ([`kcb_util::json::parse_value`], re-exported here as [`parse_value`]);
+//! it builds the same [`Value`] tree the rest of the workspace renders
+//! from.
 
 use serde_json::{json, Number, Value};
 
@@ -264,210 +265,11 @@ pub fn render_proba(id: u64, p: f32) -> String {
 
 /// Parses one complete JSON value (rejecting trailing data), building the
 /// workspace's [`Value`] tree. Errors name the byte offset.
-pub fn parse_value(s: &str) -> Result<Value, String> {
-    let mut p = Parser { b: s.as_bytes(), i: 0 };
-    p.skip_ws();
-    let v = p.value()?;
-    p.skip_ws();
-    if p.i != p.b.len() {
-        return Err(format!("trailing data at byte {}", p.i));
-    }
-    Ok(v)
-}
-
-struct Parser<'a> {
-    b: &'a [u8],
-    i: usize,
-}
-
-impl Parser<'_> {
-    fn err(&self, msg: &str) -> String {
-        format!("{msg} at byte {}", self.i)
-    }
-
-    fn skip_ws(&mut self) {
-        while matches!(self.b.get(self.i), Some(b' ' | b'\t' | b'\n' | b'\r')) {
-            self.i += 1;
-        }
-    }
-
-    fn peek(&self) -> Option<u8> {
-        self.b.get(self.i).copied()
-    }
-
-    fn eat(&mut self, lit: &str) -> Result<(), String> {
-        if self.b[self.i..].starts_with(lit.as_bytes()) {
-            self.i += lit.len();
-            Ok(())
-        } else {
-            Err(self.err(&format!("expected `{lit}`")))
-        }
-    }
-
-    fn value(&mut self) -> Result<Value, String> {
-        match self.peek() {
-            Some(b'{') => self.object(),
-            Some(b'[') => self.array(),
-            Some(b'"') => Ok(Value::String(self.string()?)),
-            Some(b't') => self.eat("true").map(|()| Value::Bool(true)),
-            Some(b'f') => self.eat("false").map(|()| Value::Bool(false)),
-            Some(b'n') => self.eat("null").map(|()| Value::Null),
-            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
-            _ => Err(self.err("expected a JSON value")),
-        }
-    }
-
-    fn object(&mut self) -> Result<Value, String> {
-        self.i += 1; // '{'
-        let mut fields = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b'}') {
-            self.i += 1;
-            return Ok(Value::Object(fields));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.string()?;
-            self.skip_ws();
-            self.eat(":")?;
-            self.skip_ws();
-            let val = self.value()?;
-            fields.push((key, val));
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.i += 1,
-                Some(b'}') => {
-                    self.i += 1;
-                    return Ok(Value::Object(fields));
-                }
-                _ => return Err(self.err("expected `,` or `}`")),
-            }
-        }
-    }
-
-    fn array(&mut self) -> Result<Value, String> {
-        self.i += 1; // '['
-        let mut items = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b']') {
-            self.i += 1;
-            return Ok(Value::Array(items));
-        }
-        loop {
-            self.skip_ws();
-            items.push(self.value()?);
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.i += 1,
-                Some(b']') => {
-                    self.i += 1;
-                    return Ok(Value::Array(items));
-                }
-                _ => return Err(self.err("expected `,` or `]`")),
-            }
-        }
-    }
-
-    fn string(&mut self) -> Result<String, String> {
-        if self.peek() != Some(b'"') {
-            return Err(self.err("expected a string"));
-        }
-        self.i += 1;
-        let mut out = String::new();
-        loop {
-            let Some(c) = self.peek() else { return Err(self.err("unterminated string")) };
-            match c {
-                b'"' => {
-                    self.i += 1;
-                    return Ok(out);
-                }
-                b'\\' => {
-                    self.i += 1;
-                    match self.peek() {
-                        Some(b'u') => {
-                            let hex = self
-                                .b
-                                .get(self.i + 1..self.i + 5)
-                                .and_then(|h| std::str::from_utf8(h).ok())
-                                .and_then(|h| u32::from_str_radix(h, 16).ok())
-                                .ok_or_else(|| self.err("bad \\u escape"))?;
-                            // Surrogate halves are replaced rather than
-                            // paired — requests never need astral chars.
-                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
-                            self.i += 5;
-                        }
-                        Some(e @ (b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't')) => {
-                            out.push(match e {
-                                b'b' => '\u{8}',
-                                b'f' => '\u{c}',
-                                b'n' => '\n',
-                                b'r' => '\r',
-                                b't' => '\t',
-                                c => c as char,
-                            });
-                            self.i += 1;
-                        }
-                        _ => return Err(self.err("bad escape")),
-                    }
-                }
-                c if c < 0x20 => return Err(self.err("raw control character in string")),
-                _ => {
-                    // Multi-byte UTF-8: push the full char.
-                    let rest = std::str::from_utf8(&self.b[self.i..])
-                        .map_err(|_| self.err("invalid UTF-8"))?;
-                    let ch = rest.chars().next().ok_or_else(|| self.err("unterminated"))?;
-                    out.push(ch);
-                    self.i += ch.len_utf8();
-                }
-            }
-        }
-    }
-
-    fn number(&mut self) -> Result<Value, String> {
-        let start = self.i;
-        let neg = self.peek() == Some(b'-');
-        if neg {
-            self.i += 1;
-        }
-        let digits = |p: &mut Self| {
-            let s = p.i;
-            while p.peek().is_some_and(|c| c.is_ascii_digit()) {
-                p.i += 1;
-            }
-            p.i > s
-        };
-        if !digits(self) {
-            return Err(self.err("expected digits"));
-        }
-        let mut float = false;
-        if self.peek() == Some(b'.') {
-            float = true;
-            self.i += 1;
-            if !digits(self) {
-                return Err(self.err("expected fraction digits"));
-            }
-        }
-        if matches!(self.peek(), Some(b'e' | b'E')) {
-            float = true;
-            self.i += 1;
-            if matches!(self.peek(), Some(b'+' | b'-')) {
-                self.i += 1;
-            }
-            if !digits(self) {
-                return Err(self.err("expected exponent digits"));
-            }
-        }
-        let text = std::str::from_utf8(&self.b[start..self.i]).expect("ascii");
-        let n = if float {
-            Number::F(text.parse().map_err(|_| self.err("bad number"))?)
-        } else if neg {
-            Number::I(text.parse().map_err(|_| self.err("bad number"))?)
-        } else {
-            Number::U(text.parse().map_err(|_| self.err("bad number"))?)
-        };
-        Ok(Value::Number(n))
-    }
-}
+///
+/// The parser itself lives in [`kcb_util::json`] (the run journal and the
+/// `repro runs` query surface read JSON through the same code); this
+/// re-export keeps the wire protocol's public surface unchanged.
+pub use kcb_util::json::parse_value;
 
 #[cfg(test)]
 mod tests {

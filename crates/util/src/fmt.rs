@@ -15,7 +15,7 @@ pub enum Align {
 }
 
 /// An aligned, monospace text table.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table {
     title: String,
     headers: Vec<String>,
@@ -98,6 +98,57 @@ impl Table {
         out.push_str(&rule);
         out.push('\n');
         out
+    }
+
+    /// Structural JSON projection (title, headers, one-letter alignment
+    /// codes, rows) — the run journal persists assembled artifacts in this
+    /// shape so an interrupted run can replay them byte-for-byte.
+    pub fn to_json(&self) -> serde::Value {
+        use serde::Value;
+        let aligns: Vec<Value> = self
+            .aligns
+            .iter()
+            .map(|a| Value::String(match a {
+                Align::Left => "l".to_string(),
+                Align::Right => "r".to_string(),
+            }))
+            .collect();
+        let strs = |v: &[String]| {
+            Value::Array(v.iter().map(|s| Value::String(s.clone())).collect())
+        };
+        Value::Object(vec![
+            ("title".to_string(), Value::String(self.title.clone())),
+            ("headers".to_string(), strs(&self.headers)),
+            ("aligns".to_string(), Value::Array(aligns)),
+            ("rows".to_string(), Value::Array(self.rows.iter().map(|r| strs(r)).collect())),
+        ])
+    }
+
+    /// Inverse of [`Table::to_json`]. `None` when the value does not have
+    /// the projected shape (a journal replay then falls back to
+    /// reassembling the artifact).
+    pub fn from_json(v: &serde::Value) -> Option<Self> {
+        let strs = |v: &serde::Value| -> Option<Vec<String>> {
+            v.as_array()?.iter().map(|s| s.as_str().map(str::to_string)).collect()
+        };
+        let title = v.get("title")?.as_str()?.to_string();
+        let headers = strs(v.get("headers")?)?;
+        let aligns: Vec<Align> = v
+            .get("aligns")?
+            .as_array()?
+            .iter()
+            .map(|a| match a.as_str() {
+                Some("l") => Some(Align::Left),
+                Some("r") => Some(Align::Right),
+                _ => None,
+            })
+            .collect::<Option<_>>()?;
+        let rows: Vec<Vec<String>> =
+            v.get("rows")?.as_array()?.iter().map(strs).collect::<Option<_>>()?;
+        if aligns.len() != headers.len() || rows.iter().any(|r| r.len() != headers.len()) {
+            return None;
+        }
+        Some(Self { title, headers, aligns, rows })
     }
 }
 

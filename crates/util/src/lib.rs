@@ -8,6 +8,7 @@
 pub mod bin;
 pub mod error;
 pub mod fmt;
+pub mod json;
 pub mod mmap;
 pub mod pool;
 pub mod rng;
