@@ -49,16 +49,33 @@ SUBCOMMANDS:
   serve          freeze a warm snapshot and answer NDJSON queries over
                  TCP (--port, default 7878) and/or a Unix socket
                  (--socket PATH); any artifact ids given are assembled
-                 first and preloaded for the `artifact` op; stop with
-                 {\"op\":\"shutdown\"}
+                 first and preloaded for the `artifact` op; admin verbs
+                 `stats`, `health` and `flight` answer inline, and the
+                 same TCP port answers HTTP GET /metrics (Prometheus
+                 text exposition) and GET /health; slow / recent requests
+                 are kept in a flight-recorder ring flushed to
+                 results/serve_flight.jsonl on shutdown and on overload;
+                 stop with {\"op\":\"shutdown\"} or SIGINT/SIGTERM (both
+                 drain the queue and flush the flight recorder first)
   serve-bench    run the serving load harness (N client connections
                  against the batching engine, then a serial replay of the
                  same workload) and write results/bench_serve.json
                  (qps, qps/core, p50/p95/p99, batch-size histogram, shed
-                 count, byte-identity checksums)
+                 count, a queue-depth/shed time series sampled during the
+                 run, byte-identity checksums)
+  serve-top      attach to a running `serve` daemon (--port) and render a
+                 refreshing terminal table of live qps, latency
+                 percentiles, queue depth, sheds and the per-verb mix;
+                 --interval-ms sets the poll cadence, --samples bounds
+                 the frame count (0 = until the daemon exits)
   runs           query the run index (results/runs/index.jsonl):
                    runs [list]        latest manifest per run, newest first
-                   runs show ID       one manifest in full (unique prefixes ok)
+                                      (columns include the journal's jobs
+                                      appended + replayed counts, and
+                                      resumed runs are marked)
+                   runs show ID       one manifest in full (unique prefixes
+                                      ok) — jobs_run / jobs_replayed /
+                                      resume rows are the journal stats
                    runs diff ID ID    field-by-field manifest comparison,
                                       including per-artifact checksums
 
@@ -81,7 +98,7 @@ OPTIONS:
   --cache-cap BYTES  after the run, evict oldest checkpoints until the
                  store fits under BYTES
   --quant        bench-query only: add the int8-quantized query legs
-  --port N       serve: TCP port to listen on (default 7878)
+  --port N       serve / serve-top: TCP port (default 7878)
   --socket PATH  serve: also listen on a Unix socket (unix only)
   --clients N    serve-bench: concurrent client connections
   --requests N   serve-bench: requests per client
@@ -89,6 +106,10 @@ OPTIONS:
                  submissions beyond it get a typed `overloaded` reply
   --batch-max N  serve / serve-bench: largest micro-batch one worker
                  drains at once (default 32)
+  --slow-us N    serve: flight-recorder slow-request threshold, µs
+                 (default 10000)
+  --interval-ms N  serve-top: polling interval (default 1000)
+  --samples N    serve-top: frames to render; 0 = until daemon exit
   --runs-dir DIR run-journal root (default results/runs); artifact runs
                  journal every completed job there and resume mid-DAG
                  after an interruption, byte-identically
@@ -102,7 +123,13 @@ OPTIONS:
 FAULT INJECTION:
   KCB_FAULT=abort_after_job:N   abort the process after the Nth journaled
                  job of this run — the crash used by the CI resume test;
-                 rerunning the same command resumes from the journal";
+                 rerunning the same command resumes from the journal
+
+LIVE TELEMETRY:
+  KCB_LIVE=off   serve / serve-bench: disable per-request timing (latency
+                 histograms + flight recorder) to measure the telemetry
+                 plane's own overhead; counters, gauges and admission
+                 control stay on";
 
 /// Re-execs the binary once with glibc's allocator tuned for the autograd
 /// workload. Each training step builds and tears down a multi-megabyte
@@ -197,6 +224,24 @@ fn main() -> ExitCode {
         // Pure index queries: no lab, no training, no journal writes.
         return runs_query(cmd, &runs_root);
     }
+    if args.serve_top {
+        // Pure client: attach to a daemon's stats verb, no lab needed.
+        kcb_util::signal::install();
+        let addr = format!("127.0.0.1:{}", args.port.unwrap_or(7878));
+        let interval = std::time::Duration::from_millis(args.interval_ms.unwrap_or(1000));
+        let samples = args.samples.unwrap_or(0);
+        eprintln!("# serve-top — polling {addr} every {}ms (Ctrl-C to stop)", interval.as_millis());
+        return match kcb_bench::serve_top::run(&addr, interval, samples, &mut std::io::stdout()) {
+            Ok(frames) => {
+                eprintln!("# {frames} frames");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error polling {addr}: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let mut ids: Vec<String> = args.ids.clone();
     if ids.is_empty() && !(args.bench_query || args.serve || args.serve_bench) {
         eprintln!("no artifacts requested\n\n{USAGE}");
@@ -257,13 +302,11 @@ fn main() -> ExitCode {
 
     if args.serve {
         // Assemble any requested artifacts first so the daemon can serve
-        // their JSON payloads by id.
-        let preload = if ids.is_empty() {
-            Vec::new()
-        } else {
-            let id_refs: Vec<&str> = ids.iter().map(String::as_str).collect();
-            run_scheduled(&lab, &id_refs, threads).0
-        };
+        // their JSON payloads by id. (Empty id list → empty DAG, but the
+        // report still feeds run_meta below.)
+        let serve_t0 = Instant::now();
+        let id_refs: Vec<&str> = ids.iter().map(String::as_str).collect();
+        let (preload, report) = run_scheduled(&lab, &id_refs, threads);
         let mut snap =
             kcb_core::snapshot::Snapshot::freeze(&lab, kcb_core::snapshot::SnapshotSpec::default());
         for (id, artifact) in &preload {
@@ -276,6 +319,9 @@ fn main() -> ExitCode {
         }
         lab.save_checkpoints();
         run_gc(&lab, args.cache_cap);
+        // Flight-recorder dumps land next to the other result files.
+        let flight_path = std::path::Path::new("results").join("serve_flight.jsonl");
+        let _ = std::fs::create_dir_all("results");
         let cfg = kcb_serve::ServerConfig {
             tcp: Some(format!("127.0.0.1:{}", args.port.unwrap_or(7878))),
             socket: args.socket.clone(),
@@ -283,6 +329,11 @@ fn main() -> ExitCode {
                 workers: threads,
                 queue_cap: args.queue_cap.unwrap_or(4096),
                 batch_max: args.batch_max.unwrap_or(32),
+                flight: kcb_serve::FlightConfig {
+                    path: Some(flight_path.clone()),
+                    slow_us: args.slow_us.unwrap_or(10_000),
+                    ..Default::default()
+                },
             },
         };
         let server = match kcb_serve::Server::start(std::sync::Arc::new(snap), &cfg) {
@@ -294,13 +345,88 @@ fn main() -> ExitCode {
         };
         if let Some(addr) = server.tcp_addr {
             eprintln!("# serving on tcp://{addr} ({} workers)", threads);
+            eprintln!("# scrape GET http://{addr}/metrics (Prometheus) or /health");
         }
         if let Some(path) = &args.socket {
             eprintln!("# serving on unix:{}", path.display());
         }
-        eprintln!("# stop with: {{\"id\":0,\"op\":\"shutdown\"}}");
+        eprintln!("# admin verbs: stats / health / flight — watch live with `repro serve-top`");
+        eprintln!("# flight recorder -> {} (slow >= {}us)", flight_path.display(), args.slow_us.unwrap_or(10_000));
+        eprintln!("# stop with: {{\"id\":0,\"op\":\"shutdown\"}} or SIGINT/SIGTERM");
+        // Graceful drain: a signal trips the latch; the poll loop turns it
+        // into the same stop path a shutdown verb takes (acceptors close,
+        // workers drain the queue, the flight recorder flushes).
+        kcb_util::signal::install();
+        while !server.stopped() && !kcb_util::signal::triggered() {
+            std::thread::sleep(std::time::Duration::from_millis(25));
+        }
+        if !server.stopped() {
+            eprintln!("# signal — draining queue, flushing flight recorder");
+            server.stop();
+        }
+        // Counters keep moving until the drain finishes inside wait(),
+        // which consumes the server — clone the handles that must report
+        // post-drain values.
+        let live_timing = server.metrics().timing();
+        let uptime_s = server.metrics().uptime_s();
+        let verb_counts = server.metrics().verb_counts();
+        let errors_h = std::sync::Arc::clone(&server.metrics().errors);
+        let e2e_h = std::sync::Arc::clone(&server.metrics().e2e_us);
         let stats = server.wait();
-        eprintln!("# served {} requests, shed {}", stats.served, stats.shed);
+        let (errors, e2e) = (errors_h.get(), e2e_h.snapshot());
+        eprintln!(
+            "# served {} requests, shed {}, errors {errors}, p99 {}us",
+            stats.served,
+            stats.shed,
+            e2e.percentile(99.0)
+        );
+        if args.metrics {
+            let telemetry = kcb_obs::drain();
+            kcb_obs::set_enabled(false);
+            let verbs = serde_json::Value::Object(
+                verb_counts
+                    .into_iter()
+                    .map(|(k, v)| (k.to_string(), serde_json::json!(v)))
+                    .collect(),
+            );
+            let e2e_json = serde_json::json!({
+                "count": e2e.count(),
+                "sum_us": e2e.sum,
+                "max_us": e2e.max,
+                "p50_us": e2e.percentile(50.0),
+                "p95_us": e2e.percentile(95.0),
+                "p99_us": e2e.percentile(99.0),
+            });
+            let summary = serde_json::json!({
+                "served": stats.served,
+                "shed": stats.shed,
+                "errors": errors,
+                "uptime_s": uptime_s,
+                "live_timing": live_timing,
+                "verbs": verbs,
+                "e2e": e2e_json,
+            });
+            let meta = run_meta::run_meta_json(&RunMetaInputs {
+                seed,
+                scale,
+                threads,
+                fast: args.fast,
+                mode: "serve",
+                total_seconds: serve_t0.elapsed().as_secs_f64(),
+                config_digest,
+                git_rev: run_meta::git_rev(),
+                report: &report,
+                telemetry: &telemetry,
+                serve: Some(summary),
+            });
+            let meta_path = std::path::Path::new("results").join("run_meta.json");
+            let text = serde_json::to_string_pretty(&meta).expect("serializable");
+            if let Err(e) = std::fs::write(&meta_path, &text) {
+                eprintln!("error writing {}: {e}", meta_path.display());
+                return ExitCode::FAILURE;
+            }
+            eprintln!("# wrote {}", meta_path.display());
+        }
         return ExitCode::SUCCESS;
     }
     if args.serve_bench {
@@ -528,6 +654,7 @@ fn main() -> ExitCode {
             git_rev: run_meta::git_rev(),
             report: &report,
             telemetry: &telemetry,
+            serve: None,
         });
         let meta_path = std::path::Path::new("results").join("run_meta.json");
         let text = serde_json::to_string_pretty(&meta).expect("serializable");

@@ -42,7 +42,16 @@ pub struct Args {
     /// `serve-bench`: run the serving-engine load harness and write
     /// `results/bench_serve.json`.
     pub serve_bench: bool,
-    /// `--port`: TCP port for `serve` (default 7878).
+    /// `serve-top`: poll a running daemon's `stats` verb and render a
+    /// refreshing terminal table.
+    pub serve_top: bool,
+    /// `--interval-ms`: polling interval for `serve-top` (default 1000).
+    pub interval_ms: Option<u64>,
+    /// `--samples`: number of `serve-top` frames (0 = until shutdown).
+    pub samples: Option<u64>,
+    /// `--slow-us`: flight-recorder slow-request threshold for `serve`.
+    pub slow_us: Option<u64>,
+    /// `--port`: TCP port for `serve` / `serve-top` (default 7878).
     pub port: Option<u16>,
     /// `--socket`: Unix-socket path for `serve` (unix only).
     pub socket: Option<PathBuf>,
@@ -110,6 +119,7 @@ where
             "bench-query" => out.bench_query = true,
             "serve" => out.serve = true,
             "serve-bench" => out.serve_bench = true,
+            "serve-top" => out.serve_top = true,
             "runs" => {
                 // `runs` with no (or a flag) next token defaults to `list`.
                 let sub = match it.peek() {
@@ -182,6 +192,26 @@ where
                 }
                 out.batch_max = Some(n);
             }
+            "--interval-ms" => {
+                let v = it.next().ok_or("--interval-ms needs a value")?;
+                let n: u64 = v.parse().map_err(|_| format!("bad interval {v}"))?;
+                if n == 0 {
+                    return Err("--interval-ms must be at least 1, got 0".to_string());
+                }
+                out.interval_ms = Some(n);
+            }
+            "--samples" => {
+                let v = it.next().ok_or("--samples needs a value")?;
+                out.samples = Some(v.parse().map_err(|_| format!("bad sample count {v}"))?);
+            }
+            "--slow-us" => {
+                let v = it.next().ok_or("--slow-us needs a value")?;
+                let n: u64 = v.parse().map_err(|_| format!("bad threshold {v}"))?;
+                if n == 0 {
+                    return Err("--slow-us must be at least 1, got 0".to_string());
+                }
+                out.slow_us = Some(n);
+            }
             "--metrics" => out.metrics = true,
             "--profile" => out.profile = true,
             "--help" | "-h" => out.help = true,
@@ -252,18 +282,36 @@ where
     let subcommands = usize::from(out.bench_query)
         + usize::from(out.serve)
         + usize::from(out.serve_bench)
+        + usize::from(out.serve_top)
         + usize::from(out.runs.is_some());
     if subcommands > 1 {
-        return Err("bench-query, serve, serve-bench and runs are mutually exclusive".to_string());
+        return Err(
+            "bench-query, serve, serve-bench, serve-top and runs are mutually exclusive"
+                .to_string(),
+        );
     }
     if out.runs.is_some() && !out.ids.is_empty() {
         return Err(format!("runs queries run alone, got artifact '{}'", out.ids[0]));
     }
-    if out.no_journal && (out.runs.is_some() || out.bench_query || out.serve || out.serve_bench) {
+    if out.no_journal
+        && (out.runs.is_some() || out.bench_query || out.serve || out.serve_bench || out.serve_top)
+    {
         return Err("--no-journal only applies to artifact runs".to_string());
     }
-    if (out.port.is_some() || out.socket.is_some()) && !out.serve {
-        return Err("--port / --socket only apply to the serve subcommand".to_string());
+    if out.port.is_some() && !(out.serve || out.serve_top) {
+        return Err("--port only applies to the serve / serve-top subcommands".to_string());
+    }
+    if out.socket.is_some() && !out.serve {
+        return Err("--socket only applies to the serve subcommand".to_string());
+    }
+    if (out.interval_ms.is_some() || out.samples.is_some()) && !out.serve_top {
+        return Err("--interval-ms / --samples only apply to the serve-top subcommand".to_string());
+    }
+    if out.slow_us.is_some() && !out.serve {
+        return Err("--slow-us only applies to the serve subcommand".to_string());
+    }
+    if out.serve_top && !out.ids.is_empty() {
+        return Err(format!("serve-top runs alone, got artifact '{}'", out.ids[0]));
     }
     if (out.clients.is_some() || out.requests.is_some()) && !out.serve_bench {
         return Err("--clients / --requests only apply to the serve-bench subcommand".to_string());
@@ -448,6 +496,41 @@ mod tests {
         for bad in [["serve", "--port", "notaport"], ["serve-bench", "--clients", "0"],
             ["serve-bench", "--requests", "0"], ["serve", "--queue-cap", "0"],
             ["serve", "--batch-max", "0"]]
+        {
+            assert!(p(&bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn parses_serve_top_flags() {
+        let a = p(&["serve-top", "--port", "9000", "--interval-ms", "250", "--samples", "10"])
+            .unwrap();
+        assert!(a.serve_top && !a.serve && !a.serve_bench);
+        assert_eq!(a.port, Some(9000));
+        assert_eq!(a.interval_ms, Some(250));
+        assert_eq!(a.samples, Some(10));
+        // --samples 0 means "poll until the daemon goes away".
+        assert_eq!(p(&["serve-top", "--samples", "0"]).unwrap().samples, Some(0));
+        let a = p(&["serve", "--slow-us", "2500"]).unwrap();
+        assert_eq!(a.slow_us, Some(2500));
+    }
+
+    #[test]
+    fn serve_top_flags_are_validated() {
+        let e = p(&["serve-top", "serve"]).unwrap_err();
+        assert!(e.contains("mutually exclusive"), "{e}");
+        let e = p(&["serve-top", "table2"]).unwrap_err();
+        assert!(e.contains("table2"), "{e}");
+        let e = p(&["--interval-ms", "250"]).unwrap_err();
+        assert!(e.contains("serve-top"), "{e}");
+        let e = p(&["serve", "--samples", "3"]).unwrap_err();
+        assert!(e.contains("serve-top"), "{e}");
+        let e = p(&["serve-top", "--slow-us", "100"]).unwrap_err();
+        assert!(e.contains("serve"), "{e}");
+        let e = p(&["serve-top", "--socket", "/tmp/x.sock"]).unwrap_err();
+        assert!(e.contains("--socket"), "{e}");
+        for bad in [["serve-top", "--interval-ms", "0"], ["serve", "--slow-us", "0"],
+            ["serve-top", "--samples", "many"]]
         {
             assert!(p(&bad).is_err(), "accepted {bad:?}");
         }

@@ -9,6 +9,7 @@ pub mod bench_query;
 pub mod cli;
 pub mod run_meta;
 pub mod runs;
+pub mod serve_top;
 
 use kcb_core::task::{TaskDataset, TaskKind};
 use kcb_ontology::{Ontology, SyntheticConfig, SyntheticGenerator};

@@ -33,7 +33,12 @@ use serde_json::{json, Value};
 /// from an interrupted run, whether this was a `resume`, and
 /// damaged-suffix `warnings` — matching the journaled/resumable runs
 /// under `results/runs/`.
-pub const SCHEMA_VERSION: u64 = 5;
+///
+/// v6: a top-level `serve` group (null outside serving modes) carries
+/// the live-telemetry summary of a `serve` / `serve-bench` run: request
+/// counters (`served` / `shed` / `errors`), the per-verb mix, and the
+/// end-to-end latency snapshot from the daemon's lock-free histograms.
+pub const SCHEMA_VERSION: u64 = 6;
 
 /// Everything `run_meta.json` is built from.
 pub struct RunMetaInputs<'a> {
@@ -58,6 +63,10 @@ pub struct RunMetaInputs<'a> {
     pub report: &'a PlanReport,
     /// Drained telemetry (empty when recording was off).
     pub telemetry: &'a Telemetry,
+    /// Serving-mode live-telemetry summary (`None` → emitted as `null`):
+    /// counters, verb mix and latency snapshot from the daemon's
+    /// `kcb-obs::live` registry.
+    pub serve: Option<Value>,
 }
 
 /// FNV-1a 64-bit hash, hex-encoded — a stable, dependency-free digest for
@@ -173,6 +182,7 @@ pub fn run_meta_json(inp: &RunMetaInputs<'_>) -> Value {
         "resume": r.journal.resume,
         "warnings": r.journal.warnings,
     });
+    let serve = inp.serve.clone().unwrap_or(Value::Null);
     json!({
         "schema_version": SCHEMA_VERSION,
         "manifest": manifest,
@@ -181,6 +191,7 @@ pub fn run_meta_json(inp: &RunMetaInputs<'_>) -> Value {
         "cache": r.cache,
         "encoding_cache": encoding_cache,
         "journal": journal,
+        "serve": serve,
         "checkpoints": checkpoints,
         "counters": counters,
         "series": series,
@@ -208,6 +219,7 @@ mod tests {
             git_rev: "abc1234".to_string(),
             report,
             telemetry,
+            serve: None,
         })
     }
 
@@ -277,6 +289,7 @@ mod tests {
         assert_eq!(doc["journal"]["replayed"], json!(2));
         assert_eq!(doc["journal"]["resume"], json!(true));
         assert_eq!(doc["journal"]["warnings"], json!(0));
+        assert_eq!(doc["serve"], Value::Null, "non-serving runs carry a null serve group");
         assert_eq!(doc["checkpoints"][0]["provider"], json!("embed-glove"));
         assert_eq!(doc["checkpoints"][0]["hit"], json!(true));
         assert_eq!(doc["counters"]["dbscan.probes"], json!(7));
@@ -297,6 +310,37 @@ mod tests {
         assert_eq!(fnv64_hex(b""), "cbf29ce484222325");
         assert_eq!(fnv64_hex(b"kcb"), fnv64_hex(b"kcb"));
         assert_ne!(fnv64_hex(b"kcb"), fnv64_hex(b"kcc"));
+    }
+
+    #[test]
+    fn serving_runs_embed_their_live_summary() {
+        let t = Telemetry::default();
+        let report = sample_report();
+        let summary = json!({
+            "served": 120,
+            "shed": 4,
+            "errors": 1,
+            "p99_us": 2100,
+        });
+        let doc = run_meta_json(&RunMetaInputs {
+            seed: 42,
+            scale: 0.01,
+            threads: 4,
+            fast: true,
+            mode: "serve",
+            total_seconds: 9.0,
+            config_digest: fnv64_hex(b"cfg"),
+            git_rev: "abc1234".to_string(),
+            report: &report,
+            telemetry: &t,
+            serve: Some(summary),
+        });
+        assert_eq!(doc["schema_version"], json!(6));
+        assert_eq!(doc["manifest"]["mode"], json!("serve"));
+        assert_eq!(doc["serve"]["served"], json!(120));
+        assert_eq!(doc["serve"]["p99_us"], json!(2100));
+        let text = serde_json::to_string(&doc).unwrap();
+        kcb_obs::json::validate(&text).unwrap();
     }
 
     #[test]

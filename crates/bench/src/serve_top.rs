@@ -1,0 +1,225 @@
+//! `repro serve-top` — a refreshing terminal view of a running daemon.
+//!
+//! Connects to a `repro serve` daemon's NDJSON port, polls the `stats`
+//! admin verb at a fixed interval, and renders a small table of the live
+//! numbers: throughput since the previous sample (qps), the end-to-end
+//! latency percentiles from the server's own histogram, queue depth,
+//! in-flight count and sheds. Rendering and parsing are plain functions
+//! over the stats JSON so the display is testable without a socket.
+
+use kcb_util::fmt::Table;
+use kcb_util::json::parse_value;
+use serde_json::Value;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// One polled `stats` sample, decoded.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StatsSample {
+    /// Requests answered by workers so far.
+    pub served: u64,
+    /// Requests shed so far.
+    pub shed: u64,
+    /// Error replies so far.
+    pub errors: u64,
+    /// Requests currently queued.
+    pub queue_depth: i64,
+    /// Requests currently being served.
+    pub in_flight: i64,
+    /// Daemon uptime, seconds.
+    pub uptime_s: f64,
+    /// End-to-end latency percentiles, µs.
+    pub p50_us: u64,
+    /// 95th percentile, µs.
+    pub p95_us: u64,
+    /// 99th percentile, µs.
+    pub p99_us: u64,
+    /// Per-verb request counts (name, count), as reported.
+    pub verbs: Vec<(String, u64)>,
+}
+
+/// Decodes one `stats` reply line. Unknown/missing numeric fields decode
+/// as zero so older daemons degrade instead of erroring.
+pub fn parse_stats(line: &str) -> Result<StatsSample, String> {
+    let v = parse_value(line.trim())?;
+    if v.get("ok").and_then(Value::as_bool) != Some(true) {
+        return Err(format!("stats reply not ok: {line}"));
+    }
+    let u = |k: &str| v.get(k).and_then(Value::as_u64).unwrap_or(0);
+    let i = |k: &str| v.get(k).and_then(Value::as_i64).unwrap_or(0);
+    let mut verbs: Vec<(String, u64)> = Vec::new();
+    if let Some(Value::Object(entries)) = v.get("verbs") {
+        for (name, n) in entries {
+            verbs.push((name.clone(), n.as_u64().unwrap_or(0)));
+        }
+    }
+    Ok(StatsSample {
+        served: u("served"),
+        shed: u("shed"),
+        errors: u("errors"),
+        queue_depth: i("queue_depth"),
+        in_flight: i("in_flight"),
+        uptime_s: v.get("uptime_s").and_then(Value::as_f64).unwrap_or(0.0),
+        p50_us: u("p50_us"),
+        p95_us: u("p95_us"),
+        p99_us: u("p99_us"),
+        verbs,
+    })
+}
+
+/// Renders one refresh frame: the headline table plus a verb-mix line.
+/// `prev` (the previous sample and the seconds since it) turns the
+/// monotone counters into rates.
+pub fn render(sample: &StatsSample, prev: Option<(&StatsSample, f64)>) -> String {
+    let (qps, shed_rate) = match prev {
+        Some((p, dt)) if dt > 0.0 => (
+            sample.served.saturating_sub(p.served) as f64 / dt,
+            sample.shed.saturating_sub(p.shed) as f64 / dt,
+        ),
+        _ => (0.0, 0.0),
+    };
+    let mut t = Table::new(
+        format!("serve-top — up {:.0}s", sample.uptime_s),
+        &["qps", "p50 µs", "p95 µs", "p99 µs", "queue", "in-flight", "shed/s", "errors"],
+    );
+    t.row(vec![
+        format!("{qps:.0}"),
+        sample.p50_us.to_string(),
+        sample.p95_us.to_string(),
+        sample.p99_us.to_string(),
+        sample.queue_depth.to_string(),
+        sample.in_flight.to_string(),
+        format!("{shed_rate:.1}"),
+        sample.errors.to_string(),
+    ]);
+    let mut out = t.render();
+    if !sample.verbs.is_empty() {
+        let mix: Vec<String> =
+            sample.verbs.iter().map(|(name, n)| format!("{name}:{n}")).collect();
+        out.push_str(&format!("verbs  {}\n", mix.join("  ")));
+    }
+    out.push_str(&format!(
+        "total  served:{}  shed:{}\n",
+        sample.served, sample.shed
+    ));
+    out
+}
+
+/// Polls `stats` over one persistent NDJSON connection and writes a
+/// refreshing frame per sample to `out`. `samples == 0` polls until the
+/// connection drops (daemon shutdown) or Ctrl-C. Returns the number of
+/// frames rendered.
+pub fn run(
+    addr: &str,
+    interval: Duration,
+    samples: u64,
+    out: &mut dyn Write,
+) -> std::io::Result<u64> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut stream = stream;
+    let mut prev: Option<(StatsSample, Instant)> = None;
+    let mut frames = 0u64;
+    let mut reply = String::new();
+    while !kcb_util::signal::triggered() {
+        stream.write_all(format!("{{\"id\":{frames},\"op\":\"stats\"}}\n").as_bytes())?;
+        reply.clear();
+        if reader.read_line(&mut reply)? == 0 {
+            break; // daemon shut down
+        }
+        let now = Instant::now();
+        let sample = parse_stats(&reply)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        let frame = render(
+            &sample,
+            prev.as_ref().map(|(p, t)| (p, now.duration_since(*t).as_secs_f64())),
+        );
+        if frames > 0 {
+            // Move the cursor up over the previous frame and repaint.
+            let lines = frame.lines().count();
+            write!(out, "\x1b[{lines}A\x1b[J")?;
+        }
+        out.write_all(frame.as_bytes())?;
+        out.flush()?;
+        prev = Some((sample, now));
+        frames += 1;
+        if samples > 0 && frames >= samples {
+            break;
+        }
+        std::thread::sleep(interval);
+    }
+    Ok(frames)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const REPLY: &str = concat!(
+        r#"{"id":0,"ok":true,"served":120,"shed":4,"errors":1,"queue_depth":3,"#,
+        r#""in_flight":2,"uptime_s":12.5,"p50_us":180,"p95_us":900,"p99_us":2100,"#,
+        r#""max_us":5000,"verbs":{"nn":100,"ping":20}}"#
+    );
+
+    #[test]
+    fn stats_replies_decode_including_the_verb_mix() {
+        let s = parse_stats(REPLY).unwrap();
+        assert_eq!(s.served, 120);
+        assert_eq!(s.shed, 4);
+        assert_eq!(s.errors, 1);
+        assert_eq!(s.queue_depth, 3);
+        assert_eq!(s.in_flight, 2);
+        assert_eq!(s.p99_us, 2100);
+        assert_eq!(s.verbs, vec![("nn".to_string(), 100), ("ping".to_string(), 20)]);
+        assert!(parse_stats(r#"{"id":0,"ok":false,"error":"x","message":"y"}"#).is_err());
+        assert!(parse_stats("not json").is_err());
+    }
+
+    #[test]
+    fn rates_come_from_the_sample_delta() {
+        let now = parse_stats(REPLY).unwrap();
+        let mut before = now.clone();
+        before.served = 20;
+        before.shed = 0;
+        let frame = render(&now, Some((&before, 2.0)));
+        assert!(frame.contains("50"), "qps = (120-20)/2 = 50: {frame}");
+        assert!(frame.contains("2.0"), "shed/s = 4/2: {frame}");
+        assert!(frame.contains("nn:100"), "{frame}");
+        assert!(frame.contains("served:120"), "{frame}");
+        // First frame has no predecessor: rates render as zero, no panic.
+        let first = render(&now, None);
+        assert!(first.contains("serve-top"), "{first}");
+    }
+
+    #[test]
+    fn run_polls_a_fake_daemon_until_its_sample_budget() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut stream = stream;
+            let mut line = String::new();
+            let mut served = 0u64;
+            while reader.read_line(&mut line).unwrap_or(0) > 0 {
+                served += 10;
+                let reply = format!(
+                    "{{\"id\":0,\"ok\":true,\"served\":{served},\"shed\":0,\"errors\":0,\
+                     \"queue_depth\":1,\"in_flight\":0,\"uptime_s\":1.0,\"p50_us\":100,\
+                     \"p95_us\":200,\"p99_us\":300,\"max_us\":400,\"verbs\":{{}}}}\n"
+                );
+                stream.write_all(reply.as_bytes()).unwrap();
+                line.clear();
+            }
+        });
+        let mut out = Vec::new();
+        let frames = run(&addr, Duration::from_millis(1), 3, &mut out).unwrap();
+        assert_eq!(frames, 3);
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("serve-top"), "{text}");
+        assert!(text.contains("\x1b["), "later frames repaint in place");
+        drop(server); // server thread ends when the client hangs up
+    }
+}

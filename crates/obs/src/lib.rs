@@ -34,6 +34,7 @@
 //! hot-path crate in the workspace links it.
 
 pub mod json;
+pub mod live;
 pub mod profile;
 pub mod trace;
 

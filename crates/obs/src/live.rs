@@ -1,0 +1,462 @@
+//! Live, lock-free telemetry: counters, gauges and log-bucketed
+//! histograms that can be read **while the workload runs**.
+//!
+//! The drain-only recorder in the crate root is built for batch runs: each
+//! thread buffers privately and the buffers merge once, after the workload
+//! has exited. A long-lived daemon can't use that — merging would steal
+//! the evidence from under the running workers, and "observe at shutdown"
+//! is exactly what a `/metrics` endpoint must not be. This module is the
+//! complement:
+//!
+//! * every cell is a plain atomic (`fetch_add` / `fetch_max` with relaxed
+//!   ordering), so recording never takes a lock and never blocks a
+//!   request thread;
+//! * every metric is snapshot-able at any instant: a [`HistSnapshot`] /
+//!   [`LiveSnapshot`] is a consistent-enough copy (each cell individually
+//!   atomic; totals are derived from the cells, never from a second
+//!   counter that could race ahead);
+//! * snapshots are mergeable (associative + commutative), so per-client
+//!   or per-shard histograms fold into one distribution.
+//!
+//! # Histogram bucketing
+//!
+//! [`LiveHistogram`] spreads `u64` observations (latencies in µs, batch
+//! sizes, …) over [`BUCKETS`] = 64 log-spaced buckets: two buckets per
+//! power of two (the octave `[2^e, 2^{e+1})` splits at `1.5·2^e`), plus
+//! exact buckets for 0 and 1 and one overflow bucket at the top. A
+//! bucketed percentile reports the inclusive upper bound of the bucket
+//! holding the exact nearest-rank percentile, which bounds the error:
+//!
+//! > `exact <= percentile(p) <= 1.5 * exact`  (below the overflow bucket)
+//!
+//! — never an underestimate, never more than 50% high. The property-based
+//! suite (`tests/live_props.rs`) proves the bound over arbitrary samples,
+//! plus merge associativity and multi-thread record/snapshot consistency.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of histogram buckets (two per octave + 0/1 + overflow).
+pub const BUCKETS: usize = 64;
+
+/// A monotonically increasing atomic counter.
+#[derive(Debug, Default)]
+pub struct LiveCounter(AtomicU64);
+
+impl LiveCounter {
+    /// Adds `delta` to the counter.
+    pub fn add(&self, delta: u64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// An instantaneous signed level (queue depth, in-flight requests).
+#[derive(Debug, Default)]
+pub struct LiveGauge(AtomicI64);
+
+impl LiveGauge {
+    /// Sets the gauge to `value`.
+    pub fn set(&self, value: i64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Maps an observation to its bucket index (monotone in `v`).
+pub fn bucket_of(v: u64) -> usize {
+    match v {
+        0 => 0,
+        1 => 1,
+        _ => {
+            let e = 63 - v.leading_zeros() as usize; // e >= 1
+            let sub = ((v >> (e - 1)) & 1) as usize;
+            (2 * e + sub).min(BUCKETS - 1)
+        }
+    }
+}
+
+/// Inclusive `(lo, hi)` value range of bucket `i`. The last bucket's `hi`
+/// is `u64::MAX` (overflow).
+pub fn bucket_bounds(i: usize) -> (u64, u64) {
+    assert!(i < BUCKETS, "bucket index {i} out of range");
+    match i {
+        0 => (0, 0),
+        1 => (1, 1),
+        _ => {
+            let (e, sub) = (i / 2, (i % 2) as u64);
+            let lo = (1u64 << e) + sub * (1u64 << (e - 1));
+            if i == BUCKETS - 1 {
+                (lo, u64::MAX)
+            } else {
+                (lo, lo + (1u64 << (e - 1)) - 1)
+            }
+        }
+    }
+}
+
+/// A lock-free log-bucketed histogram of `u64` observations.
+///
+/// `record` is three relaxed atomic RMWs (bucket cell, value sum, max);
+/// there is no count cell — the total is derived from the bucket cells so
+/// a snapshot can never report more observations than its buckets hold.
+#[derive(Debug)]
+pub struct LiveHistogram {
+    cells: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for LiveHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LiveHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            cells: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&self, v: u64) {
+        self.cells[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Copies the current state. Safe at any moment; concurrent `record`s
+    /// land either wholly before or (partially) after, and the count is
+    /// always `sum(buckets)`.
+    pub fn snapshot(&self) -> HistSnapshot {
+        HistSnapshot {
+            buckets: std::array::from_fn(|i| self.cells[i].load(Ordering::Relaxed)),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`LiveHistogram`]; plain data, mergeable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Per-bucket observation counts (see [`bucket_bounds`]).
+    pub buckets: [u64; BUCKETS],
+    /// Sum of all recorded values.
+    pub sum: u64,
+    /// Largest recorded value (exact, not bucketed).
+    pub max: u64,
+}
+
+impl Default for HistSnapshot {
+    fn default() -> Self {
+        Self { buckets: [0; BUCKETS], sum: 0, max: 0 }
+    }
+}
+
+impl HistSnapshot {
+    /// Total observations (derived from the buckets).
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Folds `other` into `self` (associative and commutative).
+    pub fn merge(&mut self, other: &HistSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Mean of the recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum as f64 / n as f64
+        }
+    }
+
+    /// Nearest-rank percentile estimate: the inclusive upper bound of the
+    /// bucket holding the exact percentile, hence within `[exact,
+    /// 1.5*exact]` below the overflow bucket (see the module docs).
+    /// `p` is in percent; returns 0 for an empty histogram.
+    pub fn percentile(&self, p: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0 * n as f64).ceil() as u64).clamp(1, n);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // The overflow bucket's nominal hi is u64::MAX; the exact
+                // max is a tighter true upper bound for anything in it.
+                return bucket_bounds(i).1.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Non-empty buckets as `(lo, hi, count)` rows.
+    pub fn nonzero(&self) -> Vec<(u64, u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                let (lo, hi) = bucket_bounds(i);
+                (lo, hi, c)
+            })
+            .collect()
+    }
+}
+
+#[derive(Default)]
+struct Maps {
+    counters: BTreeMap<String, Arc<LiveCounter>>,
+    gauges: BTreeMap<String, Arc<LiveGauge>>,
+    hists: BTreeMap<String, Arc<LiveHistogram>>,
+}
+
+/// A named registry of live metrics.
+///
+/// Registration (`counter` / `gauge` / `histogram`) takes a short mutex
+/// and returns a shared handle; callers hold the `Arc` and record through
+/// it lock-free ever after. Hot paths should therefore resolve their
+/// handles once, up front, not per event.
+#[derive(Default)]
+pub struct LiveRegistry {
+    maps: Mutex<Maps>,
+}
+
+impl LiveRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the counter named `name`, creating it on first use.
+    pub fn counter(&self, name: &str) -> Arc<LiveCounter> {
+        let mut m = self.maps.lock().expect("live registry poisoned");
+        Arc::clone(m.counters.entry(name.to_string()).or_default())
+    }
+
+    /// Returns the gauge named `name`, creating it on first use.
+    pub fn gauge(&self, name: &str) -> Arc<LiveGauge> {
+        let mut m = self.maps.lock().expect("live registry poisoned");
+        Arc::clone(m.gauges.entry(name.to_string()).or_default())
+    }
+
+    /// Returns the histogram named `name`, creating it on first use.
+    pub fn histogram(&self, name: &str) -> Arc<LiveHistogram> {
+        let mut m = self.maps.lock().expect("live registry poisoned");
+        Arc::clone(m.hists.entry(name.to_string()).or_default())
+    }
+
+    /// Copies every metric's current value.
+    pub fn snapshot(&self) -> LiveSnapshot {
+        let m = self.maps.lock().expect("live registry poisoned");
+        LiveSnapshot {
+            counters: m.counters.iter().map(|(k, c)| (k.clone(), c.get())).collect(),
+            gauges: m.gauges.iter().map(|(k, g)| (k.clone(), g.get())).collect(),
+            hists: m.hists.iter().map(|(k, h)| (k.clone(), h.snapshot())).collect(),
+        }
+    }
+}
+
+/// A point-in-time copy of a whole [`LiveRegistry`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LiveSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram snapshots by name.
+    pub hists: BTreeMap<String, HistSnapshot>,
+}
+
+/// Rewrites a metric name into the Prometheus charset
+/// (`[a-zA-Z_][a-zA-Z0-9_]*`): dots and dashes become underscores, any
+/// other invalid byte is dropped, and a leading digit gains a `_` prefix.
+pub fn prometheus_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for ch in name.chars() {
+        match ch {
+            'a'..='z' | 'A'..='Z' | '0'..='9' | '_' => out.push(ch),
+            '.' | '-' | ' ' | '/' => out.push('_'),
+            _ => {}
+        }
+    }
+    if out.is_empty() || out.as_bytes()[0].is_ascii_digit() {
+        out.insert(0, '_');
+    }
+    out
+}
+
+/// Renders a snapshot in the Prometheus text exposition format (0.0.4),
+/// by hand — no client library. Counters gain the conventional `_total`
+/// suffix; histograms emit cumulative `_bucket{le="…"}` rows (only up to
+/// the last non-empty bucket, then `+Inf`) plus `_sum` and `_count`.
+pub fn render_prometheus(snap: &LiveSnapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snap.counters {
+        let mut n = prometheus_name(name);
+        if !n.ends_with("_total") {
+            n.push_str("_total");
+        }
+        out.push_str(&format!("# TYPE {n} counter\n{n} {value}\n"));
+    }
+    for (name, value) in &snap.gauges {
+        let n = prometheus_name(name);
+        out.push_str(&format!("# TYPE {n} gauge\n{n} {value}\n"));
+    }
+    for (name, h) in &snap.hists {
+        let n = prometheus_name(name);
+        out.push_str(&format!("# TYPE {n} histogram\n"));
+        let last = h.buckets.iter().rposition(|&c| c > 0);
+        let mut cum = 0u64;
+        if let Some(last) = last {
+            for i in 0..=last.min(BUCKETS - 2) {
+                cum += h.buckets[i];
+                out.push_str(&format!("{n}_bucket{{le=\"{}\"}} {cum}\n", bucket_bounds(i).1));
+            }
+        }
+        out.push_str(&format!("{n}_bucket{{le=\"+Inf\"}} {}\n", h.count()));
+        out.push_str(&format!("{n}_sum {}\n{n}_count {}\n", h.sum, h.count()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_mapping_is_monotone_and_bounds_are_tight() {
+        let mut prev = 0;
+        for v in [0u64, 1, 2, 3, 4, 5, 6, 7, 8, 11, 12, 13, 100, 1000, 1 << 20, u64::MAX] {
+            let i = bucket_of(v);
+            assert!(i >= prev, "bucket_of not monotone at {v}");
+            prev = i;
+            let (lo, hi) = bucket_bounds(i);
+            assert!(lo <= v && v <= hi, "{v} outside bucket {i} = [{lo}, {hi}]");
+        }
+        // Every bucket's bounds are consistent with its own mapping.
+        for i in 0..BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert_eq!(bucket_of(lo), i, "lo of bucket {i}");
+            if i < BUCKETS - 1 {
+                assert_eq!(bucket_of(hi), i, "hi of bucket {i}");
+                // Sub-octave width caps the percentile overestimate at 1.5x.
+                assert!(hi as f64 <= 1.5 * lo as f64, "bucket {i} wider than 1.5x");
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_records_and_reports_percentiles_within_bound() {
+        let h = LiveHistogram::new();
+        let values: Vec<u64> = (1..=1000).collect();
+        for &v in &values {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 1000);
+        assert_eq!(s.sum, values.iter().sum::<u64>());
+        assert_eq!(s.max, 1000);
+        for p in [50.0f64, 90.0, 95.0, 99.0, 100.0] {
+            let exact = values[((p / 100.0 * 1000.0).ceil() as usize).clamp(1, 1000) - 1];
+            let est = s.percentile(p);
+            assert!(est >= exact, "p{p}: {est} < exact {exact}");
+            assert!(2 * est <= 3 * exact, "p{p}: {est} > 1.5 * {exact}");
+        }
+        assert_eq!(HistSnapshot::default().percentile(50.0), 0);
+    }
+
+    #[test]
+    fn snapshots_merge_by_addition() {
+        let (a, b) = (LiveHistogram::new(), LiveHistogram::new());
+        a.record(3);
+        a.record(100);
+        b.record(7);
+        let (sa, sb) = (a.snapshot(), b.snapshot());
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        assert_eq!(ab, ba, "merge is commutative");
+        assert_eq!(ab.count(), 3);
+        assert_eq!(ab.sum, 110);
+        assert_eq!(ab.max, 100);
+        assert_eq!(ab.nonzero().iter().map(|&(_, _, c)| c).sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn registry_hands_out_shared_handles() {
+        let reg = LiveRegistry::new();
+        let c1 = reg.counter("serve.requests");
+        let c2 = reg.counter("serve.requests");
+        c1.add(2);
+        c2.add(3);
+        assert_eq!(c1.get(), 5, "same name, same cell");
+        reg.gauge("queue.depth").set(-4);
+        reg.histogram("lat").record(12);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["serve.requests"], 5);
+        assert_eq!(snap.gauges["queue.depth"], -4);
+        assert_eq!(snap.hists["lat"].count(), 1);
+    }
+
+    #[test]
+    fn prometheus_rendering_is_wellformed() {
+        let reg = LiveRegistry::new();
+        reg.counter("serve.requests.nn").add(7);
+        reg.gauge("serve.queue-depth").set(2);
+        let h = reg.histogram("serve.e2e_us");
+        h.record(5);
+        h.record(900);
+        let text = render_prometheus(&reg.snapshot());
+        assert!(text.contains("# TYPE serve_requests_nn_total counter\n"), "{text}");
+        assert!(text.contains("serve_requests_nn_total 7\n"), "{text}");
+        assert!(text.contains("# TYPE serve_queue_depth gauge\nserve_queue_depth 2\n"), "{text}");
+        assert!(text.contains("# TYPE serve_e2e_us histogram\n"), "{text}");
+        assert!(text.contains("serve_e2e_us_bucket{le=\"+Inf\"} 2\n"), "{text}");
+        assert!(text.contains("serve_e2e_us_sum 905\nserve_e2e_us_count 2\n"), "{text}");
+        // Cumulative bucket counts never decrease.
+        let mut prev = 0u64;
+        for line in text.lines().filter(|l| l.starts_with("serve_e2e_us_bucket")) {
+            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v >= prev, "{line}");
+            prev = v;
+        }
+        // Every sample line is `name[{labels}] value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (name, value) = line.rsplit_once(' ').unwrap();
+            assert!(!name.is_empty() && value.parse::<f64>().is_ok(), "{line}");
+        }
+        assert_eq!(prometheus_name("9lives.α-test"), "_9lives__test");
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-based contracts of the live telemetry plane
+//! (`kcb_obs::live`): the bucketed percentile's error bound, merge
+//! associativity, and multi-thread record/snapshot consistency.
+
+use kcb_obs::live::{bucket_bounds, bucket_of, HistSnapshot, LiveHistogram, BUCKETS};
+use proptest::prelude::*;
+
+/// Exact nearest-rank percentile over a sorted copy of `values`.
+fn exact_percentile(values: &[u64], p: f64) -> u64 {
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    let rank = ((p / 100.0 * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn snapshot_of(values: &[u64]) -> HistSnapshot {
+    let h = LiveHistogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// The documented bound: for samples below the overflow bucket the
+    /// bucketed percentile never underestimates and overestimates by at
+    /// most 50%.
+    #[test]
+    fn bucketed_percentile_is_within_the_error_bound(
+        values in prop::collection::vec(0u64..(1 << 31), 1..300),
+        p_tenths in 1u64..1000,
+    ) {
+        let p = p_tenths as f64 / 10.0;
+        let exact = exact_percentile(&values, p);
+        let est = snapshot_of(&values).percentile(p);
+        prop_assert!(est >= exact, "p{p}: {est} underestimates exact {exact}");
+        prop_assert!(2 * est <= 3 * exact.max(1),
+            "p{p}: {est} exceeds 1.5x exact {exact}");
+    }
+
+    /// Bucketing is monotone and every value lands inside its bucket's
+    /// inclusive bounds — the two facts the error bound rests on.
+    #[test]
+    fn bucket_mapping_is_sound(a in any::<u64>(), b in any::<u64>()) {
+        let (lo, hi) = bucket_bounds(bucket_of(a));
+        prop_assert!(lo <= a && a <= hi);
+        if a <= b {
+            prop_assert!(bucket_of(a) <= bucket_of(b));
+        }
+        prop_assert!(bucket_of(a) < BUCKETS);
+    }
+
+    /// Merging snapshots is associative and commutative, so per-shard
+    /// histograms fold to the same distribution in any order.
+    #[test]
+    fn merge_is_associative_and_commutative(
+        xs in prop::collection::vec(0u64..(1 << 40), 0..60),
+        ys in prop::collection::vec(0u64..(1 << 40), 0..60),
+        zs in prop::collection::vec(0u64..(1 << 40), 0..60),
+    ) {
+        let (a, b, c) = (snapshot_of(&xs), snapshot_of(&ys), snapshot_of(&zs));
+        // (a + b) + c
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        // a + (b + c)
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        prop_assert_eq!(&left, &right);
+        // b + a == a + b
+        let mut ba = b.clone();
+        ba.merge(&a);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        prop_assert_eq!(&ab, &ba);
+        // The merged snapshot equals recording everything into one.
+        let mut all = xs.clone();
+        all.extend(&ys);
+        all.extend(&zs);
+        prop_assert_eq!(left, snapshot_of(&all));
+    }
+}
+
+/// N threads hammer one histogram; after they join, the snapshot must
+/// account for every single record (count, sum, and exact max).
+#[test]
+fn concurrent_records_are_all_visible_after_join() {
+    const THREADS: u64 = 4;
+    const PER_THREAD: u64 = 10_000;
+    let h = LiveHistogram::new();
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let h = &h;
+            s.spawn(move || {
+                for i in 0..PER_THREAD {
+                    h.record(t * PER_THREAD + i);
+                }
+            });
+        }
+    });
+    let snap = h.snapshot();
+    assert_eq!(snap.count(), THREADS * PER_THREAD, "snapshot total == records");
+    let n = THREADS * PER_THREAD;
+    assert_eq!(snap.sum, n * (n - 1) / 2, "every value summed exactly once");
+    assert_eq!(snap.max, n - 1);
+}
+
+/// A snapshot taken *while* writers are still recording is internally
+/// consistent: its count is derived from its buckets (never ahead of
+/// them) and never exceeds what will eventually be recorded.
+#[test]
+fn midflight_snapshots_are_internally_consistent() {
+    const TOTAL: u64 = 200_000;
+    let h = std::sync::Arc::new(LiveHistogram::new());
+    let writer = {
+        let h = std::sync::Arc::clone(&h);
+        std::thread::spawn(move || {
+            for i in 0..TOTAL {
+                h.record(i % 1024);
+            }
+        })
+    };
+    let mut last = 0u64;
+    for _ in 0..50 {
+        let snap = h.snapshot();
+        let count = snap.count();
+        assert!(count <= TOTAL, "snapshot overcounts: {count}");
+        assert!(count >= last, "bucket cells are monotone: {count} < {last}");
+        assert_eq!(count, snap.buckets.iter().sum::<u64>());
+        last = count;
+    }
+    writer.join().expect("writer");
+    assert_eq!(h.snapshot().count(), TOTAL);
+}

@@ -16,22 +16,36 @@
 //! The result document (`results/bench_serve.json`, written by the
 //! binary) carries qps and qps/core for both paths, the speedup ratio,
 //! client latency percentiles, the engine's drained-batch-size histogram,
-//! the shed count, and both checksums.
+//! a time-series of queue depth and shed counts sampled while the load
+//! ran, the server-side live telemetry snapshot, and both checksums.
+//!
+//! Latencies are folded into [`kcb_obs::live::LiveHistogram`]s (one per
+//! client, merged at the end) instead of a sort over a `Vec` of every
+//! sample: memory per client is a fixed 64-bucket table (~0.5 KiB)
+//! regardless of request count, and the percentile math is the same code
+//! the `stats` verb and `serve-top` use.
 
 use crate::engine::{self, EngineConfig};
 use crate::protocol::{self, Op, Request};
 use crate::server::{Server, ServerConfig};
 use kcb_core::snapshot::Snapshot;
+use kcb_obs::live::{HistSnapshot, LiveHistogram};
 use kcb_ontology::Relation;
 use kcb_util::rng::Rng;
 use serde_json::{json, Value};
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Version of the `bench_serve.json` shape.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// - v2 — latency percentiles come from the shared live histograms
+///   (integer µs); `batch_histogram` became a bucketed snapshot object
+///   whose `sum` is the total batched requests; added `timeseries` and
+///   `live`.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Harness knobs.
 #[derive(Debug, Clone)]
@@ -122,18 +136,21 @@ pub fn client_workload(snap: &Snapshot, seed: u64, client: usize, n: usize) -> V
         .collect()
 }
 
-/// Sorted-latency percentile (µs), nearest-rank.
-fn pct_us(sorted: &[f64], p: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let idx = ((p / 100.0 * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;
-    sorted[idx]
+struct ClientResult {
+    latencies: HistSnapshot,
+    checksum: u64,
 }
 
-struct ClientResult {
-    latencies_us: Vec<f64>,
-    checksum: u64,
+/// Renders a [`HistSnapshot`] for the result document: summary fields
+/// plus the non-zero buckets as `[lo, hi, count]` rows.
+fn hist_json(h: &HistSnapshot) -> Value {
+    json!({
+        "count": h.count(),
+        "sum": h.sum,
+        "max": h.max,
+        "mean": h.mean(),
+        "buckets": h.nonzero().iter().map(|&(lo, hi, c)| json!([lo, hi, c])).collect::<Vec<_>>(),
+    })
 }
 
 /// Connects with bounded exponential backoff (10ms, 40ms between tries).
@@ -174,7 +191,7 @@ fn run_client(
     stream.set_nodelay(true)?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut stream = stream;
-    let mut latencies_us = Vec::with_capacity(reqs.len());
+    let hist = LiveHistogram::new();
     let mut checksum = FNV_OFFSET;
     let mut reply = String::new();
     let mut buf = String::new();
@@ -189,11 +206,11 @@ fn run_client(
         for _ in window {
             reply.clear();
             reader.read_line(&mut reply)?;
-            latencies_us.push(t0.elapsed().as_secs_f64() * 1e6);
+            hist.record(t0.elapsed().as_micros() as u64);
             checksum = fnv64(checksum, reply.as_bytes());
         }
     }
-    Ok(ClientResult { latencies_us, checksum })
+    Ok(ClientResult { latencies: hist.snapshot(), checksum })
 }
 
 /// Combines per-client checksums (in client order) into one digest.
@@ -228,39 +245,70 @@ pub fn run(snap: Arc<Snapshot>, cfg: &BenchConfig) -> Value {
                 workers: cfg.threads.max(1),
                 queue_cap: cfg.queue_cap,
                 batch_max: cfg.batch_max,
+                flight: Default::default(),
             },
         },
     )
     .expect("bind bench server");
     let addr = server.tcp_addr.expect("tcp listener bound");
 
+    // A sampler thread rides alongside the clients, reading queue depth
+    // and the shed counter every few milliseconds — the time-series that
+    // shows *when* backpressure built, not just that it did.
+    let sample_every = Duration::from_millis(if cfg.fast { 2 } else { 5 });
+    let sampling = AtomicBool::new(true);
     let t0 = Instant::now();
-    let results: Vec<ClientResult> = std::thread::scope(|s| {
+    let (results, timeseries): (Vec<ClientResult>, Vec<Value>) = std::thread::scope(|s| {
+        let sampler = {
+            let (server, sampling, t0) = (&server, &sampling, t0);
+            s.spawn(move || {
+                let mut samples = Vec::new();
+                while sampling.load(Ordering::Relaxed) {
+                    let st = server.stats();
+                    samples.push(json!({
+                        "t_ms": t0.elapsed().as_secs_f64() * 1e3,
+                        "queue_depth": st.queue_depth,
+                        "shed": st.shed,
+                        "served": st.served,
+                    }));
+                    std::thread::sleep(sample_every);
+                }
+                samples
+            })
+        };
         let handles: Vec<_> = workloads
             .iter()
             .map(|reqs| {
                 s.spawn(move || run_client(addr, reqs, cfg.pipeline).expect("bench client io"))
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("bench client panicked")).collect()
+        let results =
+            handles.into_iter().map(|h| h.join().expect("bench client panicked")).collect();
+        sampling.store(false, Ordering::Relaxed);
+        (results, sampler.join().expect("sampler panicked"))
     });
     let served_wall = t0.elapsed().as_secs_f64();
 
     let histogram = server.batch_histogram();
     let stats = server.stats();
+    let live = server.metrics().snapshot();
+    let server_e2e = server.metrics().e2e_us.snapshot();
+    let timing_on = server.metrics().timing();
     server.stop();
     // An empty connection nudges the accept loop in case it is between
     // polls; then wait for the graceful drain.
     let _ = TcpStream::connect(addr);
     let final_stats = server.wait();
 
-    let mut latencies: Vec<f64> = results.iter().flat_map(|r| r.latencies_us.iter().copied()).collect();
-    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+    let mut latencies = HistSnapshot::default();
+    for r in &results {
+        latencies.merge(&r.latencies);
+    }
     let served_checksum = combine(&results.iter().map(|r| r.checksum).collect::<Vec<_>>());
 
     // --- Serial phase: same workload, one thread, single-query paths.
     let bert = snap.bert().map(kcb_core::snapshot::BertWeights::instantiate);
-    let mut serial_latencies: Vec<f64> = Vec::with_capacity(total_requests);
+    let serial_hist = LiveHistogram::new();
     let mut serial_checksums = Vec::with_capacity(cfg.clients);
     let t0 = Instant::now();
     for reqs in &workloads {
@@ -268,14 +316,14 @@ pub fn run(snap: Arc<Snapshot>, cfg: &BenchConfig) -> Value {
         for req in reqs {
             let q0 = Instant::now();
             let reply = engine::answer_serial(&snap, bert.as_ref(), req);
-            serial_latencies.push(q0.elapsed().as_secs_f64() * 1e6);
+            serial_hist.record(q0.elapsed().as_micros() as u64);
             h = fnv64(h, reply.as_bytes());
             h = fnv64(h, b"\n");
         }
         serial_checksums.push(h);
     }
     let serial_wall = t0.elapsed().as_secs_f64();
-    serial_latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+    let serial_latencies = serial_hist.snapshot();
     let serial_checksum = combine(&serial_checksums);
 
     let telemetry = kcb_obs::drain();
@@ -300,9 +348,6 @@ pub fn run(snap: Arc<Snapshot>, cfg: &BenchConfig) -> Value {
 
     let served_qps = total_requests as f64 / served_wall.max(1e-9);
     let serial_qps = total_requests as f64 / serial_wall.max(1e-9);
-    let hist = Value::Object(
-        histogram.iter().map(|&(n, c)| (n.to_string(), json!(c))).collect(),
-    );
     let config = json!({
         "clients": cfg.clients,
         "requests_per_client": cfg.requests,
@@ -312,6 +357,7 @@ pub fn run(snap: Arc<Snapshot>, cfg: &BenchConfig) -> Value {
         "pipeline": cfg.pipeline,
         "seed": cfg.seed,
         "fast": cfg.fast,
+        "live_timing": timing_on,
     });
     let served = json!({
         "requests": total_requests,
@@ -320,19 +366,28 @@ pub fn run(snap: Arc<Snapshot>, cfg: &BenchConfig) -> Value {
         "wall_s": served_wall,
         "qps": served_qps,
         "qps_per_core": served_qps / cfg.threads.max(1) as f64,
-        "p50_us": pct_us(&latencies, 50.0),
-        "p95_us": pct_us(&latencies, 95.0),
-        "p99_us": pct_us(&latencies, 99.0),
-        "max_us": latencies.last().copied().unwrap_or(0.0),
+        "p50_us": latencies.percentile(50.0),
+        "p95_us": latencies.percentile(95.0),
+        "p99_us": latencies.percentile(99.0),
+        "max_us": latencies.max,
         "checksum": served_checksum.clone(),
     });
     let serial = json!({
         "requests": total_requests,
         "wall_s": serial_wall,
         "qps": serial_qps,
-        "p50_us": pct_us(&serial_latencies, 50.0),
-        "p99_us": pct_us(&serial_latencies, 99.0),
+        "p50_us": serial_latencies.percentile(50.0),
+        "p99_us": serial_latencies.percentile(99.0),
         "checksum": serial_checksum.clone(),
+    });
+    // Server-side view: the engine's own end-to-end histogram plus the
+    // full live-registry counters, so the doc shows both vantage points.
+    let live_doc = json!({
+        "timing": timing_on,
+        "e2e": hist_json(&server_e2e),
+        "counters": Value::Object(
+            live.counters.iter().map(|(k, &v)| (k.clone(), json!(v))).collect(),
+        ),
     });
     json!({
         "schema_version": SCHEMA_VERSION,
@@ -341,7 +396,9 @@ pub fn run(snap: Arc<Snapshot>, cfg: &BenchConfig) -> Value {
         "serial": serial,
         "speedup_vs_serial": served_qps / serial_qps.max(1e-9),
         "byte_identical": served_checksum == serial_checksum,
-        "batch_histogram": hist,
+        "batch_histogram": hist_json(&histogram),
+        "timeseries": timeseries,
+        "live": live_doc,
         "span_stats": span_stats,
     })
 }

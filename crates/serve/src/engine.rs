@@ -18,22 +18,29 @@
 //!
 //! Every kind is byte-identical to its serial reference path (snapshot
 //! contract), so batching and multi-threading never change reply bytes —
-//! `serve-bench` asserts this with a checksum, not a hope.
+//! `serve-bench` asserts this with a checksum, not a hope. The live
+//! telemetry plane ([`Metrics`], [`FlightRecorder`]) observes the request
+//! flow but never touches reply rendering, keeping that contract intact.
 //!
 //! [`Engine::shutdown`] performs a graceful drain: workers finish the
-//! queued backlog before exiting, so every accepted request is answered.
+//! queued backlog before exiting, then the flight recorder flushes its
+//! rings so the last moments of traffic survive the process.
 //!
 //! `workers: 0` is a legal configuration — nothing drains, which is how
 //! the backpressure tests fill a tiny queue deterministically.
 
-use crate::protocol::{self, Op, Request};
+use crate::flight::{FlightConfig, FlightRecord, FlightRecorder};
+use crate::metrics::Metrics;
+use crate::protocol::{self, Op, Request, StatsReply};
 use kcb_core::snapshot::Snapshot;
 use kcb_lm::MiniBert;
+use kcb_obs::live::HistSnapshot;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::Sender;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Engine sizing knobs.
 #[derive(Debug, Clone)]
@@ -44,11 +51,13 @@ pub struct EngineConfig {
     pub queue_cap: usize,
     /// Largest micro-batch one worker drains at once.
     pub batch_max: usize,
+    /// Flight-recorder sizing and flush destination.
+    pub flight: FlightConfig,
 }
 
 impl Default for EngineConfig {
     fn default() -> Self {
-        Self { workers: 4, queue_cap: 4096, batch_max: 32 }
+        Self { workers: 4, queue_cap: 4096, batch_max: 32, flight: FlightConfig::default() }
     }
 }
 
@@ -66,6 +75,9 @@ pub struct EngineStats {
 struct Job {
     req: Request,
     tx: Sender<String>,
+    /// When `submit` admitted the request (the engine epoch when timing
+    /// is disabled, so no clock read happens per request).
+    arrival: Instant,
 }
 
 struct Inner {
@@ -75,10 +87,13 @@ struct Inner {
     stop: AtomicBool,
     queue_cap: usize,
     batch_max: usize,
-    served: AtomicU64,
-    shed: AtomicU64,
-    /// `hist[n]` counts drained batches of size `n` (index 0 unused).
-    hist: Vec<AtomicU64>,
+    metrics: Metrics,
+    flight: FlightRecorder,
+    /// Next drained-batch id (1-based; 0 marks "never batched" records).
+    batch_seq: AtomicU64,
+    /// Latched on while the queue is shedding; the off→on transition
+    /// flushes the flight recorder so the lead-up to overload is on disk.
+    in_overload: AtomicBool,
 }
 
 /// The running engine; dropping it without [`Engine::shutdown`] detaches
@@ -92,17 +107,17 @@ pub struct Engine {
 impl Engine {
     /// Starts `cfg.workers` draining threads over `snap`.
     pub fn start(snap: Arc<Snapshot>, cfg: &EngineConfig) -> Self {
-        let batch_max = cfg.batch_max.max(1);
         let inner = Arc::new(Inner {
             snap,
             queue: Mutex::new(VecDeque::new()),
             ready: Condvar::new(),
             stop: AtomicBool::new(false),
             queue_cap: cfg.queue_cap.max(1),
-            batch_max,
-            served: AtomicU64::new(0),
-            shed: AtomicU64::new(0),
-            hist: (0..=batch_max).map(|_| AtomicU64::new(0)).collect(),
+            batch_max: cfg.batch_max.max(1),
+            metrics: Metrics::new(),
+            flight: FlightRecorder::new(cfg.flight.clone()),
+            batch_seq: AtomicU64::new(0),
+            in_overload: AtomicBool::new(false),
         });
         let workers = (0..cfg.workers)
             .map(|w| {
@@ -120,27 +135,80 @@ impl Engine {
     /// typed `overloaded` line — through `tx`, so clients never hang on a
     /// full server.
     pub fn submit(&self, req: Request, tx: Sender<String>) {
+        let m = &self.inner.metrics;
+        m.count_verb(&req.op);
+        let arrival = if m.timing() { Instant::now() } else { m.epoch() };
         {
             let mut q = self.inner.queue.lock().expect("queue lock");
             if q.len() < self.inner.queue_cap {
-                q.push_back(Job { req, tx });
+                q.push_back(Job { req, tx, arrival });
+                m.queue_depth.set(q.len() as i64);
                 drop(q);
                 self.inner.ready.notify_one();
+                if self.inner.in_overload.load(Ordering::Relaxed) {
+                    // Capacity is back; re-arm the transition flush.
+                    self.inner.in_overload.store(false, Ordering::Relaxed);
+                }
                 return;
             }
         }
-        self.inner.shed.fetch_add(1, Ordering::Relaxed);
+        m.shed.add(1);
         kcb_obs::counter("serve.shed", 1);
+        if m.timing() {
+            self.inner.flight.record(FlightRecord {
+                id: req.id,
+                op: req.op.name(),
+                arrival_us: m.since_us(arrival),
+                queue_us: 0,
+                batch: 0,
+                batch_size: 0,
+                latency_us: 0,
+                outcome: "shed",
+            });
+        }
+        if !self.inner.in_overload.swap(true, Ordering::Relaxed) {
+            // First shed of this overload episode: preserve the lead-up.
+            let _ = self.inner.flight.flush("overload");
+        }
         let _ = tx.send(protocol::render_overloaded(req.id));
     }
 
     /// Current counters.
     pub fn stats(&self) -> EngineStats {
         EngineStats {
-            served: self.inner.served.load(Ordering::Relaxed),
-            shed: self.inner.shed.load(Ordering::Relaxed),
+            served: self.inner.metrics.served.get(),
+            shed: self.inner.metrics.shed.get(),
             queue_depth: self.inner.queue.lock().expect("queue lock").len(),
         }
+    }
+
+    /// Everything the `stats` admin verb reports, read live.
+    pub fn stats_reply(&self) -> StatsReply {
+        let m = &self.inner.metrics;
+        let e2e = m.e2e_us.snapshot();
+        StatsReply {
+            served: m.served.get(),
+            shed: m.shed.get(),
+            errors: m.errors.get(),
+            queue_depth: self.inner.queue.lock().expect("queue lock").len() as i64,
+            in_flight: m.in_flight.get(),
+            uptime_s: m.uptime_s(),
+            p50_us: e2e.percentile(50.0),
+            p95_us: e2e.percentile(95.0),
+            p99_us: e2e.percentile(99.0),
+            max_us: e2e.max,
+            verbs: m.verb_counts(),
+        }
+    }
+
+    /// The live telemetry plane.
+    pub fn metrics(&self) -> &Metrics {
+        &self.inner.metrics
+    }
+
+    /// The flight recorder.
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.inner.flight
     }
 
     /// The snapshot this engine serves.
@@ -148,33 +216,30 @@ impl Engine {
         &self.inner.snap
     }
 
-    /// Drained-batch size histogram as `(size, count)` rows, non-zero
-    /// entries only.
-    pub fn batch_histogram(&self) -> Vec<(usize, u64)> {
-        self.inner
-            .hist
-            .iter()
-            .enumerate()
-            .map(|(n, c)| (n, c.load(Ordering::Relaxed)))
-            .filter(|&(_, c)| c > 0)
-            .collect()
+    /// Drained-batch size distribution. Its `sum` is the total number of
+    /// batched requests served; its `count` the number of drained batches.
+    pub fn batch_histogram(&self) -> HistSnapshot {
+        self.inner.metrics.batch_size.snapshot()
     }
 
-    /// Graceful drain: workers finish every queued request, then exit.
-    /// With zero workers any still-queued job is dropped (its client sees
-    /// a closed channel). Returns the final counters.
+    /// Graceful drain: workers finish every queued request, then exit and
+    /// the flight recorder flushes. With zero workers any still-queued job
+    /// is dropped (its client sees a closed channel). Returns the final
+    /// counters.
     pub fn shutdown(self) -> EngineStats {
         self.inner.stop.store(true, Ordering::SeqCst);
         self.inner.ready.notify_all();
         for w in self.workers {
             let _ = w.join();
         }
+        let _ = self.inner.flight.flush("shutdown");
         let stats = EngineStats {
-            served: self.inner.served.load(Ordering::Relaxed),
-            shed: self.inner.shed.load(Ordering::Relaxed),
+            served: self.inner.metrics.served.get(),
+            shed: self.inner.metrics.shed.get(),
             queue_depth: 0,
         };
         self.inner.queue.lock().expect("queue lock").clear();
+        self.inner.metrics.queue_depth.set(0);
         stats
     }
 }
@@ -183,6 +248,7 @@ fn worker_loop(inner: &Inner) {
     // The sealed weights rebuild a thread-local model once per worker;
     // scoring through it is byte-identical to the driver-thread model.
     let bert = inner.snap.bert().map(kcb_core::snapshot::BertWeights::instantiate);
+    let m = &inner.metrics;
     loop {
         let batch: Vec<Job> = {
             let mut q = inner.queue.lock().expect("queue lock");
@@ -196,21 +262,70 @@ fn worker_loop(inner: &Inner) {
                 q = inner.ready.wait(q).expect("queue lock");
             }
             let n = q.len().min(inner.batch_max);
-            q.drain(..n).collect()
+            let batch: Vec<Job> = q.drain(..n).collect();
+            m.queue_depth.set(q.len() as i64);
+            batch
         };
         let n = batch.len();
-        inner.hist[n].fetch_add(1, Ordering::Relaxed);
+        let batch_id = inner.batch_seq.fetch_add(1, Ordering::Relaxed) + 1;
+        m.batch_size.record(n as u64);
+        m.in_flight.add(n as i64);
         kcb_obs::series("serve.batch_size", n as f64);
         kcb_obs::counter("serve.requests", n as u64);
-        serve_batch(&inner.snap, bert.as_ref(), batch);
-        inner.served.fetch_add(n as u64, Ordering::Relaxed);
+        let drained_at = m.timing().then(Instant::now);
+        let (outcomes, replies) = serve_batch(&inner.snap, bert.as_ref(), &batch);
+        if let Some(t0) = drained_at {
+            m.batch_service_us.record(t0.elapsed().as_micros() as u64);
+            for (job, outcome) in batch.iter().zip(&outcomes) {
+                let queue_us = t0.duration_since(job.arrival).as_micros() as u64;
+                let latency_us = job.arrival.elapsed().as_micros() as u64;
+                m.queue_wait_us.record(queue_us);
+                m.e2e_us.record(latency_us);
+                if *outcome == "error" {
+                    m.errors.add(1);
+                }
+                inner.flight.record(FlightRecord {
+                    id: job.req.id,
+                    op: job.req.op.name(),
+                    arrival_us: m.since_us(job.arrival),
+                    queue_us,
+                    batch: batch_id,
+                    batch_size: n as u32,
+                    latency_us,
+                    outcome,
+                });
+            }
+        } else {
+            for outcome in &outcomes {
+                if *outcome == "error" {
+                    m.errors.add(1);
+                }
+            }
+        }
+        m.in_flight.add(-(n as i64));
+        m.served.add(n as u64);
+        // Replies go out only after every counter for this batch has
+        // landed: a client holding its reply can scrape /metrics (or call
+        // `stats`) and always observe totals that include that request.
+        for (job, reply) in batch.iter().zip(replies) {
+            let _ = job.tx.send(reply);
+        }
     }
 }
 
 /// Answers one drained micro-batch, grouping by operation so the hot
-/// kinds go through the batched kernels. Reply order within the batch is
-/// irrelevant — each job carries its own reply channel.
-fn serve_batch(snap: &Snapshot, bert: Option<&MiniBert>, batch: Vec<Job>) {
+/// kinds go through the batched kernels. Returns one outcome (`"ok"` /
+/// `"error"`) and one rendered reply line per job, both index-aligned
+/// with `batch`. Replies are *returned*, not sent — `worker_loop`
+/// transmits them only after the batch's counters have landed, so a
+/// client that holds a reply never observes metrics that predate it.
+fn serve_batch(
+    snap: &Snapshot,
+    bert: Option<&MiniBert>,
+    batch: &[Job],
+) -> (Vec<&'static str>, Vec<String>) {
+    let mut outcomes: Vec<&'static str> = vec!["ok"; batch.len()];
+    let mut replies: Vec<String> = vec![String::new(); batch.len()];
     // Group indices by kind. `nn` additionally groups by (int8, k) since
     // the batched scan shares one cutoff.
     let mut nn_groups: Vec<((bool, usize), Vec<usize>)> = Vec::new();
@@ -243,8 +358,7 @@ fn serve_batch(snap: &Snapshot, bert: Option<&MiniBert>, batch: Vec<Job>) {
             .collect();
         let results = snap.nearest_batch(&tokens, *k, *int8);
         for (&i, neighbours) in idx.iter().zip(&results) {
-            let job = &batch[i];
-            let _ = job.tx.send(protocol::render_nn(job.req.id, neighbours));
+            replies[i] = protocol::render_nn(batch[i].req.id, neighbours);
         }
     }
 
@@ -258,11 +372,14 @@ fn serve_batch(snap: &Snapshot, bert: Option<&MiniBert>, batch: Vec<Job>) {
             })
             .collect();
         for (&i, p) in cls.iter().zip(snap.classify_batch(&triples)) {
-            let job = &batch[i];
-            let _ = job.tx.send(match p {
-                Some(p) => protocol::render_proba(job.req.id, p),
-                None => protocol::render_error(job.req.id, "bad_request", "invalid triple"),
-            });
+            let id = batch[i].req.id;
+            replies[i] = match p {
+                Some(p) => protocol::render_proba(id, p),
+                None => {
+                    outcomes[i] = "error";
+                    protocol::render_error(id, "bad_request", "invalid triple")
+                }
+            };
         }
     }
 
@@ -278,37 +395,41 @@ fn serve_batch(snap: &Snapshot, bert: Option<&MiniBert>, batch: Vec<Job>) {
                 unreachable!("bert group holds bert ops")
             };
             if bert.is_none() {
-                let _ = job.tx.send(protocol::render_error(
+                outcomes[i] = "error";
+                replies[i] = protocol::render_error(
                     job.req.id,
                     "unavailable",
                     "snapshot was frozen without bert",
-                ));
+                );
             } else if let Some(ids) = snap.bert_token_ids(s, r, o) {
                 seqs.push(ids);
                 scored.push(i);
             } else {
-                let _ =
-                    job.tx.send(protocol::render_error(job.req.id, "bad_request", "invalid triple"));
+                outcomes[i] = "error";
+                replies[i] = protocol::render_error(job.req.id, "bad_request", "invalid triple");
             }
         }
         if let (Some(bert), false) = (bert, scored.is_empty()) {
             let refs: Vec<&[u32]> = seqs.iter().map(Vec::as_slice).collect();
             for (&i, p) in scored.iter().zip(bert.predict_proba_batch(&refs)) {
-                let job = &batch[i];
-                let _ = job.tx.send(protocol::render_proba(job.req.id, p));
+                replies[i] = protocol::render_proba(batch[i].req.id, p);
             }
         }
     }
 
     for &i in &rest {
-        let job = &batch[i];
-        let _ = job.tx.send(answer_simple(snap, &job.req));
+        let reply = answer_simple(snap, &batch[i].req);
+        if reply.contains(r#""ok":false"#) {
+            outcomes[i] = "error";
+        }
+        replies[i] = reply;
     }
+    (outcomes, replies)
 }
 
 /// Answers the non-batched operations (and is the per-op half of the
-/// serial reference path). `stats` and `shutdown` are connection-level
-/// concerns and render as `unavailable` here.
+/// serial reference path). `stats`, `health`, `flight` and `shutdown` are
+/// connection-level concerns and render as `unavailable` here.
 pub fn answer_simple(snap: &Snapshot, req: &Request) -> String {
     match &req.op {
         Op::Ping => {
@@ -335,7 +456,7 @@ pub fn answer_simple(snap: &Snapshot, req: &Request) -> String {
             let (vector, in_vocab) = snap.embed(token);
             protocol::render_embed(req.id, &vector, in_vocab)
         }
-        Op::Stats | Op::Shutdown => {
+        Op::Stats | Op::Health | Op::Flight | Op::Shutdown => {
             protocol::render_error(req.id, "unavailable", "connection-level op")
         }
         Op::Nn { .. } | Op::Classify { .. } | Op::Bert { .. } => {

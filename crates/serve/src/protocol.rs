@@ -49,8 +49,12 @@ pub struct Request {
 pub enum Op {
     /// Liveness probe; answered inline, never queued.
     Ping,
-    /// Engine counters (served / shed / queue depth); answered inline.
+    /// Engine counters, gauges and latency percentiles; answered inline.
     Stats,
+    /// Health probe (status + uptime + queue depth); answered inline.
+    Health,
+    /// Flight-recorder dump (recent + slow request rings); answered inline.
+    Flight,
     /// List the ids of the pre-rendered artifacts.
     Artifacts,
     /// One pre-rendered artifact payload by id.
@@ -100,6 +104,8 @@ impl Op {
         match self {
             Op::Ping => "ping",
             Op::Stats => "stats",
+            Op::Health => "health",
+            Op::Flight => "flight",
             Op::Artifacts => "artifacts",
             Op::Artifact { .. } => "artifact",
             Op::Embed { .. } => "embed",
@@ -109,13 +115,40 @@ impl Op {
             Op::Shutdown => "shutdown",
         }
     }
+
+    /// Number of distinct operations — sizes the per-verb counter array.
+    pub const COUNT: usize = 11;
+
+    /// [`Op::name`] for each index, in [`Op::index`] order.
+    pub const NAMES: [&'static str; Op::COUNT] = [
+        "ping", "stats", "health", "flight", "artifacts", "artifact", "embed", "nn", "classify",
+        "bert", "shutdown",
+    ];
+
+    /// Dense index of this operation into [`Op::NAMES`], used by the
+    /// engine's lock-free per-verb request counters.
+    pub fn index(&self) -> usize {
+        match self {
+            Op::Ping => 0,
+            Op::Stats => 1,
+            Op::Health => 2,
+            Op::Flight => 3,
+            Op::Artifacts => 4,
+            Op::Artifact { .. } => 5,
+            Op::Embed { .. } => 6,
+            Op::Nn { .. } => 7,
+            Op::Classify { .. } => 8,
+            Op::Bert { .. } => 9,
+            Op::Shutdown => 10,
+        }
+    }
 }
 
 /// Renders a request back to its wire line (no trailing newline). Used by
 /// the bench load generator and tests; `parse_request` inverts it.
 pub fn render_request(req: &Request) -> String {
     let v = match &req.op {
-        Op::Ping | Op::Stats | Op::Artifacts | Op::Shutdown => {
+        Op::Ping | Op::Stats | Op::Health | Op::Flight | Op::Artifacts | Op::Shutdown => {
             json!({"id": req.id, "op": req.op.name()})
         }
         Op::Artifact { name } => json!({"id": req.id, "op": "artifact", "name": name}),
@@ -158,6 +191,8 @@ pub fn parse_request(line: &str) -> Result<Request, (u64, String)> {
     let op = match op {
         "ping" => Op::Ping,
         "stats" => Op::Stats,
+        "health" => Op::Health,
+        "flight" => Op::Flight,
         "artifacts" => Op::Artifacts,
         "shutdown" => Op::Shutdown,
         "artifact" => Op::Artifact { name: str_field("name")? },
@@ -212,11 +247,66 @@ pub fn render_shutdown(id: u64) -> String {
     serde_json::to_string(&json!({"id": id, "ok": true, "op": "shutdown"})).expect("serializable")
 }
 
+/// Everything the `stats` verb reports: counters, gauges and the
+/// end-to-end latency percentiles, all read from the live telemetry plane
+/// at the moment of the request.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StatsReply {
+    /// Requests answered by workers.
+    pub served: u64,
+    /// Requests shed with an `overloaded` reply.
+    pub shed: u64,
+    /// Error replies sent (bad request / not found / unavailable).
+    pub errors: u64,
+    /// Requests currently queued.
+    pub queue_depth: i64,
+    /// Requests currently being served by workers.
+    pub in_flight: i64,
+    /// Seconds since the engine started.
+    pub uptime_s: f64,
+    /// End-to-end latency percentiles, µs (bucketed estimates).
+    pub p50_us: u64,
+    /// 95th percentile, µs.
+    pub p95_us: u64,
+    /// 99th percentile, µs.
+    pub p99_us: u64,
+    /// Slowest request, µs (exact).
+    pub max_us: u64,
+    /// Per-verb request counts, [`Op::index`] order, zero rows skipped.
+    pub verbs: Vec<(&'static str, u64)>,
+}
+
 /// `stats` reply.
-pub fn render_stats(id: u64, served: u64, shed: u64, queue_depth: usize) -> String {
-    serde_json::to_string(
-        &json!({"id": id, "ok": true, "served": served, "shed": shed, "queue_depth": queue_depth}),
-    )
+pub fn render_stats(id: u64, s: &StatsReply) -> String {
+    let verbs: Vec<(String, Value)> =
+        s.verbs.iter().map(|&(name, n)| (name.to_string(), json!(n))).collect();
+    serde_json::to_string(&json!({
+        "id": id, "ok": true,
+        "served": s.served, "shed": s.shed, "errors": s.errors,
+        "queue_depth": s.queue_depth, "in_flight": s.in_flight,
+        "uptime_s": s.uptime_s,
+        "p50_us": s.p50_us, "p95_us": s.p95_us, "p99_us": s.p99_us, "max_us": s.max_us,
+        "verbs": Value::Object(verbs),
+    }))
+    .expect("serializable")
+}
+
+/// `health` reply: liveness plus the two numbers a probe cares about.
+pub fn render_health(id: u64, uptime_s: f64, queue_depth: i64) -> String {
+    serde_json::to_string(&json!({
+        "id": id, "ok": true, "status": "ok",
+        "uptime_s": uptime_s, "queue_depth": queue_depth,
+    }))
+    .expect("serializable")
+}
+
+/// `flight` reply: both recorder rings (oldest first) and the slow-request
+/// threshold that fills the second one.
+pub fn render_flight(id: u64, recent: Vec<Value>, slow: Vec<Value>, slow_us: u64) -> String {
+    serde_json::to_string(&json!({
+        "id": id, "ok": true, "slow_us": slow_us,
+        "recent": recent, "slow": slow,
+    }))
     .expect("serializable")
 }
 
@@ -287,10 +377,34 @@ mod tests {
             Request { id: 7, op: Op::Classify { s: 1, r: 2, o: 3 } },
             Request { id: 8, op: Op::Bert { s: 9, r: 0, o: 4 } },
             Request { id: 9, op: Op::Shutdown },
+            Request { id: 10, op: Op::Health },
+            Request { id: 11, op: Op::Flight },
         ];
         for req in reqs {
             let line = render_request(&req);
             assert_eq!(parse_request(&line).unwrap(), req, "{line}");
+        }
+    }
+
+    #[test]
+    fn op_indices_are_dense_and_match_names() {
+        let ops = [
+            Op::Ping,
+            Op::Stats,
+            Op::Health,
+            Op::Flight,
+            Op::Artifacts,
+            Op::Artifact { name: "t".into() },
+            Op::Embed { token: "t".into() },
+            Op::Nn { token: "t".into(), k: 1, int8: false },
+            Op::Classify { s: 0, r: 0, o: 0 },
+            Op::Bert { s: 0, r: 0, o: 0 },
+            Op::Shutdown,
+        ];
+        assert_eq!(ops.len(), Op::COUNT);
+        for (i, op) in ops.iter().enumerate() {
+            assert_eq!(op.index(), i, "{}", op.name());
+            assert_eq!(Op::NAMES[i], op.name());
         }
     }
 
@@ -336,7 +450,19 @@ mod tests {
             render_pong(1),
             render_overloaded(2),
             render_error(3, "bad_request", "missing op"),
-            render_stats(4, 10, 2, 3),
+            render_stats(
+                4,
+                &StatsReply {
+                    served: 10,
+                    shed: 2,
+                    queue_depth: 3,
+                    p99_us: 840,
+                    verbs: vec![("nn", 7), ("ping", 3)],
+                    ..StatsReply::default()
+                },
+            ),
+            render_health(11, 1.5, 0),
+            render_flight(12, vec![json!({"id": 1})], vec![], 10_000),
             render_artifact_ids(5, &["table2"]),
             render_artifact(6, &json!({"id": "table2"})),
             render_embed(7, &[0.5, -1.25], true),

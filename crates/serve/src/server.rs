@@ -108,9 +108,14 @@ impl Server {
         self.engine.stats()
     }
 
-    /// Drained-batch size histogram from the engine.
-    pub fn batch_histogram(&self) -> Vec<(usize, u64)> {
+    /// Drained-batch size distribution from the engine.
+    pub fn batch_histogram(&self) -> kcb_obs::live::HistSnapshot {
         self.engine.batch_histogram()
+    }
+
+    /// The engine's live telemetry plane.
+    pub fn metrics(&self) -> &crate::metrics::Metrics {
+        self.engine.metrics()
     }
 
     /// Blocks until shutdown, then joins the acceptors (which join their
@@ -229,6 +234,7 @@ fn pump_lines<R: std::io::Read, W: Write>(
 ) {
     let mut line = String::new();
     let mut out = String::new();
+    let mut first = true;
     loop {
         match reader.read_line(&mut line) {
             Ok(0) => break,
@@ -237,6 +243,13 @@ fn pump_lines<R: std::io::Read, W: Write>(
                     // Timeout split the line; keep accumulating.
                     continue;
                 }
+                if first && line.starts_with("GET ") {
+                    // An HTTP scrape on the NDJSON port: answer one
+                    // request and close, plain-text browsers welcome.
+                    handle_http(&line, &mut reader, &mut writer, engine, stop);
+                    break;
+                }
+                first = false;
                 let mut slots = vec![submit_line(line.trim(), engine, stop)];
                 line.clear();
                 // Everything already buffered is a pipelined request the
@@ -291,7 +304,9 @@ fn pump_lines<R: std::io::Read, W: Write>(
 }
 
 /// Parses one line and either answers it inline or submits it to the
-/// engine, returning the slot its reply will come from.
+/// engine, returning the slot its reply will come from. Inline verbs bump
+/// their per-verb counters here; queued ones are counted inside
+/// [`Engine::submit`].
 fn submit_line(line: &str, engine: &Engine, stop: &AtomicBool) -> Slot {
     if line.is_empty() {
         return Slot::Blank;
@@ -301,13 +316,37 @@ fn submit_line(line: &str, engine: &Engine, stop: &AtomicBool) -> Slot {
         Err((id, msg)) => return Slot::Ready(protocol::render_error(id, "bad_request", &msg)),
     };
     match req.op {
+        Op::Shutdown
+        | Op::Stats
+        | Op::Health
+        | Op::Flight
+        | Op::Ping
+        | Op::Artifacts
+        | Op::Artifact { .. } => engine.metrics().count_verb(&req.op),
+        _ => {}
+    }
+    match req.op {
         Op::Shutdown => {
             stop.store(true, Ordering::SeqCst);
             Slot::Ready(protocol::render_shutdown(req.id))
         }
-        Op::Stats => {
-            let s = engine.stats();
-            Slot::Ready(protocol::render_stats(req.id, s.served, s.shed, s.queue_depth))
+        Op::Stats => Slot::Ready(protocol::render_stats(req.id, &engine.stats_reply())),
+        Op::Health => {
+            let m = engine.metrics();
+            Slot::Ready(protocol::render_health(
+                req.id,
+                m.uptime_s(),
+                m.queue_depth.get(),
+            ))
+        }
+        Op::Flight => {
+            let (recent, slow) = engine.flight().dump();
+            Slot::Ready(protocol::render_flight(
+                req.id,
+                recent.iter().map(crate::flight::FlightRecord::to_json).collect(),
+                slow.iter().map(crate::flight::FlightRecord::to_json).collect(),
+                engine.flight().slow_us(),
+            ))
         }
         Op::Ping | Op::Artifacts | Op::Artifact { .. } => {
             Slot::Ready(engine::answer_simple(engine.snapshot(), &req))
@@ -319,4 +358,63 @@ fn submit_line(line: &str, engine: &Engine, stop: &AtomicBool) -> Slot {
             Slot::Queued(rx, id)
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// The HTTP slice: GET-only, two routes, zero dependencies.
+// ---------------------------------------------------------------------------
+
+/// Answers one HTTP/1.0-or-1.1 GET on the NDJSON listener: `/metrics`
+/// serves the Prometheus text exposition of the live registry, `/health`
+/// a JSON liveness document; anything else is a 404. The connection
+/// closes after the response (`Connection: close`), which every scraper
+/// understands and keeps the server's threading model untouched.
+fn handle_http<R: std::io::Read, W: Write>(
+    request_line: &str,
+    reader: &mut BufReader<R>,
+    writer: &mut W,
+    engine: &Engine,
+    stop: &AtomicBool,
+) {
+    let path = request_line.split_whitespace().nth(1).unwrap_or("/");
+    // Drain the header block so the peer's send buffer is empty before we
+    // write (some clients treat an early response + close as an error).
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) if line == "\r\n" || line == "\n" => break,
+            Ok(_) => {}
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+    let (status, content_type, body) = match path {
+        "/metrics" => (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            engine.metrics().render_prometheus(),
+        ),
+        "/health" => {
+            let m = engine.metrics();
+            let body = format!(
+                "{{\"status\":\"ok\",\"uptime_s\":{:.3},\"queue_depth\":{}}}\n",
+                m.uptime_s(),
+                m.queue_depth.get(),
+            );
+            ("200 OK", "application/json", body)
+        }
+        _ => ("404 Not Found", "text/plain; charset=utf-8", format!("no route {path}\n")),
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    );
+    let _ = writer.write_all(response.as_bytes());
+    let _ = writer.flush();
 }

@@ -43,7 +43,7 @@ fn concurrent_mixed_queries_are_byte_identical_to_serial() {
     // snapshot through an engine with batching enabled.
     let engine = Engine::start(
         Arc::clone(&snap),
-        &EngineConfig { workers: 4, queue_cap: 1024, batch_max: 16 },
+        &EngineConfig { workers: 4, queue_cap: 1024, batch_max: 16, ..EngineConfig::default() },
     );
     let got: Vec<Vec<String>> = std::thread::scope(|s| {
         let engine = &engine;
@@ -79,7 +79,7 @@ fn overflow_sheds_typed_replies_and_stays_bounded() {
     const CAP: usize = 4;
     // Zero workers: nothing drains, so the queue fills deterministically.
     let engine =
-        Engine::start(Arc::clone(&snap), &EngineConfig { workers: 0, queue_cap: CAP, batch_max: 8 });
+        Engine::start(Arc::clone(&snap), &EngineConfig { workers: 0, queue_cap: CAP, batch_max: 8, ..EngineConfig::default() });
 
     let mut rxs = Vec::new();
     for i in 0..20u64 {
@@ -127,7 +127,7 @@ fn tcp_server_answers_the_protocol_and_drains_on_shutdown() {
         &ServerConfig {
             tcp: Some("127.0.0.1:0".to_string()),
             socket: None,
-            engine: EngineConfig { workers: 2, queue_cap: 64, batch_max: 8 },
+            engine: EngineConfig { workers: 2, queue_cap: 64, batch_max: 8, ..EngineConfig::default() },
         },
     )
     .expect("bind");

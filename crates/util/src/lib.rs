@@ -12,6 +12,7 @@ pub mod json;
 pub mod mmap;
 pub mod pool;
 pub mod rng;
+pub mod signal;
 pub mod simd;
 
 pub use error::{Error, Result};

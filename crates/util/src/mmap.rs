@@ -1,9 +1,10 @@
 //! Memory-mapped, lazily checksum-verified raw `f32` payloads.
 //!
-//! This is the only module in the workspace permitted to use `unsafe`: a
-//! minimal `mmap(2)` FFI binding plus the one pointer cast that reinterprets
-//! an aligned byte range as `&[f32]`. Everything above it — container
-//! framing, stripe bookkeeping, fallbacks — is safe code.
+//! This module (with [`crate::signal`]) is one of the only two in the
+//! workspace permitted to use `unsafe`: a minimal `mmap(2)` FFI binding
+//! plus the one pointer cast that reinterprets an aligned byte range as
+//! `&[f32]`. Everything above it — container framing, stripe bookkeeping,
+//! fallbacks — is safe code.
 //!
 //! The design has three pieces:
 //!

@@ -1,0 +1,113 @@
+//! A minimal SIGINT/SIGTERM latch for graceful daemon shutdown.
+//!
+//! `repro serve` runs until told to stop; a bare Ctrl-C would kill the
+//! process mid-write — no queue drain, no flight-recorder flush. This
+//! module installs an async-signal-safe handler (one relaxed store into a
+//! static `AtomicBool`, nothing else — the handler may interrupt any
+//! instruction) so the daemon loop can poll [`triggered`] and run its
+//! graceful path instead.
+//!
+//! Like `mmap`, this is one of the two modules allowed to opt back into
+//! `unsafe`: a two-function `signal(2)` FFI binding. On non-Unix targets
+//! installation reports `false` and [`triggered`] just never fires, so
+//! callers keep their explicit-shutdown path as the only exit.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static TRIGGERED: AtomicBool = AtomicBool::new(false);
+
+/// Whether SIGINT or SIGTERM has arrived since [`install`].
+pub fn triggered() -> bool {
+    TRIGGERED.load(Ordering::Relaxed)
+}
+
+/// Clears the latch (tests; a daemon restarting its accept loop).
+pub fn reset() {
+    TRIGGERED.store(false, Ordering::Relaxed);
+}
+
+/// Trips the latch from regular code — what the signal handler does, but
+/// callable from tests and from other shutdown paths that want to share
+/// the daemon's exit check.
+pub fn trigger() {
+    TRIGGERED.store(true, Ordering::Relaxed);
+}
+
+#[cfg(unix)]
+#[allow(unsafe_code)]
+mod sys {
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    // Minimal libc surface; std already links libc on every Unix target.
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Async-signal-safe: a single relaxed atomic store.
+        super::TRIGGERED.store(true, Ordering::Relaxed);
+    }
+
+    /// Installs the latch handler for SIGINT and SIGTERM.
+    pub fn install() -> bool {
+        const SIG_ERR: usize = usize::MAX;
+        // SAFETY: `on_signal` is async-signal-safe (one atomic store) and
+        // has the exact `extern "C" fn(i32)` ABI signal(2) expects; the
+        // handler address stays valid for the life of the process.
+        let a = unsafe { signal(SIGINT, on_signal as *const () as usize) };
+        let b = unsafe { signal(SIGTERM, on_signal as *const () as usize) };
+        a != SIG_ERR && b != SIG_ERR
+    }
+}
+
+/// Installs the SIGINT/SIGTERM handler; returns whether installation took
+/// effect (always `false` off Unix). Idempotent.
+pub fn install() -> bool {
+    #[cfg(unix)]
+    {
+        sys::install()
+    }
+    #[cfg(not(unix))]
+    {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latch_starts_clear_and_trips_once_triggered() {
+        reset();
+        assert!(!triggered());
+        trigger();
+        assert!(triggered());
+        reset();
+        assert!(!triggered());
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn installed_handler_latches_a_real_sigint() {
+        assert!(install(), "signal(2) accepted the handler");
+        reset();
+        // Raise SIGINT at ourselves through the installed handler.
+        #[allow(unsafe_code)]
+        {
+            extern "C" {
+                fn raise(signum: i32) -> i32;
+            }
+            // SAFETY: raise(3) with a handled signal delivers to this
+            // process; our handler only stores an atomic.
+            let rc = unsafe { raise(2) };
+            assert_eq!(rc, 0, "raise(SIGINT)");
+        }
+        // Delivery is synchronous for raise() on the calling thread.
+        assert!(triggered(), "SIGINT tripped the latch");
+        reset();
+    }
+}
