@@ -1,0 +1,40 @@
+//! Sweep-compiler cost: lowering a variant grid into the deduplicated
+//! structure-shared plan at 1, 8 and 64 variants.
+//!
+//! The plan is pure bookkeeping (no training, no scheduling), so this
+//! bounds the constant overhead `repro sweep` adds before any job runs —
+//! it must stay negligible next to even one provider job.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kcb_core::experiment::sweep::{plan, GridSpec};
+use kcb_core::lab::LabConfig;
+use std::hint::black_box;
+
+/// Grids sized to expand to exactly 1, 8 and 64 variants.
+const GRIDS: [(usize, &str); 3] = [
+    (1, "seeds=7;scenarios=0;paradigms=sup;model=random;adapt=naive"),
+    (8, "seeds=7,8;scenarios=0,1;paradigms=sup,icl;model=random;adapt=naive"),
+    // 4 seeds x 4 scenarios x (sup + ft + icl over 2 oracles) = 64.
+    (
+        64,
+        "seeds=1,2,3,4;scenarios=0,1,2,3;paradigms=all;\
+         oracles=gpt-4-sim,biogpt-mini;model=random;adapt=naive",
+    ),
+];
+
+fn bench_sweep_plan(c: &mut Criterion) {
+    let base = LabConfig::tiny();
+    let mut g = c.benchmark_group("sweep_plan");
+    for (want, spec) in GRIDS {
+        let grid = GridSpec::parse(spec).expect("valid grid");
+        let n = grid.expand(&base).len();
+        assert_eq!(n, want, "grid {spec} expands to {n}, wanted {want}");
+        g.bench_function(format!("variants/{want}"), |b| {
+            b.iter(|| black_box(plan(black_box(&base), black_box(&grid))));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sweep_plan);
+criterion_main!(benches);

@@ -68,6 +68,27 @@ SUBCOMMANDS:
                  percentiles, queue depth, sheds and the per-verb mix;
                  --interval-ms sets the poll cadence, --samples bounds
                  the frame count (0 = until the daemon exits)
+  sweep          compile a variant grid (seed x scale x scenario x
+                 paradigm x oracle) into one structure-shared DAG and run
+                 it: provider and cell jobs shared between variants are
+                 trained once, so a K-variant sweep costs well under K
+                 single runs; writes per-variant tables plus seed-repeat
+                 aggregates (Fleiss kappa, Welch t-tests) under
+                 results/analysis/ and the efficiency numbers (shared vs
+                 unique jobs, measured speedup with --baseline) to
+                 results/bench_sweep.json; journaled under the grid
+                 digest, so an interrupted sweep resumes mid-DAG
+                   --grid SPEC    the grid, `key=v1,v2;key=...` over keys
+                                  seeds / scales / scenarios / paradigms
+                                  (sup|ft|icl|all) / oracles / model /
+                                  adapt, e.g.
+                                  \"seeds=7,8;scenarios=0,1;paradigms=all\"
+                   --plan         dry run: print the dedup plan (every
+                                  job with its cross-variant refcount)
+                                  and exit without scheduling anything
+                   --baseline     also run every variant sequentially in
+                                  a fresh lab to measure the speedup and
+                                  assert row byte-identity
   runs           query the run index (results/runs/index.jsonl):
                    runs [list]        latest manifest per run, newest first
                                       (columns include the journal's jobs
@@ -181,7 +202,13 @@ fn runs_query(cmd: &cli::RunsCmd, root: &std::path::Path) -> ExitCode {
         cli::RunsCmd::List => Ok(runs::render_list(&folded)),
         cli::RunsCmd::Show(id) => runs::resolve(&folded, id).map(runs::render_show),
         cli::RunsCmd::Diff(a, b) => runs::resolve(&folded, a).and_then(|ma| {
-            runs::resolve(&folded, b).map(|mb| runs::render_diff(ma, mb))
+            runs::resolve(&folded, b).map(|mb| {
+                // Manifest fields first, then the journal-level answer to
+                // "which inputs changed" (per job, per input entry).
+                let mut out = runs::render_diff(ma, mb);
+                out.push_str(&runs::input_diff_for(root, ma, mb));
+                out
+            })
         }),
     };
     match rendered {
@@ -193,6 +220,225 @@ fn runs_query(cmd: &cli::RunsCmd, root: &std::path::Path) -> ExitCode {
             eprintln!("error: {e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+/// `repro sweep --grid SPEC`: compiles the variant grid into one
+/// structure-shared DAG, runs it (resumably, under the journal), writes
+/// the `analysis/` tables plus `results/bench_sweep.json`, and — with
+/// `--baseline` — re-runs every variant sequentially to measure the
+/// speedup and prove the rows byte-identical.
+fn sweep_cmd(
+    args: &cli::Args,
+    base: LabConfig,
+    store: std::sync::Arc<kcb_core::ckpt::CkptStore>,
+    threads: usize,
+    runs_root: &std::path::Path,
+    config_digest: String,
+) -> ExitCode {
+    use kcb_bench::analysis;
+    use kcb_core::experiment::sweep;
+
+    // cli::parse validated the spec already; parse again for the value.
+    let grid = match sweep::GridSpec::parse(args.grid.as_deref().unwrap_or_default()) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("error: --grid: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let splan = sweep::plan(&base, &grid);
+    if args.plan_only {
+        // Dry run: show what would be deduplicated, schedule nothing.
+        print!("{}", analysis::render_plan(&grid, &splan));
+        return ExitCode::SUCCESS;
+    }
+    let gdigest = format!("sweep-{}", sweep::grid_digest(&base, &grid));
+    eprintln!(
+        "# sweep {} — {} variants / {} labs, {} jobs ({} shared, {} unique)",
+        grid.render(),
+        splan.variant_ids.len(),
+        splan.labs,
+        splan.total_jobs,
+        splan.shared_jobs,
+        splan.unique_jobs
+    );
+
+    let fault = match journal::FaultPlan::from_env() {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // The sweep journals under its grid digest (not one variant's config
+    // digest) so a resumed sweep finds every variant's completions.
+    let journal_dir =
+        (!args.no_journal).then(|| journal::run_dir(runs_root, &gdigest));
+    let started_ms = unix_ms();
+    let mut manifest = journal::RunManifest {
+        run_id: format!("{gdigest}-{started_ms}"),
+        config_digest: gdigest.clone(),
+        seed: base.seed,
+        scale: base.scale,
+        threads: threads as u64,
+        fast: args.fast,
+        ids: splan.variant_ids.clone(),
+        started_unix_ms: started_ms,
+        updated_unix_ms: started_ms,
+        outcome: "running".to_string(),
+        jobs_run: 0,
+        jobs_replayed: 0,
+        resume: false,
+        wall_s: 0.0,
+        artifacts: Vec::new(),
+    };
+    if journal_dir.is_some() {
+        journal::index_append(runs_root, &manifest);
+    }
+
+    let total = Instant::now();
+    let spec = sweep::SweepSpec {
+        workers: threads,
+        journal: journal_dir.clone().map(|dir| JournalSpec { dir, fault }),
+        store: Some(std::sync::Arc::clone(&store)),
+    };
+    let outcome = sweep::run_sweep(&base, &grid, &spec);
+    if let Some(cap) = args.cache_cap {
+        eprintln!("# {}", store.gc(cap));
+    }
+    eprintln!(
+        "# scheduler: {} workers, {} jobs, {} steals, {:.1}s",
+        outcome.report.scheduler.workers,
+        outcome.report.scheduler.jobs.len(),
+        outcome.report.scheduler.steals,
+        outcome.report.scheduler.wall_seconds
+    );
+    if outcome.report.journal.enabled {
+        eprintln!(
+            "# journal: {} appended, {} replayed{} ({})",
+            outcome.report.journal.appended,
+            outcome.report.journal.replayed,
+            if outcome.report.journal.resume { " — resumed an interrupted sweep" } else { "" },
+            journal_dir.as_ref().map(|d| d.display().to_string()).unwrap_or_default()
+        );
+    }
+
+    // The sequential baseline reruns every variant in a fresh lab — the
+    // cost a user without the sweep compiler would pay — and doubles as a
+    // byte-identity check on the shared-DAG rows.
+    let seq = args.baseline.then(|| {
+        eprintln!("# baseline: running {} variants sequentially…", splan.variant_ids.len());
+        let (per_variant, wall_s) = sweep::run_sequential(&base, &grid);
+        analysis::SeqBaseline { per_variant, wall_s }
+    });
+    let mut failed = false;
+    if let Some(seq) = &seq {
+        if seq.rows_match(&outcome) {
+            eprintln!(
+                "# baseline: rows byte-identical — sequential {:.1}s vs sweep {:.1}s ({:.2}x)",
+                seq.wall_s,
+                outcome.wall_s,
+                if outcome.wall_s > 0.0 { seq.wall_s / outcome.wall_s } else { 0.0 }
+            );
+        } else {
+            eprintln!("error: sweep rows differ from the sequential reference");
+            failed = true;
+        }
+    }
+
+    print!("{}", analysis::render_variants(&outcome));
+    print!("{}", analysis::render_aggregates(&outcome.aggregates));
+    print!("{}", analysis::render_significance(&outcome.tests));
+
+    let analysis_dir = args
+        .out
+        .clone()
+        .unwrap_or_else(|| std::path::Path::new("results").join("analysis"));
+    match analysis::write_analysis(&analysis_dir, &outcome) {
+        Ok(()) => eprintln!("# wrote {}/", analysis_dir.display()),
+        Err(e) => {
+            eprintln!("error writing {}: {e}", analysis_dir.display());
+            failed = true;
+        }
+    }
+    let bench_doc = analysis::bench_sweep_json(&grid, &outcome, seq.as_ref());
+    let bench_path = std::path::Path::new("results").join("bench_sweep.json");
+    let text = serde_json::to_string_pretty(&bench_doc).expect("serializable");
+    if let Err(e) =
+        std::fs::create_dir_all("results").and_then(|()| std::fs::write(&bench_path, &text))
+    {
+        eprintln!("error writing {}: {e}", bench_path.display());
+        failed = true;
+    } else {
+        eprintln!("# wrote {}", bench_path.display());
+    }
+
+    let total_secs = total.elapsed().as_secs_f64();
+    let telemetry = kcb_obs::drain();
+    kcb_obs::set_enabled(false);
+    if let Some(path) = &args.trace {
+        let doc = kcb_obs::trace::chrome_trace_string(&telemetry);
+        match std::fs::write(path, &doc) {
+            Ok(()) => eprintln!("# wrote {} ({} spans)", path.display(), telemetry.spans.len()),
+            Err(e) => {
+                eprintln!("error writing trace {}: {e}", path.display());
+                failed = true;
+            }
+        }
+    }
+    if args.metrics {
+        let meta = run_meta::run_meta_json(&RunMetaInputs {
+            seed: base.seed,
+            scale: base.scale,
+            threads,
+            fast: args.fast,
+            mode: "sweep",
+            total_seconds: total_secs,
+            config_digest,
+            git_rev: run_meta::git_rev(),
+            report: &outcome.report,
+            telemetry: &telemetry,
+            serve: None,
+            sweep: Some(analysis::sweep_meta(&grid, &outcome, seq.as_ref())),
+        });
+        let meta_path = std::path::Path::new("results").join("run_meta.json");
+        let text = serde_json::to_string_pretty(&meta).expect("serializable");
+        if let Err(e) = std::fs::create_dir_all("results")
+            .and_then(|()| std::fs::write(&meta_path, &text))
+        {
+            eprintln!("error writing {}: {e}", meta_path.display());
+            failed = true;
+        } else {
+            eprintln!("# wrote {}", meta_path.display());
+        }
+    }
+    if args.profile {
+        println!("\n## Span profile ({} spans)\n", telemetry.spans.len());
+        print!("{}", kcb_obs::profile::render_table(&telemetry));
+    }
+    if journal_dir.is_some() {
+        manifest.outcome = if failed { "failed" } else { "complete" }.to_string();
+        manifest.updated_unix_ms = unix_ms();
+        manifest.jobs_run = outcome.report.journal.appended;
+        manifest.jobs_replayed = outcome.report.journal.replayed;
+        manifest.resume = outcome.report.journal.resume;
+        manifest.wall_s = total_secs;
+        manifest.artifacts = outcome
+            .artifacts
+            .iter()
+            .map(|(id, a)| {
+                let body = a.to_replay_json().render_json(None);
+                (id.clone(), journal::fnv64_hex(body.as_bytes()))
+            })
+            .collect();
+        journal::index_append(runs_root, &manifest);
+    }
+    eprintln!("# total {total_secs:.1}s");
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
     }
 }
 
@@ -243,7 +489,7 @@ fn main() -> ExitCode {
         };
     }
     let mut ids: Vec<String> = args.ids.clone();
-    if ids.is_empty() && !(args.bench_query || args.serve || args.serve_bench) {
+    if ids.is_empty() && !(args.bench_query || args.serve || args.serve_bench || args.sweep) {
         eprintln!("no artifacts requested\n\n{USAGE}");
         return ExitCode::FAILURE;
     }
@@ -298,7 +544,14 @@ fn main() -> ExitCode {
     // Zero-copy warm start is the default; --no-mmap drops to the decode
     // path (same bytes, more copies).
     store.set_mmap(!args.no_mmap);
-    let lab = Lab::with_checkpoints(cfg, std::sync::Arc::new(store));
+    let store = std::sync::Arc::new(store);
+    if args.sweep {
+        // The sweep compiler builds its own labs (one per seed × scale
+        // group) over this shared store; the single-lab path below never
+        // runs.
+        return sweep_cmd(&args, cfg, store, threads, &runs_root, config_digest);
+    }
+    let lab = Lab::with_checkpoints(cfg, store);
 
     if args.serve {
         // Assemble any requested artifacts first so the daemon can serve
@@ -418,6 +671,7 @@ fn main() -> ExitCode {
                 report: &report,
                 telemetry: &telemetry,
                 serve: Some(summary),
+                sweep: None,
             });
             let meta_path = std::path::Path::new("results").join("run_meta.json");
             let text = serde_json::to_string_pretty(&meta).expect("serializable");
@@ -655,6 +909,7 @@ fn main() -> ExitCode {
             report: &report,
             telemetry: &telemetry,
             serve: None,
+            sweep: None,
         });
         let meta_path = std::path::Path::new("results").join("run_meta.json");
         let text = serde_json::to_string_pretty(&meta).expect("serializable");

@@ -70,6 +70,16 @@ pub struct Args {
     pub no_mmap: bool,
     /// `--cache-cap BYTES`: evict oldest checkpoints until the store fits.
     pub cache_cap: Option<u64>,
+    /// `sweep`: compile a variant grid into one structure-shared DAG.
+    pub sweep: bool,
+    /// `--grid`: sweep grid spec (`seeds=7,8;scenarios=0,2;...`), parsed
+    /// and validated here.
+    pub grid: Option<String>,
+    /// `--plan`: print the sweep dedup plan and exit without running.
+    pub plan_only: bool,
+    /// `--baseline`: also run each variant sequentially in a fresh lab
+    /// and record the measured speedup in `results/bench_sweep.json`.
+    pub baseline: bool,
     /// `runs [list|show|diff]`: query the run index instead of running.
     pub runs: Option<RunsCmd>,
     /// `--runs-dir`: run-journal root (default `results/runs`).
@@ -117,6 +127,16 @@ where
             "--no-mmap" => out.no_mmap = true,
             "--no-journal" => out.no_journal = true,
             "bench-query" => out.bench_query = true,
+            "sweep" => out.sweep = true,
+            "--plan" => out.plan_only = true,
+            "--baseline" => out.baseline = true,
+            "--grid" => {
+                let v = it.next().ok_or("--grid needs a spec (key=v1,v2;key=...)")?;
+                // Parse eagerly so a bad grid fails before any work starts.
+                kcb_core::experiment::sweep::GridSpec::parse(&v)
+                    .map_err(|e| format!("--grid: {e}"))?;
+                out.grid = Some(v);
+            }
             "serve" => out.serve = true,
             "serve-bench" => out.serve_bench = true,
             "serve-top" => out.serve_top = true,
@@ -280,15 +300,28 @@ where
         return Err(format!("bench-query runs alone, got artifact '{}'", out.ids[0]));
     }
     let subcommands = usize::from(out.bench_query)
+        + usize::from(out.sweep)
         + usize::from(out.serve)
         + usize::from(out.serve_bench)
         + usize::from(out.serve_top)
         + usize::from(out.runs.is_some());
     if subcommands > 1 {
         return Err(
-            "bench-query, serve, serve-bench, serve-top and runs are mutually exclusive"
+            "bench-query, sweep, serve, serve-bench, serve-top and runs are mutually exclusive"
                 .to_string(),
         );
+    }
+    if out.sweep && out.grid.is_none() {
+        return Err("sweep needs --grid (e.g. --grid \"seeds=7,8;scenarios=0,2\")".to_string());
+    }
+    if out.sweep && !out.ids.is_empty() {
+        return Err(format!("sweep runs alone, got artifact '{}'", out.ids[0]));
+    }
+    if (out.grid.is_some() || out.plan_only || out.baseline) && !out.sweep {
+        return Err("--grid / --plan / --baseline only apply to the sweep subcommand".to_string());
+    }
+    if out.plan_only && out.baseline {
+        return Err("--plan is a dry run; it cannot be combined with --baseline".to_string());
     }
     if out.runs.is_some() && !out.ids.is_empty() {
         return Err(format!("runs queries run alone, got artifact '{}'", out.ids[0]));
@@ -534,6 +567,40 @@ mod tests {
         {
             assert!(p(&bad).is_err(), "accepted {bad:?}");
         }
+    }
+
+    #[test]
+    fn parses_sweep_flags() {
+        let a = p(&["sweep", "--grid", "seeds=7,8;scenarios=0,2;paradigms=sup,icl", "--fast"])
+            .unwrap();
+        assert!(a.sweep && a.fast && !a.plan_only && !a.baseline);
+        assert_eq!(a.grid.as_deref(), Some("seeds=7,8;scenarios=0,2;paradigms=sup,icl"));
+        let a = p(&["sweep", "--grid", "scenarios=0", "--plan"]).unwrap();
+        assert!(a.plan_only);
+        let a = p(&["sweep", "--grid", "scenarios=0", "--baseline", "--no-journal"]).unwrap();
+        assert!(a.baseline && a.no_journal, "sweep composes with --no-journal");
+    }
+
+    #[test]
+    fn sweep_flags_are_validated() {
+        let e = p(&["sweep"]).unwrap_err();
+        assert!(e.contains("--grid"), "{e}");
+        let e = p(&["sweep", "--grid", "scenarios=9"]).unwrap_err();
+        assert!(e.contains("scenario"), "bad grids fail at parse time: {e}");
+        let e = p(&["sweep", "--grid", "scales=5"]).unwrap_err();
+        assert!(e.contains("scale"), "{e}");
+        let e = p(&["sweep", "--grid", "scenarios=0", "table2"]).unwrap_err();
+        assert!(e.contains("table2"), "{e}");
+        let e = p(&["sweep", "bench-query", "--grid", "scenarios=0"]).unwrap_err();
+        assert!(e.contains("mutually exclusive"), "{e}");
+        let e = p(&["--grid", "scenarios=0"]).unwrap_err();
+        assert!(e.contains("sweep"), "{e}");
+        let e = p(&["table2", "--plan"]).unwrap_err();
+        assert!(e.contains("sweep"), "{e}");
+        let e = p(&["--baseline"]).unwrap_err();
+        assert!(e.contains("sweep"), "{e}");
+        let e = p(&["sweep", "--grid", "scenarios=0", "--plan", "--baseline"]).unwrap_err();
+        assert!(e.contains("dry run"), "{e}");
     }
 
     #[test]

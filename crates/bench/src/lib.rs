@@ -5,6 +5,7 @@
 //! benchmarks under `benches/`. The library part provides shared fixtures
 //! so benches don't duplicate setup code.
 
+pub mod analysis;
 pub mod bench_query;
 pub mod cli;
 pub mod run_meta;

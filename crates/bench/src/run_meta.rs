@@ -38,7 +38,13 @@ use serde_json::{json, Value};
 /// the live-telemetry summary of a `serve` / `serve-bench` run: request
 /// counters (`served` / `shed` / `errors`), the per-verb mix, and the
 /// end-to-end latency snapshot from the daemon's lock-free histograms.
-pub const SCHEMA_VERSION: u64 = 6;
+///
+/// v7: `manifest.mode` gained `"sweep"`, and a top-level `sweep` group
+/// (null outside sweep mode) summarises the variant grid: the normalised
+/// grid spec, variant / lab counts, total vs shared vs unique job counts
+/// from the dedup plan, journal-replayed variants, and — when
+/// `--baseline` measured K sequential runs — the speedup ratio.
+pub const SCHEMA_VERSION: u64 = 7;
 
 /// Everything `run_meta.json` is built from.
 pub struct RunMetaInputs<'a> {
@@ -67,6 +73,9 @@ pub struct RunMetaInputs<'a> {
     /// counters, verb mix and latency snapshot from the daemon's
     /// `kcb-obs::live` registry.
     pub serve: Option<Value>,
+    /// Sweep-mode grid summary (`None` → emitted as `null`): grid spec,
+    /// variant / lab counts, shared-vs-unique job counts and speedup.
+    pub sweep: Option<Value>,
 }
 
 /// FNV-1a 64-bit hash, hex-encoded — a stable, dependency-free digest for
@@ -183,6 +192,7 @@ pub fn run_meta_json(inp: &RunMetaInputs<'_>) -> Value {
         "warnings": r.journal.warnings,
     });
     let serve = inp.serve.clone().unwrap_or(Value::Null);
+    let sweep = inp.sweep.clone().unwrap_or(Value::Null);
     json!({
         "schema_version": SCHEMA_VERSION,
         "manifest": manifest,
@@ -192,6 +202,7 @@ pub fn run_meta_json(inp: &RunMetaInputs<'_>) -> Value {
         "encoding_cache": encoding_cache,
         "journal": journal,
         "serve": serve,
+        "sweep": sweep,
         "checkpoints": checkpoints,
         "counters": counters,
         "series": series,
@@ -220,6 +231,7 @@ mod tests {
             report,
             telemetry,
             serve: None,
+            sweep: None,
         })
     }
 
@@ -290,6 +302,7 @@ mod tests {
         assert_eq!(doc["journal"]["resume"], json!(true));
         assert_eq!(doc["journal"]["warnings"], json!(0));
         assert_eq!(doc["serve"], Value::Null, "non-serving runs carry a null serve group");
+        assert_eq!(doc["sweep"], Value::Null, "non-sweep runs carry a null sweep group");
         assert_eq!(doc["checkpoints"][0]["provider"], json!("embed-glove"));
         assert_eq!(doc["checkpoints"][0]["hit"], json!(true));
         assert_eq!(doc["counters"]["dbscan.probes"], json!(7));
@@ -334,11 +347,48 @@ mod tests {
             report: &report,
             telemetry: &t,
             serve: Some(summary),
+            sweep: None,
         });
-        assert_eq!(doc["schema_version"], json!(6));
+        assert_eq!(doc["schema_version"], json!(7));
         assert_eq!(doc["manifest"]["mode"], json!("serve"));
         assert_eq!(doc["serve"]["served"], json!(120));
         assert_eq!(doc["serve"]["p99_us"], json!(2100));
+        let text = serde_json::to_string(&doc).unwrap();
+        kcb_obs::json::validate(&text).unwrap();
+    }
+
+    #[test]
+    fn sweep_runs_embed_their_grid_summary() {
+        let t = Telemetry::default();
+        let report = sample_report();
+        let summary = json!({
+            "grid": "scenarios=0;paradigms=sup,icl;model=random;adapt=naive",
+            "variants": 4,
+            "labs": 2,
+            "total_jobs": 30,
+            "shared_jobs": 12,
+            "unique_jobs": 18,
+            "replayed_variants": 0,
+            "speedup_vs_sequential": 2.5,
+        });
+        let doc = run_meta_json(&RunMetaInputs {
+            seed: 42,
+            scale: 0.01,
+            threads: 4,
+            fast: true,
+            mode: "sweep",
+            total_seconds: 9.0,
+            config_digest: fnv64_hex(b"cfg"),
+            git_rev: "abc1234".to_string(),
+            report: &report,
+            telemetry: &t,
+            serve: None,
+            sweep: Some(summary),
+        });
+        assert_eq!(doc["manifest"]["mode"], json!("sweep"));
+        assert_eq!(doc["sweep"]["variants"], json!(4));
+        assert_eq!(doc["sweep"]["shared_jobs"], json!(12));
+        assert_eq!(doc["serve"], Value::Null);
         let text = serde_json::to_string(&doc).unwrap();
         kcb_obs::json::validate(&text).unwrap();
     }

@@ -9,8 +9,9 @@
 //! re-running anything. Everything here is pure rendering over loaded
 //! manifests, so the binary only picks an exit code.
 
-use kcb_core::journal::{diff_manifests, RunManifest};
+use kcb_core::journal::{self, diff_manifests, JobRecord, RunManifest};
 use kcb_util::fmt::Table;
+use std::collections::BTreeMap;
 
 /// Renders the `runs list` table from folded manifests (newest first).
 pub fn render_list(folded: &[RunManifest]) -> String {
@@ -106,6 +107,89 @@ pub fn render_diff(a: &RunManifest, b: &RunManifest) -> String {
     t.render()
 }
 
+/// Folds a journal's records into `job label → input entries`. Records
+/// are `name=key` provenance pairs; on a resumed run the same label can
+/// appear more than once, and the last completion wins.
+pub fn fold_inputs(records: &[JobRecord]) -> BTreeMap<String, Vec<String>> {
+    let mut out = BTreeMap::new();
+    for r in records {
+        out.insert(r.label.clone(), r.inputs.clone());
+    }
+    out
+}
+
+/// Splits one `name=key` input entry; entries without a `=` keep the
+/// whole string as the name (degrades, never errors).
+fn input_entry(e: &str) -> (&str, &str) {
+    e.split_once('=').unwrap_or((e, ""))
+}
+
+/// Renders *which* per-job inputs changed between two runs' journals:
+/// one row per (job, input name) whose content key differs, plus rows
+/// for jobs only one run executed. Identical provenance says so with the
+/// count of jobs compared.
+pub fn render_input_diff(
+    a_id: &str,
+    a: &BTreeMap<String, Vec<String>>,
+    b_id: &str,
+    b: &BTreeMap<String, Vec<String>>,
+) -> String {
+    let mut rows: Vec<(String, String, String)> = Vec::new();
+    for (label, ia) in a {
+        match b.get(label) {
+            None => rows.push((label.clone(), "(job present)".to_string(), "-".to_string())),
+            Some(ib) if ia == ib => {}
+            Some(ib) => {
+                let ka: BTreeMap<&str, &str> = ia.iter().map(|e| input_entry(e)).collect();
+                let kb: BTreeMap<&str, &str> = ib.iter().map(|e| input_entry(e)).collect();
+                let names: Vec<&&str> =
+                    ka.keys().chain(kb.keys().filter(|n| !ka.contains_key(*n))).collect();
+                for name in names {
+                    let (va, vb) = (ka.get(*name), kb.get(*name));
+                    if va != vb {
+                        rows.push((
+                            format!("{label} · {name}"),
+                            va.unwrap_or(&"-").to_string(),
+                            vb.unwrap_or(&"-").to_string(),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    for label in b.keys().filter(|l| !a.contains_key(*l)) {
+        rows.push((label.clone(), "-".to_string(), "(job present)".to_string()));
+    }
+    if rows.is_empty() {
+        return format!("per-job inputs identical ({} jobs compared)\n", a.len());
+    }
+    let mut t = Table::new("Changed job inputs", &["job · input", a_id, b_id]);
+    for (field, va, vb) in rows {
+        t.row(vec![field, va, vb]);
+    }
+    t.render()
+}
+
+/// Loads both runs' journals from under `root` and renders the per-job
+/// input diff, or a one-line note when a journal is missing (e.g. a
+/// `--no-journal` run). Two runs of the same config share one journal
+/// directory, so their inputs compare trivially identical — the signal
+/// is in cross-config diffs.
+pub fn input_diff_for(root: &std::path::Path, a: &RunManifest, b: &RunManifest) -> String {
+    let load = |m: &RunManifest| {
+        let replay =
+            journal::load(&journal::journal_path(&journal::run_dir(root, &m.config_digest)));
+        (!replay.records.is_empty()).then(|| fold_inputs(&replay.records))
+    };
+    match (load(a), load(b)) {
+        (Some(ia), Some(ib)) => render_input_diff(&a.run_id, &ia, &b.run_id, &ib),
+        (ia, _) => format!(
+            "no journal for run {} — per-job input diff unavailable\n",
+            if ia.is_none() { &a.run_id } else { &b.run_id }
+        ),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -158,6 +242,62 @@ mod tests {
         {
             assert!(s.contains(needle), "missing {needle} in:\n{s}");
         }
+    }
+
+    fn record(label: &str, inputs: &[&str]) -> JobRecord {
+        JobRecord {
+            seq: 0,
+            label: label.to_string(),
+            kind: "par".to_string(),
+            digest: String::new(),
+            seconds: 0.1,
+            worker: 0,
+            inputs: inputs.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    #[test]
+    fn input_diff_names_the_changed_input_not_just_the_job() {
+        let a = fold_inputs(&[
+            record("provider:ontology", &["self=aaaa"]),
+            record("cell:rf|1", &["cfg=c1", "dep-provider:ontology=aaaa"]),
+            record("cell:only-a", &["cfg=c1"]),
+        ]);
+        let b = fold_inputs(&[
+            record("provider:ontology", &["self=bbbb"]),
+            record("cell:rf|1", &["cfg=c1", "dep-provider:ontology=bbbb"]),
+            record("cell:only-b", &["cfg=c2"]),
+        ]);
+        let s = render_input_diff("run-a", &a, "run-b", &b);
+        // The ontology content key changed — named per input, per job.
+        assert!(s.contains("provider:ontology · self"), "{s}");
+        assert!(s.contains("aaaa") && s.contains("bbbb"), "{s}");
+        assert!(s.contains("cell:rf|1 · dep-provider:ontology"), "{s}");
+        // The unchanged cfg entry is not reported.
+        assert!(!s.contains("· cfg"), "{s}");
+        // Jobs only one run executed are flagged, not silently dropped.
+        assert!(s.contains("cell:only-a") && s.contains("cell:only-b"), "{s}");
+        assert!(s.contains("(job present)"), "{s}");
+    }
+
+    #[test]
+    fn identical_inputs_say_so_and_resumes_keep_the_last_record() {
+        let twice = [record("cell:x", &["cfg=old"]), record("cell:x", &["cfg=new"])];
+        let folded = fold_inputs(&twice);
+        assert_eq!(folded["cell:x"], vec!["cfg=new".to_string()]);
+        let s = render_input_diff("a", &folded, "b", &folded.clone());
+        assert!(s.contains("identical (1 jobs compared)"), "{s}");
+    }
+
+    #[test]
+    fn input_diff_for_reports_missing_journals_by_run_id() {
+        let dir = std::env::temp_dir().join(format!("kcb-runs-diff-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let a = manifest("cafe-1", "complete");
+        let b = manifest("cafe-2", "complete");
+        let s = input_diff_for(&dir, &a, &b);
+        assert!(s.contains("no journal") && s.contains("cafe-1"), "{s}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

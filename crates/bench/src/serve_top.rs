@@ -70,27 +70,29 @@ pub fn parse_stats(line: &str) -> Result<StatsSample, String> {
 
 /// Renders one refresh frame: the headline table plus a verb-mix line.
 /// `prev` (the previous sample and the seconds since it) turns the
-/// monotone counters into rates.
+/// monotone counters into rates. The first frame has no previous sample
+/// to difference against — a zero-length window — so its rate columns
+/// render as `-` rather than a misleading `0`.
 pub fn render(sample: &StatsSample, prev: Option<(&StatsSample, f64)>) -> String {
-    let (qps, shed_rate) = match prev {
-        Some((p, dt)) if dt > 0.0 => (
+    let rates = match prev {
+        Some((p, dt)) if dt > 0.0 => Some((
             sample.served.saturating_sub(p.served) as f64 / dt,
             sample.shed.saturating_sub(p.shed) as f64 / dt,
-        ),
-        _ => (0.0, 0.0),
+        )),
+        _ => None,
     };
     let mut t = Table::new(
         format!("serve-top — up {:.0}s", sample.uptime_s),
         &["qps", "p50 µs", "p95 µs", "p99 µs", "queue", "in-flight", "shed/s", "errors"],
     );
     t.row(vec![
-        format!("{qps:.0}"),
+        rates.map(|(qps, _)| format!("{qps:.0}")).unwrap_or_else(|| "-".to_string()),
         sample.p50_us.to_string(),
         sample.p95_us.to_string(),
         sample.p99_us.to_string(),
         sample.queue_depth.to_string(),
         sample.in_flight.to_string(),
-        format!("{shed_rate:.1}"),
+        rates.map(|(_, shed)| format!("{shed:.1}")).unwrap_or_else(|| "-".to_string()),
         sample.errors.to_string(),
     ]);
     let mut out = t.render();
@@ -188,9 +190,17 @@ mod tests {
         assert!(frame.contains("2.0"), "shed/s = 4/2: {frame}");
         assert!(frame.contains("nn:100"), "{frame}");
         assert!(frame.contains("served:120"), "{frame}");
-        // First frame has no predecessor: rates render as zero, no panic.
+        // First frame has no predecessor — a zero-length window — so the
+        // rate columns render as `-`, never a misleading 0.
         let first = render(&now, None);
         assert!(first.contains("serve-top"), "{first}");
+        let data_row = first.lines().nth(4).expect("title, rule, header, rule, row");
+        assert!(data_row.trim_start().starts_with('-'), "first-frame qps must be '-': {first}");
+        assert_eq!(data_row.matches(" - ").count(), 1, "shed/s must also be '-': {first}");
+        // A zero-length delta (same-instant poll) is the same degenerate
+        // window and must not divide by zero either.
+        let degenerate = render(&now, Some((&before, 0.0)));
+        assert!(degenerate.lines().nth(4).unwrap().trim_start().starts_with('-'), "{degenerate}");
     }
 
     #[test]

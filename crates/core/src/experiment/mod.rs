@@ -12,6 +12,7 @@ pub mod quant;
 pub mod scenarios;
 pub mod summary;
 pub mod supervised;
+pub mod sweep;
 pub mod tables;
 
 use crate::lab::Lab;

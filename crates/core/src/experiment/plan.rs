@@ -79,19 +79,159 @@ pub struct JournalSpec {
     pub fault: Option<journal::FaultPlan>,
 }
 
-/// Provider job ids shared by every artifact.
-struct Providers {
-    ontology: JobId,
-    task: [JobId; 3],
-    split: [JobId; 3],
-    embed: HashMap<&'static str, JobId>,
-    wordpiece: JobId,
-    bert: JobId,
-    biogpt: JobId,
+/// Which providers one graph instantiation actually schedules. The full
+/// artifact path wants everything ([`ProviderNeed::all`]); the sweep
+/// compiler unions the (much smaller) per-variant needs so a lab whose
+/// variants never touch an LM never schedules its training job.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ProviderNeed {
+    /// Embedding providers to schedule, by table name.
+    pub embeds: Vec<&'static str>,
+    /// Schedule the canonical 9:1 split providers?
+    pub splits: bool,
+    /// Schedule the WordPiece provider?
+    pub wordpiece: bool,
+    /// Schedule mini-BERT pretraining (implies `wordpiece`)?
+    pub bert: bool,
+    /// Schedule BioGPT-mini pretraining (implies `wordpiece`)?
+    pub biogpt: bool,
 }
 
-fn providers<'a>(g: &mut Graph<'a>, lab: &'a Lab) -> Providers {
+impl ProviderNeed {
+    /// Everything — the single-run artifact path.
+    pub fn all() -> Self {
+        Self {
+            embeds: EMBEDDING_NAMES.to_vec(),
+            splits: true,
+            wordpiece: true,
+            bert: true,
+            biogpt: true,
+        }
+    }
+
+    /// Folds another need into this one (sweep labs union their variants).
+    pub fn union(&mut self, other: &ProviderNeed) {
+        for e in &other.embeds {
+            if !self.embeds.contains(e) {
+                self.embeds.push(e);
+            }
+        }
+        self.splits |= other.splits;
+        self.wordpiece |= other.wordpiece || other.bert || other.biogpt;
+        self.bert |= other.bert;
+        self.biogpt |= other.biogpt;
+    }
+}
+
+/// Per-job input provenance, collected while the graph is built and
+/// written into each journal completion record: providers record their
+/// own content-addressed checkpoint key, cells and assemblies record the
+/// config digest plus each dependency's content key. `repro runs diff`
+/// reads these back to say *which* inputs changed between two runs.
+#[derive(Debug, Default)]
+pub(crate) struct Provenance {
+    /// Provider label → its own content key.
+    content: HashMap<String, String>,
+    /// Job label → journal input entries (`name=key`).
+    inputs: HashMap<String, Vec<String>>,
+}
+
+impl Provenance {
+    /// Records a provider job: its content key (falling back to the
+    /// config digest for providers without one) is both its own input
+    /// entry and what consumers fold into theirs.
+    fn provider(&mut self, label: &str, key: Option<String>, cfg_digest: &str) {
+        let key = key.unwrap_or_else(|| cfg_digest.to_string());
+        self.inputs.insert(label.to_string(), vec![format!("self={key}")]);
+        self.content.insert(label.to_string(), key);
+    }
+
+    /// Records a cell or assembly job: the config digest plus one entry
+    /// per dependency (`dep-label=content-key`; `-` for dependencies that
+    /// have no content key of their own, e.g. other cells).
+    pub(crate) fn job<S: AsRef<str>>(&mut self, label: &str, cfg_digest: &str, dep_labels: &[S]) {
+        let mut v = vec![format!("cfg={cfg_digest}")];
+        for d in dep_labels {
+            let d = d.as_ref();
+            let key = self.content.get(d).map(String::as_str).unwrap_or("-");
+            v.push(format!("{d}={key}"));
+        }
+        self.inputs.insert(label.to_string(), v);
+    }
+
+    /// The journal input entries for a label (empty when unrecorded).
+    pub fn inputs_of(&self, label: &str) -> &[String] {
+        self.inputs.get(label).map(Vec::as_slice).unwrap_or(&[])
+    }
+}
+
+/// Provider job ids shared by every artifact. Providers outside the
+/// instantiating [`ProviderNeed`] are `None`; the accessors panic if a
+/// cell asks for a provider its need never declared.
+pub(crate) struct Providers {
+    ontology: JobId,
+    task: [JobId; 3],
+    split: Option<[JobId; 3]>,
+    embed: HashMap<&'static str, JobId>,
+    wordpiece: Option<JobId>,
+    bert: Option<JobId>,
+    biogpt: Option<JobId>,
+}
+
+impl Providers {
+    fn ontology(&self) -> JobId {
+        self.ontology
+    }
+
+    fn task(&self, i: usize) -> JobId {
+        self.task[i]
+    }
+
+    fn split(&self, i: usize) -> JobId {
+        self.split.expect("split providers not planned")[i]
+    }
+
+    fn splits(&self) -> Vec<JobId> {
+        self.split.expect("split providers not planned").to_vec()
+    }
+
+    fn embed(&self, name: &str) -> JobId {
+        *self.embed.get(name).unwrap_or_else(|| panic!("embed provider {name} not planned"))
+    }
+
+    fn embeds(&self) -> Vec<JobId> {
+        self.embed.values().copied().collect()
+    }
+
+    fn wordpiece(&self) -> JobId {
+        self.wordpiece.expect("wordpiece provider not planned")
+    }
+
+    fn bert(&self) -> JobId {
+        self.bert.expect("bert provider not planned")
+    }
+
+    fn biogpt(&self) -> JobId {
+        self.biogpt.expect("biogpt provider not planned")
+    }
+}
+
+/// Schedules the provider jobs a need declares, labelled
+/// `provider:<prefix><name>`. The ontology, corpora and task datasets are
+/// always present (corpora degrade to no-op jobs when nothing trains);
+/// splits, embeddings and the LMs appear only when needed. The empty
+/// prefix reproduces the single-run graph byte-for-byte; the sweep
+/// compiler namespaces each lab's providers by a config-digest prefix so
+/// journal replay keys stay stable across resumes.
+pub(crate) fn providers<'a>(
+    g: &mut Graph<'a>,
+    lab: &'a Lab,
+    prefix: &str,
+    need: &ProviderNeed,
+    provenance: &mut Provenance,
+) -> Providers {
     let shared: &'a Shared = lab.shared();
+    let cfg_digest = shared.config_digest();
 
     // Cache-aware DAG pruning: freshness is probed *once, at graph-build
     // time*. A provider whose checkpoint is known-fresh becomes a
@@ -109,55 +249,77 @@ fn providers<'a>(g: &mut Graph<'a>, lab: &'a Lab) -> Providers {
     // serially at plan time.
     let bert_fresh = wp_fresh && lab.provider_fresh("lm-bert");
     let biogpt_fresh = wp_fresh && lab.provider_fresh("lm-biogpt");
-    let embed_fresh: HashMap<&'static str, bool> = EMBEDDING_NAMES
+    let embed_fresh: HashMap<&'static str, bool> = need
+        .embeds
         .iter()
         .map(|&n| (n, n != "random" && shared.provider_fresh(&format!("embed-{n}"))))
         .collect();
-    let any_embed_training =
-        EMBEDDING_NAMES.iter().any(|&n| n != "random" && !embed_fresh[n]);
+    let any_embed_training = need.embeds.iter().any(|&n| n != "random" && !embed_fresh[n]);
     // The corpora exist only to feed trainers; when every trainer that
-    // reads them is fresh, generating them eagerly is pure waste.
-    let domain_needed = any_embed_training || !wp_fresh || !bert_fresh || !biogpt_fresh;
-    let generic_needed = any_embed_training || !bert_fresh;
+    // reads them is fresh (or out of scope for this need), generating
+    // them eagerly is pure waste.
+    let wp_training = need.wordpiece && !wp_fresh;
+    let bert_training = need.bert && !bert_fresh;
+    let biogpt_training = need.biogpt && !biogpt_fresh;
+    let domain_needed = any_embed_training || wp_training || bert_training || biogpt_training;
+    let generic_needed = any_embed_training || bert_training;
 
-    let ontology = g.add_par("provider:ontology", &[], move || {
+    let record = |provenance: &mut Provenance, label: &str, name: &str| {
+        provenance.provider(label, shared.provider_input_key(name), &cfg_digest);
+    };
+
+    let olabel = format!("provider:{prefix}ontology");
+    record(provenance, &olabel, "ontology");
+    let ontology = g.add_par(olabel, &[], move || {
         shared.ontology();
     });
+    let dlabel = format!("provider:{prefix}corpus-domain");
+    record(provenance, &dlabel, "corpus-domain");
     let domain = if domain_needed {
-        g.add_par("provider:corpus-domain", &[ontology], move || {
+        g.add_par(dlabel, &[ontology], move || {
             shared.domain_sentences();
         })
     } else {
-        g.add_par("provider:corpus-domain", &[], move || {
+        g.add_par(dlabel, &[], move || {
             shared.note_provider_skip();
         })
     };
+    let glabel = format!("provider:{prefix}corpus-generic");
+    record(provenance, &glabel, "corpus-generic");
     let generic = if generic_needed {
-        g.add_par("provider:corpus-generic", &[], move || {
+        g.add_par(glabel, &[], move || {
             shared.generic_sentences();
         })
     } else {
-        g.add_par("provider:corpus-generic", &[], move || {
+        g.add_par(glabel, &[], move || {
             shared.note_provider_skip();
         })
     };
     let task: [JobId; 3] = TaskKind::ALL.map(|t| {
-        g.add_par(format!("provider:task{}", t.number()), &[ontology], move || {
+        let label = format!("provider:{prefix}task{}", t.number());
+        record(provenance, &label, &format!("task{}", t.number()));
+        g.add_par(label, &[ontology], move || {
             shared.task(t);
         })
     });
-    let split: [JobId; 3] = [0, 1, 2].map(|i| {
-        let t = TaskKind::ALL[i];
-        g.add_par(format!("provider:split{}", t.number()), &[task[i]], move || {
-            shared.split(t);
+    let split: Option<[JobId; 3]> = need.splits.then(|| {
+        [0, 1, 2].map(|i| {
+            let t = TaskKind::ALL[i];
+            let label = format!("provider:{prefix}split{}", t.number());
+            record(provenance, &label, &format!("split{}", t.number()));
+            g.add_par(label, &[task[i]], move || {
+                shared.split(t);
+            })
         })
     });
     let mut embed = HashMap::new();
-    for name in EMBEDDING_NAMES.iter().copied() {
+    for name in need.embeds.iter().copied() {
         let fresh = embed_fresh[name];
         let deps: &[JobId] =
             if name == "random" || fresh { &[] } else { &[domain, generic] };
-        let id = g.add_par(format!("provider:embed-{name}"), deps, move || {
+        let label = format!("provider:{prefix}embed-{name}");
+        record(provenance, &label, &format!("embed-{name}"));
+        let id = g.add_par(label, deps, move || {
             if fresh {
                 shared.note_provider_skip();
             } else {
@@ -166,47 +328,66 @@ fn providers<'a>(g: &mut Graph<'a>, lab: &'a Lab) -> Providers {
         });
         embed.insert(name, id);
     }
-    let wp_deps: &[JobId] = if wp_fresh { &[] } else { &[domain] };
-    let wordpiece = g.add_par("provider:wordpiece", wp_deps, move || {
-        if wp_fresh {
-            shared.note_provider_skip();
-        } else {
-            shared.wordpiece();
-        }
+    let wordpiece = (need.wordpiece || need.bert || need.biogpt).then(|| {
+        let wp_deps: &[JobId] = if wp_fresh { &[] } else { &[domain] };
+        let label = format!("provider:{prefix}wordpiece");
+        record(provenance, &label, "wordpiece");
+        g.add_par(label, wp_deps, move || {
+            if wp_fresh {
+                shared.note_provider_skip();
+            } else {
+                shared.wordpiece();
+            }
+        })
     });
-    let bert_deps: &[JobId] =
-        if bert_fresh { &[] } else { &[wordpiece, domain, generic] };
-    let bert = g.add_driver("provider:bert", bert_deps, move || {
-        if bert_fresh {
-            lab.shared().note_provider_skip();
-        } else {
-            lab.bert();
-        }
+    let bert = need.bert.then(|| {
+        let wp = wordpiece.expect("bert implies wordpiece");
+        let bert_deps: &[JobId] = if bert_fresh { &[] } else { &[wp, domain, generic] };
+        let label = format!("provider:{prefix}bert");
+        record(provenance, &label, "bert");
+        g.add_driver(label, bert_deps, move || {
+            if bert_fresh {
+                lab.shared().note_provider_skip();
+            } else {
+                lab.bert();
+            }
+        })
     });
-    let biogpt_deps: &[JobId] = if biogpt_fresh { &[] } else { &[wordpiece, domain] };
-    let biogpt = g.add_driver("provider:biogpt", biogpt_deps, move || {
-        if biogpt_fresh {
-            lab.shared().note_provider_skip();
-        } else {
-            lab.biogpt();
-        }
+    let biogpt = need.biogpt.then(|| {
+        let wp = wordpiece.expect("biogpt implies wordpiece");
+        let biogpt_deps: &[JobId] = if biogpt_fresh { &[] } else { &[wp, domain] };
+        let label = format!("provider:{prefix}biogpt");
+        record(provenance, &label, "biogpt");
+        g.add_driver(label, biogpt_deps, move || {
+            if biogpt_fresh {
+                lab.shared().note_provider_skip();
+            } else {
+                lab.biogpt();
+            }
+        })
     });
     Providers { ontology, task, split, embed, wordpiece, bert, biogpt }
 }
 
 /// Builds warm cells for one artifact id and returns the assembly deps.
 /// Cells are deduplicated across artifacts through `keyed`.
-struct Cells<'g, 'a> {
-    g: &'g mut Graph<'a>,
-    keyed: &'g mut HashMap<String, JobId>,
-    lab: &'a Lab,
-    shared: &'a Shared,
-    prov: &'g Providers,
+pub(crate) struct Cells<'g, 'a> {
+    pub g: &'g mut Graph<'a>,
+    pub keyed: &'g mut HashMap<String, JobId>,
+    pub lab: &'a Lab,
+    pub shared: &'a Shared,
+    pub prov: &'g Providers,
     /// Labels the run journal already recorded as completed.
-    completed: &'g HashSet<String>,
+    pub completed: &'g HashSet<String>,
     /// Labels satisfied from the journal this run (fills as cells are
     /// replaced by replay no-ops; the completion hook skips these).
-    replayed: &'g mut HashSet<String>,
+    pub replayed: &'g mut HashSet<String>,
+    /// Label namespace (empty for single runs, `<digest8>/` per sweep lab).
+    pub prefix: &'g str,
+    /// Input-provenance collector for journal records.
+    pub provenance: &'g mut Provenance,
+    /// The lab's config digest, folded into every cell's provenance.
+    pub cfg_digest: &'g str,
 }
 
 impl<'a> Cells<'_, 'a> {
@@ -214,7 +395,7 @@ impl<'a> Cells<'_, 'a> {
         if let Some(&id) = self.keyed.get(&key) {
             return id;
         }
-        let label = format!("cell:{key}");
+        let label = format!("cell:{}{key}", self.prefix);
         // Journal replay: a cell that already committed in an earlier
         // (interrupted) run becomes a dependency-free no-op. Cells only
         // warm the memo caches — their values come back through the
@@ -227,6 +408,9 @@ impl<'a> Cells<'_, 'a> {
                 CellClosure::Driver(_) => self.g.add_driver(label, &[], || {}),
             }
         } else {
+            let dep_labels: Vec<String> =
+                deps.iter().map(|&d| self.g.label_of(d).to_string()).collect();
+            self.provenance.job(&label, self.cfg_digest, &dep_labels);
             match f {
                 CellClosure::Par(f) => self.g.add_par(label, deps, f),
                 CellClosure::Driver(f) => self.g.add_driver(label, deps, f),
@@ -240,13 +424,13 @@ impl<'a> Cells<'_, 'a> {
         let key = format!("forest|{}|{model}|{adapt}", task.number());
         if model == "pubmedbert" {
             let lab = self.lab;
-            let deps = [self.prov.split[task.number() - 1], self.prov.bert];
+            let deps = [self.prov.split(task.number() - 1), self.prov.bert()];
             self.dedup(key, &deps, CellClosure::Driver(Box::new(move || {
                 lab.forest_run(task, model, adapt);
             })))
         } else {
             let shared = self.shared;
-            let deps = [self.prov.split[task.number() - 1], self.prov.embed[model]];
+            let deps = [self.prov.split(task.number() - 1), self.prov.embed(model)];
             self.dedup(key, &deps, CellClosure::Par(Box::new(move || {
                 shared.forest_run(task, model, adapt);
             })))
@@ -255,13 +439,13 @@ impl<'a> Cells<'_, 'a> {
 
     fn lstm(&mut self, model: &'static str) -> JobId {
         let shared = self.shared;
-        let deps = [self.prov.split[0], self.prov.embed[model]];
+        let deps = [self.prov.split(0), self.prov.embed(model)];
         self.dedup(format!("lstm|{model}"), &deps, CellClosure::Par(Box::new(move || {
             shared.lstm_run(model);
         })))
     }
 
-    fn scenario_rf(
+    pub(crate) fn scenario_rf(
         &mut self,
         task: TaskKind,
         sc_index: usize,
@@ -272,32 +456,54 @@ impl<'a> Cells<'_, 'a> {
         let key = format!("rf|{}|{}|{}|{model}|{adapt}", task.number(), sc.split, sc.pos_ratio);
         if model == "pubmedbert" {
             let lab = self.lab;
-            let deps = [self.prov.task[task.number() - 1], self.prov.bert];
+            let deps = [self.prov.task(task.number() - 1), self.prov.bert()];
             self.dedup(key, &deps, CellClosure::Driver(Box::new(move || {
                 scenarios::rf_f1_pubmedbert(lab, task, sc);
             })))
         } else {
             let shared = self.shared;
-            let deps = [self.prov.task[task.number() - 1], self.prov.embed[model]];
+            let deps = [self.prov.task(task.number() - 1), self.prov.embed(model)];
             self.dedup(key, &deps, CellClosure::Par(Box::new(move || {
                 scenarios::rf_f1_warm(shared, task, sc, model, adapt);
             })))
         }
     }
 
-    fn scenario_ft(&mut self, task: TaskKind, sc_index: usize) -> JobId {
+    pub(crate) fn scenario_ft(&mut self, task: TaskKind, sc_index: usize) -> JobId {
         let sc = SCENARIOS[sc_index];
         let key = format!("ft|{}|{}|{}", task.number(), sc.split, sc.pos_ratio);
         let lab = self.lab;
-        let deps = [self.prov.task[task.number() - 1], self.prov.bert];
+        let deps = [self.prov.task(task.number() - 1), self.prov.bert()];
         self.dedup(key, &deps, CellClosure::Driver(Box::new(move || {
             scenarios::ft_f1(lab, task, sc);
         })))
     }
 
+    /// An ICL paradigm cell: scenario-independent by construction (the
+    /// paper's horizontal reference line — in-context learning consumes
+    /// no training data), so every scenario variant of an oracle shares
+    /// one cell. Simulated oracles are pure `Send` state and fan out;
+    /// BioGPT-mini needs the `!Send` checkpoint and stays on the driver.
+    pub(crate) fn icl(&mut self, task: TaskKind, oracle: &'static str) -> JobId {
+        let key = format!("icl|{}|{oracle}", task.number());
+        if oracle == "biogpt-mini" {
+            let lab = self.lab;
+            let deps = [self.prov.task(task.number() - 1), self.prov.biogpt()];
+            self.dedup(key, &deps, CellClosure::Driver(Box::new(move || {
+                scenarios::icl_stats_biogpt(lab, task);
+            })))
+        } else {
+            let shared = self.shared;
+            let deps = [self.prov.task(task.number() - 1)];
+            self.dedup(key, &deps, CellClosure::Par(Box::new(move || {
+                scenarios::icl_stats_warm(shared, task, oracle);
+            })))
+        }
+    }
+
     fn gpt4(&mut self, task: TaskKind) -> JobId {
         let shared = self.shared;
-        let deps = [self.prov.task[task.number() - 1]];
+        let deps = [self.prov.task(task.number() - 1)];
         self.dedup(format!("gpt4|{}", task.number()), &deps, CellClosure::Par(Box::new(
             move || {
                 scenarios::gpt4_f1_warm(shared, task);
@@ -308,15 +514,15 @@ impl<'a> Cells<'_, 'a> {
     /// The dependency set for one artifact id: warm cells where the
     /// artifact has them, otherwise the providers its runner touches.
     fn deps_for(&mut self, id: &str) -> Vec<JobId> {
-        let p_all_embeds: Vec<JobId> = self.prov.embed.values().copied().collect();
+        let p_all_embeds: Vec<JobId> = self.prov.embeds();
         let supervised_models =
             || EMBEDDING_NAMES.iter().copied().chain(["pubmedbert"]).collect::<Vec<_>>();
         match id {
-            "table2" | "tablea2" | "tablea3" => self.prov.split.to_vec(),
-            "tablea1" => vec![self.prov.ontology],
+            "table2" | "tablea2" | "tablea3" => self.prov.splits(),
+            "tablea1" => vec![self.prov.ontology()],
             // Corpus / OOV statistics touch the tokenizer and embeddings.
             "tablea4" | "tablea5" => {
-                let mut d = vec![self.prov.wordpiece];
+                let mut d = vec![self.prov.wordpiece()];
                 d.extend(p_all_embeds);
                 d
             }
@@ -396,13 +602,13 @@ impl<'a> Cells<'_, 'a> {
                 d
             }
             "table4" => {
-                let mut d = self.prov.split.to_vec();
-                d.push(self.prov.bert);
+                let mut d = self.prov.splits();
+                d.push(self.prov.bert());
                 d
             }
             "table5" => {
-                let mut d = self.prov.split.to_vec();
-                d.push(self.prov.biogpt);
+                let mut d = self.prov.splits();
+                d.push(self.prov.biogpt());
                 d
             }
             "table6" => {
@@ -414,7 +620,7 @@ impl<'a> Cells<'_, 'a> {
                         d.push(self.forest(task, model, adapt));
                     }
                 }
-                d.push(self.prov.bert);
+                d.push(self.prov.bert());
                 d
             }
             "summary" => {
@@ -426,8 +632,8 @@ impl<'a> Cells<'_, 'a> {
                     self.scenario_rf(TaskKind::RandomNegatives, 4, "random", "naive"),
                     self.scenario_rf(TaskKind::RandomNegatives, 4, "glove-chem", "naive"),
                     self.scenario_rf(TaskKind::SiblingNegatives, 4, "random", "naive"),
-                    self.prov.bert,
-                    self.prov.biogpt,
+                    self.prov.bert(),
+                    self.prov.biogpt(),
                 ];
                 for task in TaskKind::ALL {
                     d.push(self.forest(task, "w2v-chem", "naive"));
@@ -437,16 +643,16 @@ impl<'a> Cells<'_, 'a> {
             // Ablations rebuild their own corpora/forests; they only share
             // the base providers.
             id if id.starts_with("ablation-") => {
-                let mut d = vec![self.prov.ontology, self.prov.split[0]];
+                let mut d = vec![self.prov.ontology(), self.prov.split(0)];
                 d.extend(p_all_embeds);
                 d
             }
             // Extensions and anything not modelled above: all providers, so the
             // runner only does its own novel work on the driver.
             _ => {
-                let mut d = self.prov.split.to_vec();
-                d.push(self.prov.bert);
-                d.push(self.prov.biogpt);
+                let mut d = self.prov.splits();
+                d.push(self.prov.bert());
+                d.push(self.prov.biogpt());
                 d
             }
         }
@@ -475,13 +681,13 @@ pub fn run_scheduled(
 /// payloads), and every job this run completes is appended to the journal
 /// — fsynced before the job's dependents can observe its result — so the
 /// *next* interruption loses at most the job in flight.
-pub fn run_scheduled_with(
-    lab: &Lab,
-    ids: &[&str],
-    workers: usize,
+/// Opens the run journal named by `spec` and loads its replay state:
+/// `(stats, writer, replay)`. A `None` spec (journaling off) and an
+/// unopenable journal file both degrade to a disabled writer. Shared by
+/// the single-run path and the sweep compiler.
+pub(crate) fn open_journal(
     spec: Option<&JournalSpec>,
-) -> (Vec<(String, Artifact)>, PlanReport) {
-    // Replay: load whatever an earlier run journaled under this config.
+) -> (JournalStats, Option<journal::Writer>, journal::Replay) {
     let mut jstats = JournalStats::default();
     let mut writer: Option<journal::Writer> = None;
     let mut replay = journal::Replay::default();
@@ -502,6 +708,17 @@ pub fn run_scheduled_with(
             }
         }
     }
+    (jstats, writer, replay)
+}
+
+pub fn run_scheduled_with(
+    lab: &Lab,
+    ids: &[&str],
+    workers: usize,
+    spec: Option<&JournalSpec>,
+) -> (Vec<(String, Artifact)>, PlanReport) {
+    // Replay: load whatever an earlier run journaled under this config.
+    let (mut jstats, writer, replay) = open_journal(spec);
     let completed = replay.completed();
 
     // Digests of artifacts assembled *this* run, filled by the assembly
@@ -511,7 +728,9 @@ pub fn run_scheduled_with(
     let mut replayed: HashSet<String> = HashSet::new();
 
     let mut g = Graph::new();
-    let prov = providers(&mut g, lab);
+    let mut provenance = Provenance::default();
+    let cfg_digest = lab.shared().config_digest();
+    let prov = providers(&mut g, lab, "", &ProviderNeed::all(), &mut provenance);
     let mut keyed: HashMap<String, JobId> = HashMap::new();
 
     let ids: Vec<String> = ids.iter().map(|s| s.to_ascii_lowercase()).collect();
@@ -547,11 +766,16 @@ pub fn run_scheduled_with(
                 prov: &prov,
                 completed: &completed,
                 replayed: &mut replayed,
+                prefix: "",
+                provenance: &mut provenance,
+                cfg_digest: &cfg_digest,
             };
             cells.deps_for(id)
         };
         deps.sort_unstable();
         deps.dedup();
+        let dep_labels: Vec<String> = deps.iter().map(|&d| g.label_of(d).to_string()).collect();
+        provenance.job(&label, &cfg_digest, &dep_labels);
         let id_owned = id.clone();
         let journal_dir = spec.map(|s| s.dir.clone());
         let digests = &digests;
@@ -576,8 +800,10 @@ pub fn run_scheduled_with(
     }
 
     // The completion hook: journal every job executed this run (replayed
-    // no-ops are already in the journal), then give the injected fault a
-    // chance to kill the process at this exact boundary.
+    // no-ops are already in the journal) together with its input
+    // provenance, then give the injected fault a chance to kill the
+    // process at this exact boundary.
+    let provenance = provenance; // frozen: the hook only reads it
     let hook = |d: &JobDone<'_>| {
         if replayed.contains(d.label) {
             return;
@@ -585,7 +811,7 @@ pub fn run_scheduled_with(
         let Some(w) = &writer else { return };
         let digest =
             digests.lock().expect("digest table").get(d.label).cloned().unwrap_or_default();
-        let n = w.append(d.label, d.kind, &digest, d.seconds, d.worker);
+        let n = w.append(d.label, d.kind, &digest, d.seconds, d.worker, provenance.inputs_of(d.label));
         if let Some(f) = spec.and_then(|s| s.fault) {
             f.check(n);
         }
@@ -622,7 +848,7 @@ pub fn run_scheduled_with(
 /// Persists one assembled artifact's replay payload under the run
 /// directory (tmp + rename, so a crash mid-write can never leave a
 /// payload that passes the digest check) and returns its FNV-64.
-fn persist_artifact(dir: &Path, id: &str, a: &Artifact) -> std::io::Result<String> {
+pub(crate) fn persist_artifact(dir: &Path, id: &str, a: &Artifact) -> std::io::Result<String> {
     let path = journal::artifact_path(dir, id);
     if let Some(parent) = path.parent() {
         std::fs::create_dir_all(parent)?;
@@ -637,7 +863,7 @@ fn persist_artifact(dir: &Path, id: &str, a: &Artifact) -> std::io::Result<Strin
 
 /// Loads a persisted artifact payload when its bytes still match the
 /// journaled digest `want`; otherwise `None` (caller reassembles).
-fn load_artifact(dir: &Path, id: &str, want: &str) -> Option<Artifact> {
+pub(crate) fn load_artifact(dir: &Path, id: &str, want: &str) -> Option<Artifact> {
     let path = journal::artifact_path(dir, id);
     let text = std::fs::read_to_string(&path).ok()?;
     if journal::fnv64_hex(text.as_bytes()) != want {
@@ -652,7 +878,7 @@ fn load_artifact(dir: &Path, id: &str, want: &str) -> Option<Artifact> {
 
 /// Publishes the run's cache counters to the telemetry recorder so they
 /// land in the exported trace / run metadata alongside the span timeline.
-fn record_counters(r: &PlanReport) {
+pub(crate) fn record_counters(r: &PlanReport) {
     if !kcb_obs::enabled() {
         return;
     }

@@ -10,8 +10,9 @@ use crate::lab::{Lab, Shared, EMBEDDING_NAMES};
 use crate::paradigm::icl::{build_examples, build_queries, QueryPolicy};
 use crate::report::Artifact;
 use crate::task::TaskKind;
-use kcb_icl::{run_protocol, LlmOracle, OracleProfile, PromptVariant};
+use kcb_icl::{run_protocol, LlmOracle, OracleProfile, PromptVariant, PromptedModel};
 use kcb_util::fmt::{metric, Table};
+use std::sync::Arc;
 
 // The scenario figures overlap heavily: Figure 3 and Figure A2 share their
 // fine-tuned-BERT and GPT-4 series verbatim plus two forest columns, and
@@ -140,6 +141,56 @@ pub(crate) fn gpt4_f1_warm(shared: &Shared, task: TaskKind) -> f64 {
 
 fn gpt4_f1(lab: &Lab, task: TaskKind) -> f64 {
     gpt4_f1_warm(lab.shared(), task)
+}
+
+fn icl_key(task: TaskKind, oracle: &str) -> String {
+    format!("icl|{}|{oracle}", task.number())
+}
+
+/// The ICL paradigm cell shared by sweep variants: `[f1_mean, f1_sd,
+/// kappa]` for one (task, oracle) pair. Like the GPT-4 reference line,
+/// ICL consumes no training data, so the cell is scenario-independent —
+/// every scenario variant of a sweep shares it. Simulated oracles are
+/// pure `Send` state, so this cell is scheduler-warmable.
+pub(crate) fn icl_stats_warm(shared: &Shared, task: TaskKind, oracle: &str) -> Arc<Vec<f64>> {
+    let profile = match oracle {
+        "gpt-4-sim" => OracleProfile::gpt4_sim(),
+        "gpt-3.5-sim" => OracleProfile::gpt35_sim(),
+        "llama2-sim" => OracleProfile::llama2_sim(),
+        other => panic!("unknown simulated oracle {other:?}"),
+    };
+    shared.memo_vec(icl_key(task, oracle), || {
+        let model = LlmOracle::new(profile);
+        icl_stats(shared, task, &model)
+    })
+}
+
+/// The BioGPT-mini ICL cell; needs the `!Send` language-model checkpoint,
+/// so it runs on the driver thread.
+pub(crate) fn icl_stats_biogpt(lab: &Lab, task: TaskKind) -> Arc<Vec<f64>> {
+    let model = lab.biogpt();
+    lab.shared().memo_vec(icl_key(task, model.name()), || icl_stats(lab.shared(), task, model))
+}
+
+fn icl_stats(shared: &Shared, task: TaskKind, model: &dyn PromptedModel) -> Vec<f64> {
+    let split = scenario_split(
+        shared.task(task),
+        shared.config().scenario_fraction,
+        SCENARIOS[0],
+        shared.config().seed,
+    );
+    let n = (split.test.len() / 2).min(shared.config().icl_queries);
+    let items = build_queries(
+        shared.ontology(),
+        &split.test,
+        task,
+        QueryPolicy { n_per_class: n, is_a_only: false, max_tokens: usize::MAX },
+        shared.config().seed,
+    );
+    let builder = build_examples(shared.ontology(), &split.train, shared.config().seed);
+    let repeats = shared.config().icl_repeats.max(2);
+    let r = run_protocol(model, &builder, &items, PromptVariant::Base, repeats, shared.config().seed);
+    vec![r.f1_mean, r.f1_sd, r.kappa]
 }
 
 fn scenario_figure(lab: &Lab, id: &str, title: &str, models: &[(&str, &str)]) -> Artifact {

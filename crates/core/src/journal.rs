@@ -72,10 +72,19 @@ pub struct JobRecord {
     pub seconds: f64,
     /// Worker that executed the job (0 = driver thread).
     pub worker: u64,
+    /// Input provenance entries, `name=content-key` (the config digest
+    /// plus, per dependency, its content-addressed checkpoint key), so
+    /// `repro runs diff` can say *which* inputs changed between two runs
+    /// rather than only which outputs differ. Journals written before
+    /// this field load with an empty list — the framing checksum covers
+    /// whatever shape was actually written, so old records stay valid.
+    pub inputs: Vec<String>,
 }
 
 impl JobRecord {
     fn body(&self) -> Value {
+        let inputs =
+            Value::Array(self.inputs.iter().map(|s| Value::String(s.clone())).collect());
         Value::Object(vec![
             ("v".to_string(), serde_json::json!(JOURNAL_VERSION)),
             ("seq".to_string(), serde_json::json!(self.seq)),
@@ -84,6 +93,7 @@ impl JobRecord {
             ("digest".to_string(), Value::String(self.digest.clone())),
             ("seconds".to_string(), serde_json::json!(self.seconds)),
             ("worker".to_string(), serde_json::json!(self.worker)),
+            ("inputs".to_string(), inputs),
         ])
     }
 
@@ -91,6 +101,14 @@ impl JobRecord {
         if v.get("v")?.as_u64()? != JOURNAL_VERSION {
             return None;
         }
+        let inputs = match v.get("inputs") {
+            None => Vec::new(),
+            Some(arr) => arr
+                .as_array()?
+                .iter()
+                .map(|s| s.as_str().map(str::to_string))
+                .collect::<Option<Vec<_>>>()?,
+        };
         Some(Self {
             seq: v.get("seq")?.as_u64()?,
             label: v.get("label")?.as_str()?.to_string(),
@@ -98,6 +116,7 @@ impl JobRecord {
             digest: v.get("digest")?.as_str()?.to_string(),
             seconds: v.get("seconds")?.as_f64()?,
             worker: v.get("worker")?.as_u64()?,
+            inputs,
         })
     }
 }
@@ -259,7 +278,15 @@ impl Writer {
     /// this writer so far (the fault-injection counter). Write errors
     /// warn and are swallowed: journaling is a durability aid, never a
     /// reason to fail the run itself.
-    pub fn append(&self, label: &str, kind: &str, digest: &str, seconds: f64, worker: usize) -> u64 {
+    pub fn append(
+        &self,
+        label: &str,
+        kind: &str,
+        digest: &str,
+        seconds: f64,
+        worker: usize,
+        inputs: &[String],
+    ) -> u64 {
         let rec = JobRecord {
             seq: self.next_seq.fetch_add(1, Ordering::Relaxed),
             label: label.to_string(),
@@ -267,6 +294,7 @@ impl Writer {
             digest: digest.to_string(),
             seconds,
             worker: worker as u64,
+            inputs: inputs.to_vec(),
         };
         let mut line = encode_record(&rec);
         line.push('\n');
@@ -589,6 +617,7 @@ mod tests {
             digest: String::new(),
             seconds: 0.125,
             worker: 1,
+            inputs: Vec::new(),
         }
     }
 
@@ -601,10 +630,28 @@ mod tests {
             kind: "driver".to_string(),
             seconds: 1.5,
             worker: 0,
+            inputs: vec!["cfg=aa".to_string(), "provider:bert=bb".to_string()],
         };
         let line = encode_record(&r);
         assert_eq!(decode_record(&line).unwrap(), r);
         kcb_obs::json::validate(&line).unwrap();
+    }
+
+    #[test]
+    fn pre_provenance_records_load_with_empty_inputs() {
+        // A record body as written before the `inputs` field existed: the
+        // framing checksum covers the rendered body, not a fixed schema,
+        // so old journals must keep loading (with no provenance).
+        let mut old = rec(2, "cell:lstm|glove");
+        old.inputs = vec!["x=y".to_string()];
+        let body = old.body();
+        let Value::Object(fields) = body else { panic!("object body") };
+        let trimmed =
+            Value::Object(fields.into_iter().filter(|(k, _)| k != "inputs").collect());
+        let line = encode_line(&trimmed);
+        let back = decode_record(&line).unwrap();
+        assert_eq!(back.label, "cell:lstm|glove");
+        assert!(back.inputs.is_empty());
     }
 
     #[test]
@@ -667,17 +714,19 @@ mod tests {
         let path = dir.join("w.jsonl");
         std::fs::remove_file(&path).ok();
         let w = Writer::open(&path, 0).unwrap();
-        assert_eq!(w.append("provider:ontology", "par", "", 0.5, 1), 1);
-        assert_eq!(w.append("artifact:table2", "driver", "abcd", 0.25, 0), 2);
+        let inputs = vec!["cfg=00".to_string()];
+        assert_eq!(w.append("provider:ontology", "par", "", 0.5, 1, &inputs), 1);
+        assert_eq!(w.append("artifact:table2", "driver", "abcd", 0.25, 0, &[]), 2);
         assert_eq!(w.appended(), 2);
         let replay = load(&path);
         assert!(replay.warning.is_none());
         assert_eq!(replay.records.len(), 2);
         assert_eq!(replay.records[1].seq, 1);
+        assert_eq!(replay.records[0].inputs, inputs);
         assert_eq!(replay.digest_of("artifact:table2"), Some("abcd"));
         // A resumed writer continues the sequence.
         let w2 = Writer::open(&path, replay.records.len() as u64).unwrap();
-        w2.append("artifact:fig3", "driver", "ef", 0.1, 0);
+        w2.append("artifact:fig3", "driver", "ef", 0.1, 0, &[]);
         let replay = load(&path);
         assert_eq!(replay.records[2].seq, 2);
         assert_eq!(replay.completed().len(), 3);

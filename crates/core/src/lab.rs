@@ -703,6 +703,59 @@ impl Shared {
         self.provider_skips.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Content-addressed input key for a provider, by the unprefixed job
+    /// label suffix (`"ontology"`, `"task1"`, `"embed-glove"`, `"bert"`,
+    /// …). Used for the journal's per-job input provenance and by the
+    /// sweep compiler's dedup plan: equal keys ⇒ identical provider
+    /// content, so the jobs are shareable across variants. Every arm is
+    /// cheap — the trained embeddings reuse their real checkpoint keys
+    /// (pure string digests), while the LM entries digest the
+    /// *determinants* of their checkpoint keys (architecture template,
+    /// pretrain schedule, WordPiece determinants, corpus fingerprint)
+    /// rather than the keys themselves, so nothing is materialised.
+    /// Unknown names get `None`.
+    pub fn provider_input_key(&self, name: &str) -> Option<String> {
+        let fp = |parts: &[&str]| {
+            format!("{:016x}", kcb_util::fnv1a(parts.join("\x1f").as_bytes()))
+        };
+        let gen = |kind: &str| {
+            fp(&[kind, &self.cfg.scale.to_string(), &self.cfg.seed.to_string()])
+        };
+        Some(match name {
+            "ontology" => gen("ontology"),
+            "corpus-domain" => ckpt::domain_fp(&self.cfg),
+            "corpus-generic" => ckpt::generic_fp(&self.cfg),
+            "task1" | "task2" | "task3" | "split1" | "split2" | "split3" => gen(name),
+            "embed-random" => fp(&[
+                "embed-random",
+                &self.cfg.embed_dim.to_string(),
+                &self.cfg.seed.to_string(),
+            ]),
+            "embed-glove" => self.glove_ckpt_key(),
+            "embed-w2v-chem" => self.w2v_ckpt_key(),
+            "embed-glove-chem" => self.glove_chem_ckpt_key(),
+            "embed-biowordvec" => self.biowordvec_ckpt_key(),
+            "wordpiece" => self.wordpiece_ckpt_key(),
+            "bert" | "lm-bert" => fp(&[
+                "lm-bert",
+                &format!("{:?}", self.cfg.bert_arch),
+                &format!("{:?}", self.cfg.bert_pretrain),
+                &self.cfg.bert_pretrain_cap.to_string(),
+                &self.wordpiece_ckpt_key(),
+                &ckpt::domain_fp(&self.cfg),
+            ]),
+            "biogpt" | "lm-biogpt" => fp(&[
+                "lm-biogpt",
+                &format!("{:?}", self.cfg.gpt_arch),
+                &format!("{:?}", self.cfg.gpt_pretrain),
+                &self.cfg.gpt_pretrain_cap.to_string(),
+                &self.wordpiece_ckpt_key(),
+                &ckpt::domain_fp(&self.cfg),
+            ]),
+            _ => return None,
+        })
+    }
+
     /// Token-level embedding model by table name.
     pub fn embedding(&self, name: &str) -> &dyn EmbeddingModel {
         match name {

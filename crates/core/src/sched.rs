@@ -173,6 +173,12 @@ impl<'a> Graph<'a> {
         self.nodes.is_empty()
     }
 
+    /// The label of an already-pushed job (for provenance maps that key
+    /// journal input digests by dependency label).
+    pub fn label_of(&self, id: JobId) -> &str {
+        &self.nodes[id.0].label
+    }
+
     fn push(&mut self, label: String, slot: Slot, deps: &[JobId]) -> JobId {
         let id = self.nodes.len();
         for d in deps {

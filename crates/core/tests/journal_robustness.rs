@@ -27,6 +27,7 @@ fn record(seq: u64, label: &str) -> JobRecord {
         digest: journal::fnv64_hex(label.as_bytes()),
         seconds: 0.125 * (seq + 1) as f64,
         worker: seq % 3,
+        inputs: vec![format!("cfg={seq:x}"), format!("dep-{seq}=-")],
     }
 }
 
@@ -41,6 +42,7 @@ proptest! {
         digest in "[0-9a-f]{0,16}",
         seconds in 0.0f64..1e6,
         worker in any::<u64>(),
+        inputs in prop::collection::vec("[a-zA-Z0-9:_|./\\\\\" =-]{0,24}", 0..4),
     ) {
         let rec = JobRecord {
             seq,
@@ -49,6 +51,7 @@ proptest! {
             digest,
             seconds,
             worker,
+            inputs,
         };
         let line = encode_record(&rec);
         prop_assert!(!line.contains('\n'), "framing must stay single-line");
@@ -87,7 +90,7 @@ fn written_journal(name: &str, n: u64) -> (std::path::PathBuf, Vec<u8>, Vec<JobR
     let mut recs = Vec::new();
     for i in 0..n {
         let r = record(i, &format!("cell:rf|job{i}"));
-        w.append(&r.label, &r.kind, &r.digest, r.seconds, r.worker as usize);
+        w.append(&r.label, &r.kind, &r.digest, r.seconds, r.worker as usize, &r.inputs);
         recs.push(r);
     }
     let bytes = std::fs::read(&path).expect("journal bytes");

@@ -154,3 +154,89 @@ proptest! {
         }
     }
 }
+
+// Sweep-lowering invariants: identical sub-configs must lower to
+// identical job labels (= dedup keys), so the structure-shared plan's
+// refcounts are exactly "how many variants reach this job". Checked by
+// comparing a full grid's plan against each variant planned alone.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn sweep_plan_refcounts_match_per_variant_lowering(
+        seeds in prop::collection::hash_set(0u64..50, 1usize..3),
+        scenarios in prop::collection::hash_set(0usize..5, 1usize..4),
+        paradigm_mask in 1u8..8,
+        combo in 0usize..4,
+        both_oracles in any::<bool>(),
+    ) {
+        use kcb::core::experiment::sweep::{plan, GridSpec, Paradigm};
+        use kcb::core::lab::LabConfig;
+
+        let (model, adapt) = [
+            ("random", "naive"),
+            ("glove", "none"),
+            ("glove-chem", "task-oriented"),
+            ("pubmedbert", "none"),
+        ][combo];
+        let grid = GridSpec {
+            seeds: { let mut v: Vec<u64> = seeds.into_iter().collect(); v.sort_unstable(); v },
+            scales: vec![],
+            scenarios: {
+                let mut v: Vec<usize> = scenarios.into_iter().collect();
+                v.sort_unstable();
+                v
+            },
+            paradigms: Paradigm::ALL
+                .into_iter()
+                .enumerate()
+                .filter(|(i, _)| paradigm_mask & (1 << i) != 0)
+                .map(|(_, p)| p)
+                .collect(),
+            oracles: if both_oracles {
+                vec!["gpt-4-sim", "biogpt-mini"]
+            } else {
+                vec!["gpt-4-sim"]
+            },
+            model,
+            adapt,
+        };
+        let base = LabConfig::tiny();
+        let full = plan(&base, &grid);
+        let variants = grid.expand(&base);
+        prop_assert_eq!(full.variant_ids.len(), variants.len());
+
+        // Plan each variant alone; count how many solo plans contain
+        // each label.
+        let mut reach: std::collections::HashMap<String, usize> =
+            std::collections::HashMap::new();
+        for v in &variants {
+            let solo = GridSpec {
+                seeds: vec![v.seed],
+                scales: vec![v.scale],
+                scenarios: vec![v.scenario],
+                paradigms: vec![v.paradigm],
+                oracles: vec![v.oracle.unwrap_or("gpt-4-sim")],
+                model: v.model,
+                adapt: v.adapt,
+            };
+            for job in plan(&base, &solo).jobs {
+                *reach.entry(job.label).or_insert(0) += 1;
+            }
+        }
+        // Same label universe, and every refcount is exactly the number
+        // of variants whose solo lowering produced that label.
+        prop_assert_eq!(full.jobs.len(), reach.len());
+        for job in &full.jobs {
+            prop_assert_eq!(
+                Some(&job.refs),
+                reach.get(&job.label),
+                "label {} refs {} vs solo plans",
+                &job.label,
+                job.refs
+            );
+        }
+        let shared = full.jobs.iter().filter(|j| j.refs >= 2).count();
+        prop_assert_eq!(shared, full.shared_jobs);
+    }
+}
